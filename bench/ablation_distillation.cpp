@@ -1,0 +1,64 @@
+// Ablation — modal distillation (§3.2.1) vs single-shot labels.
+//
+// The paper's key fix for optimizer stochasticity is to label each
+// decision input with the *modal* action over Monte-Carlo repeats of the
+// RS optimizer rather than a single draw. This ablation fits DT policies
+// from decision datasets generated with mc_repeats in {1, 3, paper-K} and
+// deploys each into the building: modal labels should match or beat
+// single-shot labels on energy and violations, with the gap shrinking as
+// the optimizer itself gets less noisy.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/config.hpp"
+#include "core/decision_data.hpp"
+
+int main() {
+  using namespace verihvac;
+  bench::print_banner("ablation_distillation", "DESIGN.md §5.1 (modal vs single-shot)");
+
+  core::PipelineConfig cfg = bench::bench_config("Pittsburgh");
+  const std::size_t paper_repeats = cfg.decision.mc_repeats;
+  const std::vector<std::size_t> repeat_choices = {1, 3, paper_repeats};
+
+  // Heavy artifacts (historical data + model) are shared; only the
+  // decision-data generation and tree fit vary with mc_repeats.
+  const core::PipelineArtifacts base = core::run_pipeline(cfg);
+
+  AsciiTable table("Modal distillation ablation (Pittsburgh, January)");
+  table.set_header({"mc_repeats", "energy [kWh]", "violation rate",
+                    "efficiency score", "tree leaves"});
+  std::vector<std::vector<double>> csv_rows;
+  for (std::size_t repeats : repeat_choices) {
+    core::PipelineConfig variant = cfg;
+    variant.decision.mc_repeats = repeats;
+    auto agent = base.make_mbrl_agent();
+    core::DecisionDataGenerator generator(base.historical, variant.decision);
+    const core::DecisionDataset decisions =
+        generator.generate(*agent, variant.decision_points);
+    core::DtPolicy policy =
+        core::DtPolicy::fit(decisions, control::ActionSpace(variant.action_space));
+    core::verify_formal(policy, variant.criteria, /*correct=*/true);
+
+    const auto metrics = bench::run_full_episode(cfg.env, policy);
+    table.add_row(std::to_string(repeats),
+                  {metrics.total_energy_kwh(), metrics.violation_rate(),
+                   metrics.energy_efficiency_score(),
+                   static_cast<double>(policy.tree().leaf_count())},
+                  3);
+    csv_rows.push_back({static_cast<double>(repeats), metrics.total_energy_kwh(),
+                        metrics.violation_rate(), metrics.energy_efficiency_score()});
+  }
+  table.print();
+
+  std::printf("shape to check: modal labels (repeats > 1) give an equal or better\n"
+              "efficiency score than single-shot labels (repeats = 1); the paper\n"
+              "attributes the DT's energy advantage over its own MBRL teacher to\n"
+              "exactly this de-noising.\n");
+  const std::string path = bench::write_csv(
+      "ablation_distillation.csv",
+      "mc_repeats,energy_kwh,violation_rate,efficiency_score", csv_rows);
+  std::printf("series written to %s\n", path.c_str());
+  return 0;
+}

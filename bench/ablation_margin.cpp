@@ -1,0 +1,64 @@
+// Ablation — extraction comfort margin vs boundary-riding violations.
+//
+// DESIGN.md §5.y item 15: the RS teacher is boundary-riding-optimal. With
+// the dynamics model predicting exact landings, holding the zone at the
+// comfort ceiling is the cheapest "non-violating" behaviour — but the real
+// plant's substep limit cycle pokes past the line every other step, which
+// is exactly the mechanism behind the paper's ~30% Tucson violation rates
+// (Fig. 4, right panel). Extracting against a band shrunk by a margin
+// delta on both edges (training-time robustness) and evaluating on the
+// true band trades a little energy for a collapse in violations. This
+// bench sweeps delta on the cooling-season scenario where the effect is
+// largest.
+// Shape to check: violations fall steeply from delta = 0 and flatten by
+// ~0.5 degC; energy rises mildly; the verified safe probability (measured
+// against the margin band) stays high.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/config.hpp"
+#include "control/evaluate.hpp"
+
+int main() {
+  using namespace verihvac;
+  bench::print_banner("ablation_margin", "DESIGN.md §5.y.15 (extraction comfort margin)");
+
+  AsciiTable table("Extraction margin sweep (TucsonJuly, true band [23, 26] degC)");
+  table.set_header({"margin degC", "safe prob", "energy kWh", "violation (true band)"});
+  std::vector<std::vector<double>> rows;
+
+  const env::ComfortRange true_comfort = env::summer_comfort();
+  for (double margin : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    core::PipelineConfig config = bench::bench_config("TucsonJuly");
+    env::ComfortRange band = true_comfort;
+    band.lo += margin;
+    band.hi -= margin;
+    config.env.reward.comfort = band;
+    config.criteria.comfort = band;
+    config.env.default_occupied = {21.0, 24.0};
+    config.env.default_unoccupied = {15.0, 27.0};
+    config.env.hvac_capacity_scale = 2.5;
+
+    const core::PipelineArtifacts artifacts = core::run_pipeline(config);
+
+    env::EnvConfig deploy_env = config.env;
+    deploy_env.reward.comfort = true_comfort;
+    auto policy = artifacts.make_dt_policy();
+    const env::EpisodeMetrics run = bench::run_full_episode(deploy_env, *policy);
+
+    table.add_row(format_double(margin, 2),
+                  {artifacts.probabilistic.safe_probability, run.total_energy_kwh(),
+                   run.violation_rate()},
+                  3);
+    rows.push_back({margin, artifacts.probabilistic.safe_probability,
+                    run.total_energy_kwh(), run.violation_rate()});
+  }
+  table.print();
+  std::printf("shape to check: violations collapse by margin ~0.5 degC at a mild\n"
+              "energy cost; margin 0 reproduces the boundary-riding pathology.\n");
+  const std::string path = bench::write_csv(
+      "ablation_margin.csv", "margin,safe_probability,energy_kwh,violation_rate", rows);
+  std::printf("series written to %s\n", path.c_str());
+  return 0;
+}

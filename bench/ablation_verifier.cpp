@@ -1,0 +1,68 @@
+// Ablation — one-step vs H-step probabilistic verification (§3.3.2).
+//
+// The paper proves that estimating criterion #1 by checking only the
+// immediate successor of each sampled state equals the H-step bootstrap
+// estimate of the forward reachability tube, at a fraction of the model
+// queries. This bench measures both estimators on the same verified
+// policy: the safe-probability estimates should agree within Monte-Carlo
+// noise while the one-step verifier issues ~1/H the predictions and runs
+// correspondingly faster.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/config.hpp"
+#include "core/verification.hpp"
+
+int main() {
+  using namespace verihvac;
+  bench::print_banner("ablation_verifier", "DESIGN.md §5.3 (one-step vs H-step)");
+
+  core::PipelineConfig cfg = bench::bench_config("Pittsburgh");
+  const core::PipelineArtifacts artifacts = core::run_pipeline(cfg);
+  core::DecisionDataGenerator sampler_source(artifacts.historical, cfg.decision);
+  const core::AugmentedSampler& sampler = sampler_source.sampler();
+
+  AsciiTable table("Probabilistic verifier ablation (same policy, same sample budget)");
+  table.set_header({"estimator", "safe probability", "samples", "wall time [ms]",
+                    "time ratio"});
+  std::vector<std::vector<double>> csv_rows;
+
+  const std::size_t n = cfg.probabilistic_samples;
+  Rng rng_one(cfg.verification_seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto one = core::verify_probabilistic_one_step(
+      *artifacts.policy, *artifacts.model, sampler, cfg.criteria, n, rng_one);
+  const auto t1 = std::chrono::steady_clock::now();
+  Rng rng_h(cfg.verification_seed);
+  const auto h = core::verify_probabilistic_h_step(
+      *artifacts.policy, *artifacts.model, sampler, cfg.criteria, n, rng_h);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double ms_one = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double ms_h = std::chrono::duration<double, std::milli>(t2 - t1).count();
+  table.add_row("one-step (ours)",
+                {one.safe_probability, static_cast<double>(one.samples), ms_one, 1.0}, 3);
+  table.add_row("H-step bootstrap (H=" + std::to_string(cfg.criteria.horizon) + ")",
+                {h.safe_probability, static_cast<double>(h.samples), ms_h,
+                 ms_h / std::max(1e-9, ms_one)},
+                3);
+  table.print();
+
+  const double gap = std::abs(one.safe_probability - h.safe_probability);
+  std::printf("estimate gap |one-step - H-step| = %.4f (Monte-Carlo noise at %zu\n"
+              "samples is ~%.4f); wall-time advantage of the one-step verifier: "
+              "%.1fx\n",
+              gap, n, 2.0 / std::sqrt(static_cast<double>(n)),
+              ms_h / std::max(1e-9, ms_one));
+  std::printf("shape to check: the two estimates agree within sampling noise and the\n"
+              "one-step estimator is ~H times cheaper, as proven in §3.3.2.\n");
+  csv_rows.push_back({0, one.safe_probability, static_cast<double>(one.samples), ms_one});
+  csv_rows.push_back({1, h.safe_probability, static_cast<double>(h.samples), ms_h});
+  const std::string path = bench::write_csv(
+      "ablation_verifier.csv", "estimator,safe_probability,samples,wall_ms", csv_rows);
+  std::printf("series written to %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/config.hpp"
+
+namespace verihvac::bench {
+
+core::PipelineConfig bench_config(const std::string& city) {
+  core::PipelineConfig cfg = core::PipelineConfig::for_city(city);
+  cfg.env.days = static_cast<int>(env_or_long("VERI_HVAC_DAYS", 31));
+  return cfg;
+}
+
+void print_banner(const std::string& bench, const std::string& artifact) {
+  const bool full = full_scale();
+  std::printf("== %s — reproduces %s ==\n", bench.c_str(), artifact.c_str());
+  std::printf("scale: %s (VERI_HVAC_FULL=%d, days=%ld, RS samples=%ld, horizon=%ld, "
+              "MC repeats=%ld, decision points=%ld)\n\n",
+              full ? "paper" : "quick", full ? 1 : 0, env_or_long("VERI_HVAC_DAYS", 31),
+              env_or_long("VERI_HVAC_RS_SAMPLES", full ? 1000 : 128),
+              env_or_long("VERI_HVAC_RS_HORIZON", full ? 20 : 10),
+              env_or_long("VERI_HVAC_MC_REPEATS", full ? 10 : 5),
+              env_or_long("VERI_HVAC_DECISION_POINTS", full ? 3000 : 600));
+}
+
+env::EpisodeMetrics run_full_episode(const env::EnvConfig& config,
+                                     control::Controller& controller,
+                                     control::EpisodeTrace* trace) {
+  env::BuildingEnv environment(config);
+  return control::run_episode(environment, controller, trace);
+}
+
+std::string write_csv(const std::string& filename, const std::string& header,
+                      const std::vector<std::vector<double>>& rows) {
+  const std::filesystem::path dir(output_dir());
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / filename).string();
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  out << header << '\n';
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return path;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double std_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean_of(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace verihvac::bench

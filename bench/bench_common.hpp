@@ -1,0 +1,44 @@
+// Shared bench harness utilities.
+//
+// Every bench binary reproduces one table or figure of the paper and is
+// expected to run standalone on a single CPU core in seconds at the quick
+// (default) scale, or with the paper's exact hyperparameters under
+// VERI_HVAC_FULL=1. This header centralizes workload scaling, artifact
+// construction and output formatting so the per-bench sources read like
+// the experiment protocol they implement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "control/evaluate.hpp"
+#include "core/pipeline.hpp"
+
+namespace verihvac::bench {
+
+/// Pipeline config for `city` scaled by the VERI_HVAC_* environment knobs,
+/// plus bench-specific day-count override (VERI_HVAC_DAYS; the paper runs
+/// January 1-31).
+core::PipelineConfig bench_config(const std::string& city);
+
+/// Prints the standard banner: bench name, paper artifact, scale knobs.
+void print_banner(const std::string& bench, const std::string& artifact);
+
+/// Runs one full January episode of `controller` in a fresh environment
+/// built from `config`, returning the paper's metrics.
+env::EpisodeMetrics run_full_episode(const env::EnvConfig& config,
+                                     control::Controller& controller,
+                                     control::EpisodeTrace* trace = nullptr);
+
+/// Writes a CSV artifact into VERI_HVAC_OUT (default ".") and returns the
+/// path; header is written first, then one line per row.
+std::string write_csv(const std::string& filename, const std::string& header,
+                      const std::vector<std::vector<double>>& rows);
+
+/// Mean of a vector (empty -> 0), shared by the per-hour aggregations.
+double mean_of(const std::vector<double>& xs);
+/// Population standard deviation (empty -> 0).
+double std_of(const std::vector<double>& xs);
+
+}  // namespace verihvac::bench

@@ -1,0 +1,81 @@
+// Fig. 3 — calibrating the Eq. 5 noise level.
+//
+// Protocol (paper §3.2.1): take the historical policy-input distribution
+// of Pittsburgh and of New York (both ASHRAE 4A, so a "similar city"),
+// then for noise levels in [0.01, 0.5] compare
+//   * the Jensen-Shannon distance between the original distribution and
+//     the noise-augmented one (left subfigure), against the JSD between
+//     Pittsburgh and New York as the reference line, and
+//   * the information entropy of the augmented distribution (right
+//     subfigure), against the entropies of the original and of New York.
+// The paper picks the noise band where JSD(original -> augmented) stays
+// below JSD(original -> similar city) while entropy strictly increases —
+// landing on noise_level in [0.01, 0.09].
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/decision_data.hpp"
+#include "dynamics/dataset.hpp"
+
+namespace {
+
+using namespace verihvac;
+
+std::vector<std::vector<double>> matrix_rows(const Matrix& m) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) rows.push_back(m.row(r));
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("fig3_noise_level", "Fig. 3 (noise-level calibration)");
+  constexpr std::size_t kBins = 24;
+
+  const core::PipelineConfig pit_cfg = bench::bench_config("Pittsburgh");
+  const core::PipelineConfig nyc_cfg = bench::bench_config("NewYork");
+  const auto pit_data = dyn::collect_historical_data(pit_cfg.env, pit_cfg.collection);
+  const auto nyc_data = dyn::collect_historical_data(nyc_cfg.env, nyc_cfg.collection);
+  const auto pit_rows = matrix_rows(pit_data.policy_inputs());
+  const auto nyc_rows = matrix_rows(nyc_data.policy_inputs());
+
+  const double jsd_similar_city = mean_marginal_jsd(pit_rows, nyc_rows, kBins);
+  const double entropy_original = sum_marginal_entropy(pit_rows, kBins);
+  const double entropy_similar = sum_marginal_entropy(nyc_rows, kBins);
+
+  const std::vector<double> noise_levels = {0.01, 0.03, 0.05, 0.09, 0.15,
+                                            0.20, 0.30, 0.40, 0.50};
+  AsciiTable table("Fig. 3: JSD and entropy vs Eq. 5 noise level (Pittsburgh vs New York)");
+  table.set_header({"noise level", "JSD(orig -> orig+noise)", "entropy(orig+noise) [bits]",
+                    "below similar-city JSD?"});
+  std::vector<std::vector<double>> csv_rows;
+  Rng rng(7);
+  for (double noise : noise_levels) {
+    core::AugmentedSampler sampler(pit_data.policy_inputs(), noise);
+    const auto augmented = sampler.sample_many(pit_rows.size(), rng);
+    const double jsd = mean_marginal_jsd(pit_rows, augmented, kBins);
+    const double entropy = sum_marginal_entropy(augmented, kBins);
+    table.add_row(format_double(noise, 2),
+                  {jsd, entropy, jsd < jsd_similar_city ? 1.0 : 0.0}, 3);
+    csv_rows.push_back({noise, jsd, entropy});
+  }
+  table.print();
+
+  std::printf("reference lines: JSD(Pittsburgh -> New York) = %.3f,\n"
+              "entropy(original) = %.3f bits, entropy(New York) = %.3f bits\n\n",
+              jsd_similar_city, entropy_original, entropy_similar);
+  std::printf("paper shape: JSD grows monotonically with the noise level and crosses\n"
+              "the similar-city distance around mid noise; entropy of the augmented\n"
+              "distribution exceeds the original. The usable band (JSD below the\n"
+              "similar-city line, entropy above original) is small noise, matching\n"
+              "the paper's chosen noise_level in [0.01, 0.09].\n");
+  const std::string path = bench::write_csv(
+      "fig3_noise_level.csv", "noise_level,jsd_to_original,entropy_bits", csv_rows);
+  std::printf("series written to %s\n", path.c_str());
+  return 0;
+}

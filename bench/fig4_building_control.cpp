@@ -1,0 +1,109 @@
+// Fig. 4 — building control results (the headline experiment).
+//
+// Protocol (paper §4.2.1): deploy four controllers into the simulated
+// 5-zone building for the full January episode in Pittsburgh and Tucson,
+// and record monthly HVAC energy [kWh] against the occupied-hours comfort
+// violation rate. Agents:
+//   * default  — the building's rule-based schedule controller [12],
+//   * MBRL     — the RS-based model-based agent (MB2C [9]),
+//   * CLUE     — ensemble-uncertainty-gated MBRL [1] (state of the art),
+//   * DT(ours) — the verified decision-tree policy extracted offline.
+// The lower-left direction is better on both axes. The paper reports
+// savings vs the default controller: CLUE 129.6 / 32.5 kWh per month for
+// Pittsburgh / Tucson, DT 149.6 / 71.8 kWh — a 68.4% increase in savings
+// with a 14.8% comfort gain on average.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace verihvac;
+
+struct AgentResult {
+  std::string name;
+  double energy_kwh = 0.0;
+  double violation_rate = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner("fig4_building_control", "Fig. 4 (energy vs violation rate)");
+
+  std::vector<std::vector<double>> csv_rows;
+  double dt_saving[2] = {0.0, 0.0};
+  double clue_saving[2] = {0.0, 0.0};
+  double dt_viol[2] = {0.0, 0.0};
+  double clue_viol[2] = {0.0, 0.0};
+
+  const std::vector<std::string> cities = {"Pittsburgh", "Tucson"};
+  for (std::size_t c = 0; c < cities.size(); ++c) {
+    core::PipelineConfig cfg = bench::bench_config(cities[c]);
+    cfg.train_ensemble = true;  // CLUE needs the bootstrap ensemble
+    const core::PipelineArtifacts artifacts = core::run_pipeline(cfg);
+
+    std::vector<AgentResult> results;
+    {
+      // The paper's default_agent is the building's stock controller [12]:
+      // Sinergym's 5Zone schedule conditions to the comfort band around
+      // the clock (no night setback). That always-on waste is exactly the
+      // energy the learned agents harvest in Fig. 4 — a setback schedule
+      // here would be a *smarter* baseline than the paper compares to.
+      control::RuleBasedController agent(cfg.env.default_occupied,
+                                         cfg.env.default_occupied);
+      const auto m = bench::run_full_episode(cfg.env, agent);
+      results.push_back({"default_agent", m.total_energy_kwh(), m.violation_rate()});
+    }
+    {
+      auto agent = artifacts.make_mbrl_agent();
+      const auto m = bench::run_full_episode(cfg.env, *agent);
+      results.push_back({"MBRL_agent", m.total_energy_kwh(), m.violation_rate()});
+    }
+    {
+      auto agent = artifacts.make_clue_agent();
+      const auto m = bench::run_full_episode(cfg.env, *agent);
+      results.push_back({"CLUE", m.total_energy_kwh(), m.violation_rate()});
+    }
+    {
+      auto agent = artifacts.make_dt_policy();
+      const auto m = bench::run_full_episode(cfg.env, *agent);
+      results.push_back({"DT_agent (ours)", m.total_energy_kwh(), m.violation_rate()});
+    }
+
+    AsciiTable table("Fig. 4 [" + cities[c] + "]: energy vs violation rate, January");
+    table.set_header({"agent", "energy [kWh/month]", "violation rate",
+                      "savings vs default [kWh]"});
+    const double default_energy = results.front().energy_kwh;
+    for (const auto& r : results) {
+      table.add_row(r.name,
+                    {r.energy_kwh, r.violation_rate, default_energy - r.energy_kwh}, 3);
+      csv_rows.push_back({static_cast<double>(c), r.energy_kwh, r.violation_rate});
+    }
+    table.print();
+
+    clue_saving[c] = default_energy - results[2].energy_kwh;
+    dt_saving[c] = default_energy - results[3].energy_kwh;
+    clue_viol[c] = results[2].violation_rate;
+    dt_viol[c] = results[3].violation_rate;
+  }
+
+  const double saving_gain =
+      (dt_saving[0] + dt_saving[1]) / std::max(1e-9, clue_saving[0] + clue_saving[1]) - 1.0;
+  std::printf("paper: CLUE saves 129.6 / 32.5 kWh vs default (Pittsburgh / Tucson);\n"
+              "DT saves 149.6 / 71.8 kWh — 68.4%% more savings, 14.8%% comfort gain.\n");
+  std::printf("measured: CLUE saves %.1f / %.1f kWh, DT saves %.1f / %.1f kWh "
+              "(DT saving gain vs CLUE: %+.1f%%)\n",
+              clue_saving[0], clue_saving[1], dt_saving[0], dt_saving[1],
+              saving_gain * 100.0);
+  std::printf("measured violation rates: CLUE %.3f / %.3f, DT %.3f / %.3f\n",
+              clue_viol[0], clue_viol[1], dt_viol[0], dt_viol[1]);
+  std::printf("shape to check: DT sits in the lower-left of (violation, energy)\n"
+              "relative to MBRL and CLUE in both cities; all learned agents beat\n"
+              "the default controller on energy.\n");
+  const std::string path = bench::write_csv(
+      "fig4_building_control.csv", "city,energy_kwh,violation_rate", csv_rows);
+  std::printf("series written to %s\n", path.c_str());
+  return 0;
+}

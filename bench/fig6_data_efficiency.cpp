@@ -1,0 +1,68 @@
+// Fig. 6 — data efficiency of the DT policy.
+//
+// Protocol (paper §4.2.2): sweep the number of decision-data entries,
+// refit the DT policy on each prefix, deploy it into the simulated
+// building, and record the energy-efficiency score
+//     comfort_rate / energy_kwh * 1000
+// for both cities. The paper finds the score converges within ~100
+// decision points — far fewer than one would expect from gridding the
+// 6-dim input space, which is the payoff of the Eq. 5 importance sampling.
+// Also reports the per-point generation overhead (paper: 16.8 s/point on
+// a GPU box; absolute values are hardware-bound, the shape is what
+// matters).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/config.hpp"
+
+int main() {
+  using namespace verihvac;
+  bench::print_banner("fig6_data_efficiency", "Fig. 6 (efficiency vs decision data)");
+
+  const bool full = full_scale();
+  const std::vector<std::size_t> sizes =
+      full ? std::vector<std::size_t>{10, 50, 100, 250, 500, 1000, 2000, 3000}
+           : std::vector<std::size_t>{10, 25, 50, 100, 200, 400, 600};
+
+  std::vector<std::vector<double>> csv_rows;
+  for (const std::string city : {"Pittsburgh", "Tucson"}) {
+    core::PipelineConfig cfg = bench::bench_config(city);
+    cfg.decision_points = sizes.back();
+    const core::PipelineArtifacts base = core::run_pipeline(cfg);
+    const double seconds_per_point =
+        base.decision_data_seconds / static_cast<double>(base.decisions.size());
+
+    AsciiTable table("Fig. 6 [" + city + "]: energy-efficiency score vs decision data");
+    table.set_header({"decision data", "efficiency score", "energy [kWh]",
+                      "violation rate"});
+    double converged_score = 0.0;
+    for (std::size_t n : sizes) {
+      const core::PipelineArtifacts fitted = core::refit_policy(base, n);
+      auto policy = fitted.make_dt_policy();
+      const auto metrics = bench::run_full_episode(cfg.env, *policy);
+      table.add_row(std::to_string(n),
+                    {metrics.energy_efficiency_score(), metrics.total_energy_kwh(),
+                     metrics.violation_rate()},
+                    3);
+      csv_rows.push_back({city == "Pittsburgh" ? 0.0 : 1.0, static_cast<double>(n),
+                          metrics.energy_efficiency_score(), metrics.total_energy_kwh(),
+                          metrics.violation_rate()});
+      converged_score = metrics.energy_efficiency_score();
+    }
+    table.print();
+    std::printf("[%s] decision-data generation overhead: %.3f s/point "
+                "(paper: 16.8 s/point on i9 + RTX 3080Ti)\n\n",
+                city.c_str(), seconds_per_point);
+    (void)converged_score;
+  }
+
+  std::printf("paper shape: the score rises steeply and converges within ~100\n"
+              "decision points for both cities, then stays flat — extraction needs\n"
+              "minutes of offline compute, not the 444 hours of input gridding.\n");
+  const std::string path = bench::write_csv(
+      "fig6_data_efficiency.csv",
+      "city,decision_points,efficiency_score,energy_kwh,violation_rate", csv_rows);
+  std::printf("series written to %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Control comparison: all four agents of Fig. 4 on one live January.
+//
+// Runs the building's default rule-based schedule, the RS-based MBRL
+// agent, the uncertainty-gated CLUE baseline and the verified DT policy
+// through identical episodes and prints energy / comfort / latency side
+// by side — the downstream-user view of the paper's headline claim.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/table.hpp"
+#include "control/evaluate.hpp"
+#include "core/pipeline.hpp"
+
+namespace {
+
+using namespace verihvac;
+
+struct Row {
+  std::string name;
+  env::EpisodeMetrics metrics;
+  double mean_decision_ms = 0.0;
+};
+
+Row evaluate(const core::PipelineConfig& config, control::Controller& controller) {
+  env::BuildingEnv building(config.env);
+  controller.reset();
+  env::Observation obs = building.reset();
+  env::EpisodeMetrics metrics;
+  double total_ms = 0.0;
+  std::size_t decisions = 0;
+  bool done = false;
+  while (!done) {
+    const auto forecast = building.forecast(controller.forecast_horizon());
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::SetpointPair action = controller.act(obs, forecast);
+    const auto t1 = std::chrono::steady_clock::now();
+    total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ++decisions;
+    const env::StepOutcome outcome = building.step(action);
+    metrics.add(outcome);
+    obs = outcome.observation;
+    done = outcome.done;
+  }
+  return Row{controller.name(), metrics,
+             decisions ? total_ms / static_cast<double>(decisions) : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  core::PipelineConfig config = core::PipelineConfig::for_city("Pittsburgh");
+  config.env.days = 14;
+  config.train_ensemble = true;  // CLUE needs the bootstrap ensemble
+  const core::PipelineArtifacts artifacts = core::run_pipeline(config);
+
+  std::vector<Row> rows;
+  {
+    auto agent = artifacts.make_default_controller();
+    rows.push_back(evaluate(config, *agent));
+  }
+  {
+    auto agent = artifacts.make_mbrl_agent();
+    rows.push_back(evaluate(config, *agent));
+  }
+  {
+    auto agent = artifacts.make_clue_agent();
+    rows.push_back(evaluate(config, *agent));
+    std::printf("CLUE fallback rate: %.1f%% of decisions hit the uncertainty gate\n",
+                agent->fallback_rate() * 100.0);
+  }
+  {
+    auto agent = artifacts.make_dt_policy();
+    rows.push_back(evaluate(config, *agent));
+  }
+
+  AsciiTable table("Agent comparison — Pittsburgh, " + std::to_string(config.env.days) +
+                   " January days");
+  table.set_header({"agent", "energy [kWh]", "violation rate", "efficiency score",
+                    "mean decision [ms]"});
+  for (const auto& r : rows) {
+    table.add_row(r.name,
+                  {r.metrics.total_energy_kwh(), r.metrics.violation_rate(),
+                   r.metrics.energy_efficiency_score(), r.mean_decision_ms},
+                  3);
+  }
+  table.print();
+
+  const double savings =
+      rows.front().metrics.total_energy_kwh() - rows.back().metrics.total_energy_kwh();
+  std::printf("\nDT policy saves %.1f kWh vs the default schedule while staying "
+              "deterministic and verifiable.\n",
+              savings);
+  return 0;
+}

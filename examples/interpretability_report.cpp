@@ -1,0 +1,73 @@
+// Interpretability report: the artifacts a building engineer reviews
+// before signing off on a learned controller.
+//
+// The paper's pitch (§3.2.2) is that the extracted policy is "fully
+// interpretable and knowledgeable to human experts". This example renders
+// that claim as a concrete review packet for one extracted-and-verified
+// policy:
+//   1. which physical variables the policy actually consults (feature
+//      importance),
+//   2. what it decides across the input space (per-action coverage),
+//   3. *why* it makes specific decisions on scenarios an engineer would
+//      probe (decision-path explanations, with verifier-corrected leaves
+//      flagged),
+//   4. the verification summary tying it together.
+#include <cstdio>
+#include <vector>
+
+#include "core/interpret.hpp"
+#include "core/pipeline.hpp"
+
+namespace {
+
+void explain_scenario(const verihvac::core::DtPolicy& policy, const char* title,
+                      const std::vector<double>& x, const std::vector<int>& corrected) {
+  std::printf("--- %s ---\n", title);
+  std::printf("input: zone %.1f degC, outdoor %.1f degC, humidity %.0f%%, wind %.1f m/s,\n"
+              "       solar %.0f W/m2, occupants %.0f\n",
+              x[0], x[1], x[2], x[3], x[4], x[5]);
+  std::printf("%s\n", verihvac::core::explain(policy, x, corrected).to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace verihvac;
+
+  core::PipelineConfig config = core::PipelineConfig::for_city("Pittsburgh");
+  config.decision_points = 400;  // demo scale
+  const core::PipelineArtifacts artifacts = core::run_pipeline(config);
+  const core::DtPolicy& policy = *artifacts.policy;
+
+  std::printf("=== policy review packet: Pittsburgh, January ===\n\n");
+  std::printf("tree: %zu nodes, %zu leaves, depth %zu; %zu decision data points\n\n",
+              policy.tree().node_count(), policy.tree().leaf_count(), policy.tree().depth(),
+              artifacts.decisions.size());
+
+  std::printf("%s\n", core::feature_importance_report(policy).c_str());
+  std::printf("%s\n", core::policy_summary_report(policy).c_str());
+
+  // Leaves the verifier edited (flagged in explanations below).
+  std::vector<int> corrected;
+  for (const auto& finding : artifacts.formal.findings) {
+    if (finding.corrected) corrected.push_back(finding.leaf);
+  }
+  std::printf("verifier: %zu leaves corrected by Algorithm 1; criterion #1 safe\n"
+              "probability %.3f over %zu samples\n\n",
+              corrected.size(), artifacts.probabilistic.safe_probability,
+              artifacts.probabilistic.samples);
+
+  // Scenario probes an engineer would ask about.
+  explain_scenario(policy, "cold occupied morning (heating expected)",
+                   {18.5, -6.0, 70.0, 4.0, 50.0, 11.0}, corrected);
+  explain_scenario(policy, "warm occupied afternoon (cooling or coast)",
+                   {24.5, 10.0, 40.0, 2.0, 300.0, 11.0}, corrected);
+  explain_scenario(policy, "mild occupied midday (hold)",
+                   {21.5, 2.0, 55.0, 3.0, 200.0, 11.0}, corrected);
+  explain_scenario(policy, "unoccupied night (setback expected)",
+                   {19.0, -8.0, 75.0, 5.0, 0.0, 0.0}, corrected);
+
+  std::printf("every decision above is reproducible: the same input always walks the\n"
+              "same root-to-leaf path (determinism is what the verifier certifies).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Whole-building deployment: one verified DT policy across all five zones.
+//
+// The paper extracts and verifies a policy for a single controlled zone of
+// the five-zone plant (every experiment in §4 uses that formulation).
+// Deployment in a real building is per-zone: each zone walks the same
+// verified tree with its own temperature, because the policy input (s, d)
+// carries no zone identity. This example:
+//   1. runs the standard pipeline once (extract + verify),
+//   2. clones the verified policy across all five zones via the
+//      MultiZoneCoordinator,
+//   3. simulates January against the building's default schedule,
+//   4. prints a per-zone energy/comfort report.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "control/multizone.hpp"
+#include "control/rule_based.hpp"
+#include "core/pipeline.hpp"
+#include "envlib/multizone_env.hpp"
+#include "envlib/multizone_metrics.hpp"
+
+namespace {
+
+using namespace verihvac;
+
+env::MultiZoneMetrics run_building(const env::EnvConfig& config,
+                                   control::MultiZoneCoordinator& coordinator) {
+  env::MultiZoneEnv building(config);
+  env::MultiZoneMetrics metrics(building.zone_count());
+  auto observations = building.reset();
+  coordinator.reset();
+  while (true) {
+    const auto forecast = building.forecast(coordinator.forecast_horizon());
+    const auto actions = coordinator.act(observations, forecast);
+    const auto outcome = building.step(actions);
+    metrics.add(outcome);
+    if (outcome.done) break;
+    observations = outcome.observations;
+  }
+  return metrics;
+}
+
+control::MultiZoneCoordinator clone_across_zones(std::size_t zones,
+                                                 const core::PipelineArtifacts& artifacts,
+                                                 bool use_dt) {
+  std::vector<std::shared_ptr<control::Controller>> per_zone;
+  for (std::size_t z = 0; z < zones; ++z) {
+    if (use_dt) {
+      per_zone.push_back(std::shared_ptr<control::Controller>(artifacts.make_dt_policy()));
+    } else {
+      // The stock building schedule (Fig. 4's default_agent, DESIGN.md
+      // §5.17): conditions to the comfort band around the clock.
+      per_zone.push_back(std::make_shared<control::RuleBasedController>(
+          artifacts.config.env.default_occupied, artifacts.config.env.default_occupied));
+    }
+  }
+  return control::MultiZoneCoordinator(std::move(per_zone));
+}
+
+}  // namespace
+
+int main() {
+  using namespace verihvac;
+
+  core::PipelineConfig config = core::PipelineConfig::for_city("Pittsburgh");
+  config.decision_points = 400;  // demo scale
+  const core::PipelineArtifacts artifacts = core::run_pipeline(config);
+  std::printf("verified policy: %zu nodes, safe probability %.3f\n\n",
+              artifacts.policy->tree().node_count(),
+              artifacts.probabilistic.safe_probability);
+
+  const std::size_t zones = env::MultiZoneEnv(config.env).zone_count();
+  auto dt_coordinator = clone_across_zones(zones, artifacts, /*use_dt=*/true);
+  auto default_coordinator = clone_across_zones(zones, artifacts, /*use_dt=*/false);
+
+  const env::MultiZoneMetrics dt_run = run_building(config.env, dt_coordinator);
+  const env::MultiZoneMetrics default_run = run_building(config.env, default_coordinator);
+
+  std::printf("whole-building January, %zu zones, Pittsburgh:\n", zones);
+  std::printf("%-22s %12s %18s\n", "controller", "energy kWh", "mean violation");
+  std::printf("%-22s %12.1f %18.3f\n", "stock 24/7 schedule", default_run.total_energy_kwh(),
+              default_run.mean_violation_rate());
+  std::printf("%-22s %12.1f %18.3f\n\n", "verified DT (all zones)",
+              dt_run.total_energy_kwh(), dt_run.mean_violation_rate());
+
+  std::printf("per-zone violation rates (DT | stock):\n");
+  for (std::size_t z = 0; z < zones; ++z) {
+    std::printf("  zone %zu: %.3f | %.3f\n", z, dt_run.violation_rate(z),
+                default_run.violation_rate(z));
+  }
+  const double saved = default_run.total_energy_kwh() - dt_run.total_energy_kwh();
+  if (saved >= 0.0) {
+    std::printf("\nenergy saved by the verified DT building-wide: %.1f kWh/month (%.1f%%)\n"
+                "(the single-zone Fig. 4 saving, replicated across every zone; the DT\n"
+                "policy carries no zone identity, so one verified tree serves all five)\n",
+                saved, 100.0 * saved / default_run.total_energy_kwh());
+  } else {
+    std::printf("\nthe verified DT spends %.1f kWh/month more than the stock schedule;\n"
+                "inspect the per-zone rates above — zones whose thermal load differs\n"
+                "most from the extraction zone are where a cloned policy pays, and\n"
+                "per-zone extraction (one pipeline per zone) recovers the savings.\n",
+                -saved);
+  }
+  return 0;
+}

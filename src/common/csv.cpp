@@ -1,0 +1,104 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace verihvac {
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::vector<double> CsvTable::numeric_column(const std::string& name) const {
+  const std::size_t idx = column_index(name);
+  if (idx == static_cast<std::size_t>(-1)) {
+    throw std::runtime_error("CSV column not found: " + name);
+  }
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (idx >= row.size()) throw std::runtime_error("CSV row too short for " + name);
+    out.push_back(std::stod(row[idx]));
+  }
+  return out;
+}
+
+CsvWriter::CsvWriter(std::string path) : path_(std::move(path)) {}
+
+void CsvWriter::write_header(const std::vector<std::string>& names) { write_row(names); }
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  std::ostringstream os;
+  os.precision(17);  // round-trip exact for doubles
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ',';
+    os << values[i];
+  }
+  os << '\n';
+  buffer_ += os.str();
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& values) {
+  std::string line;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) line += ',';
+    line += values[i];
+  }
+  line += '\n';
+  buffer_ += line;
+}
+
+void CsvWriter::flush() {
+  std::ofstream out(path_);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path_);
+  out << buffer_;
+  flushed_ = true;
+}
+
+CsvWriter::~CsvWriter() {
+  if (!flushed_) {
+    try {
+      flush();
+    } catch (...) {
+      // Destructors must not throw; a failed best-effort flush is dropped.
+    }
+  }
+}
+
+CsvTable read_csv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV: " + path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ls(line);
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    if (first && has_header) {
+      table.header = std::move(cells);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(cells));
+      first = false;
+    }
+  }
+  return table;
+}
+
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows) {
+  CsvWriter writer(path);
+  writer.write_header(header);
+  for (const auto& row : rows) writer.write_row(row);
+  writer.flush();
+}
+
+}  // namespace verihvac

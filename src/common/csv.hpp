@@ -1,0 +1,51 @@
+// Tiny CSV reader/writer for experiment artifacts.
+//
+// The benches dump their series (and the pipeline can persist decision
+// datasets / historical data) as plain CSV so results can be plotted with
+// any external tool. Only the subset of CSV needed here is implemented:
+// comma separation, optional header row, no quoting of commas.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace verihvac {
+
+/// In-memory CSV table: a header plus rows of string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t column_index(const std::string& name) const;  // npos if absent
+  /// Column by name converted to double (throws on bad cell).
+  std::vector<double> numeric_column(const std::string& name) const;
+};
+
+/// Writer that streams rows to a file.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::string path);
+  void write_header(const std::vector<std::string>& names);
+  void write_row(const std::vector<double>& values);
+  void write_row(const std::vector<std::string>& values);
+  /// Flushes buffered content to disk. Also called by the destructor.
+  void flush();
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  std::string path_;
+  std::string buffer_;
+  bool flushed_ = false;
+};
+
+/// Parses a CSV file; `has_header` controls whether the first row is the header.
+CsvTable read_csv(const std::string& path, bool has_header = true);
+
+/// Serializes a numeric matrix (rows of equal width) with header names.
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows);
+
+}  // namespace verihvac

@@ -1,0 +1,78 @@
+#include "common/interval.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace verihvac {
+
+Interval Interval::all() { return Interval{}; }
+
+Interval Interval::at_most(double t) {
+  Interval iv;
+  iv.hi = t;
+  return iv;
+}
+
+Interval Interval::greater(double t) {
+  Interval iv;
+  iv.lo = t;
+  return iv;
+}
+
+Interval Interval::bounded(double lo, double hi) { return Interval{lo, hi}; }
+
+double Interval::width() const {
+  if (empty()) return 0.0;
+  return hi - lo;
+}
+
+Interval Interval::intersect(const Interval& other) const {
+  return Interval{std::max(lo, other.lo), std::min(hi, other.hi)};
+}
+
+std::string Interval::to_string() const {
+  std::ostringstream os;
+  os << "[" << lo << ", " << hi << "]";
+  return os.str();
+}
+
+bool Box::empty() const {
+  for (const auto& iv : dims_) {
+    if (iv.empty()) return true;
+  }
+  return false;
+}
+
+bool Box::contains(const std::vector<double>& x) const {
+  assert(x.size() == dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (!dims_[i].contains(x[i])) return false;
+  }
+  return true;
+}
+
+void Box::clip(std::size_t dim, const Interval& iv) {
+  assert(dim < dims_.size());
+  dims_[dim] = dims_[dim].intersect(iv);
+}
+
+Box Box::intersect(const Box& other) const {
+  assert(size() == other.size());
+  Box out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = dims_[i].intersect(other[i]);
+  return out;
+}
+
+std::string Box::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << " x ";
+    os << dims_[i].to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace verihvac

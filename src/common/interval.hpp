@@ -1,0 +1,59 @@
+// Interval and axis-aligned box arithmetic.
+//
+// Algorithm 1 of the paper ("decision path verification") intersects the
+// half-space constraints along every root-to-leaf path of the decision tree
+// into an axis-aligned box over the policy input space, then asks whether
+// that box reaches the unsafe regions (zone temperature above/below the
+// comfort range). These types implement exactly that computation.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace verihvac {
+
+/// A closed-ish interval [lo, hi). Decision-tree splits are of the form
+/// `x <= t` (left) / `x > t` (right); we track lo/hi with the convention
+/// that lo is inclusive and hi is inclusive as well — at the precision of
+/// the verification queries the boundary measure is irrelevant, but keeping
+/// both endpoints makes the box algebra simple and conservative.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  static Interval all();
+  static Interval at_most(double t);   // (-inf, t]
+  static Interval greater(double t);   // (t, +inf) — stored as [t, inf) with open_lo
+  static Interval bounded(double lo, double hi);
+
+  bool empty() const { return lo > hi; }
+  bool contains(double x) const { return x >= lo && x <= hi; }
+  double width() const;
+  Interval intersect(const Interval& other) const;
+  std::string to_string() const;
+};
+
+/// Axis-aligned box over an n-dimensional input space.
+class Box {
+ public:
+  Box() = default;
+  explicit Box(std::size_t dims) : dims_(dims, Interval::all()) {}
+
+  std::size_t size() const { return dims_.size(); }
+  Interval& operator[](std::size_t i) { return dims_[i]; }
+  const Interval& operator[](std::size_t i) const { return dims_[i]; }
+
+  bool empty() const;
+  bool contains(const std::vector<double>& x) const;
+  /// Intersects dimension `dim` with `iv` in place.
+  void clip(std::size_t dim, const Interval& iv);
+  Box intersect(const Box& other) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<Interval> dims_;
+};
+
+}  // namespace verihvac

@@ -1,0 +1,27 @@
+// Small dense linear solves used by the thermal-network integrator.
+//
+// The backward-Euler step of the RC network requires solving
+// (I - dt * C^-1 * K) x = b for a ~10x10 system every substep; partial-pivot
+// Gaussian elimination is exact, allocation-light and fast at that size.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace verihvac {
+
+/// Solves A x = b with partial pivoting. A must be square, b.size()==A.rows().
+/// Throws std::runtime_error on a (numerically) singular matrix.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Returns the identity matrix of size n.
+Matrix identity(std::size_t n);
+
+/// Euclidean norm of a vector.
+double norm2(const std::vector<double>& v);
+
+/// Dot product (asserts equal sizes).
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace verihvac

@@ -1,0 +1,42 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+#include "common/config.hpp"
+
+namespace verihvac {
+namespace {
+
+LogLevel parse_level(const std::string& raw) {
+  if (raw == "debug") return LogLevel::kDebug;
+  if (raw == "warn") return LogLevel::kWarn;
+  if (raw == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel& threshold_storage() {
+  static LogLevel level = parse_level(env_or("VERI_HVAC_LOG", "info"));
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return threshold_storage(); }
+
+void set_log_threshold(LogLevel level) { threshold_storage() = level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace verihvac

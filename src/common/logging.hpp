@@ -1,0 +1,61 @@
+// Leveled stderr logging.
+//
+// Kept intentionally minimal: experiments are batch jobs, so a
+// timestamp-free leveled logger with an env-controlled threshold
+// (VERI_HVAC_LOG=debug|info|warn|error, default info) is all that is needed.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace verihvac {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold, initialized once from VERI_HVAC_LOG.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename Head, typename... Tail>
+void format_into(std::ostringstream& os, const Head& head, const Tail&... tail) {
+  os << head;
+  format_into(os, tail...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_threshold() > LogLevel::kDebug) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_message(LogLevel::kDebug, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_threshold() > LogLevel::kInfo) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_message(LogLevel::kInfo, os.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_threshold() > LogLevel::kWarn) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_message(LogLevel::kWarn, os.str());
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_message(LogLevel::kError, os.str());
+}
+
+}  // namespace verihvac

@@ -1,0 +1,66 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components in the library (weather synthesis, random
+// shooting, Monte-Carlo verification, data augmentation) draw from this
+// generator so that every experiment is reproducible from a single seed.
+//
+// The engine is xoshiro256++ seeded through SplitMix64, which is the
+// recommended initialization of the xoshiro family. It is small, fast and
+// has no measurable bias for the sample counts used here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace verihvac {
+
+/// xoshiro256++ PRNG with convenience distributions.
+///
+/// The class satisfies the essentials of UniformRandomBitGenerator so it
+/// can also be handed to <random> utilities if ever needed, but the
+/// built-in distributions below are preferred: they are guaranteed to be
+/// identical across standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the engine via SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Raw 64 random bits.
+  result_type operator()() { return next(); }
+  result_type next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi);
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+  /// Standard normal via Box-Muller (cached second deviate).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Bernoulli draw.
+  bool bernoulli(double p);
+  /// Samples an index proportionally to non-negative `weights`.
+  /// Falls back to uniform if all weights are zero.
+  std::size_t categorical(const std::vector<double>& weights);
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child stream (for parallel-safe substreams).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace verihvac

@@ -1,0 +1,179 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace verihvac {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 1) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return std::sqrt(sum / static_cast<double>(xs.size()));
+}
+
+double min_of(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::vector<double> xs, double q) {
+  assert(!xs.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(bins > 0 && hi > lo);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+std::vector<double> Histogram::pmf() const {
+  std::vector<double> p(counts_.size(), 0.0);
+  if (total_ == 0) {
+    const double u = 1.0 / static_cast<double>(counts_.size());
+    std::fill(p.begin(), p.end(), u);
+    return p;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return p;
+}
+
+double entropy_bits(const std::vector<double>& pmf) {
+  double h = 0.0;
+  for (double p : pmf) {
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double kl_divergence_bits(const std::vector<double>& p, const std::vector<double>& q) {
+  assert(p.size() == q.size());
+  constexpr double kEps = 1e-12;
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > 0.0) d += p[i] * std::log2(p[i] / std::max(q[i], kEps));
+  }
+  return d;
+}
+
+double jensen_shannon_distance(const std::vector<double>& p, const std::vector<double>& q) {
+  assert(p.size() == q.size());
+  std::vector<double> m(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  const double js = 0.5 * kl_divergence_bits(p, m) + 0.5 * kl_divergence_bits(q, m);
+  // Numerical noise can push js infinitesimally negative; clamp before sqrt.
+  return std::sqrt(std::max(js, 0.0));
+}
+
+namespace {
+
+// Shared-support histogram bounds across both samples for one dimension.
+std::pair<double, double> joint_range(const std::vector<std::vector<double>>& a,
+                                      const std::vector<std::vector<double>>& b,
+                                      std::size_t dim) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& row : a) {
+    lo = std::min(lo, row[dim]);
+    hi = std::max(hi, row[dim]);
+  }
+  for (const auto& row : b) {
+    lo = std::min(lo, row[dim]);
+    hi = std::max(hi, row[dim]);
+  }
+  if (!(hi > lo)) hi = lo + 1.0;  // degenerate constant dimension
+  return {lo, hi};
+}
+
+}  // namespace
+
+double mean_marginal_jsd(const std::vector<std::vector<double>>& a,
+                         const std::vector<std::vector<double>>& b,
+                         std::size_t bins) {
+  assert(!a.empty() && !b.empty() && a.front().size() == b.front().size());
+  const std::size_t dims = a.front().size();
+  double total = 0.0;
+  for (std::size_t dim = 0; dim < dims; ++dim) {
+    const auto [lo, hi] = joint_range(a, b, dim);
+    Histogram ha(lo, hi, bins);
+    Histogram hb(lo, hi, bins);
+    for (const auto& row : a) ha.add(row[dim]);
+    for (const auto& row : b) hb.add(row[dim]);
+    total += jensen_shannon_distance(ha.pmf(), hb.pmf());
+  }
+  return total / static_cast<double>(dims);
+}
+
+double sum_marginal_entropy(const std::vector<std::vector<double>>& a, std::size_t bins) {
+  assert(!a.empty());
+  const std::size_t dims = a.front().size();
+  double total = 0.0;
+  for (std::size_t dim = 0; dim < dims; ++dim) {
+    const auto [lo, hi] = joint_range(a, a, dim);
+    Histogram h(lo, hi, bins);
+    for (const auto& row : a) h.add(row[dim]);
+    total += entropy_bits(h.pmf());
+  }
+  return total;
+}
+
+}  // namespace verihvac

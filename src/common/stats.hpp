@@ -1,0 +1,97 @@
+// Descriptive statistics, histograms, information entropy and
+// Jensen-Shannon distance.
+//
+// These back two parts of the paper:
+//  * the Fig. 3 noise-level calibration (entropy + JSD between historical
+//    input distributions), and
+//  * the Fig. 1 / Fig. 5 setpoint-distribution analyses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace verihvac {
+
+/// Running summary of a scalar sample (Welford's algorithm; numerically
+/// stable for long simulations).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+/// Population standard deviation (divides by n); 0 for n < 1.
+double stddev(const std::vector<double>& xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+/// Linear-interpolated quantile, q in [0,1].
+double quantile(std::vector<double> xs, double q);
+
+/// Fixed-width histogram over [lo, hi] with `bins` bins. Values outside the
+/// range are clamped into the boundary bins (the distributions compared in
+/// Fig. 3 share a common support, so clamping only affects extreme noise).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Center of bin `i`.
+  double bin_center(std::size_t i) const;
+  /// Normalized probability mass per bin (sums to 1; empty -> uniform).
+  std::vector<double> pmf() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Shannon entropy of a probability mass function, in bits.
+/// Zero-probability bins contribute nothing.
+double entropy_bits(const std::vector<double>& pmf);
+
+/// Kullback-Leibler divergence KL(p || q) in bits. Bins where p>0 and q==0
+/// are smoothed with a tiny epsilon so the result stays finite (matching
+/// the common practice for empirical histograms).
+double kl_divergence_bits(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Jensen-Shannon *distance* (the square root of the JS divergence, base-2),
+/// bounded in [0, 1]. This is the metric reported in Fig. 3 of the paper.
+double jensen_shannon_distance(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Mean of per-dimension JSDs between two multivariate samples, where each
+/// dimension is histogrammed over the union of both supports. This is the
+/// tractable product-marginal approximation used for the 6-D input
+/// distributions (binning the joint space is exactly the O(n^5) blow-up the
+/// paper avoids).
+double mean_marginal_jsd(const std::vector<std::vector<double>>& a,
+                         const std::vector<std::vector<double>>& b,
+                         std::size_t bins);
+
+/// Sum of per-dimension entropies (bits) of a multivariate sample under the
+/// same product-marginal approximation.
+double sum_marginal_entropy(const std::vector<std::vector<double>>& a, std::size_t bins);
+
+}  // namespace verihvac

@@ -1,0 +1,36 @@
+// ASCII table rendering for bench/example output.
+//
+// Every bench prints the same rows/series the paper reports; this helper
+// keeps the formatting consistent (aligned columns, optional title) so
+// the harness output is directly comparable to the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace verihvac {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = "");
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with `precision` decimals.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  std::string render() const;
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string format_double(double value, int precision = 3);
+
+}  // namespace verihvac

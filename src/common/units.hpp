@@ -1,0 +1,36 @@
+// Physical constants and unit helpers shared by the thermal simulator.
+//
+// Everything internal is SI (seconds, watts, joules, kelvin-sized Celsius
+// deltas); the only conversions are at reporting boundaries (kWh) and for
+// the 15-minute control step the paper uses.
+#pragma once
+
+namespace verihvac {
+
+/// Seconds in one control step (the paper actuates setpoints every 15 min).
+inline constexpr double kControlStepSeconds = 15.0 * 60.0;
+
+/// Control steps per simulated day.
+inline constexpr int kStepsPerDay = 96;
+
+/// Control steps per hour.
+inline constexpr int kStepsPerHour = 4;
+
+/// Joules per kilowatt-hour.
+inline constexpr double kJoulesPerKwh = 3.6e6;
+
+/// Specific heat capacity of air [J/(kg*K)].
+inline constexpr double kAirSpecificHeat = 1005.0;
+
+/// Density of air at room conditions [kg/m^3].
+inline constexpr double kAirDensity = 1.2;
+
+/// Converts joules to kilowatt-hours.
+inline constexpr double joules_to_kwh(double joules) { return joules / kJoulesPerKwh; }
+
+/// Converts a power (W) sustained for `seconds` into kWh.
+inline constexpr double watts_to_kwh(double watts, double seconds) {
+  return joules_to_kwh(watts * seconds);
+}
+
+}  // namespace verihvac

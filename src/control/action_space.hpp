@@ -1,0 +1,52 @@
+// Discrete setpoint action space.
+//
+// Per the paper: the heating setpoint is an integer in [15, 23] degC and
+// the cooling setpoint an integer in [21, 30] degC, so the action is a
+// 2-dim integer pair. We additionally enforce heating <= cooling (a crossed
+// pair is physically contradictory and every real BMS rejects it), giving
+// 87 valid joint actions. The decision tree classifies over the indices of
+// this enumeration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "thermosim/hvac.hpp"
+
+namespace verihvac::control {
+
+struct ActionSpaceConfig {
+  int heat_min = 15;
+  int heat_max = 23;
+  int cool_min = 21;
+  int cool_max = 30;
+  bool enforce_heat_le_cool = true;
+};
+
+class ActionSpace {
+ public:
+  explicit ActionSpace(ActionSpaceConfig config = {});
+
+  std::size_t size() const { return actions_.size(); }
+  const sim::SetpointPair& action(std::size_t index) const { return actions_.at(index); }
+  const std::vector<sim::SetpointPair>& actions() const { return actions_; }
+
+  /// Index of the valid action closest (L1) to an arbitrary pair; exact
+  /// lookups hit their own index.
+  std::size_t nearest_index(const sim::SetpointPair& pair) const;
+
+  /// True if the pair lies exactly on the valid grid.
+  bool contains(const sim::SetpointPair& pair) const;
+
+  /// "h=21/c=24"-style label for reports.
+  std::string label(std::size_t index) const;
+
+  const ActionSpaceConfig& config() const { return config_; }
+
+ private:
+  ActionSpaceConfig config_;
+  std::vector<sim::SetpointPair> actions_;
+};
+
+}  // namespace verihvac::control

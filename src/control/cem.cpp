@@ -1,0 +1,87 @@
+#include "control/cem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace verihvac::control {
+
+Cem::Cem(CemConfig config, const ActionSpace& actions, env::RewardConfig reward)
+    : config_(config),
+      actions_(actions),
+      reward_(reward),
+      scorer_(RandomShootingConfig{1, config.horizon, config.gamma}, actions, reward) {
+  if (config_.samples == 0 || config_.horizon == 0 || config_.iterations == 0) {
+    throw std::invalid_argument("Cem: samples/horizon/iterations must be positive");
+  }
+  if (config_.elite_fraction <= 0.0 || config_.elite_fraction > 1.0) {
+    throw std::invalid_argument("Cem: elite_fraction must lie in (0, 1]");
+  }
+  if (config_.initial_sigma <= 0.0 || config_.min_sigma < 0.0) {
+    throw std::invalid_argument("Cem: sigma settings must be positive");
+  }
+}
+
+std::size_t Cem::optimize(const dyn::DynamicsModel& model, const env::Observation& obs,
+                          const std::vector<env::Disturbance>& forecast, Rng& rng) const {
+  if (forecast.size() < config_.horizon) {
+    throw std::invalid_argument("Cem: forecast shorter than horizon");
+  }
+  const auto& grid = actions_.config();
+  const std::size_t n_elite = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.elite_fraction * static_cast<double>(config_.samples)));
+
+  // Per-step Gaussians over continuous (heat, cool) setpoints.
+  std::vector<double> mean_heat(config_.horizon, 0.5 * (grid.heat_min + grid.heat_max));
+  std::vector<double> mean_cool(config_.horizon, 0.5 * (grid.cool_min + grid.cool_max));
+  std::vector<double> sigma_heat(config_.horizon, config_.initial_sigma);
+  std::vector<double> sigma_cool(config_.horizon, config_.initial_sigma);
+
+  std::vector<std::vector<std::size_t>> samples(config_.samples,
+                                                std::vector<std::size_t>(config_.horizon));
+  std::vector<double> returns(config_.samples);
+  std::vector<std::size_t> order(config_.samples);
+
+  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    for (std::size_t s = 0; s < config_.samples; ++s) {
+      for (std::size_t t = 0; t < config_.horizon; ++t) {
+        sim::SetpointPair draw;
+        draw.heating_c = rng.normal(mean_heat[t], sigma_heat[t]);
+        draw.cooling_c = rng.normal(mean_cool[t], sigma_cool[t]);
+        samples[s][t] = actions_.nearest_index(draw);
+      }
+      returns[s] = scorer_.rollout_return(model, obs, forecast, samples[s]);
+    }
+
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n_elite),
+                      order.end(),
+                      [&](std::size_t a, std::size_t b) { return returns[a] > returns[b]; });
+
+    // Refit mean/std to the elites (on the snapped discrete sequences, so
+    // the distribution contracts onto realizable actions).
+    for (std::size_t t = 0; t < config_.horizon; ++t) {
+      double heat_sum = 0.0, cool_sum = 0.0;
+      for (std::size_t e = 0; e < n_elite; ++e) {
+        const sim::SetpointPair a = actions_.action(samples[order[e]][t]);
+        heat_sum += a.heating_c;
+        cool_sum += a.cooling_c;
+      }
+      const double n = static_cast<double>(n_elite);
+      mean_heat[t] = heat_sum / n;
+      mean_cool[t] = cool_sum / n;
+      double heat_var = 0.0, cool_var = 0.0;
+      for (std::size_t e = 0; e < n_elite; ++e) {
+        const sim::SetpointPair a = actions_.action(samples[order[e]][t]);
+        heat_var += (a.heating_c - mean_heat[t]) * (a.heating_c - mean_heat[t]);
+        cool_var += (a.cooling_c - mean_cool[t]) * (a.cooling_c - mean_cool[t]);
+      }
+      sigma_heat[t] = std::max(config_.min_sigma, std::sqrt(heat_var / n));
+      sigma_cool[t] = std::max(config_.min_sigma, std::sqrt(cool_var / n));
+    }
+  }
+  return actions_.nearest_index(sim::SetpointPair{mean_heat.front(), mean_cool.front()});
+}
+
+}  // namespace verihvac::control

@@ -1,0 +1,44 @@
+// Cross-Entropy Method (CEM) optimizer.
+//
+// The third member of the shooting family, completing the optimizer
+// ablation (RS = one-shot uniform, MPPI = softmax-reweighted refinement,
+// CEM = elite-fraction refinement). Each iteration samples sequences from
+// a per-step Gaussian over continuous setpoints, scores them with the
+// shared discounted Eq. 2 return, and refits mean/std to the top
+// elite_fraction of samples. Widely used as the planning optimizer in
+// MBRL (PETS, PlaNet); included so bench/ablation_optimizer can ask
+// whether the paper's choice of RS for distillation matters.
+#pragma once
+
+#include "control/random_shooting.hpp"
+
+namespace verihvac::control {
+
+struct CemConfig {
+  std::size_t samples = 200;       ///< rollouts per iteration
+  std::size_t horizon = 20;
+  std::size_t iterations = 4;
+  double gamma = 0.99;
+  double elite_fraction = 0.1;     ///< top fraction refit per iteration
+  double initial_sigma = 4.0;      ///< degC; covers the setpoint grids
+  double min_sigma = 0.3;          ///< floor keeps late iterations exploring
+};
+
+class Cem {
+ public:
+  Cem(CemConfig config, const ActionSpace& actions, env::RewardConfig reward);
+
+  /// Returns the chosen first-action index.
+  std::size_t optimize(const dyn::DynamicsModel& model, const env::Observation& obs,
+                       const std::vector<env::Disturbance>& forecast, Rng& rng) const;
+
+  const CemConfig& config() const { return config_; }
+
+ private:
+  CemConfig config_;
+  ActionSpace actions_;  ///< by value: a pointer would dangle on temporaries
+  env::RewardConfig reward_;
+  RandomShooting scorer_;  ///< reuses rollout_return
+};
+
+}  // namespace verihvac::control

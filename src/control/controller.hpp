@@ -1,0 +1,35 @@
+// Controller interface shared by every agent in the evaluation.
+//
+// act() receives the current observation and a perfect disturbance forecast
+// over the controller's planning horizon (rule-based and DT controllers
+// simply ignore the forecast). The contract mirrors how Sinergym drives
+// agents: one setpoint-pair decision per 15-minute step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "envlib/observation.hpp"
+#include "thermosim/hvac.hpp"
+
+namespace verihvac::control {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Chooses the setpoint pair to actuate for the next step.
+  virtual sim::SetpointPair act(const env::Observation& obs,
+                                const std::vector<env::Disturbance>& forecast) = 0;
+
+  /// Number of forecast steps this controller wants (0 = none).
+  virtual std::size_t forecast_horizon() const { return 0; }
+
+  /// Display name for result tables.
+  virtual std::string name() const = 0;
+
+  /// Resets internal state between episodes (default: nothing).
+  virtual void reset() {}
+};
+
+}  // namespace verihvac::control

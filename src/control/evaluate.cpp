@@ -1,0 +1,30 @@
+#include "control/evaluate.hpp"
+
+namespace verihvac::control {
+
+env::EpisodeMetrics run_episode(env::BuildingEnv& env, Controller& controller,
+                                EpisodeTrace* trace) {
+  env::EpisodeMetrics metrics;
+  controller.reset();
+  env::Observation obs = env.reset();
+
+  const std::size_t horizon = controller.forecast_horizon();
+  bool done = false;
+  while (!done) {
+    const std::vector<env::Disturbance> forecast = env.forecast(horizon);
+    const sim::SetpointPair action = controller.act(obs, forecast);
+    const env::StepOutcome outcome = env.step(action);
+    metrics.add(outcome);
+    if (trace != nullptr) {
+      trace->zone_temps.push_back(outcome.observation.zone_temp_c);
+      trace->actions.push_back(action);
+      trace->rewards.push_back(outcome.reward);
+      trace->occupied.push_back(outcome.occupied);
+    }
+    obs = outcome.observation;
+    done = outcome.done;
+  }
+  return metrics;
+}
+
+}  // namespace verihvac::control

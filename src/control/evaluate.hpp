@@ -1,0 +1,26 @@
+// Episode evaluation driver: runs a controller through a full environment
+// episode and accumulates the paper's metrics (energy, violation rate).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "envlib/env.hpp"
+#include "envlib/metrics.hpp"
+
+namespace verihvac::control {
+
+struct EpisodeTrace {
+  std::vector<double> zone_temps;
+  std::vector<sim::SetpointPair> actions;
+  std::vector<double> rewards;
+  std::vector<bool> occupied;
+};
+
+/// Resets env + controller and runs to episode end. If `trace` is non-null,
+/// per-step series are recorded into it.
+env::EpisodeMetrics run_episode(env::BuildingEnv& env, Controller& controller,
+                                EpisodeTrace* trace = nullptr);
+
+}  // namespace verihvac::control

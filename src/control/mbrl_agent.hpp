@@ -1,0 +1,53 @@
+// MBRL agent — the MB2C [9] baseline ("MBRL_agent" in Fig. 4).
+//
+// Learned dynamics model + random-shooting optimizer, re-planned every
+// step. Exposes action_distribution(), the Monte-Carlo histogram of the
+// optimizer's first-action choices used both for the Fig. 1 stochasticity
+// analysis and for the modal-action distillation of §3.2.1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "control/controller.hpp"
+#include "control/random_shooting.hpp"
+
+namespace verihvac::control {
+
+class MbrlAgent final : public Controller {
+ public:
+  /// The agent borrows (does not own) the trained model.
+  MbrlAgent(const dyn::DynamicsModel& model, RandomShootingConfig rs_config,
+            ActionSpace actions, env::RewardConfig reward, std::uint64_t seed = 101);
+
+  sim::SetpointPair act(const env::Observation& obs,
+                        const std::vector<env::Disturbance>& forecast) override;
+  std::size_t forecast_horizon() const override { return rs_.config().horizon; }
+  std::string name() const override { return "MBRL"; }
+  void reset() override;
+
+  /// Runs the stochastic optimizer `repeats` times on the same input and
+  /// returns the empirical count per action index (size = action space).
+  std::vector<std::size_t> action_distribution(const env::Observation& obs,
+                                               const std::vector<env::Disturbance>& forecast,
+                                               std::size_t repeats);
+
+  /// Single optimizer invocation (one stochastic decision).
+  std::size_t decide_once(const env::Observation& obs,
+                          const std::vector<env::Disturbance>& forecast);
+
+  const ActionSpace& actions() const { return actions_; }
+  const dyn::DynamicsModel& model() const { return *model_; }
+  /// The underlying optimizer (rollout_return is reused by the VIPER
+  /// extension to estimate per-action values for criticality weights).
+  const RandomShooting& optimizer() const { return rs_; }
+
+ private:
+  const dyn::DynamicsModel* model_;
+  ActionSpace actions_;
+  RandomShooting rs_;
+  Rng rng_;
+  std::uint64_t seed_;
+};
+
+}  // namespace verihvac::control

@@ -1,0 +1,71 @@
+#include "control/mppi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace verihvac::control {
+
+Mppi::Mppi(MppiConfig config, const ActionSpace& actions, env::RewardConfig reward)
+    : config_(config),
+      actions_(actions),
+      reward_(reward),
+      scorer_(RandomShootingConfig{1, config.horizon, config.gamma}, actions, reward) {
+  if (config_.samples == 0 || config_.horizon == 0 || config_.iterations == 0) {
+    throw std::invalid_argument("Mppi: samples/horizon/iterations must be positive");
+  }
+}
+
+std::size_t Mppi::optimize(const dyn::DynamicsModel& model, const env::Observation& obs,
+                           const std::vector<env::Disturbance>& forecast, Rng& rng) const {
+  if (forecast.size() < config_.horizon) {
+    throw std::invalid_argument("Mppi: forecast shorter than horizon");
+  }
+  const auto& grid = actions_.config();
+
+  // Nominal sequence in continuous setpoint space, initialized mid-range.
+  std::vector<sim::SetpointPair> nominal(
+      config_.horizon,
+      sim::SetpointPair{0.5 * (grid.heat_min + grid.heat_max),
+                        0.5 * (grid.cool_min + grid.cool_max)});
+
+  std::vector<std::vector<std::size_t>> samples(config_.samples,
+                                                std::vector<std::size_t>(config_.horizon));
+  std::vector<double> returns(config_.samples);
+
+  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    for (std::size_t s = 0; s < config_.samples; ++s) {
+      for (std::size_t t = 0; t < config_.horizon; ++t) {
+        sim::SetpointPair perturbed;
+        perturbed.heating_c = nominal[t].heating_c + config_.noise_sigma * rng.normal();
+        perturbed.cooling_c = nominal[t].cooling_c + config_.noise_sigma * rng.normal();
+        samples[s][t] = actions_.nearest_index(perturbed);
+      }
+      returns[s] = scorer_.rollout_return(model, obs, forecast, samples[s]);
+    }
+    // Importance weights: exp((R - max) / lambda).
+    const double max_return = *std::max_element(returns.begin(), returns.end());
+    double weight_sum = 0.0;
+    std::vector<double> weights(config_.samples);
+    for (std::size_t s = 0; s < config_.samples; ++s) {
+      weights[s] = std::exp((returns[s] - max_return) / config_.lambda);
+      weight_sum += weights[s];
+    }
+    // Weighted mean over the sampled (discrete) sequences becomes the new
+    // continuous nominal.
+    for (std::size_t t = 0; t < config_.horizon; ++t) {
+      double heat = 0.0;
+      double cool = 0.0;
+      for (std::size_t s = 0; s < config_.samples; ++s) {
+        const sim::SetpointPair a = actions_.action(samples[s][t]);
+        heat += weights[s] * a.heating_c;
+        cool += weights[s] * a.cooling_c;
+      }
+      nominal[t].heating_c = heat / weight_sum;
+      nominal[t].cooling_c = cool / weight_sum;
+    }
+  }
+  return actions_.nearest_index(nominal.front());
+}
+
+}  // namespace verihvac::control

@@ -1,0 +1,41 @@
+// Model Predictive Path Integral (MPPI) optimizer.
+//
+// The second stochastic optimizer the paper cites (via CLUE [1]): an
+// iterative importance-weighted refinement. Each iteration perturbs the
+// nominal sequence with integer-rounded Gaussian noise, scores rollouts
+// with the same discounted Eq. 2 return as RS, and re-weights with
+// exp(return / lambda). Included for completeness and as an ablation of the
+// optimizer choice; the headline experiments use RS, as the paper does.
+#pragma once
+
+#include "control/random_shooting.hpp"
+
+namespace verihvac::control {
+
+struct MppiConfig {
+  std::size_t samples = 200;    ///< rollouts per iteration
+  std::size_t horizon = 20;
+  std::size_t iterations = 3;
+  double gamma = 0.99;
+  double lambda = 1.0;          ///< softmax temperature over returns
+  double noise_sigma = 2.0;     ///< degC perturbation of setpoints
+};
+
+class Mppi {
+ public:
+  Mppi(MppiConfig config, const ActionSpace& actions, env::RewardConfig reward);
+
+  /// Returns the chosen first-action index.
+  std::size_t optimize(const dyn::DynamicsModel& model, const env::Observation& obs,
+                       const std::vector<env::Disturbance>& forecast, Rng& rng) const;
+
+  const MppiConfig& config() const { return config_; }
+
+ private:
+  MppiConfig config_;
+  ActionSpace actions_;  ///< by value: a pointer would dangle on temporaries
+  env::RewardConfig reward_;
+  RandomShooting scorer_;  ///< reuses rollout_return
+};
+
+}  // namespace verihvac::control

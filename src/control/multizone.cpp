@@ -1,0 +1,45 @@
+#include "control/multizone.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace verihvac::control {
+
+MultiZoneCoordinator::MultiZoneCoordinator(
+    std::vector<std::shared_ptr<Controller>> zone_controllers)
+    : controllers_(std::move(zone_controllers)) {
+  if (controllers_.empty()) {
+    throw std::invalid_argument("MultiZoneCoordinator: at least one zone required");
+  }
+  for (const auto& controller : controllers_) {
+    if (!controller) throw std::invalid_argument("MultiZoneCoordinator: null controller");
+  }
+}
+
+std::size_t MultiZoneCoordinator::forecast_horizon() const {
+  std::size_t horizon = 0;
+  for (const auto& controller : controllers_) {
+    horizon = std::max(horizon, controller->forecast_horizon());
+  }
+  return horizon;
+}
+
+std::vector<sim::SetpointPair> MultiZoneCoordinator::act(
+    const std::vector<env::Observation>& observations,
+    const std::vector<env::Disturbance>& forecast) {
+  if (observations.size() != controllers_.size()) {
+    throw std::invalid_argument("MultiZoneCoordinator::act: one observation per zone");
+  }
+  std::vector<sim::SetpointPair> actions;
+  actions.reserve(controllers_.size());
+  for (std::size_t z = 0; z < controllers_.size(); ++z) {
+    actions.push_back(controllers_[z]->act(observations[z], forecast));
+  }
+  return actions;
+}
+
+void MultiZoneCoordinator::reset() {
+  for (const auto& controller : controllers_) controller->reset();
+}
+
+}  // namespace verihvac::control

@@ -1,0 +1,41 @@
+// Whole-building coordination of per-zone controllers.
+//
+// Dispatches one Controller per zone against the MultiZoneEnv: each zone's
+// controller sees its own observation (its zone temperature + the shared
+// disturbances) and returns that zone's setpoint pair. Because the policy
+// input (s, d) carries no zone identity, a single verified DT policy can
+// be cloned across all zones, or zone-specific policies can be mixed with
+// the default schedule (e.g. DT in perimeter zones, schedule in the core).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "control/controller.hpp"
+
+namespace verihvac::control {
+
+class MultiZoneCoordinator {
+ public:
+  /// One controller per zone, in zone-index order. Throws on empty input
+  /// or null entries.
+  explicit MultiZoneCoordinator(std::vector<std::shared_ptr<Controller>> zone_controllers);
+
+  std::size_t zone_count() const { return controllers_.size(); }
+  Controller& zone_controller(std::size_t z) { return *controllers_.at(z); }
+
+  /// Largest forecast horizon requested by any zone controller.
+  std::size_t forecast_horizon() const;
+
+  /// One decision per zone. `observations` must have zone_count() entries;
+  /// the forecast is shared (disturbances are building-wide).
+  std::vector<sim::SetpointPair> act(const std::vector<env::Observation>& observations,
+                                     const std::vector<env::Disturbance>& forecast);
+
+  void reset();
+
+ private:
+  std::vector<std::shared_ptr<Controller>> controllers_;
+};
+
+}  // namespace verihvac::control

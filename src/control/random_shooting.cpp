@@ -1,0 +1,85 @@
+#include "control/random_shooting.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace verihvac::control {
+
+RandomShooting::RandomShooting(RandomShootingConfig config, const ActionSpace& actions,
+                               env::RewardConfig reward)
+    : config_(config), actions_(actions), reward_(reward) {
+  if (config_.samples == 0 || config_.horizon == 0) {
+    throw std::invalid_argument("RandomShooting: samples and horizon must be positive");
+  }
+}
+
+double RandomShooting::rollout_return(const dyn::DynamicsModel& model,
+                                      const env::Observation& obs,
+                                      const std::vector<env::Disturbance>& forecast,
+                                      const std::vector<std::size_t>& action_sequence) const {
+  assert(forecast.size() >= action_sequence.size());
+  std::vector<double> x = obs.to_vector();
+  double discount = 1.0;
+  double total = 0.0;
+  for (std::size_t t = 0; t < action_sequence.size(); ++t) {
+    const sim::SetpointPair action = actions_.action(action_sequence[t]);
+    const double next_temp = model.predict(x, action);
+    // r(f_hat(s_t, d_t, a_t), a_t): comfort of the predicted state plus the
+    // energy proxy of the action taken, weighted by occupancy at step t.
+    const bool occupied = x[env::kOccupancy] > 0.5;
+    total += discount * env::reward(reward_, next_temp, action, occupied);
+    discount *= config_.gamma;
+
+    // Advance the input to step t+1: predicted state + forecast disturbances.
+    const env::Disturbance& d = forecast[t];
+    x[env::kZoneTemp] = next_temp;
+    x[env::kOutdoorTemp] = d.weather.outdoor_temp_c;
+    x[env::kHumidity] = d.weather.humidity_pct;
+    x[env::kWind] = d.weather.wind_mps;
+    x[env::kSolar] = d.weather.solar_wm2;
+    x[env::kOccupancy] = d.occupants;
+  }
+  return total;
+}
+
+std::size_t RandomShooting::optimize(const dyn::DynamicsModel& model,
+                                     const env::Observation& obs,
+                                     const std::vector<env::Disturbance>& forecast,
+                                     Rng& rng) const {
+  if (forecast.size() < config_.horizon) {
+    throw std::invalid_argument("RandomShooting: forecast shorter than horizon");
+  }
+  std::vector<std::size_t> sequence(config_.horizon);
+  std::vector<std::size_t> best_sequence(config_.horizon, 0);
+  double best_return = -std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    if (rng.bernoulli(config_.persistent_fraction)) {
+      sequence.assign(config_.horizon, rng.index(actions_.size()));
+    } else {
+      for (auto& a : sequence) a = rng.index(actions_.size());
+    }
+    const double value = rollout_return(model, obs, forecast, sequence);
+    if (value > best_return) {
+      best_return = value;
+      best_sequence = sequence;
+    }
+  }
+
+  if (config_.refine_first_action) {
+    // Coordinate-descent pass on the executed action: tail fixed, first
+    // action enumerated exhaustively.
+    sequence = best_sequence;
+    for (std::size_t a = 0; a < actions_.size(); ++a) {
+      sequence.front() = a;
+      const double value = rollout_return(model, obs, forecast, sequence);
+      if (value > best_return) {
+        best_return = value;
+        best_sequence.front() = a;
+      }
+    }
+  }
+  return best_sequence.front();
+}
+
+}  // namespace verihvac::control

@@ -1,0 +1,11 @@
+#include "control/rule_based.hpp"
+
+namespace verihvac::control {
+
+sim::SetpointPair RuleBasedController::act(const env::Observation& obs,
+                                           const std::vector<env::Disturbance>& forecast) {
+  (void)forecast;
+  return obs.occupants > 0.5 ? occupied_ : unoccupied_;
+}
+
+}  // namespace verihvac::control

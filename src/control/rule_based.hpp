@@ -1,0 +1,26 @@
+// The building's default rule-based controller (baseline "default_agent").
+//
+// Mirrors the Sinergym 5Zone default schedule: comfort setpoints while the
+// zone is occupied, deep setback while unoccupied. Zero computation at
+// decision time — the reference point of the Table 3 overhead comparison.
+#pragma once
+
+#include "control/controller.hpp"
+
+namespace verihvac::control {
+
+class RuleBasedController final : public Controller {
+ public:
+  RuleBasedController(sim::SetpointPair occupied, sim::SetpointPair unoccupied)
+      : occupied_(occupied), unoccupied_(unoccupied) {}
+
+  sim::SetpointPair act(const env::Observation& obs,
+                        const std::vector<env::Disturbance>& forecast) override;
+  std::string name() const override { return "default"; }
+
+ private:
+  sim::SetpointPair occupied_;
+  sim::SetpointPair unoccupied_;
+};
+
+}  // namespace verihvac::control

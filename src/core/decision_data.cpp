@@ -1,0 +1,132 @@
+#include "core/decision_data.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace verihvac::core {
+
+std::vector<std::vector<double>> DecisionDataset::inputs() const {
+  std::vector<std::vector<double>> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.input);
+  return out;
+}
+
+std::vector<int> DecisionDataset::labels() const {
+  std::vector<int> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(static_cast<int>(r.action_index));
+  return out;
+}
+
+DecisionDataset DecisionDataset::prefix(std::size_t n) const {
+  DecisionDataset out;
+  const std::size_t count = std::min(n, records.size());
+  out.records.assign(records.begin(), records.begin() + static_cast<long>(count));
+  return out;
+}
+
+AugmentedSampler::AugmentedSampler(Matrix historical, double noise_level)
+    : historical_(std::move(historical)), noise_level_(noise_level) {
+  if (historical_.rows() == 0) {
+    throw std::invalid_argument("AugmentedSampler: empty historical data");
+  }
+  if (noise_level < 0.0) {
+    throw std::invalid_argument("AugmentedSampler: negative noise level");
+  }
+  // Per-dimension population std (Eq. 5's sqrt(sum (x_i - mean)^2 / |X|)).
+  const std::size_t dims = historical_.cols();
+  stds_.assign(dims, 0.0);
+  std::vector<double> means(dims, 0.0);
+  for (std::size_t r = 0; r < historical_.rows(); ++r) {
+    for (std::size_t c = 0; c < dims; ++c) means[c] += historical_(r, c);
+  }
+  for (double& m : means) m /= static_cast<double>(historical_.rows());
+  for (std::size_t r = 0; r < historical_.rows(); ++r) {
+    for (std::size_t c = 0; c < dims; ++c) {
+      const double d = historical_(r, c) - means[c];
+      stds_[c] += d * d;
+    }
+  }
+  for (double& s : stds_) s = std::sqrt(s / static_cast<double>(historical_.rows()));
+}
+
+std::pair<std::vector<double>, std::size_t> AugmentedSampler::sample(Rng& rng) const {
+  const std::size_t row = rng.index(historical_.rows());
+  std::vector<double> x = historical_.row(row);
+  for (std::size_t c = 0; c < x.size(); ++c) {
+    x[c] += rng.normal(0.0, noise_level_ * stds_[c]);
+  }
+  // Physical clamps (indices per envlib/observation.hpp layout).
+  if (x.size() == env::kInputDims) {
+    x[env::kHumidity] = std::clamp(x[env::kHumidity], 0.0, 100.0);
+    x[env::kWind] = std::max(0.0, x[env::kWind]);
+    x[env::kSolar] = std::max(0.0, x[env::kSolar]);
+    x[env::kOccupancy] = std::max(0.0, x[env::kOccupancy]);
+  }
+  return {std::move(x), row};
+}
+
+std::vector<std::vector<double>> AugmentedSampler::sample_many(std::size_t n, Rng& rng) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(rng).first);
+  return out;
+}
+
+DecisionDataGenerator::DecisionDataGenerator(const dyn::TransitionDataset& historical,
+                                             DecisionDataConfig config)
+    : historical_(&historical),
+      historical_inputs_(historical.policy_inputs()),
+      config_(config),
+      sampler_(historical_inputs_, config.noise_level) {
+  if (config_.mc_repeats == 0) {
+    throw std::invalid_argument("DecisionDataGenerator: mc_repeats must be positive");
+  }
+}
+
+std::vector<env::Disturbance> DecisionDataGenerator::forecast_from(std::size_t row,
+                                                                   std::size_t h) const {
+  std::vector<env::Disturbance> forecast;
+  forecast.reserve(h);
+  for (std::size_t k = 1; k <= h; ++k) {
+    const std::size_t idx = std::min(row + k, historical_->size() - 1);
+    const auto& input = historical_->at(idx).input;
+    env::Disturbance d;
+    d.weather.outdoor_temp_c = input[env::kOutdoorTemp];
+    d.weather.humidity_pct = input[env::kHumidity];
+    d.weather.wind_mps = input[env::kWind];
+    d.weather.solar_wm2 = input[env::kSolar];
+    d.occupants = input[env::kOccupancy];
+    forecast.push_back(d);
+  }
+  return forecast;
+}
+
+DecisionDataset DecisionDataGenerator::generate(control::MbrlAgent& agent,
+                                                std::size_t n_points) {
+  DecisionDataset dataset;
+  dataset.records.reserve(n_points);
+  Rng rng(config_.seed);
+
+  const std::size_t horizon = agent.forecast_horizon();
+  for (std::size_t i = 0; i < n_points; ++i) {
+    auto [x, row] = sampler_.sample(rng);
+    const env::Observation obs = env::Observation::from_vector(x);
+    const std::vector<env::Disturbance> forecast = forecast_from(row, horizon);
+
+    const std::vector<std::size_t> counts =
+        agent.action_distribution(obs, forecast, config_.mc_repeats);
+    dataset.records.push_back(DecisionRecord{std::move(x), modal_index(counts)});
+  }
+  return dataset;
+}
+
+std::size_t modal_index(const std::vector<std::size_t>& counts) {
+  if (counts.empty()) throw std::invalid_argument("modal_index: empty counts");
+  return static_cast<std::size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace verihvac::core

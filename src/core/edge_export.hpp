@@ -1,0 +1,40 @@
+// Verified-policy export for building edge devices.
+//
+// The deployment step of the paper's pipeline (Fig. 2: "Deploy") ships the
+// verified tree to the building's edge controller. This module renders a
+// DtPolicy as a complete, dependency-free C99 module: the tree predictor
+// (tree/codegen) plus the action-space decode tables, wrapped in a single
+// `void <prefix>_decide(const double x[6], double* heat, double* cool)`
+// entry point a BMS firmware can call once per control step.
+//
+// The emitted module is what the verifier certified: the C tree is emitted
+// from the *corrected* node array, so criteria #2/#3 guarantees survive
+// deployment verbatim (property-tested in tests/tree/codegen_test.cpp by
+// compiling and replaying).
+#pragma once
+
+#include <string>
+
+#include "core/dt_policy.hpp"
+#include "tree/codegen.hpp"
+
+namespace verihvac::core {
+
+struct EdgeExportOptions {
+  /// Symbol prefix; the entry point is `<prefix>_decide`.
+  std::string prefix = "veri_hvac";
+  /// Table style keeps code size constant in tree depth (MCU-friendly).
+  tree::CodegenStyle style = tree::CodegenStyle::kFlatTable;
+};
+
+/// The matching header (extern prototype + input-layout documentation).
+std::string policy_to_c_header(const DtPolicy& policy, const EdgeExportOptions& options = {});
+
+/// A self-contained C99 translation unit implementing the policy.
+std::string policy_to_c(const DtPolicy& policy, const EdgeExportOptions& options = {});
+
+/// Writes `<dir>/<prefix>.c` and `<dir>/<prefix>.h`; throws on I/O failure.
+void export_policy_c(const DtPolicy& policy, const std::string& dir,
+                     const EdgeExportOptions& options = {});
+
+}  // namespace verihvac::core

@@ -1,0 +1,121 @@
+#include "core/interpret.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "envlib/observation.hpp"
+
+namespace verihvac::core {
+namespace {
+
+std::string dim_name(std::size_t dim) {
+  const auto& names = env::input_dim_names();
+  if (dim < names.size()) return names[dim];
+  return "x[" + std::to_string(dim) + "]";
+}
+
+}  // namespace
+
+std::string Explanation::to_string() const {
+  std::ostringstream out;
+  out << "decision: heating " << action.heating_c << " degC / cooling "
+      << action.cooling_c << " degC" << (corrected ? " (verifier-corrected leaf)" : "")
+      << "\nbecause:\n";
+  if (steps.empty()) {
+    out << "  (single-leaf policy: every input maps to this decision)\n";
+  }
+  for (const auto& step : steps) {
+    out << "  " << step.variable << " = " << step.value
+        << (step.went_left ? " <= " : " > ") << step.threshold << "\n";
+  }
+  return out.str();
+}
+
+Explanation explain(const DtPolicy& policy, const std::vector<double>& x,
+                    const std::vector<int>& corrected_leaves) {
+  const auto& tree = policy.tree();
+  const int leaf = tree.decision_leaf(x);
+
+  Explanation result;
+  for (const tree::PathStep& step : tree.path_to(leaf)) {
+    const tree::TreeNode& node = tree.node(static_cast<std::size_t>(step.node));
+    ExplanationStep rendered;
+    rendered.variable = dim_name(static_cast<std::size_t>(node.feature));
+    rendered.threshold = node.threshold;
+    rendered.went_left = step.went_left;
+    rendered.value = x.at(static_cast<std::size_t>(node.feature));
+    result.steps.push_back(std::move(rendered));
+  }
+  result.action_index =
+      static_cast<std::size_t>(tree.node(static_cast<std::size_t>(leaf)).label);
+  result.action = policy.actions().action(result.action_index);
+  result.corrected = std::find(corrected_leaves.begin(), corrected_leaves.end(), leaf) !=
+                     corrected_leaves.end();
+  return result;
+}
+
+std::vector<double> feature_importance(const DtPolicy& policy) {
+  const auto& tree = policy.tree();
+  std::vector<double> importance(tree.num_features(), 0.0);
+  double total = 0.0;
+  for (const tree::TreeNode& node : tree.nodes()) {
+    if (node.is_leaf()) continue;
+    const double weight = static_cast<double>(std::max<std::size_t>(node.samples, 1));
+    importance[static_cast<std::size_t>(node.feature)] += weight;
+    total += weight;
+  }
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+std::string feature_importance_report(const DtPolicy& policy) {
+  const std::vector<double> importance = feature_importance(policy);
+  std::vector<std::size_t> order(importance.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return importance[a] > importance[b]; });
+
+  std::ostringstream out;
+  out << "feature importance (split-sample weighted):\n";
+  for (std::size_t dim : order) {
+    out << "  " << dim_name(dim) << ": " << importance[dim] << "\n";
+  }
+  return out.str();
+}
+
+std::vector<ActionCoverage> policy_summary(const DtPolicy& policy) {
+  const auto& tree = policy.tree();
+  std::vector<ActionCoverage> coverage(policy.actions().size());
+  for (std::size_t i = 0; i < coverage.size(); ++i) {
+    coverage[i].action_index = i;
+    coverage[i].action = policy.actions().action(i);
+  }
+  for (int leaf : tree.leaves()) {
+    const tree::TreeNode& node = tree.node(static_cast<std::size_t>(leaf));
+    const auto label = static_cast<std::size_t>(node.label);
+    if (label >= coverage.size()) continue;
+    ++coverage[label].leaves;
+    coverage[label].samples += node.samples;
+  }
+  return coverage;
+}
+
+std::string policy_summary_report(const DtPolicy& policy) {
+  std::vector<ActionCoverage> coverage = policy_summary(policy);
+  std::sort(coverage.begin(), coverage.end(),
+            [](const ActionCoverage& a, const ActionCoverage& b) {
+              return a.samples > b.samples;
+            });
+  std::ostringstream out;
+  out << "policy summary (decisions by training-sample coverage):\n";
+  for (const auto& entry : coverage) {
+    if (entry.leaves == 0) continue;
+    out << "  heat " << entry.action.heating_c << " / cool " << entry.action.cooling_c
+        << ": " << entry.leaves << " leaves, " << entry.samples << " samples\n";
+  }
+  return out.str();
+}
+
+}  // namespace verihvac::core

@@ -1,0 +1,73 @@
+// Interpretability reports for decision-tree policies.
+//
+// The paper's central selling point is that the extracted policy is
+// "fully interpretable and knowledgeable to human experts" (§3.2.2).
+// This module turns that claim into concrete artifacts:
+//
+//  * explain(x)          — the root-to-leaf decision path for one input,
+//                          rendered as the chain of physical-variable
+//                          comparisons that produced the setpoint ("why
+//                          did the controller pick 15 °C at 3 am?"),
+//  * feature_importance  — which input variables the policy actually
+//                          consults, weighted by training-sample counts
+//                          (the CART analogue of sklearn's
+//                          feature_importances_),
+//  * policy_summary      — compact per-action statistics: how much of
+//                          the input space (in box volume over the
+//                          historical ranges) each setpoint decision
+//                          covers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dt_policy.hpp"
+
+namespace verihvac::core {
+
+/// One comparison along a decision path.
+struct ExplanationStep {
+  std::string variable;   ///< physical name, e.g. "Zone Air Temperature"
+  double threshold = 0.0;
+  bool went_left = true;  ///< true: value <= threshold, false: value > threshold
+  double value = 0.0;     ///< the input's actual value
+};
+
+/// The full explanation of one decision.
+struct Explanation {
+  std::vector<ExplanationStep> steps;
+  std::size_t action_index = 0;
+  sim::SetpointPair action;
+  bool corrected = false;  ///< leaf was edited by the formal verifier
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+};
+
+/// Explains the policy's decision on input `x`. `corrected_leaves` (from
+/// FormalReport::findings) marks decisions that came from verifier edits.
+Explanation explain(const DtPolicy& policy, const std::vector<double>& x,
+                    const std::vector<int>& corrected_leaves = {});
+
+/// Normalized split-frequency importance per input dimension, weighted by
+/// the number of training samples that passed through each split. Sums to
+/// 1 unless the tree is a single leaf (then all zeros).
+std::vector<double> feature_importance(const DtPolicy& policy);
+
+/// Importances rendered with variable names, sorted descending.
+std::string feature_importance_report(const DtPolicy& policy);
+
+/// Per-action coverage: fraction of leaves (and of training samples)
+/// that decide each action. Indexed by action, entries with zero leaves
+/// are omitted from the report.
+struct ActionCoverage {
+  std::size_t action_index = 0;
+  sim::SetpointPair action;
+  std::size_t leaves = 0;
+  std::size_t samples = 0;
+};
+
+std::vector<ActionCoverage> policy_summary(const DtPolicy& policy);
+std::string policy_summary_report(const DtPolicy& policy);
+
+}  // namespace verihvac::core

@@ -1,0 +1,132 @@
+#include "core/interval_verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "dynamics/dataset.hpp"
+#include "envlib/observation.hpp"
+#include "nn/interval_bounds.hpp"
+
+namespace verihvac::core {
+namespace {
+
+/// z-score is a monotone affine map per dimension, so an interval's image
+/// is the interval of the endpoint images.
+std::vector<Interval> normalize_box(const nn::Normalizer& norm, const Box& box) {
+  std::vector<Interval> out(box.size());
+  for (std::size_t d = 0; d < box.size(); ++d) {
+    const double mean = norm.mean()[d];
+    const double std = norm.std()[d];
+    out[d] = Interval{(box[d].lo - mean) / std, (box[d].hi - mean) / std};
+  }
+  return out;
+}
+
+}  // namespace
+
+Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_input_box) {
+  if (!model.trained()) throw std::logic_error("interval_next_state: model not trained");
+  if (model_input_box.size() != dyn::kModelInputDims) {
+    throw std::invalid_argument("interval_next_state: box must have 8 dims");
+  }
+  for (std::size_t d = 0; d < model_input_box.size(); ++d) {
+    if (model_input_box[d].empty()) {
+      throw std::invalid_argument("interval_next_state: empty box dimension");
+    }
+    if (!std::isfinite(model_input_box[d].lo) || !std::isfinite(model_input_box[d].hi)) {
+      throw std::invalid_argument(
+          "interval_next_state: unbounded box (clip to DisturbanceBounds first)");
+    }
+  }
+  const auto normalized = normalize_box(model.input_normalizer(), model_input_box);
+  const auto net_out = nn::propagate_bounds(model.network(), normalized);
+  // predict(x) = x[s] + delta_mean + delta_std * net(norm(x)); delta_std > 0.
+  const Interval delta{model.delta_mean() + model.delta_std() * net_out[0].lo,
+                       model.delta_mean() + model.delta_std() * net_out[0].hi};
+  const Interval& s = model_input_box[env::kZoneTemp];
+  return Interval{s.lo + delta.lo, s.hi + delta.hi};
+}
+
+namespace {
+
+/// Splits [iv.lo, iv.hi] into contiguous slices of width <= max_width.
+std::vector<Interval> slice(const Interval& iv, double max_width) {
+  const double width = iv.hi - iv.lo;
+  const auto n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(width / std::max(max_width, 1e-9))));
+  std::vector<Interval> out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lo = iv.lo + width * static_cast<double>(k) / static_cast<double>(n);
+    const double hi = iv.lo + width * static_cast<double>(k + 1) / static_cast<double>(n);
+    out.push_back(Interval{lo, hi});
+  }
+  return out;
+}
+
+}  // namespace
+
+IntervalReport verify_interval_one_step(const DtPolicy& policy,
+                                        const dyn::DynamicsModel& model,
+                                        const VerificationCriteria& criteria,
+                                        const DisturbanceBounds& bounds,
+                                        const IntervalVerifyConfig& config) {
+  const auto& tree = policy.tree();
+  IntervalReport report;
+  for (int leaf : tree.leaves()) {
+    ++report.leaves_total;
+    Box box = tree.leaf_box(leaf);
+    // Subject region of criterion #1: occupied AND inside the comfort
+    // range AND inside the certificate's climate envelope. A leaf whose
+    // region lies entirely outside any of these (e.g. it requires more
+    // solar than the envelope admits) is out of the certificate's scope.
+    box.clip(env::kZoneTemp, Interval::bounded(criteria.comfort.lo, criteria.comfort.hi));
+    box.clip(env::kOccupancy, Interval::greater(0.5));
+    box.clip(env::kOccupancy, bounds.occupancy);
+    box.clip(env::kOutdoorTemp, bounds.outdoor);
+    box.clip(env::kHumidity, bounds.humidity);
+    box.clip(env::kWind, bounds.wind);
+    box.clip(env::kSolar, bounds.solar);
+    if (box.empty()) continue;
+    ++report.leaves_subject;
+
+    // Append the leaf's action as degenerate interval dimensions.
+    const auto label =
+        static_cast<std::size_t>(tree.node(static_cast<std::size_t>(leaf)).label);
+    const sim::SetpointPair action = policy.actions().action(label);
+    Box model_box(dyn::kModelInputDims);
+    for (std::size_t d = 0; d < env::kInputDims; ++d) model_box.clip(d, box[d]);
+    model_box.clip(dyn::kHeatSpIndex, Interval::bounded(action.heating_c, action.heating_c));
+    model_box.clip(dyn::kCoolSpIndex, Interval::bounded(action.cooling_c, action.cooling_c));
+
+    IntervalLeafResult result;
+    result.leaf = leaf;
+    result.zone_temp = box[env::kZoneTemp];
+    result.certified = true;
+    result.next_state = Interval{std::numeric_limits<double>::infinity(),
+                                 -std::numeric_limits<double>::infinity()};
+    for (const Interval& s_cell : slice(model_box[env::kZoneTemp], config.zone_slice_c)) {
+      for (const Interval& o_cell :
+           slice(model_box[env::kOutdoorTemp], config.outdoor_slice_c)) {
+        Box cell = model_box;
+        cell.clip(env::kZoneTemp, s_cell);
+        cell.clip(env::kOutdoorTemp, o_cell);
+        const Interval image = interval_next_state(model, cell);
+        ++result.cells;
+        const bool cell_ok =
+            image.lo >= criteria.comfort.lo && image.hi <= criteria.comfort.hi;
+        if (cell_ok) ++result.cells_certified;
+        result.certified = result.certified && cell_ok;
+        result.next_state.lo = std::min(result.next_state.lo, image.lo);
+        result.next_state.hi = std::max(result.next_state.hi, image.hi);
+      }
+    }
+    if (result.certified) ++report.leaves_certified;
+    report.results.push_back(result);
+  }
+  return report;
+}
+
+}  // namespace verihvac::core

@@ -1,0 +1,88 @@
+// Formal (interval) one-step safety certification — extension of §3.3.2.
+//
+// The paper estimates criterion #1 probabilistically by Monte-Carlo
+// sampling. This module adds the sound counterpart: for every leaf of the
+// verified tree that handles occupied in-comfort states, build the leaf's
+// exact input box (Algorithm 1's path intersection), attach the leaf's
+// setpoint action, push the resulting 8-dim box through the learned MLP
+// dynamics with interval bound propagation (nn/interval_bounds), and check
+// whether the *guaranteed* next-state interval stays inside the comfort
+// range. A certified leaf is safe for EVERY input it handles and EVERY
+// disturbance inside the stated physical bounds — a 100% guarantee of the
+// kind criteria #2/#3 already enjoy, now extended to criterion #1's
+// in-comfort regime.
+//
+// IBP bounds are loose on wide boxes, so certification is expected to be
+// partial (the certified fraction is the headline number; the Monte-Carlo
+// estimate remains the paper's metric). bench/ablation_interval sweeps the
+// disturbance-box width to show the certify/abstain frontier.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dt_policy.hpp"
+#include "core/verification.hpp"
+#include "dynamics/dynamics_model.hpp"
+
+namespace verihvac::core {
+
+/// Physical envelope for the disturbance dimensions. Leaf boxes are
+/// unbounded wherever the tree never split, and an MLP's IBP bounds over an
+/// unbounded box are vacuous; these bounds state the climate envelope the
+/// certificate is issued for (they should cover the deployment city's
+/// January extremes with margin).
+struct DisturbanceBounds {
+  Interval outdoor = Interval::bounded(-25.0, 45.0);   ///< degC
+  Interval humidity = Interval::bounded(0.0, 100.0);   ///< %
+  Interval wind = Interval::bounded(0.0, 25.0);        ///< m/s
+  Interval solar = Interval::bounded(0.0, 1100.0);     ///< W/m^2
+  Interval occupancy = Interval::bounded(0.0, 40.0);   ///< people
+};
+
+/// Input-splitting configuration. IBP looseness grows with box width, so a
+/// leaf spanning the whole comfort range rarely certifies in one shot; the
+/// verifier therefore subdivides the two most influential dimensions (zone
+/// and outdoor temperature) into slices, certifies each cell independently,
+/// and certifies the leaf iff every cell certifies — the branch-and-bound
+/// step every practical NN verifier performs.
+struct IntervalVerifyConfig {
+  double zone_slice_c = 0.5;     ///< max width of a zone-temperature slice
+  double outdoor_slice_c = 5.0;  ///< max width of an outdoor-temperature slice
+};
+
+/// Outcome for one subject leaf.
+struct IntervalLeafResult {
+  int leaf = -1;
+  Interval zone_temp;    ///< in-comfort part of the leaf's s-interval
+  Interval next_state;   ///< union of per-cell sound one-step images
+  std::size_t cells = 0;           ///< input-splitting cells examined
+  std::size_t cells_certified = 0; ///< cells whose image stays in comfort
+  bool certified = false;          ///< all cells certified
+};
+
+struct IntervalReport {
+  std::size_t leaves_total = 0;      ///< all leaves of the tree
+  std::size_t leaves_subject = 0;    ///< reachable occupied + in-comfort
+  std::size_t leaves_certified = 0;  ///< sound next-state inside comfort
+  std::vector<IntervalLeafResult> results;
+
+  double certified_fraction() const {
+    return leaves_subject == 0
+               ? 1.0
+               : static_cast<double>(leaves_certified) / static_cast<double>(leaves_subject);
+  }
+};
+
+/// Sound one-step next-state interval for an arbitrary 8-dim model-input
+/// box (exposed for tests and the ablation bench).
+Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_input_box);
+
+/// Certifies every subject leaf of the policy. The model must be trained.
+IntervalReport verify_interval_one_step(const DtPolicy& policy,
+                                        const dyn::DynamicsModel& model,
+                                        const VerificationCriteria& criteria,
+                                        const DisturbanceBounds& bounds = {},
+                                        const IntervalVerifyConfig& config = {});
+
+}  // namespace verihvac::core

@@ -1,0 +1,55 @@
+#include "core/policy_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "tree/tree_io.hpp"
+
+namespace verihvac::core {
+
+void write_policy(const DtPolicy& policy, std::ostream& out) {
+  const control::ActionSpaceConfig& grid = policy.actions().config();
+  out << "verihvac-policy v1\n"
+      << grid.heat_min << ' ' << grid.heat_max << ' ' << grid.cool_min << ' ' << grid.cool_max
+      << ' ' << (grid.enforce_heat_le_cool ? 1 : 0) << '\n';
+  tree::write_tree(policy.tree(), out);
+}
+
+DtPolicy read_policy(std::istream& in, const std::string& context) {
+  std::string magic;
+  std::string version;
+  in >> magic >> version;
+  if (magic != "verihvac-policy" || version != "v1") {
+    throw std::runtime_error("read_policy: bad header in " + context);
+  }
+  control::ActionSpaceConfig grid;
+  int enforce = 1;
+  in >> grid.heat_min >> grid.heat_max >> grid.cool_min >> grid.cool_max >> enforce;
+  if (!in) throw std::runtime_error("read_policy: truncated action space in " + context);
+  grid.enforce_heat_le_cool = enforce != 0;
+
+  control::ActionSpace actions(grid);  // validates the grid itself
+  tree::DecisionTreeClassifier tree = tree::read_tree(in, context);
+  if (tree.num_classes() != actions.size()) {
+    throw std::runtime_error("read_policy: tree classes (" +
+                             std::to_string(tree.num_classes()) +
+                             ") do not match the embedded action space (" +
+                             std::to_string(actions.size()) + ") in " + context);
+  }
+  return DtPolicy(std::move(tree), std::move(actions));
+}
+
+void save_policy(const DtPolicy& policy, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_policy: cannot open " + path);
+  write_policy(policy, out);
+  if (!out.flush()) throw std::runtime_error("save_policy: write failed for " + path);
+}
+
+DtPolicy load_policy(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_policy: cannot open " + path);
+  return read_policy(in, path);
+}
+
+}  // namespace verihvac::core

@@ -1,0 +1,32 @@
+// Policy-bundle serialization: the deployable artifact.
+//
+// A decision tree alone is not a policy — decoding its class labels needs
+// the action-space enumeration it was fitted against (heat/cool grids and
+// the heat <= cool constraint). tree_io's save_tree persists only the
+// tree, which is fine inside one process but deployment-unsafe: loading a
+// tree against a *different* action grid silently re-maps every decision.
+// The bundle format stores both, versioned:
+//
+//   verihvac-policy v1
+//   <heat_min> <heat_max> <cool_min> <cool_max> <enforce_heat_le_cool>
+//   verihvac-tree v1
+//   ...
+//
+// load_policy validates that the embedded tree's class count matches the
+// embedded action space and throws otherwise.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/dt_policy.hpp"
+
+namespace verihvac::core {
+
+void write_policy(const DtPolicy& policy, std::ostream& out);
+DtPolicy read_policy(std::istream& in, const std::string& context = "<stream>");
+
+void save_policy(const DtPolicy& policy, const std::string& path);
+DtPolicy load_policy(const std::string& path);
+
+}  // namespace verihvac::core

@@ -1,0 +1,46 @@
+#include "core/reachability.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "envlib/observation.hpp"
+
+namespace verihvac::core {
+
+ReachabilityResult reach_tube(const DtPolicy& policy, const dyn::DynamicsModel& model,
+                              const std::vector<double>& x0,
+                              const std::vector<env::Disturbance>& disturbances,
+                              std::size_t horizon) {
+  if (x0.size() != env::kInputDims) {
+    throw std::invalid_argument("reach_tube: x0 must be the 6-dim policy input");
+  }
+  ReachabilityResult result;
+  result.zone_temps.reserve(horizon + 1);
+  std::vector<double> x = x0;
+  result.zone_temps.push_back(x[env::kZoneTemp]);
+
+  for (std::size_t k = 0; k < horizon; ++k) {
+    const sim::SetpointPair action = policy.decide(x);
+    const double next_temp = model.predict(x, action);
+    x[env::kZoneTemp] = next_temp;
+    if (!disturbances.empty()) {
+      const env::Disturbance& d =
+          disturbances[std::min(k, disturbances.size() - 1)];
+      x[env::kOutdoorTemp] = d.weather.outdoor_temp_c;
+      x[env::kHumidity] = d.weather.humidity_pct;
+      x[env::kWind] = d.weather.wind_mps;
+      x[env::kSolar] = d.weather.solar_wm2;
+      x[env::kOccupancy] = d.occupants;
+    }
+    result.zone_temps.push_back(next_temp);
+  }
+  result.min_temp = *std::min_element(result.zone_temps.begin(), result.zone_temps.end());
+  result.max_temp = *std::max_element(result.zone_temps.begin(), result.zone_temps.end());
+  return result;
+}
+
+void check_within(ReachabilityResult& result, double lo, double hi) {
+  result.within = result.min_temp >= lo && result.max_temp <= hi;
+}
+
+}  // namespace verihvac::core

@@ -1,0 +1,37 @@
+// Forward reachability tube — Eq. 3 of the paper.
+//
+// R+(s0)|H_pi = the states reachable within H steps when the policy pi is
+// rolled through the learned dynamics model f_hat. Disturbances follow a
+// provided sequence (typically a historical continuation). Used by the
+// probabilistic verifier, the equivalence property tests, and as a
+// standalone analysis tool (e.g. "where can the zone be in 5 hours?").
+#pragma once
+
+#include <vector>
+
+#include "core/dt_policy.hpp"
+#include "dynamics/dynamics_model.hpp"
+
+namespace verihvac::core {
+
+struct ReachabilityResult {
+  std::vector<double> zone_temps;  ///< s_0 .. s_H (H+1 entries)
+  double min_temp = 0.0;
+  double max_temp = 0.0;
+  /// True if every state along the tube stayed within [lo, hi] — filled by
+  /// check_within.
+  bool within = false;
+};
+
+/// Rolls the tube from `x0` (6-dim input) for `horizon` steps. `disturbances`
+/// supplies the exogenous inputs at steps 1..horizon (shorter sequences are
+/// extended by repeating the last entry; empty = persistence of x0).
+ReachabilityResult reach_tube(const DtPolicy& policy, const dyn::DynamicsModel& model,
+                              const std::vector<double>& x0,
+                              const std::vector<env::Disturbance>& disturbances,
+                              std::size_t horizon);
+
+/// Marks result.within for a given comfort band.
+void check_within(ReachabilityResult& result, double lo, double hi);
+
+}  // namespace verihvac::core

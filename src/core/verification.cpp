@@ -1,0 +1,224 @@
+#include "core/verification.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "envlib/observation.hpp"
+
+namespace verihvac::core {
+namespace {
+
+/// Does this leaf's box intersect the occupied half-space? Criteria #2/#3
+/// guard *occupied-hours* temperature control (§3.1); unoccupied-only
+/// leaves (deep setback at night) are exempt by design — correcting them
+/// would force night-time heating the comfort criterion never asks for.
+bool reaches_occupied(const Box& box) {
+  return box[env::kOccupancy].hi > 0.5;
+}
+
+/// Function-preserving refinement pass: every occupied-reaching leaf whose
+/// zone-temperature interval straddles a comfort boundary is split at that
+/// boundary (children inherit the label, so the policy is unchanged).
+/// Newly created out-of-comfort leaves are re-examined, so a leaf spanning
+/// both boundaries ends up split into three aligned segments.
+void refine_straddling(DtPolicy& policy, const env::ComfortRange& comfort) {
+  auto& tree = policy.mutable_tree();
+  std::vector<int> pending = tree.leaves();
+  while (!pending.empty()) {
+    const int leaf = pending.back();
+    pending.pop_back();
+    const Box box = tree.leaf_box(leaf);
+    if (box.empty() || !reaches_occupied(box)) continue;
+    const Interval temp = box[env::kZoneTemp];
+    const bool subject = temp.lo < comfort.lo || temp.hi > comfort.hi;
+    if (!subject) continue;
+    // A leaf that handles both unoccupied and occupied inputs is split on
+    // occupancy first: only its occupied side is subject to #2/#3, and
+    // correcting the whole leaf would overwrite the (exempt) night-setback
+    // behaviour. CART rarely learns this split on its own, because the
+    // historical data contains almost no occupied out-of-comfort states to
+    // create a label conflict.
+    // Strict: the closed-box representation stores the occupied child of a
+    // previous occupancy split as [0.5, hi], and re-splitting that child at
+    // 0.5 would recurse forever (its "occupied side" is again [0.5, hi]).
+    if (box[env::kOccupancy].lo < 0.5) {
+      const auto [left, right] = tree.split_leaf(leaf, env::kOccupancy, 0.5);
+      (void)left;
+      pending.push_back(right);
+      continue;
+    }
+    // Split at the low boundary first; the right child may still straddle
+    // the high boundary and is pushed back for re-examination.
+    if (temp.lo < comfort.lo && temp.hi > comfort.lo) {
+      const auto [left, right] = tree.split_leaf(leaf, env::kZoneTemp, comfort.lo);
+      (void)left;
+      pending.push_back(right);
+    } else if (temp.lo < comfort.hi && temp.hi > comfort.hi) {
+      const auto [left, right] = tree.split_leaf(leaf, env::kZoneTemp, comfort.hi);
+      (void)left;
+      (void)right;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t correction_action(const control::ActionSpace& actions,
+                              const env::ComfortRange& comfort) {
+  const double median = comfort.median();
+  return actions.nearest_index(sim::SetpointPair{median, median});
+}
+
+FormalReport verify_formal(DtPolicy& policy, const VerificationCriteria& criteria,
+                           bool correct) {
+  const auto& tree = policy.tree();
+  const auto& actions = policy.actions();
+  const double z_lo = criteria.comfort.lo;
+  const double z_hi = criteria.comfort.hi;
+  const std::size_t fix_action = correction_action(actions, criteria.comfort);
+
+  if (criteria.refine_straddling_leaves) {
+    refine_straddling(policy, criteria.comfort);
+  }
+
+  FormalReport report;
+  for (int leaf : tree.leaves()) {
+    ++report.leaves_total;
+    const Box box = tree.leaf_box(leaf);
+    if (box.empty() || !reaches_occupied(box)) continue;
+
+    const Interval temp = box[env::kZoneTemp];
+    LeafFinding finding;
+    finding.leaf = leaf;
+
+    const auto label = static_cast<std::size_t>(
+        tree.node(static_cast<std::size_t>(leaf)).label);
+    const sim::SetpointPair action = actions.action(label);
+
+    // Criterion #2: the leaf can be reached with s > z_hi.
+    if (temp.hi > z_hi) {
+      finding.subject_crit2 = true;
+      ++report.leaves_subject_crit2;
+      // Worst case (smallest) temperature inside the too-warm region.
+      const double inf_warm = std::max(temp.lo, z_hi);
+      if (action.cooling_c > inf_warm) {
+        finding.violates_crit2 = true;
+        ++report.violations_crit2;
+      }
+    }
+    // Criterion #3: the leaf can be reached with s < z_lo.
+    if (temp.lo < z_lo) {
+      finding.subject_crit3 = true;
+      ++report.leaves_subject_crit3;
+      // Worst case (largest) temperature inside the too-cold region.
+      const double sup_cold = std::min(temp.hi, z_lo);
+      if (action.heating_c < sup_cold) {
+        finding.violates_crit3 = true;
+        ++report.violations_crit3;
+      }
+    }
+
+    if (finding.violates_crit2 || finding.violates_crit3) {
+      if (correct) {
+        policy.mutable_tree().set_leaf_label(leaf, static_cast<int>(fix_action));
+        finding.corrected = true;
+        if (finding.violates_crit2) ++report.corrected_crit2;
+        if (finding.violates_crit3) ++report.corrected_crit3;
+      }
+    }
+    if (finding.subject_crit2 || finding.subject_crit3) {
+      report.findings.push_back(finding);
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Applies a historical row's disturbances onto a policy-input vector,
+/// keeping the zone temperature.
+void load_disturbances(std::vector<double>& x, const Matrix& historical, std::size_t row) {
+  const std::size_t idx = std::min(row, historical.rows() - 1);
+  for (std::size_t c = 1; c < env::kInputDims; ++c) x[c] = historical(idx, c);
+}
+
+/// Draws an input that is safe (comfort) and occupied, or throws after too
+/// many rejections (which indicates degenerate historical data).
+std::pair<std::vector<double>, std::size_t> sample_safe_occupied(
+    const AugmentedSampler& sampler, const env::ComfortRange& comfort, Rng& rng) {
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    auto [x, row] = sampler.sample(rng);
+    if (x[env::kOccupancy] > 0.5 && comfort.contains(x[env::kZoneTemp])) {
+      return {std::move(x), row};
+    }
+  }
+  throw std::runtime_error(
+      "probabilistic verification: could not sample a safe occupied state");
+}
+
+}  // namespace
+
+/// Occupancy of the historical continuation at `row + offset` (clamped to
+/// the end of the series). Criterion #1 guards occupied-hours comfort
+/// (§3.1): a successor state after everyone has left the zone is not
+/// subject to the comfort range, so its excursion is not a failure.
+bool continuation_occupied(const Matrix& historical, std::size_t row, std::size_t offset) {
+  const std::size_t idx = std::min(row + offset, historical.rows() - 1);
+  return historical(idx, env::kOccupancy) > 0.5;
+}
+
+ProbabilisticReport verify_probabilistic_one_step(const DtPolicy& policy,
+                                                  const dyn::DynamicsModel& model,
+                                                  const AugmentedSampler& sampler,
+                                                  const VerificationCriteria& criteria,
+                                                  std::size_t n_samples, Rng& rng) {
+  ProbabilisticReport report;
+  const Matrix& historical = sampler.historical();
+  while (report.samples < n_samples) {
+    auto [x, row] = sample_safe_occupied(sampler, criteria.comfort, rng);
+    if (!continuation_occupied(historical, row, 1)) continue;
+    const sim::SetpointPair action = policy.decide(x);
+    const double next_temp = model.predict(x, action);
+    ++report.samples;
+    if (!criteria.comfort.contains(next_temp)) ++report.failures;
+  }
+  report.safe_probability =
+      1.0 - static_cast<double>(report.failures) / static_cast<double>(report.samples);
+  return report;
+}
+
+ProbabilisticReport verify_probabilistic_h_step(const DtPolicy& policy,
+                                                const dyn::DynamicsModel& model,
+                                                const AugmentedSampler& sampler,
+                                                const VerificationCriteria& criteria,
+                                                std::size_t n_samples, Rng& rng) {
+  ProbabilisticReport report;
+  const Matrix& historical = sampler.historical();
+
+  std::size_t trajectories = 0;
+  while (report.samples < n_samples) {
+    auto [x, row] = sample_safe_occupied(sampler, criteria.comfort, rng);
+    ++trajectories;
+    // Roll the reachability tube (Eq. 3) under the policy, classifying each
+    // visited safe occupied state by the safety of its immediate successor
+    // (the counting argument of the §3.3.2 proof).
+    for (std::size_t k = 0; k < criteria.horizon && report.samples < n_samples; ++k) {
+      const bool occupied = x[env::kOccupancy] > 0.5;
+      const bool safe_now = criteria.comfort.contains(x[env::kZoneTemp]);
+      const sim::SetpointPair action = policy.decide(x);
+      const double next_temp = model.predict(x, action);
+      if (occupied && safe_now && continuation_occupied(historical, row, k + 1)) {
+        ++report.samples;
+        if (!criteria.comfort.contains(next_temp)) ++report.failures;
+      }
+      x[env::kZoneTemp] = next_temp;
+      load_disturbances(x, historical, row + k + 1);
+    }
+  }
+  report.safe_probability =
+      1.0 - static_cast<double>(report.failures) / static_cast<double>(report.samples);
+  return report;
+}
+
+}  // namespace verihvac::core

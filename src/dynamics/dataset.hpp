@@ -1,0 +1,72 @@
+// Historical transition dataset T = {(s, d, a, s')}.
+//
+// In the paper this is "historical data ... extracted from the building
+// management systems (BMS)". Here it is collected by running the simulated
+// building under an exploratory controller (the default rule-based schedule
+// mixed with random setpoint excursions), which is the standard MBRL
+// system-identification recipe (MB2C / CLUE do the same on Sinergym).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "envlib/env.hpp"
+
+namespace verihvac::dyn {
+
+/// Model input layout: the 6 observation dims (observation.hpp) followed by
+/// the 2 action dims.
+inline constexpr std::size_t kModelInputDims = env::kInputDims + 2;
+inline constexpr std::size_t kHeatSpIndex = env::kInputDims;      // 6
+inline constexpr std::size_t kCoolSpIndex = env::kInputDims + 1;  // 7
+
+struct Transition {
+  std::vector<double> input;  ///< (s, d) — 6 dims
+  sim::SetpointPair action;
+  double next_zone_temp = 0.0;
+};
+
+class TransitionDataset {
+ public:
+  void add(Transition transition);
+  std::size_t size() const { return transitions_.size(); }
+  bool empty() const { return transitions_.empty(); }
+  const Transition& at(std::size_t i) const { return transitions_.at(i); }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Assembles the (N x 8) model-input matrix.
+  Matrix inputs() const;
+  /// Assembles the (N x 1) target matrix of next zone temperatures.
+  Matrix targets() const;
+  /// The (N x 6) matrix of policy inputs (s, d) — the "historical data
+  /// distribution" that importance sampling in §3.2.1 conditions on.
+  Matrix policy_inputs() const;
+
+  /// Concatenates another dataset.
+  void append(const TransitionDataset& other);
+
+ private:
+  std::vector<Transition> transitions_;
+};
+
+struct CollectionConfig {
+  /// Episodes to run (different weather seeds).
+  std::size_t episodes = 3;
+  /// Probability a step takes a uniformly random valid action instead of
+  /// the schedule action (exploration), while the zone is unoccupied.
+  double exploration_rate = 0.5;
+  /// Exploration while occupied. Kept low: a real BMS log shows mostly
+  /// scheduled operation during occupancy, which concentrates the
+  /// historical (and hence decision-data) distribution on the occupied
+  /// in-comfort region the verification criteria actually guard.
+  double occupied_exploration_rate = 0.15;
+  std::uint64_t seed = 17;
+};
+
+/// Runs the exploratory controller on copies of `env_config` (varying the
+/// weather seed per episode) and records every transition.
+TransitionDataset collect_historical_data(const env::EnvConfig& env_config,
+                                          const CollectionConfig& config);
+
+}  // namespace verihvac::dyn

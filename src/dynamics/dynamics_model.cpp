@@ -1,0 +1,82 @@
+#include "dynamics/dynamics_model.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace verihvac::dyn {
+
+DynamicsModel::DynamicsModel(DynamicsModelConfig config) : config_(std::move(config)) {
+  std::vector<std::size_t> widths;
+  widths.push_back(kModelInputDims);
+  widths.insert(widths.end(), config_.hidden.begin(), config_.hidden.end());
+  widths.push_back(1);
+  network_ = std::make_unique<nn::Mlp>(widths);
+  Rng rng(config_.init_seed);
+  network_->init(rng);
+}
+
+nn::TrainingReport DynamicsModel::train(const TransitionDataset& data) {
+  if (data.empty()) throw std::invalid_argument("DynamicsModel::train: empty dataset");
+
+  const Matrix raw_inputs = data.inputs();
+  input_norm_.fit(raw_inputs);
+  const Matrix inputs = input_norm_.transform(raw_inputs);
+
+  // Targets: normalized temperature delta.
+  Matrix deltas(data.size(), 1);
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    deltas(r, 0) = data.at(r).next_zone_temp - data.at(r).input[env::kZoneTemp];
+  }
+  double mean = 0.0;
+  for (std::size_t r = 0; r < deltas.rows(); ++r) mean += deltas(r, 0);
+  mean /= static_cast<double>(deltas.rows());
+  double var = 0.0;
+  for (std::size_t r = 0; r < deltas.rows(); ++r) {
+    var += (deltas(r, 0) - mean) * (deltas(r, 0) - mean);
+  }
+  delta_mean_ = mean;
+  delta_std_ = std::sqrt(var / static_cast<double>(deltas.rows()));
+  if (delta_std_ < 1e-9) delta_std_ = 1.0;
+  for (std::size_t r = 0; r < deltas.rows(); ++r) {
+    deltas(r, 0) = (deltas(r, 0) - delta_mean_) / delta_std_;
+  }
+
+  const nn::TrainingReport report = nn::train(*network_, inputs, deltas, config_.trainer);
+  trained_ = true;
+  return report;
+}
+
+double DynamicsModel::predict(const std::vector<double>& x,
+                              const sim::SetpointPair& action) const {
+  assert(x.size() == env::kInputDims);
+  scratch_in_.assign(x.begin(), x.end());
+  scratch_in_.push_back(action.heating_c);
+  scratch_in_.push_back(action.cooling_c);
+  return predict_raw(scratch_in_);
+}
+
+double DynamicsModel::predict_raw(const std::vector<double>& model_input) const {
+  if (!trained_) throw std::logic_error("DynamicsModel used before training");
+  assert(model_input.size() == kModelInputDims);
+  const double current_temp = model_input[env::kZoneTemp];
+
+  if (&model_input != &scratch_in_) scratch_in_ = model_input;
+  input_norm_.transform_inplace(scratch_in_);
+  network_->predict(scratch_in_, scratch_a_, scratch_b_);
+  const double delta = scratch_a_[0] * delta_std_ + delta_mean_;
+  return current_temp + delta;
+}
+
+std::vector<double> DynamicsModel::predict_batch(const Matrix& model_inputs) const {
+  std::vector<double> out;
+  out.reserve(model_inputs.rows());
+  for (std::size_t r = 0; r < model_inputs.rows(); ++r) {
+    out.push_back(predict_raw(model_inputs.row(r)));
+  }
+  return out;
+}
+
+}  // namespace verihvac::dyn

@@ -1,0 +1,70 @@
+// Learned thermal-dynamics model f_hat(s, d, a) -> s'.
+//
+// An MLP regressor over normalized inputs. Internally the network predicts
+// the *temperature delta* (s' - s) in normalized space — the standard MBRL
+// trick that makes small one-step residuals well-conditioned — but the
+// public API speaks absolute next-state temperature, exactly like the
+// paper's f_hat.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dynamics/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/normalizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace verihvac::dyn {
+
+struct DynamicsModelConfig {
+  std::vector<std::size_t> hidden = {32, 32};
+  nn::TrainerConfig trainer;  ///< epochs=150, Adam(1e-3, wd 1e-5) — paper §4.1
+  std::uint64_t init_seed = 3;
+};
+
+class DynamicsModel {
+ public:
+  explicit DynamicsModel(DynamicsModelConfig config = {});
+
+  /// Fits normalizers + network on the dataset. Returns the training report.
+  nn::TrainingReport train(const TransitionDataset& data);
+
+  bool trained() const { return trained_; }
+
+  /// Predicts the next zone temperature for one (s, d, a) query.
+  /// `x` is the 6-dim policy input; thread-unsafe (uses internal scratch).
+  double predict(const std::vector<double>& x, const sim::SetpointPair& action) const;
+
+  /// Raw 8-dim model-input variant (columns per dataset.hpp layout).
+  double predict_raw(const std::vector<double>& model_input) const;
+
+  /// Batched prediction for evaluation (rows = 8-dim model inputs).
+  std::vector<double> predict_batch(const Matrix& model_inputs) const;
+
+  const nn::Mlp& network() const { return *network_; }
+  const DynamicsModelConfig& config() const { return config_; }
+
+  // Prediction decomposition (exposed for the interval verifier, which
+  // re-implements predict() in interval arithmetic):
+  //   predict(x) = x[kZoneTemp] + delta_mean + delta_std * net(norm(x)).
+  const nn::Normalizer& input_normalizer() const { return input_norm_; }
+  double delta_mean() const { return delta_mean_; }
+  double delta_std() const { return delta_std_; }
+
+ private:
+  DynamicsModelConfig config_;
+  std::unique_ptr<nn::Mlp> network_;
+  nn::Normalizer input_norm_;
+  double delta_mean_ = 0.0;
+  double delta_std_ = 1.0;
+  bool trained_ = false;
+
+  // Scratch buffers for the allocation-free predict hot path.
+  mutable std::vector<double> scratch_in_;
+  mutable std::vector<double> scratch_a_;
+  mutable std::vector<double> scratch_b_;
+};
+
+}  // namespace verihvac::dyn

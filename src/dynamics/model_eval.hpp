@@ -1,0 +1,20 @@
+// Dynamics-model quality metrics.
+//
+// One-step RMSE on held-out transitions, and open-loop k-step rollout error
+// (the quantity that actually matters for an H=20 planning horizon).
+#pragma once
+
+#include "dynamics/dynamics_model.hpp"
+
+namespace verihvac::dyn {
+
+/// Root-mean-square one-step prediction error [degC] over a dataset.
+double one_step_rmse(const DynamicsModel& model, const TransitionDataset& data);
+
+/// Mean absolute open-loop error after `k` steps: the model is rolled
+/// forward feeding back its own predictions along recorded disturbance/
+/// action sequences. `data` must come from a single contiguous episode.
+double k_step_rollout_mae(const DynamicsModel& model, const TransitionDataset& data,
+                          std::size_t k);
+
+}  // namespace verihvac::dyn

@@ -1,0 +1,74 @@
+#include "dynamics/tree_dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "envlib/observation.hpp"
+
+namespace verihvac::dyn {
+
+TreeDynamicsModel::TreeDynamicsModel(TreeDynamicsConfig config) : config_(config) {
+  config_.tree.min_samples_leaf = std::max(config_.tree.min_samples_leaf, config_.min_samples_leaf);
+}
+
+void TreeDynamicsModel::train(const TransitionDataset& data) {
+  if (data.empty()) throw std::invalid_argument("TreeDynamicsModel::train: empty dataset");
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  x.reserve(data.size());
+  y.reserve(data.size());
+  for (const auto& t : data.transitions()) {
+    std::vector<double> row = t.input;
+    row.push_back(t.action.heating_c);
+    row.push_back(t.action.cooling_c);
+    x.push_back(std::move(row));
+    y.push_back(t.next_zone_temp - t.input[env::kZoneTemp]);
+  }
+  tree_ = tree::DecisionTreeRegressor(config_.tree);
+  tree_.fit(x, y);
+}
+
+double TreeDynamicsModel::predict_raw(const std::vector<double>& model_input) const {
+  if (!trained()) throw std::logic_error("TreeDynamicsModel used before train");
+  if (model_input.size() != kModelInputDims) {
+    throw std::invalid_argument("TreeDynamicsModel::predict_raw: wrong input dims");
+  }
+  return model_input[env::kZoneTemp] + tree_.predict(model_input);
+}
+
+double TreeDynamicsModel::predict(const std::vector<double>& x,
+                                  const sim::SetpointPair& action) const {
+  if (x.size() != env::kInputDims) {
+    throw std::invalid_argument("TreeDynamicsModel::predict: wrong input dims");
+  }
+  std::vector<double> row = x;
+  row.push_back(action.heating_c);
+  row.push_back(action.cooling_c);
+  return predict_raw(row);
+}
+
+Interval TreeDynamicsModel::next_state_range(const Box& model_input_box) const {
+  if (!trained()) throw std::logic_error("TreeDynamicsModel used before train");
+  if (model_input_box.size() != kModelInputDims) {
+    throw std::invalid_argument("next_state_range: box must have 8 dims");
+  }
+  const Interval delta = tree_.value_range(model_input_box);
+  const Interval& s = model_input_box[env::kZoneTemp];
+  Interval out;
+  out.lo = s.lo + delta.lo;
+  out.hi = s.hi + delta.hi;
+  return out;
+}
+
+double TreeDynamicsModel::rmse(const TransitionDataset& data) const {
+  if (data.empty()) throw std::invalid_argument("rmse: empty dataset");
+  double total = 0.0;
+  for (const auto& t : data.transitions()) {
+    const double err = predict(t.input, t.action) - t.next_zone_temp;
+    total += err * err;
+  }
+  return std::sqrt(total / static_cast<double>(data.size()));
+}
+
+}  // namespace verihvac::dyn

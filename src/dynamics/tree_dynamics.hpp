@@ -1,0 +1,61 @@
+// Interpretable tree-based thermal-dynamics model (extension).
+//
+// The paper verifies an interpretable *policy* against a black-box MLP
+// dynamics model f_hat. This module closes the remaining black box: a CART
+// regression tree fitted on the same transitions predicts the one-step
+// temperature *delta* (s' - s), making the dynamics themselves auditable
+// ("if outdoor < 2degC and heating setpoint <= 18, the zone loses about
+// 0.4degC per step") and enabling *exact* one-step output ranges over
+// axis-aligned input boxes (value_range), which the interval verifier uses
+// for a sound, non-probabilistic variant of criterion #1.
+//
+// Predicting the delta rather than the absolute next state matters for the
+// box analysis too: the absolute next state s' = s + g(x) has unit slope in
+// s, which a piecewise-constant tree cannot represent — but the *residual*
+// g is well approximated by a constant on small boxes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamics/dataset.hpp"
+#include "tree/regression.hpp"
+
+namespace verihvac::dyn {
+
+struct TreeDynamicsConfig {
+  tree::RegressionConfig tree;
+  /// Leaves smaller than this are prone to memorizing sensor noise;
+  /// min_samples_leaf below is the usual CART regularizer.
+  std::size_t min_samples_leaf = 5;
+};
+
+class TreeDynamicsModel {
+ public:
+  explicit TreeDynamicsModel(TreeDynamicsConfig config = {});
+
+  /// Fits the delta tree on the dataset (8-dim input, s'-s target).
+  void train(const TransitionDataset& data);
+  bool trained() const { return tree_.fitted(); }
+
+  /// Predicts the next zone temperature for one (s, d) + action query.
+  double predict(const std::vector<double>& x, const sim::SetpointPair& action) const;
+  /// Raw 8-dim model-input variant (dataset.hpp column layout).
+  double predict_raw(const std::vector<double>& model_input) const;
+
+  /// Sound next-state range over an 8-dim input box: s' ∈ s_box + delta
+  /// range, where the delta range is the exact image of the tree on the
+  /// box. Used by the interval verifier.
+  Interval next_state_range(const Box& model_input_box) const;
+
+  /// One-step RMSE on a labelled dataset.
+  double rmse(const TransitionDataset& data) const;
+
+  const tree::DecisionTreeRegressor& tree() const { return tree_; }
+
+ private:
+  TreeDynamicsConfig config_;
+  tree::DecisionTreeRegressor tree_;
+};
+
+}  // namespace verihvac::dyn

@@ -1,0 +1,25 @@
+#include "envlib/metrics.hpp"
+
+namespace verihvac::env {
+
+void EpisodeMetrics::add(const StepOutcome& outcome) {
+  ++steps_;
+  energy_kwh_ += outcome.energy_kwh;
+  reward_ += outcome.reward;
+  if (outcome.occupied) {
+    ++occupied_steps_;
+    if (outcome.comfort_violation) ++occupied_violations_;
+  }
+}
+
+double EpisodeMetrics::violation_rate() const {
+  if (occupied_steps_ == 0) return 0.0;
+  return static_cast<double>(occupied_violations_) / static_cast<double>(occupied_steps_);
+}
+
+double EpisodeMetrics::energy_efficiency_score() const {
+  if (energy_kwh_ <= 0.0) return 0.0;
+  return comfort_rate() / energy_kwh_ * 1000.0;
+}
+
+}  // namespace verihvac::env

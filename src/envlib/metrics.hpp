@@ -1,0 +1,41 @@
+// Episode metrics — the quantities the paper's evaluation reports.
+//
+//  * energy consumption [kWh/month]                (Fig. 4 y-axis)
+//  * violation rate = violating occupied steps /
+//                     total occupied steps          (Fig. 4 x-axis)
+//  * comfort rate   = 1 - violation rate
+//  * energy-efficiency score = comfort rate /
+//                     energy * 1000                 (Fig. 6 y-axis)
+#pragma once
+
+#include <cstddef>
+
+#include "envlib/env.hpp"
+
+namespace verihvac::env {
+
+class EpisodeMetrics {
+ public:
+  void add(const StepOutcome& outcome);
+
+  std::size_t steps() const { return steps_; }
+  std::size_t occupied_steps() const { return occupied_steps_; }
+  double total_energy_kwh() const { return energy_kwh_; }
+  double total_reward() const { return reward_; }
+
+  /// Fraction of *occupied* steps whose zone temperature violated comfort.
+  double violation_rate() const;
+  double comfort_rate() const { return 1.0 - violation_rate(); }
+
+  /// Fig. 6 score: comfort rate / kWh, scaled by 1000.
+  double energy_efficiency_score() const;
+
+ private:
+  std::size_t steps_ = 0;
+  std::size_t occupied_steps_ = 0;
+  std::size_t occupied_violations_ = 0;
+  double energy_kwh_ = 0.0;
+  double reward_ = 0.0;
+};
+
+}  // namespace verihvac::env

@@ -1,0 +1,102 @@
+#include "envlib/multizone_env.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "thermosim/building_presets.hpp"
+
+namespace verihvac::env {
+
+MultiZoneEnv::MultiZoneEnv(EnvConfig config)
+    : config_(std::move(config)),
+      simulator_(sim::five_zone_building(config_.hvac_capacity_scale),
+                 config_.substep_seconds) {
+  weather::WeatherGenerator generator(config_.climate, config_.weather_seed);
+  series_ = generator.generate_days(config_.days);
+  num_steps_ = series_.size();
+  occupants_ = config_.occupancy.series(num_steps_);
+}
+
+std::vector<double> MultiZoneEnv::zone_occupants(std::size_t step) const {
+  // Same convention as BuildingEnv: the schedule's count in the controlled
+  // zone, area-scaled elsewhere (people per m2 is roughly uniform).
+  const std::size_t zones = simulator_.building().zone_count();
+  const std::size_t idx = std::min(step, num_steps_ - 1);
+  const double scheduled = occupants_[idx];
+  const double area_ref =
+      simulator_.building().zone(simulator_.controlled_zone()).floor_area_m2;
+  std::vector<double> out(zones, 0.0);
+  for (std::size_t z = 0; z < zones; ++z) {
+    out[z] = scheduled * simulator_.building().zone(z).floor_area_m2 / area_ref;
+  }
+  out[simulator_.controlled_zone()] = scheduled;
+  return out;
+}
+
+std::vector<Observation> MultiZoneEnv::make_observations(
+    std::size_t step, const std::vector<double>& zone_temps) const {
+  const std::size_t idx = std::min(step, num_steps_ - 1);
+  const std::vector<double> occupants = zone_occupants(step);
+  std::vector<Observation> out(zone_temps.size());
+  for (std::size_t z = 0; z < zone_temps.size(); ++z) {
+    out[z].zone_temp_c = zone_temps[z];
+    out[z].weather = series_.at(idx);
+    out[z].occupants = occupants[z];
+    out[z].step = step;
+    out[z].hour_of_day =
+        static_cast<double>(step % kStepsPerDay) / static_cast<double>(kStepsPerHour);
+  }
+  return out;
+}
+
+std::vector<Observation> MultiZoneEnv::reset() {
+  simulator_.reset(config_.initial_temp_c);
+  cursor_ = 0;
+  done_ = false;
+  current_ = make_observations(0, simulator_.zone_temps());
+  return current_;
+}
+
+MultiZoneStepOutcome MultiZoneEnv::step(const std::vector<sim::SetpointPair>& actions) {
+  if (done_) throw std::logic_error("MultiZoneEnv::step called on a finished episode");
+  if (actions.size() != zone_count()) {
+    throw std::invalid_argument("MultiZoneEnv::step: one setpoint pair per zone required");
+  }
+  const bool occupied = occupants_[cursor_] > 0.5;
+  const std::vector<double> occupants = zone_occupants(cursor_);
+  const sim::StepResult sim_result =
+      simulator_.step(actions, series_.at(cursor_), occupants);
+
+  MultiZoneStepOutcome outcome;
+  outcome.energy_kwh = sim_result.consumed_kwh;
+  outcome.occupied = occupied;
+  outcome.rewards.reserve(zone_count());
+  outcome.comfort_violations.reserve(zone_count());
+  const double tol = config_.comfort_violation_tolerance_c;
+  for (std::size_t z = 0; z < zone_count(); ++z) {
+    const double temp = sim_result.zone_temps_c[z];
+    outcome.rewards.push_back(reward(config_.reward, temp, actions[z], occupied));
+    outcome.comfort_violations.push_back(temp < config_.reward.comfort.lo - tol ||
+                                         temp > config_.reward.comfort.hi + tol);
+  }
+
+  ++cursor_;
+  done_ = cursor_ >= num_steps_;
+  outcome.done = done_;
+  current_ = make_observations(cursor_, sim_result.zone_temps_c);
+  outcome.observations = current_;
+  return outcome;
+}
+
+std::vector<Disturbance> MultiZoneEnv::forecast(std::size_t h) const {
+  std::vector<Disturbance> out;
+  out.reserve(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::size_t idx = std::min(cursor_ + k, num_steps_ - 1);
+    out.push_back(Disturbance{series_.at(idx), occupants_[idx]});
+  }
+  return out;
+}
+
+}  // namespace verihvac::env

@@ -1,0 +1,72 @@
+// Whole-building (multi-zone) control environment.
+//
+// The paper's plant is a five-zone building of which ONE zone is
+// agent-controlled (BuildingEnv); the others follow the default schedule.
+// That is the formulation every experiment in the paper uses. This
+// environment generalizes the same simulator to actuate EVERY zone — the
+// deployment mode a real building would run once per-zone policies are
+// verified. The policy input stays (s, d): zone identity is not a policy
+// feature, so one verified tree per climate can drive all zones (each
+// zone walks the tree with its own temperature), or distinct per-zone
+// trees can be supplied. Examples and tests use this to measure
+// whole-building energy/comfort under DT control vs the default schedule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "envlib/env.hpp"
+
+namespace verihvac::env {
+
+/// Everything one whole-building step returns.
+struct MultiZoneStepOutcome {
+  /// Per-zone observations after the step (shared weather, own zone temp,
+  /// own occupant count).
+  std::vector<Observation> observations;
+  std::vector<double> rewards;           ///< Eq. 2 per zone
+  std::vector<bool> comfort_violations;  ///< per zone, any time
+  double energy_kwh = 0.0;               ///< whole-building HVAC site energy
+  bool occupied = false;
+  bool done = false;
+};
+
+class MultiZoneEnv {
+ public:
+  /// Reuses EnvConfig: same climate/occupancy/reward; `default_*` pairs
+  /// are only used by reset-time initialization (every zone is actuated).
+  explicit MultiZoneEnv(EnvConfig config);
+
+  const EnvConfig& config() const { return config_; }
+  std::size_t zone_count() const { return simulator_.building().zone_count(); }
+  std::size_t horizon_steps() const { return num_steps_; }
+
+  /// Starts a new episode; returns one observation per zone.
+  std::vector<Observation> reset();
+
+  /// Applies one setpoint pair per zone and advances 15 minutes.
+  /// Throws std::invalid_argument unless actions.size() == zone_count().
+  MultiZoneStepOutcome step(const std::vector<sim::SetpointPair>& actions);
+
+  /// Perfect disturbance forecast (same for all zones; occupant counts are
+  /// the controlled-zone schedule, as in BuildingEnv).
+  std::vector<Disturbance> forecast(std::size_t h) const;
+
+  const std::vector<Observation>& observations() const { return current_; }
+
+ private:
+  std::vector<Observation> make_observations(std::size_t step,
+                                             const std::vector<double>& zone_temps) const;
+  std::vector<double> zone_occupants(std::size_t step) const;
+
+  EnvConfig config_;
+  sim::BuildingSimulator simulator_;
+  weather::WeatherSeries series_;
+  std::vector<double> occupants_;
+  std::size_t num_steps_ = 0;
+  std::size_t cursor_ = 0;
+  bool done_ = false;
+  std::vector<Observation> current_;
+};
+
+}  // namespace verihvac::env

@@ -1,0 +1,38 @@
+#include "envlib/multizone_metrics.hpp"
+
+#include <stdexcept>
+
+namespace verihvac::env {
+
+MultiZoneMetrics::MultiZoneMetrics(std::size_t zones) : zone_occupied_violations_(zones, 0) {
+  if (zones == 0) throw std::invalid_argument("MultiZoneMetrics: zones must be positive");
+}
+
+void MultiZoneMetrics::add(const MultiZoneStepOutcome& outcome) {
+  if (outcome.comfort_violations.size() != zones()) {
+    throw std::invalid_argument("MultiZoneMetrics::add: zone count mismatch");
+  }
+  ++steps_;
+  energy_kwh_ += outcome.energy_kwh;
+  for (double r : outcome.rewards) reward_ += r;
+  if (outcome.occupied) {
+    ++occupied_steps_;
+    for (std::size_t z = 0; z < zones(); ++z) {
+      if (outcome.comfort_violations[z]) ++zone_occupied_violations_[z];
+    }
+  }
+}
+
+double MultiZoneMetrics::violation_rate(std::size_t z) const {
+  if (occupied_steps_ == 0) return 0.0;
+  return static_cast<double>(zone_occupied_violations_.at(z)) /
+         static_cast<double>(occupied_steps_);
+}
+
+double MultiZoneMetrics::mean_violation_rate() const {
+  double sum = 0.0;
+  for (std::size_t z = 0; z < zones(); ++z) sum += violation_rate(z);
+  return sum / static_cast<double>(zones());
+}
+
+}  // namespace verihvac::env

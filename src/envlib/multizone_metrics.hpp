@@ -1,0 +1,43 @@
+// Per-zone episode metrics for whole-building runs.
+//
+// The single-zone EpisodeMetrics tracks the paper's two headline numbers
+// (energy, occupied violation rate) for the controlled zone. This
+// accumulator keeps the same statistics for every zone simultaneously
+// plus the building totals, so whole-building deployments (MultiZoneEnv)
+// can report a Fig. 4-style row per zone.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "envlib/multizone_env.hpp"
+
+namespace verihvac::env {
+
+class MultiZoneMetrics {
+ public:
+  explicit MultiZoneMetrics(std::size_t zones);
+
+  void add(const MultiZoneStepOutcome& outcome);
+
+  std::size_t zones() const { return zone_occupied_violations_.size(); }
+  std::size_t steps() const { return steps_; }
+  std::size_t occupied_steps() const { return occupied_steps_; }
+  double total_energy_kwh() const { return energy_kwh_; }
+
+  /// Fraction of occupied steps in which zone `z` violated comfort.
+  double violation_rate(std::size_t z) const;
+  /// Mean of the per-zone violation rates.
+  double mean_violation_rate() const;
+  /// Sum of per-zone Eq. 2 rewards over the episode.
+  double total_reward() const { return reward_; }
+
+ private:
+  std::size_t steps_ = 0;
+  std::size_t occupied_steps_ = 0;
+  double energy_kwh_ = 0.0;
+  double reward_ = 0.0;
+  std::vector<std::size_t> zone_occupied_violations_;
+};
+
+}  // namespace verihvac::env

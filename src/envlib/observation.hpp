@@ -1,0 +1,59 @@
+// Observation layout — Table 1 of the paper.
+//
+// The policy input is the concatenation (s, d):
+//   [0] Zone Air Temperature           [degC]   (state s)
+//   [1] Outdoor Air Drybulb Temperature[degC]   (disturbance)
+//   [2] Outdoor Air Relative Humidity  [%]      (disturbance)
+//   [3] Site Wind Speed                [m/s]    (disturbance)
+//   [4] Site Total Radiation Rate      [W/m^2]  (disturbance)
+//   [5] Zone People Occupant Count     [count]  (disturbance)
+// Index 0 being the zone temperature is load-bearing: the verification
+// criteria (#2/#3) and Algorithm 1 reason about that dimension.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "weather/weather_generator.hpp"
+
+namespace verihvac::env {
+
+/// Number of policy-input dimensions.
+inline constexpr std::size_t kInputDims = 6;
+
+/// Named indices into the input vector.
+enum InputDim : std::size_t {
+  kZoneTemp = 0,
+  kOutdoorTemp = 1,
+  kHumidity = 2,
+  kWind = 3,
+  kSolar = 4,
+  kOccupancy = 5,
+};
+
+/// Human-readable names (for tree dumps / verification reports).
+const std::array<std::string, kInputDims>& input_dim_names();
+
+/// Full observation returned by the environment.
+struct Observation {
+  double zone_temp_c = 20.0;
+  weather::WeatherRecord weather;
+  double occupants = 0.0;
+  std::size_t step = 0;      ///< control-step index within the episode
+  double hour_of_day = 0.0;  ///< derived, for logging/plots
+
+  /// Flattens to the 6-dim policy input (s, d).
+  std::vector<double> to_vector() const;
+  /// Rebuilds an observation from a policy-input vector (step/hour zeroed).
+  static Observation from_vector(const std::vector<double>& x);
+};
+
+/// Disturbance-only record (what forecasts carry).
+struct Disturbance {
+  weather::WeatherRecord weather;
+  double occupants = 0.0;
+};
+
+}  // namespace verihvac::env

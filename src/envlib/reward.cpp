@@ -1,0 +1,29 @@
+#include "envlib/reward.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace verihvac::env {
+
+ComfortRange winter_comfort() { return ComfortRange{20.0, 23.5}; }
+ComfortRange summer_comfort() { return ComfortRange{23.0, 26.0}; }
+
+double energy_proxy(const RewardConfig& config, const sim::SetpointPair& action) {
+  return std::abs(action.heating_c - config.heating_off_c) +
+         std::abs(config.cooling_off_c - action.cooling_c);
+}
+
+double comfort_penalty(const ComfortRange& comfort, double zone_temp_c) {
+  const double above = std::max(0.0, zone_temp_c - comfort.hi);
+  const double below = std::max(0.0, comfort.lo - zone_temp_c);
+  return above + below;
+}
+
+double reward(const RewardConfig& config, double zone_temp_c,
+              const sim::SetpointPair& action, bool occupied) {
+  const double we = occupied ? config.we_occupied : config.we_unoccupied;
+  return -we * energy_proxy(config, action) -
+         (1.0 - we) * comfort_penalty(config.comfort, zone_temp_c);
+}
+
+}  // namespace verihvac::env

@@ -1,0 +1,48 @@
+// Reward function — Eq. 2 of the paper.
+//
+//   r(s_t) = -w_e * E_t - (1 - w_e) * (|s_t - z_hi|_+ + |z_lo - s_t|_+)
+//
+// E_t is the L1 distance between the commanded setpoints and the "HVAC off"
+// setpoints (heating fully setback at 15 degC, cooling fully setback at
+// 30 degC) — the energy *proxy* the paper adopts from Gnu-RL [7].
+// w_e = 1e-2 while the zone is occupied (comfort-dominant) and w_e = 1
+// while unoccupied (energy-dominant). The comfort zone is seasonal:
+// [20, 23.5] degC in winter, [23, 26] degC in summer.
+#pragma once
+
+#include "thermosim/hvac.hpp"
+
+namespace verihvac::env {
+
+/// Seasonal comfort range [z_lo, z_hi].
+struct ComfortRange {
+  double lo = 20.0;
+  double hi = 23.5;
+
+  bool contains(double temp_c) const { return temp_c >= lo && temp_c <= hi; }
+  double median() const { return 0.5 * (lo + hi); }
+};
+
+ComfortRange winter_comfort();  ///< [20.0, 23.5] degC
+ComfortRange summer_comfort();  ///< [23.0, 26.0] degC
+
+struct RewardConfig {
+  ComfortRange comfort = winter_comfort();
+  double we_occupied = 1e-2;
+  double we_unoccupied = 1.0;
+  /// Setpoints at which the HVAC is effectively off (full setback).
+  double heating_off_c = 15.0;
+  double cooling_off_c = 30.0;
+};
+
+/// The paper's energy proxy E_t: L1 distance from the full-setback pair.
+double energy_proxy(const RewardConfig& config, const sim::SetpointPair& action);
+
+/// Positive-part comfort penalty (|s - z_hi|_+ + |z_lo - s|_+).
+double comfort_penalty(const ComfortRange& comfort, double zone_temp_c);
+
+/// Eq. 2 evaluated for one step.
+double reward(const RewardConfig& config, double zone_temp_c,
+              const sim::SetpointPair& action, bool occupied);
+
+}  // namespace verihvac::env

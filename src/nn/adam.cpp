@@ -1,0 +1,35 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace verihvac::nn {
+
+Adam::Adam(Mlp& model, AdamConfig config) : config_(config) {
+  for (auto& layer : model.layers()) {
+    auto add = [this](Matrix& params, Matrix& grads) {
+      for (std::size_t i = 0; i < params.data().size(); ++i) {
+        slots_.push_back(Slot{&params.data()[i], &grads.data()[i]});
+      }
+    };
+    add(layer.weight(), layer.weight_grad());
+    add(layer.bias(), layer.bias_grad());
+  }
+  m_.assign(slots_.size(), 0.0);
+  v_.assign(slots_.size(), 0.0);
+}
+
+void Adam::step() {
+  ++t_;
+  const double bias_correction1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bias_correction2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    double g = *slots_[i].grad + config_.weight_decay * *slots_[i].param;
+    m_[i] = config_.beta1 * m_[i] + (1.0 - config_.beta1) * g;
+    v_[i] = config_.beta2 * v_[i] + (1.0 - config_.beta2) * g * g;
+    const double m_hat = m_[i] / bias_correction1;
+    const double v_hat = v_[i] / bias_correction2;
+    *slots_[i].param -= config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+  }
+}
+
+}  // namespace verihvac::nn

@@ -1,0 +1,55 @@
+#include "nn/interval_bounds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace verihvac::nn {
+
+std::vector<Interval> propagate_linear(const Linear& layer, const std::vector<Interval>& input) {
+  if (input.size() != layer.in_features()) {
+    throw std::invalid_argument("propagate_linear: input box has wrong dimension");
+  }
+  const Matrix& w = layer.weight();  // out x in
+  const Matrix& b = layer.bias();    // 1 x out
+  std::vector<Interval> out(layer.out_features());
+  for (std::size_t j = 0; j < layer.out_features(); ++j) {
+    double lo = b(0, j);
+    double hi = b(0, j);
+    for (std::size_t i = 0; i < layer.in_features(); ++i) {
+      const double weight = w(j, i);
+      if (weight >= 0.0) {
+        lo += weight * input[i].lo;
+        hi += weight * input[i].hi;
+      } else {
+        lo += weight * input[i].hi;
+        hi += weight * input[i].lo;
+      }
+    }
+    out[j] = Interval{lo, hi};
+  }
+  return out;
+}
+
+std::vector<Interval> propagate_relu(const std::vector<Interval>& input) {
+  std::vector<Interval> out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out[i] = Interval{std::max(input[i].lo, 0.0), std::max(input[i].hi, 0.0)};
+  }
+  return out;
+}
+
+std::vector<Interval> propagate_bounds(const Mlp& mlp, const std::vector<Interval>& input) {
+  if (input.size() != mlp.input_dim()) {
+    throw std::invalid_argument("propagate_bounds: input box has wrong dimension");
+  }
+  const auto& layers = mlp.layers();
+  std::vector<Interval> bounds = input;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    bounds = propagate_linear(layers[l], bounds);
+    const bool is_hidden = l + 1 < layers.size();
+    if (is_hidden) bounds = propagate_relu(bounds);
+  }
+  return bounds;
+}
+
+}  // namespace verihvac::nn

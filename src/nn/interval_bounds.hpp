@@ -1,0 +1,32 @@
+// Interval bound propagation (IBP) through an MLP.
+//
+// Given elementwise intervals on the network input, computes *sound*
+// intervals on every output: for any concrete x inside the input box, the
+// network's output is guaranteed to lie inside the returned box. This is
+// the standard IBP relaxation used by neural-network verifiers (and the
+// simplest member of the CROWN/DeepPoly family): a Linear layer maps
+// intervals through the exact interval image of an affine map, and ReLU
+// clamps the bounds at zero. Soundness is exact per layer; looseness comes
+// only from ignoring inter-neuron correlations, so bounds widen with depth
+// and with input-box width — the classic IBP trade-off the interval
+// verifier's tests and ablation bench quantify.
+#pragma once
+
+#include <vector>
+
+#include "common/interval.hpp"
+#include "nn/mlp.hpp"
+
+namespace verihvac::nn {
+
+/// Interval image of one Linear layer: y = W x + b.
+std::vector<Interval> propagate_linear(const Linear& layer, const std::vector<Interval>& input);
+
+/// Interval image of ReLU: [max(lo, 0), max(hi, 0)].
+std::vector<Interval> propagate_relu(const std::vector<Interval>& input);
+
+/// Sound output bounds of the full network over the input box.
+/// Throws std::invalid_argument if the box does not match input_dim().
+std::vector<Interval> propagate_bounds(const Mlp& mlp, const std::vector<Interval>& input);
+
+}  // namespace verihvac::nn

@@ -1,0 +1,69 @@
+#include "nn/layers.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace verihvac::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : weight_(out_features, in_features),
+      bias_(1, out_features),
+      weight_grad_(out_features, in_features),
+      bias_grad_(1, out_features) {}
+
+void Linear::init(Rng& rng) {
+  // Kaiming-uniform with gain for ReLU fan-in, as in torch.nn.Linear.
+  const double bound = std::sqrt(1.0 / static_cast<double>(in_features()));
+  for (double& w : weight_.data()) w = rng.uniform(-bound, bound);
+  for (double& b : bias_.data()) b = rng.uniform(-bound, bound);
+}
+
+Matrix Linear::forward(const Matrix& input) {
+  assert(input.cols() == in_features());
+  cached_input_ = input;
+  Matrix out = Matrix::multiply_a_bt(input, weight_);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.row_data(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) row[c] += bias_(0, c);
+  }
+  return out;
+}
+
+Matrix Linear::backward(const Matrix& grad_output) {
+  assert(grad_output.cols() == out_features());
+  assert(grad_output.rows() == cached_input_.rows());
+  // dW += dY^T X ; db += column sums of dY ; dX = dY W.
+  weight_grad_ += Matrix::multiply_at_b(grad_output, cached_input_);
+  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+    const double* row = grad_output.row_data(r);
+    for (std::size_t c = 0; c < grad_output.cols(); ++c) bias_grad_(0, c) += row[c];
+  }
+  return Matrix::multiply(grad_output, weight_);
+}
+
+void Linear::zero_grad() {
+  weight_grad_.fill(0.0);
+  bias_grad_.fill(0.0);
+}
+
+Matrix Relu::forward(const Matrix& input) {
+  mask_ = Matrix(input.rows(), input.cols());
+  Matrix out = input;
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    if (out.data()[i] > 0.0) {
+      mask_.data()[i] = 1.0;
+    } else {
+      out.data()[i] = 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix Relu::backward(const Matrix& grad_output) const {
+  assert(grad_output.rows() == mask_.rows() && grad_output.cols() == mask_.cols());
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i) grad.data()[i] *= mask_.data()[i];
+  return grad;
+}
+
+}  // namespace verihvac::nn

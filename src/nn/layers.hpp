@@ -1,0 +1,60 @@
+// Neural-network layers (PyTorch substitute, regression-scale).
+//
+// The paper's thermal dynamics model is a small fully-connected MLP; this
+// module implements exactly the pieces needed to train one: a Linear layer
+// with explicit forward/backward, and ReLU activation. Batches are dense
+// row-major matrices (rows = samples).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace verihvac::nn {
+
+/// Fully-connected layer: Y = X W^T + b, with gradient accumulation.
+class Linear {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  std::size_t in_features() const { return weight_.cols(); }
+  std::size_t out_features() const { return weight_.rows(); }
+
+  /// Kaiming-uniform initialization (the PyTorch default for Linear).
+  void init(Rng& rng);
+
+  /// Forward pass; caches the input for backward.
+  Matrix forward(const Matrix& input);
+  /// Backward pass: accumulates dW/db, returns dL/dX.
+  Matrix backward(const Matrix& grad_output);
+
+  void zero_grad();
+
+  Matrix& weight() { return weight_; }
+  Matrix& bias() { return bias_; }
+  const Matrix& weight() const { return weight_; }
+  const Matrix& bias() const { return bias_; }
+  Matrix& weight_grad() { return weight_grad_; }
+  Matrix& bias_grad() { return bias_grad_; }
+
+ private:
+  Matrix weight_;       // out x in
+  Matrix bias_;         // 1 x out
+  Matrix weight_grad_;  // out x in
+  Matrix bias_grad_;    // 1 x out
+  Matrix cached_input_;
+};
+
+/// Elementwise ReLU with cached mask.
+class Relu {
+ public:
+  Matrix forward(const Matrix& input);
+  Matrix backward(const Matrix& grad_output) const;
+
+ private:
+  Matrix mask_;
+};
+
+}  // namespace verihvac::nn

@@ -1,0 +1,49 @@
+// Multilayer perceptron with ReLU hidden activations.
+//
+// Architecture is given as a width list, e.g. {8, 32, 32, 1}. The final
+// layer is linear (regression head). Provides batched forward, a
+// scratch-free single-sample fast path (the random-shooting optimizer calls
+// it millions of times), and backward for training.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace verihvac::nn {
+
+class Mlp {
+ public:
+  /// Builds the network; `widths` must have >= 2 entries.
+  explicit Mlp(const std::vector<std::size_t>& widths);
+
+  std::size_t input_dim() const { return layers_.front().in_features(); }
+  std::size_t output_dim() const { return layers_.back().out_features(); }
+  std::size_t parameter_count() const;
+
+  void init(Rng& rng);
+
+  /// Batched forward (training / vectorized rollouts).
+  Matrix forward(const Matrix& input);
+  /// Backward from dL/dY; returns dL/dX (gradients accumulate in layers).
+  Matrix backward(const Matrix& grad_output);
+  void zero_grad();
+
+  /// Allocation-free single-sample inference into caller-provided scratch.
+  /// `scratch` is resized on first use; result has output_dim() entries.
+  void predict(const std::vector<double>& input, std::vector<double>& output,
+               std::vector<double>& scratch) const;
+
+  std::vector<Linear>& layers() { return layers_; }
+  const std::vector<Linear>& layers() const { return layers_; }
+
+  /// Flat parameter access (serialization, tests, optimizer hookup).
+  std::vector<double> parameters() const;
+  void set_parameters(const std::vector<double>& params);
+
+ private:
+  std::vector<Linear> layers_;
+  std::vector<Relu> activations_;  // one per hidden layer
+};
+
+}  // namespace verihvac::nn

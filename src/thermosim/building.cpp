@@ -1,0 +1,60 @@
+#include "thermosim/building.hpp"
+
+#include <stdexcept>
+
+namespace verihvac::sim {
+
+std::size_t Building::add_zone(ZoneParams zone, HvacParams hvac) {
+  verihvac::sim::validate(zone);
+  verihvac::sim::validate(hvac);
+  zones_.push_back(std::move(zone));
+  hvac_.push_back(hvac);
+  // Grow the symmetric UA matrix, preserving existing couplings.
+  Matrix grown(zones_.size(), zones_.size());
+  for (std::size_t r = 0; r + 1 < zones_.size(); ++r) {
+    for (std::size_t c = 0; c + 1 < zones_.size(); ++c) grown(r, c) = interzone_(r, c);
+  }
+  interzone_ = std::move(grown);
+  return zones_.size() - 1;
+}
+
+void Building::connect(std::size_t a, std::size_t b, double ua) {
+  if (a >= zones_.size() || b >= zones_.size() || a == b) {
+    throw std::invalid_argument("Building::connect: bad zone indices");
+  }
+  if (ua < 0.0) throw std::invalid_argument("Building::connect: negative UA");
+  interzone_(a, b) = ua;
+  interzone_(b, a) = ua;
+}
+
+double Building::interzone_ua(std::size_t a, std::size_t b) const {
+  if (a >= zones_.size() || b >= zones_.size()) {
+    throw std::invalid_argument("Building::interzone_ua: bad zone indices");
+  }
+  if (a == b) return 0.0;
+  return interzone_(a, b);
+}
+
+void Building::set_controlled_zone(std::size_t i) {
+  if (i >= zones_.size()) {
+    throw std::invalid_argument("Building::set_controlled_zone: index out of range");
+  }
+  controlled_zone_ = i;
+}
+
+double Building::total_floor_area() const {
+  double total = 0.0;
+  for (const auto& z : zones_) total += z.floor_area_m2;
+  return total;
+}
+
+void Building::validate() const {
+  if (zones_.empty()) throw std::invalid_argument("building has no zones");
+  if (controlled_zone_ >= zones_.size()) {
+    throw std::invalid_argument("controlled zone out of range");
+  }
+  for (const auto& z : zones_) verihvac::sim::validate(z);
+  for (const auto& h : hvac_) verihvac::sim::validate(h);
+}
+
+}  // namespace verihvac::sim

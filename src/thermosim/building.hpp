@@ -1,0 +1,49 @@
+// Multi-zone building description.
+//
+// A building is a set of zones plus a symmetric inter-zone conductance
+// matrix (partition walls / shared plenum). One zone is designated the
+// *controlled zone*: the RL agent actuates its setpoints, while the other
+// zones follow the building's default schedule — matching the paper's
+// single-controlled-zone formulation on a five-zone plant.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "thermosim/hvac.hpp"
+#include "thermosim/zone.hpp"
+
+namespace verihvac::sim {
+
+class Building {
+ public:
+  Building() = default;
+
+  /// Adds a zone (with its HVAC unit); returns its index.
+  std::size_t add_zone(ZoneParams zone, HvacParams hvac);
+
+  /// Sets the symmetric inter-zone conductance [W/K] between zones a and b.
+  void connect(std::size_t a, std::size_t b, double ua);
+
+  std::size_t zone_count() const { return zones_.size(); }
+  const ZoneParams& zone(std::size_t i) const { return zones_.at(i); }
+  const HvacParams& hvac(std::size_t i) const { return hvac_.at(i); }
+  double interzone_ua(std::size_t a, std::size_t b) const;
+
+  std::size_t controlled_zone() const { return controlled_zone_; }
+  void set_controlled_zone(std::size_t i);
+
+  double total_floor_area() const;
+
+  /// Throws std::invalid_argument if the building is empty or inconsistent.
+  void validate() const;
+
+ private:
+  std::vector<ZoneParams> zones_;
+  std::vector<HvacParams> hvac_;
+  Matrix interzone_;  // symmetric UA matrix, diagonal unused
+  std::size_t controlled_zone_ = 0;
+};
+
+}  // namespace verihvac::sim

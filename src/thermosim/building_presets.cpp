@@ -1,0 +1,91 @@
+#include "thermosim/building_presets.hpp"
+
+#include <stdexcept>
+
+namespace verihvac::sim {
+namespace {
+
+ZoneParams perimeter_zone(const std::string& name, double area_m2, double aperture_m2) {
+  ZoneParams z;
+  z.name = name;
+  z.floor_area_m2 = area_m2;
+  // Effective air-node capacitance ~ 5x pure air (furnishings), mass node
+  // ~150 kJ/K per m^2 of floor (light commercial construction).
+  z.air_capacitance = area_m2 * 16.0e3;
+  z.mass_capacitance = area_m2 * 110.0e3;
+  z.ua_outdoor = 36.0;
+  z.ua_mass = 3.2 * area_m2;
+  z.infiltration_ua = 2.5;
+  z.infiltration_wind_coeff = 0.55;
+  z.solar_aperture_m2 = aperture_m2;
+  return z;
+}
+
+HvacParams standard_unit() {
+  HvacParams h;
+  h.heating_capacity_w = 4200.0;
+  h.cooling_capacity_w = 3600.0;
+  h.throttling_range_k = 0.8;
+  h.heating_efficiency = 0.85;
+  h.cooling_cop = 3.0;
+  h.fan_power_w = 110.0;
+  return h;
+}
+
+}  // namespace
+
+Building five_zone_building(double hvac_scale) {
+  if (hvac_scale <= 0.0) {
+    throw std::invalid_argument("five_zone_building: hvac_scale must be positive");
+  }
+  Building b;
+  const auto scaled = [hvac_scale](HvacParams p) {
+    p.heating_capacity_w *= hvac_scale;
+    p.cooling_capacity_w *= hvac_scale;
+    p.fan_power_w *= hvac_scale;  // constant specific fan power
+    return p;
+  };
+
+  // Perimeter zones. South gets the largest solar aperture; east/west less;
+  // north the least (January, northern hemisphere).
+  const auto south =
+      b.add_zone(perimeter_zone("SPACE1-1 (south)", 70.0, 9.0), scaled(standard_unit()));
+  const auto east =
+      b.add_zone(perimeter_zone("SPACE2-1 (east)", 70.0, 5.0), scaled(standard_unit()));
+  const auto north =
+      b.add_zone(perimeter_zone("SPACE3-1 (north)", 70.0, 2.0), scaled(standard_unit()));
+  const auto west =
+      b.add_zone(perimeter_zone("SPACE4-1 (west)", 70.0, 5.0), scaled(standard_unit()));
+
+  // Core zone: no envelope contact, no glazing, bigger floor plate.
+  ZoneParams core = perimeter_zone("SPACE5-1 (core)", 183.0, 0.0);
+  core.ua_outdoor = 14.0;  // roof only
+  core.infiltration_ua = 1.0;
+  core.infiltration_wind_coeff = 0.1;
+  HvacParams core_unit = standard_unit();
+  core_unit.heating_capacity_w = 6000.0;
+  core_unit.cooling_capacity_w = 5200.0;
+  const auto core_idx = b.add_zone(core, scaled(core_unit));
+
+  // Partition conductances: every perimeter zone shares a wall with the
+  // core; adjacent perimeter zones share a corner partition.
+  for (auto zone : {south, east, north, west}) b.connect(zone, core_idx, 55.0);
+  b.connect(south, east, 14.0);
+  b.connect(east, north, 14.0);
+  b.connect(north, west, 14.0);
+  b.connect(west, south, 14.0);
+
+  b.set_controlled_zone(south);
+  b.validate();
+  return b;
+}
+
+Building single_zone_building() {
+  Building b;
+  b.add_zone(perimeter_zone("BOX", 50.0, 4.0), standard_unit());
+  b.set_controlled_zone(0);
+  b.validate();
+  return b;
+}
+
+}  // namespace verihvac::sim

@@ -1,0 +1,24 @@
+// Preset buildings.
+//
+// five_zone_building() reproduces the paper's evaluation plant: a 463 m^2
+// single-story office with four perimeter zones and one core zone (the
+// EnergyPlus "5ZoneAutoDXVAV" layout Sinergym wraps). Zone SPACE1-1
+// (south perimeter) is the controlled zone, as in Sinergym's 5Zone
+// environments.
+#pragma once
+
+#include "thermosim/building.hpp"
+
+namespace verihvac::sim {
+
+/// The 463 m^2 five-zone office used in all experiments. `hvac_scale`
+/// multiplies every unit's heating/cooling capacity (and fan power to
+/// keep specific fan energy constant) — the reduced-order analogue of
+/// EnergyPlus autosizing for a harsher design day (e.g. a desert July
+/// needs more tonnage than the January default).
+Building five_zone_building(double hvac_scale = 1.0);
+
+/// A single-zone test box (for unit tests and the quickstart example).
+Building single_zone_building();
+
+}  // namespace verihvac::sim

@@ -1,0 +1,81 @@
+#include "thermosim/hvac.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace verihvac::sim {
+
+HvacOutput hvac_output(const HvacParams& params, double air_temp_c,
+                       const SetpointPair& setpoints) {
+  HvacOutput out;
+  // Defensive clamp: a crossed pair (heat > cool) would demand simultaneous
+  // heating and cooling; resolve by honouring the heating setpoint.
+  const double heat_sp = setpoints.heating_c;
+  const double cool_sp = std::max(setpoints.cooling_c, heat_sp);
+
+  if (air_temp_c < heat_sp) {
+    const double demand = (heat_sp - air_temp_c) / params.throttling_range_k;
+    const double fraction = std::clamp(demand, 0.0, 1.0);
+    out.heat_to_zone_w = fraction * params.heating_capacity_w;
+    out.consumed_power_w =
+        out.heat_to_zone_w / params.heating_efficiency + params.fan_power_w * fraction;
+  } else if (air_temp_c > cool_sp) {
+    const double demand = (air_temp_c - cool_sp) / params.throttling_range_k;
+    const double fraction = std::clamp(demand, 0.0, 1.0);
+    const double cooling_w = fraction * params.cooling_capacity_w;
+    out.heat_to_zone_w = -cooling_w;
+    out.consumed_power_w = cooling_w / params.cooling_cop + params.fan_power_w * fraction;
+  }
+  return out;
+}
+
+HvacOutput ideal_load_output(const HvacParams& params, double air_temp_c,
+                             const SetpointPair& setpoints, double net_load_w,
+                             double air_capacitance_j_per_k, double dt_seconds) {
+  HvacOutput out;
+  const double heat_sp = setpoints.heating_c;
+  const double cool_sp = std::max(setpoints.cooling_c, heat_sp);
+
+  // Power that moves the air node from air_temp_c to `target` over dt,
+  // holding the rest of the balance at its substep-start value.
+  const auto required_w = [&](double target) {
+    return air_capacitance_j_per_k * (target - air_temp_c) / dt_seconds - net_load_w;
+  };
+
+  if (air_temp_c < heat_sp) {
+    const double needed = required_w(heat_sp);
+    if (needed > 0.0) {
+      out.heat_to_zone_w = std::min(needed, params.heating_capacity_w);
+      const double fraction =
+          params.heating_capacity_w > 0.0 ? out.heat_to_zone_w / params.heating_capacity_w
+                                          : 0.0;
+      out.consumed_power_w =
+          out.heat_to_zone_w / params.heating_efficiency + params.fan_power_w * fraction;
+    }
+  } else if (air_temp_c > cool_sp) {
+    const double needed = required_w(cool_sp);
+    if (needed < 0.0) {
+      const double cooling_w = std::min(-needed, params.cooling_capacity_w);
+      const double fraction =
+          params.cooling_capacity_w > 0.0 ? cooling_w / params.cooling_capacity_w : 0.0;
+      out.heat_to_zone_w = -cooling_w;
+      out.consumed_power_w = cooling_w / params.cooling_cop + params.fan_power_w * fraction;
+    }
+  }
+  return out;
+}
+
+void validate(const HvacParams& params) {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("hvac: ") + what);
+  };
+  require(params.heating_capacity_w >= 0.0, "heating capacity must be non-negative");
+  require(params.cooling_capacity_w >= 0.0, "cooling capacity must be non-negative");
+  require(params.throttling_range_k > 0.0, "throttling range must be positive");
+  require(params.heating_efficiency > 0.0 && params.heating_efficiency <= 1.0,
+          "heating efficiency must lie in (0,1]");
+  require(params.cooling_cop > 0.0, "cooling COP must be positive");
+  require(params.fan_power_w >= 0.0, "fan power must be non-negative");
+}
+
+}  // namespace verihvac::sim

@@ -1,0 +1,67 @@
+// Per-zone HVAC equipment model.
+//
+// The plant is an "ideal loads with capacity limits" unit, the same
+// abstraction EnergyPlus offers as ZoneHVAC:IdealLoadsAirSystem. Two
+// thermostat formulations are provided:
+//   * ideal_load_output — computes the exact power that lands the air
+//     node on the active setpoint over the next substep given the zone's
+//     net load, capped by equipment capacity. This matches EnergyPlus
+//     ideal-loads semantics (no steady-state droop: a zone under load
+//     holds its setpoint as long as capacity suffices) and is what the
+//     thermal network uses.
+//   * hvac_output — a proportional-band (throttling-range) thermostat,
+//     the classic droop model. Kept as a documented alternative; its
+//     steady state sits load_fraction * throttling_range away from the
+//     setpoint, which makes a default schedule pinned at the comfort
+//     boundary violate chronically — the reason the network does not use
+//     it.
+// Consumed (site) energy accounts for gas-heating efficiency, cooling COP
+// and fan power, which is what the kWh meter of Fig. 4 reports.
+#pragma once
+
+namespace verihvac::sim {
+
+struct HvacParams {
+  double heating_capacity_w = 4000.0;
+  double cooling_capacity_w = 3500.0;
+  /// Proportional thermostat band [K]: output ramps 0..capacity across it.
+  double throttling_range_k = 0.8;
+  /// Gas furnace efficiency (delivered heat / consumed fuel energy).
+  double heating_efficiency = 0.85;
+  /// Cooling coefficient of performance (heat removed / electric energy).
+  double cooling_cop = 3.0;
+  /// Supply-fan electric power while the unit runs [W].
+  double fan_power_w = 120.0;
+};
+
+/// Commanded setpoint pair for one zone [degC]. Invariant: heat <= cool
+/// (enforced by the action space; the equipment clamps defensively).
+struct SetpointPair {
+  double heating_c = 15.0;
+  double cooling_c = 30.0;
+};
+
+/// Instantaneous equipment output at one substep.
+struct HvacOutput {
+  double heat_to_zone_w = 0.0;   ///< >0 heating, <0 cooling (delivered)
+  double consumed_power_w = 0.0; ///< site power draw (fuel + electric + fan)
+};
+
+/// Proportional-band (droop) thermostat output for the current air
+/// temperature and setpoints.
+HvacOutput hvac_output(const HvacParams& params, double air_temp_c,
+                       const SetpointPair& setpoints);
+
+/// Ideal-loads thermostat: the equipment delivers exactly the power that
+/// brings the air node to the active setpoint over `dt_seconds`, given
+/// the zone's instantaneous `net_load_w` (all non-HVAC heat flows into
+/// the air node, >0 warming) and air-node capacitance, capped by the
+/// heating/cooling capacity. Inside the deadband the unit is off.
+HvacOutput ideal_load_output(const HvacParams& params, double air_temp_c,
+                             const SetpointPair& setpoints, double net_load_w,
+                             double air_capacitance_j_per_k, double dt_seconds);
+
+/// Throws std::invalid_argument on nonphysical parameters.
+void validate(const HvacParams& params);
+
+}  // namespace verihvac::sim

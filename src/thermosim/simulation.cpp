@@ -1,0 +1,37 @@
+#include "thermosim/simulation.hpp"
+
+#include "common/units.hpp"
+
+namespace verihvac::sim {
+
+BuildingSimulator::BuildingSimulator(Building building, double substep_seconds)
+    : building_(std::move(building)), network_(building_, substep_seconds) {}
+
+void BuildingSimulator::reset(double temp_c) { network_.reset(temp_c); }
+
+std::vector<double> BuildingSimulator::zone_temps() const {
+  std::vector<double> temps(building_.zone_count());
+  for (std::size_t i = 0; i < temps.size(); ++i) temps[i] = network_.air_temp(i);
+  return temps;
+}
+
+StepResult BuildingSimulator::step(const std::vector<SetpointPair>& setpoints,
+                                   const weather::WeatherRecord& record,
+                                   const std::vector<double>& occupants) {
+  BoundaryConditions bc;
+  bc.outdoor_temp_c = record.outdoor_temp_c;
+  bc.wind_mps = record.wind_mps;
+  bc.solar_wm2 = record.solar_wm2;
+  bc.occupants = occupants;
+
+  const EnergyAccount account = network_.advance(setpoints, bc, kControlStepSeconds);
+
+  StepResult result;
+  result.zone_temps_c = zone_temps();
+  result.controlled_zone_temp_c = result.zone_temps_c[building_.controlled_zone()];
+  result.consumed_kwh = joules_to_kwh(account.consumed_joules);
+  result.controlled_zone_kwh = joules_to_kwh(account.controlled_zone_consumed_joules);
+  return result;
+}
+
+}  // namespace verihvac::sim

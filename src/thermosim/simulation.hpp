@@ -1,0 +1,53 @@
+// Control-step simulation driver.
+//
+// Wraps the thermal network behind the 15-minute control-step interface the
+// rest of the library uses: one step = one setpoint command per zone + one
+// weather record + occupancy, returning the new controlled-zone temperature
+// and the interval's energy consumption. This is the surface the gym-style
+// environment (envlib) builds on.
+#pragma once
+
+#include <vector>
+
+#include "thermosim/building.hpp"
+#include "thermosim/thermal_network.hpp"
+#include "weather/occupancy.hpp"
+#include "weather/weather_generator.hpp"
+
+namespace verihvac::sim {
+
+/// Result of one 15-minute control step.
+struct StepResult {
+  double controlled_zone_temp_c = 20.0;
+  std::vector<double> zone_temps_c;
+  double consumed_kwh = 0.0;               ///< whole-building HVAC site energy
+  double controlled_zone_kwh = 0.0;        ///< controlled-zone HVAC share
+};
+
+class BuildingSimulator {
+ public:
+  BuildingSimulator(Building building, double substep_seconds = 60.0);
+
+  const Building& building() const { return building_; }
+  std::size_t controlled_zone() const { return building_.controlled_zone(); }
+
+  /// Resets all node temperatures to `temp_c`.
+  void reset(double temp_c = 20.0);
+
+  double controlled_zone_temp() const {
+    return network_.air_temp(building_.controlled_zone());
+  }
+  std::vector<double> zone_temps() const;
+
+  /// Advances one 15-minute control step. `setpoints` must contain one pair
+  /// per zone (the environment applies agent setpoints to the controlled
+  /// zone and the default schedule elsewhere).
+  StepResult step(const std::vector<SetpointPair>& setpoints,
+                  const weather::WeatherRecord& record, const std::vector<double>& occupants);
+
+ private:
+  Building building_;
+  ThermalNetwork network_;
+};
+
+}  // namespace verihvac::sim

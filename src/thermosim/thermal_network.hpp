@@ -1,0 +1,69 @@
+// RC thermal-network integrator.
+//
+// State vector: [T_air_0 .. T_air_{n-1}, T_mass_0 .. T_mass_{n-1}].
+// Conduction terms are integrated with backward Euler (unconditionally
+// stable for the stiff air nodes); HVAC and internal/solar gains are held
+// explicit across each substep, i.e. evaluated at the substep's starting
+// temperatures, which mirrors how a real thermostat samples the zone.
+#pragma once
+
+#include <vector>
+
+#include "thermosim/building.hpp"
+#include "weather/weather_generator.hpp"
+
+namespace verihvac::sim {
+
+/// Boundary conditions of one substep.
+struct BoundaryConditions {
+  double outdoor_temp_c = 0.0;
+  double wind_mps = 0.0;
+  double solar_wm2 = 0.0;
+  /// Occupant count per zone (heat gains + equipment trigger).
+  std::vector<double> occupants;
+};
+
+/// Energy bookkeeping of an integration interval.
+struct EnergyAccount {
+  double consumed_joules = 0.0;   ///< total site energy drawn by all units
+  double heating_joules = 0.0;    ///< heat delivered to zones (positive part)
+  double cooling_joules = 0.0;    ///< heat removed from zones (positive number)
+  double controlled_zone_consumed_joules = 0.0;
+
+  EnergyAccount& operator+=(const EnergyAccount& other);
+};
+
+class ThermalNetwork {
+ public:
+  /// Takes its own copy of the building description, so callers may pass
+  /// temporaries (e.g. `ThermalNetwork net(five_zone_building());`).
+  explicit ThermalNetwork(Building building, double substep_seconds = 60.0);
+
+  std::size_t zone_count() const { return building_.zone_count(); }
+
+  /// Current air temperature of zone i [degC].
+  double air_temp(std::size_t zone) const;
+  double mass_temp(std::size_t zone) const;
+  const std::vector<double>& state() const { return state_; }
+
+  /// Resets all nodes to the given uniform temperature.
+  void reset(double temp_c);
+  /// Resets with distinct air/mass temperatures.
+  void reset(const std::vector<double>& air, const std::vector<double>& mass);
+
+  /// Advances the network by `duration_seconds` under fixed setpoints and
+  /// boundary conditions, splitting into substeps internally. Returns the
+  /// energy account of the interval.
+  EnergyAccount advance(const std::vector<SetpointPair>& setpoints,
+                        const BoundaryConditions& bc, double duration_seconds);
+
+ private:
+  EnergyAccount substep(const std::vector<SetpointPair>& setpoints,
+                        const BoundaryConditions& bc, double dt);
+
+  Building building_;
+  double substep_seconds_;
+  std::vector<double> state_;  // [air..., mass...]
+};
+
+}  // namespace verihvac::sim

@@ -1,0 +1,25 @@
+#include "thermosim/zone.hpp"
+
+#include <stdexcept>
+
+namespace verihvac::sim {
+
+void validate(const ZoneParams& zone) {
+  auto require = [&zone](bool ok, const char* what) {
+    if (!ok) {
+      throw std::invalid_argument("zone '" + zone.name + "': " + what);
+    }
+  };
+  require(zone.floor_area_m2 > 0.0, "floor area must be positive");
+  require(zone.air_capacitance > 0.0, "air capacitance must be positive");
+  require(zone.mass_capacitance > 0.0, "mass capacitance must be positive");
+  require(zone.ua_outdoor >= 0.0, "UA to outdoors must be non-negative");
+  require(zone.ua_mass > 0.0, "air-mass coupling must be positive");
+  require(zone.infiltration_ua >= 0.0, "infiltration UA must be non-negative");
+  require(zone.infiltration_wind_coeff >= 0.0, "wind coefficient must be non-negative");
+  require(zone.solar_aperture_m2 >= 0.0, "solar aperture must be non-negative");
+  require(zone.solar_to_mass_fraction >= 0.0 && zone.solar_to_mass_fraction <= 1.0,
+          "solar mass fraction must lie in [0,1]");
+}
+
+}  // namespace verihvac::sim

@@ -1,0 +1,47 @@
+// Thermal-zone parameters.
+//
+// Each zone is modelled as a 2R2C node pair: a fast "air" node (what the
+// thermostat senses and the HVAC conditions) coupled to a slow "mass" node
+// (structure/furniture) that stores heat across hours. This is the standard
+// reduced-order abstraction of an EnergyPlus zone and captures the
+// inertia/overshoot effects the paper's verification criteria reason about.
+#pragma once
+
+#include <string>
+
+namespace verihvac::sim {
+
+struct ZoneParams {
+  std::string name;
+  double floor_area_m2 = 70.0;
+
+  /// Thermal capacitance of the air node [J/K] (air + light furnishings).
+  double air_capacitance = 1.2e6;
+  /// Thermal capacitance of the mass node [J/K] (structure).
+  double mass_capacitance = 1.0e7;
+
+  /// Envelope conductance air-node <-> outdoors [W/K] (0 for core zones).
+  double ua_outdoor = 20.0;
+  /// Coupling conductance air-node <-> mass-node [W/K].
+  double ua_mass = 220.0;
+  /// Infiltration conductance at zero wind [W/K]; grows with wind speed.
+  double infiltration_ua = 3.0;
+  /// Extra infiltration conductance per (m/s) of wind [W/K per m/s].
+  double infiltration_wind_coeff = 0.6;
+
+  /// Effective solar aperture [m^2] = glazing area x SHGC (0 for core).
+  double solar_aperture_m2 = 6.0;
+  /// Fraction of solar gain deposited in the mass node (rest heats the air).
+  double solar_to_mass_fraction = 0.6;
+
+  /// Sensible heat per occupant [W].
+  double heat_per_occupant = 75.0;
+  /// Equipment + lighting gain when the zone is occupied [W/m^2].
+  double equipment_wm2 = 4.0;
+};
+
+/// Validates physical sanity (positive capacitances/conductances); throws
+/// std::invalid_argument with a description on violation.
+void validate(const ZoneParams& zone);
+
+}  // namespace verihvac::sim

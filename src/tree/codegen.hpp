@@ -1,0 +1,47 @@
+// Decision-tree → C source generation for edge deployment.
+//
+// The paper's pipeline ends with "deploy it to the building edge device"
+// (§3, Fig. 2). Edge BMS controllers are typically bare-metal C targets, so
+// the natural deployment artifact is a dependency-free C99 translation unit
+// that evaluates the verified tree. Two emission styles are provided:
+//
+//  * kNestedIf   — the tree as literal nested if/else; mirrors the
+//                  interpretable pseudo-code of to_text() and lets the
+//                  target compiler optimize branch layout;
+//  * kFlatTable  — the node array as `static const` data walked by a small
+//                  loop; constant code size regardless of tree depth, which
+//                  suits MCU flash budgets and avoids deep nesting limits.
+//
+// Both styles compile standalone (no includes beyond the emitted file) and
+// produce bit-identical decisions to DecisionTreeClassifier::predict for
+// every input, which tests/tree/codegen_test.cpp checks by compiling the
+// emitted source with the host C compiler and replaying random inputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tree/cart.hpp"
+
+namespace verihvac::tree {
+
+enum class CodegenStyle { kNestedIf, kFlatTable };
+
+struct CodegenOptions {
+  /// Name of the emitted `int <name>(const double* x)` function.
+  std::string function_name = "dt_predict";
+  /// Optional per-feature names, emitted as comments on each comparison.
+  std::vector<std::string> feature_names;
+  CodegenStyle style = CodegenStyle::kNestedIf;
+  /// Emit a provenance banner (node/leaf/depth counts) at the top.
+  bool banner = true;
+  /// Declare the function `static` (for single-file embedding).
+  bool static_linkage = false;
+};
+
+/// Renders the fitted tree as a self-contained C99 source string whose
+/// single function maps a feature vector to the integer class label.
+/// Throws std::invalid_argument if the tree is not fitted.
+std::string to_c_source(const DecisionTreeClassifier& tree, const CodegenOptions& options = {});
+
+}  // namespace verihvac::tree

@@ -1,0 +1,71 @@
+#include "tree/prune.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace verihvac::tree {
+
+PruneReport merge_redundant_leaves(DecisionTreeClassifier& tree) {
+  PruneReport report;
+  report.nodes_before = tree.node_count();
+  if (!tree.fitted()) {
+    report.nodes_after = report.nodes_before;
+    return report;
+  }
+
+  std::vector<TreeNode> nodes = tree.nodes();
+
+  // Bottom-up fixed point: collapse any internal node whose children are
+  // leaves with the same label. Collapsing can expose the parent as the
+  // next candidate, hence the loop.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& node : nodes) {
+      if (node.is_leaf()) continue;
+      const TreeNode& left = nodes[static_cast<std::size_t>(node.left)];
+      const TreeNode& right = nodes[static_cast<std::size_t>(node.right)];
+      if (left.is_leaf() && right.is_leaf() && left.label == right.label) {
+        node.feature = -1;
+        node.label = left.label;
+        node.samples = left.samples + right.samples;
+        node.impurity = 0.0;
+        node.left = -1;
+        node.right = -1;
+        ++report.merges;
+        changed = true;
+      }
+    }
+  }
+
+  if (report.merges == 0) {
+    report.nodes_after = report.nodes_before;
+    return report;
+  }
+
+  // Compact: DFS from the root, dropping orphaned nodes and remapping
+  // child/parent indices.
+  std::vector<TreeNode> compact;
+  compact.reserve(nodes.size());
+  const std::function<int(int, int)> copy_subtree = [&](int index, int parent) -> int {
+    TreeNode node = nodes[static_cast<std::size_t>(index)];
+    node.parent = parent;
+    const int new_index = static_cast<int>(compact.size());
+    compact.push_back(node);
+    if (!node.is_leaf()) {
+      const int left = copy_subtree(node.left, new_index);
+      const int right = copy_subtree(node.right, new_index);
+      compact[static_cast<std::size_t>(new_index)].left = left;
+      compact[static_cast<std::size_t>(new_index)].right = right;
+    }
+    return new_index;
+  };
+  copy_subtree(0, -1);
+
+  tree = DecisionTreeClassifier::from_nodes(std::move(compact), tree.num_features(),
+                                            tree.num_classes());
+  report.nodes_after = tree.node_count();
+  return report;
+}
+
+}  // namespace verihvac::tree

@@ -1,0 +1,29 @@
+// Post-hoc tree simplification.
+//
+// Two sources inflate a verified tree without changing its function:
+//  * CART itself can produce sibling leaves with identical labels (the
+//    split reduced Gini against the *distribution*, but the argmax label
+//    came out equal on both sides), and
+//  * the verifier's boundary refinement + correction can relabel leaves
+//    so that siblings end up identical again.
+// merge_redundant_leaves() collapses such pairs bottom-up until a fixed
+// point. The result decides exactly the same action for every input but
+// walks fewer nodes — relevant for the Table 3 edge-latency story and
+// for human inspection of the rule dump.
+#pragma once
+
+#include "tree/cart.hpp"
+
+namespace verihvac::tree {
+
+struct PruneReport {
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  std::size_t merges = 0;
+};
+
+/// Collapses identical-label sibling leaves until no such pair remains.
+/// Function-preserving: predict() is unchanged for every input.
+PruneReport merge_redundant_leaves(DecisionTreeClassifier& tree);
+
+}  // namespace verihvac::tree

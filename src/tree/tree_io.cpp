@@ -1,0 +1,120 @@
+#include "tree/tree_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace verihvac::tree {
+namespace {
+
+std::string feature_name(const std::vector<std::string>& names, int feature) {
+  if (feature >= 0 && static_cast<std::size_t>(feature) < names.size()) {
+    return names[static_cast<std::size_t>(feature)];
+  }
+  return "x[" + std::to_string(feature) + "]";
+}
+
+std::string class_name(const std::vector<std::string>& names, int label) {
+  if (label >= 0 && static_cast<std::size_t>(label) < names.size()) {
+    return names[static_cast<std::size_t>(label)];
+  }
+  return "class " + std::to_string(label);
+}
+
+void text_walk(const DecisionTreeClassifier& tree, int node_idx, std::size_t indent,
+               const std::vector<std::string>& feature_names,
+               const std::vector<std::string>& class_names, std::ostringstream& os) {
+  const TreeNode& n = tree.node(static_cast<std::size_t>(node_idx));
+  const std::string pad(indent * 2, ' ');
+  if (n.is_leaf()) {
+    os << pad << "-> " << class_name(class_names, n.label) << "  (n=" << n.samples << ")\n";
+    return;
+  }
+  os << pad << "if " << feature_name(feature_names, n.feature) << " <= " << n.threshold
+     << ":\n";
+  text_walk(tree, n.left, indent + 1, feature_names, class_names, os);
+  os << pad << "else:  # " << feature_name(feature_names, n.feature) << " > " << n.threshold
+     << "\n";
+  text_walk(tree, n.right, indent + 1, feature_names, class_names, os);
+}
+
+}  // namespace
+
+std::string to_text(const DecisionTreeClassifier& tree,
+                    const std::vector<std::string>& feature_names,
+                    const std::vector<std::string>& class_names) {
+  if (!tree.fitted()) throw std::logic_error("to_text: tree not fitted");
+  std::ostringstream os;
+  text_walk(tree, 0, 0, feature_names, class_names, os);
+  return os.str();
+}
+
+std::string to_dot(const DecisionTreeClassifier& tree,
+                   const std::vector<std::string>& feature_names,
+                   const std::vector<std::string>& class_names) {
+  if (!tree.fitted()) throw std::logic_error("to_dot: tree not fitted");
+  std::ostringstream os;
+  os << "digraph DecisionTree {\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < tree.node_count(); ++i) {
+    const TreeNode& n = tree.node(i);
+    if (n.is_leaf()) {
+      os << "  n" << i << " [label=\"" << class_name(class_names, n.label)
+         << "\\nn=" << n.samples << "\", style=filled, fillcolor=lightgray];\n";
+    } else {
+      os << "  n" << i << " [label=\"" << feature_name(feature_names, n.feature)
+         << " <= " << n.threshold << "\"];\n";
+      os << "  n" << i << " -> n" << n.left << " [label=\"yes\"];\n";
+      os << "  n" << i << " -> n" << n.right << " [label=\"no\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_tree(const DecisionTreeClassifier& tree, std::ostream& out) {
+  if (!tree.fitted()) throw std::logic_error("write_tree: tree not fitted");
+  const auto saved_precision = out.precision(17);
+  out << "verihvac-tree v1\n";
+  out << tree.num_features() << ' ' << tree.num_classes() << ' ' << tree.node_count() << '\n';
+  for (std::size_t i = 0; i < tree.node_count(); ++i) {
+    const TreeNode& n = tree.node(i);
+    out << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right << ' '
+        << n.label << ' ' << n.samples << ' ' << n.impurity << ' ' << n.parent << '\n';
+  }
+  out.precision(saved_precision);
+}
+
+DecisionTreeClassifier read_tree(std::istream& in, const std::string& context) {
+  std::string magic;
+  std::string version;
+  in >> magic >> version;
+  if (magic != "verihvac-tree" || version != "v1") {
+    throw std::runtime_error("read_tree: bad header in " + context);
+  }
+  std::size_t num_features = 0;
+  std::size_t num_classes = 0;
+  std::size_t count = 0;
+  in >> num_features >> num_classes >> count;
+  std::vector<TreeNode> nodes(count);
+  for (auto& n : nodes) {
+    in >> n.feature >> n.threshold >> n.left >> n.right >> n.label >> n.samples >>
+        n.impurity >> n.parent;
+  }
+  if (!in) throw std::runtime_error("read_tree: truncated input in " + context);
+  return DecisionTreeClassifier::from_nodes(std::move(nodes), num_features, num_classes);
+}
+
+void save_tree(const DecisionTreeClassifier& tree, const std::string& path) {
+  if (!tree.fitted()) throw std::logic_error("save_tree: tree not fitted");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_tree: cannot open " + path);
+  write_tree(tree, out);
+}
+
+DecisionTreeClassifier load_tree(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_tree: cannot open " + path);
+  return read_tree(in, path);
+}
+
+}  // namespace verihvac::tree

@@ -1,0 +1,39 @@
+// Decision-tree serialization and human-readable export.
+//
+// Three formats:
+//  * to_text      — indented if/else pseudo-code, the "interpretable to
+//                   human experts" artifact the paper emphasizes;
+//  * to_dot       — Graphviz, for figures like Fig. 2's illustration;
+//  * save/load    — a line-based exact round-trip format so verified
+//                   policies can be deployed to edge devices as plain files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tree/cart.hpp"
+
+namespace verihvac::tree {
+
+/// Indented pseudo-code. `feature_names` may be empty (uses x[i]);
+/// `class_names` may be empty (uses raw label numbers).
+std::string to_text(const DecisionTreeClassifier& tree,
+                    const std::vector<std::string>& feature_names = {},
+                    const std::vector<std::string>& class_names = {});
+
+/// Graphviz DOT digraph.
+std::string to_dot(const DecisionTreeClassifier& tree,
+                   const std::vector<std::string>& feature_names = {},
+                   const std::vector<std::string>& class_names = {});
+
+/// Exact round-trip serialization.
+void save_tree(const DecisionTreeClassifier& tree, const std::string& path);
+DecisionTreeClassifier load_tree(const std::string& path);
+
+/// Stream variants (used by the policy-bundle format, which embeds a tree
+/// section inside a larger file). `context` names the source in errors.
+void write_tree(const DecisionTreeClassifier& tree, std::ostream& out);
+DecisionTreeClassifier read_tree(std::istream& in, const std::string& context = "<stream>");
+
+}  // namespace verihvac::tree

@@ -1,0 +1,113 @@
+#include "weather/climate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace verihvac::weather {
+
+std::string to_string(ClimateZone zone) {
+  switch (zone) {
+    case ClimateZone::k2B: return "2B";
+    case ClimateZone::k4A: return "4A";
+  }
+  return "?";
+}
+
+ClimateProfile pittsburgh() {
+  ClimateProfile p;
+  p.name = "Pittsburgh";
+  p.zone = ClimateZone::k4A;
+  p.latitude_deg = 40.4;
+  p.mean_temp_c = -1.5;       // January normal ~ -1.7 degC
+  p.diurnal_amp_c = 3.8;
+  p.synoptic_sigma_c = 4.5;   // frequent fronts
+  p.synoptic_tau_hours = 36.0;
+  p.mean_rh = 70.0;
+  p.rh_sigma = 10.0;
+  p.rh_temp_coupling = -1.2;
+  p.mean_wind = 4.2;
+  p.wind_sigma = 1.9;
+  p.clear_sky_peak = 420.0;
+  p.mean_cloud_cover = 0.68;  // famously overcast winters
+  p.cloud_sigma = 0.22;
+  return p;
+}
+
+ClimateProfile tucson() {
+  ClimateProfile p;
+  p.name = "Tucson";
+  p.zone = ClimateZone::k2B;
+  p.latitude_deg = 32.2;
+  p.mean_temp_c = 11.0;       // January normal ~ 11 degC
+  p.diurnal_amp_c = 8.0;      // large desert diurnal swing
+  p.synoptic_sigma_c = 2.5;
+  p.synoptic_tau_hours = 48.0;
+  p.mean_rh = 45.0;
+  p.rh_sigma = 14.0;
+  p.rh_temp_coupling = -2.0;
+  p.mean_wind = 3.0;
+  p.wind_sigma = 1.5;
+  p.clear_sky_peak = 620.0;
+  p.mean_cloud_cover = 0.25;  // mostly clear
+  p.cloud_sigma = 0.20;
+  return p;
+}
+
+ClimateProfile new_york() {
+  ClimateProfile p;
+  p.name = "NewYork";
+  p.zone = ClimateZone::k4A;
+  p.latitude_deg = 40.7;
+  p.mean_temp_c = 0.5;        // slightly milder than Pittsburgh
+  p.diurnal_amp_c = 3.5;
+  p.synoptic_sigma_c = 4.2;
+  p.synoptic_tau_hours = 36.0;
+  p.mean_rh = 64.0;
+  p.rh_sigma = 11.0;
+  p.rh_temp_coupling = -1.2;
+  p.mean_wind = 4.8;          // coastal
+  p.wind_sigma = 2.1;
+  p.clear_sky_peak = 430.0;
+  p.mean_cloud_cover = 0.60;
+  p.cloud_sigma = 0.22;
+  return p;
+}
+
+ClimateProfile tucson_july() {
+  ClimateProfile p;
+  p.name = "TucsonJuly";
+  p.zone = ClimateZone::k2B;
+  p.latitude_deg = 32.2;
+  p.mean_temp_c = 31.0;       // July normal ~ 31 degC (monsoon season)
+  p.diurnal_amp_c = 7.0;
+  p.synoptic_sigma_c = 2.0;   // summer highs are persistent
+  p.synoptic_tau_hours = 60.0;
+  p.mean_rh = 38.0;           // monsoon moisture, still arid
+  p.rh_sigma = 15.0;
+  p.rh_temp_coupling = -1.5;
+  p.mean_wind = 3.2;
+  p.wind_sigma = 1.6;
+  p.clear_sky_peak = 1000.0;  // high-sun season
+  p.mean_cloud_cover = 0.30;  // afternoon monsoon build-ups
+  p.cloud_sigma = 0.25;
+  return p;
+}
+
+ClimateProfile profile_by_name(const std::string& name) {
+  std::string lowered = name;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lowered == "pittsburgh") return pittsburgh();
+  if (lowered == "tucson") return tucson();
+  if (lowered == "tucsonjuly" || lowered == "tucson_july") return tucson_july();
+  if (lowered == "newyork" || lowered == "new_york" || lowered == "new york") {
+    return new_york();
+  }
+  throw std::invalid_argument("unknown climate profile: " + name);
+}
+
+std::vector<std::string> available_profiles() {
+  return {"Pittsburgh", "Tucson", "NewYork", "TucsonJuly"};
+}
+
+}  // namespace verihvac::weather

@@ -1,0 +1,70 @@
+// Per-city climate profiles.
+//
+// The paper evaluates on TMY3 weather for Pittsburgh (ASHRAE climate zone
+// 4A) and Tucson (2B), plus New York (also 4A) in the Fig. 3 noise-level
+// calibration. We do not ship proprietary TMY3 files; instead each city is
+// parameterized by its January climate normals (mean temperature, diurnal
+// amplitude, synoptic variability, humidity, wind, cloudiness, latitude)
+// and a seeded stochastic generator synthesizes consistent weather series
+// (see weather_generator.hpp). What the paper's algorithms consume is the
+// *distribution* of inputs per city, which these normals determine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace verihvac::weather {
+
+/// ASHRAE 169 climate-zone tag (only the ones used by the paper).
+enum class ClimateZone { k2B, k4A };
+
+std::string to_string(ClimateZone zone);
+
+/// Parameters of the synthetic-climate model for one city, for the month
+/// under simulation (January, as in the paper's evaluation).
+struct ClimateProfile {
+  std::string name;
+  ClimateZone zone = ClimateZone::k4A;
+  double latitude_deg = 40.0;
+
+  // Outdoor dry-bulb temperature model [degC].
+  double mean_temp_c = 0.0;       ///< monthly mean
+  double diurnal_amp_c = 4.0;     ///< half peak-to-trough of the daily cycle
+  double synoptic_sigma_c = 3.5;  ///< std-dev of the multi-day OU residual
+  double synoptic_tau_hours = 36.0;  ///< OU time constant (weather fronts)
+
+  // Relative humidity model [%].
+  double mean_rh = 65.0;
+  double rh_sigma = 12.0;
+  /// Coupling of RH to the temperature anomaly (warm fronts -> drier here).
+  double rh_temp_coupling = -1.5;
+
+  // Wind model [m/s].
+  double mean_wind = 3.5;
+  double wind_sigma = 1.8;
+  double wind_tau_hours = 6.0;
+
+  // Solar model [W/m^2].
+  double clear_sky_peak = 450.0;  ///< January solar noon horizontal irradiance
+  double mean_cloud_cover = 0.6;  ///< [0,1]; attenuates clear-sky irradiance
+  double cloud_sigma = 0.25;
+  double cloud_tau_hours = 8.0;
+};
+
+/// Pittsburgh, PA — ASHRAE 4A (cold/humid January).
+ClimateProfile pittsburgh();
+/// Tucson, AZ — ASHRAE 2B (mild/sunny January).
+ClimateProfile tucson();
+/// New York, NY — ASHRAE 4A, the "similar city" of the Fig. 3 calibration.
+ClimateProfile new_york();
+/// Tucson, AZ in July — the cooling-season profile for the summer-comfort
+/// extension (the paper evaluates January only; the comfort machinery is
+/// seasonal, Eq. 2 / §2.1).
+ClimateProfile tucson_july();
+
+/// Lookup by case-insensitive name; throws std::invalid_argument on miss.
+ClimateProfile profile_by_name(const std::string& name);
+/// Names accepted by profile_by_name.
+std::vector<std::string> available_profiles();
+
+}  // namespace verihvac::weather

@@ -1,0 +1,41 @@
+#include "weather/occupancy.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace verihvac::weather {
+
+double OccupancySchedule::occupants_at(std::size_t step) const {
+  const std::size_t day = step / kStepsPerDay;
+  const double hour =
+      static_cast<double>(step % kStepsPerDay) / static_cast<double>(kStepsPerHour);
+  const int weekday = (first_weekday + static_cast<int>(day)) % 7;
+  const bool weekend = weekday >= 5;
+
+  if (hour < start_hour || hour >= end_hour) return 0.0;
+  if (weekend) return peak_occupants * weekend_fraction;
+
+  // Optional soft ramp at the edges of the business day; the default
+  // (ramp_hours = 0) is the stepwise Sinergym schedule.
+  double fraction = 1.0;
+  if (ramp_hours > 0.0) {
+    if (hour < start_hour + ramp_hours) {
+      fraction = (hour - start_hour) / ramp_hours;
+    } else if (hour > end_hour - ramp_hours) {
+      fraction = (end_hour - hour) / ramp_hours;
+    }
+  }
+  return std::round(peak_occupants * fraction);
+}
+
+std::vector<double> OccupancySchedule::series(std::size_t num_steps) const {
+  std::vector<double> out;
+  out.reserve(num_steps);
+  for (std::size_t step = 0; step < num_steps; ++step) out.push_back(occupants_at(step));
+  return out;
+}
+
+OccupancySchedule office_schedule() { return OccupancySchedule{}; }
+
+}  // namespace verihvac::weather

@@ -1,0 +1,99 @@
+#include "weather/weather_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace verihvac::weather {
+namespace {
+
+constexpr double kStepHours = 0.25;
+
+/// One Ornstein-Uhlenbeck step: x' = x + theta*(mu - x)*dt + sigma_eq*sqrt(...)dW.
+/// Parameterized by the equilibrium standard deviation so profiles specify
+/// intuitive quantities.
+double ou_step(double x, double mu, double sigma_eq, double tau_hours, double dt_hours,
+               Rng& rng) {
+  const double theta = 1.0 / tau_hours;
+  // Exact discretization of the OU process keeps stationarity for any dt.
+  const double decay = std::exp(-theta * dt_hours);
+  const double stationary_noise = sigma_eq * std::sqrt(1.0 - decay * decay);
+  return mu + (x - mu) * decay + stationary_noise * rng.normal();
+}
+
+}  // namespace
+
+WeatherGenerator::WeatherGenerator(ClimateProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), seed_(seed) {}
+
+std::pair<double, double> WeatherGenerator::daylight_hours(const ClimateProfile& profile) {
+  // January photoperiod shrinks with latitude; a simple linear model is
+  // adequate (Tucson ~10.2 h, Pittsburgh ~9.4 h).
+  const double photoperiod = 12.0 - 0.065 * profile.latitude_deg;
+  const double sunrise = 12.0 - photoperiod / 2.0;
+  const double sunset = 12.0 + photoperiod / 2.0;
+  return {sunrise, sunset};
+}
+
+WeatherSeries WeatherGenerator::generate(int start_day, std::size_t num_steps) {
+  WeatherSeries series;
+  series.profile = profile_;
+  series.seed = seed_;
+  series.start_day = start_day;
+  series.records.reserve(num_steps);
+
+  Rng rng(seed_ ^ (0x5bd1e995u + static_cast<std::uint64_t>(start_day) * 0x9E3779B9ull));
+
+  // Initialize the latent processes at their stationary means.
+  double synoptic = 0.0;
+  double rh_noise = 0.0;
+  double wind = profile_.mean_wind;
+  double cloud = profile_.mean_cloud_cover;
+
+  const auto [sunrise, sunset] = daylight_hours(profile_);
+
+  for (std::size_t step = 0; step < num_steps; ++step) {
+    const double hour_of_day =
+        std::fmod(static_cast<double>(start_day) * 24.0 + static_cast<double>(step) * kStepHours,
+                  24.0);
+
+    synoptic = ou_step(synoptic, 0.0, profile_.synoptic_sigma_c,
+                       profile_.synoptic_tau_hours, kStepHours, rng);
+    rh_noise = ou_step(rh_noise, 0.0, profile_.rh_sigma, 12.0, kStepHours, rng);
+    wind = ou_step(wind, profile_.mean_wind, profile_.wind_sigma, profile_.wind_tau_hours,
+                   kStepHours, rng);
+    cloud = ou_step(cloud, profile_.mean_cloud_cover, profile_.cloud_sigma,
+                    profile_.cloud_tau_hours, kStepHours, rng);
+    const double cloud_clamped = std::clamp(cloud, 0.0, 1.0);
+
+    // Diurnal harmonic: minimum just before sunrise (~6h), maximum mid-afternoon.
+    const double phase = 2.0 * std::numbers::pi * (hour_of_day - 15.0) / 24.0;
+    const double diurnal = profile_.diurnal_amp_c * std::cos(phase);
+
+    WeatherRecord rec;
+    rec.outdoor_temp_c = profile_.mean_temp_c + diurnal + synoptic;
+    rec.humidity_pct = std::clamp(
+        profile_.mean_rh + profile_.rh_temp_coupling * synoptic + rh_noise, 5.0, 100.0);
+    rec.wind_mps = std::abs(wind);
+
+    if (hour_of_day > sunrise && hour_of_day < sunset) {
+      const double day_frac = (hour_of_day - sunrise) / (sunset - sunrise);
+      const double clear_sky =
+          profile_.clear_sky_peak * std::sin(std::numbers::pi * day_frac);
+      rec.solar_wm2 = std::max(0.0, clear_sky * (1.0 - 0.75 * cloud_clamped));
+    } else {
+      rec.solar_wm2 = 0.0;
+    }
+    series.records.push_back(rec);
+  }
+  return series;
+}
+
+WeatherSeries WeatherGenerator::generate_days(int num_days) {
+  return generate(0, static_cast<std::size_t>(num_days) * kStepsPerDay);
+}
+
+}  // namespace verihvac::weather

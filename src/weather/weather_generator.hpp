@@ -1,0 +1,61 @@
+// Seeded stochastic weather synthesis (TMY3 substitute).
+//
+// Model per 15-minute step:
+//   temp(t)  = mean + diurnal harmonic (coldest pre-dawn) + OU synoptic residual
+//   rh(t)    = mean + coupling * temp anomaly + OU noise, clamped to [5, 100]
+//   wind(t)  = |mean + OU noise|
+//   solar(t) = clear-sky half-sine over the photoperiod * (1 - 0.75*cloud(t))
+// where cloud(t) is an OU process clamped to [0, 1]. All processes are
+// driven by a single xoshiro seed, so a (city, seed) pair fully determines
+// the series — the reproducibility contract every experiment relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "weather/climate.hpp"
+
+namespace verihvac::weather {
+
+/// One 15-minute weather record — exactly the disturbance variables of
+/// Table 1 of the paper, minus occupancy (which is a building schedule, see
+/// occupancy.hpp).
+struct WeatherRecord {
+  double outdoor_temp_c = 0.0;   ///< Outdoor Air Drybulb Temperature [degC]
+  double humidity_pct = 50.0;    ///< Outdoor Air Relative Humidity [%]
+  double wind_mps = 0.0;         ///< Site Wind Speed [m/s]
+  double solar_wm2 = 0.0;        ///< Site Total Radiation Rate per Area [W/m^2]
+};
+
+/// A synthesized series plus its provenance.
+struct WeatherSeries {
+  ClimateProfile profile;
+  std::uint64_t seed = 0;
+  int start_day = 0;                   ///< day-of-month offset (0-based)
+  std::vector<WeatherRecord> records;  ///< one per 15-minute step
+
+  std::size_t size() const { return records.size(); }
+  const WeatherRecord& at(std::size_t step) const { return records[step]; }
+};
+
+class WeatherGenerator {
+ public:
+  WeatherGenerator(ClimateProfile profile, std::uint64_t seed);
+
+  /// Generates `num_steps` 15-minute records starting at midnight of
+  /// `start_day` (0-based day index within the simulated month).
+  WeatherSeries generate(int start_day, std::size_t num_steps);
+
+  /// Convenience: a full N-day series starting at day 0.
+  WeatherSeries generate_days(int num_days);
+
+  /// Photoperiod approximation for the profile's latitude in January:
+  /// returns {sunrise_hour, sunset_hour}.
+  static std::pair<double, double> daylight_hours(const ClimateProfile& profile);
+
+ private:
+  ClimateProfile profile_;
+  std::uint64_t seed_;
+};
+
+}  // namespace verihvac::weather

@@ -1,0 +1,32 @@
+#include "weather/weather_io.hpp"
+
+#include "common/csv.hpp"
+
+namespace verihvac::weather {
+
+void save_series_csv(const WeatherSeries& series, const std::string& path) {
+  CsvWriter writer(path);
+  writer.write_header({"step", "outdoor_temp_c", "humidity_pct", "wind_mps", "solar_wm2"});
+  for (std::size_t i = 0; i < series.records.size(); ++i) {
+    const auto& r = series.records[i];
+    writer.write_row({static_cast<double>(i), r.outdoor_temp_c, r.humidity_pct, r.wind_mps,
+                      r.solar_wm2});
+  }
+  writer.flush();
+}
+
+WeatherSeries load_series_csv(const std::string& path) {
+  const CsvTable table = read_csv(path);
+  WeatherSeries series;
+  const auto temp = table.numeric_column("outdoor_temp_c");
+  const auto rh = table.numeric_column("humidity_pct");
+  const auto wind = table.numeric_column("wind_mps");
+  const auto solar = table.numeric_column("solar_wm2");
+  series.records.resize(temp.size());
+  for (std::size_t i = 0; i < temp.size(); ++i) {
+    series.records[i] = WeatherRecord{temp[i], rh[i], wind[i], solar[i]};
+  }
+  return series;
+}
+
+}  // namespace verihvac::weather

@@ -1,0 +1,21 @@
+// Serialization of weather series to/from CSV (EPW-like interchange).
+//
+// Lets users persist a synthesized series, hand-edit it, or substitute real
+// measured data in the same column layout:
+//   step, outdoor_temp_c, humidity_pct, wind_mps, solar_wm2
+#pragma once
+
+#include <string>
+
+#include "weather/weather_generator.hpp"
+
+namespace verihvac::weather {
+
+/// Writes `series` to a CSV file at `path`.
+void save_series_csv(const WeatherSeries& series, const std::string& path);
+
+/// Loads a series from CSV; profile/seed metadata is not stored in the CSV
+/// and is left defaulted (records only).
+WeatherSeries load_series_csv(const std::string& path);
+
+}  // namespace verihvac::weather

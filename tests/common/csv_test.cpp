@@ -1,0 +1,99 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace verihvac {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "verihvac_csv_test";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+};
+
+TEST_F(CsvTest, WriteReadRoundTrip) {
+  const std::string path = temp_path("round_trip.csv");
+  write_csv(path, {"a", "b"}, {{1.0, 2.0}, {3.5, -4.0}});
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.header.size(), 2u);
+  EXPECT_EQ(table.header[0], "a");
+  ASSERT_EQ(table.rows.size(), 2u);
+  const auto col_b = table.numeric_column("b");
+  EXPECT_DOUBLE_EQ(col_b[0], 2.0);
+  EXPECT_DOUBLE_EQ(col_b[1], -4.0);
+}
+
+TEST_F(CsvTest, ColumnIndexMissingReturnsNpos) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  EXPECT_EQ(table.column_index("z"), static_cast<std::size_t>(-1));
+  EXPECT_EQ(table.column_index("y"), 1u);
+}
+
+TEST_F(CsvTest, NumericColumnMissingThrows) {
+  const std::string path = temp_path("missing.csv");
+  write_csv(path, {"only"}, {{1.0}});
+  const CsvTable table = read_csv(path);
+  EXPECT_THROW(table.numeric_column("nope"), std::runtime_error);
+}
+
+TEST_F(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/definitely/not/here.csv"), std::runtime_error);
+}
+
+TEST_F(CsvTest, WriterStringRows) {
+  const std::string path = temp_path("strings.csv");
+  {
+    CsvWriter w(path);
+    w.write_header({"name", "value"});
+    w.write_row(std::vector<std::string>{"alpha", "1"});
+    w.flush();
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "alpha");
+}
+
+TEST_F(CsvTest, DestructorFlushes) {
+  const std::string path = temp_path("dtor.csv");
+  {
+    CsvWriter w(path);
+    w.write_header({"v"});
+    w.write_row(std::vector<double>{42.0});
+    // no explicit flush
+  }
+  const CsvTable table = read_csv(path);
+  EXPECT_DOUBLE_EQ(table.numeric_column("v")[0], 42.0);
+}
+
+TEST_F(CsvTest, SkipsBlankLinesAndCr) {
+  const std::string path = temp_path("messy.csv");
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("h1,h2\r\n\n1,2\r\n", f);
+    std::fclose(f);
+  }
+  const CsvTable table = read_csv(path);
+  EXPECT_EQ(table.header[1], "h2");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][1], "2");
+}
+
+TEST_F(CsvTest, NoHeaderMode) {
+  const std::string path = temp_path("no_header.csv");
+  write_csv(path, {"x"}, {{5.0}});
+  const CsvTable table = read_csv(path, /*has_header=*/false);
+  EXPECT_TRUE(table.header.empty());
+  ASSERT_EQ(table.rows.size(), 2u);  // header row counted as data
+  EXPECT_EQ(table.rows[0][0], "x");
+}
+
+}  // namespace
+}  // namespace verihvac

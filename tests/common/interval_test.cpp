@@ -1,0 +1,130 @@
+#include "common/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace verihvac {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(IntervalTest, AllIsUnbounded) {
+  const Interval iv = Interval::all();
+  EXPECT_EQ(iv.lo, -kInf);
+  EXPECT_EQ(iv.hi, kInf);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.contains(0.0));
+  EXPECT_TRUE(iv.contains(1e300));
+}
+
+TEST(IntervalTest, AtMostAndGreater) {
+  const Interval le = Interval::at_most(5.0);
+  EXPECT_TRUE(le.contains(5.0));
+  EXPECT_FALSE(le.contains(5.1));
+  const Interval gt = Interval::greater(5.0);
+  EXPECT_TRUE(gt.contains(5.1));
+  EXPECT_FALSE(gt.contains(4.9));
+}
+
+TEST(IntervalTest, IntersectOverlapping) {
+  const Interval a = Interval::bounded(0.0, 10.0);
+  const Interval b = Interval::bounded(5.0, 15.0);
+  const Interval c = a.intersect(b);
+  EXPECT_DOUBLE_EQ(c.lo, 5.0);
+  EXPECT_DOUBLE_EQ(c.hi, 10.0);
+  EXPECT_FALSE(c.empty());
+}
+
+TEST(IntervalTest, IntersectDisjointIsEmpty) {
+  const Interval a = Interval::bounded(0.0, 1.0);
+  const Interval b = Interval::bounded(2.0, 3.0);
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(IntervalTest, WidthOfEmptyIsZero) {
+  Interval iv{3.0, 1.0};
+  EXPECT_TRUE(iv.empty());
+  EXPECT_DOUBLE_EQ(iv.width(), 0.0);
+  EXPECT_DOUBLE_EQ(Interval::bounded(1.0, 4.0).width(), 3.0);
+}
+
+TEST(IntervalTest, ChainedSplitsMimicTreePath) {
+  // x <= 10, then x > 3, then x <= 7 -> (3, 7].
+  Interval iv = Interval::all();
+  iv = iv.intersect(Interval::at_most(10.0));
+  iv = iv.intersect(Interval::greater(3.0));
+  iv = iv.intersect(Interval::at_most(7.0));
+  EXPECT_DOUBLE_EQ(iv.lo, 3.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 7.0);
+}
+
+TEST(BoxTest, DefaultDimsAreUnbounded) {
+  Box box(3);
+  EXPECT_EQ(box.size(), 3u);
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.contains({0.0, -1e9, 1e9}));
+}
+
+TEST(BoxTest, ClipNarrowsOneDim) {
+  Box box(2);
+  box.clip(0, Interval::bounded(0.0, 1.0));
+  EXPECT_TRUE(box.contains({0.5, 123.0}));
+  EXPECT_FALSE(box.contains({1.5, 123.0}));
+}
+
+TEST(BoxTest, EmptyAfterContradictoryClips) {
+  Box box(2);
+  box.clip(1, Interval::at_most(2.0));
+  box.clip(1, Interval::greater(5.0));
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(BoxTest, IntersectIsComponentwise) {
+  Box a(2);
+  a.clip(0, Interval::bounded(0.0, 10.0));
+  Box b(2);
+  b.clip(0, Interval::bounded(5.0, 20.0));
+  b.clip(1, Interval::at_most(1.0));
+  const Box c = a.intersect(b);
+  EXPECT_DOUBLE_EQ(c[0].lo, 5.0);
+  EXPECT_DOUBLE_EQ(c[0].hi, 10.0);
+  EXPECT_DOUBLE_EQ(c[1].hi, 1.0);
+}
+
+TEST(BoxTest, ToStringMentionsEveryDim) {
+  Box box(2);
+  box.clip(0, Interval::bounded(1.0, 2.0));
+  const std::string s = box.to_string();
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find(" x "), std::string::npos);
+}
+
+/// Property: intersection is commutative and contained in both operands.
+class BoxPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxPropertyTest, IntersectionContainment) {
+  const int seed = GetParam();
+  Box a(3);
+  Box b(3);
+  for (std::size_t d = 0; d < 3; ++d) {
+    const double base = (seed * 13 + static_cast<int>(d) * 7) % 10;
+    a.clip(d, Interval::bounded(base - 2.0, base + 3.0));
+    b.clip(d, Interval::bounded(base, base + 5.0));
+  }
+  const Box ab = a.intersect(b);
+  const Box ba = b.intersect(a);
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_DOUBLE_EQ(ab[d].lo, ba[d].lo);
+    EXPECT_DOUBLE_EQ(ab[d].hi, ba[d].hi);
+    EXPECT_GE(ab[d].lo, a[d].lo);
+    EXPECT_LE(ab[d].hi, a[d].hi);
+    EXPECT_GE(ab[d].lo, b[d].lo);
+    EXPECT_LE(ab[d].hi, b[d].hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace verihvac

@@ -1,0 +1,79 @@
+#include "common/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace verihvac {
+namespace {
+
+TEST(LinalgTest, SolvesIdentity) {
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  const auto x = solve_linear(identity(3), b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], b[i], 1e-12);
+}
+
+TEST(LinalgTest, SolvesKnownSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const auto x = solve_linear(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinalgTest, PivotingHandlesZeroDiagonal) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto x = solve_linear(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LinalgTest, SingularThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(solve_linear(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(LinalgTest, DimensionMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_linear(a, {1.0, 2.0}), std::runtime_error);
+  EXPECT_THROW(solve_linear(identity(2), {1.0, 2.0, 3.0}), std::runtime_error);
+}
+
+TEST(LinalgTest, Norm2AndDot) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({}), 0.0);
+}
+
+/// Residual property ||Ax - b|| ~ 0 on random diagonally-dominant systems
+/// (the shape the thermal network produces).
+class SolveResidualTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SolveResidualTest, ResidualIsTiny) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  Matrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double off_sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      a(r, c) = rng.uniform(-1.0, 1.0);
+      off_sum += std::abs(a(r, c));
+    }
+    a(r, r) = off_sum + rng.uniform(0.5, 2.0);  // diagonal dominance
+    b[r] = rng.uniform(-10.0, 10.0);
+  }
+  const Matrix a_copy = a;
+  const auto x = solve_linear(a, b);
+  // Residual check against the original matrix.
+  for (std::size_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) sum += a_copy(r, c) * x[c];
+    EXPECT_NEAR(sum, b[r], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveResidualTest, ::testing::Values(1, 2, 4, 8, 10, 16, 32));
+
+}  // namespace
+}  // namespace verihvac

@@ -1,0 +1,126 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace verihvac {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructionFillsValue) {
+  Matrix m(2, 3, 1.5);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RowRoundTrip) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(m.row(1), (std::vector<double>{4.0, 5.0, 6.0}));
+  m.set_row(0, {7.0, 8.0, 9.0});
+  EXPECT_DOUBLE_EQ(m(0, 2), 9.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{10.0, 20.0}, {30.0, 40.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 44.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = Matrix::multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyNonSquare) {
+  Matrix a{{1.0, 0.0, 2.0}};          // 1x3
+  Matrix b{{1.0}, {2.0}, {3.0}};      // 3x1
+  const Matrix c = Matrix::multiply(a, b);
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 7.0);
+}
+
+TEST(MatrixTest, MultiplyAtBMatchesExplicitTranspose) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};  // 3x2
+  Matrix b{{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}, {1.0, 1.0, 0.0}};  // 3x3
+  const Matrix expect = Matrix::multiply(a.transposed(), b);
+  const Matrix got = Matrix::multiply_at_b(a, b);
+  ASSERT_EQ(got.rows(), expect.rows());
+  ASSERT_EQ(got.cols(), expect.cols());
+  for (std::size_t r = 0; r < got.rows(); ++r)
+    for (std::size_t c = 0; c < got.cols(); ++c)
+      EXPECT_DOUBLE_EQ(got(r, c), expect(r, c));
+}
+
+TEST(MatrixTest, MultiplyABtMatchesExplicitTranspose) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};  // 2x3
+  Matrix b{{1.0, 1.0, 0.0}, {0.0, 2.0, 1.0}};  // 2x3
+  const Matrix expect = Matrix::multiply(a, b.transposed());
+  const Matrix got = Matrix::multiply_a_bt(a, b);
+  for (std::size_t r = 0; r < got.rows(); ++r)
+    for (std::size_t c = 0; c < got.cols(); ++c)
+      EXPECT_DOUBLE_EQ(got(r, c), expect(r, c));
+}
+
+TEST(MatrixTest, FillOverwrites) {
+  Matrix m(2, 2, 3.0);
+  m.fill(0.0);
+  for (double v : m.data()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+/// Associativity-style property over random shapes.
+class MatrixPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixPropertyTest, DistributiveOverAddition) {
+  const int n = GetParam();
+  Matrix a(n, n);
+  Matrix b(n, n);
+  Matrix c(n, n);
+  // Deterministic pseudo-values.
+  for (int i = 0; i < n * n; ++i) {
+    a.data()[static_cast<std::size_t>(i)] = (i * 37 % 11) - 5.0;
+    b.data()[static_cast<std::size_t>(i)] = (i * 17 % 7) - 3.0;
+    c.data()[static_cast<std::size_t>(i)] = (i * 29 % 13) - 6.0;
+  }
+  const Matrix lhs = Matrix::multiply(a, b + c);
+  const Matrix rhs = Matrix::multiply(a, b) + Matrix::multiply(a, c);
+  for (std::size_t i = 0; i < lhs.data().size(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixPropertyTest, ::testing::Values(1, 2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace verihvac

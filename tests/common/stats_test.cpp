@@ -1,0 +1,177 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace verihvac {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchFormulas) {
+  Rng rng(5);
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.5);
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(s.stddev(), stddev(xs), 1e-10);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to first bin
+  h.add(100.0);   // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+}
+
+TEST(HistogramTest, PmfSumsToOne) {
+  Histogram h(0.0, 1.0, 7);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  const auto p = h.pmf();
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyPmfIsUniform) {
+  Histogram h(0.0, 1.0, 4);
+  const auto p = h.pmf();
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(EntropyTest, UniformIsLogN) {
+  const std::vector<double> uniform(8, 1.0 / 8.0);
+  EXPECT_NEAR(entropy_bits(uniform), 3.0, 1e-12);
+}
+
+TEST(EntropyTest, DeterministicIsZero) {
+  EXPECT_DOUBLE_EQ(entropy_bits({0.0, 1.0, 0.0}), 0.0);
+}
+
+TEST(EntropyTest, UniformMaximizesEntropy) {
+  const std::vector<double> uniform(4, 0.25);
+  const std::vector<double> skewed = {0.7, 0.1, 0.1, 0.1};
+  EXPECT_GT(entropy_bits(uniform), entropy_bits(skewed));
+}
+
+TEST(JsdTest, IdenticalDistributionsHaveZeroDistance) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(jensen_shannon_distance(p, p), 0.0, 1e-9);
+}
+
+TEST(JsdTest, DisjointDistributionsHaveDistanceOne) {
+  const std::vector<double> p = {1.0, 0.0};
+  const std::vector<double> q = {0.0, 1.0};
+  EXPECT_NEAR(jensen_shannon_distance(p, q), 1.0, 1e-9);
+}
+
+TEST(JsdTest, SymmetricAndBounded) {
+  const std::vector<double> p = {0.1, 0.4, 0.5};
+  const std::vector<double> q = {0.3, 0.3, 0.4};
+  const double d1 = jensen_shannon_distance(p, q);
+  const double d2 = jensen_shannon_distance(q, p);
+  EXPECT_NEAR(d1, d2, 1e-12);
+  EXPECT_GT(d1, 0.0);
+  EXPECT_LT(d1, 1.0);
+}
+
+TEST(JsdTest, GrowsWithNoise) {
+  // The Fig. 3 premise: adding more noise moves the distribution further
+  // from the original.
+  Rng rng(21);
+  std::vector<double> base;
+  for (int i = 0; i < 5000; ++i) base.push_back(rng.normal(0.0, 1.0));
+  Histogram hb(-5.0, 5.0, 40);
+  hb.add_all(base);
+
+  double prev = 0.0;
+  for (double noise : {0.1, 0.5, 1.5}) {
+    Histogram hn(-5.0, 5.0, 40);
+    Rng rng2(22);
+    for (double x : base) hn.add(x + rng2.normal(0.0, noise));
+    const double d = jensen_shannon_distance(hb.pmf(), hn.pmf());
+    EXPECT_GE(d, prev - 0.02);
+    prev = d;
+  }
+}
+
+TEST(MarginalTest, JsdOfSampleWithItselfIsZero) {
+  std::vector<std::vector<double>> a;
+  Rng rng(33);
+  for (int i = 0; i < 500; ++i) a.push_back({rng.normal(), rng.uniform(), rng.normal(5, 2)});
+  EXPECT_NEAR(mean_marginal_jsd(a, a, 20), 0.0, 1e-9);
+}
+
+TEST(MarginalTest, JsdSeparatesShiftedSamples) {
+  std::vector<std::vector<double>> a;
+  std::vector<std::vector<double>> b;
+  Rng rng(34);
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back({rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)});
+    b.push_back({rng.normal(3.0, 1.0), rng.normal(0.0, 1.0)});
+  }
+  EXPECT_GT(mean_marginal_jsd(a, b, 20), 0.15);
+}
+
+TEST(MarginalTest, EntropyGrowsWithSpread) {
+  std::vector<std::vector<double>> narrow;
+  std::vector<std::vector<double>> wide;
+  Rng rng(35);
+  for (int i = 0; i < 2000; ++i) {
+    const double z = rng.normal();
+    narrow.push_back({z * 0.5, 0.0});
+    wide.push_back({z * 0.5 + rng.normal(0.0, 2.0), 0.0});
+  }
+  // Same bin count over each sample's own support; the noisier sample has
+  // a flatter histogram, hence higher entropy (the Fig. 3 right panel).
+  EXPECT_GT(sum_marginal_entropy(wide, 30), sum_marginal_entropy(narrow, 30) - 0.5);
+}
+
+TEST(StatsTest, MinMaxOf) {
+  const std::vector<double> xs = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+}
+
+}  // namespace
+}  // namespace verihvac

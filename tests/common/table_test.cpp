@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace verihvac {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderAndRows) {
+  AsciiTable table("Title");
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ColumnsAreAligned) {
+  AsciiTable table;
+  table.set_header({"a", "bbbb"});
+  table.add_row({"xxxxx", "y"});
+  const std::string out = table.render();
+  // Every rendered line between rules must have equal length.
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::string line = out.substr(start, end - start);
+    if (!line.empty()) {
+      if (expected == 0) expected = line.size();
+      EXPECT_EQ(line.size(), expected) << line;
+    }
+    start = end == std::string::npos ? out.size() : end + 1;
+  }
+}
+
+TEST(AsciiTableTest, NumericRowFormatsPrecision) {
+  AsciiTable table;
+  table.add_row("row", {1.23456, 2.0}, 2);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+  EXPECT_EQ(out.find("1.235"), std::string::npos);
+}
+
+TEST(AsciiTableTest, RaggedRowsTolerated) {
+  AsciiTable table;
+  table.set_header({"a", "b", "c"});
+  table.add_row({"only one"});
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+  EXPECT_EQ(format_double(2.5, 3), "2.500");
+}
+
+}  // namespace
+}  // namespace verihvac

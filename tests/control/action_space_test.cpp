@@ -1,0 +1,104 @@
+#include "control/action_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace verihvac::control {
+namespace {
+
+TEST(ActionSpaceTest, DefaultGridHas87ValidPairs) {
+  // heat in [15,23], cool in [21,30], heat <= cool:
+  // h=15..21 -> 10 cooling options each (70); h=22 -> 9; h=23 -> 8.
+  const ActionSpace space;
+  EXPECT_EQ(space.size(), 87u);
+}
+
+TEST(ActionSpaceTest, AllActionsAreValid) {
+  const ActionSpace space;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto& a = space.action(i);
+    EXPECT_GE(a.heating_c, 15.0);
+    EXPECT_LE(a.heating_c, 23.0);
+    EXPECT_GE(a.cooling_c, 21.0);
+    EXPECT_LE(a.cooling_c, 30.0);
+    EXPECT_LE(a.heating_c, a.cooling_c);
+    EXPECT_DOUBLE_EQ(a.heating_c, std::round(a.heating_c));  // integer grid
+    EXPECT_DOUBLE_EQ(a.cooling_c, std::round(a.cooling_c));
+  }
+}
+
+TEST(ActionSpaceTest, ActionsAreUnique) {
+  const ActionSpace space;
+  std::set<std::pair<double, double>> seen;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto& a = space.action(i);
+    EXPECT_TRUE(seen.insert({a.heating_c, a.cooling_c}).second);
+  }
+}
+
+TEST(ActionSpaceTest, NearestIndexIsIdentityOnGrid) {
+  const ActionSpace space;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(space.nearest_index(space.action(i)), i);
+  }
+}
+
+TEST(ActionSpaceTest, NearestSnapsOffGridPairs) {
+  const ActionSpace space;
+  const std::size_t idx = space.nearest_index(sim::SetpointPair{20.4, 24.6});
+  const auto& a = space.action(idx);
+  EXPECT_DOUBLE_EQ(a.heating_c, 20.0);
+  EXPECT_DOUBLE_EQ(a.cooling_c, 25.0);
+}
+
+TEST(ActionSpaceTest, NearestHandlesOutOfRange) {
+  const ActionSpace space;
+  const auto& low = space.action(space.nearest_index(sim::SetpointPair{-100.0, -100.0}));
+  EXPECT_DOUBLE_EQ(low.heating_c, 15.0);
+  EXPECT_DOUBLE_EQ(low.cooling_c, 21.0);
+  const auto& high = space.action(space.nearest_index(sim::SetpointPair{100.0, 100.0}));
+  EXPECT_DOUBLE_EQ(high.heating_c, 23.0);
+  EXPECT_DOUBLE_EQ(high.cooling_c, 30.0);
+}
+
+TEST(ActionSpaceTest, ContainsChecksExactGrid) {
+  const ActionSpace space;
+  EXPECT_TRUE(space.contains(sim::SetpointPair{20.0, 24.0}));
+  EXPECT_FALSE(space.contains(sim::SetpointPair{20.5, 24.0}));
+  EXPECT_FALSE(space.contains(sim::SetpointPair{23.0, 21.0}));  // crossed
+}
+
+TEST(ActionSpaceTest, LabelIsReadable) {
+  const ActionSpace space;
+  const std::size_t idx = space.nearest_index(sim::SetpointPair{21.0, 25.0});
+  EXPECT_EQ(space.label(idx), "h=21/c=25");
+}
+
+TEST(ActionSpaceTest, UnconstrainedGridCountsAllPairs) {
+  ActionSpaceConfig cfg;
+  cfg.enforce_heat_le_cool = false;
+  const ActionSpace space(cfg);
+  EXPECT_EQ(space.size(), 90u);  // 9 x 10
+}
+
+TEST(ActionSpaceTest, InvertedBoundsThrow) {
+  ActionSpaceConfig cfg;
+  cfg.heat_min = 25;
+  cfg.heat_max = 20;
+  EXPECT_THROW(ActionSpace{cfg}, std::invalid_argument);
+}
+
+TEST(ActionSpaceTest, CustomNarrowGrid) {
+  ActionSpaceConfig cfg;
+  cfg.heat_min = 20;
+  cfg.heat_max = 21;
+  cfg.cool_min = 24;
+  cfg.cool_max = 25;
+  const ActionSpace space(cfg);
+  EXPECT_EQ(space.size(), 4u);
+}
+
+}  // namespace
+}  // namespace verihvac::control

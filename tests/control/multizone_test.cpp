@@ -1,0 +1,92 @@
+#include "control/multizone.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "control/rule_based.hpp"
+
+namespace verihvac::control {
+namespace {
+
+/// A controller that always returns a fixed pair and counts calls.
+class FixedController final : public Controller {
+ public:
+  explicit FixedController(sim::SetpointPair pair, std::size_t horizon = 0)
+      : pair_(pair), horizon_(horizon) {}
+  sim::SetpointPair act(const env::Observation&,
+                        const std::vector<env::Disturbance>&) override {
+    ++calls;
+    return pair_;
+  }
+  std::size_t forecast_horizon() const override { return horizon_; }
+  std::string name() const override { return "fixed"; }
+  void reset() override { ++resets; }
+
+  int calls = 0;
+  int resets = 0;
+
+ private:
+  sim::SetpointPair pair_;
+  std::size_t horizon_;
+};
+
+TEST(MultiZoneCoordinatorTest, RejectsEmptyAndNullControllers) {
+  EXPECT_THROW(MultiZoneCoordinator({}), std::invalid_argument);
+  std::vector<std::shared_ptr<Controller>> with_null;
+  with_null.push_back(std::make_shared<FixedController>(sim::SetpointPair{20.0, 24.0}));
+  with_null.push_back(nullptr);
+  EXPECT_THROW(MultiZoneCoordinator(std::move(with_null)), std::invalid_argument);
+}
+
+TEST(MultiZoneCoordinatorTest, DispatchesEachZoneToItsController) {
+  auto a = std::make_shared<FixedController>(sim::SetpointPair{15.0, 30.0});
+  auto b = std::make_shared<FixedController>(sim::SetpointPair{22.0, 24.0});
+  MultiZoneCoordinator coord({a, b});
+  const std::vector<env::Observation> obs(2);
+  const auto actions = coord.act(obs, {});
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_DOUBLE_EQ(actions[0].heating_c, 15.0);
+  EXPECT_DOUBLE_EQ(actions[1].heating_c, 22.0);
+  EXPECT_EQ(a->calls, 1);
+  EXPECT_EQ(b->calls, 1);
+}
+
+TEST(MultiZoneCoordinatorTest, ValidatesObservationCount) {
+  MultiZoneCoordinator coord(
+      {std::make_shared<FixedController>(sim::SetpointPair{20.0, 24.0})});
+  const std::vector<env::Observation> two(2);
+  EXPECT_THROW(coord.act(two, {}), std::invalid_argument);
+}
+
+TEST(MultiZoneCoordinatorTest, ForecastHorizonIsTheMaxOverZones) {
+  MultiZoneCoordinator coord(
+      {std::make_shared<FixedController>(sim::SetpointPair{20.0, 24.0}, 4),
+       std::make_shared<FixedController>(sim::SetpointPair{20.0, 24.0}, 9),
+       std::make_shared<FixedController>(sim::SetpointPair{20.0, 24.0}, 1)});
+  EXPECT_EQ(coord.forecast_horizon(), 9u);
+}
+
+TEST(MultiZoneCoordinatorTest, ResetPropagatesToEveryZone) {
+  auto a = std::make_shared<FixedController>(sim::SetpointPair{20.0, 24.0});
+  auto b = std::make_shared<FixedController>(sim::SetpointPair{20.0, 24.0});
+  MultiZoneCoordinator coord({a, b});
+  coord.reset();
+  EXPECT_EQ(a->resets, 1);
+  EXPECT_EQ(b->resets, 1);
+}
+
+TEST(MultiZoneCoordinatorTest, MixesHeterogeneousControllerTypes) {
+  MultiZoneCoordinator coord(
+      {std::make_shared<RuleBasedController>(sim::SetpointPair{20.0, 23.5},
+                                             sim::SetpointPair{15.0, 30.0}),
+       std::make_shared<FixedController>(sim::SetpointPair{21.0, 25.0})});
+  std::vector<env::Observation> obs(2);
+  obs[0].occupants = 11.0;  // rule-based picks the occupied schedule
+  const auto actions = coord.act(obs, {});
+  EXPECT_DOUBLE_EQ(actions[0].heating_c, 20.0);
+  EXPECT_DOUBLE_EQ(actions[1].heating_c, 21.0);
+}
+
+}  // namespace
+}  // namespace verihvac::control

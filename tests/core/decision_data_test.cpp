@@ -1,0 +1,230 @@
+#include "core/decision_data.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/core_test_utils.hpp"
+
+namespace verihvac::core {
+namespace {
+
+using testutil::toy_history;
+using testutil::toy_model;
+
+TEST(ModalIndexTest, PicksMostFrequent) {
+  EXPECT_EQ(modal_index({1, 5, 2}), 1u);
+  EXPECT_EQ(modal_index({9}), 0u);
+}
+
+TEST(ModalIndexTest, TieBreaksToLowestIndex) {
+  EXPECT_EQ(modal_index({3, 3, 1}), 0u);
+}
+
+TEST(ModalIndexTest, EmptyThrows) {
+  EXPECT_THROW(modal_index({}), std::invalid_argument);
+}
+
+TEST(DecisionDatasetTest, ViewsAndPrefix) {
+  DecisionDataset data;
+  data.records.push_back({{1, 2, 3, 4, 5, 6}, 7});
+  data.records.push_back({{6, 5, 4, 3, 2, 1}, 9});
+  const auto xs = data.inputs();
+  const auto ys = data.labels();
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_DOUBLE_EQ(xs[1][0], 6.0);
+  EXPECT_EQ(ys[0], 7);
+  const DecisionDataset one = data.prefix(1);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(data.prefix(10).size(), 2u);
+}
+
+TEST(AugmentedSamplerTest, RejectsBadConstruction) {
+  EXPECT_THROW(AugmentedSampler(Matrix(0, 6), 0.01), std::invalid_argument);
+  Matrix data(3, 6, 1.0);
+  EXPECT_THROW(AugmentedSampler(data, -0.1), std::invalid_argument);
+}
+
+TEST(AugmentedSamplerTest, ZeroNoiseReproducesHistoricalRows) {
+  const auto history = toy_history(200, 1);
+  const Matrix inputs = history.policy_inputs();
+  AugmentedSampler sampler(inputs, 0.0);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto [x, row] = sampler.sample(rng);
+    const auto original = inputs.row(row);
+    for (std::size_t c = 0; c < x.size(); ++c) EXPECT_DOUBLE_EQ(x[c], original[c]);
+  }
+}
+
+TEST(AugmentedSamplerTest, NoiseScalesWithDimensionStd) {
+  // Eq. 5: per-dimension noise std = noise_level * dimension std.
+  Matrix data(2000, 2);
+  Rng gen(3);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    data(r, 0) = gen.normal(0.0, 10.0);  // wide dimension
+    data(r, 1) = gen.normal(0.0, 0.1);   // narrow dimension
+  }
+  AugmentedSampler sampler(data, 0.5);
+  EXPECT_NEAR(sampler.dimension_stds()[0], 10.0, 0.5);
+  EXPECT_NEAR(sampler.dimension_stds()[1], 0.1, 0.01);
+
+  Rng rng(4);
+  RunningStats dev0;
+  RunningStats dev1;
+  for (int i = 0; i < 4000; ++i) {
+    const auto [x, row] = sampler.sample(rng);
+    dev0.add(x[0] - data(row, 0));
+    dev1.add(x[1] - data(row, 1));
+  }
+  EXPECT_NEAR(dev0.stddev(), 5.0, 0.3);   // 0.5 * 10
+  EXPECT_NEAR(dev1.stddev(), 0.05, 0.01); // 0.5 * 0.1
+}
+
+TEST(AugmentedSamplerTest, PhysicalClampsHold) {
+  const auto history = toy_history(300, 5);
+  AugmentedSampler sampler(history.policy_inputs(), 1.0);  // huge noise
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const auto [x, row] = sampler.sample(rng);
+    (void)row;
+    EXPECT_GE(x[env::kHumidity], 0.0);
+    EXPECT_LE(x[env::kHumidity], 100.0);
+    EXPECT_GE(x[env::kWind], 0.0);
+    EXPECT_GE(x[env::kSolar], 0.0);
+    EXPECT_GE(x[env::kOccupancy], 0.0);
+  }
+}
+
+TEST(AugmentedSamplerTest, SampleManyCount) {
+  const auto history = toy_history(100, 7);
+  AugmentedSampler sampler(history.policy_inputs(), 0.01);
+  Rng rng(8);
+  EXPECT_EQ(sampler.sample_many(42, rng).size(), 42u);
+}
+
+TEST(AugmentedSamplerTest, HigherNoiseIncreasesJsdFromOriginal) {
+  // The Fig. 3 calibration premise at the sampler level.
+  const auto history = toy_history(2000, 9);
+  const Matrix inputs = history.policy_inputs();
+  std::vector<std::vector<double>> original;
+  for (std::size_t r = 0; r < inputs.rows(); ++r) original.push_back(inputs.row(r));
+
+  double prev_jsd = -1.0;
+  for (const double noise : {0.01, 0.2, 0.8}) {
+    AugmentedSampler sampler(inputs, noise);
+    Rng rng(10);
+    const auto sampled = sampler.sample_many(2000, rng);
+    const double jsd = mean_marginal_jsd(original, sampled, 24);
+    EXPECT_GT(jsd, prev_jsd - 0.01);
+    prev_jsd = jsd;
+  }
+}
+
+TEST(GeneratorTest, ForecastContinuesHistory) {
+  const auto history = toy_history(300, 11);
+  DecisionDataConfig cfg;
+  DecisionDataGenerator generator(history, cfg);
+  const auto forecast = generator.forecast_from(10, 5);
+  ASSERT_EQ(forecast.size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k) {
+    const auto& expected = history.at(10 + k + 1).input;
+    EXPECT_DOUBLE_EQ(forecast[k].weather.outdoor_temp_c, expected[env::kOutdoorTemp]);
+    EXPECT_DOUBLE_EQ(forecast[k].occupants, expected[env::kOccupancy]);
+  }
+}
+
+TEST(GeneratorTest, ForecastClampsAtHistoryEnd) {
+  const auto history = toy_history(50, 12);
+  DecisionDataGenerator generator(history, DecisionDataConfig{});
+  const auto forecast = generator.forecast_from(48, 6);
+  ASSERT_EQ(forecast.size(), 6u);
+  const auto& last = history.at(49).input;
+  for (std::size_t k = 1; k < 6; ++k) {
+    EXPECT_DOUBLE_EQ(forecast[k].weather.outdoor_temp_c, last[env::kOutdoorTemp]);
+  }
+}
+
+TEST(GeneratorTest, RejectsZeroRepeats) {
+  const auto history = toy_history(50, 13);
+  DecisionDataConfig cfg;
+  cfg.mc_repeats = 0;
+  EXPECT_THROW(DecisionDataGenerator(history, cfg), std::invalid_argument);
+}
+
+TEST(GeneratorTest, GeneratesRequestedPointsWithValidLabels) {
+  const auto history = toy_history(400, 14);
+  const auto model = toy_model(history);
+  control::ActionSpace actions;
+  control::MbrlAgent agent(*model, control::RandomShootingConfig{24, 4, 0.99}, actions,
+                           env::RewardConfig{}, 15);
+  DecisionDataConfig cfg;
+  cfg.mc_repeats = 3;
+  cfg.seed = 16;
+  DecisionDataGenerator generator(history, cfg);
+  const DecisionDataset data = generator.generate(agent, 40);
+  ASSERT_EQ(data.size(), 40u);
+  for (const auto& record : data.records) {
+    EXPECT_EQ(record.input.size(), env::kInputDims);
+    EXPECT_LT(record.action_index, actions.size());
+  }
+}
+
+TEST(GeneratorTest, GenerationIsDeterministicGivenSeeds) {
+  const auto history = toy_history(400, 17);
+  const auto model = toy_model(history);
+  auto make = [&]() {
+    control::MbrlAgent agent(*model, control::RandomShootingConfig{16, 4, 0.99},
+                             control::ActionSpace{}, env::RewardConfig{}, 18);
+    agent.reset();
+    DecisionDataConfig cfg;
+    cfg.mc_repeats = 2;
+    cfg.seed = 19;
+    DecisionDataGenerator generator(history, cfg);
+    return generator.generate(agent, 20);
+  };
+  const DecisionDataset a = make();
+  const DecisionDataset b = make();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records[i].action_index, b.records[i].action_index);
+    EXPECT_EQ(a.records[i].input, b.records[i].input);
+  }
+}
+
+TEST(GeneratorTest, DistilledActionsReflectComfortLogic) {
+  // Occupied cold inputs should overwhelmingly distill to heating actions,
+  // unoccupied ones to setback.
+  const auto history = toy_history(600, 20);
+  const auto model = toy_model(history);
+  control::ActionSpace actions;
+  control::MbrlAgent agent(*model, control::RandomShootingConfig{48, 5, 0.99}, actions,
+                           env::RewardConfig{}, 21);
+  DecisionDataConfig cfg;
+  cfg.mc_repeats = 5;
+  DecisionDataGenerator generator(history, cfg);
+  const DecisionDataset data = generator.generate(agent, 150);
+
+  std::size_t occupied_cold = 0;
+  std::size_t occupied_cold_heating = 0;
+  std::size_t unoccupied = 0;
+  std::size_t unoccupied_setback = 0;
+  for (const auto& r : data.records) {
+    const auto action = actions.action(r.action_index);
+    if (r.input[env::kOccupancy] > 0.5 && r.input[env::kZoneTemp] < 19.5) {
+      ++occupied_cold;
+      if (action.heating_c >= 19.0) ++occupied_cold_heating;
+    }
+    if (r.input[env::kOccupancy] <= 0.5) {
+      ++unoccupied;
+      if (action.heating_c <= 16.0) ++unoccupied_setback;
+    }
+  }
+  if (occupied_cold > 5) {
+    EXPECT_GT(static_cast<double>(occupied_cold_heating) / occupied_cold, 0.7);
+  }
+  ASSERT_GT(unoccupied, 10u);
+  EXPECT_GT(static_cast<double>(unoccupied_setback) / unoccupied, 0.7);
+}
+
+}  // namespace
+}  // namespace verihvac::core

@@ -1,0 +1,168 @@
+#include "core/edge_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/dt_policy.hpp"
+
+namespace verihvac::core {
+namespace {
+
+/// A deterministic synthetic decision dataset: warm zones get cooling-heavy
+/// actions, cold zones heating-heavy, so the fitted tree has real structure.
+DecisionDataset synthetic_decisions(const control::ActionSpace& actions, std::size_t n,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  DecisionDataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    DecisionRecord rec;
+    rec.input = {rng.uniform(10.0, 32.0), rng.uniform(-10.0, 38.0), rng.uniform(20.0, 95.0),
+                 rng.uniform(0.0, 12.0),  rng.uniform(0.0, 600.0),  rng.bernoulli(0.5) ? 11.0 : 0.0};
+    const double zone = rec.input[0];
+    sim::SetpointPair target;
+    if (zone > 26.0) {
+      target = {15.0, 21.0};
+    } else if (zone < 19.0) {
+      target = {22.0, 30.0};
+    } else {
+      target = {20.0, 24.0};
+    }
+    rec.action_index = actions.nearest_index(target);
+    data.records.push_back(std::move(rec));
+  }
+  return data;
+}
+
+DtPolicy make_policy(std::uint64_t seed = 7) {
+  control::ActionSpace actions;
+  return DtPolicy::fit(synthetic_decisions(actions, 300, seed), actions);
+}
+
+TEST(EdgeExportTest, HeaderHasGuardAndPrototype) {
+  const auto policy = make_policy();
+  const std::string header = policy_to_c_header(policy);
+  EXPECT_NE(header.find("#ifndef veri_hvac_H_"), std::string::npos);
+  EXPECT_NE(header.find("void veri_hvac_decide(const double x[6], double* heating_c, "
+                        "double* cooling_c);"),
+            std::string::npos);
+}
+
+TEST(EdgeExportTest, RejectsNonIdentifierPrefix) {
+  const auto policy = make_policy();
+  EdgeExportOptions options;
+  options.prefix = "bad prefix!";
+  EXPECT_THROW(policy_to_c(policy, options), std::invalid_argument);
+  options.prefix = "";
+  EXPECT_THROW(policy_to_c_header(policy, options), std::invalid_argument);
+}
+
+TEST(EdgeExportTest, SourceEmbedsActionTablesAndInputDocs) {
+  const auto policy = make_policy();
+  const std::string src = policy_to_c(policy);
+  const std::string n = std::to_string(policy.actions().size());
+  EXPECT_NE(src.find("veri_hvac_heating_c[" + n + "]"), std::string::npos);
+  EXPECT_NE(src.find("veri_hvac_cooling_c[" + n + "]"), std::string::npos);
+  // Input layout documentation names the physical variables.
+  EXPECT_NE(src.find("x[0] = "), std::string::npos);
+  EXPECT_NE(src.find("Do not edit"), std::string::npos);
+}
+
+TEST(EdgeExportTest, ExportWritesBothFiles) {
+  const auto policy = make_policy();
+  const std::string dir = ::testing::TempDir();
+  EdgeExportOptions options;
+  options.prefix = "exported_dt";
+  export_policy_c(policy, dir, options);
+  std::ifstream c_file(dir + "/exported_dt.c");
+  std::ifstream h_file(dir + "/exported_dt.h");
+  ASSERT_TRUE(c_file.is_open());
+  ASSERT_TRUE(h_file.is_open());
+  std::stringstream c_buf, h_buf;
+  c_buf << c_file.rdbuf();
+  h_buf << h_file.rdbuf();
+  EXPECT_EQ(c_buf.str(), policy_to_c(policy, options));
+  EXPECT_EQ(h_buf.str(), policy_to_c_header(policy, options));
+}
+
+TEST(EdgeExportTest, ExportToMissingDirectoryThrows) {
+  const auto policy = make_policy();
+  EXPECT_THROW(export_policy_c(policy, "/nonexistent/dir/for/export"), std::runtime_error);
+}
+
+class EdgeExportEquivalence : public ::testing::TestWithParam<tree::CodegenStyle> {};
+
+TEST_P(EdgeExportEquivalence, CompiledDecideMatchesPolicy) {
+  const auto policy = make_policy(21);
+  EdgeExportOptions options;
+  options.prefix = "edge_dt";
+  options.style = GetParam();
+
+  const std::string dir = ::testing::TempDir();
+  const std::string tag =
+      GetParam() == tree::CodegenStyle::kNestedIf ? "edge_nested" : "edge_table";
+  const std::string c_path = dir + "/" + tag + ".c";
+  const std::string bin_path = dir + "/" + tag + ".bin";
+  {
+    std::ofstream c_file(c_path);
+    ASSERT_TRUE(c_file.is_open());
+    c_file << policy_to_c(policy, options);
+    c_file << "#include <stdio.h>\n"
+              "int main(void) {\n"
+              "  double x[6], h, c;\n"
+              "  while (scanf(\"%lf %lf %lf %lf %lf %lf\", &x[0], &x[1], &x[2], &x[3],\n"
+              "               &x[4], &x[5]) == 6) {\n"
+              "    edge_dt_decide(x, &h, &c);\n"
+              "    printf(\"%.17g %.17g\\n\", h, c);\n"
+              "  }\n"
+              "  return 0;\n"
+              "}\n";
+  }
+  if (std::system(("cc -std=c99 -O2 -o " + bin_path + " " + c_path + " 2>/dev/null").c_str()) !=
+      0) {
+    GTEST_SKIP() << "host C compiler unavailable";
+  }
+
+  Rng rng(5);
+  std::vector<std::vector<double>> inputs;
+  for (int i = 0; i < 300; ++i) {
+    inputs.push_back({rng.uniform(5.0, 35.0), rng.uniform(-15.0, 42.0), rng.uniform(0.0, 100.0),
+                      rng.uniform(0.0, 15.0), rng.uniform(0.0, 800.0), rng.uniform(0.0, 20.0)});
+  }
+  const std::string in_path = dir + "/" + tag + ".in";
+  {
+    std::ofstream in_file(in_path);
+    in_file.precision(17);
+    for (const auto& x : inputs) {
+      for (std::size_t j = 0; j < x.size(); ++j) in_file << (j ? " " : "") << x[j];
+      in_file << "\n";
+    }
+  }
+  const std::string out_path = dir + "/" + tag + ".out";
+  ASSERT_EQ(std::system((bin_path + " < " + in_path + " > " + out_path).c_str()), 0);
+
+  std::ifstream out_file(out_path);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    double heat = 0.0, cool = 0.0;
+    ASSERT_TRUE(out_file >> heat >> cool) << "short output at row " << i;
+    const auto expected = policy.decide(inputs[i]);
+    EXPECT_DOUBLE_EQ(heat, expected.heating_c) << "row " << i;
+    EXPECT_DOUBLE_EQ(cool, expected.cooling_c) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, EdgeExportEquivalence,
+                         ::testing::Values(tree::CodegenStyle::kNestedIf,
+                                           tree::CodegenStyle::kFlatTable),
+                         [](const auto& info) {
+                           return info.param == tree::CodegenStyle::kNestedIf ? "NestedIf"
+                                                                              : "FlatTable";
+                         });
+
+}  // namespace
+}  // namespace verihvac::core

@@ -1,0 +1,103 @@
+#include "core/policy_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace verihvac::core {
+namespace {
+
+DtPolicy make_policy(control::ActionSpaceConfig grid = {}, std::uint64_t seed = 3) {
+  control::ActionSpace actions(grid);
+  Rng rng(seed);
+  DecisionDataset data;
+  for (int i = 0; i < 200; ++i) {
+    DecisionRecord rec;
+    rec.input = {rng.uniform(12.0, 30.0), rng.uniform(-10.0, 35.0), rng.uniform(20.0, 95.0),
+                 rng.uniform(0.0, 12.0),  rng.uniform(0.0, 600.0),  rng.bernoulli(0.5) ? 11.0 : 0.0};
+    rec.action_index = rng.index(actions.size());
+    data.records.push_back(std::move(rec));
+  }
+  return DtPolicy::fit(data, actions);
+}
+
+TEST(PolicyIoTest, StreamRoundTripPreservesEveryDecision) {
+  const DtPolicy original = make_policy();
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  const DtPolicy reloaded = read_policy(buffer);
+
+  EXPECT_EQ(reloaded.tree().node_count(), original.tree().node_count());
+  EXPECT_EQ(reloaded.actions().size(), original.actions().size());
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<double> x = {rng.uniform(5.0, 35.0),  rng.uniform(-20.0, 45.0),
+                                   rng.uniform(0.0, 100.0), rng.uniform(0.0, 20.0),
+                                   rng.uniform(0.0, 900.0), rng.uniform(0.0, 20.0)};
+    const auto a = original.decide(x);
+    const auto b = reloaded.decide(x);
+    EXPECT_DOUBLE_EQ(a.heating_c, b.heating_c);
+    EXPECT_DOUBLE_EQ(a.cooling_c, b.cooling_c);
+  }
+}
+
+TEST(PolicyIoTest, FileRoundTrip) {
+  const DtPolicy original = make_policy();
+  const std::string path = ::testing::TempDir() + "/bundle.policy";
+  save_policy(original, path);
+  const DtPolicy reloaded = load_policy(path);
+  EXPECT_EQ(reloaded.tree().node_count(), original.tree().node_count());
+}
+
+TEST(PolicyIoTest, NonDefaultActionGridSurvives) {
+  control::ActionSpaceConfig grid;
+  grid.heat_min = 16;
+  grid.heat_max = 20;
+  grid.cool_min = 24;
+  grid.cool_max = 28;
+  const DtPolicy original = make_policy(grid);
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  const DtPolicy reloaded = read_policy(buffer);
+  EXPECT_EQ(reloaded.actions().config().heat_min, 16);
+  EXPECT_EQ(reloaded.actions().config().cool_max, 28);
+  EXPECT_EQ(reloaded.actions().size(), original.actions().size());
+}
+
+TEST(PolicyIoTest, RejectsBadHeader) {
+  std::stringstream buffer("not-a-policy v9\n");
+  EXPECT_THROW(read_policy(buffer), std::runtime_error);
+}
+
+TEST(PolicyIoTest, RejectsTruncatedFile) {
+  const DtPolicy original = make_policy();
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_policy(truncated), std::runtime_error);
+}
+
+TEST(PolicyIoTest, RejectsActionSpaceTreeMismatch) {
+  // Tamper the grid line so the embedded action space decodes to a
+  // different size than the tree's class count.
+  const DtPolicy original = make_policy();
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  std::string text = buffer.str();
+  const auto line_start = text.find('\n') + 1;
+  const auto line_end = text.find('\n', line_start);
+  text.replace(line_start, line_end - line_start, "15 23 21 29 1");  // one fewer cooling row
+  std::stringstream tampered(text);
+  EXPECT_THROW(read_policy(tampered), std::runtime_error);
+}
+
+TEST(PolicyIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_policy("/nonexistent/policy.file"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace verihvac::core

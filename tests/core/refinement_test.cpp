@@ -1,0 +1,137 @@
+// Boundary refinement in Algorithm 1 (DESIGN.md §5.8): straddling leaves
+// are split at the comfort boundaries / occupancy divide before
+// correction, so only the genuinely-subject region is edited.
+#include <gtest/gtest.h>
+
+#include "core/dt_policy.hpp"
+#include "core/verification.hpp"
+
+namespace verihvac::core {
+namespace {
+
+/// A decision dataset whose CART tree has one leaf covering the whole
+/// zone-temperature axis for each occupancy regime:
+///   occupied  -> "hold 22" (heat 22 / cool 22)
+///   unoccupied -> full setback (15 / 30)
+/// Neither leaf splits on zone temperature, so both straddle the comfort
+/// boundaries.
+DecisionDataset two_leaf_dataset(const control::ActionSpace& actions) {
+  const std::size_t hold = actions.nearest_index(sim::SetpointPair{22.0, 22.0});
+  const std::size_t setback = actions.nearest_index(sim::SetpointPair{15.0, 30.0});
+  DecisionDataset data;
+  for (int i = 0; i < 40; ++i) {
+    const double temp = 14.0 + 0.3 * i;  // 14 .. 26 degC
+    data.records.push_back({{temp, 0.0, 50.0, 3.0, 100.0, 11.0}, hold});
+    data.records.push_back({{temp, 0.0, 50.0, 3.0, 100.0, 0.0}, setback});
+  }
+  return data;
+}
+
+VerificationCriteria winter_criteria() {
+  VerificationCriteria c;
+  c.comfort = env::winter_comfort();  // [20, 23.5]
+  return c;
+}
+
+TEST(RefinementTest, PreservesPolicyFunctionBeforeCorrection) {
+  const control::ActionSpace actions;
+  DtPolicy policy = DtPolicy::fit(two_leaf_dataset(actions), actions);
+  const DtPolicy original = policy;
+
+  VerificationCriteria criteria = winter_criteria();
+  // Refine but do NOT correct: the function must be unchanged.
+  verify_formal(policy, criteria, /*correct=*/false);
+  for (double temp = 12.0; temp <= 28.0; temp += 0.25) {
+    for (double occ : {0.0, 11.0}) {
+      const std::vector<double> x = {temp, 0.0, 50.0, 3.0, 100.0, occ};
+      const auto a = policy.decide(x);
+      const auto b = original.decide(x);
+      EXPECT_DOUBLE_EQ(a.heating_c, b.heating_c);
+      EXPECT_DOUBLE_EQ(a.cooling_c, b.cooling_c);
+    }
+  }
+  EXPECT_GT(policy.tree().node_count(), original.tree().node_count());
+}
+
+TEST(RefinementTest, CorrectionKeepsUnoccupiedSetback) {
+  const control::ActionSpace actions;
+  DtPolicy policy = DtPolicy::fit(two_leaf_dataset(actions), actions);
+  verify_formal(policy, winter_criteria(), /*correct=*/true);
+
+  // Unoccupied cold input: deep setback must survive (exempt from #3).
+  const auto night = policy.decide({16.0, -5.0, 50.0, 3.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(night.heating_c, 15.0);
+  EXPECT_DOUBLE_EQ(night.cooling_c, 30.0);
+}
+
+TEST(RefinementTest, CorrectionKeepsInComfortOccupiedBehaviour) {
+  const control::ActionSpace actions;
+  DtPolicy policy = DtPolicy::fit(two_leaf_dataset(actions), actions);
+  verify_formal(policy, winter_criteria(), /*correct=*/true);
+
+  // Occupied in-comfort input: the original "hold 22" leaf behaviour
+  // stays (22, 22) because only the out-of-comfort side was corrected.
+  const auto mid = policy.decide({21.5, 0.0, 50.0, 3.0, 100.0, 11.0});
+  EXPECT_DOUBLE_EQ(mid.heating_c, 22.0);
+  EXPECT_DOUBLE_EQ(mid.cooling_c, 22.0);
+}
+
+TEST(RefinementTest, CorrectionFixesOccupiedTooWarmSide) {
+  const control::ActionSpace actions;
+  DtPolicy policy = DtPolicy::fit(two_leaf_dataset(actions), actions);
+  const VerificationCriteria criteria = winter_criteria();
+  const FormalReport report = verify_formal(policy, criteria, /*correct=*/true);
+
+  // The occupied "hold 22" leaf passes after refinement (cooling 22 <=
+  // 23.5 satisfies #2 on its warm side; heating 22 >= 20 satisfies #3 on
+  // its cold side). What *does* violate is the setback leaf's phantom
+  // semi-occupied band: CART split occupancy at 5.5 (midpoint of the 0/11
+  // data), so inputs with occupancy in (0.5, 5.5] — never seen in the
+  // data — still reach the (15, 30) setback. The verifier is conservative
+  // over the whole input space, flags that band under both criteria
+  // (cooling 30 > 23.5 too-warm side, heating 15 < 20 too-cold side) and
+  // corrects it. This is Algorithm 1 working as specified: unverified
+  // generalization gaps get a safe default.
+  EXPECT_EQ(report.violations_crit2, 1u);
+  EXPECT_EQ(report.violations_crit3, 1u);
+  EXPECT_EQ(report.corrected_crit2, 1u);
+  EXPECT_EQ(report.corrected_crit3, 1u);
+
+  // After correction, re-verification is clean.
+  const FormalReport again = verify_formal(policy, criteria, /*correct=*/false);
+  EXPECT_EQ(again.violations_crit2, 0u);
+  EXPECT_EQ(again.violations_crit3, 0u);
+
+  // And the occupied too-cold decision drives the temperature up.
+  const auto cold = policy.decide({18.0, -5.0, 50.0, 3.0, 0.0, 11.0});
+  EXPECT_GT(cold.heating_c, 18.0);
+}
+
+TEST(RefinementTest, WholesaleCorrectionWithoutRefinement) {
+  const control::ActionSpace actions;
+  DtPolicy policy = DtPolicy::fit(two_leaf_dataset(actions), actions);
+  VerificationCriteria criteria = winter_criteria();
+  criteria.refine_straddling_leaves = false;
+  verify_formal(policy, criteria, /*correct=*/true);
+
+  // Without refinement, the unoccupied setback leaf straddles occupancy
+  // and temperature, fails #3 (15 < 20 worst case), and is corrected
+  // wholesale — night setback is destroyed. This documents exactly the
+  // failure mode the refinement exists to prevent.
+  const auto night = policy.decide({16.0, -5.0, 50.0, 3.0, 0.0, 0.0});
+  EXPECT_GT(night.heating_c, 15.0);
+}
+
+TEST(RefinementTest, ReportCountsSubjectLeaves) {
+  const control::ActionSpace actions;
+  DtPolicy policy = DtPolicy::fit(two_leaf_dataset(actions), actions);
+  const FormalReport report = verify_formal(policy, winter_criteria(), /*correct=*/true);
+  // After refinement the occupied hold-leaf has a too-warm child and a
+  // too-cold child, both subject.
+  EXPECT_GE(report.leaves_subject_crit2, 1u);
+  EXPECT_GE(report.leaves_subject_crit3, 1u);
+  EXPECT_EQ(report.leaves_total, policy.tree().leaf_count());
+}
+
+}  // namespace
+}  // namespace verihvac::core

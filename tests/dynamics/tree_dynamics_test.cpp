@@ -1,0 +1,129 @@
+#include "dynamics/tree_dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "envlib/observation.hpp"
+
+namespace verihvac::dyn {
+namespace {
+
+/// Toy plant: linear drift toward outdoors plus bounded HVAC forcing.
+double toy_next(const std::vector<double>& x, const sim::SetpointPair& a) {
+  const double t = x[env::kZoneTemp];
+  double dt = 0.05 * (x[env::kOutdoorTemp] - t);
+  if (t < a.heating_c) dt += 0.4 * std::min(a.heating_c - t, 2.0);
+  if (t > a.cooling_c) dt -= 0.35 * std::min(t - a.cooling_c, 2.0);
+  return t + dt;
+}
+
+TransitionDataset toy_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  TransitionDataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    Transition t;
+    t.input = {rng.uniform(12.0, 30.0), rng.uniform(-10.0, 35.0), rng.uniform(20.0, 90.0),
+               rng.uniform(0.0, 10.0),  rng.uniform(0.0, 500.0),  rng.bernoulli(0.5) ? 11.0 : 0.0};
+    t.action.heating_c = static_cast<double>(rng.uniform_int(15, 23));
+    t.action.cooling_c = static_cast<double>(rng.uniform_int(23, 30));
+    t.next_zone_temp = toy_next(t.input, t.action);
+    data.add(t);
+  }
+  return data;
+}
+
+TEST(TreeDynamicsTest, TrainRejectsEmptyDataset) {
+  TreeDynamicsModel model;
+  EXPECT_THROW(model.train(TransitionDataset{}), std::invalid_argument);
+}
+
+TEST(TreeDynamicsTest, PredictBeforeTrainThrows) {
+  TreeDynamicsModel model;
+  EXPECT_THROW(model.predict_raw(std::vector<double>(kModelInputDims, 0.0)), std::logic_error);
+}
+
+TEST(TreeDynamicsTest, PredictValidatesDimensions) {
+  TreeDynamicsModel model;
+  model.train(toy_data(100, 1));
+  EXPECT_THROW(model.predict({1.0, 2.0}, {}), std::invalid_argument);
+  EXPECT_THROW(model.predict_raw({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(TreeDynamicsTest, LearnsToyPlantWellEnoughForControl) {
+  TreeDynamicsModel model;
+  model.train(toy_data(3000, 2));
+  const double held_out = model.rmse(toy_data(500, 99));
+  // The plant's one-step deltas span roughly +-2 degC; a useful surrogate
+  // must be well under half a degree out of sample.
+  EXPECT_LT(held_out, 0.5);
+}
+
+TEST(TreeDynamicsTest, PredictionTracksZoneTemperature) {
+  // The model predicts s + delta(x): shifting only the zone temperature of
+  // a query shifts the prediction by at least the shift minus the largest
+  // possible delta difference — in particular the prediction is not a
+  // constant in s as a naive absolute-target tree would be on a box.
+  TreeDynamicsModel model;
+  model.train(toy_data(2000, 3));
+  std::vector<double> x = {20.0, 0.0, 50.0, 3.0, 100.0, 0.0};
+  const sim::SetpointPair action{18.0, 26.0};
+  const double base = model.predict(x, action);
+  x[env::kZoneTemp] = 21.0;
+  const double shifted = model.predict(x, action);
+  EXPECT_NEAR(shifted - base, 1.0, 0.9);  // slope ~1 in s, modulo leaf changes
+}
+
+TEST(TreeDynamicsTest, MinSamplesLeafFloorsApplied) {
+  TreeDynamicsConfig cfg;
+  cfg.min_samples_leaf = 8;
+  TreeDynamicsModel model(cfg);
+  model.train(toy_data(400, 4));
+  for (int leaf : model.tree().leaves()) {
+    EXPECT_GE(model.tree().node(static_cast<std::size_t>(leaf)).samples, 8u);
+  }
+}
+
+TEST(TreeDynamicsTest, NextStateRangeRejectsWrongDims) {
+  TreeDynamicsModel model;
+  model.train(toy_data(100, 5));
+  EXPECT_THROW(model.next_state_range(Box(6)), std::invalid_argument);
+}
+
+class NextStateRangeSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NextStateRangeSoundness, SampledNextStatesLieWithinRange) {
+  TreeDynamicsModel model;
+  model.train(toy_data(1500, 6));
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    Box box(kModelInputDims);
+    // A plausible operating box: tight zone-temp band, moderate weather.
+    const double s_lo = rng.uniform(14.0, 26.0);
+    box.clip(env::kZoneTemp, Interval::bounded(s_lo, s_lo + rng.uniform(0.1, 3.0)));
+    box.clip(env::kOutdoorTemp, Interval::bounded(-5.0, 30.0));
+    box.clip(env::kHumidity, Interval::bounded(20.0, 90.0));
+    box.clip(env::kWind, Interval::bounded(0.0, 10.0));
+    box.clip(env::kSolar, Interval::bounded(0.0, 500.0));
+    box.clip(env::kOccupancy, Interval::bounded(0.0, 11.0));
+    box.clip(kHeatSpIndex, Interval::bounded(15.0, 23.0));
+    box.clip(kCoolSpIndex, Interval::bounded(23.0, 30.0));
+
+    const Interval range = model.next_state_range(box);
+    for (int s = 0; s < 40; ++s) {
+      std::vector<double> point(kModelInputDims);
+      for (std::size_t d = 0; d < kModelInputDims; ++d) {
+        point[d] = rng.uniform(box[d].lo, box[d].hi);
+      }
+      const double next = model.predict_raw(point);
+      EXPECT_GE(next, range.lo - 1e-9);
+      EXPECT_LE(next, range.hi + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NextStateRangeSoundness, ::testing::Values(13u, 37u, 61u));
+
+}  // namespace
+}  // namespace verihvac::dyn

@@ -1,0 +1,65 @@
+#include "envlib/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace verihvac::env {
+namespace {
+
+StepOutcome make_outcome(bool occupied, bool violation, double energy, double reward = -1.0) {
+  StepOutcome o;
+  o.occupied = occupied;
+  o.comfort_violation = violation;
+  o.energy_kwh = energy;
+  o.reward = reward;
+  return o;
+}
+
+TEST(MetricsTest, EmptyMetricsAreZero) {
+  EpisodeMetrics m;
+  EXPECT_EQ(m.steps(), 0u);
+  EXPECT_DOUBLE_EQ(m.violation_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.comfort_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(m.total_energy_kwh(), 0.0);
+  EXPECT_DOUBLE_EQ(m.energy_efficiency_score(), 0.0);
+}
+
+TEST(MetricsTest, ViolationRateCountsOnlyOccupiedSteps) {
+  EpisodeMetrics m;
+  m.add(make_outcome(true, true, 1.0));    // occupied violation
+  m.add(make_outcome(true, false, 1.0));   // occupied ok
+  m.add(make_outcome(false, true, 1.0));   // unoccupied violation — ignored
+  m.add(make_outcome(false, false, 1.0));
+  EXPECT_EQ(m.steps(), 4u);
+  EXPECT_EQ(m.occupied_steps(), 2u);
+  EXPECT_DOUBLE_EQ(m.violation_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(m.comfort_rate(), 0.5);
+}
+
+TEST(MetricsTest, EnergyAndRewardAccumulate) {
+  EpisodeMetrics m;
+  m.add(make_outcome(true, false, 1.5, -2.0));
+  m.add(make_outcome(false, false, 2.5, -3.0));
+  EXPECT_DOUBLE_EQ(m.total_energy_kwh(), 4.0);
+  EXPECT_DOUBLE_EQ(m.total_reward(), -5.0);
+}
+
+TEST(MetricsTest, EfficiencyScoreMatchesFig6Definition) {
+  EpisodeMetrics m;
+  // comfort rate 0.8, energy 500 kWh -> 0.8/500*1000 = 1.6 (the Fig. 6 scale).
+  for (int i = 0; i < 8; ++i) m.add(make_outcome(true, false, 62.5));
+  for (int i = 0; i < 2; ++i) m.add(make_outcome(true, true, 0.0));
+  EXPECT_DOUBLE_EQ(m.total_energy_kwh(), 500.0);
+  EXPECT_DOUBLE_EQ(m.comfort_rate(), 0.8);
+  EXPECT_DOUBLE_EQ(m.energy_efficiency_score(), 1.6);
+}
+
+TEST(MetricsTest, AllOccupiedViolationsGiveRateOne) {
+  EpisodeMetrics m;
+  for (int i = 0; i < 5; ++i) m.add(make_outcome(true, true, 1.0));
+  EXPECT_DOUBLE_EQ(m.violation_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(m.comfort_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.energy_efficiency_score(), 0.0);
+}
+
+}  // namespace
+}  // namespace verihvac::env

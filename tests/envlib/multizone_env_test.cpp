@@ -1,0 +1,145 @@
+#include "envlib/multizone_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "envlib/multizone_metrics.hpp"
+#include "weather/climate.hpp"
+
+namespace verihvac::env {
+namespace {
+
+EnvConfig small_config() {
+  EnvConfig config;
+  config.climate = weather::pittsburgh();
+  config.days = 2;
+  return config;
+}
+
+std::vector<sim::SetpointPair> uniform_actions(std::size_t zones, sim::SetpointPair pair) {
+  return std::vector<sim::SetpointPair>(zones, pair);
+}
+
+TEST(MultiZoneEnvTest, ResetReturnsOneObservationPerZone) {
+  MultiZoneEnv env(small_config());
+  const auto obs = env.reset();
+  EXPECT_EQ(obs.size(), env.zone_count());
+  EXPECT_EQ(env.zone_count(), 5u);  // the paper's five-zone plant
+  for (const auto& o : obs) {
+    EXPECT_DOUBLE_EQ(o.zone_temp_c, small_config().initial_temp_c);
+    EXPECT_EQ(o.step, 0u);
+  }
+}
+
+TEST(MultiZoneEnvTest, StepValidatesActionCount) {
+  MultiZoneEnv env(small_config());
+  env.reset();
+  EXPECT_THROW(env.step(uniform_actions(2, {20.0, 24.0})), std::invalid_argument);
+}
+
+TEST(MultiZoneEnvTest, StepAfterDoneThrows) {
+  EnvConfig config = small_config();
+  MultiZoneEnv env(config);
+  env.reset();
+  const auto actions = uniform_actions(env.zone_count(), {20.0, 24.0});
+  for (std::size_t i = 0; i < env.horizon_steps(); ++i) env.step(actions);
+  EXPECT_THROW(env.step(actions), std::logic_error);
+}
+
+TEST(MultiZoneEnvTest, ZonesShareWeatherButKeepOwnTemperatures) {
+  MultiZoneEnv env(small_config());
+  env.reset();
+  // Heat one zone hard, set the others back: temperatures must diverge
+  // while weather stays identical across observations.
+  std::vector<sim::SetpointPair> actions(env.zone_count(), sim::SetpointPair{15.0, 30.0});
+  actions[0] = {23.0, 30.0};
+  MultiZoneStepOutcome outcome;
+  for (int i = 0; i < 8; ++i) outcome = env.step(actions);
+  EXPECT_GT(outcome.observations[0].zone_temp_c, outcome.observations[2].zone_temp_c);
+  for (std::size_t z = 1; z < env.zone_count(); ++z) {
+    EXPECT_DOUBLE_EQ(outcome.observations[z].weather.outdoor_temp_c,
+                     outcome.observations[0].weather.outdoor_temp_c);
+  }
+}
+
+TEST(MultiZoneEnvTest, PerZoneRewardsAndViolationsAreReported) {
+  MultiZoneEnv env(small_config());
+  env.reset();
+  const auto outcome = env.step(uniform_actions(env.zone_count(), {20.0, 23.5}));
+  EXPECT_EQ(outcome.rewards.size(), env.zone_count());
+  EXPECT_EQ(outcome.comfort_violations.size(), env.zone_count());
+  EXPECT_GE(outcome.energy_kwh, 0.0);
+}
+
+TEST(MultiZoneEnvTest, HeatingEveryZoneUsesMoreEnergyThanSetback) {
+  MultiZoneEnv heat_env(small_config());
+  heat_env.reset();
+  MultiZoneEnv coast_env(small_config());
+  coast_env.reset();
+  double heat_kwh = 0.0;
+  double coast_kwh = 0.0;
+  for (int i = 0; i < 96; ++i) {
+    heat_kwh +=
+        heat_env.step(uniform_actions(heat_env.zone_count(), {23.0, 30.0})).energy_kwh;
+    coast_kwh +=
+        coast_env.step(uniform_actions(coast_env.zone_count(), {15.0, 30.0})).energy_kwh;
+  }
+  EXPECT_GT(heat_kwh, coast_kwh);
+}
+
+TEST(MultiZoneEnvTest, ForecastMatchesSingleZoneConvention) {
+  EnvConfig config = small_config();
+  MultiZoneEnv multi(config);
+  BuildingEnv single(config);
+  multi.reset();
+  single.reset();
+  const auto f_multi = multi.forecast(6);
+  const auto f_single = single.forecast(6);
+  ASSERT_EQ(f_multi.size(), f_single.size());
+  for (std::size_t k = 0; k < f_multi.size(); ++k) {
+    EXPECT_DOUBLE_EQ(f_multi[k].weather.outdoor_temp_c, f_single[k].weather.outdoor_temp_c);
+    EXPECT_DOUBLE_EQ(f_multi[k].occupants, f_single[k].occupants);
+  }
+}
+
+TEST(MultiZoneMetricsTest, RejectsZeroZonesAndMismatchedAdds) {
+  EXPECT_THROW(MultiZoneMetrics(0), std::invalid_argument);
+  MultiZoneMetrics metrics(5);
+  MultiZoneStepOutcome bad;
+  bad.comfort_violations = {false, true};  // wrong zone count
+  EXPECT_THROW(metrics.add(bad), std::invalid_argument);
+}
+
+TEST(MultiZoneMetricsTest, AccumulatesPerZoneViolations) {
+  MultiZoneMetrics metrics(3);
+  MultiZoneStepOutcome step;
+  step.comfort_violations = {true, false, false};
+  step.rewards = {-1.0, -0.5, 0.0};
+  step.energy_kwh = 2.0;
+  step.occupied = true;
+  metrics.add(step);
+  step.comfort_violations = {true, true, false};
+  metrics.add(step);
+  MultiZoneStepOutcome night = step;
+  night.occupied = false;
+  night.comfort_violations = {true, true, true};  // unoccupied: not counted
+  metrics.add(night);
+
+  EXPECT_EQ(metrics.steps(), 3u);
+  EXPECT_EQ(metrics.occupied_steps(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.violation_rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.violation_rate(1), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.violation_rate(2), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_violation_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.total_energy_kwh(), 6.0);
+}
+
+TEST(MultiZoneMetricsTest, NoOccupiedStepsMeansZeroViolationRate) {
+  MultiZoneMetrics metrics(2);
+  EXPECT_DOUBLE_EQ(metrics.violation_rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_violation_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace verihvac::env

@@ -1,0 +1,53 @@
+#include "envlib/observation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace verihvac::env {
+namespace {
+
+TEST(ObservationTest, VectorLayoutMatchesTable1) {
+  Observation obs;
+  obs.zone_temp_c = 21.5;
+  obs.weather.outdoor_temp_c = -3.0;
+  obs.weather.humidity_pct = 65.0;
+  obs.weather.wind_mps = 4.5;
+  obs.weather.solar_wm2 = 120.0;
+  obs.occupants = 11.0;
+  const auto x = obs.to_vector();
+  ASSERT_EQ(x.size(), kInputDims);
+  EXPECT_DOUBLE_EQ(x[kZoneTemp], 21.5);
+  EXPECT_DOUBLE_EQ(x[kOutdoorTemp], -3.0);
+  EXPECT_DOUBLE_EQ(x[kHumidity], 65.0);
+  EXPECT_DOUBLE_EQ(x[kWind], 4.5);
+  EXPECT_DOUBLE_EQ(x[kSolar], 120.0);
+  EXPECT_DOUBLE_EQ(x[kOccupancy], 11.0);
+}
+
+TEST(ObservationTest, ZoneTempIsDimensionZero) {
+  // Algorithm 1 relies on this: the verification criteria constrain input
+  // dimension 0.
+  EXPECT_EQ(kZoneTemp, 0u);
+}
+
+TEST(ObservationTest, FromVectorRoundTrip) {
+  const std::vector<double> x = {20.0, 5.0, 50.0, 2.0, 300.0, 8.0};
+  const Observation obs = Observation::from_vector(x);
+  EXPECT_EQ(obs.to_vector(), x);
+}
+
+TEST(ObservationTest, FromVectorRejectsWrongSize) {
+  EXPECT_THROW(Observation::from_vector({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ObservationTest, DimNamesAreUniqueAndComplete) {
+  const auto& names = input_dim_names();
+  ASSERT_EQ(names.size(), kInputDims);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (std::size_t j = i + 1; j < names.size(); ++j) EXPECT_NE(names[i], names[j]);
+  }
+  EXPECT_EQ(names[kZoneTemp], "zone_temp_c");
+}
+
+}  // namespace
+}  // namespace verihvac::env

@@ -1,0 +1,101 @@
+#include "envlib/reward.hpp"
+
+#include <gtest/gtest.h>
+
+namespace verihvac::env {
+namespace {
+
+TEST(ComfortTest, SeasonalRangesMatchPaper) {
+  const ComfortRange winter = winter_comfort();
+  EXPECT_DOUBLE_EQ(winter.lo, 20.0);
+  EXPECT_DOUBLE_EQ(winter.hi, 23.5);
+  const ComfortRange summer = summer_comfort();
+  EXPECT_DOUBLE_EQ(summer.lo, 23.0);
+  EXPECT_DOUBLE_EQ(summer.hi, 26.0);
+}
+
+TEST(ComfortTest, ContainsAndMedian) {
+  const ComfortRange c = winter_comfort();
+  EXPECT_TRUE(c.contains(20.0));
+  EXPECT_TRUE(c.contains(23.5));
+  EXPECT_FALSE(c.contains(19.99));
+  EXPECT_FALSE(c.contains(23.51));
+  EXPECT_DOUBLE_EQ(c.median(), 21.75);
+}
+
+TEST(EnergyProxyTest, FullSetbackIsZero) {
+  const RewardConfig cfg;
+  EXPECT_DOUBLE_EQ(energy_proxy(cfg, sim::SetpointPair{15.0, 30.0}), 0.0);
+}
+
+TEST(EnergyProxyTest, L1DistanceFromOffSetpoints) {
+  const RewardConfig cfg;
+  // |21 - 15| + |30 - 24| = 12.
+  EXPECT_DOUBLE_EQ(energy_proxy(cfg, sim::SetpointPair{21.0, 24.0}), 12.0);
+}
+
+TEST(ComfortPenaltyTest, ZeroInsideBand) {
+  const ComfortRange c = winter_comfort();
+  EXPECT_DOUBLE_EQ(comfort_penalty(c, 21.0), 0.0);
+  EXPECT_DOUBLE_EQ(comfort_penalty(c, 20.0), 0.0);
+}
+
+TEST(ComfortPenaltyTest, LinearOutsideBand) {
+  const ComfortRange c = winter_comfort();
+  EXPECT_DOUBLE_EQ(comfort_penalty(c, 18.0), 2.0);
+  EXPECT_DOUBLE_EQ(comfort_penalty(c, 25.5), 2.0);
+}
+
+TEST(RewardTest, OccupiedWeightsComfortHeavily) {
+  const RewardConfig cfg;
+  // Same comfort violation, different setpoint energy: occupied reward is
+  // dominated by the comfort term (w_e = 0.01).
+  const double cold = reward(cfg, 18.0, sim::SetpointPair{15.0, 30.0}, /*occupied=*/true);
+  const double warm_energy =
+      reward(cfg, 21.0, sim::SetpointPair{23.0, 21.0}, /*occupied=*/true);
+  EXPECT_LT(cold, warm_energy);  // violating comfort is much worse
+}
+
+TEST(RewardTest, UnoccupiedIgnoresComfort) {
+  const RewardConfig cfg;
+  // w_e = 1: comfort term has weight 0.
+  const double r_cold = reward(cfg, 10.0, sim::SetpointPair{15.0, 30.0}, false);
+  const double r_fine = reward(cfg, 21.0, sim::SetpointPair{15.0, 30.0}, false);
+  EXPECT_DOUBLE_EQ(r_cold, r_fine);
+  EXPECT_DOUBLE_EQ(r_cold, 0.0);  // full setback = zero energy proxy
+}
+
+TEST(RewardTest, UnoccupiedPenalizesEnergy) {
+  const RewardConfig cfg;
+  const double setback = reward(cfg, 21.0, sim::SetpointPair{15.0, 30.0}, false);
+  const double heating = reward(cfg, 21.0, sim::SetpointPair{22.0, 30.0}, false);
+  EXPECT_GT(setback, heating);
+}
+
+TEST(RewardTest, RewardIsNeverPositive) {
+  const RewardConfig cfg;
+  for (double temp : {15.0, 20.0, 22.0, 26.0}) {
+    for (bool occ : {true, false}) {
+      EXPECT_LE(reward(cfg, temp, sim::SetpointPair{21.0, 24.0}, occ), 0.0);
+    }
+  }
+}
+
+/// Eq. 2 structural sweep: reward decreases monotonically as the zone
+/// temperature moves away from the comfort band (occupied).
+class RewardMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RewardMonotoneTest, ColderIsWorseBelowBand) {
+  const RewardConfig cfg;
+  const double base = GetParam();
+  const sim::SetpointPair a{21.0, 24.0};
+  const double r1 = reward(cfg, base, a, true);
+  const double r2 = reward(cfg, base - 1.0, a, true);
+  EXPECT_GT(r1, r2);
+}
+
+INSTANTIATE_TEST_SUITE_P(BelowBand, RewardMonotoneTest,
+                         ::testing::Values(19.9, 19.0, 18.0, 16.0));
+
+}  // namespace
+}  // namespace verihvac::env

@@ -1,0 +1,121 @@
+#include "nn/interval_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace verihvac::nn {
+namespace {
+
+/// A Linear layer with hand-set weights for exact-arithmetic checks.
+Linear make_linear(const std::vector<std::vector<double>>& w, const std::vector<double>& b) {
+  Linear layer(w.front().size(), w.size());
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    layer.bias()(0, j) = b[j];
+    for (std::size_t i = 0; i < w[j].size(); ++i) layer.weight()(j, i) = w[j][i];
+  }
+  return layer;
+}
+
+TEST(IntervalBoundsTest, LinearExactOnPositiveWeights) {
+  // y = 2a + 3b + 1 on a in [0,1], b in [-1,2] -> [1-3, 2+6+1] = [-2, 9].
+  const Linear layer = make_linear({{2.0, 3.0}}, {1.0});
+  const auto out = propagate_linear(layer, {Interval{0.0, 1.0}, Interval{-1.0, 2.0}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].lo, -2.0);
+  EXPECT_DOUBLE_EQ(out[0].hi, 9.0);
+}
+
+TEST(IntervalBoundsTest, LinearExactOnMixedWeights) {
+  // y = a - 2b on a in [1,2], b in [0,3] -> [1-6, 2-0] = [-5, 2].
+  const Linear layer = make_linear({{1.0, -2.0}}, {0.0});
+  const auto out = propagate_linear(layer, {Interval{1.0, 2.0}, Interval{0.0, 3.0}});
+  EXPECT_DOUBLE_EQ(out[0].lo, -5.0);
+  EXPECT_DOUBLE_EQ(out[0].hi, 2.0);
+}
+
+TEST(IntervalBoundsTest, LinearRejectsDimensionMismatch) {
+  const Linear layer = make_linear({{1.0, 1.0}}, {0.0});
+  EXPECT_THROW(propagate_linear(layer, {Interval{0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(IntervalBoundsTest, ReluClampsAtZero) {
+  const auto out = propagate_relu({Interval{-2.0, -1.0}, Interval{-1.0, 3.0}, Interval{1.0, 2.0}});
+  EXPECT_DOUBLE_EQ(out[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(out[0].hi, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].lo, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].hi, 3.0);
+  EXPECT_DOUBLE_EQ(out[2].lo, 1.0);
+  EXPECT_DOUBLE_EQ(out[2].hi, 2.0);
+}
+
+TEST(IntervalBoundsTest, DegenerateBoxGivesPointEvaluation) {
+  // A zero-width box must propagate to (numerically) the network's value.
+  Mlp mlp({3, 8, 8, 1});
+  Rng rng(4);
+  mlp.init(rng);
+  const std::vector<double> x = {0.3, -1.2, 2.0};
+  std::vector<double> out, scratch;
+  mlp.predict(x, out, scratch);
+  const auto bounds = propagate_bounds(
+      mlp, {Interval{x[0], x[0]}, Interval{x[1], x[1]}, Interval{x[2], x[2]}});
+  EXPECT_NEAR(bounds[0].lo, out[0], 1e-12);
+  EXPECT_NEAR(bounds[0].hi, out[0], 1e-12);
+}
+
+TEST(IntervalBoundsTest, RejectsWrongInputDim) {
+  Mlp mlp({3, 4, 1});
+  Rng rng(5);
+  mlp.init(rng);
+  EXPECT_THROW(propagate_bounds(mlp, {Interval{0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(IntervalBoundsTest, BoundsWidenMonotonicallyWithBoxWidth) {
+  Mlp mlp({2, 16, 16, 1});
+  Rng rng(6);
+  mlp.init(rng);
+  double prev_width = -1.0;
+  for (double half : {0.1, 0.5, 1.0, 2.0}) {
+    const auto bounds =
+        propagate_bounds(mlp, {Interval{-half, half}, Interval{-half, half}});
+    const double width = bounds[0].hi - bounds[0].lo;
+    EXPECT_GT(width, prev_width);
+    prev_width = width;
+  }
+}
+
+// Soundness sweep: for random networks and random boxes, every sampled
+// concrete evaluation lies inside the propagated bounds.
+class IbpSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IbpSoundness, SampledOutputsLieWithinBounds) {
+  Rng rng(GetParam());
+  Mlp mlp({4, 12, 12, 2});
+  mlp.init(rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Interval> box(4);
+    for (auto& iv : box) {
+      const double a = rng.uniform(-3.0, 3.0);
+      const double b = rng.uniform(-3.0, 3.0);
+      iv = Interval{std::min(a, b), std::max(a, b)};
+    }
+    const auto bounds = propagate_bounds(mlp, box);
+    std::vector<double> x(4), out, scratch;
+    for (int s = 0; s < 100; ++s) {
+      for (std::size_t d = 0; d < 4; ++d) x[d] = rng.uniform(box[d].lo, box[d].hi);
+      mlp.predict(x, out, scratch);
+      for (std::size_t j = 0; j < out.size(); ++j) {
+        EXPECT_GE(out[j], bounds[j].lo - 1e-9);
+        EXPECT_LE(out[j], bounds[j].hi + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IbpSoundness, ::testing::Values(3u, 17u, 59u, 101u));
+
+}  // namespace
+}  // namespace verihvac::nn

@@ -1,0 +1,78 @@
+#include "nn/normalizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace verihvac::nn {
+namespace {
+
+TEST(NormalizerTest, TransformedDataHasZeroMeanUnitStd) {
+  Rng rng(2);
+  Matrix data(500, 3);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    data(r, 0) = rng.normal(10.0, 4.0);
+    data(r, 1) = rng.normal(-3.0, 0.5);
+    data(r, 2) = rng.uniform(0.0, 100.0);
+  }
+  Normalizer norm;
+  norm.fit(data);
+  const Matrix z = norm.transform(data);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < z.rows(); ++r) mean += z(r, c);
+    mean /= static_cast<double>(z.rows());
+    double var = 0.0;
+    for (std::size_t r = 0; r < z.rows(); ++r) var += (z(r, c) - mean) * (z(r, c) - mean);
+    var /= static_cast<double>(z.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(NormalizerTest, InverseTransformRoundTrips) {
+  Matrix data{{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+  Normalizer norm;
+  norm.fit(data);
+  const Matrix back = norm.inverse_transform(norm.transform(data));
+  for (std::size_t i = 0; i < data.data().size(); ++i) {
+    EXPECT_NEAR(back.data()[i], data.data()[i], 1e-12);
+  }
+}
+
+TEST(NormalizerTest, ConstantFeaturePassesThrough) {
+  Matrix data{{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}};
+  Normalizer norm;
+  norm.fit(data);
+  const Matrix z = norm.transform(data);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(z(r, 0), 0.0);
+  const Matrix back = norm.inverse_transform(z);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(back(r, 0), 5.0);
+}
+
+TEST(NormalizerTest, InplaceMatchesMatrixVersion) {
+  Matrix data{{1.0, -2.0}, {3.0, 4.0}, {-1.0, 0.0}};
+  Normalizer norm;
+  norm.fit(data);
+  std::vector<double> x = {2.0, 1.0};
+  Matrix m(1, 2);
+  m.set_row(0, x);
+  const Matrix z = norm.transform(m);
+  norm.transform_inplace(x);
+  EXPECT_NEAR(x[0], z(0, 0), 1e-12);
+  EXPECT_NEAR(x[1], z(0, 1), 1e-12);
+  norm.inverse_transform_inplace(x);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(NormalizerTest, FitOnEmptyThrows) {
+  Normalizer norm;
+  EXPECT_THROW(norm.fit(Matrix(0, 3)), std::invalid_argument);
+  EXPECT_FALSE(norm.fitted());
+}
+
+}  // namespace
+}  // namespace verihvac::nn

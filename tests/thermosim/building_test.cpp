@@ -1,0 +1,144 @@
+#include "thermosim/building.hpp"
+
+#include <gtest/gtest.h>
+
+#include "thermosim/building_presets.hpp"
+#include "thermosim/zone.hpp"
+
+namespace verihvac::sim {
+namespace {
+
+ZoneParams test_zone(const std::string& name) {
+  ZoneParams z;
+  z.name = name;
+  return z;
+}
+
+TEST(BuildingTest, AddZoneReturnsSequentialIndices) {
+  Building b;
+  EXPECT_EQ(b.add_zone(test_zone("a"), HvacParams{}), 0u);
+  EXPECT_EQ(b.add_zone(test_zone("b"), HvacParams{}), 1u);
+  EXPECT_EQ(b.zone_count(), 2u);
+}
+
+TEST(BuildingTest, ConnectIsSymmetric) {
+  Building b;
+  b.add_zone(test_zone("a"), HvacParams{});
+  b.add_zone(test_zone("b"), HvacParams{});
+  b.connect(0, 1, 42.0);
+  EXPECT_DOUBLE_EQ(b.interzone_ua(0, 1), 42.0);
+  EXPECT_DOUBLE_EQ(b.interzone_ua(1, 0), 42.0);
+  EXPECT_DOUBLE_EQ(b.interzone_ua(0, 0), 0.0);
+}
+
+TEST(BuildingTest, ConnectRejectsBadArgs) {
+  Building b;
+  b.add_zone(test_zone("a"), HvacParams{});
+  b.add_zone(test_zone("b"), HvacParams{});
+  EXPECT_THROW(b.connect(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(b.connect(0, 5, 1.0), std::invalid_argument);
+  EXPECT_THROW(b.connect(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(BuildingTest, CouplingsSurviveZoneAddition) {
+  Building b;
+  b.add_zone(test_zone("a"), HvacParams{});
+  b.add_zone(test_zone("b"), HvacParams{});
+  b.connect(0, 1, 10.0);
+  b.add_zone(test_zone("c"), HvacParams{});
+  EXPECT_DOUBLE_EQ(b.interzone_ua(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(b.interzone_ua(0, 2), 0.0);
+}
+
+TEST(BuildingTest, ControlledZoneValidation) {
+  Building b;
+  b.add_zone(test_zone("a"), HvacParams{});
+  EXPECT_NO_THROW(b.set_controlled_zone(0));
+  EXPECT_THROW(b.set_controlled_zone(3), std::invalid_argument);
+}
+
+TEST(BuildingTest, EmptyBuildingFailsValidation) {
+  Building b;
+  EXPECT_THROW(b.validate(), std::invalid_argument);
+}
+
+TEST(BuildingTest, AddZoneRejectsInvalidZone) {
+  Building b;
+  ZoneParams bad = test_zone("bad");
+  bad.air_capacitance = -1.0;
+  EXPECT_THROW(b.add_zone(bad, HvacParams{}), std::invalid_argument);
+}
+
+TEST(ZoneTest, ValidateChecksEveryField) {
+  ZoneParams z = test_zone("z");
+  EXPECT_NO_THROW(validate(z));
+  z.floor_area_m2 = 0.0;
+  EXPECT_THROW(validate(z), std::invalid_argument);
+  z = test_zone("z");
+  z.solar_to_mass_fraction = 1.5;
+  EXPECT_THROW(validate(z), std::invalid_argument);
+  z = test_zone("z");
+  z.ua_mass = 0.0;
+  EXPECT_THROW(validate(z), std::invalid_argument);
+}
+
+TEST(PresetTest, FiveZoneBuildingMatchesPaperPlant) {
+  const Building b = five_zone_building();
+  EXPECT_EQ(b.zone_count(), 5u);
+  // 463 m^2 total floor area (the paper's building).
+  EXPECT_NEAR(b.total_floor_area(), 463.0, 1.0);
+  EXPECT_NO_THROW(b.validate());
+  // Controlled zone is a perimeter zone with glazing.
+  EXPECT_GT(b.zone(b.controlled_zone()).solar_aperture_m2, 0.0);
+}
+
+TEST(PresetTest, CoreZoneHasNoGlazingAndSmallEnvelope) {
+  const Building b = five_zone_building();
+  // Core zone = largest floor plate.
+  std::size_t core = 0;
+  for (std::size_t i = 1; i < b.zone_count(); ++i) {
+    if (b.zone(i).floor_area_m2 > b.zone(core).floor_area_m2) core = i;
+  }
+  EXPECT_DOUBLE_EQ(b.zone(core).solar_aperture_m2, 0.0);
+  EXPECT_LT(b.zone(core).ua_outdoor, b.zone(b.controlled_zone()).ua_outdoor);
+}
+
+TEST(PresetTest, EveryPerimeterZoneTouchesCore) {
+  const Building b = five_zone_building();
+  std::size_t core = 0;
+  for (std::size_t i = 1; i < b.zone_count(); ++i) {
+    if (b.zone(i).floor_area_m2 > b.zone(core).floor_area_m2) core = i;
+  }
+  for (std::size_t i = 0; i < b.zone_count(); ++i) {
+    if (i == core) continue;
+    EXPECT_GT(b.interzone_ua(i, core), 0.0) << "zone " << i;
+  }
+}
+
+TEST(PresetTest, SingleZoneBuildingIsValid) {
+  const Building b = single_zone_building();
+  EXPECT_EQ(b.zone_count(), 1u);
+  EXPECT_NO_THROW(b.validate());
+}
+
+TEST(BuildingPresetTest, HvacScaleMultipliesEveryUnit) {
+  const sim::Building base = sim::five_zone_building();
+  const sim::Building scaled = sim::five_zone_building(2.0);
+  ASSERT_EQ(scaled.zone_count(), base.zone_count());
+  for (std::size_t z = 0; z < base.zone_count(); ++z) {
+    EXPECT_DOUBLE_EQ(scaled.hvac(z).heating_capacity_w, 2.0 * base.hvac(z).heating_capacity_w);
+    EXPECT_DOUBLE_EQ(scaled.hvac(z).cooling_capacity_w, 2.0 * base.hvac(z).cooling_capacity_w);
+    EXPECT_DOUBLE_EQ(scaled.hvac(z).fan_power_w, 2.0 * base.hvac(z).fan_power_w);
+    // Efficiencies are intensive quantities; scaling must not touch them.
+    EXPECT_DOUBLE_EQ(scaled.hvac(z).cooling_cop, base.hvac(z).cooling_cop);
+    EXPECT_DOUBLE_EQ(scaled.hvac(z).heating_efficiency, base.hvac(z).heating_efficiency);
+  }
+}
+
+TEST(BuildingPresetTest, HvacScaleRejectsNonPositive) {
+  EXPECT_THROW(sim::five_zone_building(0.0), std::invalid_argument);
+  EXPECT_THROW(sim::five_zone_building(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace verihvac::sim

@@ -1,0 +1,105 @@
+#include "thermosim/hvac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace verihvac::sim {
+namespace {
+
+HvacParams params() {
+  HvacParams p;
+  p.heating_capacity_w = 4000.0;
+  p.cooling_capacity_w = 3000.0;
+  p.throttling_range_k = 1.0;
+  p.heating_efficiency = 0.8;
+  p.cooling_cop = 3.0;
+  p.fan_power_w = 100.0;
+  return p;
+}
+
+TEST(HvacTest, IdleInsideDeadband) {
+  const HvacOutput out = hvac_output(params(), 21.0, SetpointPair{20.0, 24.0});
+  EXPECT_DOUBLE_EQ(out.heat_to_zone_w, 0.0);
+  EXPECT_DOUBLE_EQ(out.consumed_power_w, 0.0);
+}
+
+TEST(HvacTest, HeatsBelowHeatingSetpoint) {
+  const HvacOutput out = hvac_output(params(), 19.0, SetpointPair{20.0, 24.0});
+  EXPECT_GT(out.heat_to_zone_w, 0.0);
+  EXPECT_GT(out.consumed_power_w, out.heat_to_zone_w);  // efficiency < 1 + fan
+}
+
+TEST(HvacTest, FullHeatingBeyondThrottlingRange) {
+  const HvacOutput out = hvac_output(params(), 15.0, SetpointPair{20.0, 24.0});
+  EXPECT_DOUBLE_EQ(out.heat_to_zone_w, 4000.0);
+  EXPECT_DOUBLE_EQ(out.consumed_power_w, 4000.0 / 0.8 + 100.0);
+}
+
+TEST(HvacTest, ProportionalHeatingInsideRange) {
+  // 0.5 K below setpoint with a 1.0 K band -> half capacity.
+  const HvacOutput out = hvac_output(params(), 19.5, SetpointPair{20.0, 24.0});
+  EXPECT_NEAR(out.heat_to_zone_w, 2000.0, 1e-9);
+  EXPECT_NEAR(out.consumed_power_w, 2000.0 / 0.8 + 50.0, 1e-9);
+}
+
+TEST(HvacTest, CoolsAboveCoolingSetpoint) {
+  const HvacOutput out = hvac_output(params(), 26.0, SetpointPair{20.0, 24.0});
+  EXPECT_LT(out.heat_to_zone_w, 0.0);
+  // COP 3: electric power is a third of the heat removed, plus fan.
+  EXPECT_NEAR(out.consumed_power_w, 3000.0 / 3.0 + 100.0, 1e-9);
+}
+
+TEST(HvacTest, ProportionalCooling) {
+  const HvacOutput out = hvac_output(params(), 24.5, SetpointPair{20.0, 24.0});
+  EXPECT_NEAR(out.heat_to_zone_w, -1500.0, 1e-9);
+}
+
+TEST(HvacTest, CrossedSetpointsResolveTowardHeating) {
+  // heat=25 > cool=21: the equipment must not fight itself. Heating wins.
+  const HvacOutput out = hvac_output(params(), 22.0, SetpointPair{25.0, 21.0});
+  EXPECT_GT(out.heat_to_zone_w, 0.0);
+}
+
+TEST(HvacTest, EnergyNeverNegative) {
+  for (double temp = 10.0; temp <= 35.0; temp += 0.5) {
+    const HvacOutput out = hvac_output(params(), temp, SetpointPair{20.0, 24.0});
+    EXPECT_GE(out.consumed_power_w, 0.0) << "at " << temp;
+  }
+}
+
+TEST(HvacTest, ValidateAcceptsDefaults) {
+  EXPECT_NO_THROW(validate(HvacParams{}));
+}
+
+TEST(HvacTest, ValidateRejectsNonphysical) {
+  HvacParams p = params();
+  p.heating_efficiency = 0.0;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p = params();
+  p.heating_efficiency = 1.5;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p = params();
+  p.cooling_cop = -1.0;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p = params();
+  p.throttling_range_k = 0.0;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+}
+
+/// Monotonicity sweep: colder zone -> more heating power, never less.
+class HvacMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HvacMonotonicityTest, HeatingMonotoneInDeficit) {
+  const double heat_sp = GetParam();
+  double prev = -1.0;
+  for (double temp = heat_sp + 1.0; temp >= heat_sp - 3.0; temp -= 0.25) {
+    const HvacOutput out = hvac_output(params(), temp, SetpointPair{heat_sp, 30.0});
+    EXPECT_GE(out.heat_to_zone_w, prev);
+    prev = out.heat_to_zone_w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Setpoints, HvacMonotonicityTest,
+                         ::testing::Values(15.0, 18.0, 20.0, 22.0, 23.0));
+
+}  // namespace
+}  // namespace verihvac::sim

@@ -1,0 +1,133 @@
+// ideal_load_output: the EnergyPlus-style thermostat the network uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "thermosim/hvac.hpp"
+
+namespace verihvac::sim {
+namespace {
+
+HvacParams unit() {
+  HvacParams p;
+  p.heating_capacity_w = 4000.0;
+  p.cooling_capacity_w = 3500.0;
+  p.heating_efficiency = 0.8;
+  p.cooling_cop = 3.0;
+  p.fan_power_w = 100.0;
+  return p;
+}
+
+constexpr double kCap = 1.0e6;  // air-node capacitance [J/K]
+constexpr double kDt = 60.0;    // substep [s]
+
+TEST(IdealLoadsTest, OffInsideDeadband) {
+  const auto out = ideal_load_output(unit(), 21.0, {20.0, 24.0}, 500.0, kCap, kDt);
+  EXPECT_DOUBLE_EQ(out.heat_to_zone_w, 0.0);
+  EXPECT_DOUBLE_EQ(out.consumed_power_w, 0.0);
+}
+
+TEST(IdealLoadsTest, DeliversExactlyTheSetpointHoldingPower) {
+  // 0.5 K below setpoint with a -800 W load: power to land on the
+  // setpoint = C*dT/dt - load = 1e6*0.5/60 + 800 ~ 9133 W -> capped.
+  const double needed = kCap * 0.5 / kDt + 800.0;
+  ASSERT_GT(needed, unit().heating_capacity_w);
+  const auto capped = ideal_load_output(unit(), 19.5, {20.0, 24.0}, -800.0, kCap, kDt);
+  EXPECT_DOUBLE_EQ(capped.heat_to_zone_w, unit().heating_capacity_w);
+
+  // A tiny 0.01 K deficit is NOT capped: exact power delivered.
+  const double small_needed = kCap * 0.01 / kDt + 800.0;
+  ASSERT_LT(small_needed, unit().heating_capacity_w);
+  const auto exact = ideal_load_output(unit(), 19.99, {20.0, 24.0}, -800.0, kCap, kDt);
+  EXPECT_NEAR(exact.heat_to_zone_w, small_needed, 1e-9);
+}
+
+TEST(IdealLoadsTest, NoHeatingWhenGainsAlreadyRecover) {
+  // Below setpoint but a large positive load will overshoot it anyway.
+  const auto out = ideal_load_output(unit(), 19.9, {20.0, 24.0}, 5000.0, kCap, kDt);
+  EXPECT_DOUBLE_EQ(out.heat_to_zone_w, 0.0);
+}
+
+TEST(IdealLoadsTest, CoolsAboveCoolingSetpoint) {
+  // 0.02 K above with +1 kW of gains: must remove C*0.02/60 + 1000 W.
+  const double needed = kCap * 0.02 / kDt + 1000.0;
+  const auto out = ideal_load_output(unit(), 24.02, {20.0, 24.0}, 1000.0, kCap, kDt);
+  EXPECT_NEAR(out.heat_to_zone_w, -needed, 1e-9);
+  EXPECT_GT(out.consumed_power_w, 0.0);
+}
+
+TEST(IdealLoadsTest, CoolingCappedAtCapacity) {
+  const auto out = ideal_load_output(unit(), 30.0, {20.0, 24.0}, 4000.0, kCap, kDt);
+  EXPECT_DOUBLE_EQ(out.heat_to_zone_w, -unit().cooling_capacity_w);
+}
+
+TEST(IdealLoadsTest, NoCoolingWhenLossesAlreadyCool) {
+  // Above setpoint but the envelope is dumping heat fast enough.
+  const auto out = ideal_load_output(unit(), 24.1, {20.0, 24.0}, -8000.0, kCap, kDt);
+  EXPECT_DOUBLE_EQ(out.heat_to_zone_w, 0.0);
+}
+
+TEST(IdealLoadsTest, CrossedSetpointsResolveTowardHeating) {
+  // heat 25 / cool 21 is contradictory; the unit honours heating.
+  const auto out = ideal_load_output(unit(), 23.0, {25.0, 21.0}, 0.0, kCap, kDt);
+  EXPECT_GT(out.heat_to_zone_w, 0.0);
+}
+
+TEST(IdealLoadsTest, ConsumedPowerAccountsEfficiencyAndFan) {
+  // Uncapped heating: consumed = heat/efficiency + fan * fraction.
+  const auto out = ideal_load_output(unit(), 19.99, {20.0, 24.0}, 0.0, kCap, kDt);
+  const double expected = out.heat_to_zone_w / 0.8 +
+                          100.0 * (out.heat_to_zone_w / unit().heating_capacity_w);
+  EXPECT_NEAR(out.consumed_power_w, expected, 1e-9);
+}
+
+TEST(IdealLoadsTest, ConsumedPowerUsesCopForCooling) {
+  const auto out = ideal_load_output(unit(), 30.0, {20.0, 24.0}, 4000.0, kCap, kDt);
+  const double cooling = -out.heat_to_zone_w;
+  EXPECT_NEAR(out.consumed_power_w, cooling / 3.0 + 100.0, 1e-9);
+}
+
+class IdealLoadsHoldTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(IdealLoadsHoldTest, SteadyStateHasNoDroop) {
+  // Property: for any constant load within capacity, the thermostat + an
+  // explicit air-node update settle into a limit cycle that *touches* the
+  // active setpoint and never drifts more than one substep of load beyond
+  // it. (The unit switches off exactly at the setpoint, so the load moves
+  // the node by load*dt/C before the next correction — a two-substep
+  // cycle, not a fixed point.) This is the no-droop property: a
+  // proportional thermostat instead settles at a load-dependent *offset*
+  // and never reaches the setpoint at all.
+  const double load = GetParam();
+  const HvacParams p = unit();
+  const SetpointPair sp{20.0, 24.0};
+  double t = load > 0.0 ? 26.0 : 17.0;  // start outside the deadband
+  double cycle_min = std::numeric_limits<double>::infinity();
+  double cycle_max = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 600; ++i) {
+    const auto out = ideal_load_output(p, t, sp, load, kCap, kDt);
+    t += (load + out.heat_to_zone_w) * kDt / kCap;
+    if (i >= 580) {  // steady state; observe >= one full cycle
+      cycle_min = std::min(cycle_min, t);
+      cycle_max = std::max(cycle_max, t);
+    }
+  }
+  const double target = load > 0.0 ? sp.cooling_c : sp.heating_c;
+  const double drift = std::abs(load) * kDt / kCap;  // one substep of load
+  if (load > 0.0) {
+    EXPECT_NEAR(cycle_min, target, 1e-9);      // touches the setpoint
+    EXPECT_LE(cycle_max, target + drift + 1e-9);
+  } else {
+    EXPECT_NEAR(cycle_max, target, 1e-9);
+    EXPECT_GE(cycle_min, target - drift - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, IdealLoadsHoldTest,
+                         ::testing::Values(-3000.0, -1200.0, -200.0, 300.0, 1500.0,
+                                           3000.0));
+
+}  // namespace
+}  // namespace verihvac::sim

@@ -1,0 +1,225 @@
+#include "thermosim/thermal_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "thermosim/building_presets.hpp"
+
+namespace verihvac::sim {
+namespace {
+
+BoundaryConditions cold_night(std::size_t zones) {
+  BoundaryConditions bc;
+  bc.outdoor_temp_c = -5.0;
+  bc.wind_mps = 3.0;
+  bc.solar_wm2 = 0.0;
+  bc.occupants.assign(zones, 0.0);
+  return bc;
+}
+
+std::vector<SetpointPair> all_setpoints(std::size_t zones, double heat, double cool) {
+  return std::vector<SetpointPair>(zones, SetpointPair{heat, cool});
+}
+
+TEST(ThermalNetworkTest, ResetSetsAllNodes) {
+  ThermalNetwork net(five_zone_building());
+  net.reset(22.5);
+  for (std::size_t z = 0; z < net.zone_count(); ++z) {
+    EXPECT_DOUBLE_EQ(net.air_temp(z), 22.5);
+    EXPECT_DOUBLE_EQ(net.mass_temp(z), 22.5);
+  }
+}
+
+TEST(ThermalNetworkTest, UnconditionedBuildingCoolsTowardOutdoor) {
+  const Building b = five_zone_building();
+  ThermalNetwork net(b);
+  net.reset(21.0);
+  const auto bc = cold_night(b.zone_count());
+  // HVAC off: setback far below/above.
+  const auto setpoints = all_setpoints(b.zone_count(), -50.0, 80.0);
+  for (int hour = 0; hour < 24; ++hour) {
+    net.advance(setpoints, bc, 3600.0);
+  }
+  for (std::size_t z = 0; z < b.zone_count(); ++z) {
+    EXPECT_LT(net.air_temp(z), 21.0);
+    EXPECT_GT(net.air_temp(z), bc.outdoor_temp_c);  // never below ambient
+  }
+}
+
+TEST(ThermalNetworkTest, EquilibriumApproachesOutdoorWithoutGains) {
+  const Building b = single_zone_building();
+  ThermalNetwork net(b);
+  net.reset(20.0);
+  BoundaryConditions bc = cold_night(1);
+  bc.outdoor_temp_c = 5.0;
+  bc.wind_mps = 0.0;
+  const auto off = all_setpoints(1, -50.0, 80.0);
+  for (int i = 0; i < 24 * 14; ++i) net.advance(off, bc, 3600.0);  // two weeks
+  EXPECT_NEAR(net.air_temp(0), 5.0, 0.3);
+  EXPECT_NEAR(net.mass_temp(0), 5.0, 0.3);
+}
+
+TEST(ThermalNetworkTest, HeatingRaisesTemperatureAndConsumesEnergy) {
+  const Building b = five_zone_building();
+  ThermalNetwork net(b);
+  net.reset(15.0);
+  const auto bc = cold_night(b.zone_count());
+  const auto setpoints = all_setpoints(b.zone_count(), 21.0, 25.0);
+  EnergyAccount total;
+  for (int i = 0; i < 8; ++i) {
+    total += net.advance(setpoints, bc, kControlStepSeconds);
+  }
+  for (std::size_t z = 0; z < b.zone_count(); ++z) {
+    EXPECT_GT(net.air_temp(z), 15.0);
+  }
+  EXPECT_GT(total.consumed_joules, 0.0);
+  EXPECT_GT(total.heating_joules, 0.0);
+  EXPECT_DOUBLE_EQ(total.cooling_joules, 0.0);
+}
+
+TEST(ThermalNetworkTest, ThermostatHoldsSetpointInSteadyState) {
+  const Building b = five_zone_building();
+  ThermalNetwork net(b);
+  net.reset(21.0);
+  const auto bc = cold_night(b.zone_count());
+  const auto setpoints = all_setpoints(b.zone_count(), 21.0, 25.0);
+  for (int i = 0; i < 24 * 4; ++i) net.advance(setpoints, bc, 3600.0);
+  for (std::size_t z = 0; z < b.zone_count(); ++z) {
+    // Proportional control settles just below the setpoint (droop), well
+    // within the throttling band.
+    EXPECT_NEAR(net.air_temp(z), 21.0, 1.0);
+  }
+}
+
+TEST(ThermalNetworkTest, CoolingActivatesWhenHot) {
+  const Building b = single_zone_building();
+  ThermalNetwork net(b);
+  net.reset(30.0);
+  BoundaryConditions bc = cold_night(1);
+  bc.outdoor_temp_c = 35.0;
+  const auto setpoints = all_setpoints(1, 15.0, 24.0);
+  const EnergyAccount account = net.advance(setpoints, bc, 3600.0);
+  EXPECT_GT(account.cooling_joules, 0.0);
+  EXPECT_LT(net.air_temp(0), 30.0);
+}
+
+TEST(ThermalNetworkTest, SolarGainWarmsGlazedZone) {
+  const Building b = five_zone_building();
+  ThermalNetwork a(b);
+  ThermalNetwork s(b);
+  a.reset(20.0);
+  s.reset(20.0);
+  BoundaryConditions dark = cold_night(b.zone_count());
+  BoundaryConditions sunny = dark;
+  sunny.solar_wm2 = 500.0;
+  const auto off = all_setpoints(b.zone_count(), -50.0, 80.0);
+  for (int i = 0; i < 8; ++i) {
+    a.advance(off, dark, kControlStepSeconds);
+    s.advance(off, sunny, kControlStepSeconds);
+  }
+  EXPECT_GT(s.air_temp(b.controlled_zone()), a.air_temp(b.controlled_zone()) + 0.2);
+}
+
+TEST(ThermalNetworkTest, OccupantsWarmTheZone) {
+  const Building b = single_zone_building();
+  ThermalNetwork empty(b);
+  ThermalNetwork busy(b);
+  empty.reset(20.0);
+  busy.reset(20.0);
+  BoundaryConditions bc_empty = cold_night(1);
+  BoundaryConditions bc_busy = bc_empty;
+  bc_busy.occupants = {15.0};
+  const auto off = all_setpoints(1, -50.0, 80.0);
+  for (int i = 0; i < 8; ++i) {
+    empty.advance(off, bc_empty, kControlStepSeconds);
+    busy.advance(off, bc_busy, kControlStepSeconds);
+  }
+  EXPECT_GT(busy.air_temp(0), empty.air_temp(0) + 0.3);
+}
+
+TEST(ThermalNetworkTest, WindIncreasesHeatLoss) {
+  const Building b = single_zone_building();
+  ThermalNetwork calm(b);
+  ThermalNetwork windy(b);
+  calm.reset(21.0);
+  windy.reset(21.0);
+  BoundaryConditions bc_calm = cold_night(1);
+  bc_calm.wind_mps = 0.0;
+  BoundaryConditions bc_windy = bc_calm;
+  bc_windy.wind_mps = 12.0;
+  const auto off = all_setpoints(1, -50.0, 80.0);
+  for (int i = 0; i < 8; ++i) {
+    calm.advance(off, bc_calm, kControlStepSeconds);
+    windy.advance(off, bc_windy, kControlStepSeconds);
+  }
+  EXPECT_LT(windy.air_temp(0), calm.air_temp(0));
+}
+
+TEST(ThermalNetworkTest, InterzoneCouplingPullsNeighborsTogether) {
+  const Building b = five_zone_building();
+  ThermalNetwork net(b);
+  std::vector<double> air(5, 18.0);
+  std::vector<double> mass(5, 18.0);
+  air[b.controlled_zone()] = 26.0;
+  net.reset(air, mass);
+  const auto bc = cold_night(5);
+  const auto off = all_setpoints(5, -50.0, 80.0);
+  const double spread_before = 26.0 - 18.0;
+  for (int i = 0; i < 8; ++i) net.advance(off, bc, kControlStepSeconds);
+  double min_t = 1e9;
+  double max_t = -1e9;
+  for (std::size_t z = 0; z < 5; ++z) {
+    min_t = std::min(min_t, net.air_temp(z));
+    max_t = std::max(max_t, net.air_temp(z));
+  }
+  EXPECT_LT(max_t - min_t, spread_before);
+}
+
+TEST(ThermalNetworkTest, EnergyAccountingIsConsistent) {
+  const Building b = five_zone_building();
+  ThermalNetwork net(b);
+  net.reset(15.0);
+  const auto bc = cold_night(5);
+  const auto setpoints = all_setpoints(5, 21.0, 25.0);
+  const EnergyAccount account = net.advance(setpoints, bc, kControlStepSeconds);
+  // Controlled-zone share is part of (and no more than) the building total.
+  EXPECT_GT(account.controlled_zone_consumed_joules, 0.0);
+  EXPECT_LE(account.controlled_zone_consumed_joules, account.consumed_joules);
+  // Fuel in >= heat delivered (efficiency < 1).
+  EXPECT_GE(account.consumed_joules, account.heating_joules);
+}
+
+TEST(ThermalNetworkTest, SubstepInvariance) {
+  // 60 s and 30 s substeps must land on nearly identical states (implicit
+  // Euler convergence).
+  const Building b = five_zone_building();
+  ThermalNetwork coarse(b, 60.0);
+  ThermalNetwork fine(b, 30.0);
+  coarse.reset(18.0);
+  fine.reset(18.0);
+  const auto bc = cold_night(5);
+  const auto setpoints = all_setpoints(5, 21.0, 25.0);
+  for (int i = 0; i < 16; ++i) {
+    coarse.advance(setpoints, bc, kControlStepSeconds);
+    fine.advance(setpoints, bc, kControlStepSeconds);
+  }
+  for (std::size_t z = 0; z < 5; ++z) {
+    EXPECT_NEAR(coarse.air_temp(z), fine.air_temp(z), 0.15);
+  }
+}
+
+TEST(ThermalNetworkTest, RejectsBadArguments) {
+  ThermalNetwork net(five_zone_building());
+  EXPECT_THROW(net.advance(all_setpoints(2, 20.0, 24.0), cold_night(5), 900.0),
+               std::invalid_argument);
+  BoundaryConditions bad_bc = cold_night(3);
+  EXPECT_THROW(net.advance(all_setpoints(5, 20.0, 24.0), bad_bc, 900.0),
+               std::invalid_argument);
+  EXPECT_THROW(net.reset({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ThermalNetwork(five_zone_building(), -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace verihvac::sim

@@ -1,0 +1,181 @@
+#include "tree/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tree/cart.hpp"
+
+namespace verihvac::tree {
+namespace {
+
+DecisionTreeClassifier make_tree(std::uint64_t seed, std::size_t samples = 200,
+                                 std::size_t features = 4, std::size_t classes = 5) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> x(samples, std::vector<double>(features));
+  std::vector<int> y(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    for (std::size_t j = 0; j < features; ++j) x[i][j] = rng.uniform(-5.0, 35.0);
+    // A structured label so the tree has real splits: bucket a linear score.
+    const double score = 0.7 * x[i][0] - 0.4 * x[i][1] + 0.2 * x[i][2];
+    y[i] = static_cast<int>(std::fabs(score)) % static_cast<int>(classes);
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(x, y, classes);
+  return tree;
+}
+
+TEST(CodegenTest, RejectsUnfittedTree) {
+  DecisionTreeClassifier tree;
+  EXPECT_THROW(to_c_source(tree), std::invalid_argument);
+}
+
+TEST(CodegenTest, RejectsEmptyFunctionName) {
+  auto tree = make_tree(1);
+  CodegenOptions options;
+  options.function_name = "";
+  EXPECT_THROW(to_c_source(tree, options), std::invalid_argument);
+}
+
+TEST(CodegenTest, BannerReportsTreeShape) {
+  auto tree = make_tree(2);
+  const std::string src = to_c_source(tree);
+  EXPECT_NE(src.find("nodes=" + std::to_string(tree.node_count())), std::string::npos);
+  EXPECT_NE(src.find("leaves=" + std::to_string(tree.leaf_count())), std::string::npos);
+  EXPECT_NE(src.find("int dt_predict(const double* x)"), std::string::npos);
+}
+
+TEST(CodegenTest, StaticLinkageAndCustomName) {
+  auto tree = make_tree(3);
+  CodegenOptions options;
+  options.function_name = "my_tree";
+  options.static_linkage = true;
+  options.banner = false;
+  const std::string src = to_c_source(tree, options);
+  EXPECT_EQ(src.rfind("static int my_tree(", 0), 0u) << src.substr(0, 80);
+}
+
+TEST(CodegenTest, FeatureNamesAppearAsComments) {
+  auto tree = make_tree(4);
+  CodegenOptions options;
+  options.feature_names = {"zone_temp", "outdoor_temp", "humidity", "wind"};
+  const std::string src = to_c_source(tree, options);
+  // The fitted tree splits on at least one feature, whose name must show up.
+  bool any = false;
+  for (const auto& name : options.feature_names) {
+    if (src.find("/* " + name + " */") != std::string::npos) any = true;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(CodegenTest, FlatTableEmitsOneRowPerNode) {
+  auto tree = make_tree(5);
+  CodegenOptions options;
+  options.style = CodegenStyle::kFlatTable;
+  const std::string src = to_c_source(tree, options);
+  EXPECT_NE(src.find("nodes[" + std::to_string(tree.node_count()) + "]"), std::string::npos);
+  // Every leaf contributes a "{-1, ..." row.
+  std::size_t rows = 0;
+  for (std::size_t pos = src.find("{-1,"); pos != std::string::npos;
+       pos = src.find("{-1,", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, tree.leaf_count());
+}
+
+TEST(CodegenTest, SingleLeafTreeIsAConstantFunction) {
+  DecisionTreeClassifier tree;
+  tree.fit({{1.0}, {2.0}}, {3, 3}, 4);
+  const std::string src = to_c_source(tree);
+  EXPECT_NE(src.find("return 3;"), std::string::npos);
+}
+
+// --- compile-and-replay equivalence ------------------------------------
+//
+// The real guarantee: the emitted C computes the same label as the
+// in-memory tree for every input. We compile the source with the host C
+// compiler, feed it inputs on stdin, and diff against predict().
+
+class CodegenEquivalence : public ::testing::TestWithParam<CodegenStyle> {};
+
+TEST_P(CodegenEquivalence, CompiledModuleMatchesPredict) {
+  const auto tree = make_tree(17, /*samples=*/400, /*features=*/6, /*classes=*/9);
+  CodegenOptions options;
+  options.style = GetParam();
+  const std::string dir = ::testing::TempDir();
+  const std::string tag = GetParam() == CodegenStyle::kNestedIf ? "nested" : "table";
+  const std::string c_path = dir + "/dt_" + tag + ".c";
+  const std::string bin_path = dir + "/dt_" + tag + ".bin";
+
+  {
+    std::ofstream c_file(c_path);
+    ASSERT_TRUE(c_file.is_open());
+    c_file << to_c_source(tree, options);
+    // A stdin->stdout harness: one feature vector per line, label out.
+    c_file << "#include <stdio.h>\n"
+              "int main(void) {\n"
+              "  double x[6];\n"
+              "  while (scanf(\"%lf %lf %lf %lf %lf %lf\", &x[0], &x[1], &x[2], &x[3],\n"
+              "               &x[4], &x[5]) == 6) {\n"
+              "    printf(\"%d\\n\", dt_predict(x));\n"
+              "  }\n"
+              "  return 0;\n"
+              "}\n";
+  }
+  const std::string compile = "cc -std=c99 -O2 -o " + bin_path + " " + c_path + " 2>/dev/null";
+  if (std::system(compile.c_str()) != 0) {
+    GTEST_SKIP() << "host C compiler unavailable";
+  }
+
+  // Inputs: random vectors plus values sitting exactly on split thresholds,
+  // where emitted <= comparisons are most likely to diverge if the
+  // threshold did not round-trip losslessly.
+  Rng rng(99);
+  std::vector<std::vector<double>> inputs;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x(6);
+    for (auto& v : x) v = rng.uniform(-10.0, 40.0);
+    inputs.push_back(std::move(x));
+  }
+  for (const auto& node : tree.nodes()) {
+    if (node.is_leaf()) continue;
+    std::vector<double> x(6, 0.0);
+    x[static_cast<std::size_t>(node.feature)] = node.threshold;  // boundary: must go left
+    inputs.push_back(x);
+  }
+
+  const std::string in_path = dir + "/dt_" + tag + ".in";
+  {
+    std::ofstream in_file(in_path);
+    in_file.precision(17);
+    for (const auto& x : inputs) {
+      for (std::size_t j = 0; j < x.size(); ++j) in_file << (j ? " " : "") << x[j];
+      in_file << "\n";
+    }
+  }
+  const std::string out_path = dir + "/dt_" + tag + ".out";
+  ASSERT_EQ(std::system((bin_path + " < " + in_path + " > " + out_path).c_str()), 0);
+
+  std::ifstream out_file(out_path);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    int label = -1;
+    ASSERT_TRUE(out_file >> label) << "short output at row " << i;
+    EXPECT_EQ(label, tree.predict(inputs[i])) << "input row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, CodegenEquivalence,
+                         ::testing::Values(CodegenStyle::kNestedIf, CodegenStyle::kFlatTable),
+                         [](const auto& info) {
+                           return info.param == CodegenStyle::kNestedIf ? "NestedIf" : "FlatTable";
+                         });
+
+}  // namespace
+}  // namespace verihvac::tree

@@ -1,0 +1,124 @@
+// split_leaf: the function-preserving refinement primitive used by the
+// verifier to isolate the out-of-comfort side of a straddling leaf.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tree/cart.hpp"
+
+namespace verihvac::tree {
+namespace {
+
+/// A small tree over 2-dim inputs with 3 classes.
+DecisionTreeClassifier small_tree() {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0.0, 10.0);
+    const double b = rng.uniform(0.0, 10.0);
+    x.push_back({a, b});
+    y.push_back(a < 3.0 ? 0 : (b < 5.0 ? 1 : 2));
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(x, y, 3);
+  return tree;
+}
+
+TEST(SplitLeafTest, PreservesPredictions) {
+  DecisionTreeClassifier tree = small_tree();
+  const DecisionTreeClassifier original = tree;
+
+  // Split every original leaf once, at the middle of its box along dim 0.
+  for (int leaf : original.leaves()) {
+    const Box box = tree.leaf_box(leaf);
+    const double lo = std::max(box[0].lo, 0.0);
+    const double hi = std::min(box[0].hi, 10.0);
+    tree.split_leaf(leaf, 0, (lo + hi) / 2.0);
+  }
+
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> x = {rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0)};
+    EXPECT_EQ(tree.predict(x), original.predict(x));
+  }
+}
+
+TEST(SplitLeafTest, AddsExactlyTwoNodes) {
+  DecisionTreeClassifier tree = small_tree();
+  const std::size_t before = tree.node_count();
+  const std::size_t leaves_before = tree.leaf_count();
+  const int leaf = tree.leaves().front();
+  tree.split_leaf(leaf, 1, 5.0);
+  EXPECT_EQ(tree.node_count(), before + 2);
+  EXPECT_EQ(tree.leaf_count(), leaves_before + 1);  // one leaf became two
+}
+
+TEST(SplitLeafTest, ChildrenInheritLabelAndLinkToParent) {
+  DecisionTreeClassifier tree = small_tree();
+  const int leaf = tree.leaves().front();
+  const int label = tree.node(static_cast<std::size_t>(leaf)).label;
+  const auto [left, right] = tree.split_leaf(leaf, 0, 1.5);
+
+  EXPECT_EQ(tree.node(static_cast<std::size_t>(left)).label, label);
+  EXPECT_EQ(tree.node(static_cast<std::size_t>(right)).label, label);
+  EXPECT_EQ(tree.node(static_cast<std::size_t>(left)).parent, leaf);
+  EXPECT_EQ(tree.node(static_cast<std::size_t>(right)).parent, leaf);
+  EXPECT_FALSE(tree.node(static_cast<std::size_t>(leaf)).is_leaf());
+  EXPECT_EQ(tree.node(static_cast<std::size_t>(leaf)).feature, 0);
+  EXPECT_DOUBLE_EQ(tree.node(static_cast<std::size_t>(leaf)).threshold, 1.5);
+}
+
+TEST(SplitLeafTest, SplitBoxesPartitionTheOriginalBox) {
+  DecisionTreeClassifier tree = small_tree();
+  const int leaf = tree.leaves().front();
+  const Box original_box = tree.leaf_box(leaf);
+  const auto [left, right] = tree.split_leaf(leaf, 1, 4.0);
+
+  const Box left_box = tree.leaf_box(left);
+  const Box right_box = tree.leaf_box(right);
+  EXPECT_DOUBLE_EQ(left_box[1].hi, 4.0);
+  EXPECT_DOUBLE_EQ(right_box[1].lo, 4.0);
+  EXPECT_DOUBLE_EQ(left_box[1].lo, original_box[1].lo);
+  EXPECT_DOUBLE_EQ(right_box[1].hi, original_box[1].hi);
+  // Untouched dimension is inherited on both sides.
+  EXPECT_DOUBLE_EQ(left_box[0].lo, original_box[0].lo);
+  EXPECT_DOUBLE_EQ(right_box[0].hi, original_box[0].hi);
+}
+
+TEST(SplitLeafTest, RejectsNonLeafAndBadFeature) {
+  DecisionTreeClassifier tree = small_tree();
+  // Root is not a leaf in this tree.
+  EXPECT_THROW(tree.split_leaf(0, 0, 1.0), std::invalid_argument);
+  const int leaf = tree.leaves().front();
+  EXPECT_THROW(tree.split_leaf(leaf, 7, 1.0), std::invalid_argument);
+  EXPECT_THROW(tree.split_leaf(-1, 0, 1.0), std::invalid_argument);
+}
+
+TEST(SplitLeafTest, SplitLeafCanBeRelabeledIndependently) {
+  DecisionTreeClassifier tree = small_tree();
+  const int leaf = tree.leaves().front();
+  const Box box = tree.leaf_box(leaf);
+  const double mid = (std::max(box[0].lo, 0.0) + std::min(box[0].hi, 10.0)) / 2.0;
+  const auto [left, right] = tree.split_leaf(leaf, 0, mid);
+  const int old_label = tree.node(static_cast<std::size_t>(left)).label;
+  const int new_label = (old_label + 1) % 3;
+  tree.set_leaf_label(right, new_label);
+
+  // A point strictly on the left keeps the old class; on the right gets
+  // the new one (probe inside the box).
+  std::vector<double> probe_left = {mid - 0.1, 0.0};
+  std::vector<double> probe_right = {mid + 0.1, 0.0};
+  // Clamp probes into the leaf's second-dim interval.
+  const double b = std::min(std::max(0.5, box[1].lo + 0.1), box[1].hi - 0.1);
+  probe_left[1] = b;
+  probe_right[1] = b;
+  if (tree.decision_leaf(probe_left) == left) {
+    EXPECT_EQ(tree.predict(probe_left), old_label);
+  }
+  if (tree.decision_leaf(probe_right) == right) {
+    EXPECT_EQ(tree.predict(probe_right), new_label);
+  }
+}
+
+}  // namespace
+}  // namespace verihvac::tree

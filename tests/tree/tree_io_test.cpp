@@ -1,0 +1,125 @@
+#include "tree/tree_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+
+namespace verihvac::tree {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / "verihvac_tree_io";
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
+
+DecisionTreeClassifier sample_tree(std::uint64_t seed = 3, std::size_t n = 200) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    x.push_back({rng.uniform(0.0, 1.0), rng.uniform(-3.0, 3.0)});
+    y.push_back(static_cast<int>(rng.index(4)));
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(x, y, 4);
+  return tree;
+}
+
+TEST(TreeIoTest, TextExportMentionsNamesAndClasses) {
+  DecisionTreeClassifier tree;
+  tree.fit({{1.0, 0.0}, {9.0, 0.0}}, {0, 1}, 2);
+  const std::string text = to_text(tree, {"zone_temp", "outdoor"}, {"heat", "cool"});
+  EXPECT_NE(text.find("zone_temp"), std::string::npos);
+  EXPECT_NE(text.find("heat"), std::string::npos);
+  EXPECT_NE(text.find("if "), std::string::npos);
+  EXPECT_NE(text.find("else"), std::string::npos);
+}
+
+TEST(TreeIoTest, TextExportFallsBackToIndices) {
+  DecisionTreeClassifier tree;
+  tree.fit({{1.0}, {9.0}}, {0, 1}, 2);
+  const std::string text = to_text(tree);
+  EXPECT_NE(text.find("x[0]"), std::string::npos);
+  EXPECT_NE(text.find("class"), std::string::npos);
+}
+
+TEST(TreeIoTest, DotExportIsWellFormed) {
+  const DecisionTreeClassifier tree = sample_tree();
+  const std::string dot = to_dot(tree, {"a", "b"}, {});
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // Every node appears.
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+}
+
+TEST(TreeIoTest, UnfittedExportThrows) {
+  DecisionTreeClassifier tree;
+  EXPECT_THROW(to_text(tree), std::logic_error);
+  EXPECT_THROW(to_dot(tree), std::logic_error);
+  EXPECT_THROW(save_tree(tree, temp_path("nope.tree")), std::logic_error);
+}
+
+TEST(TreeIoTest, SaveLoadRoundTripPreservesPredictions) {
+  const DecisionTreeClassifier original = sample_tree(5, 300);
+  const std::string path = temp_path("round_trip.tree");
+  save_tree(original, path);
+  const DecisionTreeClassifier loaded = load_tree(path);
+  EXPECT_EQ(loaded.node_count(), original.node_count());
+  EXPECT_EQ(loaded.leaf_count(), original.leaf_count());
+  EXPECT_EQ(loaded.num_features(), original.num_features());
+  EXPECT_EQ(loaded.num_classes(), original.num_classes());
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> q = {rng.uniform(-0.5, 1.5), rng.uniform(-4.0, 4.0)};
+    EXPECT_EQ(loaded.predict(q), original.predict(q));
+  }
+}
+
+TEST(TreeIoTest, RoundTripPreservesBoxes) {
+  const DecisionTreeClassifier original = sample_tree(9, 150);
+  const std::string path = temp_path("boxes.tree");
+  save_tree(original, path);
+  const DecisionTreeClassifier loaded = load_tree(path);
+  const auto leaves = original.leaves();
+  const auto loaded_leaves = loaded.leaves();
+  ASSERT_EQ(leaves.size(), loaded_leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const Box a = original.leaf_box(leaves[i]);
+    const Box b = loaded.leaf_box(loaded_leaves[i]);
+    for (std::size_t d = 0; d < a.size(); ++d) {
+      EXPECT_DOUBLE_EQ(a[d].lo, b[d].lo);
+      EXPECT_DOUBLE_EQ(a[d].hi, b[d].hi);
+    }
+  }
+}
+
+TEST(TreeIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_tree("/no/such/file.tree"), std::runtime_error);
+}
+
+TEST(TreeIoTest, LoadRejectsCorruptHeader) {
+  const std::string path = temp_path("corrupt.tree");
+  {
+    std::ofstream out(path);
+    out << "not-a-tree v9\n";
+  }
+  EXPECT_THROW(load_tree(path), std::runtime_error);
+}
+
+TEST(TreeIoTest, LoadRejectsTruncatedFile) {
+  const DecisionTreeClassifier tree = sample_tree(11, 100);
+  const std::string path = temp_path("trunc.tree");
+  save_tree(tree, path);
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_tree(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace verihvac::tree

@@ -1,0 +1,67 @@
+#include "weather/climate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace verihvac::weather {
+namespace {
+
+TEST(ClimateTest, PittsburghIsCold4A) {
+  const ClimateProfile p = pittsburgh();
+  EXPECT_EQ(p.zone, ClimateZone::k4A);
+  EXPECT_LT(p.mean_temp_c, 2.0);
+  EXPECT_GT(p.mean_cloud_cover, 0.5);
+}
+
+TEST(ClimateTest, TucsonIsMildSunny2B) {
+  const ClimateProfile p = tucson();
+  EXPECT_EQ(p.zone, ClimateZone::k2B);
+  EXPECT_GT(p.mean_temp_c, 8.0);
+  EXPECT_LT(p.mean_cloud_cover, 0.4);
+  EXPECT_GT(p.clear_sky_peak, pittsburgh().clear_sky_peak);
+}
+
+TEST(ClimateTest, NewYorkSharesPittsburghClimateZone) {
+  // The Fig. 3 calibration depends on NY being a "similar city" (same
+  // ASHRAE class, close climate normals) to Pittsburgh.
+  const ClimateProfile ny = new_york();
+  const ClimateProfile pit = pittsburgh();
+  EXPECT_EQ(ny.zone, pit.zone);
+  EXPECT_NEAR(ny.mean_temp_c, pit.mean_temp_c, 3.0);
+  EXPECT_NEAR(ny.mean_cloud_cover, pit.mean_cloud_cover, 0.15);
+}
+
+TEST(ClimateTest, LookupByNameIsCaseInsensitive) {
+  EXPECT_EQ(profile_by_name("pittsburgh").name, "Pittsburgh");
+  EXPECT_EQ(profile_by_name("TUCSON").name, "Tucson");
+  EXPECT_EQ(profile_by_name("NewYork").name, "NewYork");
+  EXPECT_EQ(profile_by_name("new york").name, "NewYork");
+  EXPECT_EQ(profile_by_name("TucsonJuly").name, "TucsonJuly");
+  EXPECT_EQ(profile_by_name("tucson_july").name, "TucsonJuly");
+}
+
+TEST(ClimateTest, UnknownCityThrows) {
+  EXPECT_THROW(profile_by_name("Atlantis"), std::invalid_argument);
+}
+
+TEST(ClimateTest, AvailableProfilesResolve) {
+  for (const auto& name : available_profiles()) {
+    EXPECT_NO_THROW(profile_by_name(name));
+  }
+}
+
+TEST(ClimateTest, ZoneToString) {
+  EXPECT_EQ(to_string(ClimateZone::k2B), "2B");
+  EXPECT_EQ(to_string(ClimateZone::k4A), "4A");
+}
+
+TEST(ClimateTest, SummerProfileIsCoolingSeason) {
+  const ClimateProfile july = tucson_july();
+  const ClimateProfile january = tucson();
+  // Same city, opposite season: hotter mean, higher sun, same zone tag.
+  EXPECT_GT(july.mean_temp_c, january.mean_temp_c + 15.0);
+  EXPECT_GT(july.clear_sky_peak, january.clear_sky_peak);
+  EXPECT_EQ(july.zone, january.zone);
+}
+
+}  // namespace
+}  // namespace verihvac::weather

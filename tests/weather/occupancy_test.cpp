@@ -1,0 +1,97 @@
+#include "weather/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace verihvac::weather {
+namespace {
+
+// Day 0 of the schedule is a Friday (first_weekday = 4); days 1 and 2 are
+// the weekend.
+constexpr std::size_t kFriday10am = 10 * kStepsPerHour;
+constexpr std::size_t kSaturday10am = kStepsPerDay + 10 * kStepsPerHour;
+constexpr std::size_t kMonday10am = 3 * kStepsPerDay + 10 * kStepsPerHour;
+
+TEST(OccupancyTest, OfficeHoursOccupiedOnWeekdays) {
+  const OccupancySchedule s = office_schedule();
+  EXPECT_GT(s.occupants_at(kFriday10am), 0.0);
+  EXPECT_GT(s.occupants_at(kMonday10am), 0.0);
+}
+
+TEST(OccupancyTest, NightsEmpty) {
+  const OccupancySchedule s = office_schedule();
+  EXPECT_DOUBLE_EQ(s.occupants_at(0), 0.0);                       // midnight
+  EXPECT_DOUBLE_EQ(s.occupants_at(23 * kStepsPerHour), 0.0);      // 11 pm
+  EXPECT_DOUBLE_EQ(s.occupants_at(7 * kStepsPerHour + 3), 0.0);   // 7:45 am
+}
+
+TEST(OccupancyTest, WeekendEmptyByDefault) {
+  const OccupancySchedule s = office_schedule();
+  EXPECT_DOUBLE_EQ(s.occupants_at(kSaturday10am), 0.0);
+}
+
+TEST(OccupancyTest, WeekendFractionApplies) {
+  OccupancySchedule s = office_schedule();
+  s.weekend_fraction = 0.5;
+  EXPECT_NEAR(s.occupants_at(kSaturday10am), s.peak_occupants * 0.5, 1e-9);
+}
+
+TEST(OccupancyTest, PeakReachedMidday) {
+  const OccupancySchedule s = office_schedule();
+  EXPECT_DOUBLE_EQ(s.occupants_at(kFriday10am), s.peak_occupants);
+}
+
+TEST(OccupancyTest, DefaultScheduleIsStepwise) {
+  const OccupancySchedule s = office_schedule();
+  // The Sinergym-style default has no ramp: full presence from the first
+  // occupied step to the last.
+  EXPECT_DOUBLE_EQ(s.occupants_at(8 * kStepsPerHour), s.peak_occupants);
+  EXPECT_DOUBLE_EQ(s.occupants_at(19 * kStepsPerHour + 3), s.peak_occupants);
+  EXPECT_DOUBLE_EQ(s.occupants_at(20 * kStepsPerHour), 0.0);
+}
+
+TEST(OccupancyTest, OptionalRampAtBusinessDayEdges) {
+  OccupancySchedule s = office_schedule();
+  s.ramp_hours = 1.0;
+  // 8:15 is inside the arrival ramp: more than none, less than peak.
+  const double arriving = s.occupants_at(8 * kStepsPerHour + 1);
+  EXPECT_GT(arriving, 0.0);
+  EXPECT_LT(arriving, s.peak_occupants);
+  // 19:45 is inside the departure ramp.
+  const double leaving = s.occupants_at(19 * kStepsPerHour + 3);
+  EXPECT_GT(leaving, 0.0);
+  EXPECT_LT(leaving, s.peak_occupants);
+}
+
+TEST(OccupancyTest, OccupiedAtMatchesCount) {
+  const OccupancySchedule s = office_schedule();
+  EXPECT_TRUE(s.occupied_at(kFriday10am));
+  EXPECT_FALSE(s.occupied_at(0));
+}
+
+TEST(OccupancyTest, SeriesLengthAndConsistency) {
+  const OccupancySchedule s = office_schedule();
+  const auto series = s.series(5 * kStepsPerDay);
+  ASSERT_EQ(series.size(), static_cast<std::size_t>(5 * kStepsPerDay));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[i], s.occupants_at(i));
+  }
+}
+
+TEST(OccupancyTest, WeekPatternRepeats) {
+  const OccupancySchedule s = office_schedule();
+  for (std::size_t step = 0; step < kStepsPerDay; ++step) {
+    EXPECT_DOUBLE_EQ(s.occupants_at(step), s.occupants_at(step + 7 * kStepsPerDay));
+  }
+}
+
+TEST(OccupancyTest, FirstWeekdayShiftsWeekend) {
+  OccupancySchedule s = office_schedule();
+  s.first_weekday = 5;  // day 0 is Saturday
+  EXPECT_DOUBLE_EQ(s.occupants_at(kFriday10am), 0.0);  // actually Saturday now
+  EXPECT_GT(s.occupants_at(2 * kStepsPerDay + kFriday10am), 0.0);  // Monday
+}
+
+}  // namespace
+}  // namespace verihvac::weather

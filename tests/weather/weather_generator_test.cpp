@@ -1,0 +1,149 @@
+#include "weather/weather_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace verihvac::weather {
+namespace {
+
+TEST(WeatherGeneratorTest, DeterministicForSameSeed) {
+  WeatherGenerator g1(pittsburgh(), 99);
+  WeatherGenerator g2(pittsburgh(), 99);
+  const auto s1 = g1.generate_days(2);
+  const auto s2 = g2.generate_days(2);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.at(i).outdoor_temp_c, s2.at(i).outdoor_temp_c);
+    EXPECT_DOUBLE_EQ(s1.at(i).solar_wm2, s2.at(i).solar_wm2);
+  }
+}
+
+TEST(WeatherGeneratorTest, DifferentSeedsProduceDifferentSeries) {
+  WeatherGenerator g1(pittsburgh(), 1);
+  WeatherGenerator g2(pittsburgh(), 2);
+  const auto s1 = g1.generate_days(1);
+  const auto s2 = g2.generate_days(1);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    diff += std::abs(s1.at(i).outdoor_temp_c - s2.at(i).outdoor_temp_c);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(WeatherGeneratorTest, SeriesLengthMatchesDays) {
+  WeatherGenerator g(tucson(), 5);
+  EXPECT_EQ(g.generate_days(31).size(), static_cast<std::size_t>(31 * kStepsPerDay));
+}
+
+TEST(WeatherGeneratorTest, MonthlyMeanTracksClimateNormal) {
+  WeatherGenerator g(pittsburgh(), 7);
+  const auto series = g.generate_days(31);
+  RunningStats temps;
+  for (const auto& r : series.records) temps.add(r.outdoor_temp_c);
+  EXPECT_NEAR(temps.mean(), pittsburgh().mean_temp_c, 2.5);
+}
+
+TEST(WeatherGeneratorTest, TucsonWarmerThanPittsburgh) {
+  const auto pit = WeatherGenerator(pittsburgh(), 11).generate_days(14);
+  const auto tuc = WeatherGenerator(tucson(), 11).generate_days(14);
+  RunningStats p;
+  RunningStats t;
+  for (const auto& r : pit.records) p.add(r.outdoor_temp_c);
+  for (const auto& r : tuc.records) t.add(r.outdoor_temp_c);
+  EXPECT_GT(t.mean(), p.mean() + 6.0);
+}
+
+TEST(WeatherGeneratorTest, SolarZeroAtNightPositiveAtNoon) {
+  WeatherGenerator g(tucson(), 3);
+  const auto series = g.generate_days(7);
+  for (int day = 0; day < 7; ++day) {
+    const std::size_t midnight = static_cast<std::size_t>(day) * kStepsPerDay;
+    const std::size_t noon = midnight + 48;
+    EXPECT_DOUBLE_EQ(series.at(midnight).solar_wm2, 0.0);
+    EXPECT_GT(series.at(noon).solar_wm2, 50.0);
+  }
+}
+
+TEST(WeatherGeneratorTest, TucsonSunnierThanPittsburgh) {
+  const auto pit = WeatherGenerator(pittsburgh(), 13).generate_days(14);
+  const auto tuc = WeatherGenerator(tucson(), 13).generate_days(14);
+  double pit_solar = 0.0;
+  double tuc_solar = 0.0;
+  for (const auto& r : pit.records) pit_solar += r.solar_wm2;
+  for (const auto& r : tuc.records) tuc_solar += r.solar_wm2;
+  EXPECT_GT(tuc_solar, 1.5 * pit_solar);
+}
+
+TEST(WeatherGeneratorTest, HumidityWithinPhysicalBounds) {
+  WeatherGenerator g(pittsburgh(), 17);
+  const auto series = g.generate_days(31);
+  for (const auto& r : series.records) {
+    EXPECT_GE(r.humidity_pct, 5.0);
+    EXPECT_LE(r.humidity_pct, 100.0);
+  }
+}
+
+TEST(WeatherGeneratorTest, WindNonNegative) {
+  WeatherGenerator g(new_york(), 19);
+  const auto series = g.generate_days(31);
+  for (const auto& r : series.records) EXPECT_GE(r.wind_mps, 0.0);
+}
+
+TEST(WeatherGeneratorTest, DiurnalCycleVisible) {
+  // Average 3pm temperature should exceed average 6am temperature by a
+  // margin related to the diurnal amplitude.
+  WeatherGenerator g(tucson(), 23);
+  const auto series = g.generate_days(31);
+  RunningStats at6;
+  RunningStats at15;
+  for (int day = 0; day < 31; ++day) {
+    at6.add(series.at(static_cast<std::size_t>(day) * kStepsPerDay + 24).outdoor_temp_c);
+    at15.add(series.at(static_cast<std::size_t>(day) * kStepsPerDay + 60).outdoor_temp_c);
+  }
+  EXPECT_GT(at15.mean() - at6.mean(), tucson().diurnal_amp_c);
+}
+
+TEST(WeatherGeneratorTest, DaylightShorterAtHigherLatitude) {
+  const auto [pit_rise, pit_set] = WeatherGenerator::daylight_hours(pittsburgh());
+  const auto [tuc_rise, tuc_set] = WeatherGenerator::daylight_hours(tucson());
+  EXPECT_LT(pit_set - pit_rise, tuc_set - tuc_rise);
+}
+
+TEST(WeatherGeneratorTest, StartDayShiftsSeries) {
+  WeatherGenerator g(pittsburgh(), 29);
+  const auto a = g.generate(0, kStepsPerDay);
+  const auto b = g.generate(5, kStepsPerDay);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff += std::abs(a.at(i).outdoor_temp_c - b.at(i).outdoor_temp_c);
+  }
+  EXPECT_GT(diff, 0.5);
+}
+
+/// Stationarity sweep: the synoptic OU residual should not drift over the
+/// month for any seed.
+class WeatherStationarityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeatherStationarityTest, FirstAndSecondHalfMeansAgree) {
+  WeatherGenerator g(pittsburgh(), GetParam());
+  const auto series = g.generate_days(30);
+  RunningStats first;
+  RunningStats second;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    (i < series.size() / 2 ? first : second).add(series.at(i).outdoor_temp_c);
+  }
+  // Half-month means of an OU process with a 36 h time constant have a
+  // standard deviation of roughly 1.5 degC each; 6.5 degC is a >3-sigma
+  // bound on their difference.
+  EXPECT_NEAR(first.mean(), second.mean(), 6.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeatherStationarityTest,
+                         ::testing::Values(1ull, 7ull, 2021ull, 424242ull));
+
+}  // namespace
+}  // namespace verihvac::weather

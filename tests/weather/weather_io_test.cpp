@@ -1,0 +1,44 @@
+#include "weather/weather_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace verihvac::weather {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / "verihvac_weather_io";
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
+
+TEST(WeatherIoTest, RoundTripPreservesRecords) {
+  WeatherGenerator g(pittsburgh(), 55);
+  const WeatherSeries original = g.generate_days(2);
+  const std::string path = temp_path("series.csv");
+  save_series_csv(original, path);
+  const WeatherSeries loaded = load_series_csv(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(loaded.at(i).outdoor_temp_c, original.at(i).outdoor_temp_c, 1e-6);
+    EXPECT_NEAR(loaded.at(i).humidity_pct, original.at(i).humidity_pct, 1e-6);
+    EXPECT_NEAR(loaded.at(i).wind_mps, original.at(i).wind_mps, 1e-6);
+    EXPECT_NEAR(loaded.at(i).solar_wm2, original.at(i).solar_wm2, 1e-6);
+  }
+}
+
+TEST(WeatherIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_series_csv("/no/such/file.csv"), std::runtime_error);
+}
+
+TEST(WeatherIoTest, EmptySeriesRoundTrips) {
+  WeatherSeries empty;
+  const std::string path = temp_path("empty.csv");
+  save_series_csv(empty, path);
+  const WeatherSeries loaded = load_series_csv(path);
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+}  // namespace
+}  // namespace verihvac::weather

@@ -1,0 +1,246 @@
+// verihvac — command-line front end for the extract -> verify -> deploy
+// workflow of the paper (Fig. 2), operating on policy-bundle files.
+//
+//   verihvac extract  --city Pittsburgh --points 600 --out policy.vhp
+//   verihvac verify   --policy policy.vhp [--city Pittsburgh] [--correct]
+//   verihvac simulate --policy policy.vhp --city Pittsburgh [--days 31]
+//   verihvac export-c --policy policy.vhp --prefix veri_hvac --out DIR
+//   verihvac explain  --policy policy.vhp --input s,To,RH,w,S,occ
+//   verihvac print    --policy policy.vhp [--rules]
+//
+// Every subcommand exits non-zero on failure and prints to stderr; the
+// formats are the library's own (core/policy_io bundles, core/edge_export
+// C modules), so artifacts interoperate with the examples and benches.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/edge_export.hpp"
+#include "core/interpret.hpp"
+#include "core/pipeline.hpp"
+#include "core/policy_io.hpp"
+#include "core/verification.hpp"
+#include "envlib/env.hpp"
+#include "envlib/metrics.hpp"
+
+namespace {
+
+using namespace verihvac;
+
+/// "--key value" argument map (flags without a value store "").
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("unexpected argument: " + key);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  std::string required(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) {
+      throw std::invalid_argument("missing required option --" + key);
+    }
+    return it->second;
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() || it->second.empty() ? fallback : it->second;
+  }
+  long get_long(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() || it->second.empty() ? fallback : std::stol(it->second);
+  }
+  bool flag(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_extract(const Args& args) {
+  core::PipelineConfig config = core::PipelineConfig::for_city(args.get("city", "Pittsburgh"));
+  config.decision_points =
+      static_cast<std::size_t>(args.get_long("points", static_cast<long>(config.decision_points)));
+  const std::string out = args.required("out");
+
+  const core::PipelineArtifacts artifacts = core::run_pipeline(config);
+  core::save_policy(*artifacts.policy, out);
+  std::printf("extracted + verified policy for %s\n", config.city.c_str());
+  std::printf("  tree: %zu nodes, %zu leaves, depth %zu\n",
+              artifacts.policy->tree().node_count(), artifacts.policy->tree().leaf_count(),
+              artifacts.policy->tree().depth());
+  std::printf("  Algorithm 1 corrections: #2=%zu #3=%zu\n", artifacts.formal.corrected_crit2,
+              artifacts.formal.corrected_crit3);
+  std::printf("  criterion #1 safe probability: %.3f (%zu samples)\n",
+              artifacts.probabilistic.safe_probability, artifacts.probabilistic.samples);
+  std::printf("  bundle written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  core::DtPolicy policy = core::load_policy(args.required("policy"));
+  core::VerificationCriteria criteria;
+  const bool correct = args.flag("correct");
+
+  const core::FormalReport formal = core::verify_formal(policy, criteria, correct);
+  std::printf("Algorithm 1 (criteria #2/#3):\n");
+  std::printf("  leaves: %zu total, %zu subject #2, %zu subject #3\n", formal.leaves_total,
+              formal.leaves_subject_crit2, formal.leaves_subject_crit3);
+  std::printf("  violations: #2=%zu #3=%zu%s\n", formal.violations_crit2,
+              formal.violations_crit3,
+              correct ? " (corrected in-memory; use --out to persist)" : "");
+
+  if (args.flag("city")) {
+    // Criterion #1 needs a dynamics model + the city's input distribution;
+    // rebuild both from a fresh historical collection.
+    core::PipelineConfig config = core::PipelineConfig::for_city(args.get("city", "Pittsburgh"));
+    const dyn::TransitionDataset historical =
+        dyn::collect_historical_data(config.env, config.collection);
+    dyn::DynamicsModel model(config.model);
+    model.train(historical);
+    core::DecisionDataGenerator generator(historical, config.decision);
+    Rng rng(config.verification_seed);
+    const core::ProbabilisticReport prob = core::verify_probabilistic_one_step(
+        policy, model, generator.sampler(), criteria, config.probabilistic_samples, rng);
+    std::printf("criterion #1 (probabilistic, %s): safe probability %.3f -> %s\n",
+                config.city.c_str(), prob.safe_probability,
+                prob.passes(criteria) ? "PASS" : "FAIL");
+  }
+  if (correct && args.flag("out")) {
+    core::save_policy(policy, args.required("out"));
+    std::printf("corrected bundle written to %s\n", args.required("out").c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  core::DtPolicy policy = core::load_policy(args.required("policy"));
+  core::PipelineConfig config = core::PipelineConfig::for_city(args.get("city", "Pittsburgh"));
+  config.env.days = static_cast<int>(args.get_long("days", config.env.days));
+
+  env::BuildingEnv building(config.env);
+  env::EpisodeMetrics dt_metrics;
+  env::Observation obs = building.reset();
+  while (true) {
+    const auto outcome = building.step(policy.act(obs, {}));
+    dt_metrics.add(outcome);
+    if (outcome.done) break;
+    obs = outcome.observation;
+  }
+
+  control::RuleBasedController schedule(config.env.default_occupied,
+                                        config.env.default_unoccupied);
+  env::BuildingEnv baseline_env(config.env);
+  env::EpisodeMetrics default_metrics;
+  obs = baseline_env.reset();
+  while (true) {
+    const auto outcome = baseline_env.step(schedule.act(obs, {}));
+    default_metrics.add(outcome);
+    if (outcome.done) break;
+    obs = outcome.observation;
+  }
+
+  std::printf("%-18s %12s %12s\n", "controller", "energy kWh", "violation");
+  std::printf("%-18s %12.1f %12.3f\n", "default schedule", default_metrics.total_energy_kwh(),
+              default_metrics.violation_rate());
+  std::printf("%-18s %12.1f %12.3f\n", "DT policy", dt_metrics.total_energy_kwh(),
+              dt_metrics.violation_rate());
+  return 0;
+}
+
+int cmd_export_c(const Args& args) {
+  const core::DtPolicy policy = core::load_policy(args.required("policy"));
+  core::EdgeExportOptions options;
+  options.prefix = args.get("prefix", "veri_hvac");
+  const std::string style = args.get("style", "table");
+  if (style == "nested") {
+    options.style = tree::CodegenStyle::kNestedIf;
+  } else if (style == "table") {
+    options.style = tree::CodegenStyle::kFlatTable;
+  } else {
+    throw std::invalid_argument("--style must be 'table' or 'nested'");
+  }
+  const std::string dir = args.get("out", ".");
+  core::export_policy_c(policy, dir, options);
+  std::printf("wrote %s/%s.c and %s/%s.h\n", dir.c_str(), options.prefix.c_str(), dir.c_str(),
+              options.prefix.c_str());
+  return 0;
+}
+
+int cmd_explain(const Args& args) {
+  const core::DtPolicy policy = core::load_policy(args.required("policy"));
+  const std::string csv = args.required("input");
+  std::vector<double> x;
+  std::stringstream stream(csv);
+  std::string cell;
+  while (std::getline(stream, cell, ',')) x.push_back(std::stod(cell));
+  if (x.size() != env::kInputDims) {
+    throw std::invalid_argument("--input needs 6 comma-separated values "
+                                "(zone_temp,outdoor,humidity,wind,solar,occupants)");
+  }
+  std::printf("%s", core::explain(policy, x).to_string().c_str());
+  return 0;
+}
+
+int cmd_print(const Args& args) {
+  const core::DtPolicy policy = core::load_policy(args.required("policy"));
+  std::printf("policy: %zu nodes, %zu leaves, depth %zu, %zu actions\n",
+              policy.tree().node_count(), policy.tree().leaf_count(), policy.tree().depth(),
+              policy.actions().size());
+  std::printf("%s\n", core::feature_importance_report(policy).c_str());
+  std::printf("%s", core::policy_summary_report(policy).c_str());
+  if (args.flag("rules")) {
+    std::printf("\n%s", policy.to_text().c_str());
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: verihvac <command> [options]\n"
+               "  extract  --out FILE [--city NAME] [--points N]\n"
+               "  verify   --policy FILE [--city NAME] [--correct] [--out FILE]\n"
+               "  simulate --policy FILE [--city NAME] [--days N]\n"
+               "  export-c --policy FILE [--prefix ID] [--out DIR] [--style table|nested]\n"
+               "  explain  --policy FILE --input s,To,RH,w,S,occ\n"
+               "  print    --policy FILE [--rules]\n"
+               "cities: Pittsburgh, Tucson, NewYork. VERI_HVAC_FULL=1 restores the\n"
+               "paper-scale hyperparameters for extract/verify.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "extract") return cmd_extract(args);
+    if (command == "verify") return cmd_verify(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "export-c") return cmd_export_c(args);
+    if (command == "explain") return cmd_explain(args);
+    if (command == "print") return cmd_print(args);
+    usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "verihvac %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+}
