@@ -111,9 +111,10 @@ int main() {
     mppi_cfg.horizon = cfg.rs.horizon;
     mppi_cfg.samples = std::max<std::size_t>(16, cfg.rs.samples / 4);
     mppi_cfg.iterations = 3;
-    PlannerAgent<control::Mppi> agent(
-        "MPPI", control::Mppi(mppi_cfg, action_space, cfg.env.reward), *artifacts.model,
-        cfg.agent_seed);
+    control::Mppi mppi(mppi_cfg, action_space, cfg.env.reward);
+    mppi.set_engine(control::RolloutEngine::shared());
+    PlannerAgent<control::Mppi> agent("MPPI", std::move(mppi), *artifacts.model,
+                                      cfg.agent_seed);
     rows.push_back(measure("MPPI", agent, cfg.env));
   }
   {
@@ -121,9 +122,10 @@ int main() {
     cem_cfg.horizon = cfg.rs.horizon;
     cem_cfg.samples = std::max<std::size_t>(16, cfg.rs.samples / 4);
     cem_cfg.iterations = 4;
-    PlannerAgent<control::Cem> agent(
-        "CEM", control::Cem(cem_cfg, action_space, cfg.env.reward), *artifacts.model,
-        cfg.agent_seed);
+    control::Cem cem(cem_cfg, action_space, cfg.env.reward);
+    cem.set_engine(control::RolloutEngine::shared());
+    PlannerAgent<control::Cem> agent("CEM", std::move(cem), *artifacts.model,
+                                     cfg.agent_seed);
     rows.push_back(measure("CEM", agent, cfg.env));
   }
 

@@ -51,8 +51,8 @@ std::size_t Cem::optimize(const dyn::DynamicsModel& model, const env::Observatio
         draw.cooling_c = rng.normal(mean_cool[t], sigma_cool[t]);
         samples[s][t] = actions_.nearest_index(draw);
       }
-      returns[s] = scorer_.rollout_return(model, obs, forecast, samples[s]);
     }
+    scorer_.rollout_returns(model, obs, forecast, samples, returns);
 
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n_elite),

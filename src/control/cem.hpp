@@ -34,6 +34,11 @@ class Cem {
 
   const CemConfig& config() const { return config_; }
 
+  /// Parallelizes candidate scoring across the engine's thread pool.
+  void set_engine(std::shared_ptr<const RolloutEngine> engine) {
+    scorer_.set_engine(std::move(engine));
+  }
+
  private:
   CemConfig config_;
   ActionSpace actions_;  ///< by value: a pointer would dangle on temporaries

@@ -38,6 +38,11 @@ class ClueAgent final : public Controller {
   /// Fraction of decisions (since reset) that hit the uncertainty fallback.
   double fallback_rate() const;
 
+  /// Parallelizes the optimizer's rollout scoring across the engine.
+  void set_engine(std::shared_ptr<const RolloutEngine> engine) {
+    rs_.set_engine(std::move(engine));
+  }
+
  private:
   const dyn::EnsembleDynamics* ensemble_;
   ClueConfig config_;

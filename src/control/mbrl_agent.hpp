@@ -42,6 +42,11 @@ class MbrlAgent final : public Controller {
   /// extension to estimate per-action values for criticality weights).
   const RandomShooting& optimizer() const { return rs_; }
 
+  /// Parallelizes the optimizer's rollout scoring across the engine.
+  void set_engine(std::shared_ptr<const RolloutEngine> engine) {
+    rs_.set_engine(std::move(engine));
+  }
+
  private:
   const dyn::DynamicsModel* model_;
   ActionSpace actions_;

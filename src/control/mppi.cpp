@@ -41,8 +41,8 @@ std::size_t Mppi::optimize(const dyn::DynamicsModel& model, const env::Observati
         perturbed.cooling_c = nominal[t].cooling_c + config_.noise_sigma * rng.normal();
         samples[s][t] = actions_.nearest_index(perturbed);
       }
-      returns[s] = scorer_.rollout_return(model, obs, forecast, samples[s]);
     }
+    scorer_.rollout_returns(model, obs, forecast, samples, returns);
     // Importance weights: exp((R - max) / lambda).
     const double max_return = *std::max_element(returns.begin(), returns.end());
     double weight_sum = 0.0;

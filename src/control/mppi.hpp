@@ -31,6 +31,11 @@ class Mppi {
 
   const MppiConfig& config() const { return config_; }
 
+  /// Parallelizes candidate scoring across the engine's thread pool.
+  void set_engine(std::shared_ptr<const RolloutEngine> engine) {
+    scorer_.set_engine(std::move(engine));
+  }
+
  private:
   MppiConfig config_;
   ActionSpace actions_;  ///< by value: a pointer would dangle on temporaries

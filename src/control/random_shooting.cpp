@@ -18,13 +18,24 @@ double RandomShooting::rollout_return(const dyn::DynamicsModel& model,
                                       const env::Observation& obs,
                                       const std::vector<env::Disturbance>& forecast,
                                       const std::vector<std::size_t>& action_sequence) const {
+  // Warm per-thread scratch keeps the single-sequence path allocation-free
+  // (VIPER's per-candidate value estimation loops over this entry point).
+  static thread_local dyn::PredictScratch scratch;
+  return rollout_return(model, obs, forecast, action_sequence, scratch);
+}
+
+double RandomShooting::rollout_return(const dyn::DynamicsModel& model,
+                                      const env::Observation& obs,
+                                      const std::vector<env::Disturbance>& forecast,
+                                      const std::vector<std::size_t>& action_sequence,
+                                      dyn::PredictScratch& scratch) const {
   assert(forecast.size() >= action_sequence.size());
   std::vector<double> x = obs.to_vector();
   double discount = 1.0;
   double total = 0.0;
   for (std::size_t t = 0; t < action_sequence.size(); ++t) {
     const sim::SetpointPair action = actions_.action(action_sequence[t]);
-    const double next_temp = model.predict(x, action);
+    const double next_temp = model.predict(x, action, scratch);
     // r(f_hat(s_t, d_t, a_t), a_t): comfort of the predicted state plus the
     // energy proxy of the action taken, weighted by occupancy at step t.
     const bool occupied = x[env::kOccupancy] > 0.5;
@@ -43,6 +54,28 @@ double RandomShooting::rollout_return(const dyn::DynamicsModel& model,
   return total;
 }
 
+void RandomShooting::rollout_returns(const dyn::DynamicsModel& model,
+                                     const env::Observation& obs,
+                                     const std::vector<env::Disturbance>& forecast,
+                                     const std::vector<std::vector<std::size_t>>& sequences,
+                                     std::vector<double>& returns) const {
+  returns.resize(sequences.size());
+  if (engine_ == nullptr || engine_->thread_count() <= 1) {
+    for (std::size_t s = 0; s < sequences.size(); ++s) {
+      returns[s] = rollout_return(model, obs, forecast, sequences[s]);
+    }
+    return;
+  }
+  std::vector<dyn::PredictScratch> scratches(engine_->thread_count());
+  engine_->parallel_for(sequences.size(),
+                        [&](std::size_t worker, std::size_t begin, std::size_t end) {
+                          dyn::PredictScratch& scratch = scratches[worker];
+                          for (std::size_t s = begin; s < end; ++s) {
+                            returns[s] = rollout_return(model, obs, forecast, sequences[s], scratch);
+                          }
+                        });
+}
+
 std::size_t RandomShooting::optimize(const dyn::DynamicsModel& model,
                                      const env::Observation& obs,
                                      const std::vector<env::Disturbance>& forecast,
@@ -50,31 +83,40 @@ std::size_t RandomShooting::optimize(const dyn::DynamicsModel& model,
   if (forecast.size() < config_.horizon) {
     throw std::invalid_argument("RandomShooting: forecast shorter than horizon");
   }
-  std::vector<std::size_t> sequence(config_.horizon);
-  std::vector<std::size_t> best_sequence(config_.horizon, 0);
-  double best_return = -std::numeric_limits<double>::infinity();
-  for (std::size_t s = 0; s < config_.samples; ++s) {
+  // Draw every candidate first (the RNG stream is identical to the historical
+  // draw-then-score loop, since scoring consumes no randomness), then score
+  // the whole batch through the engine.
+  std::vector<std::vector<std::size_t>> sequences(config_.samples);
+  for (auto& sequence : sequences) {
+    sequence.resize(config_.horizon);
     if (rng.bernoulli(config_.persistent_fraction)) {
       sequence.assign(config_.horizon, rng.index(actions_.size()));
     } else {
       for (auto& a : sequence) a = rng.index(actions_.size());
     }
-    const double value = rollout_return(model, obs, forecast, sequence);
-    if (value > best_return) {
-      best_return = value;
-      best_sequence = sequence;
+  }
+  std::vector<double> returns;
+  rollout_returns(model, obs, forecast, sequences, returns);
+
+  std::size_t best = 0;
+  double best_return = -std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    if (returns[s] > best_return) {
+      best_return = returns[s];
+      best = s;
     }
   }
+  std::vector<std::size_t> best_sequence = sequences[best];
 
   if (config_.refine_first_action) {
     // Coordinate-descent pass on the executed action: tail fixed, first
-    // action enumerated exhaustively.
-    sequence = best_sequence;
+    // action enumerated exhaustively (one batched |A|-rollout sweep).
+    std::vector<std::vector<std::size_t>> candidates(actions_.size(), best_sequence);
+    for (std::size_t a = 0; a < actions_.size(); ++a) candidates[a].front() = a;
+    rollout_returns(model, obs, forecast, candidates, returns);
     for (std::size_t a = 0; a < actions_.size(); ++a) {
-      sequence.front() = a;
-      const double value = rollout_return(model, obs, forecast, sequence);
-      if (value > best_return) {
-        best_return = value;
+      if (returns[a] > best_return) {
+        best_return = returns[a];
         best_sequence.front() = a;
       }
     }

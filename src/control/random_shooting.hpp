@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "control/action_space.hpp"
+#include "control/rollout_engine.hpp"
 #include "dynamics/dynamics_model.hpp"
 #include "envlib/observation.hpp"
 #include "envlib/reward.hpp"
@@ -57,12 +59,32 @@ class RandomShooting {
                         const std::vector<env::Disturbance>& forecast,
                         const std::vector<std::size_t>& action_sequence) const;
 
+  /// Thread-safe variant used by the parallel batch path: all prediction
+  /// scratch lives in the caller-provided buffer.
+  double rollout_return(const dyn::DynamicsModel& model, const env::Observation& obs,
+                        const std::vector<env::Disturbance>& forecast,
+                        const std::vector<std::size_t>& action_sequence,
+                        dyn::PredictScratch& scratch) const;
+
+  /// Scores every candidate sequence, writing returns[i] for sequences[i].
+  /// With an engine attached the batch is spread across its thread pool;
+  /// results are bit-identical to the serial loop for any thread count.
+  void rollout_returns(const dyn::DynamicsModel& model, const env::Observation& obs,
+                       const std::vector<env::Disturbance>& forecast,
+                       const std::vector<std::vector<std::size_t>>& sequences,
+                       std::vector<double>& returns) const;
+
+  /// Attaches (or detaches, with nullptr) the parallel rollout engine.
+  void set_engine(std::shared_ptr<const RolloutEngine> engine) { engine_ = std::move(engine); }
+  const RolloutEngine* engine() const { return engine_.get(); }
+
   const RandomShootingConfig& config() const { return config_; }
 
  private:
   RandomShootingConfig config_;
   ActionSpace actions_;  ///< by value: a pointer would dangle on temporaries
   env::RewardConfig reward_;
+  std::shared_ptr<const RolloutEngine> engine_;  ///< null = serial scoring
 };
 
 }  // namespace verihvac::control

@@ -40,18 +40,22 @@ PipelineConfig PipelineConfig::for_city(const std::string& city) {
 
 std::unique_ptr<control::MbrlAgent> PipelineArtifacts::make_mbrl_agent() const {
   if (!model) throw std::logic_error("artifacts have no model");
-  return std::make_unique<control::MbrlAgent>(
+  auto agent = std::make_unique<control::MbrlAgent>(
       *model, config.rs, control::ActionSpace(config.action_space), config.env.reward,
       config.agent_seed);
+  agent->set_engine(control::RolloutEngine::shared());
+  return agent;
 }
 
 std::unique_ptr<control::ClueAgent> PipelineArtifacts::make_clue_agent() const {
   if (!ensemble) throw std::logic_error("artifacts have no ensemble (set train_ensemble)");
   control::ClueConfig clue;
   clue.rs = config.rs;
-  return std::make_unique<control::ClueAgent>(
+  auto agent = std::make_unique<control::ClueAgent>(
       *ensemble, clue, control::ActionSpace(config.action_space), config.env.reward,
       config.env.default_occupied, config.env.default_unoccupied, config.agent_seed + 1);
+  agent->set_engine(control::RolloutEngine::shared());
+  return agent;
 }
 
 std::unique_ptr<control::RuleBasedController> PipelineArtifacts::make_default_controller()
@@ -91,6 +95,7 @@ PipelineArtifacts run_pipeline(const PipelineConfig& config) {
   auto agent = std::make_unique<control::MbrlAgent>(
       *artifacts.model, config.rs_distill, control::ActionSpace(config.action_space),
       config.env.reward, config.agent_seed);
+  agent->set_engine(control::RolloutEngine::shared());
   DecisionDataGenerator generator(artifacts.historical, config.decision);
   const auto t0 = std::chrono::steady_clock::now();
   artifacts.decisions = generator.generate(*agent, config.decision_points);
@@ -135,6 +140,7 @@ PipelineArtifacts refit_policy(const PipelineArtifacts& base, std::size_t decisi
         *artifacts.model, artifacts.config.rs_distill,
         control::ActionSpace(artifacts.config.action_space), artifacts.config.env.reward,
         artifacts.config.agent_seed);
+    agent->set_engine(control::RolloutEngine::shared());
     DecisionDataGenerator generator(artifacts.historical, artifacts.config.decision);
     artifacts.decisions = generator.generate(*agent, decision_points);
   }

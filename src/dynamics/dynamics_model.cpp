@@ -51,22 +51,31 @@ nn::TrainingReport DynamicsModel::train(const TransitionDataset& data) {
 
 double DynamicsModel::predict(const std::vector<double>& x,
                               const sim::SetpointPair& action) const {
+  return predict(x, action, scratch_);
+}
+
+double DynamicsModel::predict(const std::vector<double>& x, const sim::SetpointPair& action,
+                              PredictScratch& scratch) const {
   assert(x.size() == env::kInputDims);
-  scratch_in_.assign(x.begin(), x.end());
-  scratch_in_.push_back(action.heating_c);
-  scratch_in_.push_back(action.cooling_c);
-  return predict_raw(scratch_in_);
+  scratch.input.assign(x.begin(), x.end());
+  scratch.input.push_back(action.heating_c);
+  scratch.input.push_back(action.cooling_c);
+  return predict_prepared(scratch);
 }
 
 double DynamicsModel::predict_raw(const std::vector<double>& model_input) const {
-  if (!trained_) throw std::logic_error("DynamicsModel used before training");
-  assert(model_input.size() == kModelInputDims);
-  const double current_temp = model_input[env::kZoneTemp];
+  scratch_.input = model_input;
+  return predict_prepared(scratch_);
+}
 
-  if (&model_input != &scratch_in_) scratch_in_ = model_input;
-  input_norm_.transform_inplace(scratch_in_);
-  network_->predict(scratch_in_, scratch_a_, scratch_b_);
-  const double delta = scratch_a_[0] * delta_std_ + delta_mean_;
+double DynamicsModel::predict_prepared(PredictScratch& scratch) const {
+  if (!trained_) throw std::logic_error("DynamicsModel used before training");
+  assert(scratch.input.size() == kModelInputDims);
+  const double current_temp = scratch.input[env::kZoneTemp];
+
+  input_norm_.transform_inplace(scratch.input);
+  network_->predict(scratch.input, scratch.activ_a, scratch.activ_b);
+  const double delta = scratch.activ_a[0] * delta_std_ + delta_mean_;
   return current_temp + delta;
 }
 

@@ -24,6 +24,15 @@ struct DynamicsModelConfig {
   std::uint64_t init_seed = 3;
 };
 
+/// Caller-owned scratch buffers for the allocation-free predict hot path.
+/// Concurrent rollouts (control::RolloutEngine) give each worker thread its
+/// own instance, making predictions on a shared const model thread-safe.
+struct PredictScratch {
+  std::vector<double> input;   ///< 8-dim model input, normalized in place
+  std::vector<double> activ_a;  ///< ping-pong activation buffers
+  std::vector<double> activ_b;
+};
+
 class DynamicsModel {
  public:
   explicit DynamicsModel(DynamicsModelConfig config = {});
@@ -36,6 +45,11 @@ class DynamicsModel {
   /// Predicts the next zone temperature for one (s, d, a) query.
   /// `x` is the 6-dim policy input; thread-unsafe (uses internal scratch).
   double predict(const std::vector<double>& x, const sim::SetpointPair& action) const;
+
+  /// Thread-safe variant: identical arithmetic, but all mutable state lives
+  /// in the caller-provided scratch (one per worker thread).
+  double predict(const std::vector<double>& x, const sim::SetpointPair& action,
+                 PredictScratch& scratch) const;
 
   /// Raw 8-dim model-input variant (columns per dataset.hpp layout).
   double predict_raw(const std::vector<double>& model_input) const;
@@ -61,10 +75,11 @@ class DynamicsModel {
   double delta_std_ = 1.0;
   bool trained_ = false;
 
-  // Scratch buffers for the allocation-free predict hot path.
-  mutable std::vector<double> scratch_in_;
-  mutable std::vector<double> scratch_a_;
-  mutable std::vector<double> scratch_b_;
+  /// Shared core: scratch.input holds the raw 8-dim model input on entry.
+  double predict_prepared(PredictScratch& scratch) const;
+
+  // Member scratch backing the legacy single-threaded predict entry points.
+  mutable PredictScratch scratch_;
 };
 
 }  // namespace verihvac::dyn

@@ -1,0 +1,249 @@
+#include "control/rollout_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "control/cem.hpp"
+#include "control/mppi.hpp"
+#include "control/random_shooting.hpp"
+
+namespace verihvac::control {
+namespace {
+
+TEST(RolloutEngineTest, CoversEveryIndexExactlyOnce) {
+  RolloutEngine engine({/*threads=*/4, /*min_parallel_batch=*/1});
+  for (std::size_t n : {0u, 1u, 3u, 16u, 100u, 1013u}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    engine.parallel_for(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(RolloutEngineTest, WorkerIdsStayInRange) {
+  RolloutEngine engine({/*threads=*/4, /*min_parallel_batch=*/1});
+  std::atomic<bool> out_of_range{false};
+  engine.parallel_for(256, [&](std::size_t worker, std::size_t, std::size_t) {
+    if (worker >= engine.thread_count()) out_of_range.store(true);
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(RolloutEngineTest, SmallBatchRunsInlineOnCaller) {
+  RolloutEngine engine({/*threads=*/4, /*min_parallel_batch=*/64});
+  std::vector<std::size_t> workers;
+  engine.parallel_for(8, [&](std::size_t worker, std::size_t begin, std::size_t end) {
+    // Inline path: single invocation covering the whole range on worker 0.
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 8u);
+    workers.push_back(worker);
+  });
+  EXPECT_EQ(workers.size(), 1u);
+}
+
+TEST(RolloutEngineTest, SingleThreadConfigSpawnsNoWorkers) {
+  RolloutEngine engine({/*threads=*/1, /*min_parallel_batch=*/1});
+  EXPECT_EQ(engine.thread_count(), 1u);
+  int calls = 0;
+  engine.parallel_for(32, [&](std::size_t, std::size_t begin, std::size_t end) {
+    ++calls;
+    EXPECT_EQ(end - begin, 32u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RolloutEngineTest, PropagatesExceptionsFromWorkers) {
+  RolloutEngine engine({/*threads=*/4, /*min_parallel_batch=*/1});
+  EXPECT_THROW(
+      engine.parallel_for(128,
+                          [&](std::size_t, std::size_t begin, std::size_t) {
+                            if (begin == 0) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+  // The pool must survive a throwing batch and keep serving work.
+  std::atomic<std::size_t> covered{0};
+  engine.parallel_for(64, [&](std::size_t, std::size_t begin, std::size_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 64u);
+}
+
+TEST(RolloutEngineTest, SharedEngineIsReused) {
+  const auto a = RolloutEngine::shared();
+  const auto b = RolloutEngine::shared();
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_GE(a->thread_count(), 1u);
+}
+
+/// Fixture with a tiny trained dynamics model (same recipe as cem_test).
+class ParallelRolloutTest : public ::testing::Test {
+ protected:
+  static double toy_plant(const std::vector<double>& x, const sim::SetpointPair& a) {
+    const double t = x[env::kZoneTemp];
+    double dt = 0.08 * (x[env::kOutdoorTemp] - t);
+    if (t < a.heating_c) dt += 0.4 * std::min(a.heating_c - t, 1.2);
+    if (t > a.cooling_c) dt -= 0.35 * std::min(t - a.cooling_c, 1.2);
+    return t + dt;
+  }
+
+  static const dyn::DynamicsModel& model() {
+    static dyn::DynamicsModel* instance = [] {
+      Rng rng(1);
+      dyn::TransitionDataset data;
+      for (int i = 0; i < 1500; ++i) {
+        dyn::Transition t;
+        t.input = {rng.uniform(14.0, 28.0), rng.uniform(-8.0, 12.0), 50.0, 3.0,
+                   rng.uniform(0.0, 400.0), rng.bernoulli(0.5) ? 11.0 : 0.0};
+        t.action.heating_c = static_cast<double>(rng.uniform_int(15, 23));
+        t.action.cooling_c = static_cast<double>(
+            rng.uniform_int(std::max(21, static_cast<int>(t.action.heating_c)), 30));
+        t.next_zone_temp = toy_plant(t.input, t.action);
+        data.add(t);
+      }
+      dyn::DynamicsModelConfig cfg;
+      cfg.hidden = {16, 16};
+      cfg.trainer.epochs = 30;
+      cfg.trainer.adam.learning_rate = 3e-3;
+      auto* m = new dyn::DynamicsModel(cfg);
+      m->train(data);
+      return m;
+    }();
+    return *instance;
+  }
+
+  static env::Observation cold_occupied() {
+    env::Observation obs;
+    obs.zone_temp_c = 17.5;
+    obs.weather.outdoor_temp_c = -5.0;
+    obs.weather.humidity_pct = 50.0;
+    obs.weather.wind_mps = 3.0;
+    obs.occupants = 11.0;
+    return obs;
+  }
+
+  static std::vector<env::Disturbance> persistence_forecast(const env::Observation& obs,
+                                                            std::size_t h) {
+    env::Disturbance d;
+    d.weather = obs.weather;
+    d.occupants = obs.occupants;
+    return std::vector<env::Disturbance>(h, d);
+  }
+
+  static std::shared_ptr<const RolloutEngine> four_threads() {
+    static const auto engine = std::make_shared<const RolloutEngine>(
+        RolloutEngineConfig{/*threads=*/4, /*min_parallel_batch=*/1});
+    return engine;
+  }
+};
+
+TEST_F(ParallelRolloutTest, ScratchPredictMatchesMemberScratchPredict) {
+  const env::Observation obs = cold_occupied();
+  const std::vector<double> x = obs.to_vector();
+  dyn::PredictScratch scratch;
+  for (double heat : {15.0, 19.0, 23.0}) {
+    const sim::SetpointPair action{heat, heat + 7.0};
+    EXPECT_DOUBLE_EQ(model().predict(x, action), model().predict(x, action, scratch));
+  }
+}
+
+TEST_F(ParallelRolloutTest, BatchReturnsMatchSerialReturns) {
+  const ActionSpace actions;
+  RandomShooting rs(RandomShootingConfig{1, 6, 0.99}, actions, env::RewardConfig{});
+  const env::Observation obs = cold_occupied();
+  const auto forecast = persistence_forecast(obs, 6);
+
+  Rng rng(7);
+  std::vector<std::vector<std::size_t>> sequences(40, std::vector<std::size_t>(6));
+  for (auto& seq : sequences) {
+    for (auto& a : seq) a = rng.index(actions.size());
+  }
+
+  std::vector<double> serial(sequences.size());
+  for (std::size_t s = 0; s < sequences.size(); ++s) {
+    serial[s] = rs.rollout_return(model(), obs, forecast, sequences[s]);
+  }
+
+  rs.set_engine(four_threads());
+  std::vector<double> parallel;
+  rs.rollout_returns(model(), obs, forecast, sequences, parallel);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    EXPECT_DOUBLE_EQ(parallel[s], serial[s]) << "sequence " << s;
+  }
+}
+
+TEST_F(ParallelRolloutTest, RandomShootingDecisionIdenticalAcrossThreadCounts) {
+  const ActionSpace actions;
+  RandomShootingConfig cfg;
+  cfg.samples = 96;
+  cfg.horizon = 6;
+  cfg.refine_first_action = true;
+  const env::Observation obs = cold_occupied();
+  const auto forecast = persistence_forecast(obs, 6);
+
+  RandomShooting serial(cfg, actions, env::RewardConfig{});
+  RandomShooting parallel(cfg, actions, env::RewardConfig{});
+  parallel.set_engine(four_threads());
+
+  for (std::uint64_t seed : {3u, 17u, 91u}) {
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    EXPECT_EQ(serial.optimize(model(), obs, forecast, rng_a),
+              parallel.optimize(model(), obs, forecast, rng_b))
+        << "seed " << seed;
+  }
+}
+
+TEST_F(ParallelRolloutTest, CemDecisionIdenticalAcrossThreadCounts) {
+  const ActionSpace actions;
+  CemConfig cfg;
+  cfg.samples = 64;
+  cfg.horizon = 4;
+  cfg.iterations = 3;
+  const env::Observation obs = cold_occupied();
+  const auto forecast = persistence_forecast(obs, 4);
+
+  Cem serial(cfg, actions, env::RewardConfig{});
+  Cem parallel(cfg, actions, env::RewardConfig{});
+  parallel.set_engine(four_threads());
+
+  Rng rng_a(23);
+  Rng rng_b(23);
+  EXPECT_EQ(serial.optimize(model(), obs, forecast, rng_a),
+            parallel.optimize(model(), obs, forecast, rng_b));
+}
+
+TEST_F(ParallelRolloutTest, MppiDecisionIdenticalAcrossThreadCounts) {
+  const ActionSpace actions;
+  MppiConfig cfg;
+  cfg.samples = 64;
+  cfg.horizon = 4;
+  cfg.iterations = 2;
+  const env::Observation obs = cold_occupied();
+  const auto forecast = persistence_forecast(obs, 4);
+
+  Mppi serial(cfg, actions, env::RewardConfig{});
+  Mppi parallel(cfg, actions, env::RewardConfig{});
+  parallel.set_engine(four_threads());
+
+  Rng rng_a(29);
+  Rng rng_b(29);
+  EXPECT_EQ(serial.optimize(model(), obs, forecast, rng_a),
+            parallel.optimize(model(), obs, forecast, rng_b));
+}
+
+}  // namespace
+}  // namespace verihvac::control
