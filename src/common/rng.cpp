@@ -105,4 +105,16 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::split() { return Rng(next() ^ 0xA3EC647659359ACDull); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // Hash the pair down to one well-mixed 64-bit key (SplitMix64 rounds with
+  // an odd-multiplier fold of the stream id in between, so adjacent ids and
+  // adjacent seeds both decorrelate); the constructor then expands the key
+  // into the 256-bit xoshiro state.
+  std::uint64_t x = seed;
+  std::uint64_t key = splitmix64(x);
+  x = key ^ (0xD1342543DE82EF95ull * (stream_id + 0x632BE59BD9B4E019ull));
+  key = splitmix64(x);
+  return Rng(key);
+}
+
 }  // namespace verihvac

@@ -57,6 +57,15 @@ class Rng {
   /// Derives an independent child stream (for parallel-safe substreams).
   Rng split();
 
+  /// Counter-based stream derivation: the `stream_id`-th substream of
+  /// `seed`, computed purely from the (seed, stream_id) pair — no shared
+  /// generator state is consumed, so streams can be constructed in any
+  /// order, on any thread, and always yield the same draws. This is the
+  /// determinism contract the parallel Monte-Carlo verifier relies on:
+  /// sample i draws from stream(seed, i) regardless of which worker runs
+  /// it, making reports bit-identical across thread counts.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
+
  private:
   std::uint64_t state_[4];
   double cached_normal_ = 0.0;

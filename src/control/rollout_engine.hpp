@@ -3,67 +3,61 @@
 // RS, MPPI and CEM all spend their time in the same place: scoring N
 // candidate action sequences with H dynamics-model evaluations each. The
 // sequences are independent, so the engine batches them across a
-// persistent pool of worker threads. Determinism is preserved by
-// construction: RNG draws happen only during (serial) sequence
-// generation, every sequence's return is written to its own output slot,
-// and the winner selection stays a serial scan — so any thread count
-// produces bit-identical decisions to the single-threaded loop.
+// persistent pool of worker threads — since PR 2 the generic
+// common::TaskPool, which the verification subsystem
+// (core::VerificationEngine) shares; RolloutEngine is a thin
+// control-facing client that keeps the optimizer API stable. Determinism
+// is preserved by construction: RNG draws happen only during (serial)
+// sequence generation, every sequence's return is written to its own
+// output slot, and the winner selection stays a serial scan — so any
+// thread count produces bit-identical decisions to the single-threaded
+// loop.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <thread>
-#include <vector>
+
+#include "common/task_pool.hpp"
 
 namespace verihvac::control {
 
-struct RolloutEngineConfig {
-  /// Worker threads including the calling thread; 0 = hardware concurrency.
-  std::size_t threads = 0;
-  /// Batches smaller than this run inline on the caller — forking the pool
-  /// for a handful of rollouts costs more than it saves.
-  std::size_t min_parallel_batch = 16;
-};
+/// Same knobs as the pool itself (threads: 0 = hardware concurrency;
+/// min_parallel_batch: smaller batches run inline on the caller).
+using RolloutEngineConfig = common::TaskPoolConfig;
 
 class RolloutEngine {
  public:
   explicit RolloutEngine(RolloutEngineConfig config = {});
-  ~RolloutEngine();
+  /// Adopts an existing pool instead of spawning a private one (the shared
+  /// engine wraps common::TaskPool::shared() so control and verification
+  /// workloads share one set of worker threads).
+  explicit RolloutEngine(std::shared_ptr<const common::TaskPool> pool);
 
   RolloutEngine(const RolloutEngine&) = delete;
   RolloutEngine& operator=(const RolloutEngine&) = delete;
 
   /// Total concurrency: pool workers + the calling thread.
-  std::size_t thread_count() const { return workers_.size() + 1; }
+  std::size_t thread_count() const { return pool_->thread_count(); }
 
-  const RolloutEngineConfig& config() const { return config_; }
+  const RolloutEngineConfig& config() const { return pool_->config(); }
 
-  /// Splits [0, n) into contiguous chunks and runs body(worker_id, begin,
-  /// end) across the pool (the caller participates as worker 0; worker_id
-  /// < thread_count()). Blocks until every chunk completed. Each index is
-  /// processed exactly once, so writes to per-index output slots are
-  /// race-free. The first exception thrown by any chunk is rethrown here.
-  ///
-  /// Concurrent calls from distinct caller threads serialize internally,
-  /// but `body` must NOT call back into parallel_for on the same engine
-  /// (directly or via a nested rollout): re-entry from the caller or a
-  /// pool worker deadlocks. Nested parallelism needs a second engine.
+  /// The underlying pool (shareable with non-control clients).
+  const std::shared_ptr<const common::TaskPool>& pool() const { return pool_; }
+
+  /// Forwards to common::TaskPool::parallel_for — see its contract (per-index
+  /// slots, exception rethrow, no nested parallel_for on the same pool).
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) const;
+                    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) const {
+    pool_->parallel_for(n, body);
+  }
 
-  /// Process-wide shared engine sized from VERI_HVAC_THREADS (default:
-  /// hardware concurrency). VERI_HVAC_THREADS=1 forces serial execution.
+  /// Process-wide shared engine over common::TaskPool::shared(), sized from
+  /// VERI_HVAC_THREADS (default: hardware concurrency; =1 forces serial).
   static std::shared_ptr<const RolloutEngine> shared();
 
  private:
-  struct Job;
-
-  void worker_loop(std::size_t worker_id);
-
-  RolloutEngineConfig config_;
-  std::vector<std::thread> workers_;
-  std::shared_ptr<Job> job_;  ///< pool synchronization state
+  std::shared_ptr<const common::TaskPool> pool_;
 };
 
 }  // namespace verihvac::control

@@ -7,26 +7,25 @@
 
 #include "dynamics/dataset.hpp"
 #include "envlib/observation.hpp"
-#include "nn/interval_bounds.hpp"
 
 namespace verihvac::core {
 namespace {
 
 /// z-score is a monotone affine map per dimension, so an interval's image
 /// is the interval of the endpoint images.
-std::vector<Interval> normalize_box(const nn::Normalizer& norm, const Box& box) {
-  std::vector<Interval> out(box.size());
+void normalize_box(const nn::Normalizer& norm, const Box& box, std::vector<Interval>& out) {
+  out.resize(box.size());
   for (std::size_t d = 0; d < box.size(); ++d) {
     const double mean = norm.mean()[d];
     const double std = norm.std()[d];
     out[d] = Interval{(box[d].lo - mean) / std, (box[d].hi - mean) / std};
   }
-  return out;
 }
 
 }  // namespace
 
-Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_input_box) {
+Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_input_box,
+                             IntervalScratch& scratch) {
   if (!model.trained()) throw std::logic_error("interval_next_state: model not trained");
   if (model_input_box.size() != dyn::kModelInputDims) {
     throw std::invalid_argument("interval_next_state: box must have 8 dims");
@@ -40,8 +39,8 @@ Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_i
           "interval_next_state: unbounded box (clip to DisturbanceBounds first)");
     }
   }
-  const auto normalized = normalize_box(model.input_normalizer(), model_input_box);
-  const auto net_out = nn::propagate_bounds(model.network(), normalized);
+  normalize_box(model.input_normalizer(), model_input_box, scratch.normalized);
+  const auto& net_out = nn::propagate_bounds(model.network(), scratch.normalized, scratch.ibp);
   // predict(x) = x[s] + delta_mean + delta_std * net(norm(x)); delta_std > 0.
   const Interval delta{model.delta_mean() + model.delta_std() * net_out[0].lo,
                        model.delta_mean() + model.delta_std() * net_out[0].hi};
@@ -49,34 +48,42 @@ Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_i
   return Interval{s.lo + delta.lo, s.hi + delta.hi};
 }
 
-namespace {
+Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_input_box) {
+  IntervalScratch scratch;
+  return interval_next_state(model, model_input_box, scratch);
+}
 
-/// Splits [iv.lo, iv.hi] into contiguous slices of width <= max_width.
-std::vector<Interval> slice(const Interval& iv, double max_width) {
+std::vector<Interval> split_interval(const Interval& iv, double max_width) {
   const double width = iv.hi - iv.lo;
+  if (!(width > 0.0)) return {Interval{iv.lo, iv.hi}};  // point (or empty) box
   const auto n = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::ceil(width / std::max(max_width, 1e-9))));
   std::vector<Interval> out;
   out.reserve(n);
+  double lo = iv.lo;
   for (std::size_t k = 0; k < n; ++k) {
-    const double lo = iv.lo + width * static_cast<double>(k) / static_cast<double>(n);
-    const double hi = iv.lo + width * static_cast<double>(k + 1) / static_cast<double>(n);
-    out.push_back(Interval{lo, hi});
+    // The last boundary is pinned to iv.hi exactly: lo + width*(k+1)/n can
+    // round an ulp short of (or past) iv.hi, and an undershoot would drop
+    // the top sliver of the leaf box from the certificate — an unsound gap.
+    const double hi =
+        k + 1 == n ? iv.hi : iv.lo + width * static_cast<double>(k + 1) / static_cast<double>(n);
+    if (hi <= lo && k + 1 < n) continue;  // fp-collapsed boundary: widen the next cell
+    out.push_back(Interval{lo, std::max(hi, lo)});
+    lo = hi;
   }
   return out;
 }
 
-}  // namespace
-
-IntervalReport verify_interval_one_step(const DtPolicy& policy,
-                                        const dyn::DynamicsModel& model,
-                                        const VerificationCriteria& criteria,
-                                        const DisturbanceBounds& bounds,
-                                        const IntervalVerifyConfig& config) {
+std::vector<IntervalWorkItem> interval_work_items(const DtPolicy& policy,
+                                                  const VerificationCriteria& criteria,
+                                                  const DisturbanceBounds& bounds,
+                                                  const IntervalVerifyConfig& config,
+                                                  std::size_t& leaves_total) {
   const auto& tree = policy.tree();
-  IntervalReport report;
+  std::vector<IntervalWorkItem> items;
+  leaves_total = 0;
   for (int leaf : tree.leaves()) {
-    ++report.leaves_total;
+    ++leaves_total;
     Box box = tree.leaf_box(leaf);
     // Subject region of criterion #1: occupied AND inside the comfort
     // range AND inside the certificate's climate envelope. A leaf whose
@@ -90,7 +97,6 @@ IntervalReport verify_interval_one_step(const DtPolicy& policy,
     box.clip(env::kWind, bounds.wind);
     box.clip(env::kSolar, bounds.solar);
     if (box.empty()) continue;
-    ++report.leaves_subject;
 
     // Append the leaf's action as degenerate interval dimensions.
     const auto label =
@@ -101,30 +107,64 @@ IntervalReport verify_interval_one_step(const DtPolicy& policy,
     model_box.clip(dyn::kHeatSpIndex, Interval::bounded(action.heating_c, action.heating_c));
     model_box.clip(dyn::kCoolSpIndex, Interval::bounded(action.cooling_c, action.cooling_c));
 
-    IntervalLeafResult result;
-    result.leaf = leaf;
-    result.zone_temp = box[env::kZoneTemp];
-    result.certified = true;
-    result.next_state = Interval{std::numeric_limits<double>::infinity(),
-                                 -std::numeric_limits<double>::infinity()};
-    for (const Interval& s_cell : slice(model_box[env::kZoneTemp], config.zone_slice_c)) {
+    IntervalWorkItem item;
+    item.leaf = leaf;
+    item.zone_temp = box[env::kZoneTemp];
+    for (const Interval& s_cell :
+         split_interval(model_box[env::kZoneTemp], config.zone_slice_c)) {
       for (const Interval& o_cell :
-           slice(model_box[env::kOutdoorTemp], config.outdoor_slice_c)) {
+           split_interval(model_box[env::kOutdoorTemp], config.outdoor_slice_c)) {
         Box cell = model_box;
         cell.clip(env::kZoneTemp, s_cell);
         cell.clip(env::kOutdoorTemp, o_cell);
-        const Interval image = interval_next_state(model, cell);
-        ++result.cells;
-        const bool cell_ok =
-            image.lo >= criteria.comfort.lo && image.hi <= criteria.comfort.hi;
-        if (cell_ok) ++result.cells_certified;
-        result.certified = result.certified && cell_ok;
-        result.next_state.lo = std::min(result.next_state.lo, image.lo);
-        result.next_state.hi = std::max(result.next_state.hi, image.hi);
+        item.cells.push_back(std::move(cell));
       }
     }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+IntervalLeafResult fold_interval_leaf(const IntervalWorkItem& item,
+                                      const std::vector<Interval>& images,
+                                      const env::ComfortRange& comfort) {
+  IntervalLeafResult result;
+  result.leaf = item.leaf;
+  result.zone_temp = item.zone_temp;
+  result.certified = true;
+  result.next_state = Interval{std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity()};
+  for (const Interval& image : images) {
+    ++result.cells;
+    const bool cell_ok = image.lo >= comfort.lo && image.hi <= comfort.hi;
+    if (cell_ok) ++result.cells_certified;
+    result.certified = result.certified && cell_ok;
+    result.next_state.lo = std::min(result.next_state.lo, image.lo);
+    result.next_state.hi = std::max(result.next_state.hi, image.hi);
+  }
+  return result;
+}
+
+IntervalReport verify_interval_one_step(const DtPolicy& policy,
+                                        const dyn::DynamicsModel& model,
+                                        const VerificationCriteria& criteria,
+                                        const DisturbanceBounds& bounds,
+                                        const IntervalVerifyConfig& config) {
+  IntervalReport report;
+  const std::vector<IntervalWorkItem> items =
+      interval_work_items(policy, criteria, bounds, config, report.leaves_total);
+  IntervalScratch scratch;
+  std::vector<Interval> images;
+  for (const IntervalWorkItem& item : items) {
+    images.clear();
+    images.reserve(item.cells.size());
+    for (const Box& cell : item.cells) {
+      images.push_back(interval_next_state(model, cell, scratch));
+    }
+    ++report.leaves_subject;
+    IntervalLeafResult result = fold_interval_leaf(item, images, criteria.comfort);
     if (result.certified) ++report.leaves_certified;
-    report.results.push_back(result);
+    report.results.push_back(std::move(result));
   }
   return report;
 }

@@ -15,7 +15,9 @@
 // IBP bounds are loose on wide boxes, so certification is expected to be
 // partial (the certified fraction is the headline number; the Monte-Carlo
 // estimate remains the paper's metric). bench/ablation_interval sweeps the
-// disturbance-box width to show the certify/abstain frontier.
+// disturbance-box width to show the certify/abstain frontier. The
+// per-(leaf × cell) units exposed below are embarrassingly parallel;
+// core::VerificationEngine fans them out over common::TaskPool.
 #pragma once
 
 #include <cstddef>
@@ -24,6 +26,7 @@
 #include "core/dt_policy.hpp"
 #include "core/verification.hpp"
 #include "dynamics/dynamics_model.hpp"
+#include "nn/interval_bounds.hpp"
 
 namespace verihvac::core {
 
@@ -74,9 +77,56 @@ struct IntervalReport {
   }
 };
 
+/// Caller-owned scratch for the allocation-free certification path — one
+/// per worker thread when cells are fanned out in parallel.
+struct IntervalScratch {
+  std::vector<Interval> normalized;  ///< z-scored input box
+  nn::IbpScratch ibp;                ///< MLP bound-propagation buffers
+};
+
+/// Splits [iv.lo, iv.hi] into contiguous slices of width <= max_width that
+/// exactly tile the interval: the first cell starts at iv.lo, the last cell
+/// ends at exactly iv.hi (a naive lo + width*k/n boundary can land an ulp
+/// short of hi and silently drop the top sliver from the certificate), and
+/// cells collapsed to zero width by floating-point granularity are merged
+/// into their neighbour instead of being emitted. A degenerate input
+/// (width 0) yields the single point cell.
+std::vector<Interval> split_interval(const Interval& iv, double max_width);
+
 /// Sound one-step next-state interval for an arbitrary 8-dim model-input
 /// box (exposed for tests and the ablation bench).
 Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_input_box);
+
+/// Thread-safe variant: identical arithmetic, all mutable state in the
+/// caller-provided scratch (one per worker thread).
+Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_input_box,
+                             IntervalScratch& scratch);
+
+/// One subject leaf prepared for certification: the clipped 8-dim model box
+/// (leaf box ∩ comfort ∩ envelope, with the leaf's action appended as
+/// degenerate dims) and its input-splitting cells in deterministic
+/// zone-major order. The flattened (leaf × cell) list is the unit of
+/// parallelism for core::VerificationEngine.
+struct IntervalWorkItem {
+  int leaf = -1;
+  Interval zone_temp;      ///< in-comfort part of the leaf's s-interval
+  std::vector<Box> cells;  ///< zone-major × outdoor input-splitting cells
+};
+
+/// Enumerates the subject leaves of the policy in tree order, writing the
+/// total leaf count to `leaves_total`.
+std::vector<IntervalWorkItem> interval_work_items(const DtPolicy& policy,
+                                                  const VerificationCriteria& criteria,
+                                                  const DisturbanceBounds& bounds,
+                                                  const IntervalVerifyConfig& config,
+                                                  std::size_t& leaves_total);
+
+/// Folds one leaf's per-cell images (in cell order) into its result. The
+/// fold is serial and order-fixed, so parallel image computation yields a
+/// bit-identical report to the serial loop.
+IntervalLeafResult fold_interval_leaf(const IntervalWorkItem& item,
+                                      const std::vector<Interval>& images,
+                                      const env::ComfortRange& comfort);
 
 /// Certifies every subject leaf of the policy. The model must be trained.
 IntervalReport verify_interval_one_step(const DtPolicy& policy,

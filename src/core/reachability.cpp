@@ -1,6 +1,8 @@
 #include "core/reachability.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "envlib/observation.hpp"
@@ -11,6 +13,14 @@ ReachabilityResult reach_tube(const DtPolicy& policy, const dyn::DynamicsModel& 
                               const std::vector<double>& x0,
                               const std::vector<env::Disturbance>& disturbances,
                               std::size_t horizon) {
+  dyn::PredictScratch scratch;
+  return reach_tube(policy, model, x0, disturbances, horizon, scratch);
+}
+
+ReachabilityResult reach_tube(const DtPolicy& policy, const dyn::DynamicsModel& model,
+                              const std::vector<double>& x0,
+                              const std::vector<env::Disturbance>& disturbances,
+                              std::size_t horizon, dyn::PredictScratch& scratch) {
   if (x0.size() != env::kInputDims) {
     throw std::invalid_argument("reach_tube: x0 must be the 6-dim policy input");
   }
@@ -20,27 +30,45 @@ ReachabilityResult reach_tube(const DtPolicy& policy, const dyn::DynamicsModel& 
   result.zone_temps.push_back(x[env::kZoneTemp]);
 
   for (std::size_t k = 0; k < horizon; ++k) {
-    const sim::SetpointPair action = policy.decide(x);
-    const double next_temp = model.predict(x, action);
-    x[env::kZoneTemp] = next_temp;
+    // disturbances[k] are the exogenous inputs at step k+1: they drive the
+    // k-th transition, so they are applied *before* predicting s_{k+1}.
     if (!disturbances.empty()) {
-      const env::Disturbance& d =
-          disturbances[std::min(k, disturbances.size() - 1)];
+      const env::Disturbance& d = disturbances[std::min(k, disturbances.size() - 1)];
       x[env::kOutdoorTemp] = d.weather.outdoor_temp_c;
       x[env::kHumidity] = d.weather.humidity_pct;
       x[env::kWind] = d.weather.wind_mps;
       x[env::kSolar] = d.weather.solar_wm2;
       x[env::kOccupancy] = d.occupants;
     }
+    const sim::SetpointPair action = policy.decide(x);
+    const double next_temp = model.predict(x, action, scratch);
+    x[env::kZoneTemp] = next_temp;
     result.zone_temps.push_back(next_temp);
   }
-  result.min_temp = *std::min_element(result.zone_temps.begin(), result.zone_temps.end());
-  result.max_temp = *std::max_element(result.zone_temps.begin(), result.zone_temps.end());
+
+  // NaN-propagating envelope: std::min_element/max_element order NaN
+  // unpredictably (every comparison is false), which previously let a
+  // diverged tube report finite bounds — and check_within then certified
+  // it. Any NaN state poisons both bounds instead.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double t : result.zone_temps) {
+    if (std::isnan(t)) {
+      lo = hi = std::numeric_limits<double>::quiet_NaN();
+      break;
+    }
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  result.min_temp = lo;
+  result.max_temp = hi;
   return result;
 }
 
 void check_within(ReachabilityResult& result, double lo, double hi) {
-  result.within = result.min_temp >= lo && result.max_temp <= hi;
+  bool has_nan = std::isnan(result.min_temp) || std::isnan(result.max_temp);
+  for (double t : result.zone_temps) has_nan = has_nan || std::isnan(t);
+  result.within = !has_nan && result.min_temp >= lo && result.max_temp <= hi;
 }
 
 }  // namespace verihvac::core

@@ -143,8 +143,8 @@ void load_disturbances(std::vector<double>& x, const Matrix& historical, std::si
   for (std::size_t c = 1; c < env::kInputDims; ++c) x[c] = historical(idx, c);
 }
 
-/// Draws an input that is safe (comfort) and occupied, or throws after too
-/// many rejections (which indicates degenerate historical data).
+}  // namespace
+
 std::pair<std::vector<double>, std::size_t> sample_safe_occupied(
     const AugmentedSampler& sampler, const env::ComfortRange& comfort, Rng& rng) {
   for (int attempt = 0; attempt < 10000; ++attempt) {
@@ -157,12 +157,6 @@ std::pair<std::vector<double>, std::size_t> sample_safe_occupied(
       "probabilistic verification: could not sample a safe occupied state");
 }
 
-}  // namespace
-
-/// Occupancy of the historical continuation at `row + offset` (clamped to
-/// the end of the series). Criterion #1 guards occupied-hours comfort
-/// (§3.1): a successor state after everyone has left the zone is not
-/// subject to the comfort range, so its excursion is not a failure.
 bool continuation_occupied(const Matrix& historical, std::size_t row, std::size_t offset) {
   const std::size_t idx = std::min(row + offset, historical.rows() - 1);
   return historical(idx, env::kOccupancy) > 0.5;

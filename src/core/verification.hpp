@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/decision_data.hpp"
@@ -95,6 +96,21 @@ struct ProbabilisticReport {
     return safe_probability > criteria.safe_probability_threshold;
   }
 };
+
+/// Draws an input that is safe (in-comfort) and occupied — the subject
+/// region of criterion #1 — by rejection sampling over the augmented
+/// historical distribution; throws after 10000 rejections (degenerate
+/// historical data). Returns the noised input and its anchor row. Exposed
+/// for the parallel verifier (core::VerificationEngine), which gives every
+/// sample its own counter-based RNG stream.
+std::pair<std::vector<double>, std::size_t> sample_safe_occupied(
+    const AugmentedSampler& sampler, const env::ComfortRange& comfort, Rng& rng);
+
+/// Occupancy of the historical continuation at `row + offset` (clamped to
+/// the end of the series). Criterion #1 guards occupied-hours comfort
+/// (§3.1): a successor state after everyone has left the zone is not
+/// subject to the comfort range, so its excursion is not a failure.
+bool continuation_occupied(const Matrix& historical, std::size_t row, std::size_t offset);
 
 /// Criterion #1 via the efficient one-step estimator (§3.3.2).
 ProbabilisticReport verify_probabilistic_one_step(const DtPolicy& policy,

@@ -1,0 +1,122 @@
+#include "core/verification_engine.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "envlib/observation.hpp"
+
+namespace verihvac::core {
+
+VerificationEngine::VerificationEngine(std::shared_ptr<const common::TaskPool> pool)
+    : pool_(pool ? std::move(pool) : common::TaskPool::shared()) {}
+
+ProbabilisticReport VerificationEngine::verify_probabilistic(
+    const DtPolicy& policy, const dyn::DynamicsModel& model, const AugmentedSampler& sampler,
+    const VerificationCriteria& criteria, std::size_t n_samples, std::uint64_t seed) const {
+  ProbabilisticReport report;
+  if (n_samples == 0) {
+    // "Not measured" must not render as 0% safe (same convention as
+    // CampaignRow::tube_within_fraction).
+    report.safe_probability = std::numeric_limits<double>::quiet_NaN();
+    return report;
+  }
+  const Matrix& historical = sampler.historical();
+
+  // One byte per sample: failure flags are per-index slots, reduced by a
+  // serial scan — order-independent of the worker schedule.
+  std::vector<std::uint8_t> failed(n_samples, 0);
+  std::vector<dyn::PredictScratch> scratches(pool_->thread_count());
+  pool_->parallel_for(n_samples, [&](std::size_t worker, std::size_t begin, std::size_t end) {
+    dyn::PredictScratch& scratch = scratches[worker];
+    for (std::size_t i = begin; i < end; ++i) {
+      // The whole rejection loop lives inside sample i's own stream: the
+      // accepted input is a pure function of (seed, i).
+      Rng rng = Rng::stream(seed, i);
+      std::vector<double> x;
+      for (int attempt = 0;; ++attempt) {
+        auto drawn = sample_safe_occupied(sampler, criteria.comfort, rng);
+        if (continuation_occupied(historical, drawn.second, 1)) {
+          x = std::move(drawn.first);
+          break;
+        }
+        if (attempt >= 10000) {
+          throw std::runtime_error(
+              "verify_probabilistic: no safe occupied state with occupied continuation");
+        }
+      }
+      const sim::SetpointPair action = policy.decide(x);
+      const double next_temp = model.predict(x, action, scratch);
+      failed[i] = criteria.comfort.contains(next_temp) ? 0 : 1;
+    }
+  });
+
+  report.samples = n_samples;
+  for (std::uint8_t f : failed) report.failures += f;
+  report.safe_probability =
+      1.0 - static_cast<double>(report.failures) / static_cast<double>(report.samples);
+  return report;
+}
+
+IntervalReport VerificationEngine::verify_interval(const DtPolicy& policy,
+                                                   const dyn::DynamicsModel& model,
+                                                   const VerificationCriteria& criteria,
+                                                   const DisturbanceBounds& bounds,
+                                                   const IntervalVerifyConfig& config) const {
+  IntervalReport report;
+  const std::vector<IntervalWorkItem> items =
+      interval_work_items(policy, criteria, bounds, config, report.leaves_total);
+
+  // Flatten the (leaf × cell) grid: cell c of leaf l lands in the global
+  // slot offsets[l] + c, so images are computed in any schedule but folded
+  // in the serial path's exact order.
+  std::vector<std::size_t> offsets(items.size() + 1, 0);
+  for (std::size_t l = 0; l < items.size(); ++l) {
+    offsets[l + 1] = offsets[l] + items[l].cells.size();
+  }
+  const std::size_t total_cells = offsets.back();
+  std::vector<Interval> images(total_cells);
+  std::vector<IntervalScratch> scratches(pool_->thread_count());
+  pool_->parallel_for(total_cells, [&](std::size_t worker, std::size_t begin, std::size_t end) {
+    IntervalScratch& scratch = scratches[worker];
+    // Locate the leaf containing `begin` once, then walk forward.
+    std::size_t leaf_idx = 0;
+    while (offsets[leaf_idx + 1] <= begin) ++leaf_idx;
+    for (std::size_t g = begin; g < end; ++g) {
+      while (offsets[leaf_idx + 1] <= g) ++leaf_idx;
+      const Box& cell = items[leaf_idx].cells[g - offsets[leaf_idx]];
+      images[g] = interval_next_state(model, cell, scratch);
+    }
+  });
+
+  std::vector<Interval> leaf_images;
+  for (std::size_t l = 0; l < items.size(); ++l) {
+    leaf_images.assign(images.begin() + static_cast<std::ptrdiff_t>(offsets[l]),
+                       images.begin() + static_cast<std::ptrdiff_t>(offsets[l + 1]));
+    ++report.leaves_subject;
+    IntervalLeafResult result = fold_interval_leaf(items[l], leaf_images, criteria.comfort);
+    if (result.certified) ++report.leaves_certified;
+    report.results.push_back(std::move(result));
+  }
+  return report;
+}
+
+std::vector<ReachabilityResult> VerificationEngine::reach_tubes(
+    const DtPolicy& policy, const dyn::DynamicsModel& model,
+    const std::vector<std::vector<double>>& initial_states,
+    const std::vector<env::Disturbance>& disturbances, std::size_t horizon) const {
+  std::vector<ReachabilityResult> tubes(initial_states.size());
+  std::vector<dyn::PredictScratch> scratches(pool_->thread_count());
+  pool_->parallel_for(initial_states.size(),
+                      [&](std::size_t worker, std::size_t begin, std::size_t end) {
+                        dyn::PredictScratch& scratch = scratches[worker];
+                        for (std::size_t i = begin; i < end; ++i) {
+                          tubes[i] = reach_tube(policy, model, initial_states[i], disturbances,
+                                                horizon, scratch);
+                        }
+                      });
+  return tubes;
+}
+
+}  // namespace verihvac::core

@@ -5,13 +5,14 @@
 
 namespace verihvac::nn {
 
-std::vector<Interval> propagate_linear(const Linear& layer, const std::vector<Interval>& input) {
+void propagate_linear(const Linear& layer, const std::vector<Interval>& input,
+                      std::vector<Interval>& out) {
   if (input.size() != layer.in_features()) {
     throw std::invalid_argument("propagate_linear: input box has wrong dimension");
   }
   const Matrix& w = layer.weight();  // out x in
   const Matrix& b = layer.bias();    // 1 x out
-  std::vector<Interval> out(layer.out_features());
+  out.resize(layer.out_features());
   for (std::size_t j = 0; j < layer.out_features(); ++j) {
     double lo = b(0, j);
     double hi = b(0, j);
@@ -27,29 +28,49 @@ std::vector<Interval> propagate_linear(const Linear& layer, const std::vector<In
     }
     out[j] = Interval{lo, hi};
   }
+}
+
+std::vector<Interval> propagate_linear(const Linear& layer, const std::vector<Interval>& input) {
+  std::vector<Interval> out;
+  propagate_linear(layer, input, out);
   return out;
+}
+
+void propagate_relu_inplace(std::vector<Interval>& bounds) {
+  for (auto& iv : bounds) {
+    iv = Interval{std::max(iv.lo, 0.0), std::max(iv.hi, 0.0)};
+  }
 }
 
 std::vector<Interval> propagate_relu(const std::vector<Interval>& input) {
-  std::vector<Interval> out(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    out[i] = Interval{std::max(input[i].lo, 0.0), std::max(input[i].hi, 0.0)};
-  }
+  std::vector<Interval> out = input;
+  propagate_relu_inplace(out);
   return out;
 }
 
-std::vector<Interval> propagate_bounds(const Mlp& mlp, const std::vector<Interval>& input) {
+const std::vector<Interval>& propagate_bounds(const Mlp& mlp, const std::vector<Interval>& input,
+                                              IbpScratch& scratch) {
   if (input.size() != mlp.input_dim()) {
     throw std::invalid_argument("propagate_bounds: input box has wrong dimension");
   }
   const auto& layers = mlp.layers();
-  std::vector<Interval> bounds = input;
+  // Ping-pong between the two scratch buffers: `current` always holds the
+  // bounds entering the next layer.
+  scratch.a.assign(input.begin(), input.end());
+  std::vector<Interval>* current = &scratch.a;
+  std::vector<Interval>* next = &scratch.b;
   for (std::size_t l = 0; l < layers.size(); ++l) {
-    bounds = propagate_linear(layers[l], bounds);
+    propagate_linear(layers[l], *current, *next);
+    std::swap(current, next);
     const bool is_hidden = l + 1 < layers.size();
-    if (is_hidden) bounds = propagate_relu(bounds);
+    if (is_hidden) propagate_relu_inplace(*current);
   }
-  return bounds;
+  return *current;
+}
+
+std::vector<Interval> propagate_bounds(const Mlp& mlp, const std::vector<Interval>& input) {
+  IbpScratch scratch;
+  return propagate_bounds(mlp, input, scratch);
 }
 
 }  // namespace verihvac::nn

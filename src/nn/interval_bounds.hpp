@@ -19,14 +19,38 @@
 
 namespace verihvac::nn {
 
+/// Caller-owned ping-pong buffers for the allocation-free bound
+/// propagation path. The MLP itself is immutable during propagation, so
+/// giving each worker thread its own scratch makes IBP on a shared const
+/// network thread-safe — the certification fan-out of
+/// core::VerificationEngine runs one instance per pool worker.
+struct IbpScratch {
+  std::vector<Interval> a;
+  std::vector<Interval> b;
+};
+
 /// Interval image of one Linear layer: y = W x + b.
 std::vector<Interval> propagate_linear(const Linear& layer, const std::vector<Interval>& input);
+
+/// Allocation-free variant writing into `out` (resized as needed).
+/// `&input != &out` is required.
+void propagate_linear(const Linear& layer, const std::vector<Interval>& input,
+                      std::vector<Interval>& out);
 
 /// Interval image of ReLU: [max(lo, 0), max(hi, 0)].
 std::vector<Interval> propagate_relu(const std::vector<Interval>& input);
 
+/// In-place ReLU clamp (the scratch path's variant).
+void propagate_relu_inplace(std::vector<Interval>& bounds);
+
 /// Sound output bounds of the full network over the input box.
 /// Throws std::invalid_argument if the box does not match input_dim().
 std::vector<Interval> propagate_bounds(const Mlp& mlp, const std::vector<Interval>& input);
+
+/// Thread-safe scratch variant: identical arithmetic, all mutable state in
+/// the caller-provided buffers. The returned reference points into
+/// `scratch` and is valid until the next propagation with that scratch.
+const std::vector<Interval>& propagate_bounds(const Mlp& mlp, const std::vector<Interval>& input,
+                                              IbpScratch& scratch);
 
 }  // namespace verihvac::nn

@@ -1,0 +1,100 @@
+#include "common/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "control/rollout_engine.hpp"
+
+namespace verihvac::common {
+namespace {
+
+TEST(TaskPoolTest, CoversEveryIndexExactlyOnce) {
+  TaskPool pool({/*threads=*/4, /*min_parallel_batch=*/1});
+  for (std::size_t n : {0u, 1u, 3u, 16u, 100u, 1013u}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(TaskPoolTest, WorkerIdsStayInRange) {
+  TaskPool pool({/*threads=*/4, /*min_parallel_batch=*/1});
+  std::atomic<bool> out_of_range{false};
+  pool.parallel_for(256, [&](std::size_t worker, std::size_t, std::size_t) {
+    if (worker >= pool.thread_count()) out_of_range.store(true);
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(TaskPoolTest, SmallBatchRunsInlineOnCaller) {
+  TaskPool pool({/*threads=*/4, /*min_parallel_batch=*/64});
+  std::vector<std::size_t> workers;
+  pool.parallel_for(8, [&](std::size_t worker, std::size_t begin, std::size_t end) {
+    // Inline path: single invocation covering the whole range on worker 0.
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 8u);
+    workers.push_back(worker);
+  });
+  EXPECT_EQ(workers.size(), 1u);
+}
+
+TEST(TaskPoolTest, SingleThreadConfigSpawnsNoWorkers) {
+  TaskPool pool({/*threads=*/1, /*min_parallel_batch=*/1});
+  EXPECT_EQ(pool.thread_count(), 1u);
+  int calls = 0;
+  pool.parallel_for(32, [&](std::size_t, std::size_t begin, std::size_t end) {
+    ++calls;
+    EXPECT_EQ(end - begin, 32u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TaskPoolTest, PropagatesExceptionsFromWorkers) {
+  TaskPool pool({/*threads=*/4, /*min_parallel_batch=*/1});
+  EXPECT_THROW(pool.parallel_for(128,
+                                 [&](std::size_t, std::size_t begin, std::size_t) {
+                                   if (begin == 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must survive a throwing batch and keep serving work.
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(64, [&](std::size_t, std::size_t begin, std::size_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 64u);
+}
+
+TEST(TaskPoolTest, SharedPoolIsReused) {
+  const auto a = TaskPool::shared();
+  const auto b = TaskPool::shared();
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_GE(a->thread_count(), 1u);
+}
+
+TEST(TaskPoolTest, SharedRolloutEngineWrapsSharedPool) {
+  // Control and verification must share one set of worker threads: the
+  // shared rollout engine is a thin client of the shared task pool.
+  const auto engine = control::RolloutEngine::shared();
+  EXPECT_EQ(engine->pool().get(), TaskPool::shared().get());
+  EXPECT_EQ(engine->thread_count(), TaskPool::shared()->thread_count());
+}
+
+TEST(TaskPoolTest, AdoptedPoolIsSharedNotCopied) {
+  auto pool = std::make_shared<const TaskPool>(TaskPoolConfig{2, 1});
+  control::RolloutEngine engine(pool);
+  EXPECT_EQ(engine.pool().get(), pool.get());
+  EXPECT_EQ(engine.thread_count(), 2u);
+  EXPECT_EQ(engine.config().threads, 2u);
+}
+
+}  // namespace
+}  // namespace verihvac::common

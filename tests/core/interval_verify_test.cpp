@@ -143,6 +143,71 @@ TEST_P(IntervalSoundness, SampledNextStatesLieWithinInterval) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSoundness, ::testing::Values(7u, 23u));
 
+TEST(SplitIntervalTest, NonDivisorWidthTilesExactly) {
+  // 1.2 / 0.5 -> 3 cells; the remainder must neither vanish nor produce a
+  // zero-width trailing cell.
+  const auto cells = split_interval(Interval::bounded(0.0, 1.2), 0.5);
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_DOUBLE_EQ(cells.front().lo, 0.0);
+  EXPECT_DOUBLE_EQ(cells.back().hi, 1.2);
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    EXPECT_GT(cells[k].hi, cells[k].lo) << "cell " << k;
+    EXPECT_LE(cells[k].hi - cells[k].lo, 0.5 + 1e-12);
+    if (k + 1 < cells.size()) EXPECT_DOUBLE_EQ(cells[k].hi, cells[k + 1].lo);
+  }
+}
+
+TEST(SplitIntervalTest, FinalBoundaryIsExactUnderLargeOffsets) {
+  // lo + width*(k+1)/n can round an ulp short of hi at large magnitudes; a
+  // dropped top sliver would be an unsound gap in the certificate.
+  const double lo = 1.0e15;
+  const double hi = lo + 1.0;
+  const auto cells = split_interval(Interval::bounded(lo, hi), 0.3);
+  ASSERT_FALSE(cells.empty());
+  EXPECT_EQ(cells.front().lo, lo);
+  EXPECT_EQ(cells.back().hi, hi);  // bit-exact, not merely approximate
+  for (std::size_t k = 0; k + 1 < cells.size(); ++k) {
+    EXPECT_EQ(cells[k].hi, cells[k + 1].lo);
+    EXPECT_GT(cells[k].hi, cells[k].lo);
+  }
+}
+
+TEST(SplitIntervalTest, ComfortBandNonDivisorCase) {
+  // The default zone slicing over the winter band: 3.5 / 0.5 = 7 exactly,
+  // but 3.5 / 1.0 leaves a half-width remainder cell.
+  const auto cells = split_interval(Interval::bounded(20.0, 23.5), 1.0);
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_DOUBLE_EQ(cells.front().lo, 20.0);
+  EXPECT_DOUBLE_EQ(cells.back().hi, 23.5);
+  double covered = 0.0;
+  for (const Interval& cell : cells) {
+    EXPECT_GT(cell.hi, cell.lo);
+    covered += cell.hi - cell.lo;
+  }
+  EXPECT_NEAR(covered, 3.5, 1e-12);
+}
+
+TEST(SplitIntervalTest, DegenerateIntervalYieldsPointCell) {
+  const auto cells = split_interval(Interval::bounded(21.0, 21.0), 0.5);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(cells.front().lo, 21.0);
+  EXPECT_DOUBLE_EQ(cells.front().hi, 21.0);
+}
+
+TEST_F(IntervalVerifyTest, ScratchVariantMatchesAllocatingPath) {
+  // One scratch reused across differently shaped queries must reproduce
+  // the allocating path bit-for-bit (the parallel fan-out reuses one
+  // scratch per worker across many cells).
+  IntervalScratch scratch;
+  for (double s : {20.0, 21.0, 22.5}) {
+    const Box box = operating_box(s, s + 0.5, 21.0, 23.0);
+    const Interval fresh = interval_next_state(*model_, box);
+    const Interval reused = interval_next_state(*model_, box, scratch);
+    EXPECT_EQ(fresh.lo, reused.lo);
+    EXPECT_EQ(fresh.hi, reused.hi);
+  }
+}
+
 TEST_F(IntervalVerifyTest, ReportCountsAreConsistent) {
   const DtPolicy policy = hold_policy();
   const IntervalReport report = verify_interval_one_step(policy, *model_, winter());

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/core_test_utils.hpp"
 
 namespace verihvac::core {
@@ -80,6 +83,86 @@ TEST_F(ReachabilityTest, DisturbanceSequenceIsApplied) {
   const auto cold_tube =
       reach_tube(*policy_, *model_, x0, std::vector<env::Disturbance>(20, cold), 20);
   EXPECT_GT(warm_tube.zone_temps.back(), cold_tube.zone_temps.back());
+}
+
+TEST_F(ReachabilityTest, FirstTransitionUsesFirstDisturbanceEntry) {
+  // Contract: disturbances[k] are the exogenous inputs at step k+1 and
+  // drive the k-th transition. Two sequences differing ONLY in entry 0
+  // must therefore already diverge at zone_temps[1]; the pre-fix loop
+  // applied d[0] after the first prediction, so the tubes agreed at step 1
+  // (both transitions wrongly used x0's persisted disturbances).
+  const std::vector<double> x0 = {21.0, 0.0, 60.0, 3.0, 0.0, 11.0};
+  env::Disturbance base;
+  base.weather.outdoor_temp_c = 0.0;
+  base.weather.humidity_pct = 60.0;
+  base.weather.wind_mps = 3.0;
+  base.occupants = 11.0;
+  std::vector<env::Disturbance> warm_first(10, base);
+  std::vector<env::Disturbance> cold_first(10, base);
+  warm_first[0].weather.outdoor_temp_c = 15.0;
+  cold_first[0].weather.outdoor_temp_c = -15.0;
+  const auto warm = reach_tube(*policy_, *model_, x0, warm_first, 10);
+  const auto cold = reach_tube(*policy_, *model_, x0, cold_first, 10);
+  EXPECT_GT(warm.zone_temps[1], cold.zone_temps[1]);
+}
+
+TEST_F(ReachabilityTest, LastDisturbanceEntryDrivesFinalTransition) {
+  // The final entry disturbances[horizon-1] must not be dropped: sequences
+  // differing only there diverge at the last state.
+  const std::vector<double> x0 = {21.0, 0.0, 60.0, 3.0, 0.0, 11.0};
+  env::Disturbance base;
+  base.weather.outdoor_temp_c = 0.0;
+  base.weather.humidity_pct = 60.0;
+  base.weather.wind_mps = 3.0;
+  base.occupants = 11.0;
+  std::vector<env::Disturbance> warm_last(10, base);
+  std::vector<env::Disturbance> cold_last(10, base);
+  warm_last.back().weather.outdoor_temp_c = 15.0;
+  cold_last.back().weather.outdoor_temp_c = -15.0;
+  const auto warm = reach_tube(*policy_, *model_, x0, warm_last, 10);
+  const auto cold = reach_tube(*policy_, *model_, x0, cold_last, 10);
+  for (std::size_t k = 0; k + 1 < warm.zone_temps.size(); ++k) {
+    EXPECT_DOUBLE_EQ(warm.zone_temps[k], cold.zone_temps[k]) << "step " << k;
+  }
+  EXPECT_GT(warm.zone_temps.back(), cold.zone_temps.back());
+}
+
+TEST_F(ReachabilityTest, ScratchVariantMatchesConvenienceOverload) {
+  const std::vector<double> x0 = {21.0, 0.0, 60.0, 3.0, 0.0, 11.0};
+  env::Disturbance d;
+  d.weather.outdoor_temp_c = 5.0;
+  d.occupants = 11.0;
+  const std::vector<env::Disturbance> forecast(12, d);
+  dyn::PredictScratch scratch;
+  const auto plain = reach_tube(*policy_, *model_, x0, forecast, 12);
+  const auto scratched = reach_tube(*policy_, *model_, x0, forecast, 12, scratch);
+  ASSERT_EQ(plain.zone_temps.size(), scratched.zone_temps.size());
+  for (std::size_t k = 0; k < plain.zone_temps.size(); ++k) {
+    EXPECT_DOUBLE_EQ(plain.zone_temps[k], scratched.zone_temps[k]);
+  }
+}
+
+TEST_F(ReachabilityTest, NanStateMakesTubeUnsafe) {
+  // A diverging model produces NaN zone temperatures; NaN slips through
+  // min_element/max_element ordering, so the envelope must poison instead.
+  std::vector<double> x0 = {std::numeric_limits<double>::quiet_NaN(), 0.0, 60.0, 3.0,
+                            0.0, 11.0};
+  ReachabilityResult result = reach_tube(*policy_, *model_, x0, {}, 5);
+  EXPECT_TRUE(std::isnan(result.min_temp));
+  EXPECT_TRUE(std::isnan(result.max_temp));
+  check_within(result, -1000.0, 1000.0);  // any finite band
+  EXPECT_FALSE(result.within);
+}
+
+TEST_F(ReachabilityTest, CheckWithinRejectsNanEvenWithFiniteEnvelope) {
+  // Manually assembled result whose envelope fields hide the NaN state:
+  // check_within must still report the tube unsafe.
+  ReachabilityResult r;
+  r.zone_temps = {21.0, std::numeric_limits<double>::quiet_NaN(), 21.5};
+  r.min_temp = 21.0;
+  r.max_temp = 21.5;
+  check_within(r, 20.0, 23.5);
+  EXPECT_FALSE(r.within);
 }
 
 TEST_F(ReachabilityTest, ShortDisturbanceSequenceExtends) {

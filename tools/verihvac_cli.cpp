@@ -3,6 +3,7 @@
 //
 //   verihvac extract  --city Pittsburgh --points 600 --out policy.vhp
 //   verihvac verify   --policy policy.vhp [--city Pittsburgh] [--correct]
+//   verihvac campaign [--climates A,B] [--buildings name:scale,..] [--out FILE]
 //   verihvac simulate --policy policy.vhp --city Pittsburgh [--days 31]
 //   verihvac export-c --policy policy.vhp --prefix veri_hvac --out DIR
 //   verihvac explain  --policy policy.vhp --input s,To,RH,w,S,occ
@@ -13,12 +14,14 @@
 // C modules), so artifacts interoperate with the examples and benches.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/edge_export.hpp"
 #include "core/interpret.hpp"
 #include "core/pipeline.hpp"
@@ -126,6 +129,80 @@ int cmd_verify(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> split_csv_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream stream(csv);
+  std::string cell;
+  while (std::getline(stream, cell, ',')) {
+    if (!cell.empty()) out.push_back(cell);
+  }
+  return out;
+}
+
+int cmd_campaign(const Args& args) {
+  core::CampaignConfig config;
+  config.climates = split_csv_list(args.get("climates", "Pittsburgh,Tucson,NewYork"));
+
+  // Building presets: "name" (scale 1.0) or "name:scale". "oversized"
+  // defaults to the 2x design-day plant of the summer extension.
+  config.buildings.clear();
+  for (const std::string& spec : split_csv_list(args.get("buildings", "baseline,oversized"))) {
+    core::CampaignBuilding building;
+    const auto colon = spec.find(':');
+    building.name = spec.substr(0, colon);
+    if (colon != std::string::npos) {
+      building.hvac_scale = std::stod(spec.substr(colon + 1));
+    } else if (building.name == "oversized") {
+      building.hvac_scale = 2.0;
+    }
+    config.buildings.push_back(std::move(building));
+  }
+
+  config.comfort_bands.clear();
+  for (const std::string& name : split_csv_list(args.get("comfort", "winter"))) {
+    if (name == "winter") {
+      config.comfort_bands.push_back({"winter", env::winter_comfort()});
+    } else if (name == "summer") {
+      config.comfort_bands.push_back({"summer", env::summer_comfort()});
+    } else {
+      throw std::invalid_argument("--comfort entries must be 'winter' or 'summer'");
+    }
+  }
+
+  config.envelopes.clear();
+  for (const std::string& name : split_csv_list(args.get("envelopes", "mild"))) {
+    if (name == "mild") {
+      config.envelopes.push_back({"mild", core::mild_envelope()});
+    } else if (name == "design") {
+      config.envelopes.push_back({"design", core::DisturbanceBounds{}});
+    } else {
+      throw std::invalid_argument("--envelopes entries must be 'mild' or 'design'");
+    }
+  }
+
+  config.probabilistic_samples = static_cast<std::size_t>(
+      args.get_long("samples", static_cast<long>(config.probabilistic_samples)));
+  config.reach_states = static_cast<std::size_t>(
+      args.get_long("reach-states", static_cast<long>(config.reach_states)));
+  config.decision_points = static_cast<std::size_t>(args.get_long("points", 0));
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 404));
+
+  const core::VerificationEngine engine;  // shared VERI_HVAC_THREADS pool
+  const core::CampaignResult result =
+      core::run_campaign(config, engine, core::pipeline_asset_provider(config));
+  std::printf("%s", result.to_table().c_str());
+  std::printf("verification pool: %zu thread(s)\n", engine.thread_count());
+
+  if (args.flag("out")) {
+    const std::string path = args.required("out");
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("cannot write " + path);
+    file << result.to_csv();
+    std::printf("campaign CSV written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int cmd_simulate(const Args& args) {
   core::DtPolicy policy = core::load_policy(args.required("policy"));
   core::PipelineConfig config = core::PipelineConfig::for_city(args.get("city", "Pittsburgh"));
@@ -213,6 +290,10 @@ void usage() {
                "usage: verihvac <command> [options]\n"
                "  extract  --out FILE [--city NAME] [--points N]\n"
                "  verify   --policy FILE [--city NAME] [--correct] [--out FILE]\n"
+               "  campaign [--climates A,B,..] [--buildings name[:scale],..]\n"
+               "           [--comfort winter,summer] [--envelopes mild,design]\n"
+               "           [--samples N] [--reach-states N] [--points N] [--seed N]\n"
+               "           [--out FILE.csv]\n"
                "  simulate --policy FILE [--city NAME] [--days N]\n"
                "  export-c --policy FILE [--prefix ID] [--out DIR] [--style table|nested]\n"
                "  explain  --policy FILE --input s,To,RH,w,S,occ\n"
@@ -233,6 +314,7 @@ int main(int argc, char** argv) {
     const Args args(argc, argv, 2);
     if (command == "extract") return cmd_extract(args);
     if (command == "verify") return cmd_verify(args);
+    if (command == "campaign") return cmd_campaign(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "export-c") return cmd_export_c(args);
     if (command == "explain") return cmd_explain(args);
