@@ -9,6 +9,7 @@
 #include <cassert>
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 namespace verihvac {
@@ -41,10 +42,34 @@ class Matrix {
   std::vector<double>& data() { return data_; }
   const std::vector<double>& data() const { return data_; }
 
+  /// Non-owning view of row `r` (batch pipelines iterate rows without
+  /// materializing per-row vectors).
+  std::span<double> row_view(std::size_t r) {
+    assert(r < rows_);
+    return {row_data(r), cols_};
+  }
+  std::span<const double> row_view(std::size_t r) const {
+    assert(r < rows_);
+    return {row_data(r), cols_};
+  }
+
   /// Extracts row `r` as a vector.
   std::vector<double> row(std::size_t r) const;
   /// Overwrites row `r` from a vector of length cols().
   void set_row(std::size_t r, const std::vector<double>& values);
+  /// Overwrites row `r` from a span of length cols().
+  void set_row(std::size_t r, std::span<const double> values);
+
+  /// Reshapes to rows x cols and zero-fills. Reuses the existing capacity,
+  /// so repeated resize/compute cycles (the batch inference scratch
+  /// pattern) allocate only when the batch outgrows every earlier one.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Reshapes to rows x cols WITHOUT clearing: contents are unspecified.
+  /// For kernels that overwrite every element anyway (the batched Linear
+  /// forward bias-initializes each row), skipping the zero pass halves the
+  /// write traffic. Reuses capacity like resize().
+  void reshape(std::size_t rows, std::size_t cols);
 
   void fill(double value);
   Matrix transposed() const;
@@ -55,6 +80,14 @@ class Matrix {
 
   /// C = A * B (asserts inner dimensions agree).
   static Matrix multiply(const Matrix& a, const Matrix& b);
+  /// Allocation-free C = A * B into caller-owned `c` (resized in place,
+  /// reusing capacity). Cache-blocked i-k-j kernel: the inner loop is
+  /// contiguous in both B and C, and i/k tiling bounds the working set of
+  /// B so large products stay in cache. k-tiles are walked in ascending
+  /// order, so every C element accumulates in exactly the same order as
+  /// the unblocked kernel — results are bit-identical to multiply().
+  /// `c` must not alias `a` or `b`.
+  static void multiply_into(const Matrix& a, const Matrix& b, Matrix& c);
   /// C = A^T * B without materializing the transpose.
   static Matrix multiply_at_b(const Matrix& a, const Matrix& b);
   /// C = A * B^T without materializing the transpose.

@@ -31,7 +31,9 @@ class Mppi {
 
   const MppiConfig& config() const { return config_; }
 
-  /// Parallelizes candidate scoring across the engine's thread pool.
+  /// Parallelizes candidate scoring across the engine's thread pool (each
+  /// iteration's samples are scored in lock-step batches; decisions stay
+  /// bit-identical for any thread count).
   void set_engine(std::shared_ptr<const RolloutEngine> engine) {
     scorer_.set_engine(std::move(engine));
   }

@@ -1,5 +1,6 @@
 #include "control/random_shooting.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -54,6 +55,80 @@ double RandomShooting::rollout_return(const dyn::DynamicsModel& model,
   return total;
 }
 
+namespace {
+
+/// Persistent per-thread scratch: pool workers live for the process, so
+/// every worker's candidate-state matrix and activation buffers warm up
+/// once and are reused by every subsequent decision.
+RolloutScratch& worker_scratch() {
+  static thread_local RolloutScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void RandomShooting::rollout_returns_slice(const dyn::DynamicsModel& model,
+                                           const env::Observation& obs,
+                                           const std::vector<env::Disturbance>& forecast,
+                                           const std::vector<std::vector<std::size_t>>& sequences,
+                                           std::size_t begin, std::size_t end,
+                                           std::vector<double>& returns,
+                                           RolloutScratch& scratch) const {
+  assert(end <= sequences.size() && returns.size() >= sequences.size());
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  std::size_t max_len = 0;
+  for (std::size_t s = begin; s < end; ++s) max_len = std::max(max_len, sequences[s].size());
+  assert(forecast.size() >= max_len);
+
+  // Structure-of-arrays candidate state: row r holds candidate begin+r's
+  // current 8-dim model input (6 observation dims + the 2 setpoints of the
+  // action about to be applied).
+  const std::vector<double> x0 = obs.to_vector();
+  scratch.states.resize(n, dyn::kModelInputDims);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::copy(x0.begin(), x0.end(), scratch.states.row_data(r));
+  }
+  scratch.discounts.assign(n, 1.0);
+  scratch.actions.resize(n);
+  for (std::size_t s = begin; s < end; ++s) returns[s] = 0.0;
+
+  for (std::size_t t = 0; t < max_len; ++t) {
+    // Stage the step-t action of every still-live candidate into the two
+    // setpoint columns. Finished candidates (shorter sequences) keep their
+    // last state/action: they still ride through the batched forward — the
+    // prediction is discarded, so they cannot affect any other row.
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::vector<std::size_t>& seq = sequences[begin + r];
+      if (t >= seq.size()) continue;
+      const sim::SetpointPair action = actions_.action(seq[t]);
+      scratch.actions[r] = action;
+      scratch.states(r, dyn::kHeatSpIndex) = action.heating_c;
+      scratch.states(r, dyn::kCoolSpIndex) = action.cooling_c;
+    }
+    // One batched forward advances every candidate in lock-step.
+    model.predict_batch_into(scratch.states, scratch.next_temps, scratch.batch);
+
+    const env::Disturbance& d = forecast[t];
+    for (std::size_t r = 0; r < n; ++r) {
+      if (t >= sequences[begin + r].size()) continue;
+      const double next_temp = scratch.next_temps[r];
+      const bool occupied = scratch.states(r, env::kOccupancy) > 0.5;
+      returns[begin + r] +=
+          scratch.discounts[r] * env::reward(reward_, next_temp, scratch.actions[r], occupied);
+      scratch.discounts[r] *= config_.gamma;
+
+      double* row = scratch.states.row_data(r);
+      row[env::kZoneTemp] = next_temp;
+      row[env::kOutdoorTemp] = d.weather.outdoor_temp_c;
+      row[env::kHumidity] = d.weather.humidity_pct;
+      row[env::kWind] = d.weather.wind_mps;
+      row[env::kSolar] = d.weather.solar_wm2;
+      row[env::kOccupancy] = d.occupants;
+    }
+  }
+}
+
 void RandomShooting::rollout_returns(const dyn::DynamicsModel& model,
                                      const env::Observation& obs,
                                      const std::vector<env::Disturbance>& forecast,
@@ -61,18 +136,19 @@ void RandomShooting::rollout_returns(const dyn::DynamicsModel& model,
                                      std::vector<double>& returns) const {
   returns.resize(sequences.size());
   if (engine_ == nullptr || engine_->thread_count() <= 1) {
-    for (std::size_t s = 0; s < sequences.size(); ++s) {
-      returns[s] = rollout_return(model, obs, forecast, sequences[s]);
-    }
+    rollout_returns_slice(model, obs, forecast, sequences, 0, sequences.size(), returns,
+                          worker_scratch());
     return;
   }
-  std::vector<dyn::PredictScratch> scratches(engine_->thread_count());
+  // The pool shards the batch into contiguous per-worker sub-batches; each
+  // worker runs the lock-step pipeline on its slice with its own
+  // persistent scratch. Slicing cannot change any candidate's arithmetic
+  // (rows are independent through the batched forward), so decisions stay
+  // bit-identical across thread counts.
   engine_->parallel_for(sequences.size(),
-                        [&](std::size_t worker, std::size_t begin, std::size_t end) {
-                          dyn::PredictScratch& scratch = scratches[worker];
-                          for (std::size_t s = begin; s < end; ++s) {
-                            returns[s] = rollout_return(model, obs, forecast, sequences[s], scratch);
-                          }
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+                          rollout_returns_slice(model, obs, forecast, sequences, begin, end,
+                                                returns, worker_scratch());
                         });
 }
 

@@ -20,6 +20,24 @@
 
 namespace verihvac::control {
 
+/// Per-worker persistent scratch for the lock-step batch scoring path
+/// (same caller-owned convention as dyn::PredictScratch / BatchScratch).
+/// One instance lives in each pool worker's thread-local storage, so the
+/// candidate-state matrix and all activation buffers are allocated once
+/// per thread and reused across every decision of the process lifetime.
+struct RolloutScratch {
+  /// Live candidate inputs, one 8-dim model-input row per candidate.
+  Matrix states;
+  /// Batched one-step predictions for the current horizon step.
+  std::vector<double> next_temps;
+  /// Per-candidate running discount factor.
+  std::vector<double> discounts;
+  /// Per-candidate action applied at the current step.
+  std::vector<sim::SetpointPair> actions;
+  /// Fused normalize -> network -> denormalize predict scratch.
+  dyn::BatchScratch batch;
+};
+
 struct RandomShootingConfig {
   std::size_t samples = 1000;  ///< candidate sequences per decision
   std::size_t horizon = 20;    ///< planning steps (20 x 15 min = 5 h)
@@ -67,12 +85,31 @@ class RandomShooting {
                         dyn::PredictScratch& scratch) const;
 
   /// Scores every candidate sequence, writing returns[i] for sequences[i].
-  /// With an engine attached the batch is spread across its thread pool;
-  /// results are bit-identical to the serial loop for any thread count.
+  ///
+  /// Lock-step batch pipeline: candidates advance together one horizon
+  /// step at a time, with each step's N one-step predictions fused into a
+  /// single batched forward (dyn::DynamicsModel::predict_batch_into)
+  /// instead of N scalar predicts. With an engine attached, the batch is
+  /// sharded into per-worker sub-batches over its thread pool, each worker
+  /// running the lock-step pipeline on its contiguous slice with
+  /// persistent thread-local RolloutScratch. Per-candidate arithmetic is
+  /// independent of batch composition, so results are bit-identical to the
+  /// scalar rollout_return path for any thread count and any sharding
+  /// (locked in by tests/control/rollout_engine_test.cpp).
   void rollout_returns(const dyn::DynamicsModel& model, const env::Observation& obs,
                        const std::vector<env::Disturbance>& forecast,
                        const std::vector<std::vector<std::size_t>>& sequences,
                        std::vector<double>& returns) const;
+
+  /// Lock-step batch scoring of the contiguous slice [begin, end) of
+  /// `sequences` (the per-worker unit of rollout_returns, exposed for the
+  /// throughput bench). Writes returns[s] for s in [begin, end); `returns`
+  /// must already have sequences.size() entries.
+  void rollout_returns_slice(const dyn::DynamicsModel& model, const env::Observation& obs,
+                             const std::vector<env::Disturbance>& forecast,
+                             const std::vector<std::vector<std::size_t>>& sequences,
+                             std::size_t begin, std::size_t end, std::vector<double>& returns,
+                             RolloutScratch& scratch) const;
 
   /// Attaches (or detaches, with nullptr) the parallel rollout engine.
   void set_engine(std::shared_ptr<const RolloutEngine> engine) { engine_ = std::move(engine); }

@@ -2,16 +2,22 @@
 //
 // RS, MPPI and CEM all spend their time in the same place: scoring N
 // candidate action sequences with H dynamics-model evaluations each. The
-// sequences are independent, so the engine batches them across a
-// persistent pool of worker threads — since PR 2 the generic
-// common::TaskPool, which the verification subsystem
-// (core::VerificationEngine) shares; RolloutEngine is a thin
-// control-facing client that keeps the optimizer API stable. Determinism
-// is preserved by construction: RNG draws happen only during (serial)
-// sequence generation, every sequence's return is written to its own
-// output slot, and the winner selection stays a serial scan — so any
-// thread count produces bit-identical decisions to the single-threaded
-// loop.
+// engine spreads that work across a persistent pool of worker threads —
+// since PR 2 the generic common::TaskPool, which the verification
+// subsystem (core::VerificationEngine) shares; RolloutEngine is a thin
+// control-facing client that keeps the optimizer API stable.
+//
+// Since PR 3 the unit of work is a *sub-batch*, not a sample: parallel_for
+// hands each worker a contiguous slice of the candidate set, and the
+// worker advances its whole slice in lock-step, fusing every horizon
+// step's predictions into one batched forward
+// (dyn::DynamicsModel::predict_batch_into) with persistent thread-local
+// scratch. Determinism is preserved by construction: RNG draws happen
+// only during (serial) sequence generation, per-candidate arithmetic is
+// independent of how the batch is sliced, every return is written to its
+// own output slot, and the winner selection stays a serial scan — so any
+// thread count produces decisions bit-identical to the scalar
+// single-threaded loop.
 #pragma once
 
 #include <cstddef>

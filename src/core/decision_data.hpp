@@ -16,6 +16,11 @@
 //    Fig. 1. The disturbance forecast handed to the optimizer is the
 //    historical continuation of the sampled row (the future the building
 //    actually saw), falling back to persistence at the episode tail.
+//    Every optimizer invocation scores its candidates through the
+//    lock-step batch rollout pipeline of the agent's attached
+//    control::RolloutEngine (the pipeline wires in the shared engine), so
+//    generation throughput tracks the batched hot path while the recorded
+//    modal actions stay bit-identical to the scalar path.
 #pragma once
 
 #include <cstdint>

@@ -47,6 +47,10 @@ class VerificationEngine {
   /// its rejection loop (safe occupied input with an occupied
   /// continuation) entirely inside Rng::stream(seed, i) and contributes
   /// one accept to the estimate. Bit-identical across thread counts.
+  /// Since PR 3 each worker stages its slice's accepted inputs as one
+  /// batch matrix and advances them with a single batched forward
+  /// (dyn::DynamicsModel::predict_batch_into); the draws and the report
+  /// are unchanged to the last bit.
   ProbabilisticReport verify_probabilistic(const DtPolicy& policy,
                                            const dyn::DynamicsModel& model,
                                            const AugmentedSampler& sampler,

@@ -81,11 +81,24 @@ double DynamicsModel::predict_prepared(PredictScratch& scratch) const {
 
 std::vector<double> DynamicsModel::predict_batch(const Matrix& model_inputs) const {
   std::vector<double> out;
-  out.reserve(model_inputs.rows());
-  for (std::size_t r = 0; r < model_inputs.rows(); ++r) {
-    out.push_back(predict_raw(model_inputs.row(r)));
-  }
+  BatchScratch scratch;
+  predict_batch_into(model_inputs, out, scratch);
   return out;
+}
+
+void DynamicsModel::predict_batch_into(const Matrix& model_inputs,
+                                       std::vector<double>& next_temps,
+                                       BatchScratch& scratch) const {
+  if (!trained_) throw std::logic_error("DynamicsModel used before training");
+  assert(model_inputs.cols() == kModelInputDims);
+  const std::size_t n = model_inputs.rows();
+  input_norm_.transform_into(model_inputs, scratch.normed);
+  network_->forward_into(scratch.normed, scratch.delta, scratch.net);
+  next_temps.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double delta = scratch.delta(r, 0) * delta_std_ + delta_mean_;
+    next_temps[r] = model_inputs(r, env::kZoneTemp) + delta;
+  }
 }
 
 }  // namespace verihvac::dyn

@@ -33,6 +33,23 @@ struct PredictScratch {
   std::vector<double> activ_b;
 };
 
+/// Caller-owned scratch for the batched predict path (the batch analogue
+/// of PredictScratch, same ownership convention: one per worker thread
+/// makes batched prediction on a shared const model/ensemble thread-safe).
+/// All buffers grow to the largest batch seen, then get reused.
+struct BatchScratch {
+  /// Normalized N x 8 model inputs.
+  Matrix normed;
+  /// MLP ping-pong activation matrices.
+  nn::BatchScratch net;
+  /// N x 1 normalized-delta network output.
+  Matrix delta;
+  // Ensemble accumulators (unused by single-model predictions).
+  std::vector<double> member_temps;
+  std::vector<double> sum;
+  std::vector<double> sum_sq;
+};
+
 class DynamicsModel {
  public:
   explicit DynamicsModel(DynamicsModelConfig config = {});
@@ -56,6 +73,16 @@ class DynamicsModel {
 
   /// Batched prediction for evaluation (rows = 8-dim model inputs).
   std::vector<double> predict_batch(const Matrix& model_inputs) const;
+
+  /// Allocation-free batched prediction: fuses normalize -> network ->
+  /// denormalize-delta over all rows of `model_inputs` (N x 8), writing
+  /// next_temps[r] for row r. Thread-safe on a shared const model with one
+  /// scratch per worker. Row r is bit-identical to the scalar predict on
+  /// the same 8 inputs (locked in by tests/dynamics/dynamics_model_test
+  /// and the rollout equivalence tests) — this is the lock-step rollout
+  /// engine's hot path.
+  void predict_batch_into(const Matrix& model_inputs, std::vector<double>& next_temps,
+                          BatchScratch& scratch) const;
 
   const nn::Mlp& network() const { return *network_; }
   const DynamicsModelConfig& config() const { return config_; }

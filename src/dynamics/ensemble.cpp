@@ -1,5 +1,6 @@
 #include "dynamics/ensemble.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -29,6 +30,30 @@ void EnsembleDynamics::train(const TransitionDataset& data) {
     members_.push_back(std::move(model));
   }
   trained_ = true;
+}
+
+void EnsembleDynamics::predict_batch_into(const Matrix& model_inputs,
+                                          std::vector<EnsemblePrediction>& out,
+                                          BatchScratch& scratch) const {
+  if (!trained_) throw std::logic_error("EnsembleDynamics used before training");
+  const std::size_t n = model_inputs.rows();
+  scratch.sum.assign(n, 0.0);
+  scratch.sum_sq.assign(n, 0.0);
+  for (const auto& member : members_) {
+    member->predict_batch_into(model_inputs, scratch.member_temps, scratch);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double p = scratch.member_temps[r];
+      scratch.sum[r] += p;
+      scratch.sum_sq[r] += p * p;
+    }
+  }
+  const double count = static_cast<double>(members_.size());
+  out.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out[r].mean = scratch.sum[r] / count;
+    const double var = std::max(0.0, scratch.sum_sq[r] / count - out[r].mean * out[r].mean);
+    out[r].stddev = std::sqrt(var);
+  }
 }
 
 EnsemblePrediction EnsembleDynamics::predict(const std::vector<double>& x,

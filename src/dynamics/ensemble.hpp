@@ -40,6 +40,14 @@ class EnsembleDynamics {
   EnsemblePrediction predict(const std::vector<double>& x,
                              const sim::SetpointPair& action) const;
 
+  /// Batched variant over N x 8 model inputs (observation dims followed by
+  /// the two setpoints, per dynamics/dataset.hpp): every member runs one
+  /// batched forward, and the member-major accumulation matches the scalar
+  /// predict() loop, so out[r] is bit-identical to predict() on row r.
+  /// Thread-safe on a shared const ensemble with one scratch per worker.
+  void predict_batch_into(const Matrix& model_inputs, std::vector<EnsemblePrediction>& out,
+                          BatchScratch& scratch) const;
+
  private:
   EnsembleConfig config_;
   std::vector<std::unique_ptr<DynamicsModel>> members_;

@@ -1,5 +1,6 @@
 #include "nn/layers.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -27,6 +28,101 @@ Matrix Linear::forward(const Matrix& input) {
     for (std::size_t c = 0; c < out.cols(); ++c) row[c] += bias_(0, c);
   }
   return out;
+}
+
+void Linear::forward_into(const Matrix& input, Matrix& out, Matrix& wt_scratch) const {
+  assert(input.cols() == in_features());
+  assert(&input != &out && "forward_into: output aliases the input");
+  const std::size_t n = input.rows();
+  const std::size_t in = in_features();
+  const std::size_t on = out_features();
+
+  // Thin output layers (e.g. the 32 -> 1 regression head) are pure
+  // reductions over k — latency-bound on one FP-add chain per output. Row
+  // blocking flips the parallelism axis: eight candidates' chains retire
+  // together, each still bias-first k-ascending, so bits are unchanged.
+  if (on < 8) {
+    out.reshape(n, on);
+    const double* bias = bias_.row_data(0);
+    constexpr std::size_t kRows = 8;
+    std::size_t r = 0;
+    for (; r + kRows <= n; r += kRows) {
+      const double* x[kRows];
+      for (std::size_t j = 0; j < kRows; ++j) x[j] = input.row_data(r + j);
+      for (std::size_t o = 0; o < on; ++o) {
+        const double* __restrict wrow = weight_.row_data(o);
+        double acc[kRows];
+        for (std::size_t j = 0; j < kRows; ++j) acc[j] = bias[o];
+        for (std::size_t k = 0; k < in; ++k) {
+          const double wk = wrow[k];
+          for (std::size_t j = 0; j < kRows; ++j) acc[j] += wk * x[j][k];
+        }
+        for (std::size_t j = 0; j < kRows; ++j) out(r + j, o) = acc[j];
+      }
+    }
+    for (; r < n; ++r) {
+      const double* __restrict x = input.row_data(r);
+      double* __restrict y = out.row_data(r);
+      for (std::size_t o = 0; o < on; ++o) {
+        const double* __restrict wrow = weight_.row_data(o);
+        double sum = bias[o];
+        for (std::size_t k = 0; k < in; ++k) sum += wrow[k] * x[k];
+        y[o] = sum;
+      }
+    }
+    return;
+  }
+
+  // Stage W^T (in x out) so the GEMM inner loop is contiguous in both the
+  // output row and the weight row. The copy is O(in*on) against the
+  // O(n*in*on) product — noise for any real batch.
+  wt_scratch.reshape(in, on);
+  for (std::size_t o = 0; o < on; ++o) {
+    const double* wrow = weight_.row_data(o);
+    for (std::size_t k = 0; k < in; ++k) wt_scratch(k, o) = wrow[k];
+  }
+
+  // i-k-j with register-tiled outputs: each kOTile-wide slice of the
+  // output row lives in a fixed-size local accumulator (compile-time
+  // bounds, so it stays in vector registers) across the whole k loop, and
+  // is stored exactly once. Element (r, o) accumulates bias[o] first, then
+  // w[o][k] * x[r][k] with k ascending — exactly the scalar predict order,
+  // so batched results match it bit-for-bit; the vector lanes are
+  // *independent* outputs, so vectorization reorders no chain.
+  out.reshape(n, on);
+  const double* bias = bias_.row_data(0);
+  constexpr std::size_t kOTile = 32;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* __restrict x = input.row_data(r);
+    double* __restrict y = out.row_data(r);
+    std::size_t o0 = 0;
+    for (; o0 + kOTile <= on; o0 += kOTile) {
+      double acc[kOTile];
+      for (std::size_t j = 0; j < kOTile; ++j) acc[j] = bias[o0 + j];
+      for (std::size_t k = 0; k < in; ++k) {
+        const double xk = x[k];
+        const double* __restrict wrow = wt_scratch.row_data(k) + o0;
+        for (std::size_t j = 0; j < kOTile; ++j) acc[j] += xk * wrow[j];
+      }
+      for (std::size_t j = 0; j < kOTile; ++j) y[o0 + j] = acc[j];
+    }
+    if (o0 < on) {  // remainder tile with a runtime width
+      const std::size_t width = on - o0;
+      double acc[kOTile];
+      for (std::size_t j = 0; j < width; ++j) acc[j] = bias[o0 + j];
+      for (std::size_t k = 0; k < in; ++k) {
+        const double xk = x[k];
+        const double* __restrict wrow = wt_scratch.row_data(k) + o0;
+        for (std::size_t j = 0; j < width; ++j) acc[j] += xk * wrow[j];
+      }
+      for (std::size_t j = 0; j < width; ++j) y[o0 + j] = acc[j];
+    }
+  }
+}
+
+void Linear::forward_into(const Matrix& input, Matrix& out) const {
+  static thread_local Matrix wt_scratch;
+  forward_into(input, out, wt_scratch);
 }
 
 Matrix Linear::backward(const Matrix& grad_output) {
@@ -57,6 +153,17 @@ Matrix Relu::forward(const Matrix& input) {
     }
   }
   return out;
+}
+
+void Relu::forward_into(const Matrix& input, Matrix& out) const {
+  out.reshape(input.rows(), input.cols());  // every element is overwritten
+  const std::vector<double>& src = input.data();
+  std::vector<double>& dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = std::max(src[i], 0.0);
+}
+
+void Relu::forward_inplace(Matrix& x) const {
+  for (double& v : x.data()) v = std::max(v, 0.0);
 }
 
 Matrix Relu::backward(const Matrix& grad_output) const {

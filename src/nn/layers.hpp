@@ -27,6 +27,23 @@ class Linear {
 
   /// Forward pass; caches the input for backward.
   Matrix forward(const Matrix& input);
+  /// Allocation-free inference forward into caller-owned `out` (resized in
+  /// place; must not alias `input`). No input caching, no autograd
+  /// buffers — safe on a shared const layer from many threads at once.
+  ///
+  /// Bit-compat contract: every output element accumulates as
+  /// bias + sum_k w[o][k] * x[k] with k ascending — the exact order of the
+  /// scalar Mlp::predict hot path — so batched and scalar inference agree
+  /// to the last bit. The kernel achieves this order with an i-k-j loop
+  /// over the *transposed* weights (staged into `wt_scratch`): the inner
+  /// loop runs across independent output columns, so it vectorizes freely
+  /// without reassociating any single output's accumulation chain (the
+  /// scalar path is an unvectorizable reduction — this is where the
+  /// batch-pipeline speedup comes from).
+  void forward_into(const Matrix& input, Matrix& out, Matrix& wt_scratch) const;
+  /// Convenience overload with an internal thread-local weight-transpose
+  /// scratch (tests, one-off calls; the Mlp hot path passes its own).
+  void forward_into(const Matrix& input, Matrix& out) const;
   /// Backward pass: accumulates dW/db, returns dL/dX.
   Matrix backward(const Matrix& grad_output);
 
@@ -52,6 +69,12 @@ class Relu {
  public:
   Matrix forward(const Matrix& input);
   Matrix backward(const Matrix& grad_output) const;
+
+  /// Mask-free inference variants (no state touched, thread-safe on a
+  /// shared const instance). Same max(v, 0.0) expression as the scalar
+  /// Mlp::predict path, so NaN handling matches it bit-for-bit.
+  void forward_into(const Matrix& input, Matrix& out) const;
+  void forward_inplace(Matrix& x) const;
 
  private:
   Matrix mask_;

@@ -12,6 +12,18 @@
 
 namespace verihvac::nn {
 
+/// Caller-owned ping-pong activation matrices for the allocation-free
+/// batched inference path (same ownership convention as IbpScratch /
+/// dyn::PredictScratch: the network stays const, so one scratch per worker
+/// thread makes batched inference on a shared model thread-safe).
+/// Buffers grow to the largest (batch x width) seen and are then reused.
+struct BatchScratch {
+  Matrix a;
+  Matrix b;
+  /// Per-layer transposed-weight staging (see Linear::forward_into).
+  std::vector<Matrix> wt;
+};
+
 class Mlp {
  public:
   /// Builds the network; `widths` must have >= 2 entries.
@@ -33,6 +45,15 @@ class Mlp {
   /// `scratch` is resized on first use; result has output_dim() entries.
   void predict(const std::vector<double>& input, std::vector<double>& output,
                std::vector<double>& scratch) const;
+
+  /// Batched allocation-free inference: rows of `input` are samples, `out`
+  /// becomes (rows x output_dim()). No autograd buffers are touched, so
+  /// this is safe on a shared const network with one scratch per thread.
+  /// Row r of the result is bit-identical to predict() on row r — the
+  /// batched Linear kernel keeps the scalar path's accumulation order (see
+  /// Linear::forward_into), which rollout/verification equivalence tests
+  /// lock in. `out` must not alias `input` or the scratch buffers.
+  void forward_into(const Matrix& input, Matrix& out, BatchScratch& scratch) const;
 
   std::vector<Linear>& layers() { return layers_; }
   const std::vector<Linear>& layers() const { return layers_; }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 namespace verihvac {
 namespace {
 
@@ -91,6 +94,77 @@ TEST(MatrixTest, MultiplyABtMatchesExplicitTranspose) {
   for (std::size_t r = 0; r < got.rows(); ++r)
     for (std::size_t c = 0; c < got.cols(); ++c)
       EXPECT_DOUBLE_EQ(got(r, c), expect(r, c));
+}
+
+TEST(MatrixTest, RowViewReadsAndWritesInPlace) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix& cm = m;
+  std::span<const double> view = cm.row_view(1);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_DOUBLE_EQ(view[2], 6.0);
+  m.row_view(0)[1] = 20.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 20.0);
+  m.set_row(1, std::span<const double>(std::vector<double>{7.0, 8.0, 9.0}));
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(MatrixTest, ResizeZeroFillsAndReusesCapacity) {
+  Matrix m(8, 8, 3.0);
+  const double* before = m.data().data();
+  m.resize(4, 4);  // shrink: must reuse the allocation
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.data().data(), before);
+  for (double v : m.data()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MatrixTest, MultiplyIntoMatchesMultiplyBitExact) {
+  // Shapes straddling the 64-wide GEMM tile so the blocked kernel's tile
+  // boundaries (and remainders) are all exercised.
+  const std::size_t shapes[][3] = {{1, 1, 1},   {3, 5, 4},    {64, 64, 64},
+                                   {65, 64, 3}, {70, 130, 9}, {128, 65, 66}};
+  for (const auto& s : shapes) {
+    Matrix a(s[0], s[1]);
+    Matrix b(s[1], s[2]);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a.data()[i] = static_cast<double>((i * 37 % 23)) / 7.0 - 1.5;
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b.data()[i] = static_cast<double>((i * 61 % 19)) / 5.0 - 2.0;
+    }
+    // Reference: the unblocked i-k-j accumulation.
+    Matrix expect(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+          expect(i, j) += a(i, k) * b(k, j);
+        }
+      }
+    }
+    Matrix c;
+    Matrix::multiply_into(a, b, c);
+    ASSERT_EQ(c.rows(), expect.rows());
+    ASSERT_EQ(c.cols(), expect.cols());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_EQ(c.data()[i], expect.data()[i]) << "shape " << s[0] << "x" << s[1] << "x" << s[2];
+    }
+    const Matrix via_multiply = Matrix::multiply(a, b);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_EQ(c.data()[i], via_multiply.data()[i]);
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyIntoReusesOutputAllocation) {
+  Matrix a(16, 16, 1.0);
+  Matrix b(16, 16, 2.0);
+  Matrix c(32, 32);  // larger than the product: capacity must be reused
+  const double* before = c.data().data();
+  Matrix::multiply_into(a, b, c);
+  EXPECT_EQ(c.rows(), 16u);
+  EXPECT_EQ(c.cols(), 16u);
+  EXPECT_EQ(c.data().data(), before);
+  EXPECT_DOUBLE_EQ(c(3, 7), 32.0);
 }
 
 TEST(MatrixTest, FillOverwrites) {

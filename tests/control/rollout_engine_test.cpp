@@ -146,6 +146,12 @@ class ParallelRolloutTest : public ::testing::Test {
         RolloutEngineConfig{/*threads=*/4, /*min_parallel_batch=*/1});
     return engine;
   }
+
+  /// Engines for the VERI_HVAC_THREADS=1/4/8 identity sweeps.
+  static std::shared_ptr<const RolloutEngine> engine_with_threads(std::size_t threads) {
+    return std::make_shared<const RolloutEngine>(
+        RolloutEngineConfig{threads, /*min_parallel_batch=*/1});
+  }
 };
 
 TEST_F(ParallelRolloutTest, ScratchPredictMatchesMemberScratchPredict) {
@@ -185,6 +191,92 @@ TEST_F(ParallelRolloutTest, BatchReturnsMatchSerialReturns) {
   }
 }
 
+TEST_F(ParallelRolloutTest, BatchedSliceBitIdenticalToScalarRolloutForAnySlicing) {
+  // The lock-step kernel's per-candidate arithmetic must be independent of
+  // how the batch is sliced into sub-batches — that is what makes the
+  // sharded path thread-count invariant.
+  const ActionSpace actions;
+  RandomShooting rs(RandomShootingConfig{1, 5, 0.97}, actions, env::RewardConfig{});
+  const env::Observation obs = cold_occupied();
+  const auto forecast = persistence_forecast(obs, 5);
+
+  Rng rng(31);
+  std::vector<std::vector<std::size_t>> sequences(23, std::vector<std::size_t>(5));
+  for (auto& seq : sequences) {
+    for (auto& a : seq) a = rng.index(actions.size());
+  }
+
+  std::vector<double> scalar(sequences.size());
+  for (std::size_t s = 0; s < sequences.size(); ++s) {
+    scalar[s] = rs.rollout_return(model(), obs, forecast, sequences[s]);
+  }
+
+  for (std::size_t slice : {1u, 4u, 7u, 23u}) {
+    std::vector<double> batched(sequences.size(), -1.0);
+    RolloutScratch scratch;
+    for (std::size_t begin = 0; begin < sequences.size(); begin += slice) {
+      const std::size_t end = std::min(begin + slice, sequences.size());
+      rs.rollout_returns_slice(model(), obs, forecast, sequences, begin, end, batched, scratch);
+    }
+    for (std::size_t s = 0; s < sequences.size(); ++s) {
+      EXPECT_EQ(batched[s], scalar[s]) << "slice " << slice << " sequence " << s;
+    }
+  }
+}
+
+TEST_F(ParallelRolloutTest, BatchedReturnsHandleRaggedSequences) {
+  // Mixed-length candidate sets: shorter candidates must stop accumulating
+  // reward at their own horizon while longer ones keep going.
+  const ActionSpace actions;
+  RandomShooting rs(RandomShootingConfig{1, 8, 0.99}, actions, env::RewardConfig{});
+  const env::Observation obs = cold_occupied();
+  const auto forecast = persistence_forecast(obs, 8);
+
+  Rng rng(37);
+  std::vector<std::vector<std::size_t>> sequences;
+  for (std::size_t len : {8u, 1u, 5u, 0u, 8u, 3u}) {
+    std::vector<std::size_t> seq(len);
+    for (auto& a : seq) a = rng.index(actions.size());
+    sequences.push_back(seq);
+  }
+
+  std::vector<double> batched;
+  rs.rollout_returns(model(), obs, forecast, sequences, batched);
+  ASSERT_EQ(batched.size(), sequences.size());
+  for (std::size_t s = 0; s < sequences.size(); ++s) {
+    EXPECT_EQ(batched[s], rs.rollout_return(model(), obs, forecast, sequences[s]))
+        << "sequence " << s << " (length " << sequences[s].size() << ")";
+  }
+  EXPECT_EQ(batched[3], 0.0);  // empty sequence scores zero
+}
+
+TEST_F(ParallelRolloutTest, ReturnsBitIdenticalAcrossOneFourEightThreads) {
+  const ActionSpace actions;
+  RandomShooting rs(RandomShootingConfig{1, 6, 0.99}, actions, env::RewardConfig{});
+  const env::Observation obs = cold_occupied();
+  const auto forecast = persistence_forecast(obs, 6);
+
+  Rng rng(41);
+  std::vector<std::vector<std::size_t>> sequences(60, std::vector<std::size_t>(6));
+  for (auto& seq : sequences) {
+    for (auto& a : seq) a = rng.index(actions.size());
+  }
+
+  std::vector<double> scalar(sequences.size());
+  for (std::size_t s = 0; s < sequences.size(); ++s) {
+    scalar[s] = rs.rollout_return(model(), obs, forecast, sequences[s]);
+  }
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    RandomShooting batched_rs(RandomShootingConfig{1, 6, 0.99}, actions, env::RewardConfig{});
+    batched_rs.set_engine(engine_with_threads(threads));
+    std::vector<double> batched;
+    batched_rs.rollout_returns(model(), obs, forecast, sequences, batched);
+    for (std::size_t s = 0; s < sequences.size(); ++s) {
+      EXPECT_EQ(batched[s], scalar[s]) << threads << " threads, sequence " << s;
+    }
+  }
+}
+
 TEST_F(ParallelRolloutTest, RandomShootingDecisionIdenticalAcrossThreadCounts) {
   const ActionSpace actions;
   RandomShootingConfig cfg;
@@ -195,15 +287,16 @@ TEST_F(ParallelRolloutTest, RandomShootingDecisionIdenticalAcrossThreadCounts) {
   const auto forecast = persistence_forecast(obs, 6);
 
   RandomShooting serial(cfg, actions, env::RewardConfig{});
-  RandomShooting parallel(cfg, actions, env::RewardConfig{});
-  parallel.set_engine(four_threads());
-
-  for (std::uint64_t seed : {3u, 17u, 91u}) {
-    Rng rng_a(seed);
-    Rng rng_b(seed);
-    EXPECT_EQ(serial.optimize(model(), obs, forecast, rng_a),
-              parallel.optimize(model(), obs, forecast, rng_b))
-        << "seed " << seed;
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    RandomShooting parallel(cfg, actions, env::RewardConfig{});
+    parallel.set_engine(engine_with_threads(threads));
+    for (std::uint64_t seed : {3u, 17u, 91u}) {
+      Rng rng_a(seed);
+      Rng rng_b(seed);
+      EXPECT_EQ(serial.optimize(model(), obs, forecast, rng_a),
+                parallel.optimize(model(), obs, forecast, rng_b))
+          << threads << " threads, seed " << seed;
+    }
   }
 }
 
@@ -217,13 +310,15 @@ TEST_F(ParallelRolloutTest, CemDecisionIdenticalAcrossThreadCounts) {
   const auto forecast = persistence_forecast(obs, 4);
 
   Cem serial(cfg, actions, env::RewardConfig{});
-  Cem parallel(cfg, actions, env::RewardConfig{});
-  parallel.set_engine(four_threads());
-
-  Rng rng_a(23);
-  Rng rng_b(23);
-  EXPECT_EQ(serial.optimize(model(), obs, forecast, rng_a),
-            parallel.optimize(model(), obs, forecast, rng_b));
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    Cem parallel(cfg, actions, env::RewardConfig{});
+    parallel.set_engine(engine_with_threads(threads));
+    Rng rng_a(23);
+    Rng rng_b(23);
+    EXPECT_EQ(serial.optimize(model(), obs, forecast, rng_a),
+              parallel.optimize(model(), obs, forecast, rng_b))
+        << threads << " threads";
+  }
 }
 
 TEST_F(ParallelRolloutTest, MppiDecisionIdenticalAcrossThreadCounts) {
@@ -236,13 +331,15 @@ TEST_F(ParallelRolloutTest, MppiDecisionIdenticalAcrossThreadCounts) {
   const auto forecast = persistence_forecast(obs, 4);
 
   Mppi serial(cfg, actions, env::RewardConfig{});
-  Mppi parallel(cfg, actions, env::RewardConfig{});
-  parallel.set_engine(four_threads());
-
-  Rng rng_a(29);
-  Rng rng_b(29);
-  EXPECT_EQ(serial.optimize(model(), obs, forecast, rng_a),
-            parallel.optimize(model(), obs, forecast, rng_b));
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    Mppi parallel(cfg, actions, env::RewardConfig{});
+    parallel.set_engine(engine_with_threads(threads));
+    Rng rng_a(29);
+    Rng rng_b(29);
+    EXPECT_EQ(serial.optimize(model(), obs, forecast, rng_a),
+              parallel.optimize(model(), obs, forecast, rng_b))
+        << threads << " threads";
+  }
 }
 
 }  // namespace

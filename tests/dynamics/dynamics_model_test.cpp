@@ -108,6 +108,54 @@ TEST(DynamicsModelTest, PredictBatchMatchesScalar) {
   }
 }
 
+TEST(DynamicsModelTest, PredictBatchIntoBitIdenticalToScalarPredict) {
+  const TransitionDataset data = toy_dataset(500, 9);
+  DynamicsModel model(fast_config());
+  model.train(data);
+  const Matrix inputs = data.inputs();
+
+  BatchScratch batch_scratch;
+  std::vector<double> batched;
+  model.predict_batch_into(inputs, batched, batch_scratch);
+  ASSERT_EQ(batched.size(), inputs.rows());
+
+  PredictScratch scalar_scratch;
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    const std::vector<double> row = inputs.row(r);
+    const std::vector<double> x(row.begin(), row.begin() + env::kInputDims);
+    const sim::SetpointPair action{row[kHeatSpIndex], row[kCoolSpIndex]};
+    // EXPECT_EQ: the batched fused path must match the scalar hot path to
+    // the last bit (the rollout-engine determinism contract).
+    EXPECT_EQ(batched[r], model.predict(x, action, scalar_scratch)) << "row " << r;
+  }
+}
+
+TEST(DynamicsModelTest, PredictBatchIntoUntrainedThrows) {
+  DynamicsModel model;
+  BatchScratch scratch;
+  std::vector<double> out;
+  EXPECT_THROW(model.predict_batch_into(Matrix(2, kModelInputDims), out, scratch),
+               std::logic_error);
+}
+
+TEST(DynamicsModelTest, PredictBatchIntoScratchReuseAcrossBatchSizes) {
+  const TransitionDataset data = toy_dataset(300, 10);
+  DynamicsModel model(fast_config());
+  model.train(data);
+  const Matrix inputs = data.inputs();
+
+  BatchScratch scratch;
+  std::vector<double> full;
+  model.predict_batch_into(inputs, full, scratch);
+
+  // Re-run a prefix with the (now larger-capacity) scratch: same bits.
+  Matrix prefix(7, kModelInputDims);
+  for (std::size_t r = 0; r < prefix.rows(); ++r) prefix.set_row(r, inputs.row(r));
+  std::vector<double> small;
+  model.predict_batch_into(prefix, small, scratch);
+  for (std::size_t r = 0; r < prefix.rows(); ++r) EXPECT_EQ(small[r], full[r]);
+}
+
 TEST(DynamicsModelTest, TrainingReportShowsConvergence) {
   const TransitionDataset data = toy_dataset(1000, 7);
   DynamicsModel model(fast_config());

@@ -92,5 +92,34 @@ TEST(EnsembleTest, SingleMemberHasZeroSpread) {
   EXPECT_DOUBLE_EQ(p.stddev, 0.0);
 }
 
+TEST(EnsembleTest, PredictBatchIntoBitIdenticalToScalarPredict) {
+  EnsembleDynamics ens(fast_ensemble(3));
+  const TransitionDataset data = linear_dataset(250, 5);
+  ens.train(data);
+  const Matrix inputs = data.inputs();
+
+  BatchScratch scratch;
+  std::vector<EnsemblePrediction> batched;
+  ens.predict_batch_into(inputs, batched, scratch);
+  ASSERT_EQ(batched.size(), inputs.rows());
+
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    const std::vector<double> row = inputs.row(r);
+    const std::vector<double> x(row.begin(), row.begin() + env::kInputDims);
+    const sim::SetpointPair action{row[kHeatSpIndex], row[kCoolSpIndex]};
+    const EnsemblePrediction scalar = ens.predict(x, action);
+    EXPECT_EQ(batched[r].mean, scalar.mean) << "row " << r;
+    EXPECT_EQ(batched[r].stddev, scalar.stddev) << "row " << r;
+  }
+}
+
+TEST(EnsembleTest, PredictBatchIntoUntrainedThrows) {
+  EnsembleDynamics ens(fast_ensemble(2));
+  BatchScratch scratch;
+  std::vector<EnsemblePrediction> out;
+  EXPECT_THROW(ens.predict_batch_into(Matrix(1, kModelInputDims), out, scratch),
+               std::logic_error);
+}
+
 }  // namespace
 }  // namespace verihvac::dyn

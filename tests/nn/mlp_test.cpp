@@ -72,6 +72,77 @@ TEST(MlpTest, PredictIsRepeatableWithReusedScratch) {
   EXPECT_DOUBLE_EQ(out2[0], first);
 }
 
+TEST(MlpTest, ForwardIntoBitIdenticalToScalarPredict) {
+  // The lock-step rollout engine's core contract: batched inference must
+  // reproduce the scalar predict hot path to the last bit, for every row
+  // position in the row-blocked thin-layer kernel (kRows = 8 in
+  // Linear::forward_into, so sizes below/at/above 8 cover the remainder
+  // rows) and the register-tiled wide-layer kernel.
+  Mlp net({8, 32, 32, 1});
+  Rng rng(21);
+  net.init(rng);
+
+  for (std::size_t batch_size : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 33u}) {
+    Matrix batch(batch_size, 8);
+    Rng data_rng(100 + batch_size);
+    for (double& v : batch.data()) v = data_rng.uniform(-3.0, 3.0);
+
+    BatchScratch scratch;
+    Matrix out;
+    net.forward_into(batch, out, scratch);
+    ASSERT_EQ(out.rows(), batch_size);
+    ASSERT_EQ(out.cols(), 1u);
+
+    std::vector<double> scalar_out;
+    std::vector<double> scalar_scratch;
+    for (std::size_t r = 0; r < batch_size; ++r) {
+      net.predict(batch.row(r), scalar_out, scalar_scratch);
+      // EXPECT_EQ, not EXPECT_DOUBLE_EQ: exact equality, no ULP slack.
+      EXPECT_EQ(out(r, 0), scalar_out[0]) << "batch " << batch_size << " row " << r;
+    }
+  }
+}
+
+TEST(MlpTest, ForwardIntoMatchesTrainingForward) {
+  Mlp net({6, 16, 16, 2});
+  Rng rng(23);
+  net.init(rng);
+  Matrix batch(9, 6);
+  for (double& v : batch.data()) v = rng.uniform(-2.0, 2.0);
+
+  const Matrix train_path = net.forward(batch);
+  BatchScratch scratch;
+  Matrix out;
+  net.forward_into(batch, out, scratch);
+  ASSERT_EQ(out.rows(), train_path.rows());
+  ASSERT_EQ(out.cols(), train_path.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.data()[i], train_path.data()[i], 1e-12);
+  }
+}
+
+TEST(MlpTest, ForwardIntoReusedScratchIsDeterministic) {
+  Mlp net({4, 8, 1});
+  Rng rng(29);
+  net.init(rng);
+  Matrix big(40, 4);
+  for (double& v : big.data()) v = rng.uniform(-1.0, 1.0);
+  Matrix small(3, 4);
+  for (double& v : small.data()) v = rng.uniform(-1.0, 1.0);
+
+  BatchScratch scratch;
+  Matrix out_big1;
+  Matrix out_small;
+  Matrix out_big2;
+  net.forward_into(big, out_big1, scratch);
+  net.forward_into(small, out_small, scratch);  // shrink: buffers reused
+  net.forward_into(big, out_big2, scratch);     // grow back
+  ASSERT_EQ(out_big2.rows(), out_big1.rows());
+  for (std::size_t i = 0; i < out_big1.size(); ++i) {
+    EXPECT_EQ(out_big1.data()[i], out_big2.data()[i]);
+  }
+}
+
 TEST(MlpTest, BackwardGradientNumerically) {
   // Full-network gradient check on a tiny MLP with L = sum(outputs).
   Mlp net({2, 4, 1});
