@@ -55,17 +55,10 @@ double RandomShooting::rollout_return(const dyn::DynamicsModel& model,
   return total;
 }
 
-namespace {
-
-/// Persistent per-thread scratch: pool workers live for the process, so
-/// every worker's candidate-state matrix and activation buffers warm up
-/// once and are reused by every subsequent decision.
-RolloutScratch& worker_scratch() {
+RolloutScratch& worker_rollout_scratch() {
   static thread_local RolloutScratch scratch;
   return scratch;
 }
-
-}  // namespace
 
 void RandomShooting::rollout_returns_slice(const dyn::DynamicsModel& model,
                                            const env::Observation& obs,
@@ -137,7 +130,7 @@ void RandomShooting::rollout_returns(const dyn::DynamicsModel& model,
   returns.resize(sequences.size());
   if (engine_ == nullptr || engine_->thread_count() <= 1) {
     rollout_returns_slice(model, obs, forecast, sequences, 0, sequences.size(), returns,
-                          worker_scratch());
+                          worker_rollout_scratch());
     return;
   }
   // The pool shards the batch into contiguous per-worker sub-batches; each
@@ -148,8 +141,21 @@ void RandomShooting::rollout_returns(const dyn::DynamicsModel& model,
   engine_->parallel_for(sequences.size(),
                         [&](std::size_t, std::size_t begin, std::size_t end) {
                           rollout_returns_slice(model, obs, forecast, sequences, begin, end,
-                                                returns, worker_scratch());
+                                                returns, worker_rollout_scratch());
                         });
+}
+
+std::vector<std::vector<std::size_t>> RandomShooting::draw_sequences(Rng& rng) const {
+  std::vector<std::vector<std::size_t>> sequences(config_.samples);
+  for (auto& sequence : sequences) {
+    sequence.resize(config_.horizon);
+    if (rng.bernoulli(config_.persistent_fraction)) {
+      sequence.assign(config_.horizon, rng.index(actions_.size()));
+    } else {
+      for (auto& a : sequence) a = rng.index(actions_.size());
+    }
+  }
+  return sequences;
 }
 
 std::size_t RandomShooting::optimize(const dyn::DynamicsModel& model,
@@ -162,15 +168,7 @@ std::size_t RandomShooting::optimize(const dyn::DynamicsModel& model,
   // Draw every candidate first (the RNG stream is identical to the historical
   // draw-then-score loop, since scoring consumes no randomness), then score
   // the whole batch through the engine.
-  std::vector<std::vector<std::size_t>> sequences(config_.samples);
-  for (auto& sequence : sequences) {
-    sequence.resize(config_.horizon);
-    if (rng.bernoulli(config_.persistent_fraction)) {
-      sequence.assign(config_.horizon, rng.index(actions_.size()));
-    } else {
-      for (auto& a : sequence) a = rng.index(actions_.size());
-    }
-  }
+  const std::vector<std::vector<std::size_t>> sequences = draw_sequences(rng);
   std::vector<double> returns;
   rollout_returns(model, obs, forecast, sequences, returns);
 

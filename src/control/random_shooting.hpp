@@ -38,6 +38,13 @@ struct RolloutScratch {
   dyn::BatchScratch batch;
 };
 
+/// The calling thread's persistent RolloutScratch (static thread_local):
+/// pool workers live for the process, so each worker's candidate matrix
+/// and activation buffers warm up once and serve every subsequent batch.
+/// Shared with the serving scheduler so a worker that runs both the
+/// optimizer path and cross-session serving keeps ONE scratch, not two.
+RolloutScratch& worker_rollout_scratch();
+
 struct RandomShootingConfig {
   std::size_t samples = 1000;  ///< candidate sequences per decision
   std::size_t horizon = 20;    ///< planning steps (20 x 15 min = 5 h)
@@ -71,6 +78,15 @@ class RandomShooting {
   /// (entry k = disturbances at step t+k).
   std::size_t optimize(const dyn::DynamicsModel& model, const env::Observation& obs,
                        const std::vector<env::Disturbance>& forecast, Rng& rng) const;
+
+  /// Draws the candidate sequences of one optimize() call (samples x
+  /// horizon; the configured persistent fraction held constant). Scoring
+  /// consumes no randomness, so this is the *entire* stochastic footprint
+  /// of a decision. Exposed for the serving scheduler, which replays a
+  /// decision's exact candidate set from its per-request RNG stream and
+  /// then scores cross-session micro-batches — optimize() itself draws
+  /// through this same code path, keeping the two bit-identical.
+  std::vector<std::vector<std::size_t>> draw_sequences(Rng& rng) const;
 
   /// Scores a fixed action sequence (exposed for tests and MPPI reuse).
   double rollout_return(const dyn::DynamicsModel& model, const env::Observation& obs,

@@ -1,0 +1,138 @@
+// Fleet harness — drives N buildings x climates x presets through the
+// serving stack and aggregates comfort/energy/latency.
+//
+// Each (climate x preset) cell gets its own verified bundle + dynamics
+// model (from an injectable asset provider, same pattern as the
+// certification campaign); each building in the cell gets its own
+// BuildingEnv (per-building weather seed), its own session, and a traffic
+// class: the leading mbrl_fraction of every cell runs on the MBRL
+// fallback, the rest on the DT fast path. Every control step the harness
+// serves the whole fleet — DT decisions inline, MBRL decisions submitted
+// together so the scheduler's micro-batching window coalesces them into
+// cross-session batches — applies the returned setpoints to the plants,
+// and meters energy, comfort violations and per-request serving latency.
+//
+// Decisions (hence plant trajectories, energy and violations) are
+// deterministic for a fixed config: bit-identical across thread counts and
+// across async-vs-inline serving, by the scheduler's determinism contract.
+// Only the latency numbers vary run to run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/request_scheduler.hpp"
+
+namespace verihvac::serve {
+
+struct FleetPreset {
+  std::string name = "baseline";
+  double hvac_scale = 1.0;  ///< env::EnvConfig::hvac_capacity_scale
+};
+
+/// The per-cell serving assets: a verified bundle for the fast path and
+/// the dynamics model backing the MBRL fallback.
+struct FleetAssets {
+  std::shared_ptr<const core::DtPolicy> policy;
+  std::shared_ptr<const dyn::DynamicsModel> model;
+};
+
+/// Called once per (climate x preset) cell, serially, in grid order.
+using FleetAssetProvider = std::function<FleetAssets(const std::string& climate,
+                                                     const FleetPreset& preset)>;
+
+struct FleetConfig {
+  std::vector<std::string> climates{"Pittsburgh"};
+  std::vector<FleetPreset> presets{{"baseline", 1.0}};
+  std::size_t buildings_per_cell = 4;
+  /// Leading fraction of each cell's buildings served by the MBRL
+  /// fallback; the rest take the DT fast path.
+  double mbrl_fraction = 0.25;
+  /// Control steps per building (clamped to the episode length).
+  std::size_t steps = 16;
+  int days = 2;  ///< episode length backing the envs
+  std::uint64_t seed = 2024;
+  /// Fallback optimizer scale (serving-sized, not paper-sized).
+  control::RandomShootingConfig rs{64, 5, 0.99};
+  SchedulerConfig scheduler;
+  /// true: MBRL requests go through the queue + scheduler thread (futures,
+  /// micro-batching). false: each is solved inline at submit — the
+  /// per-session reference; decisions are identical either way.
+  bool async = true;
+};
+
+struct LatencyStats {
+  std::size_t count = 0;
+  /// Wall-clock spent serving this class. summarize_latencies() fills it
+  /// with the latency sum (exact for sequential, non-overlapping calls);
+  /// callers whose requests overlap — the async MBRL cohort — overwrite
+  /// it with the measured serving window so overlapping time counts once
+  /// and decisions_per_sec() stays honest.
+  double serve_seconds = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+
+  double decisions_per_sec() const {
+    return serve_seconds > 0.0 ? static_cast<double>(count) / serve_seconds : 0.0;
+  }
+};
+
+/// Sorts `seconds` in place and returns its percentile summary.
+LatencyStats summarize_latencies(std::vector<double>& seconds);
+
+struct FleetReport {
+  std::size_t buildings = 0;
+  std::size_t steps = 0;
+  std::size_t dt_decisions = 0;
+  std::size_t mbrl_decisions = 0;
+  LatencyStats dt_latency;
+  LatencyStats mbrl_latency;
+  double energy_kwh = 0.0;
+  std::size_t occupied_steps = 0;
+  std::size_t occupied_violations = 0;
+  double wall_seconds = 0.0;
+  RequestScheduler::Stats scheduler_stats;
+
+  double violation_rate() const {
+    return occupied_steps == 0
+               ? 0.0
+               : static_cast<double>(occupied_violations) / static_cast<double>(occupied_steps);
+  }
+
+  /// Human-readable block for CLI/bench output.
+  std::string summary() const;
+  /// One JSON object (no trailing newline) for BENCH_serve.json rows.
+  std::string to_json() const;
+};
+
+class FleetHarness {
+ public:
+  /// `pool` defaults to the shared VERI_HVAC_THREADS pool.
+  FleetHarness(FleetConfig config, FleetAssetProvider assets,
+               std::shared_ptr<const common::TaskPool> pool = nullptr);
+
+  /// Builds the fleet (bundles installed, sessions opened) and drives it
+  /// for config.steps. One fleet pass per harness instance: session
+  /// decision counters advance, so call sites wanting a fresh replay
+  /// construct a fresh harness.
+  FleetReport run();
+
+  const PolicyRegistry& registry() const { return *registry_; }
+  const SessionManager& sessions() const { return *sessions_; }
+  RequestScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  FleetConfig config_;
+  FleetAssetProvider assets_;
+  std::shared_ptr<PolicyRegistry> registry_;
+  std::shared_ptr<SessionManager> sessions_;
+  std::unique_ptr<RequestScheduler> scheduler_;
+};
+
+}  // namespace verihvac::serve

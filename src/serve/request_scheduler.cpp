@@ -1,0 +1,311 @@
+#include "serve/request_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace verihvac::serve {
+
+namespace {
+
+void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t observed = target.load(std::memory_order_relaxed);
+  while (observed < value &&
+         !target.compare_exchange_weak(observed, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+RequestScheduler::RequestScheduler(SchedulerConfig config,
+                                   std::shared_ptr<const PolicyRegistry> registry,
+                                   std::shared_ptr<SessionManager> sessions,
+                                   control::RandomShootingConfig rs_config,
+                                   control::ActionSpace actions, env::RewardConfig reward,
+                                   std::shared_ptr<const common::TaskPool> pool)
+    : config_(config),
+      registry_(std::move(registry)),
+      sessions_(std::move(sessions)),
+      actions_(std::move(actions)),
+      rs_(rs_config, actions_, reward),
+      pool_(pool != nullptr ? std::move(pool) : common::TaskPool::shared()),
+      queue_(config.queue_capacity) {
+  if (registry_ == nullptr || sessions_ == nullptr) {
+    throw std::invalid_argument("RequestScheduler: registry and sessions must be non-null");
+  }
+}
+
+RequestScheduler::~RequestScheduler() { stop(); }
+
+void RequestScheduler::install_model(const std::string& key,
+                                     std::shared_ptr<const dyn::DynamicsModel> model) {
+  std::unique_lock<std::shared_mutex> lock(models_mutex_);
+  models_[key] = std::move(model);
+}
+
+void RequestScheduler::set_default_model(std::shared_ptr<const dyn::DynamicsModel> model) {
+  std::unique_lock<std::shared_mutex> lock(models_mutex_);
+  default_model_ = std::move(model);
+}
+
+std::shared_ptr<const dyn::DynamicsModel> RequestScheduler::model_for(
+    const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(models_mutex_);
+  const auto it = models_.find(key);
+  return it != models_.end() ? it->second : default_model_;
+}
+
+void RequestScheduler::start() {
+  if (running()) return;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void RequestScheduler::stop() {
+  if (!worker_.joinable()) return;  // never started: the queue was never used
+  queue_.close();
+  worker_.join();
+  // The worker drains the queue before exiting; fail anything that could
+  // still be stranded (its admission already consumed a stream index, so a
+  // silent drop would hang the caller's future), then reopen so a later
+  // start() serves again.
+  Pending leftover;
+  while (queue_.try_pop(leftover)) {
+    leftover.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("RequestScheduler: stopped before request was served")));
+  }
+  queue_.reopen();
+}
+
+ControlDecision RequestScheduler::serve_dt(const ControlRequest& request) {
+  const DecisionTicket ticket =
+      sessions_->begin_decision(request.session, RequestKind::kDtPolicy, request.observation);
+  const PolicySnapshot snapshot = registry_->lookup(ticket.policy_key);
+  const std::size_t index = snapshot.policy->decide_index(request.observation.to_vector());
+  dt_served_.fetch_add(1, std::memory_order_relaxed);
+
+  ControlDecision decision;
+  decision.action_index = index;
+  decision.action = snapshot.policy->actions().action(index);
+  decision.kind = RequestKind::kDtPolicy;
+  decision.policy_version = snapshot.version;
+  return decision;
+}
+
+ControlDecision RequestScheduler::serve(const ControlRequest& request) {
+  if (request.kind == RequestKind::kDtPolicy) return serve_dt(request);
+  return submit(request).get();
+}
+
+std::future<ControlDecision> RequestScheduler::submit(ControlRequest request) {
+  if (request.kind == RequestKind::kDtPolicy) {
+    std::promise<ControlDecision> promise;
+    std::future<ControlDecision> future = promise.get_future();
+    try {
+      promise.set_value(serve_dt(request));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+    return future;
+  }
+
+  Pending pending;
+  // Admission order fixes the RNG stream: session counters advance in
+  // submit order, so a decision's draws are pinned before any batching.
+  pending.ticket =
+      sessions_->begin_decision(request.session, request.kind, request.observation);
+  pending.request = std::move(request);
+  std::future<ControlDecision> future = pending.promise.get_future();
+
+  if (!running()) {
+    // No scheduler thread: solve inline as a batch of one (the per-session
+    // reference path; bit-identical to the batched path by construction).
+    std::vector<Pending> batch;
+    batch.push_back(std::move(pending));
+    solve_batch(batch);
+    return future;
+  }
+  if (!queue_.push(std::move(pending))) {
+    throw std::runtime_error("RequestScheduler: queue closed during shutdown");
+  }
+  return future;
+}
+
+std::vector<ControlDecision> RequestScheduler::serve_batch(
+    const std::vector<ControlRequest>& requests) {
+  std::vector<ControlDecision> decisions(requests.size());
+  std::vector<Pending> batch;
+  std::vector<std::future<ControlDecision>> futures(requests.size());
+  std::vector<bool> pending_slot(requests.size(), false);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ControlRequest& request = requests[i];
+    if (request.kind == RequestKind::kDtPolicy) {
+      decisions[i] = serve_dt(request);
+      continue;
+    }
+    Pending pending;
+    pending.ticket =
+        sessions_->begin_decision(request.session, request.kind, request.observation);
+    pending.request = request;
+    futures[i] = pending.promise.get_future();
+    pending_slot[i] = true;
+    batch.push_back(std::move(pending));
+  }
+  if (!batch.empty()) solve_batch(batch);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (pending_slot[i]) decisions[i] = futures[i].get();
+  }
+  return decisions;
+}
+
+void RequestScheduler::worker_loop() {
+  Pending first;
+  while (queue_.pop(first)) {
+    std::vector<Pending> batch;
+    batch.push_back(std::move(first));
+    if (config_.micro_batching && config_.max_batch > 1) {
+      // Hold the batch open for stragglers: everything that lands within
+      // the window (up to max_batch) rides the same cross-session solve.
+      const auto deadline = std::chrono::steady_clock::now() + config_.batch_window;
+      Pending next;
+      while (batch.size() < config_.max_batch && queue_.pop_until(next, deadline)) {
+        batch.push_back(std::move(next));
+      }
+    }
+    solve_batch(batch);
+  }
+}
+
+void RequestScheduler::solve_batch(std::vector<Pending>& batch) {
+  struct Job {
+    Pending* pending = nullptr;
+    std::shared_ptr<const dyn::DynamicsModel> model;
+    std::vector<std::vector<std::size_t>> sequences;
+    std::vector<double> returns;
+    std::size_t offset = 0;  ///< start in the flattened candidate space
+  };
+
+  const std::size_t horizon = rs_.config().horizon;
+  std::vector<Job> jobs;
+  jobs.reserve(batch.size());
+  for (Pending& pending : batch) {
+    try {
+      std::shared_ptr<const dyn::DynamicsModel> model = model_for(pending.ticket.policy_key);
+      if (model == nullptr) {
+        throw std::runtime_error("RequestScheduler: no dynamics model installed for key '" +
+                                 pending.ticket.policy_key + "'");
+      }
+      if (pending.request.forecast.size() < horizon) {
+        throw std::invalid_argument(
+            "RequestScheduler: MBRL request forecast shorter than the optimizer horizon");
+      }
+      // The decision's entire stochastic footprint: candidate draws from
+      // the per-request counter-based stream fixed at admission.
+      Rng rng = Rng::stream(pending.ticket.seed, pending.ticket.stream);
+      Job job;
+      job.pending = &pending;
+      job.model = std::move(model);
+      job.sequences = rs_.draw_sequences(rng);
+      job.returns.assign(job.sequences.size(), 0.0);
+      jobs.push_back(std::move(job));
+    } catch (...) {
+      pending.promise.set_exception(std::current_exception());
+    }
+  }
+
+  // Cross-session scoring: the union of every job's candidates forms one
+  // flattened index space; a worker's contiguous slice may span request
+  // boundaries, and each (job, sub-range) overlap advances in lock-step
+  // through the batched predict kernels. Slicing cannot change any
+  // candidate's arithmetic, so decisions are independent of batching.
+  const auto score = [this](std::vector<Job>& scored) {
+    std::size_t total = 0;
+    for (Job& job : scored) {
+      job.offset = total;
+      total += job.sequences.size();
+    }
+    if (total == 0) return;
+    pool_->parallel_for(total, [this, &scored](std::size_t, std::size_t begin, std::size_t end) {
+      std::size_t j = 0;
+      while (j < scored.size() && scored[j].offset + scored[j].sequences.size() <= begin) ++j;
+      for (; j < scored.size() && scored[j].offset < end; ++j) {
+        Job& job = scored[j];
+        const std::size_t lo = std::max(begin, job.offset) - job.offset;
+        const std::size_t hi = std::min(end, job.offset + job.sequences.size()) - job.offset;
+        if (lo >= hi) continue;
+        rs_.rollout_returns_slice(*job.model, job.pending->request.observation,
+                                  job.pending->request.forecast, job.sequences, lo, hi,
+                                  job.returns, control::worker_rollout_scratch());
+      }
+    });
+  };
+  score(jobs);
+
+  // Winner selection per request — serial scans, exactly the argmax (and
+  // optional first-action refinement sweep) of RandomShooting::optimize.
+  std::vector<double> best_returns(jobs.size(), -std::numeric_limits<double>::infinity());
+  std::vector<std::vector<std::size_t>> best_sequences(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    std::size_t best = 0;
+    for (std::size_t s = 0; s < jobs[j].returns.size(); ++s) {
+      if (jobs[j].returns[s] > best_returns[j]) {
+        best_returns[j] = jobs[j].returns[s];
+        best = s;
+      }
+    }
+    best_sequences[j] = jobs[j].sequences[best];
+  }
+
+  if (rs_.config().refine_first_action && !jobs.empty()) {
+    std::vector<Job> refine(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      refine[j].pending = jobs[j].pending;
+      refine[j].model = jobs[j].model;
+      refine[j].sequences.assign(actions_.size(), best_sequences[j]);
+      for (std::size_t a = 0; a < actions_.size(); ++a) refine[j].sequences[a].front() = a;
+      refine[j].returns.assign(actions_.size(), 0.0);
+    }
+    score(refine);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      for (std::size_t a = 0; a < actions_.size(); ++a) {
+        if (refine[j].returns[a] > best_returns[j]) {
+          best_returns[j] = refine[j].returns[a];
+          best_sequences[j].front() = a;
+        }
+      }
+    }
+  }
+
+  // Counters first, promises second: set_value releases the waiter, and a
+  // caller reading stats() right after future.get() must already see this
+  // batch counted (the promise's internal synchronization publishes the
+  // relaxed stores sequenced before it).
+  mbrl_served_.fetch_add(jobs.size(), std::memory_order_relaxed);
+  if (!jobs.empty()) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    if (jobs.size() > 1) batched_requests_.fetch_add(jobs.size(), std::memory_order_relaxed);
+    atomic_max(max_batch_, jobs.size());
+  }
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    ControlDecision decision;
+    decision.action_index = best_sequences[j].front();
+    decision.action = actions_.action(decision.action_index);
+    decision.kind = RequestKind::kMbrlFallback;
+    decision.policy_version = 0;
+    jobs[j].pending->promise.set_value(decision);
+  }
+}
+
+RequestScheduler::Stats RequestScheduler::stats() const {
+  Stats stats;
+  stats.dt_served = dt_served_.load(std::memory_order_relaxed);
+  stats.mbrl_served = mbrl_served_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  stats.max_batch = max_batch_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace verihvac::serve

@@ -1,0 +1,155 @@
+// Micro-batching control-request scheduler — the serving hot path.
+//
+// Two traffic classes, two paths:
+//
+//   * DT fast path. A verified bundle decision is one registry lookup
+//     (shared-lock pointer copy) plus one root-to-leaf tree walk — the
+//     1127x Table-3 artifact. serve()/submit() answer these inline on the
+//     caller's thread, sub-microsecond, never touching the queue.
+//
+//   * MBRL fallback. A random-shooting decision costs samples x horizon
+//     model evaluations. Requests enter a bounded MPSC queue; the
+//     scheduler thread coalesces everything that arrives within a
+//     micro-batching window (up to max_batch) and scores the union as ONE
+//     cross-session batch: all candidates of all coalesced requests form a
+//     single flattened index space fanned out over the shared
+//     common::TaskPool, each worker advancing its contiguous slice in
+//     lock-step through dyn::DynamicsModel::predict_batch_into (the PR 3
+//     kernels) with persistent thread-local scratch. A worker slice can
+//     span request boundaries, so load balances across sessions.
+//
+// Determinism contract: a decision depends only on (session seed, decision
+// index, observation, forecast, bundle/model). Candidate draws happen
+// serially at admission from the per-request stream Rng::stream(seed,
+// decision_index); per-candidate scoring arithmetic is independent of
+// batch composition and slicing (PR 3 invariant); the argmax is a serial
+// scan. Hence micro-batched decisions are BIT-IDENTICAL to per-session
+// scalar serving for any thread count and any batch coalescing — locked in
+// by tests/serve/request_scheduler_test.cpp at VERI_HVAC_THREADS=1/4/8.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/task_pool.hpp"
+#include "control/random_shooting.hpp"
+#include "serve/mpsc_queue.hpp"
+#include "serve/policy_registry.hpp"
+#include "serve/request.hpp"
+#include "serve/session_manager.hpp"
+
+namespace verihvac::serve {
+
+struct SchedulerConfig {
+  /// Bound of the MBRL admission queue (back-pressure, not backlog).
+  std::size_t queue_capacity = 4096;
+  /// Coalescing cap: requests per cross-session batch.
+  std::size_t max_batch = 64;
+  /// How long the scheduler thread holds a batch open for stragglers after
+  /// the first request arrives.
+  std::chrono::microseconds batch_window{300};
+  /// false = serve each queued request alone (the per-session reference;
+  /// decisions are bit-identical either way, only throughput changes).
+  bool micro_batching = true;
+};
+
+class RequestScheduler {
+ public:
+  /// `pool` defaults to the process-wide shared pool (VERI_HVAC_THREADS).
+  RequestScheduler(SchedulerConfig config, std::shared_ptr<const PolicyRegistry> registry,
+                   std::shared_ptr<SessionManager> sessions,
+                   control::RandomShootingConfig rs_config, control::ActionSpace actions,
+                   env::RewardConfig reward,
+                   std::shared_ptr<const common::TaskPool> pool = nullptr);
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Registers the dynamics model backing MBRL fallback for sessions whose
+  /// policy key is `key` (hot-swappable, same snapshot semantics as the
+  /// policy registry).
+  void install_model(const std::string& key, std::shared_ptr<const dyn::DynamicsModel> model);
+  /// Fallback model for keys without a dedicated entry.
+  void set_default_model(std::shared_ptr<const dyn::DynamicsModel> model);
+
+  /// Starts / stops the scheduler thread that drains the MBRL queue.
+  /// serve() and serve_batch() work without it (solving inline); MBRL
+  /// submit() uses the queue only while it runs. stop() is symmetric: the
+  /// queue reopens, so start() -> stop() cycles can repeat.
+  void start();
+  void stop();
+  bool running() const { return worker_.joinable(); }
+
+  /// Synchronous serving. DT: answered inline (fast path). MBRL: enqueued
+  /// and awaited when the scheduler thread runs, else solved inline as a
+  /// batch of one (the scalar reference path).
+  ControlDecision serve(const ControlRequest& request);
+
+  /// Asynchronous serving. DT requests resolve immediately (the returned
+  /// future is ready); MBRL requests resolve when their micro-batch is
+  /// solved. Blocks while the queue is full (back-pressure).
+  std::future<ControlDecision> submit(ControlRequest request);
+
+  /// Synchronous cross-session micro-batch: admits every request (in
+  /// vector order), answers DT entries inline and solves all MBRL entries
+  /// as one batch. decisions[i] corresponds to requests[i].
+  std::vector<ControlDecision> serve_batch(const std::vector<ControlRequest>& requests);
+
+  std::size_t thread_count() const { return pool_->thread_count(); }
+  const SchedulerConfig& config() const { return config_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Serving telemetry (monotonic counters).
+  struct Stats {
+    std::uint64_t dt_served = 0;
+    std::uint64_t mbrl_served = 0;
+    std::uint64_t batches = 0;         ///< cross-session batches solved
+    std::uint64_t batched_requests = 0;  ///< MBRL requests that rode a batch
+    std::uint64_t max_batch = 0;       ///< largest batch observed
+  };
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    ControlRequest request;
+    DecisionTicket ticket;
+    std::promise<ControlDecision> promise;
+  };
+
+  ControlDecision serve_dt(const ControlRequest& request);
+  std::shared_ptr<const dyn::DynamicsModel> model_for(const std::string& key) const;
+  void worker_loop();
+  /// Draws, scores and answers one coalesced batch (fulfills promises).
+  void solve_batch(std::vector<Pending>& batch);
+
+  SchedulerConfig config_;
+  std::shared_ptr<const PolicyRegistry> registry_;
+  std::shared_ptr<SessionManager> sessions_;
+  control::ActionSpace actions_;
+  control::RandomShooting rs_;
+  std::shared_ptr<const common::TaskPool> pool_;
+
+  mutable std::shared_mutex models_mutex_;
+  std::map<std::string, std::shared_ptr<const dyn::DynamicsModel>> models_;
+  std::shared_ptr<const dyn::DynamicsModel> default_model_;
+
+  BoundedMpscQueue<Pending> queue_;
+  std::thread worker_;
+
+  std::atomic<std::uint64_t> dt_served_{0};
+  std::atomic<std::uint64_t> mbrl_served_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+};
+
+}  // namespace verihvac::serve

@@ -1,0 +1,98 @@
+// Per-building session state for thousands of concurrent sessions.
+//
+// Every simulated building the service controls holds a session: which
+// policy bundle serves it, a bounded observation history, per-kind decision
+// counters, and — the determinism keystone — the session's root RNG seed.
+// Decision d of session s draws from the counter-based stream
+// Rng::stream(seed_s, d) (common/rng.hpp), so an MBRL decision depends only
+// on (session, decision index, observation, forecast): never on which
+// worker thread served it, what else shared its micro-batch, or the order
+// batches drained. That is the whole bit-identity contract of the serving
+// layer — the scalar per-session path and the cross-session micro-batched
+// path replay the exact same streams (locked in by
+// tests/serve/request_scheduler_test.cpp at VERI_HVAC_THREADS=1/4/8).
+//
+// The table is sharded: session ids hash to independent locks, so front-end
+// threads serving different buildings do not contend.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace verihvac::serve {
+
+struct SessionConfig {
+  /// PolicyRegistry key of the bundle serving this building.
+  std::string policy_key = "default";
+  /// Root seed of the session's per-decision RNG streams.
+  std::uint64_t seed = 0;
+  /// Observations retained (most recent last); 0 disables history.
+  std::size_t history_limit = 8;
+};
+
+/// Observable session state (snapshot() returns a copy).
+struct SessionState {
+  SessionId id = 0;
+  SessionConfig config;
+  std::uint64_t decisions = 0;  ///< total decisions = next stream id
+  std::uint64_t dt_decisions = 0;
+  std::uint64_t mbrl_decisions = 0;
+  std::vector<env::Observation> history;
+};
+
+/// Everything a decision needs from its session, captured atomically at
+/// admission time so serving can proceed without the session lock.
+struct DecisionTicket {
+  SessionId session = 0;
+  std::string policy_key;
+  std::uint64_t seed = 0;
+  /// Stream id of this decision: the session's decision counter at
+  /// admission. Rng::stream(seed, stream) replays the decision's draws.
+  std::uint64_t stream = 0;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(std::size_t shards = 16);
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a session; ids are unique for the manager's lifetime.
+  SessionId open(SessionConfig config);
+
+  /// Closes a session; returns whether it existed.
+  bool close(SessionId id);
+
+  bool contains(SessionId id) const;
+  std::size_t size() const;
+
+  /// Admits one decision: records the observation into the bounded
+  /// history, bumps the per-kind counters, and returns the ticket
+  /// (policy key + RNG stream coordinates). One lock acquisition; throws
+  /// std::out_of_range for an unknown session.
+  DecisionTicket begin_decision(SessionId id, RequestKind kind, const env::Observation& obs);
+
+  /// Copy of the session's current state (throws std::out_of_range).
+  SessionState snapshot(SessionId id) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<SessionId, SessionState> sessions;
+  };
+
+  Shard& shard_for(SessionId id) { return shards_[id % shards_.size()]; }
+  const Shard& shard_for(SessionId id) const { return shards_[id % shards_.size()]; }
+
+  std::vector<Shard> shards_;
+  std::atomic<SessionId> next_id_{1};
+};
+
+}  // namespace verihvac::serve

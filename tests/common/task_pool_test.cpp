@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "control/rollout_engine.hpp"
@@ -71,6 +72,55 @@ TEST(TaskPoolTest, PropagatesExceptionsFromWorkers) {
     covered.fetch_add(end - begin);
   });
   EXPECT_EQ(covered.load(), 64u);
+}
+
+TEST(TaskPoolTest, PropagatesTypedExceptionFromEveryChunk) {
+  // Serving batches requests from many sessions through one pool: a
+  // throwing request must surface on the caller as the original type, no
+  // matter which worker (pool thread or the caller itself) ran its chunk.
+  TaskPool pool({/*threads=*/4, /*min_parallel_batch=*/1});
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [](std::size_t, std::size_t, std::size_t) {
+                                     throw std::domain_error("poisoned chunk");
+                                   }),
+                 std::domain_error);
+    // The pool must stay serviceable between throwing batches.
+    std::atomic<std::size_t> covered{0};
+    pool.parallel_for(32, [&](std::size_t, std::size_t begin, std::size_t end) {
+      covered.fetch_add(end - begin);
+    });
+    EXPECT_EQ(covered.load(), 32u);
+  }
+}
+
+TEST(TaskPoolTest, TwoEnginesShareOnePoolConcurrently) {
+  // The serving scheduler and a verification campaign both fan out over
+  // the shared pool from *different caller threads*. Concurrent
+  // parallel_for calls serialize internally; each call must still cover
+  // every index exactly once with correct per-slot writes.
+  const auto pool = std::make_shared<const TaskPool>(TaskPoolConfig{4, 1});
+  const control::RolloutEngine engine_a(pool);
+  const control::RolloutEngine engine_b(pool);
+
+  std::atomic<int> mismatches{0};
+  const auto hammer = [&mismatches](const control::RolloutEngine& engine, std::size_t salt) {
+    for (std::size_t round = 0; round < 50; ++round) {
+      const std::size_t n = 113 + 7 * (round % 5);
+      std::vector<std::size_t> out(n, 0);
+      engine.parallel_for(n, [&out, salt, round](std::size_t, std::size_t begin,
+                                                 std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = i + salt + round;
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        if (out[i] != i + salt + round) mismatches.fetch_add(1);
+      }
+    }
+  };
+  std::thread other([&] { hammer(engine_b, 1000); });
+  hammer(engine_a, 2000);
+  other.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(TaskPoolTest, SharedPoolIsReused) {

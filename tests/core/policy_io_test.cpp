@@ -67,9 +67,64 @@ TEST(PolicyIoTest, NonDefaultActionGridSurvives) {
   EXPECT_EQ(reloaded.actions().size(), original.actions().size());
 }
 
+TEST(PolicyIoTest, RoundTripIsBitStable) {
+  // The bundle must survive write -> read -> write byte-identically, and
+  // the reloaded policy's interpretable export must match to the last
+  // character — the deployment artifact cannot drift through re-serving.
+  const DtPolicy original = make_policy();
+  std::stringstream first;
+  write_policy(original, first);
+  const DtPolicy reloaded = read_policy(first);
+
+  EXPECT_EQ(reloaded.to_text(), original.to_text());
+  std::stringstream second;
+  write_policy(reloaded, second);
+  EXPECT_EQ(second.str(), first.str());
+}
+
 TEST(PolicyIoTest, RejectsBadHeader) {
   std::stringstream buffer("not-a-policy v9\n");
   EXPECT_THROW(read_policy(buffer), std::runtime_error);
+}
+
+TEST(PolicyIoTest, RejectsWrongPolicyVersionLine) {
+  // A valid bundle whose policy version line claims v2: the v1 reader
+  // must refuse rather than guess at the format.
+  const DtPolicy original = make_policy();
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  std::string text = buffer.str();
+  const auto pos = text.find("verihvac-policy v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("verihvac-policy v1").size(), "verihvac-policy v2");
+  std::stringstream tampered(text);
+  EXPECT_THROW(read_policy(tampered), std::runtime_error);
+}
+
+TEST(PolicyIoTest, RejectsWrongEmbeddedTreeVersionLine) {
+  const DtPolicy original = make_policy();
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  std::string text = buffer.str();
+  const auto pos = text.find("verihvac-tree v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("verihvac-tree v1").size(), "verihvac-tree v7");
+  std::stringstream tampered(text);
+  EXPECT_THROW(read_policy(tampered), std::runtime_error);
+}
+
+TEST(PolicyIoTest, RejectsInvalidActionGrid) {
+  // A grid whose decoded action space is empty/contradictory must be
+  // rejected by the embedded ActionSpace validation, not silently served.
+  const DtPolicy original = make_policy();
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  std::string text = buffer.str();
+  const auto line_start = text.find('\n') + 1;
+  const auto line_end = text.find('\n', line_start);
+  text.replace(line_start, line_end - line_start, "23 15 30 21 1");  // min > max
+  std::stringstream tampered(text);
+  EXPECT_THROW(read_policy(tampered), std::exception);
 }
 
 TEST(PolicyIoTest, RejectsTruncatedFile) {

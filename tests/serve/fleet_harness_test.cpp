@@ -1,0 +1,110 @@
+#include "serve/fleet_harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "serve_test_utils.hpp"
+
+namespace verihvac::serve {
+namespace {
+
+using testing::pool_with_threads;
+using testing::toy_model;
+using testing::toy_policy;
+
+FleetAssetProvider toy_assets() {
+  // One shared toy asset pair for every cell: the harness tests exercise
+  // the serving plumbing, not per-climate extraction.
+  const FleetAssets assets{toy_policy(), toy_model()};
+  return [assets](const std::string&, const FleetPreset&) { return assets; };
+}
+
+FleetConfig small_fleet() {
+  FleetConfig config;
+  config.climates = {"Pittsburgh"};
+  config.presets = {{"baseline", 1.0}};
+  config.buildings_per_cell = 4;
+  config.mbrl_fraction = 0.25;  // 1 fallback + 3 fast-path buildings
+  config.steps = 6;
+  config.days = 1;
+  config.seed = 99;
+  config.rs.samples = 8;
+  config.rs.horizon = 3;
+  return config;
+}
+
+TEST(FleetHarnessTest, DrivesFleetAndAggregates) {
+  FleetHarness harness(small_fleet(), toy_assets(), pool_with_threads(2));
+  const FleetReport report = harness.run();
+
+  EXPECT_EQ(report.buildings, 4u);
+  EXPECT_EQ(report.steps, 6u);
+  EXPECT_EQ(report.dt_decisions, 3u * 6u);
+  EXPECT_EQ(report.mbrl_decisions, 1u * 6u);
+  EXPECT_EQ(report.dt_latency.count, report.dt_decisions);
+  EXPECT_EQ(report.mbrl_latency.count, report.mbrl_decisions);
+  // Throughput denominators are measured serving windows.
+  EXPECT_GT(report.dt_latency.serve_seconds, 0.0);
+  EXPECT_GT(report.mbrl_latency.serve_seconds, 0.0);
+  EXPECT_GT(report.energy_kwh, 0.0);
+  EXPECT_GE(report.violation_rate(), 0.0);
+  EXPECT_LE(report.violation_rate(), 1.0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_LE(report.dt_latency.p50_us, report.dt_latency.p99_us);
+  EXPECT_EQ(report.scheduler_stats.mbrl_served, report.mbrl_decisions);
+  EXPECT_EQ(harness.sessions().size(), 4u);
+  EXPECT_EQ(harness.registry().size(), 1u);
+  EXPECT_FALSE(report.summary().empty());
+  EXPECT_NE(report.to_json().find("\"dt_latency\""), std::string::npos);
+}
+
+TEST(FleetHarnessTest, MultiCellGridProvisionsPerCellBundles) {
+  FleetConfig config = small_fleet();
+  config.climates = {"Pittsburgh", "Tucson"};
+  config.presets = {{"baseline", 1.0}, {"oversized", 2.0}};
+  config.buildings_per_cell = 2;
+  config.steps = 2;
+  FleetHarness harness(config, toy_assets(), pool_with_threads(2));
+  const FleetReport report = harness.run();
+
+  EXPECT_EQ(report.buildings, 8u);            // 2 climates x 2 presets x 2
+  EXPECT_EQ(harness.registry().size(), 4u);   // one bundle per cell
+  EXPECT_EQ(harness.sessions().size(), 8u);
+  EXPECT_EQ(report.dt_decisions + report.mbrl_decisions,
+            report.buildings * report.steps);
+}
+
+// The fleet's plant trajectories (hence energy/violations) are decision-
+// determined, and decisions are bit-identical across thread counts and
+// across async-vs-inline serving — the subsystem's determinism contract
+// surfaced at the metrics level.
+TEST(FleetHarnessTest, MetricsBitIdenticalAcrossThreadsAndServingModes) {
+  const FleetAssetProvider assets = toy_assets();
+
+  struct Outcome {
+    double energy;
+    std::size_t violations;
+    std::size_t occupied;
+  };
+  std::vector<Outcome> outcomes;
+  for (const bool async : {false, true}) {
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+      FleetConfig config = small_fleet();
+      config.async = async;
+      FleetHarness harness(config, assets, pool_with_threads(threads));
+      const FleetReport report = harness.run();
+      outcomes.push_back({report.energy_kwh, report.occupied_violations,
+                          report.occupied_steps});
+    }
+  }
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].energy, outcomes[0].energy) << "variant " << i;
+    EXPECT_EQ(outcomes[i].violations, outcomes[0].violations) << "variant " << i;
+    EXPECT_EQ(outcomes[i].occupied, outcomes[0].occupied) << "variant " << i;
+  }
+}
+
+}  // namespace
+}  // namespace verihvac::serve

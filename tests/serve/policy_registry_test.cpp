@@ -1,0 +1,130 @@
+#include "serve/policy_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/policy_io.hpp"
+#include "serve_test_utils.hpp"
+
+namespace verihvac::serve {
+namespace {
+
+using testing::toy_policy;
+
+TEST(PolicyRegistryTest, InstallThenLookupReturnsSamePolicy) {
+  PolicyRegistry registry;
+  const auto policy = toy_policy();
+  const std::uint64_t version = registry.install("Pittsburgh/baseline", policy);
+  EXPECT_GE(version, 1u);
+
+  const PolicySnapshot snapshot = registry.lookup("Pittsburgh/baseline");
+  EXPECT_EQ(snapshot.policy.get(), policy.get());
+  EXPECT_EQ(snapshot.version, version);
+  EXPECT_TRUE(registry.contains("Pittsburgh/baseline"));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(PolicyRegistryTest, VersionsAreMonotonicAcrossKeys) {
+  PolicyRegistry registry;
+  const std::uint64_t v1 = registry.install("a", toy_policy(1));
+  const std::uint64_t v2 = registry.install("b", toy_policy(2));
+  const std::uint64_t v3 = registry.install("a", toy_policy(3));  // hot swap
+  EXPECT_LT(v1, v2);
+  EXPECT_LT(v2, v3);
+  EXPECT_EQ(registry.lookup("a").version, v3);
+  EXPECT_EQ(registry.lookup("b").version, v2);
+}
+
+TEST(PolicyRegistryTest, HotSwapKeepsInFlightSnapshotAlive) {
+  PolicyRegistry registry;
+  const auto old_policy = toy_policy(1);
+  registry.install("key", old_policy);
+  const PolicySnapshot in_flight = registry.lookup("key");
+
+  registry.install("key", toy_policy(2));
+  // The swap must not invalidate the snapshot a serving thread holds.
+  EXPECT_EQ(in_flight.policy.get(), old_policy.get());
+  ASSERT_NE(in_flight.policy, nullptr);
+  EXPECT_GT(in_flight.policy->tree().node_count(), 0u);
+  // New lookups see the new bundle.
+  EXPECT_NE(registry.lookup("key").policy.get(), old_policy.get());
+}
+
+TEST(PolicyRegistryTest, LookupUnknownKeyThrows) {
+  PolicyRegistry registry;
+  EXPECT_THROW(registry.lookup("missing"), std::out_of_range);
+  const PolicySnapshot snapshot = registry.try_lookup("missing");
+  EXPECT_EQ(snapshot.policy, nullptr);
+  EXPECT_EQ(snapshot.version, 0u);
+}
+
+TEST(PolicyRegistryTest, InstallNullPolicyThrows) {
+  PolicyRegistry registry;
+  EXPECT_THROW(registry.install("key", nullptr), std::invalid_argument);
+}
+
+TEST(PolicyRegistryTest, EraseRemovesKey) {
+  PolicyRegistry registry;
+  registry.install("key", toy_policy());
+  EXPECT_TRUE(registry.erase("key"));
+  EXPECT_FALSE(registry.erase("key"));
+  EXPECT_FALSE(registry.contains("key"));
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(PolicyRegistryTest, KeysAreSortedAndComplete) {
+  PolicyRegistry registry;
+  registry.install("b", toy_policy(1));
+  registry.install("a", toy_policy(2));
+  registry.install("c", toy_policy(3));
+  const std::vector<std::string> keys = registry.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+  EXPECT_EQ(keys[2], "c");
+}
+
+TEST(PolicyRegistryTest, InstallFileLoadsBundle) {
+  const auto policy = toy_policy();
+  const std::string path = ::testing::TempDir() + "/registry_bundle.policy";
+  core::save_policy(*policy, path);
+
+  PolicyRegistry registry;
+  registry.install_file("from-disk", path);
+  const PolicySnapshot snapshot = registry.lookup("from-disk");
+  EXPECT_EQ(snapshot.policy->tree().node_count(), policy->tree().node_count());
+  EXPECT_EQ(snapshot.policy->actions().size(), policy->actions().size());
+}
+
+TEST(PolicyRegistryTest, ConcurrentLookupsSurviveHotSwaps) {
+  PolicyRegistry registry;
+  registry.install("key", toy_policy(0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> decided{0};
+  std::vector<std::thread> readers;
+  const std::vector<double> x = {20.0, -5.0, 50.0, 3.0, 120.0, 11.0};
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const PolicySnapshot snapshot = registry.lookup("key");
+        // Decide through the snapshot: a concurrent swap must never hand
+        // out a half-published bundle.
+        snapshot.policy->decide_index(x);
+        decided.fetch_add(1);
+      }
+    });
+  }
+  for (std::uint64_t i = 1; i <= 25; ++i) registry.install("key", toy_policy(i));
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(decided.load(), 0u);
+  EXPECT_GE(registry.lookup_count(), decided.load());
+}
+
+}  // namespace
+}  // namespace verihvac::serve

@@ -1,0 +1,356 @@
+#include "serve/request_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "serve_test_utils.hpp"
+
+namespace verihvac::serve {
+namespace {
+
+using testing::cold_occupied;
+using testing::pool_with_threads;
+using testing::steady_forecast;
+using testing::toy_model;
+using testing::toy_policy;
+
+control::RandomShootingConfig serving_rs() {
+  control::RandomShootingConfig config;
+  config.samples = 32;
+  config.horizon = 5;
+  return config;
+}
+
+/// One logical request in a fixed fleet scenario: session slot + fresh
+/// observation. Sessions are re-opened per scheduler instance (ids differ),
+/// so tests describe requests by slot.
+struct ScenarioRequest {
+  std::size_t session_slot = 0;
+  double zone_temp = 17.5;
+};
+
+/// A mixed-fleet scenario: several sessions, several decisions each, every
+/// request with its own observation.
+std::vector<ScenarioRequest> mixed_scenario() {
+  std::vector<ScenarioRequest> scenario;
+  for (std::size_t round = 0; round < 2; ++round) {
+    for (std::size_t slot = 0; slot < 6; ++slot) {
+      scenario.push_back({slot, 15.0 + static_cast<double>(slot) + 0.5 * round});
+    }
+  }
+  return scenario;
+}
+
+std::uint64_t slot_seed(std::size_t slot) { return 1000 + 17 * slot; }
+
+/// The per-session scalar reference: RandomShooting::optimize fed the same
+/// counter-based stream the scheduler admits the request under. This is
+/// deliberately independent code (the optimizer's own serial path), so the
+/// test locks scheduler decisions to the library's ground truth.
+std::vector<std::size_t> reference_decisions(const std::vector<ScenarioRequest>& scenario,
+                                             const dyn::DynamicsModel& model,
+                                             const control::RandomShootingConfig& rs_config) {
+  const control::RandomShooting rs(rs_config, control::ActionSpace{}, env::RewardConfig{});
+  std::map<std::size_t, std::uint64_t> next_stream;
+  std::vector<std::size_t> expected;
+  for (const ScenarioRequest& item : scenario) {
+    const env::Observation obs = cold_occupied(item.zone_temp);
+    Rng rng = Rng::stream(slot_seed(item.session_slot), next_stream[item.session_slot]++);
+    expected.push_back(rs.optimize(model, obs, steady_forecast(obs, rs_config.horizon), rng));
+  }
+  return expected;
+}
+
+/// Serving stack around shared toy assets; fresh sessions per instance.
+struct Stack {
+  std::shared_ptr<PolicyRegistry> registry = std::make_shared<PolicyRegistry>();
+  std::shared_ptr<SessionManager> sessions = std::make_shared<SessionManager>();
+  std::unique_ptr<RequestScheduler> scheduler;
+  std::vector<SessionId> slots;
+
+  Stack(const std::shared_ptr<const core::DtPolicy>& policy,
+        const std::shared_ptr<const dyn::DynamicsModel>& model,
+        const control::RandomShootingConfig& rs_config, std::size_t threads,
+        SchedulerConfig config = {}, std::size_t slot_count = 6) {
+    registry->install("toy", policy);
+    scheduler = std::make_unique<RequestScheduler>(config, registry, sessions, rs_config,
+                                                   control::ActionSpace{}, env::RewardConfig{},
+                                                   pool_with_threads(threads));
+    scheduler->install_model("toy", model);
+    for (std::size_t slot = 0; slot < slot_count; ++slot) {
+      SessionConfig session;
+      session.policy_key = "toy";
+      session.seed = slot_seed(slot);
+      slots.push_back(sessions->open(session));
+    }
+  }
+
+  ControlRequest request(const ScenarioRequest& item, RequestKind kind,
+                         std::size_t horizon) const {
+    ControlRequest request;
+    request.session = slots[item.session_slot];
+    request.kind = kind;
+    request.observation = cold_occupied(item.zone_temp);
+    if (kind == RequestKind::kMbrlFallback) {
+      request.forecast = steady_forecast(request.observation, horizon);
+    }
+    return request;
+  }
+};
+
+TEST(RequestSchedulerTest, DtFastPathMatchesPolicyDecide) {
+  const auto policy = toy_policy();
+  Stack stack(policy, toy_model(), serving_rs(), /*threads=*/1);
+
+  const env::Observation obs = cold_occupied();
+  ControlRequest request;
+  request.session = stack.slots[0];
+  request.kind = RequestKind::kDtPolicy;
+  request.observation = obs;
+
+  const ControlDecision decision = stack.scheduler->serve(request);
+  EXPECT_EQ(decision.action_index, policy->decide_index(obs.to_vector()));
+  EXPECT_EQ(decision.kind, RequestKind::kDtPolicy);
+  EXPECT_GE(decision.policy_version, 1u);
+  EXPECT_DOUBLE_EQ(decision.action.heating_c,
+                   policy->decide(obs.to_vector()).heating_c);
+
+  const SessionState state = stack.sessions->snapshot(stack.slots[0]);
+  EXPECT_EQ(state.dt_decisions, 1u);
+  EXPECT_EQ(stack.scheduler->stats().dt_served, 1u);
+}
+
+// The acceptance-criteria lock: micro-batched cross-session serving is
+// bit-identical to the per-session scalar path at every thread count
+// (VERI_HVAC_THREADS=1/4/8 equivalents), for the same admission order.
+TEST(RequestSchedulerTest, MicroBatchedDecisionsMatchScalarReferenceAcrossThreadCounts) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  const control::RandomShootingConfig rs_config = serving_rs();
+  const std::vector<ScenarioRequest> scenario = mixed_scenario();
+  const std::vector<std::size_t> expected = reference_decisions(scenario, *model, rs_config);
+
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    Stack stack(policy, model, rs_config, threads);
+    std::vector<ControlRequest> requests;
+    for (const ScenarioRequest& item : scenario) {
+      requests.push_back(stack.request(item, RequestKind::kMbrlFallback, rs_config.horizon));
+    }
+    const std::vector<ControlDecision> decisions = stack.scheduler->serve_batch(requests);
+    ASSERT_EQ(decisions.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(decisions[i].action_index, expected[i])
+          << "request " << i << " at " << threads << " threads";
+      EXPECT_EQ(decisions[i].kind, RequestKind::kMbrlFallback);
+    }
+  }
+}
+
+TEST(RequestSchedulerTest, AsyncQueueServingMatchesScalarReference) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  const control::RandomShootingConfig rs_config = serving_rs();
+  const std::vector<ScenarioRequest> scenario = mixed_scenario();
+  const std::vector<std::size_t> expected = reference_decisions(scenario, *model, rs_config);
+
+  SchedulerConfig scheduler_config;
+  scheduler_config.max_batch = 4;
+  scheduler_config.batch_window = std::chrono::microseconds(2000);
+  Stack stack(policy, model, rs_config, /*threads=*/4, scheduler_config);
+  stack.scheduler->start();
+
+  // Submission order fixes each session's streams at admission, so however
+  // the queue drains into micro-batches, decisions must match.
+  std::vector<std::future<ControlDecision>> futures;
+  for (const ScenarioRequest& item : scenario) {
+    futures.push_back(
+        stack.scheduler->submit(stack.request(item, RequestKind::kMbrlFallback,
+                                              rs_config.horizon)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().action_index, expected[i]) << "request " << i;
+  }
+  const RequestScheduler::Stats stats = stack.scheduler->stats();
+  EXPECT_EQ(stats.mbrl_served, scenario.size());
+  EXPECT_GE(stats.batches, 1u);
+  stack.scheduler->stop();
+}
+
+TEST(RequestSchedulerTest, InlineServeWithoutWorkerMatchesScalarReference) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  const control::RandomShootingConfig rs_config = serving_rs();
+  const std::vector<ScenarioRequest> scenario = mixed_scenario();
+  const std::vector<std::size_t> expected = reference_decisions(scenario, *model, rs_config);
+
+  Stack stack(policy, model, rs_config, /*threads=*/1);
+  for (std::size_t i = 0; i < scenario.size(); ++i) {
+    const ControlDecision decision = stack.scheduler->serve(
+        stack.request(scenario[i], RequestKind::kMbrlFallback, rs_config.horizon));
+    EXPECT_EQ(decision.action_index, expected[i]) << "request " << i;
+  }
+}
+
+TEST(RequestSchedulerTest, StartStopStartServesAgain) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  const control::RandomShootingConfig rs_config = serving_rs();
+  // Two decisions on one session, across a stop()/start() cycle: streams
+  // 0 and 1 of the session's seed, exactly as uninterrupted serving.
+  const std::vector<ScenarioRequest> scenario = {{0, 17.0}, {0, 19.0}};
+  const std::vector<std::size_t> expected = reference_decisions(scenario, *model, rs_config);
+
+  Stack stack(policy, model, rs_config, /*threads=*/2);
+  stack.scheduler->start();
+  EXPECT_EQ(stack.scheduler
+                ->serve(stack.request(scenario[0], RequestKind::kMbrlFallback,
+                                      rs_config.horizon))
+                .action_index,
+            expected[0]);
+  stack.scheduler->stop();
+  EXPECT_FALSE(stack.scheduler->running());
+  stack.scheduler->start();
+  EXPECT_TRUE(stack.scheduler->running());
+  EXPECT_EQ(stack.scheduler
+                ->serve(stack.request(scenario[1], RequestKind::kMbrlFallback,
+                                      rs_config.horizon))
+                .action_index,
+            expected[1]);
+  stack.scheduler->stop();
+}
+
+TEST(RequestSchedulerTest, RefineFirstActionParity) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  control::RandomShootingConfig rs_config = serving_rs();
+  rs_config.samples = 16;
+  rs_config.refine_first_action = true;
+  const std::vector<ScenarioRequest> scenario = {{0, 16.0}, {1, 19.5}, {0, 21.0}};
+  const std::vector<std::size_t> expected = reference_decisions(scenario, *model, rs_config);
+
+  Stack stack(policy, model, rs_config, /*threads=*/4);
+  std::vector<ControlRequest> requests;
+  for (const ScenarioRequest& item : scenario) {
+    requests.push_back(stack.request(item, RequestKind::kMbrlFallback, rs_config.horizon));
+  }
+  const std::vector<ControlDecision> decisions = stack.scheduler->serve_batch(requests);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(decisions[i].action_index, expected[i]) << "request " << i;
+  }
+}
+
+TEST(RequestSchedulerTest, MixedBatchServesBothTrafficClasses) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  const control::RandomShootingConfig rs_config = serving_rs();
+  const std::vector<ScenarioRequest> scenario = {{0, 16.0}, {1, 18.0}, {2, 20.0}, {3, 22.0}};
+  // Slots 0/2 take the fast path; slots 1/3 the fallback. The fallback
+  // reference uses each session's stream 0 (its first decision).
+  const std::vector<ScenarioRequest> mbrl_only = {{1, 18.0}, {3, 22.0}};
+  const std::vector<std::size_t> expected_mbrl =
+      reference_decisions(mbrl_only, *model, rs_config);
+
+  Stack stack(policy, model, rs_config, /*threads=*/4);
+  std::vector<ControlRequest> requests;
+  requests.push_back(stack.request(scenario[0], RequestKind::kDtPolicy, 0));
+  requests.push_back(stack.request(scenario[1], RequestKind::kMbrlFallback, rs_config.horizon));
+  requests.push_back(stack.request(scenario[2], RequestKind::kDtPolicy, 0));
+  requests.push_back(stack.request(scenario[3], RequestKind::kMbrlFallback, rs_config.horizon));
+
+  const std::vector<ControlDecision> decisions = stack.scheduler->serve_batch(requests);
+  EXPECT_EQ(decisions[0].action_index,
+            policy->decide_index(cold_occupied(16.0).to_vector()));
+  EXPECT_EQ(decisions[2].action_index,
+            policy->decide_index(cold_occupied(20.0).to_vector()));
+  EXPECT_EQ(decisions[1].action_index, expected_mbrl[0]);
+  EXPECT_EQ(decisions[3].action_index, expected_mbrl[1]);
+
+  const RequestScheduler::Stats stats = stack.scheduler->stats();
+  EXPECT_EQ(stats.dt_served, 2u);
+  EXPECT_EQ(stats.mbrl_served, 2u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.max_batch, 2u);
+}
+
+TEST(RequestSchedulerTest, HotSwappedBundleServesNewVersion) {
+  const auto policy_a = toy_policy(3);
+  const auto policy_b = toy_policy(11);
+  Stack stack(policy_a, toy_model(), serving_rs(), /*threads=*/1);
+
+  const env::Observation obs = cold_occupied();
+  ControlRequest request;
+  request.session = stack.slots[0];
+  request.kind = RequestKind::kDtPolicy;
+  request.observation = obs;
+
+  const ControlDecision before = stack.scheduler->serve(request);
+  const std::uint64_t new_version = stack.registry->install("toy", policy_b);
+  const ControlDecision after = stack.scheduler->serve(request);
+
+  EXPECT_LT(before.policy_version, new_version);
+  EXPECT_EQ(after.policy_version, new_version);
+  EXPECT_EQ(after.action_index, policy_b->decide_index(obs.to_vector()));
+}
+
+TEST(RequestSchedulerTest, ErrorsSurfaceAsExceptions) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  const control::RandomShootingConfig rs_config = serving_rs();
+  Stack stack(policy, model, rs_config, /*threads=*/1);
+
+  // Unknown session: rejected at admission.
+  ControlRequest unknown;
+  unknown.session = 99999;
+  unknown.kind = RequestKind::kDtPolicy;
+  unknown.observation = cold_occupied();
+  EXPECT_THROW(stack.scheduler->serve(unknown), std::out_of_range);
+
+  // Forecast shorter than the optimizer horizon: surfaced via the future.
+  ControlRequest short_forecast = stack.request({0, 17.0}, RequestKind::kMbrlFallback, 2);
+  EXPECT_THROW(stack.scheduler->serve(short_forecast), std::invalid_argument);
+
+  // Session whose key has neither a dedicated nor a default model.
+  SessionConfig orphan;
+  orphan.policy_key = "no-model";
+  const SessionId orphan_id = stack.sessions->open(orphan);
+  ControlRequest no_model = stack.request({0, 17.0}, RequestKind::kMbrlFallback,
+                                          rs_config.horizon);
+  no_model.session = orphan_id;
+  EXPECT_THROW(stack.scheduler->serve(no_model), std::runtime_error);
+
+  // Errors must not poison subsequent serving.
+  const ControlDecision decision = stack.scheduler->serve(
+      stack.request({1, 18.0}, RequestKind::kMbrlFallback, rs_config.horizon));
+  EXPECT_LT(decision.action_index, control::ActionSpace{}.size());
+}
+
+TEST(RequestSchedulerTest, DefaultModelBacksKeysWithoutDedicatedEntry) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  const control::RandomShootingConfig rs_config = serving_rs();
+  Stack stack(policy, model, rs_config, /*threads=*/1);
+
+  SessionConfig session;
+  session.policy_key = "other-key";
+  session.seed = 7;
+  const SessionId id = stack.sessions->open(session);
+  stack.scheduler->set_default_model(model);
+
+  ControlRequest request = stack.request({0, 17.0}, RequestKind::kMbrlFallback,
+                                         rs_config.horizon);
+  request.session = id;
+  const ControlDecision decision = stack.scheduler->serve(request);
+
+  const control::RandomShooting rs(rs_config, control::ActionSpace{}, env::RewardConfig{});
+  Rng rng = Rng::stream(7, 0);
+  EXPECT_EQ(decision.action_index,
+            rs.optimize(*model, request.observation, request.forecast, rng));
+}
+
+}  // namespace
+}  // namespace verihvac::serve

@@ -1,0 +1,154 @@
+#include "serve/session_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "serve_test_utils.hpp"
+
+namespace verihvac::serve {
+namespace {
+
+using testing::cold_occupied;
+
+TEST(SessionManagerTest, OpenCloseContains) {
+  SessionManager sessions;
+  SessionConfig config;
+  config.policy_key = "Pittsburgh/baseline";
+  config.seed = 42;
+  const SessionId id = sessions.open(config);
+  EXPECT_TRUE(sessions.contains(id));
+  EXPECT_EQ(sessions.size(), 1u);
+
+  const SessionState state = sessions.snapshot(id);
+  EXPECT_EQ(state.id, id);
+  EXPECT_EQ(state.config.policy_key, "Pittsburgh/baseline");
+  EXPECT_EQ(state.decisions, 0u);
+
+  EXPECT_TRUE(sessions.close(id));
+  EXPECT_FALSE(sessions.contains(id));
+  EXPECT_FALSE(sessions.close(id));
+  EXPECT_EQ(sessions.size(), 0u);
+}
+
+TEST(SessionManagerTest, TicketsPinSeedAndAdvanceStreams) {
+  SessionManager sessions;
+  SessionConfig config;
+  config.policy_key = "key";
+  config.seed = 404;
+  const SessionId id = sessions.open(config);
+
+  // Stream ids are the decision counter at admission: 0, 1, 2, ... — the
+  // coordinates Rng::stream replays a decision's draws from.
+  for (std::uint64_t d = 0; d < 5; ++d) {
+    const DecisionTicket ticket =
+        sessions.begin_decision(id, RequestKind::kMbrlFallback, cold_occupied());
+    EXPECT_EQ(ticket.session, id);
+    EXPECT_EQ(ticket.policy_key, "key");
+    EXPECT_EQ(ticket.seed, 404u);
+    EXPECT_EQ(ticket.stream, d);
+  }
+  const SessionState state = sessions.snapshot(id);
+  EXPECT_EQ(state.decisions, 5u);
+  EXPECT_EQ(state.mbrl_decisions, 5u);
+  EXPECT_EQ(state.dt_decisions, 0u);
+}
+
+TEST(SessionManagerTest, PerKindCountersSplit) {
+  SessionManager sessions;
+  const SessionId id = sessions.open({});
+  sessions.begin_decision(id, RequestKind::kDtPolicy, cold_occupied());
+  sessions.begin_decision(id, RequestKind::kDtPolicy, cold_occupied());
+  sessions.begin_decision(id, RequestKind::kMbrlFallback, cold_occupied());
+  const SessionState state = sessions.snapshot(id);
+  EXPECT_EQ(state.decisions, 3u);
+  EXPECT_EQ(state.dt_decisions, 2u);
+  EXPECT_EQ(state.mbrl_decisions, 1u);
+}
+
+TEST(SessionManagerTest, HistoryIsBoundedMostRecentLast) {
+  SessionManager sessions;
+  SessionConfig config;
+  config.history_limit = 3;
+  const SessionId id = sessions.open(config);
+  for (int i = 0; i < 5; ++i) {
+    sessions.begin_decision(id, RequestKind::kDtPolicy,
+                            cold_occupied(/*zone_temp=*/15.0 + i));
+  }
+  const SessionState state = sessions.snapshot(id);
+  ASSERT_EQ(state.history.size(), 3u);
+  EXPECT_DOUBLE_EQ(state.history[0].zone_temp_c, 17.0);
+  EXPECT_DOUBLE_EQ(state.history[1].zone_temp_c, 18.0);
+  EXPECT_DOUBLE_EQ(state.history[2].zone_temp_c, 19.0);
+}
+
+TEST(SessionManagerTest, ZeroHistoryLimitKeepsNothing) {
+  SessionManager sessions;
+  SessionConfig config;
+  config.history_limit = 0;
+  const SessionId id = sessions.open(config);
+  sessions.begin_decision(id, RequestKind::kDtPolicy, cold_occupied());
+  EXPECT_TRUE(sessions.snapshot(id).history.empty());
+}
+
+TEST(SessionManagerTest, UnknownSessionThrows) {
+  SessionManager sessions;
+  EXPECT_THROW(sessions.begin_decision(999, RequestKind::kDtPolicy, cold_occupied()),
+               std::out_of_range);
+  EXPECT_THROW(sessions.snapshot(999), std::out_of_range);
+}
+
+TEST(SessionManagerTest, ConcurrentOpensYieldUniqueIds) {
+  SessionManager sessions(/*shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::vector<SessionId>> ids(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sessions, &ids, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SessionConfig config;
+        config.seed = static_cast<std::uint64_t>(t * kPerThread + i);
+        ids[t].push_back(sessions.open(config));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::set<SessionId> unique;
+  for (const auto& batch : ids) unique.insert(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(sessions.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(SessionManagerTest, ConcurrentDecisionsOnOneSessionCoverEveryStream) {
+  SessionManager sessions;
+  const SessionId id = sessions.open({});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::vector<std::uint64_t>> streams(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sessions, &streams, id, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        streams[t].push_back(
+            sessions.begin_decision(id, RequestKind::kMbrlFallback, cold_occupied()).stream);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Stream ids must be a permutation of [0, N): no duplicates, no gaps —
+  // two concurrent decisions can never replay the same draws.
+  std::set<std::uint64_t> unique;
+  for (const auto& batch : streams) unique.insert(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(*unique.rbegin(), static_cast<std::uint64_t>(kThreads * kPerThread - 1));
+}
+
+}  // namespace
+}  // namespace verihvac::serve

@@ -1,20 +1,26 @@
 // verihvac — command-line front end for the extract -> verify -> deploy
-// workflow of the paper (Fig. 2), operating on policy-bundle files.
+// -> serve workflow of the paper (Fig. 2), operating on policy-bundle
+// files.
 //
-//   verihvac extract  --city Pittsburgh --points 600 --out policy.vhp
-//   verihvac verify   --policy policy.vhp [--city Pittsburgh] [--correct]
-//   verihvac campaign [--climates A,B] [--buildings name:scale,..] [--out FILE]
-//   verihvac simulate --policy policy.vhp --city Pittsburgh [--days 31]
-//   verihvac export-c --policy policy.vhp --prefix veri_hvac --out DIR
-//   verihvac explain  --policy policy.vhp --input s,To,RH,w,S,occ
-//   verihvac print    --policy policy.vhp [--rules]
+//   verihvac extract     --city Pittsburgh --points 600 --out policy.vhp
+//   verihvac verify      --policy policy.vhp [--city Pittsburgh] [--correct]
+//   verihvac campaign    [--climates A,B] [--buildings name:scale,..] [--out FILE]
+//   verihvac simulate    --policy policy.vhp --city Pittsburgh [--days 31]
+//   verihvac serve-bench [--climates A,B] [--buildings N] [--steps N] [--mbrl-frac F]
+//   verihvac export-c    --policy policy.vhp --prefix veri_hvac --out DIR
+//   verihvac explain     --policy policy.vhp --input s,To,RH,w,S,occ
+//   verihvac print       --policy policy.vhp [--rules]
 //
-// Every subcommand exits non-zero on failure and prints to stderr; the
-// formats are the library's own (core/policy_io bundles, core/edge_export
-// C modules), so artifacts interoperate with the examples and benches.
+// Every subcommand exits non-zero on failure and prints to stderr; option
+// parsing is strict (unknown --options and missing values are rejected
+// against a per-subcommand spec, with that subcommand's usage printed).
+// The formats are the library's own (core/policy_io bundles,
+// core/edge_export C modules), so artifacts interoperate with the
+// examples and benches.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -29,24 +35,44 @@
 #include "core/verification.hpp"
 #include "envlib/env.hpp"
 #include "envlib/metrics.hpp"
+#include "serve/fleet_harness.hpp"
 
 namespace {
 
 using namespace verihvac;
 
-/// "--key value" argument map (flags without a value store "").
+/// Strict "--key value" argument map, validated against a per-subcommand
+/// option spec: unknown keys, missing values and values handed to pure
+/// flags are all rejected with a clear message (the driver then prints the
+/// subcommand's usage and exits non-zero).
 class Args {
  public:
-  Args(int argc, char** argv, int first) {
+  /// Option name -> whether it takes a value (false = pure flag).
+  using Spec = std::map<std::string, bool>;
+
+  Args(int argc, char** argv, int first, const Spec& spec) {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
         throw std::invalid_argument("unexpected argument: " + key);
       }
       key = key.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const auto option = spec.find(key);
+      if (option == spec.end()) {
+        throw std::invalid_argument("unknown option --" + key);
+      }
+      const bool has_next_value =
+          i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0;
+      if (option->second) {
+        if (!has_next_value) {
+          throw std::invalid_argument("option --" + key + " requires a value");
+        }
         values_[key] = argv[++i];
       } else {
+        if (has_next_value) {
+          throw std::invalid_argument("option --" + key + " does not take a value (got '" +
+                                      argv[i + 1] + "')");
+        }
         values_[key] = "";
       }
     }
@@ -66,6 +92,10 @@ class Args {
   long get_long(const std::string& key, long fallback) const {
     const auto it = values_.find(key);
     return it == values_.end() || it->second.empty() ? fallback : std::stol(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() || it->second.empty() ? fallback : std::stod(it->second);
   }
   bool flag(const std::string& key) const { return values_.count(key) > 0; }
 
@@ -139,24 +169,30 @@ std::vector<std::string> split_csv_list(const std::string& csv) {
   return out;
 }
 
+/// Parses "name" / "name:scale" building-preset specs ("oversized"
+/// defaults to the 2x design-day plant of the summer extension).
+template <typename Preset>
+std::vector<Preset> parse_presets(const std::string& csv) {
+  std::vector<Preset> presets;
+  for (const std::string& spec : split_csv_list(csv)) {
+    Preset preset;
+    const auto colon = spec.find(':');
+    preset.name = spec.substr(0, colon);
+    if (colon != std::string::npos) {
+      preset.hvac_scale = std::stod(spec.substr(colon + 1));
+    } else if (preset.name == "oversized") {
+      preset.hvac_scale = 2.0;
+    }
+    presets.push_back(std::move(preset));
+  }
+  return presets;
+}
+
 int cmd_campaign(const Args& args) {
   core::CampaignConfig config;
   config.climates = split_csv_list(args.get("climates", "Pittsburgh,Tucson,NewYork"));
-
-  // Building presets: "name" (scale 1.0) or "name:scale". "oversized"
-  // defaults to the 2x design-day plant of the summer extension.
-  config.buildings.clear();
-  for (const std::string& spec : split_csv_list(args.get("buildings", "baseline,oversized"))) {
-    core::CampaignBuilding building;
-    const auto colon = spec.find(':');
-    building.name = spec.substr(0, colon);
-    if (colon != std::string::npos) {
-      building.hvac_scale = std::stod(spec.substr(colon + 1));
-    } else if (building.name == "oversized") {
-      building.hvac_scale = 2.0;
-    }
-    config.buildings.push_back(std::move(building));
-  }
+  config.buildings =
+      parse_presets<core::CampaignBuilding>(args.get("buildings", "baseline,oversized"));
 
   config.comfort_bands.clear();
   for (const std::string& name : split_csv_list(args.get("comfort", "winter"))) {
@@ -238,6 +274,56 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_serve_bench(const Args& args) {
+  serve::FleetConfig config;
+  config.climates = split_csv_list(args.get("climates", "Pittsburgh"));
+  config.presets = parse_presets<serve::FleetPreset>(args.get("presets", "baseline"));
+  config.buildings_per_cell = static_cast<std::size_t>(args.get_long("buildings", 8));
+  config.steps = static_cast<std::size_t>(args.get_long("steps", 12));
+  config.mbrl_fraction = args.get_double("mbrl-frac", 0.25);
+  config.days = static_cast<int>(args.get_long("days", 2));
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2024));
+  config.rs.samples = static_cast<std::size_t>(args.get_long("samples", 64));
+  config.rs.horizon = static_cast<std::size_t>(args.get_long("horizon", 5));
+  config.async = !args.flag("sync");
+
+  // Per-cell serving assets from the extraction pipeline, cached by
+  // (climate x hvac scale): presets only differ in plant sizing.
+  auto cache = std::make_shared<std::map<std::string, serve::FleetAssets>>();
+  const serve::FleetAssetProvider provider = [cache](const std::string& climate,
+                                                     const serve::FleetPreset& preset) {
+    const std::string key = climate + "/" + std::to_string(preset.hvac_scale);
+    const auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+    std::printf("extracting serving bundle for %s (hvac x%.2f)...\n", climate.c_str(),
+                preset.hvac_scale);
+    core::PipelineConfig pipeline = core::PipelineConfig::for_city(climate);
+    pipeline.env.hvac_capacity_scale = preset.hvac_scale;
+    const core::PipelineArtifacts artifacts = core::run_pipeline(pipeline);
+    const serve::FleetAssets assets{artifacts.policy, artifacts.model};
+    cache->emplace(key, assets);
+    return assets;
+  };
+
+  serve::FleetHarness harness(config, provider);
+  std::printf("serving %zu climates x %zu presets x %zu buildings for %zu steps "
+              "(mbrl fraction %.2f, %s, pool %zu thread(s))\n",
+              config.climates.size(), config.presets.size(), config.buildings_per_cell,
+              config.steps, config.mbrl_fraction, config.async ? "async" : "inline",
+              harness.scheduler().thread_count());
+  const serve::FleetReport report = harness.run();
+  std::printf("%s", report.summary().c_str());
+
+  if (args.flag("out")) {
+    const std::string path = args.required("out");
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("cannot write " + path);
+    file << report.to_json() << "\n";
+    std::printf("serving report written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int cmd_export_c(const Args& args) {
   const core::DtPolicy policy = core::load_policy(args.required("policy"));
   core::EdgeExportOptions options;
@@ -285,21 +371,85 @@ int cmd_print(const Args& args) {
   return 0;
 }
 
+/// One subcommand: its option spec (strict), usage line(s), and handler.
+struct Command {
+  Args::Spec spec;
+  std::string usage;
+  std::function<int(const Args&)> run;
+};
+
+const std::map<std::string, Command>& commands() {
+  static const std::map<std::string, Command> table = {
+      {"extract",
+       {{{"out", true}, {"city", true}, {"points", true}},
+        "extract  --out FILE [--city NAME] [--points N]",
+        cmd_extract}},
+      {"verify",
+       {{{"policy", true}, {"city", true}, {"correct", false}, {"out", true}},
+        "verify   --policy FILE [--city NAME] [--correct] [--out FILE]",
+        cmd_verify}},
+      {"campaign",
+       {{{"climates", true},
+         {"buildings", true},
+         {"comfort", true},
+         {"envelopes", true},
+         {"samples", true},
+         {"reach-states", true},
+         {"points", true},
+         {"seed", true},
+         {"out", true}},
+        "campaign [--climates A,B,..] [--buildings name[:scale],..]\n"
+        "         [--comfort winter,summer] [--envelopes mild,design]\n"
+        "         [--samples N] [--reach-states N] [--points N] [--seed N]\n"
+        "         [--out FILE.csv]",
+        cmd_campaign}},
+      {"simulate",
+       {{{"policy", true}, {"city", true}, {"days", true}},
+        "simulate --policy FILE [--city NAME] [--days N]",
+        cmd_simulate}},
+      {"serve-bench",
+       {{{"climates", true},
+         {"presets", true},
+         {"buildings", true},
+         {"steps", true},
+         {"mbrl-frac", true},
+         {"days", true},
+         {"seed", true},
+         {"samples", true},
+         {"horizon", true},
+         {"sync", false},
+         {"out", true}},
+        "serve-bench [--climates A,B,..] [--presets name[:scale],..]\n"
+        "            [--buildings N] [--steps N] [--mbrl-frac F] [--days N]\n"
+        "            [--samples N] [--horizon N] [--seed N] [--sync]\n"
+        "            [--out FILE.json]",
+        cmd_serve_bench}},
+      {"export-c",
+       {{{"policy", true}, {"prefix", true}, {"out", true}, {"style", true}},
+        "export-c --policy FILE [--prefix ID] [--out DIR] [--style table|nested]",
+        cmd_export_c}},
+      {"explain",
+       {{{"policy", true}, {"input", true}},
+        "explain  --policy FILE --input s,To,RH,w,S,occ",
+        cmd_explain}},
+      {"print",
+       {{{"policy", true}, {"rules", false}},
+        "print    --policy FILE [--rules]",
+        cmd_print}},
+  };
+  return table;
+}
+
 void usage() {
+  std::fprintf(stderr, "usage: verihvac <command> [options]\n");
+  for (const auto& [name, command] : commands()) {
+    (void)name;
+    std::fprintf(stderr, "  %s\n", command.usage.c_str());
+  }
   std::fprintf(stderr,
-               "usage: verihvac <command> [options]\n"
-               "  extract  --out FILE [--city NAME] [--points N]\n"
-               "  verify   --policy FILE [--city NAME] [--correct] [--out FILE]\n"
-               "  campaign [--climates A,B,..] [--buildings name[:scale],..]\n"
-               "           [--comfort winter,summer] [--envelopes mild,design]\n"
-               "           [--samples N] [--reach-states N] [--points N] [--seed N]\n"
-               "           [--out FILE.csv]\n"
-               "  simulate --policy FILE [--city NAME] [--days N]\n"
-               "  export-c --policy FILE [--prefix ID] [--out DIR] [--style table|nested]\n"
-               "  explain  --policy FILE --input s,To,RH,w,S,occ\n"
-               "  print    --policy FILE [--rules]\n"
                "cities: Pittsburgh, Tucson, NewYork. VERI_HVAC_FULL=1 restores the\n"
-               "paper-scale hyperparameters for extract/verify.\n");
+               "paper-scale hyperparameters for extract/verify; VERI_HVAC_THREADS\n"
+               "sizes the shared worker pool for campaign/serve-bench.\n");
 }
 
 }  // namespace
@@ -310,16 +460,23 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
-  try {
-    const Args args(argc, argv, 2);
-    if (command == "extract") return cmd_extract(args);
-    if (command == "verify") return cmd_verify(args);
-    if (command == "campaign") return cmd_campaign(args);
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "export-c") return cmd_export_c(args);
-    if (command == "explain") return cmd_explain(args);
-    if (command == "print") return cmd_print(args);
+  if (command == "help" || command == "--help" || command == "-h") {
     usage();
+    return 0;
+  }
+  const auto it = commands().find(command);
+  if (it == commands().end()) {
+    std::fprintf(stderr, "verihvac: unknown command '%s'\n", command.c_str());
+    usage();
+    return 2;
+  }
+  try {
+    const Args args(argc, argv, 2, it->second.spec);
+    return it->second.run(args);
+  } catch (const std::invalid_argument& error) {
+    // Option/spec errors: say what was wrong and how to call this command.
+    std::fprintf(stderr, "verihvac %s: %s\nusage: verihvac %s\n", command.c_str(), error.what(),
+                 it->second.usage.c_str());
     return 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "verihvac %s: %s\n", command.c_str(), error.what());
