@@ -8,14 +8,22 @@
 // the experiment protocol they implement.
 #pragma once
 
+#include <chrono>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "common/timing.hpp"
 #include "control/evaluate.hpp"
 #include "core/pipeline.hpp"
 
 namespace verihvac::bench {
+
+// Timing helpers come from common/timing.hpp; re-exported here so bench
+// sources keep addressing them as bench::seconds_since.
+using verihvac::seconds_since;
 
 /// Pipeline config for `city` scaled by the VERI_HVAC_* environment knobs,
 /// plus bench-specific day-count override (VERI_HVAC_DAYS; the paper runs
@@ -40,5 +48,55 @@ std::string write_csv(const std::string& filename, const std::string& header,
 double mean_of(const std::vector<double>& xs);
 /// Population standard deviation (empty -> 0).
 double std_of(const std::vector<double>& xs);
+
+// ---------------------------------------------------------------------------
+// Trial aggregation (shared by the throughput/serving/adaptation benches).
+
+/// Runs `timed_run` `trials` times and returns the *minimum* wall seconds:
+/// scheduler noise only ever slows a trial down, so the best trial is the
+/// stable throughput estimate. (Percentile aggregation of latency samples
+/// is shared through serve::summarize_latencies.)
+double best_of_trials(std::size_t trials, const std::function<void()>& timed_run);
+
+// ---------------------------------------------------------------------------
+// Shared toy serving assets. The serving-layer benches measure machinery
+// (scheduler, telemetry, adaptation plumbing), not model quality: they need
+// artifacts with the paper's shapes and deterministic seeds, built in
+// milliseconds rather than via the full pipeline.
+
+/// Single-zone synthetic plant with HVAC pull toward the setpoints.
+double toy_plant(const std::vector<double>& x, const sim::SetpointPair& a);
+
+/// Paper-shaped dynamics model ({8, 32, 32, 1}) trained on toy_plant.
+std::shared_ptr<const dyn::DynamicsModel> toy_dynamics_model(std::size_t points = 2000,
+                                                             std::size_t epochs = 15);
+
+/// DT policy fitted on synthetic decision data over the default grid.
+std::shared_ptr<const core::DtPolicy> toy_decision_policy(std::size_t points = 400);
+
+// ---------------------------------------------------------------------------
+// BENCH_*.json emission: a minimal append-only JSON object writer so every
+// bench produces the same artifact shape without hand-rolled streams.
+
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& name, double value);
+  JsonObject& field(const std::string& name, std::size_t value);
+  JsonObject& field(const std::string& name, const std::string& value);
+  JsonObject& field_bool(const std::string& name, bool value);
+  /// Pre-rendered JSON (nested objects / arrays), inserted verbatim.
+  JsonObject& field_raw(const std::string& name, const std::string& json);
+  /// Renders a "name": [obj, obj, ...] array field.
+  JsonObject& field_array(const std::string& name, const std::vector<JsonObject>& rows);
+
+  std::string str() const;  ///< "{...}"
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes `object` (plus trailing newline) to VERI_HVAC_OUT/filename and
+/// returns the path.
+std::string write_bench_json(const std::string& filename, const JsonObject& object);
 
 }  // namespace verihvac::bench

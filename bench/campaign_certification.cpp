@@ -21,10 +21,7 @@
 namespace {
 
 using namespace verihvac;
-
-double seconds_since(const std::chrono::steady_clock::time_point& t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
+using bench::seconds_since;
 
 bool same_report(const core::IntervalReport& a, const core::IntervalReport& b) {
   if (a.leaves_subject != b.leaves_subject || a.leaves_certified != b.leaves_certified ||

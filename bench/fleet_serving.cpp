@@ -24,13 +24,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
 #include "serve/fleet_harness.hpp"
@@ -38,51 +37,7 @@
 namespace {
 
 using namespace verihvac;
-
-double toy_plant(const std::vector<double>& x, const sim::SetpointPair& a) {
-  const double t = x[env::kZoneTemp];
-  double dt = 0.08 * (x[env::kOutdoorTemp] - t);
-  if (t < a.heating_c) dt += 0.4 * std::min(a.heating_c - t, 1.2);
-  if (t > a.cooling_c) dt -= 0.35 * std::min(t - a.cooling_c, 1.2);
-  return t + dt;
-}
-
-/// Paper-shaped dynamics model ({8, 32, 32, 1}) trained on a synthetic
-/// plant: the bench measures serving machinery, not model quality.
-std::shared_ptr<const dyn::DynamicsModel> trained_model() {
-  Rng rng(1);
-  dyn::TransitionDataset data;
-  for (int i = 0; i < 2000; ++i) {
-    dyn::Transition t;
-    t.input = {rng.uniform(14.0, 28.0), rng.uniform(-8.0, 12.0), 50.0, 3.0,
-               rng.uniform(0.0, 400.0), rng.bernoulli(0.5) ? 11.0 : 0.0};
-    t.action.heating_c = static_cast<double>(rng.uniform_int(15, 23));
-    t.action.cooling_c = static_cast<double>(
-        rng.uniform_int(std::max(21, static_cast<int>(t.action.heating_c)), 30));
-    t.next_zone_temp = toy_plant(t.input, t.action);
-    data.add(t);
-  }
-  dyn::DynamicsModelConfig cfg;
-  cfg.trainer.epochs = 15;
-  auto model = std::make_shared<dyn::DynamicsModel>(cfg);
-  model->train(data);
-  return model;
-}
-
-std::shared_ptr<const core::DtPolicy> fitted_policy() {
-  control::ActionSpace actions;
-  Rng rng(3);
-  core::DecisionDataset data;
-  for (int i = 0; i < 400; ++i) {
-    core::DecisionRecord rec;
-    rec.input = {rng.uniform(12.0, 30.0), rng.uniform(-10.0, 35.0), rng.uniform(20.0, 95.0),
-                 rng.uniform(0.0, 12.0), rng.uniform(0.0, 600.0),
-                 rng.bernoulli(0.5) ? 11.0 : 0.0};
-    rec.action_index = rng.index(actions.size());
-    data.records.push_back(std::move(rec));
-  }
-  return std::make_shared<const core::DtPolicy>(core::DtPolicy::fit(data, actions));
-}
+using bench::seconds_since;
 
 env::Observation observation_for(std::size_t i) {
   env::Observation obs;
@@ -155,10 +110,6 @@ struct BenchRow {
   serve::LatencyStats latency;
 };
 
-double seconds_since(const std::chrono::steady_clock::time_point& t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
-
 void print_row(const BenchRow& row) {
   std::printf("%-6s %-9s %8zu %10zu %14.0f %10.1f %10.1f %10.1f\n", row.traffic.c_str(),
               row.mode.c_str(), row.threads, row.decisions, row.decisions_per_sec,
@@ -187,8 +138,8 @@ int main(int argc, char** argv) {
   std::printf("rs: samples=%zu horizon=%zu%s\n\n", rs.samples, rs.horizon,
               smoke ? " (smoke)" : "");
 
-  const auto policy = fitted_policy();
-  const auto model = trained_model();
+  const auto policy = bench::toy_decision_policy();
+  const auto model = bench::toy_dynamics_model();
 
   // ---- Equivalence gate: micro-batched == per-session scalar, 1/4/8 threads.
   {
@@ -347,26 +298,29 @@ int main(int argc, char** argv) {
   std::printf("mixed batched/unbatched:   %.2fx\n", mixed_win);
 
   // One JSON artifact for the perf trajectory (BENCH_serve.json).
-  const std::filesystem::path dir(output_dir());
-  std::filesystem::create_directories(dir);
-  const std::string path = (dir / "BENCH_serve.json").string();
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"fleet_serving\",\n";
-  out << "  \"rs_samples\": " << rs.samples << ",\n  \"rs_horizon\": " << rs.horizon
-      << ",\n  \"smoke\": " << (smoke ? "true" : "false") << ",\n  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const BenchRow& r = rows[i];
-    out << "    {\"traffic\": \"" << r.traffic << "\", \"mode\": \"" << r.mode
-        << "\", \"threads\": " << r.threads << ", \"decisions\": " << r.decisions
-        << ", \"decisions_per_sec\": " << r.decisions_per_sec
-        << ", \"p50_us\": " << r.latency.p50_us << ", \"p95_us\": " << r.latency.p95_us
-        << ", \"p99_us\": " << r.latency.p99_us << "}" << (i + 1 < rows.size() ? "," : "")
-        << "\n";
+  std::vector<bench::JsonObject> json_rows;
+  for (const BenchRow& r : rows) {
+    bench::JsonObject row;
+    row.field("traffic", r.traffic)
+        .field("mode", r.mode)
+        .field("threads", r.threads)
+        .field("decisions", r.decisions)
+        .field("decisions_per_sec", r.decisions_per_sec)
+        .field("p50_us", r.latency.p50_us)
+        .field("p95_us", r.latency.p95_us)
+        .field("p99_us", r.latency.p99_us);
+    json_rows.push_back(std::move(row));
   }
-  out << "  ],\n  \"dt_decisions_per_sec\": " << dt_rate
-      << ",\n  \"mbrl_batched_over_scalar_at_8_threads\": " << mbrl_win
-      << ",\n  \"mixed_batched_over_unbatched\": " << mixed_win << "\n}\n";
-  out.close();
+  bench::JsonObject artifact;
+  artifact.field("bench", std::string("fleet_serving"))
+      .field("rs_samples", rs.samples)
+      .field("rs_horizon", rs.horizon)
+      .field_bool("smoke", smoke)
+      .field_array("rows", json_rows)
+      .field("dt_decisions_per_sec", dt_rate)
+      .field("mbrl_batched_over_scalar_at_8_threads", mbrl_win)
+      .field("mixed_batched_over_unbatched", mixed_win);
+  const std::string path = bench::write_bench_json("BENCH_serve.json", artifact);
   std::printf("wrote %s\n", path.c_str());
 
   if (!smoke && dt_rate < 1e5) {

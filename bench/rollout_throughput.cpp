@@ -26,11 +26,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
 #include "control/random_shooting.hpp"
@@ -39,37 +38,8 @@
 namespace {
 
 using namespace verihvac;
-
-double toy_plant(const std::vector<double>& x, const sim::SetpointPair& a) {
-  const double t = x[env::kZoneTemp];
-  double dt = 0.08 * (x[env::kOutdoorTemp] - t);
-  if (t < a.heating_c) dt += 0.4 * std::min(a.heating_c - t, 1.2);
-  if (t > a.cooling_c) dt -= 0.35 * std::min(t - a.cooling_c, 1.2);
-  return t + dt;
-}
-
-/// Paper-scale dynamics model ({8, 32, 32, 1}) trained on a synthetic
-/// plant: the bench measures inference throughput, so the model only
-/// needs realistic shape, not a building simulation.
-dyn::DynamicsModel trained_model() {
-  Rng rng(1);
-  dyn::TransitionDataset data;
-  for (int i = 0; i < 2000; ++i) {
-    dyn::Transition t;
-    t.input = {rng.uniform(14.0, 28.0), rng.uniform(-8.0, 12.0), 50.0, 3.0,
-               rng.uniform(0.0, 400.0), rng.bernoulli(0.5) ? 11.0 : 0.0};
-    t.action.heating_c = static_cast<double>(rng.uniform_int(15, 23));
-    t.action.cooling_c = static_cast<double>(
-        rng.uniform_int(std::max(21, static_cast<int>(t.action.heating_c)), 30));
-    t.next_zone_temp = toy_plant(t.input, t.action);
-    data.add(t);
-  }
-  dyn::DynamicsModelConfig cfg;
-  cfg.trainer.epochs = 15;
-  dyn::DynamicsModel model(cfg);
-  model.train(data);
-  return model;
-}
+using bench::best_of_trials;
+using bench::seconds_since;
 
 env::Observation cold_occupied() {
   env::Observation obs;
@@ -79,10 +49,6 @@ env::Observation cold_occupied() {
   obs.weather.wind_mps = 3.0;
   obs.occupants = 11.0;
   return obs;
-}
-
-double seconds_since(const std::chrono::steady_clock::time_point& t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
 struct BenchRow {
@@ -110,7 +76,8 @@ int main(int argc, char** argv) {
   std::printf("candidates=%zu horizon=%zu reps=%zu%s\n\n", samples, horizon, reps,
               smoke ? " (smoke)" : "");
 
-  const dyn::DynamicsModel model = trained_model();
+  const std::shared_ptr<const dyn::DynamicsModel> model_ptr = bench::toy_dynamics_model();
+  const dyn::DynamicsModel& model = *model_ptr;
   const control::ActionSpace actions;
   const control::RandomShooting rs(control::RandomShootingConfig{1, horizon, 0.99}, actions,
                                    env::RewardConfig{});
@@ -160,12 +127,10 @@ int main(int argc, char** argv) {
                                      env::RewardConfig{});
       if (batched) scorer.set_engine(engine);
 
-      // Best of `trials` timed repetitions: scheduler noise only ever
-      // slows a trial down, so the max throughput is the stable estimate.
-      const std::size_t trials = smoke ? 1 : 3;
-      double secs = 0.0;
-      for (std::size_t trial = 0; trial < trials; ++trial) {
-        const auto t0 = std::chrono::steady_clock::now();
+      // Best-of-N timed repetitions (bench_common::best_of_trials):
+      // scheduler noise only ever slows a trial down, so the max
+      // throughput is the stable estimate.
+      const double secs = best_of_trials(smoke ? 1 : 3, [&] {
         for (std::size_t rep = 0; rep < reps; ++rep) {
           if (batched) {
             scorer.rollout_returns(model, obs, forecast, sequences, returns);
@@ -182,9 +147,7 @@ int main(int argc, char** argv) {
             });
           }
         }
-        const double trial_secs = seconds_since(t0);
-        if (trial == 0 || trial_secs < secs) secs = trial_secs;
-      }
+      });
       for (std::size_t s = 0; s < samples; ++s) {
         if (returns[s] != scalar_returns[s]) {
           std::printf("FAIL: %s mode at %zu threads diverged at candidate %zu\n",
@@ -220,24 +183,26 @@ int main(int argc, char** argv) {
   // One JSON artifact for the perf trajectory (BENCH_rollout.json schema:
   // a "rows" array with one object per (mode, threads) point plus the two
   // headline speedups).
-  const std::filesystem::path dir(output_dir());
-  std::filesystem::create_directories(dir);
-  const std::string path = (dir / "BENCH_rollout.json").string();
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"rollout_throughput\",\n";
-  out << "  \"samples\": " << samples << ",\n  \"horizon\": " << horizon
-      << ",\n  \"reps\": " << reps << ",\n  \"smoke\": " << (smoke ? "true" : "false")
-      << ",\n  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    out << "    {\"mode\": \"" << r.mode << "\", \"threads\": " << r.threads
-        << ", \"seconds\": " << r.seconds << ", \"candidates_per_sec\": " << r.candidates_per_sec
-        << ", \"model_steps_per_sec\": " << r.model_steps_per_sec << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+  std::vector<bench::JsonObject> json_rows;
+  for (const BenchRow& r : rows) {
+    bench::JsonObject row;
+    row.field("mode", r.mode)
+        .field("threads", r.threads)
+        .field("seconds", r.seconds)
+        .field("candidates_per_sec", r.candidates_per_sec)
+        .field("model_steps_per_sec", r.model_steps_per_sec);
+    json_rows.push_back(std::move(row));
   }
-  out << "  ],\n  \"batched_over_scalar_at_8_threads\": " << speedup_8t
-      << ",\n  \"batched_8t_over_scalar_1t\": " << speedup_vs_serial << "\n}\n";
-  out.close();
+  bench::JsonObject artifact;
+  artifact.field("bench", std::string("rollout_throughput"))
+      .field("samples", samples)
+      .field("horizon", horizon)
+      .field("reps", reps)
+      .field_bool("smoke", smoke)
+      .field_array("rows", json_rows)
+      .field("batched_over_scalar_at_8_threads", speedup_8t)
+      .field("batched_8t_over_scalar_1t", speedup_vs_serial);
+  const std::string path = bench::write_bench_json("BENCH_rollout.json", artifact);
   std::printf("wrote %s\n", path.c_str());
 
   if (!smoke && speedup_8t < 3.0) {

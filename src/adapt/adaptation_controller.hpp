@@ -1,0 +1,265 @@
+// Verified retrain -> certify -> hot-swap adaptation loop.
+//
+// Closes the loop PR 4 left open: the serving stack can hot-swap bundles,
+// but nothing produced a new one. The controller watches telemetry, and
+// when a building cluster's dynamics drift it manufactures a *certified*
+// replacement and promotes it — never anything uncertified:
+//
+//   pump():  drain TelemetryLog -> pair records into transitions ->
+//            one-step residuals against the cluster's model/ensemble ->
+//            DriftMonitor (Welford + Page-Hinkley)
+//   drift fired (and enough fresh transitions):
+//     1. snapshot telemetry into a dataset; split train / held-out tail
+//     2. fine-tune a *clone* of the serving dyn::DynamicsModel (and the
+//        cluster's dyn::EnsembleDynamics) on the train split — frozen
+//        normalizers, warm-started weights, generation-salted seeds
+//     3. re-distill: VIPER against the fine-tuned teacher (the MBRL agent
+//        over the candidate model) in the cluster's environment
+//     4. re-certify: Algorithm 1 formal check with correction, a clean
+//        formal re-check, and criterion #1 Monte-Carlo through the
+//        parallel core::VerificationEngine (shared TaskPool)
+//     5. shadow-evaluate: candidate vs incumbent bundle on the held-out
+//        telemetry, both scored through the candidate model — the
+//        candidate must not predict more comfort violations
+//     6. promote iff certified AND shadow-passed: PolicyRegistry::install
+//        (in-flight decisions finish on their snapshots — zero drops) +
+//        RequestScheduler::install_model, then reset the cluster's drift
+//        baseline
+//
+// Determinism: every stochastic step draws from seeds derived from
+// (config.seed, cluster generation) — two controllers fed the same
+// telemetry produce bit-identical candidate bundles for any
+// VERI_HVAC_THREADS (the engines' invariants), which the tests lock.
+//
+// Threading: pump() is safe to call manually and is what the background
+// worker (start()/stop(), condition-variable paced) calls on its own
+// thread; the heavy lifting inside an adaptation — batched rollouts,
+// Monte-Carlo verification — fans out over the shared common::TaskPool.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/drift_monitor.hpp"
+#include "adapt/telemetry.hpp"
+#include "core/verification_engine.hpp"
+#include "core/viper.hpp"
+#include "dynamics/ensemble.hpp"
+#include "serve/request_scheduler.hpp"
+
+namespace verihvac::adapt {
+
+struct AdaptationConfig {
+  DriftMonitorConfig drift;
+  /// Fresh telemetry transitions a cluster needs before a fired alarm is
+  /// acted on (fine-tuning on a handful of points would overfit).
+  std::size_t min_transitions = 64;
+  /// Trailing fraction of the snapshot held out for the shadow gate
+  /// (never trained on).
+  double holdout_fraction = 0.25;
+  std::size_t fine_tune_epochs = 30;
+  /// Candidate may predict at most this much more violation than the
+  /// incumbent on held-out telemetry (0 = must be no worse).
+  double shadow_margin = 0.0;
+  core::VerificationCriteria criteria;
+  std::size_t probabilistic_samples = 500;
+  /// Eq. 5 noise level for the certification sampler over the snapshot.
+  double noise_level = 0.01;
+  core::ViperConfig viper;
+  /// Teacher optimizer for re-distillation (refine_first_action is forced
+  /// on, matching the pipeline's sharpened supervision).
+  control::RandomShootingConfig teacher_rs{128, 5, 0.99};
+  control::ActionSpaceConfig action_space;
+  env::RewardConfig reward;
+  std::uint64_t seed = 2027;
+  /// Adaptations attempted per cluster before the controller stops trying
+  /// (a safety valve against retrain storms on unadaptable drift).
+  std::size_t max_generations = 4;
+  /// Background worker pacing.
+  std::chrono::milliseconds poll_interval{50};
+  /// Housekeeping: evict sessions idle for more than this many manager
+  /// admissions on every pump (0 = disabled).
+  std::uint64_t evict_idle_decisions = 0;
+};
+
+/// Per-cluster serving assets the controller adapts. The model is the one
+/// installed in the scheduler; the ensemble (optional; if supplied
+/// untrained it is first trained — on a clone — during the first
+/// promoted adaptation) provides the drift residual signal, falling back
+/// to the model when absent; the env config drives VIPER's student
+/// rollouts; the baseline dataset (the
+/// pipeline's historical collection, optional) widens the certification
+/// sampler beyond whatever operating slice the fresh telemetry happens to
+/// cover — a drift detected overnight must still certify against occupied
+/// daytime states.
+struct ClusterAssets {
+  std::shared_ptr<const dyn::DynamicsModel> model;
+  std::shared_ptr<dyn::EnsembleDynamics> ensemble;
+  env::EnvConfig env;
+  dyn::TransitionDataset baseline;
+};
+
+/// Predicted comfort outcome of a bundle on held-out telemetry.
+struct ShadowReport {
+  std::size_t transitions = 0;
+  std::size_t occupied = 0;
+  std::size_t predicted_violations = 0;
+
+  double violation_rate() const {
+    return occupied == 0
+               ? 0.0
+               : static_cast<double>(predicted_violations) / static_cast<double>(occupied);
+  }
+};
+
+/// Everything one adaptation attempt did, promoted or not.
+struct AdaptationReport {
+  std::string cluster;
+  std::uint64_t generation = 0;
+  DriftEvent trigger;
+  std::size_t train_transitions = 0;
+  std::size_t holdout_transitions = 0;
+  double fine_tune_val_loss = 0.0;
+  core::FormalReport formal;          ///< clean re-check after correction
+  core::ProbabilisticReport probabilistic;
+  bool certified = false;
+  ShadowReport shadow_candidate;
+  ShadowReport shadow_incumbent;
+  bool shadow_passed = false;
+  bool promoted = false;
+  std::uint64_t promoted_policy_version = 0;
+  std::uint64_t promoted_model_generation = 0;
+  double seconds = 0.0;
+};
+
+/// Scores `policy` on `holdout` through `model`: for each held-out
+/// occupied state, apply the policy's action, advance one step through the
+/// model, flag a predicted comfort violation. Exposed for tests.
+ShadowReport shadow_evaluate(const core::DtPolicy& policy, const dyn::DynamicsModel& model,
+                             const dyn::TransitionDataset& holdout,
+                             const env::ComfortRange& comfort);
+
+class AdaptationController {
+ public:
+  /// The scheduler reference must outlive the controller (the fleet
+  /// harness and benches own both). `pool` defaults to the shared
+  /// VERI_HVAC_THREADS pool.
+  AdaptationController(AdaptationConfig config, std::shared_ptr<TelemetryLog> telemetry,
+                       std::shared_ptr<serve::PolicyRegistry> registry,
+                       std::shared_ptr<serve::SessionManager> sessions,
+                       serve::RequestScheduler& scheduler,
+                       std::shared_ptr<const common::TaskPool> pool = nullptr);
+  ~AdaptationController();
+
+  AdaptationController(const AdaptationController&) = delete;
+  AdaptationController& operator=(const AdaptationController&) = delete;
+
+  const AdaptationConfig& config() const { return config_; }
+  const DriftMonitor& monitor() const { return monitor_; }
+
+  /// Registers a cluster (policy key) for adaptation. Unregistered keys'
+  /// telemetry is monitored but never adapted.
+  void register_cluster(const std::string& key, ClusterAssets assets);
+
+  /// One observe/decide/adapt cycle (see file comment). Serialized
+  /// internally, so manual pumps and the background worker can coexist.
+  /// Returns the number of adaptations attempted this cycle.
+  std::size_t pump();
+
+  /// Background worker: pump() every poll_interval until stop().
+  void start();
+  void stop();
+  bool running() const { return worker_.joinable(); }
+
+  struct Stats {
+    std::uint64_t records_drained = 0;
+    std::uint64_t records_lost = 0;
+    std::uint64_t transitions = 0;
+    std::uint64_t drift_events = 0;
+    std::uint64_t adaptations_attempted = 0;
+    std::uint64_t adaptations_promoted = 0;
+    std::uint64_t sessions_evicted = 0;
+  };
+  Stats stats() const;
+
+  /// Reports of every adaptation attempted so far (copy).
+  std::vector<AdaptationReport> history() const;
+
+ private:
+  struct Cluster {
+    ClusterAssets assets;
+    dyn::TransitionDataset pending;  ///< transitions since last promotion
+    std::uint64_t generation = 0;
+    bool drift_armed = false;  ///< alarm seen, waiting for min_transitions
+    /// After a failed attempt the alarm re-arms, but the next attempt
+    /// waits until pending grows past this floor — retries happen on
+    /// materially fresh telemetry, not in a tight retrain storm.
+    std::size_t retry_floor = 0;
+    DriftEvent trigger;
+  };
+
+  /// What one adaptation attempt hands back to the pump for commit.
+  struct AdaptOutcome {
+    AdaptationReport report;
+    /// Non-null iff promoted: the fine-tuned model now serving the key.
+    std::shared_ptr<const dyn::DynamicsModel> model;
+    /// Fine-tuned ensemble clone, committed as the residual baseline only
+    /// on promotion (a failed attempt must not shift drift detection).
+    std::shared_ptr<dyn::EnsembleDynamics> ensemble;
+  };
+
+  /// One paired transition plus the handles needed to score its residual
+  /// outside the state lock.
+  struct PendingTransition {
+    std::string key;
+    dyn::Transition transition;
+    std::shared_ptr<const dyn::DynamicsModel> model;  ///< null if unregistered
+    std::shared_ptr<dyn::EnsembleDynamics> ensemble;  ///< optional
+  };
+
+  /// Pairs drained records into transitions and snapshots per-cluster
+  /// scoring handles. Caller holds mutex_.
+  std::vector<PendingTransition> pair_records(const std::vector<TelemetryRecord>& records);
+  AdaptOutcome adapt_cluster(const std::string& key, const ClusterAssets& assets,
+                             const dyn::TransitionDataset& snapshot, std::uint64_t generation,
+                             const DriftEvent& trigger);
+
+  AdaptationConfig config_;
+  std::shared_ptr<TelemetryLog> telemetry_;
+  std::shared_ptr<serve::PolicyRegistry> registry_;
+  std::shared_ptr<serve::SessionManager> sessions_;
+  serve::RequestScheduler& scheduler_;
+  std::shared_ptr<const common::TaskPool> pool_;
+  core::VerificationEngine engine_;
+  DriftMonitor monitor_;
+
+  /// Serializes whole pump cycles (manual pumps and the background worker
+  /// may interleave); heavy adaptation work runs under this lock alone so
+  /// stats()/history() stay responsive.
+  std::mutex pump_mutex_;
+  mutable std::mutex mutex_;  ///< guards clusters_, pending_records_, history_, stats_
+  std::map<std::string, Cluster> clusters_;
+  /// Last record per session, awaiting its successor for transition pairing.
+  std::map<serve::SessionId, TelemetryRecord> pending_records_;
+  /// Session -> policy key cache (telemetry registrations are append-only;
+  /// refreshed only when the registration count changes).
+  std::map<serve::SessionId, std::string> session_keys_;
+  std::vector<TelemetryRecord> drain_buffer_;
+  std::vector<AdaptationReport> history_;
+  Stats stats_;
+
+  std::mutex worker_mutex_;
+  std::condition_variable worker_cv_;
+  bool stop_requested_ = false;
+  std::thread worker_;
+};
+
+}  // namespace verihvac::adapt

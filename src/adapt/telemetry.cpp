@@ -1,0 +1,426 @@
+#include "adapt/telemetry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace verihvac::adapt {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// The seqlock protocol (see the header comment). Readers copy optimistically
+// and validate with the slot's sequence; the payload copy itself is a plain
+// memcpy of a trivially-copyable record, with fences pinning the compiler's
+// ordering — the standard userspace-seqlock construction.
+
+}  // namespace
+
+std::vector<env::Disturbance> TelemetryRecord::forecast_vector() const {
+  std::vector<env::Disturbance> out(forecast_len);
+  for (std::size_t k = 0; k < forecast_len; ++k) {
+    out[k].weather.outdoor_temp_c = forecast[k].outdoor_temp_c;
+    out[k].weather.humidity_pct = forecast[k].humidity_pct;
+    out[k].weather.wind_mps = forecast[k].wind_mps;
+    out[k].weather.solar_wm2 = forecast[k].solar_wm2;
+    out[k].occupants = forecast[k].occupants;
+  }
+  return out;
+}
+
+TelemetryLog::TelemetryLog(TelemetryConfig config) : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  config_.shards = round_up_pow2(config_.shards);
+  shard_mask_ = config_.shards - 1;
+  const std::size_t capacity = round_up_pow2(std::max<std::size_t>(2, config_.capacity_per_shard));
+  slot_mask_ = capacity - 1;
+  const std::size_t forecast_capacity =
+      round_up_pow2(std::max<std::size_t>(2, config_.forecast_capacity_per_shard));
+  forecast_mask_ = forecast_capacity - 1;
+  dt_sample_mask_ = config_.dt_sample_period > 1
+                        ? round_up_pow2(config_.dt_sample_period) - 1
+                        : 0;
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->slots = std::vector<Slot>(capacity);
+    shard->forecast_slots = std::vector<ForecastSlot>(forecast_capacity);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t TelemetryLog::capacity_per_shard() const { return slot_mask_ + 1; }
+
+void TelemetryLog::register_session(serve::SessionId id, std::uint64_t seed,
+                                    const std::string& policy_key) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  sessions_[id] = TelemetrySession{id, seed, policy_key};
+}
+
+std::size_t TelemetryLog::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+std::vector<TelemetrySession> TelemetryLog::sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  std::vector<TelemetrySession> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    (void)id;
+    out.push_back(session);
+  }
+  return out;
+}
+
+void TelemetryLog::on_decision(const serve::DecisionEvent& event) noexcept {
+  // Deterministic DT sampling: record runs of two decision indices per
+  // period so transition pairing survives; MBRL always records.
+  if (dt_sample_mask_ != 0 && event.kind == serve::RequestKind::kDtPolicy &&
+      (event.decision_index & dt_sample_mask_) > 1) {
+    return;
+  }
+
+  Shard& shard = *shards_[static_cast<std::size_t>(event.session) & shard_mask_];
+
+  // Forecast first (MBRL only): its publication must be visible before
+  // the compact record that references it.
+  std::uint64_t forecast_ticket = 0;
+  std::uint16_t forecast_len = 0;
+  std::uint8_t forecast_truncated = 0;
+  bool has_forecast = false;
+  if (event.forecast != nullptr && !event.forecast->empty()) {
+    const std::vector<env::Disturbance>& forecast = *event.forecast;
+    const std::size_t n = std::min(forecast.size(), kTelemetryMaxForecast);
+    forecast_len = static_cast<std::uint16_t>(n);
+    forecast_truncated = forecast.size() > kTelemetryMaxForecast ? 1 : 0;
+    has_forecast = true;
+    forecast_ticket = shard.forecast_head.fetch_add(1, std::memory_order_relaxed);
+    ForecastSlot& fslot = shard.forecast_slots[forecast_ticket & forecast_mask_];
+    fslot.seq.store(2 * forecast_ticket + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    for (std::size_t k = 0; k < n; ++k) {
+      fslot.entries[k].outdoor_temp_c = forecast[k].weather.outdoor_temp_c;
+      fslot.entries[k].humidity_pct = forecast[k].weather.humidity_pct;
+      fslot.entries[k].wind_mps = forecast[k].weather.wind_mps;
+      fslot.entries[k].solar_wm2 = forecast[k].weather.solar_wm2;
+      fslot.entries[k].occupants = forecast[k].occupants;
+    }
+    fslot.seq.store(2 * forecast_ticket + 2, std::memory_order_release);
+  }
+
+  const std::uint64_t ticket = shard.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = shard.slots[ticket & slot_mask_];
+
+  // Mark writing (odd) before touching the payload so a lapped reader's
+  // re-check can never validate a half-overwritten copy.
+  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+
+  CompactRecord& r = slot.record;
+  r.session = event.session;
+  r.decision_index = event.decision_index;
+  r.session_seed = event.session_seed;
+  r.policy_version = event.policy_version;
+  r.kind = static_cast<std::uint8_t>(event.kind);
+  r.action_index = static_cast<std::uint32_t>(event.action_index);
+  r.latency_seconds = event.latency_seconds;
+  const env::Observation& obs = *event.observation;
+  r.obs[env::kZoneTemp] = obs.zone_temp_c;
+  r.obs[env::kOutdoorTemp] = obs.weather.outdoor_temp_c;
+  r.obs[env::kHumidity] = obs.weather.humidity_pct;
+  r.obs[env::kWind] = obs.weather.wind_mps;
+  r.obs[env::kSolar] = obs.weather.solar_wm2;
+  r.obs[env::kOccupancy] = obs.occupants;
+  r.heating_c = event.action.heating_c;
+  r.cooling_c = event.action.cooling_c;
+  r.forecast_len = forecast_len;
+  r.forecast_truncated = forecast_truncated;
+  r.forecast_ticket = has_forecast ? forecast_ticket + 1 : 0;  // 0 = none
+
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::uint64_t TelemetryLog::drain(std::vector<TelemetryRecord>& out) {
+  std::uint64_t lost = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    const std::uint64_t head = shard.head.load(std::memory_order_acquire);
+    std::uint64_t t = shard.tail;
+    // Anything more than one lap behind the claim counter is gone already.
+    const std::uint64_t capacity = slot_mask_ + 1;
+    if (head > capacity && t < head - capacity) {
+      lost += (head - capacity) - t;
+      t = head - capacity;
+    }
+    for (; t < head; ++t) {
+      Slot& slot = shard.slots[t & slot_mask_];
+      const std::uint64_t published = 2 * t + 2;
+      const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 < published) {
+        // The claiming producer has not published yet (claim/publish is a
+        // two-step dance): stop here and pick the rest up next drain.
+        break;
+      }
+      if (s1 == published) {
+        const CompactRecord copy = slot.record;
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_relaxed) == published &&
+            copy.forecast_len <= kTelemetryMaxForecast && copy.kind <= 1) {
+          // The field sanity checks guard the pathological writer-writer
+          // lap race (a producer stalled mid-write for a whole ring lap):
+          // a torn record must never drive the forecast memcpy below past
+          // its array, so implausible lengths/kinds count as lost.
+          TelemetryRecord record;
+          record.session = copy.session;
+          record.decision_index = copy.decision_index;
+          record.session_seed = copy.session_seed;
+          record.policy_version = copy.policy_version;
+          record.kind = copy.kind;
+          record.forecast_truncated = copy.forecast_truncated;
+          record.forecast_len = copy.forecast_len;
+          record.action_index = copy.action_index;
+          record.latency_seconds = copy.latency_seconds;
+          std::memcpy(record.obs, copy.obs, sizeof(record.obs));
+          record.heating_c = copy.heating_c;
+          record.cooling_c = copy.cooling_c;
+          if (copy.forecast_ticket != 0) {
+            // Side ring lookup; a lapped forecast makes the whole record
+            // unreplayable, so it counts as lost rather than emitted
+            // half-empty.
+            const std::uint64_t fticket = copy.forecast_ticket - 1;
+            ForecastSlot& fslot = shard.forecast_slots[fticket & forecast_mask_];
+            const std::uint64_t fpublished = 2 * fticket + 2;
+            const std::uint64_t f1 = fslot.seq.load(std::memory_order_acquire);
+            bool forecast_ok = false;
+            if (f1 == fpublished) {
+              std::memcpy(record.forecast, fslot.entries,
+                          sizeof(TelemetryDisturbance) * copy.forecast_len);
+              std::atomic_thread_fence(std::memory_order_acquire);
+              forecast_ok = fslot.seq.load(std::memory_order_relaxed) == fpublished;
+            }
+            if (!forecast_ok) {
+              ++lost;
+              continue;
+            }
+          }
+          out.push_back(record);
+          continue;
+        }
+      }
+      ++lost;  // lapped (or torn by a lapping writer) before we got to it
+    }
+    shard.tail = t;
+  }
+  lost_.fetch_add(lost, std::memory_order_relaxed);
+  return lost;
+}
+
+TelemetryLog::Stats TelemetryLog::stats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    stats.recorded += shard->head.load(std::memory_order_relaxed);
+  }
+  stats.lost = lost_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Versioned binary trace format. Fields are written in declaration order
+// with fixed widths (native little-endian); records store only the used
+// forecast prefix, so DT-heavy traces stay compact.
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'H', 'T', 'L'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("telemetry trace: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_trace(const TelemetryTrace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("telemetry trace: cannot write " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint32_t>(out, kTelemetryTraceVersion);
+
+  std::vector<TelemetrySession> sessions = trace.sessions;
+  std::sort(sessions.begin(), sessions.end(),
+            [](const TelemetrySession& a, const TelemetrySession& b) { return a.id < b.id; });
+  write_pod<std::uint64_t>(out, sessions.size());
+  for (const TelemetrySession& session : sessions) {
+    write_pod<std::uint64_t>(out, session.id);
+    write_pod<std::uint64_t>(out, session.seed);
+    write_pod<std::uint64_t>(out, session.policy_key.size());
+    out.write(session.policy_key.data(),
+              static_cast<std::streamsize>(session.policy_key.size()));
+  }
+
+  write_pod<std::uint64_t>(out, trace.records.size());
+  for (const TelemetryRecord& r : trace.records) {
+    write_pod<std::uint64_t>(out, r.session);
+    write_pod<std::uint64_t>(out, r.decision_index);
+    write_pod<std::uint64_t>(out, r.session_seed);
+    write_pod<std::uint64_t>(out, r.policy_version);
+    write_pod<std::uint8_t>(out, r.kind);
+    write_pod<std::uint8_t>(out, r.forecast_truncated);
+    write_pod<std::uint16_t>(out, r.forecast_len);
+    write_pod<std::uint32_t>(out, r.action_index);
+    write_pod<double>(out, r.latency_seconds);
+    for (std::size_t i = 0; i < env::kInputDims; ++i) write_pod<double>(out, r.obs[i]);
+    write_pod<double>(out, r.heating_c);
+    write_pod<double>(out, r.cooling_c);
+    for (std::size_t k = 0; k < r.forecast_len; ++k) {
+      write_pod<TelemetryDisturbance>(out, r.forecast[k]);
+    }
+  }
+  if (!out) throw std::runtime_error("telemetry trace: write failed for " + path);
+}
+
+TelemetryTrace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("telemetry trace: cannot read " + path);
+
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("telemetry trace: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kTelemetryTraceVersion) {
+    throw std::runtime_error("telemetry trace: unsupported version " + std::to_string(version) +
+                             " in " + path);
+  }
+
+  TelemetryTrace trace;
+  const auto n_sessions = read_pod<std::uint64_t>(in);
+  trace.sessions.reserve(n_sessions);
+  for (std::uint64_t s = 0; s < n_sessions; ++s) {
+    TelemetrySession session;
+    session.id = read_pod<std::uint64_t>(in);
+    session.seed = read_pod<std::uint64_t>(in);
+    const auto key_len = read_pod<std::uint64_t>(in);
+    session.policy_key.resize(key_len);
+    in.read(session.policy_key.data(), static_cast<std::streamsize>(key_len));
+    if (!in) throw std::runtime_error("telemetry trace: truncated file");
+    trace.sessions.push_back(std::move(session));
+  }
+
+  const auto n_records = read_pod<std::uint64_t>(in);
+  trace.records.reserve(n_records);
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    TelemetryRecord r;
+    r.session = read_pod<std::uint64_t>(in);
+    r.decision_index = read_pod<std::uint64_t>(in);
+    r.session_seed = read_pod<std::uint64_t>(in);
+    r.policy_version = read_pod<std::uint64_t>(in);
+    r.kind = read_pod<std::uint8_t>(in);
+    r.forecast_truncated = read_pod<std::uint8_t>(in);
+    r.forecast_len = read_pod<std::uint16_t>(in);
+    r.action_index = read_pod<std::uint32_t>(in);
+    r.latency_seconds = read_pod<double>(in);
+    for (std::size_t d = 0; d < env::kInputDims; ++d) r.obs[d] = read_pod<double>(in);
+    r.heating_c = read_pod<double>(in);
+    r.cooling_c = read_pod<double>(in);
+    if (r.forecast_len > kTelemetryMaxForecast) {
+      throw std::runtime_error("telemetry trace: forecast length exceeds format cap");
+    }
+    for (std::size_t k = 0; k < r.forecast_len; ++k) {
+      r.forecast[k] = read_pod<TelemetryDisturbance>(in);
+    }
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+dyn::TransitionDataset trace_to_dataset(const TelemetryTrace& trace) {
+  std::vector<const TelemetryRecord*> ordered;
+  ordered.reserve(trace.records.size());
+  for (const TelemetryRecord& r : trace.records) ordered.push_back(&r);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TelemetryRecord* a, const TelemetryRecord* b) {
+                     if (a->session != b->session) return a->session < b->session;
+                     return a->decision_index < b->decision_index;
+                   });
+
+  dyn::TransitionDataset dataset;
+  for (std::size_t i = 0; i + 1 < ordered.size(); ++i) {
+    const TelemetryRecord& cur = *ordered[i];
+    const TelemetryRecord& next = *ordered[i + 1];
+    if (cur.session != next.session || next.decision_index != cur.decision_index + 1) {
+      continue;  // capture gap: no fabricated transition
+    }
+    dyn::Transition transition;
+    transition.input = cur.obs_vector();
+    transition.action.heating_c = cur.heating_c;
+    transition.action.cooling_c = cur.cooling_c;
+    transition.next_zone_temp = next.obs[env::kZoneTemp];
+    dataset.add(std::move(transition));
+  }
+  return dataset;
+}
+
+ReplayReport replay_trace(const TelemetryTrace& trace, const ReplayAssets& assets,
+                          const ReplayConfig& config) {
+  const control::ActionSpace actions(config.action_space);
+  control::RandomShooting rs(config.rs, actions, config.reward);
+  if (config.engine != nullptr) rs.set_engine(config.engine);
+
+  ReplayReport report;
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    const TelemetryRecord& r = trace.records[i];
+    std::size_t replayed_action = 0;
+    if (r.request_kind() == serve::RequestKind::kDtPolicy) {
+      const auto it = assets.policies.find(r.policy_version);
+      if (it == assets.policies.end()) {
+        ++report.skipped_missing_assets;
+        continue;
+      }
+      replayed_action = it->second->decide_index(r.obs_vector());
+    } else {
+      if (r.forecast_truncated != 0) {
+        ++report.skipped_truncated;
+        continue;
+      }
+      const auto it = assets.models.find(r.policy_version);
+      if (it == assets.models.end()) {
+        ++report.skipped_missing_assets;
+        continue;
+      }
+      const env::Observation obs = env::Observation::from_vector(r.obs_vector());
+      const std::vector<env::Disturbance> forecast = r.forecast_vector();
+      // The decision's entire stochastic footprint, reconstructed from the
+      // record's stream coordinates — the same derivation the scheduler
+      // used at admission.
+      Rng rng = Rng::stream(r.session_seed, r.decision_index);
+      replayed_action = rs.optimize(*it->second, obs, forecast, rng);
+    }
+    ++report.replayed;
+    if (replayed_action == r.action_index) {
+      ++report.matched;
+    } else if (report.mismatches.size() < 16) {
+      report.mismatches.push_back({i, static_cast<std::size_t>(r.action_index), replayed_action});
+    }
+  }
+  return report;
+}
+
+}  // namespace verihvac::adapt

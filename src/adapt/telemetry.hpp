@@ -1,0 +1,296 @@
+// Fleet telemetry capture — the observation end of the adaptation loop.
+//
+// TelemetryLog is a serve::DecisionTap: every decision the scheduler
+// answers lands as one fixed-size record in a per-shard lock-free ring.
+// The write path is the whole point — it sits on the DT fast path, whose
+// overhead budget is single-digit percent of a sub-microsecond decision:
+//
+//   * claim: one relaxed fetch_add on the shard's ticket counter
+//     (wait-free; producers never loop, never block, never allocate);
+//   * publish: per-slot seqlock — the slot's sequence goes odd (writing),
+//     the POD payload is copied, and the sequence goes even at the
+//     claiming ticket's lap (release);
+//   * slots are *compact* (~2 cache lines): MBRL forecasts go to a
+//     separate, much smaller side ring referenced by ticket, so the
+//     common DT record write stays cache-resident instead of streaming a
+//     ~1 KB slot through DRAM;
+//   * optionally, DT decisions are sampled deterministically
+//     (TelemetryConfig::dt_sample_period) in runs of two consecutive
+//     decision indices — transition pairing still works, the fast-path
+//     duty cycle drops by ~period/2, and which decisions are recorded is
+//     a pure function of the decision index (thread- and replay-stable).
+//
+// When producers outrun the (single) consumer the ring *laps*: the oldest
+// unread records are overwritten and counted as lost — load shedding on
+// the observation path, never back-pressure on serving. drain() detects
+// both forms (lap skips and torn slots via the seqlock re-check) and
+// reports them, so capture completeness is an observable property: the
+// replay/dataset tests size the ring to the workload and assert zero
+// loss. One pathological interleaving — a producer stalled *mid-write*
+// for an entire ring lap while another producer claims the same slot —
+// can in principle defeat the per-slot sequence re-check; drain therefore
+// also sanity-checks the copied record's fixed-range fields and counts
+// implausible ones as lost, so a torn record can never corrupt a dataset
+// build or index out of the forecast arrays. Size rings so a lap takes
+// far longer than any producer's ~100 ns write and the window is moot.
+//
+// Records are self-describing for replay: they carry the decision's RNG
+// stream coordinates (session seed + decision index — the Rng::stream
+// keystone), the 6-dim observation, the served action, the bundle version
+// or model generation that decided, and (for MBRL) the disturbance
+// forecast the optimizer planned against. A trace (records + session
+// table) therefore supports both offline uses:
+//
+//   * trace_to_dataset(): pair session-consecutive records — decision
+//     d+1's observation is decision d's next state — into a
+//     dyn::TransitionDataset ready for fine-tuning;
+//   * replay_trace(): recompute every decision from its record alone and
+//     compare bit-for-bit with what was served (DT: one tree walk; MBRL:
+//     RandomShooting::optimize on Rng::stream(seed, d), which the
+//     scheduler's micro-batched path is test-locked against).
+//
+// The on-disk format is versioned binary (kTelemetryTraceVersion);
+// save/load round-trips are byte-identical.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "control/random_shooting.hpp"
+#include "core/dt_policy.hpp"
+#include "dynamics/dataset.hpp"
+#include "serve/decision_tap.hpp"
+
+namespace verihvac::adapt {
+
+/// Forecast steps stored inline per record — sized for the paper's
+/// planning horizon (20); longer forecasts are truncated and flagged
+/// (such records cannot be replayed, only counted).
+inline constexpr std::size_t kTelemetryMaxForecast = 20;
+
+/// One disturbance step, flattened for POD storage.
+struct TelemetryDisturbance {
+  double outdoor_temp_c = 0.0;
+  double humidity_pct = 0.0;
+  double wind_mps = 0.0;
+  double solar_wm2 = 0.0;
+  double occupants = 0.0;
+};
+
+/// One served decision. Trivially copyable by construction: the seqlock
+/// ring publishes records with raw copies, and the binary trace format
+/// writes them field by field.
+struct TelemetryRecord {
+  serve::SessionId session = 0;
+  std::uint64_t decision_index = 0;  ///< RNG stream id (fixed at admission)
+  std::uint64_t session_seed = 0;
+  /// DT: bundle registry version; MBRL: scheduler model generation.
+  std::uint64_t policy_version = 0;
+  std::uint8_t kind = 0;  ///< serve::RequestKind
+  std::uint8_t forecast_truncated = 0;
+  std::uint16_t forecast_len = 0;
+  std::uint32_t action_index = 0;
+  double latency_seconds = 0.0;
+  double obs[env::kInputDims] = {};  ///< 6-dim (s, d) policy input
+  double heating_c = 0.0;
+  double cooling_c = 0.0;
+  TelemetryDisturbance forecast[kTelemetryMaxForecast] = {};
+
+  serve::RequestKind request_kind() const { return static_cast<serve::RequestKind>(kind); }
+  std::vector<double> obs_vector() const { return {obs, obs + env::kInputDims}; }
+  /// Rebuilds the optimizer forecast (empty for DT records).
+  std::vector<env::Disturbance> forecast_vector() const;
+};
+static_assert(std::is_trivially_copyable_v<TelemetryRecord>,
+              "the seqlock ring and the binary trace format both require POD records");
+
+struct TelemetryConfig {
+  /// Independent rings; a session's records always land in the same shard
+  /// (session id masked by the shard count, rounded up to a power of two
+  /// so the fast path avoids an integer division), so per-session order
+  /// is the ticket order.
+  std::size_t shards = 4;
+  /// Slots per shard, rounded up to a power of two. Size to the expected
+  /// drain interval: producers overwrite (and drain() counts as lost)
+  /// anything older than one lap. Slots are compact (~128 B — forecasts
+  /// live in their own ring), so the default ring stays cache-resident
+  /// and the fast-path write never streams through DRAM.
+  std::size_t capacity_per_shard = 4096;
+  /// Forecast ring slots per shard (MBRL records only; one ~800 B entry
+  /// per decision). MBRL traffic is orders of magnitude rarer than DT, so
+  /// this ring can be much smaller.
+  std::size_t forecast_capacity_per_shard = 512;
+  /// Deterministic DT sampling: 1 records every DT decision (full-fidelity
+  /// capture for replay tests); a power-of-two period P > 1 records DT
+  /// decisions in runs of two — decision_index % P in {0, 1} — so
+  /// transition pairing still works while the fast-path duty cycle (and
+  /// hence capture overhead) drops by ~P/2. Index-based, so sampling is
+  /// reproducible and independent of threads. MBRL decisions are always
+  /// recorded (they are thousands of times more expensive than the tap).
+  std::size_t dt_sample_period = 1;
+};
+
+/// Session metadata recorded off the hot path (register_session), keyed
+/// into the trace so records stay fixed-size.
+struct TelemetrySession {
+  serve::SessionId id = 0;
+  std::uint64_t seed = 0;
+  std::string policy_key;
+};
+
+/// A drained capture: everything needed to rebuild datasets and replay.
+struct TelemetryTrace {
+  std::vector<TelemetrySession> sessions;  ///< sorted by id on save
+  std::vector<TelemetryRecord> records;
+};
+
+class TelemetryLog : public serve::DecisionTap {
+ public:
+  explicit TelemetryLog(TelemetryConfig config = {});
+
+  TelemetryLog(const TelemetryLog&) = delete;
+  TelemetryLog& operator=(const TelemetryLog&) = delete;
+
+  const TelemetryConfig& config() const { return config_; }
+  std::size_t capacity_per_shard() const;
+
+  /// Registers session metadata (seed + policy key) for the trace. Not on
+  /// the serving path: call it when the session opens (the fleet harness's
+  /// on_session_open hook does).
+  void register_session(serve::SessionId id, std::uint64_t seed, const std::string& policy_key);
+  std::vector<TelemetrySession> sessions() const;
+  /// Registered-session count without copying the table (registrations
+  /// only ever add, so a size change is a valid cache invalidator).
+  std::size_t session_count() const;
+
+  /// The tap: wait-free record of one decision (see file comment).
+  void on_decision(const serve::DecisionEvent& event) noexcept override;
+
+  /// Appends every record published since the last drain to `out` and
+  /// returns how many were lost (lapped or torn) in the drained window.
+  /// Single consumer: drains from concurrent threads must be externally
+  /// serialized (the adaptation controller's pump is that consumer).
+  std::uint64_t drain(std::vector<TelemetryRecord>& out);
+
+  /// Monotonic counters. `recorded` counts successful ring publications;
+  /// `lost` accumulates drain()-detected losses.
+  struct Stats {
+    std::uint64_t recorded = 0;
+    std::uint64_t lost = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// Ring payload without the forecast block: ~2 cache lines, so a DT
+  /// record write stays resident instead of streaming a ~1 KB slot.
+  struct CompactRecord {
+    serve::SessionId session = 0;
+    std::uint64_t decision_index = 0;
+    std::uint64_t session_seed = 0;
+    std::uint64_t policy_version = 0;
+    std::uint8_t kind = 0;
+    std::uint8_t forecast_truncated = 0;
+    std::uint16_t forecast_len = 0;
+    std::uint32_t action_index = 0;
+    double latency_seconds = 0.0;
+    double obs[env::kInputDims] = {};
+    double heating_c = 0.0;
+    double cooling_c = 0.0;
+    /// Ticket into the shard's forecast ring; kNoForecast for DT records.
+    std::uint64_t forecast_ticket = 0;
+  };
+
+  struct Slot {
+    /// Seqlock: 2*ticket+1 while writing, 2*ticket+2 once published.
+    std::atomic<std::uint64_t> seq{0};
+    CompactRecord record;
+  };
+
+  struct ForecastSlot {
+    std::atomic<std::uint64_t> seq{0};
+    TelemetryDisturbance entries[kTelemetryMaxForecast];
+  };
+
+  struct Shard {
+    std::vector<Slot> slots;
+    std::atomic<std::uint64_t> head{0};  ///< next ticket to claim
+    std::uint64_t tail = 0;              ///< next ticket to drain (consumer-owned)
+    std::vector<ForecastSlot> forecast_slots;
+    std::atomic<std::uint64_t> forecast_head{0};
+  };
+
+  TelemetryConfig config_;
+  std::size_t shard_mask_ = 0;
+  std::size_t slot_mask_ = 0;
+  std::size_t forecast_mask_ = 0;
+  std::size_t dt_sample_mask_ = 0;  ///< 0 = record every DT decision
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> lost_{0};
+
+  mutable std::mutex sessions_mutex_;
+  std::map<serve::SessionId, TelemetrySession> sessions_;
+};
+
+/// Current binary trace version (bumped on any layout change; readers
+/// reject versions they do not understand).
+inline constexpr std::uint32_t kTelemetryTraceVersion = 1;
+
+/// Writes the trace (sessions sorted by id, records in vector order).
+/// Throws std::runtime_error on I/O failure.
+void save_trace(const TelemetryTrace& trace, const std::string& path);
+/// Reads a trace; throws std::runtime_error on bad magic, unsupported
+/// version or a short file.
+TelemetryTrace load_trace(const std::string& path);
+
+/// Pairs session-consecutive decisions (d, d+1) into transitions: decision
+/// d's observation + action, with d+1's zone temperature as the observed
+/// next state. Records separated by capture loss produce no transition.
+dyn::TransitionDataset trace_to_dataset(const TelemetryTrace& trace);
+
+/// Serving artifacts for replay, keyed the way records reference them.
+struct ReplayAssets {
+  /// DT bundles by registry version (PolicyRegistry::install order).
+  std::map<std::uint64_t, std::shared_ptr<const core::DtPolicy>> policies;
+  /// MBRL models by scheduler generation (install_model return values).
+  std::map<std::uint64_t, std::shared_ptr<const dyn::DynamicsModel>> models;
+};
+
+struct ReplayConfig {
+  /// Must match the serving scheduler's optimizer/action/reward setup —
+  /// replay recomputes decisions, it does not approximate them.
+  control::RandomShootingConfig rs;
+  control::ActionSpaceConfig action_space;
+  env::RewardConfig reward;
+  /// Engine for batched candidate scoring (null = serial). Decisions are
+  /// bit-identical for any thread count (the PR 1/3 invariants), which the
+  /// replay tests sweep.
+  std::shared_ptr<const control::RolloutEngine> engine;
+};
+
+struct ReplayReport {
+  std::size_t replayed = 0;
+  std::size_t matched = 0;
+  std::size_t skipped_truncated = 0;  ///< forecast longer than the inline cap
+  std::size_t skipped_missing_assets = 0;
+  /// (record index, recorded action, replayed action) of the first
+  /// mismatches, for diagnostics.
+  std::vector<std::array<std::size_t, 3>> mismatches;
+
+  bool bit_identical() const { return replayed > 0 && matched == replayed; }
+};
+
+/// Recomputes every replayable decision in the trace from its record alone
+/// and compares with what was served. A trace captured with a large-enough
+/// ring replays bit-identically at any VERI_HVAC_THREADS (test-locked).
+ReplayReport replay_trace(const TelemetryTrace& trace, const ReplayAssets& assets,
+                          const ReplayConfig& config);
+
+}  // namespace verihvac::adapt

@@ -1,0 +1,15 @@
+// Wall-clock helpers shared by the serving/adaptation layers and the
+// bench harness (one home for the steady-clock idiom instead of a private
+// copy per translation unit).
+#pragma once
+
+#include <chrono>
+
+namespace verihvac {
+
+/// Seconds elapsed since `t0` on the steady clock.
+inline double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace verihvac

@@ -49,6 +49,34 @@ nn::TrainingReport DynamicsModel::train(const TransitionDataset& data) {
   return report;
 }
 
+DynamicsModel::DynamicsModel(const DynamicsModel& other)
+    : config_(other.config_),
+      network_(std::make_unique<nn::Mlp>(*other.network_)),
+      input_norm_(other.input_norm_),
+      delta_mean_(other.delta_mean_),
+      delta_std_(other.delta_std_),
+      trained_(other.trained_) {}
+
+nn::TrainingReport DynamicsModel::fine_tune(const TransitionDataset& data, std::size_t epochs,
+                                            std::uint64_t shuffle_salt) {
+  if (!trained_) throw std::logic_error("DynamicsModel::fine_tune before train");
+  if (data.empty()) throw std::invalid_argument("DynamicsModel::fine_tune: empty dataset");
+
+  // Frozen statistics: normalize the new data with the *original* fit so
+  // the network keeps seeing the input/target scales it was trained on.
+  const Matrix inputs = input_norm_.transform(data.inputs());
+  Matrix deltas(data.size(), 1);
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    const double delta = data.at(r).next_zone_temp - data.at(r).input[env::kZoneTemp];
+    deltas(r, 0) = (delta - delta_mean_) / delta_std_;
+  }
+
+  nn::TrainerConfig trainer = config_.trainer;
+  trainer.epochs = epochs;
+  trainer.shuffle_seed = config_.trainer.shuffle_seed + 0x5DEECE66Dull * (shuffle_salt + 1);
+  return nn::train(*network_, inputs, deltas, trainer);
+}
+
 double DynamicsModel::predict(const std::vector<double>& x,
                               const sim::SetpointPair& action) const {
   return predict(x, action, scratch_);

@@ -54,8 +54,25 @@ class DynamicsModel {
  public:
   explicit DynamicsModel(DynamicsModelConfig config = {});
 
+  /// Deep copy (network weights, normalizer, delta statistics). The
+  /// adaptation loop clones the serving model into a fine-tune candidate
+  /// so the incumbent keeps serving unchanged until promotion.
+  DynamicsModel(const DynamicsModel& other);
+  DynamicsModel& operator=(const DynamicsModel&) = delete;
+
   /// Fits normalizers + network on the dataset. Returns the training report.
   nn::TrainingReport train(const TransitionDataset& data);
+
+  /// Continues training the *already trained* network on `data` for
+  /// `epochs` epochs (warm start from the current weights; fresh Adam
+  /// moments). The input normalizer and delta statistics stay frozen, so
+  /// the interval-verifier decomposition (input_normalizer / delta_mean /
+  /// delta_std) remains valid and fine-tuning only moves the network — the
+  /// adaptation loop's retrain step. `shuffle_salt` perturbs the minibatch
+  /// shuffle seed so successive adaptation generations are independent yet
+  /// fully seeded. Throws std::logic_error before train().
+  nn::TrainingReport fine_tune(const TransitionDataset& data, std::size_t epochs,
+                               std::uint64_t shuffle_salt = 0);
 
   bool trained() const { return trained_; }
 

@@ -12,6 +12,14 @@ EnsembleDynamics::EnsembleDynamics(EnsembleConfig config) : config_(std::move(co
   if (config_.members == 0) throw std::invalid_argument("ensemble needs >= 1 member");
 }
 
+EnsembleDynamics::EnsembleDynamics(const EnsembleDynamics& other)
+    : config_(other.config_), trained_(other.trained_) {
+  members_.reserve(other.members_.size());
+  for (const auto& member : other.members_) {
+    members_.push_back(std::make_unique<DynamicsModel>(*member));
+  }
+}
+
 void EnsembleDynamics::train(const TransitionDataset& data) {
   if (data.empty()) throw std::invalid_argument("EnsembleDynamics::train: empty dataset");
   members_.clear();
@@ -30,6 +38,20 @@ void EnsembleDynamics::train(const TransitionDataset& data) {
     members_.push_back(std::move(model));
   }
   trained_ = true;
+}
+
+void EnsembleDynamics::fine_tune(const TransitionDataset& data, std::size_t epochs,
+                                 std::uint64_t generation) {
+  if (!trained_) throw std::logic_error("EnsembleDynamics::fine_tune before train");
+  if (data.empty()) throw std::invalid_argument("EnsembleDynamics::fine_tune: empty dataset");
+  Rng rng = Rng::stream(config_.bootstrap_seed, generation + 1);
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    TransitionDataset resample;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      resample.add(data.at(rng.index(data.size())));
+    }
+    members_[m]->fine_tune(resample, epochs, generation * members_.size() + m);
+  }
 }
 
 void EnsembleDynamics::predict_batch_into(const Matrix& model_inputs,

@@ -29,8 +29,22 @@ class EnsembleDynamics {
  public:
   explicit EnsembleDynamics(EnsembleConfig config = {});
 
+  /// Deep copy (every member's weights). The adaptation loop fine-tunes a
+  /// clone so a failed certification leaves the live drift-residual
+  /// baseline untouched.
+  EnsembleDynamics(const EnsembleDynamics& other);
+  EnsembleDynamics& operator=(const EnsembleDynamics&) = delete;
+
   /// Trains every member on an independent bootstrap resample of `data`.
   void train(const TransitionDataset& data);
+
+  /// Fine-tunes every *already trained* member for `epochs` epochs on an
+  /// independent bootstrap resample of `data` (fresh resamples drawn from
+  /// a generation-salted stream, so successive adaptation rounds are
+  /// independent yet reproducible). Member normalizers stay frozen — see
+  /// DynamicsModel::fine_tune. Throws std::logic_error before train().
+  void fine_tune(const TransitionDataset& data, std::size_t epochs,
+                 std::uint64_t generation = 0);
 
   bool trained() const { return trained_; }
   std::size_t member_count() const { return members_.size(); }

@@ -38,6 +38,10 @@ Observation BuildingEnv::reset() {
   return current_;
 }
 
+void BuildingEnv::apply_degradation(const sim::Degradation& degradation) {
+  simulator_.degrade(degradation);
+}
+
 StepOutcome BuildingEnv::step(const sim::SetpointPair& action) {
   if (done_) throw std::logic_error("BuildingEnv::step called on a finished episode");
 

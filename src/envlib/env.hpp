@@ -74,6 +74,13 @@ class BuildingEnv {
   /// 15-minute step. Must not be called after done.
   StepOutcome step(const sim::SetpointPair& action);
 
+  /// Injects in-service building drift (equipment wear, envelope leakage)
+  /// into the running plant mid-episode. Thermal state, weather and
+  /// occupancy are untouched: from the controller's point of view the
+  /// *dynamics* silently changed — the drift-scenario axis the adaptation
+  /// loop must detect and recover from.
+  void apply_degradation(const sim::Degradation& degradation);
+
   /// Current observation (valid between reset/step calls).
   const Observation& observation() const { return current_; }
 

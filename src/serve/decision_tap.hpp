@@ -1,0 +1,60 @@
+// Decision tap — the serving path's telemetry seam.
+//
+// A tap observes every decision the scheduler answers, *after* it is
+// computed and immediately before it is returned/fulfilled. The serving
+// layer stays ignorant of what listens (the adaptation subsystem's
+// telemetry ring implements this interface one layer up), and an
+// uninstalled tap costs one branch on the fast path.
+//
+// Contract for implementations:
+//   * on_decision runs on the serving thread (front-end caller for DT,
+//     scheduler worker for micro-batched MBRL). It must be cheap and
+//     non-blocking — the DT fast path budget is nanoseconds.
+//   * The event's pointer members borrow storage owned by the scheduler;
+//     they are valid only for the duration of the callback. Copy what you
+//     keep.
+//   * noexcept: a tap must never fail a decision that already succeeded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace verihvac::serve {
+
+struct DecisionEvent {
+  SessionId session = 0;
+  /// The decision's RNG-stream coordinates, fixed at admission
+  /// (DecisionTicket): Rng::stream(session_seed, decision_index) replays
+  /// an MBRL decision's entire stochastic footprint.
+  std::uint64_t decision_index = 0;
+  std::uint64_t session_seed = 0;
+  RequestKind kind = RequestKind::kDtPolicy;
+  /// Borrowed; valid only inside the callback.
+  const std::string* policy_key = nullptr;
+  /// DT: the bundle's registry version. MBRL: the serving model's
+  /// scheduler generation (install_model return value). Either way it
+  /// pins which hot-swappable artifact decided, so traces replay across
+  /// swaps.
+  std::uint64_t policy_version = 0;
+  std::size_t action_index = 0;
+  sim::SetpointPair action;
+  /// Borrowed; valid only inside the callback.
+  const env::Observation* observation = nullptr;
+  /// Borrowed; null/empty for DT decisions (the fast path carries none).
+  const std::vector<env::Disturbance>* forecast = nullptr;
+  /// Serving latency. DT decisions are timed only when
+  /// SchedulerConfig::tap_time_dt is set (two clock reads dwarf the tree
+  /// walk); MBRL decisions carry their batch's solve time.
+  double latency_seconds = 0.0;
+};
+
+class DecisionTap {
+ public:
+  virtual ~DecisionTap() = default;
+  virtual void on_decision(const DecisionEvent& event) noexcept = 0;
+};
+
+}  // namespace verihvac::serve

@@ -7,16 +7,13 @@
 #include <sstream>
 #include <utility>
 
+#include "common/timing.hpp"
 #include "envlib/env.hpp"
 #include "weather/climate.hpp"
 
 namespace verihvac::serve {
 
 namespace {
-
-double seconds_since(const std::chrono::steady_clock::time_point& t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
 
 double percentile(const std::vector<double>& sorted, double pct) {
   if (sorted.empty()) return 0.0;
@@ -88,7 +85,8 @@ std::string FleetReport::to_json() const {
   out << ", \"energy_kwh\": " << energy_kwh << ", \"violation_rate\": " << violation_rate()
       << ", \"wall_seconds\": " << wall_seconds
       << ", \"batches\": " << scheduler_stats.batches
-      << ", \"max_batch\": " << scheduler_stats.max_batch << "}";
+      << ", \"max_batch\": " << scheduler_stats.max_batch
+      << ", \"dropped_decisions\": " << dropped_decisions << "}";
   return out.str();
 }
 
@@ -101,6 +99,7 @@ FleetHarness::FleetHarness(FleetConfig config, FleetAssetProvider assets,
   scheduler_ = std::make_unique<RequestScheduler>(config_.scheduler, registry_, sessions_,
                                                   config_.rs, control::ActionSpace{},
                                                   env::RewardConfig{}, std::move(pool));
+  if (config_.tap != nullptr) scheduler_->set_tap(config_.tap);
 }
 
 FleetReport FleetHarness::run() {
@@ -142,6 +141,7 @@ FleetReport FleetHarness::run() {
         session.policy_key = key;
         session.seed = config_.seed + 7919ull * building_index;
         building.session = sessions_->open(session);
+        if (config_.on_session_open) config_.on_session_open(building.session, session);
         episode_steps = std::min(episode_steps, building.env->horizon_steps());
         fleet.push_back(std::move(building));
       }
@@ -158,8 +158,21 @@ FleetReport FleetHarness::run() {
   double dt_serve_wall = 0.0;
   double mbrl_serve_wall = 0.0;  // submit -> last completion, overlap counted once
 
+  report.step_metrics.resize(episode_steps);
+
   const auto t_run = std::chrono::steady_clock::now();
   for (std::size_t step = 0; step < episode_steps; ++step) {
+    FleetStepMetrics& step_metrics = report.step_metrics[step];
+
+    // Drift injection: the plants silently change; the serving stack only
+    // ever finds out through telemetry residuals.
+    for (const FleetDriftEvent& event : config_.drift) {
+      if (event.at_step != step) continue;
+      for (Building& building : fleet) {
+        if (!building.done) building.env->apply_degradation(event.degradation);
+      }
+    }
+
     // DT fast path: inline, one serving call per building, timed per call.
     for (Building& building : fleet) {
       if (building.done || building.kind != RequestKind::kDtPolicy) continue;
@@ -172,12 +185,19 @@ FleetReport FleetHarness::run() {
       dt_latencies.push_back(seconds_since(t0));
       dt_serve_wall += dt_latencies.back();  // inline calls never overlap
       ++report.dt_decisions;
+      step_metrics.max_policy_version =
+          std::max(step_metrics.max_policy_version, decision.policy_version);
 
       const env::StepOutcome outcome = building.env->step(decision.action);
       report.energy_kwh += outcome.energy_kwh;
+      step_metrics.energy_kwh += outcome.energy_kwh;
       if (outcome.occupied) {
         ++report.occupied_steps;
-        if (outcome.comfort_violation) ++report.occupied_violations;
+        ++step_metrics.occupied_steps;
+        if (outcome.comfort_violation) {
+          ++report.occupied_violations;
+          ++step_metrics.occupied_violations;
+        }
       }
       building.obs = outcome.observation;
       building.done = outcome.done;
@@ -208,23 +228,42 @@ FleetReport FleetHarness::run() {
     // Collect every decision before touching the plants: the serving
     // window (first submit -> last completion) must not meter env time.
     std::vector<ControlDecision> cohort_decisions(cohort.size());
+    std::vector<bool> cohort_served(cohort.size(), false);
     for (std::size_t i = 0; i < cohort.size(); ++i) {
-      cohort_decisions[i] = futures[i].get();
-      mbrl_latencies.push_back(seconds_since(submitted[i]));
-      ++report.mbrl_decisions;
+      try {
+        cohort_decisions[i] = futures[i].get();
+        cohort_served[i] = true;
+        // Only decisions actually served enter the latency/throughput
+        // metrics: an exception's time-to-failure is not a serving
+        // latency.
+        mbrl_latencies.push_back(seconds_since(submitted[i]));
+        ++report.mbrl_decisions;
+      } catch (...) {
+        // A dropped in-flight decision. The hot-swap contract says this
+        // never happens during a promotion; the drift benches assert 0.
+        ++report.dropped_decisions;
+      }
     }
     if (!cohort.empty()) mbrl_serve_wall += seconds_since(t_cohort);
     for (std::size_t i = 0; i < cohort.size(); ++i) {
+      if (!cohort_served[i]) continue;
       Building& building = *cohort[i];
       const env::StepOutcome outcome = building.env->step(cohort_decisions[i].action);
       report.energy_kwh += outcome.energy_kwh;
+      step_metrics.energy_kwh += outcome.energy_kwh;
       if (outcome.occupied) {
         ++report.occupied_steps;
-        if (outcome.comfort_violation) ++report.occupied_violations;
+        ++step_metrics.occupied_steps;
+        if (outcome.comfort_violation) {
+          ++report.occupied_violations;
+          ++step_metrics.occupied_violations;
+        }
       }
       building.obs = outcome.observation;
       building.done = outcome.done;
     }
+
+    if (config_.on_step) config_.on_step(*this, step);
   }
   report.wall_seconds = seconds_since(t_run);
 

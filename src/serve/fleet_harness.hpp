@@ -25,8 +25,11 @@
 #include <vector>
 
 #include "serve/request_scheduler.hpp"
+#include "thermosim/building.hpp"
 
 namespace verihvac::serve {
+
+class FleetHarness;
 
 struct FleetPreset {
   std::string name = "baseline";
@@ -43,6 +46,15 @@ struct FleetAssets {
 /// Called once per (climate x preset) cell, serially, in grid order.
 using FleetAssetProvider = std::function<FleetAssets(const std::string& climate,
                                                      const FleetPreset& preset)>;
+
+/// One mid-run drift injection: before fleet step `at_step`, every
+/// building's plant degrades in place (HVAC efficiency loss, envelope
+/// leak — see sim::Degradation). The serving stack is not told: detecting
+/// the change from telemetry is the adaptation loop's job.
+struct FleetDriftEvent {
+  std::size_t at_step = 0;
+  sim::Degradation degradation;
+};
 
 struct FleetConfig {
   std::vector<std::string> climates{"Pittsburgh"};
@@ -62,6 +74,17 @@ struct FleetConfig {
   /// micro-batching). false: each is solved inline at submit — the
   /// per-session reference; decisions are identical either way.
   bool async = true;
+  /// Mid-run degradation scenario (empty = stationary buildings).
+  std::vector<FleetDriftEvent> drift;
+  /// Decision tap installed into the scheduler (telemetry capture).
+  std::shared_ptr<DecisionTap> tap;
+  /// Called once per opened session, after open() — the telemetry log
+  /// registers (session, seed, policy key) here, off the serving path.
+  std::function<void(SessionId, const SessionConfig&)> on_session_open;
+  /// Called after every fleet step with the harness and the step index
+  /// just completed — the closed-loop benches pump the adaptation
+  /// controller here.
+  std::function<void(FleetHarness&, std::size_t)> on_step;
 };
 
 struct LatencyStats {
@@ -86,6 +109,23 @@ struct LatencyStats {
 /// Sorts `seconds` in place and returns its percentile summary.
 LatencyStats summarize_latencies(std::vector<double>& seconds);
 
+/// Fleet-wide plant metrics of one control step (the drift benches window
+/// these into pre-drift / degraded / post-adaptation phases).
+struct FleetStepMetrics {
+  double energy_kwh = 0.0;
+  std::size_t occupied_steps = 0;
+  std::size_t occupied_violations = 0;
+  /// Highest registry version that served a DT decision this step — a
+  /// jump marks the hot-swap landing.
+  std::uint64_t max_policy_version = 0;
+
+  double violation_rate() const {
+    return occupied_steps == 0
+               ? 0.0
+               : static_cast<double>(occupied_violations) / static_cast<double>(occupied_steps);
+  }
+};
+
 struct FleetReport {
   std::size_t buildings = 0;
   std::size_t steps = 0;
@@ -98,6 +138,11 @@ struct FleetReport {
   std::size_t occupied_violations = 0;
   double wall_seconds = 0.0;
   RequestScheduler::Stats scheduler_stats;
+  /// Decisions whose future failed (scheduler shutdown/exception). The
+  /// hot-swap contract is zero: a promotion must never drop an in-flight
+  /// decision.
+  std::size_t dropped_decisions = 0;
+  std::vector<FleetStepMetrics> step_metrics;  ///< one entry per fleet step
 
   double violation_rate() const {
     return occupied_steps == 0
@@ -126,6 +171,12 @@ class FleetHarness {
   const PolicyRegistry& registry() const { return *registry_; }
   const SessionManager& sessions() const { return *sessions_; }
   RequestScheduler& scheduler() { return *scheduler_; }
+
+  /// Shared handles for the adaptation loop: the controller that promotes
+  /// a re-certified bundle installs into the same registry/scheduler the
+  /// harness serves from.
+  const std::shared_ptr<PolicyRegistry>& registry_ptr() const { return registry_; }
+  const std::shared_ptr<SessionManager>& sessions_ptr() const { return sessions_; }
 
  private:
   FleetConfig config_;

@@ -1,6 +1,7 @@
 #include "serve/request_scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -38,19 +39,25 @@ RequestScheduler::RequestScheduler(SchedulerConfig config,
 
 RequestScheduler::~RequestScheduler() { stop(); }
 
-void RequestScheduler::install_model(const std::string& key,
-                                     std::shared_ptr<const dyn::DynamicsModel> model) {
+std::uint64_t RequestScheduler::install_model(const std::string& key,
+                                              std::shared_ptr<const dyn::DynamicsModel> model) {
   std::unique_lock<std::shared_mutex> lock(models_mutex_);
-  models_[key] = std::move(model);
+  const std::uint64_t generation = next_model_generation_++;
+  models_[key] = ModelEntry{std::move(model), generation};
+  return generation;
 }
 
-void RequestScheduler::set_default_model(std::shared_ptr<const dyn::DynamicsModel> model) {
+std::uint64_t RequestScheduler::set_default_model(
+    std::shared_ptr<const dyn::DynamicsModel> model) {
   std::unique_lock<std::shared_mutex> lock(models_mutex_);
-  default_model_ = std::move(model);
+  const std::uint64_t generation = next_model_generation_++;
+  default_model_ = ModelEntry{std::move(model), generation};
+  return generation;
 }
 
-std::shared_ptr<const dyn::DynamicsModel> RequestScheduler::model_for(
-    const std::string& key) const {
+void RequestScheduler::set_tap(std::shared_ptr<DecisionTap> tap) { tap_ = std::move(tap); }
+
+RequestScheduler::ModelEntry RequestScheduler::model_for(const std::string& key) const {
   std::shared_lock<std::shared_mutex> lock(models_mutex_);
   const auto it = models_.find(key);
   return it != models_.end() ? it->second : default_model_;
@@ -78,6 +85,11 @@ void RequestScheduler::stop() {
 }
 
 ControlDecision RequestScheduler::serve_dt(const ControlRequest& request) {
+  DecisionTap* const tap = tap_.get();
+  const bool timed = tap != nullptr && config_.tap_time_dt;
+  const auto t0 =
+      timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+
   const DecisionTicket ticket =
       sessions_->begin_decision(request.session, RequestKind::kDtPolicy, request.observation);
   const PolicySnapshot snapshot = registry_->lookup(ticket.policy_key);
@@ -89,6 +101,23 @@ ControlDecision RequestScheduler::serve_dt(const ControlRequest& request) {
   decision.action = snapshot.policy->actions().action(index);
   decision.kind = RequestKind::kDtPolicy;
   decision.policy_version = snapshot.version;
+
+  if (tap != nullptr) {
+    DecisionEvent event;
+    event.session = ticket.session;
+    event.decision_index = ticket.stream;
+    event.session_seed = ticket.seed;
+    event.kind = RequestKind::kDtPolicy;
+    event.policy_key = &ticket.policy_key;
+    event.policy_version = snapshot.version;
+    event.action_index = decision.action_index;
+    event.action = decision.action;
+    event.observation = &request.observation;
+    event.latency_seconds =
+        timed ? std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count()
+              : 0.0;
+    tap->on_decision(event);
+  }
   return decision;
 }
 
@@ -178,9 +207,11 @@ void RequestScheduler::worker_loop() {
 }
 
 void RequestScheduler::solve_batch(std::vector<Pending>& batch) {
+  const auto t_solve = std::chrono::steady_clock::now();
   struct Job {
     Pending* pending = nullptr;
     std::shared_ptr<const dyn::DynamicsModel> model;
+    std::uint64_t model_generation = 0;
     std::vector<std::vector<std::size_t>> sequences;
     std::vector<double> returns;
     std::size_t offset = 0;  ///< start in the flattened candidate space
@@ -191,8 +222,8 @@ void RequestScheduler::solve_batch(std::vector<Pending>& batch) {
   jobs.reserve(batch.size());
   for (Pending& pending : batch) {
     try {
-      std::shared_ptr<const dyn::DynamicsModel> model = model_for(pending.ticket.policy_key);
-      if (model == nullptr) {
+      ModelEntry entry = model_for(pending.ticket.policy_key);
+      if (entry.model == nullptr) {
         throw std::runtime_error("RequestScheduler: no dynamics model installed for key '" +
                                  pending.ticket.policy_key + "'");
       }
@@ -205,7 +236,8 @@ void RequestScheduler::solve_batch(std::vector<Pending>& batch) {
       Rng rng = Rng::stream(pending.ticket.seed, pending.ticket.stream);
       Job job;
       job.pending = &pending;
-      job.model = std::move(model);
+      job.model = std::move(entry.model);
+      job.model_generation = entry.generation;
       job.sequences = rs_.draw_sequences(rng);
       job.returns.assign(job.sequences.size(), 0.0);
       jobs.push_back(std::move(job));
@@ -288,12 +320,37 @@ void RequestScheduler::solve_batch(std::vector<Pending>& batch) {
     atomic_max(max_batch_, jobs.size());
   }
 
+  DecisionTap* const tap = tap_.get();
+  const double solve_seconds =
+      tap != nullptr
+          ? std::chrono::duration<double>(std::chrono::steady_clock::now() - t_solve).count()
+          : 0.0;
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     ControlDecision decision;
     decision.action_index = best_sequences[j].front();
     decision.action = actions_.action(decision.action_index);
     decision.kind = RequestKind::kMbrlFallback;
     decision.policy_version = 0;
+    if (tap != nullptr) {
+      // Tap before fulfilling: a caller that drains telemetry right after
+      // future.get() must already see its own decision recorded.
+      DecisionEvent event;
+      event.session = jobs[j].pending->ticket.session;
+      event.decision_index = jobs[j].pending->ticket.stream;
+      event.session_seed = jobs[j].pending->ticket.seed;
+      event.kind = RequestKind::kMbrlFallback;
+      event.policy_key = &jobs[j].pending->ticket.policy_key;
+      // MBRL events carry the serving model's generation where DT events
+      // carry the bundle's registry version — replay needs to know which
+      // hot-swapped model decided.
+      event.policy_version = jobs[j].model_generation;
+      event.action_index = decision.action_index;
+      event.action = decision.action;
+      event.observation = &jobs[j].pending->request.observation;
+      event.forecast = &jobs[j].pending->request.forecast;
+      event.latency_seconds = solve_seconds;
+      tap->on_decision(event);
+    }
     jobs[j].pending->promise.set_value(decision);
   }
 }

@@ -41,6 +41,7 @@
 
 #include "common/task_pool.hpp"
 #include "control/random_shooting.hpp"
+#include "serve/decision_tap.hpp"
 #include "serve/mpsc_queue.hpp"
 #include "serve/policy_registry.hpp"
 #include "serve/request.hpp"
@@ -59,6 +60,12 @@ struct SchedulerConfig {
   /// false = serve each queued request alone (the per-session reference;
   /// decisions are bit-identical either way, only throughput changes).
   bool micro_batching = true;
+  /// Time DT decisions for the tap. Off by default: two steady_clock reads
+  /// cost more than the tree walk they would measure, and the telemetry
+  /// overhead budget on the fast path is single-digit percent. MBRL
+  /// decisions are always timed (batch solve time, negligible relative
+  /// cost).
+  bool tap_time_dt = false;
 };
 
 class RequestScheduler {
@@ -76,10 +83,20 @@ class RequestScheduler {
 
   /// Registers the dynamics model backing MBRL fallback for sessions whose
   /// policy key is `key` (hot-swappable, same snapshot semantics as the
-  /// policy registry).
-  void install_model(const std::string& key, std::shared_ptr<const dyn::DynamicsModel> model);
-  /// Fallback model for keys without a dedicated entry.
-  void set_default_model(std::shared_ptr<const dyn::DynamicsModel> model);
+  /// policy registry). Returns the model's generation: a scheduler-wide
+  /// monotonic counter stamped into MBRL telemetry events, so a trace
+  /// spanning a hot-swap still knows which model served each decision.
+  std::uint64_t install_model(const std::string& key,
+                              std::shared_ptr<const dyn::DynamicsModel> model);
+  /// Fallback model for keys without a dedicated entry (also generation-
+  /// stamped).
+  std::uint64_t set_default_model(std::shared_ptr<const dyn::DynamicsModel> model);
+
+  /// Installs (or clears, with nullptr) the decision tap. Install before
+  /// serving starts: the fast path reads the pointer unsynchronized, so
+  /// swapping it while requests are in flight is a race.
+  void set_tap(std::shared_ptr<DecisionTap> tap);
+  DecisionTap* tap() const { return tap_.get(); }
 
   /// Starts / stops the scheduler thread that drains the MBRL queue.
   /// serve() and serve_batch() work without it (solving inline); MBRL
@@ -125,8 +142,13 @@ class RequestScheduler {
     std::promise<ControlDecision> promise;
   };
 
+  struct ModelEntry {
+    std::shared_ptr<const dyn::DynamicsModel> model;
+    std::uint64_t generation = 0;
+  };
+
   ControlDecision serve_dt(const ControlRequest& request);
-  std::shared_ptr<const dyn::DynamicsModel> model_for(const std::string& key) const;
+  ModelEntry model_for(const std::string& key) const;
   void worker_loop();
   /// Draws, scores and answers one coalesced batch (fulfills promises).
   void solve_batch(std::vector<Pending>& batch);
@@ -139,8 +161,10 @@ class RequestScheduler {
   std::shared_ptr<const common::TaskPool> pool_;
 
   mutable std::shared_mutex models_mutex_;
-  std::map<std::string, std::shared_ptr<const dyn::DynamicsModel>> models_;
-  std::shared_ptr<const dyn::DynamicsModel> default_model_;
+  std::map<std::string, ModelEntry> models_;
+  ModelEntry default_model_;
+  std::uint64_t next_model_generation_ = 1;
+  std::shared_ptr<DecisionTap> tap_;
 
   BoundedMpscQueue<Pending> queue_;
   std::thread worker_;

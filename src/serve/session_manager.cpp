@@ -12,6 +12,7 @@ SessionId SessionManager::open(SessionConfig config) {
   SessionState state;
   state.id = id;
   state.config = std::move(config);
+  state.last_active = admissions_.load(std::memory_order_relaxed);
   if (state.config.history_limit > 0) state.history.reserve(state.config.history_limit);
   Shard& shard = shard_for(id);
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -23,6 +24,27 @@ bool SessionManager::close(SessionId id) {
   Shard& shard = shard_for(id);
   std::lock_guard<std::mutex> lock(shard.mutex);
   return shard.sessions.erase(id) > 0;
+}
+
+std::size_t SessionManager::evict_idle(std::uint64_t max_idle_decisions) {
+  const std::uint64_t now = admissions_.load(std::memory_order_relaxed);
+  std::size_t evicted = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
+      // A session stamped *after* the clock snapshot (concurrent
+      // begin_decision) reads as last_active > now; it is maximally
+      // fresh, never idle — the unsigned subtraction must not wrap.
+      const std::uint64_t last = it->second.last_active;
+      if (last <= now && now - last > max_idle_decisions) {
+        it = shard.sessions.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return evicted;
 }
 
 bool SessionManager::contains(SessionId id) const {
@@ -49,6 +71,7 @@ DecisionTicket SessionManager::begin_decision(SessionId id, RequestKind kind,
     throw std::out_of_range("SessionManager: unknown session " + std::to_string(id));
   }
   SessionState& state = it->second;
+  state.last_active = admissions_.fetch_add(1, std::memory_order_relaxed) + 1;
 
   DecisionTicket ticket;
   ticket.session = id;

@@ -43,6 +43,10 @@ struct SessionState {
   std::uint64_t decisions = 0;  ///< total decisions = next stream id
   std::uint64_t dt_decisions = 0;
   std::uint64_t mbrl_decisions = 0;
+  /// Manager-wide admission-clock reading at this session's last
+  /// begin_decision (its open() reading before any decision) — the
+  /// idleness measure evict_idle() sweeps on.
+  std::uint64_t last_active = 0;
   std::vector<env::Observation> history;
 };
 
@@ -70,6 +74,21 @@ class SessionManager {
   /// Closes a session; returns whether it existed.
   bool close(SessionId id);
 
+  /// Evicts every session that has been idle for more than
+  /// `max_idle_decisions` manager-wide admissions (i.e. admission_clock()
+  /// - last_active > max_idle_decisions); returns how many were closed.
+  /// Long fleet runs with building churn call this periodically (the
+  /// adaptation controller's housekeeping does) so shards don't grow
+  /// unboundedly. Eviction only erases map entries: surviving sessions
+  /// keep their seeds and decision counters, so their RNG streams are
+  /// untouched — a decision after a sweep is bit-identical to the same
+  /// decision without it (test-locked).
+  std::size_t evict_idle(std::uint64_t max_idle_decisions);
+
+  /// Total begin_decision() admissions across all sessions — the logical
+  /// clock idleness is measured against.
+  std::uint64_t admission_clock() const { return admissions_.load(std::memory_order_relaxed); }
+
   bool contains(SessionId id) const;
   std::size_t size() const;
 
@@ -93,6 +112,7 @@ class SessionManager {
 
   std::vector<Shard> shards_;
   std::atomic<SessionId> next_id_{1};
+  std::atomic<std::uint64_t> admissions_{0};
 };
 
 }  // namespace verihvac::serve

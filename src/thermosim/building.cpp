@@ -1,5 +1,6 @@
 #include "thermosim/building.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace verihvac::sim {
@@ -46,6 +47,25 @@ double Building::total_floor_area() const {
   double total = 0.0;
   for (const auto& z : zones_) total += z.floor_area_m2;
   return total;
+}
+
+void Building::degrade(const Degradation& degradation) {
+  if (degradation.hvac_capacity_factor <= 0.0 || degradation.heating_efficiency_factor <= 0.0 ||
+      degradation.envelope_leak_factor <= 0.0) {
+    throw std::invalid_argument("Building::degrade: factors must be positive");
+  }
+  for (auto& unit : hvac_) {
+    unit.heating_capacity_w *= degradation.hvac_capacity_factor;
+    unit.cooling_capacity_w *= degradation.hvac_capacity_factor;
+    unit.heating_efficiency =
+        std::min(1.0, unit.heating_efficiency * degradation.heating_efficiency_factor);
+  }
+  for (auto& zone : zones_) {
+    zone.ua_outdoor *= degradation.envelope_leak_factor;
+    zone.infiltration_ua *= degradation.envelope_leak_factor;
+    zone.infiltration_wind_coeff *= degradation.envelope_leak_factor;
+  }
+  validate();
 }
 
 void Building::validate() const {

@@ -16,6 +16,27 @@
 
 namespace verihvac::sim {
 
+/// In-service building drift, applied *in place* to an already-built plant
+/// (the degradation/drift scenario axis of the fleet harness). Factors
+/// multiply the as-built parameters, so 1.0 everywhere is a no-op:
+///   * hvac_capacity_factor < 1 — equipment wear: every unit's heating and
+///     cooling capacity shrinks (fan power is load-side and unchanged);
+///   * heating_efficiency_factor < 1 — fouled furnace/coils: delivered heat
+///     per unit fuel drops (clamped into the physical (0, 1] band);
+///   * envelope_leak_factor > 1 — envelope leakage: outdoor-facing UA and
+///     infiltration (base + wind term) grow, raising the load the same
+///     setpoints must now meet.
+struct Degradation {
+  double hvac_capacity_factor = 1.0;
+  double heating_efficiency_factor = 1.0;
+  double envelope_leak_factor = 1.0;
+
+  bool is_noop() const {
+    return hvac_capacity_factor == 1.0 && heating_efficiency_factor == 1.0 &&
+           envelope_leak_factor == 1.0;
+  }
+};
+
 class Building {
  public:
   Building() = default;
@@ -35,6 +56,11 @@ class Building {
   void set_controlled_zone(std::size_t i);
 
   double total_floor_area() const;
+
+  /// Applies in-service drift to every zone/unit (see Degradation). Throws
+  /// std::invalid_argument on non-positive factors; the resulting
+  /// parameters re-validate, so a degraded building is still physical.
+  void degrade(const Degradation& degradation);
 
   /// Throws std::invalid_argument if the building is empty or inconsistent.
   void validate() const;

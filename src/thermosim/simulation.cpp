@@ -7,6 +7,11 @@ namespace verihvac::sim {
 BuildingSimulator::BuildingSimulator(Building building, double substep_seconds)
     : building_(std::move(building)), network_(building_, substep_seconds) {}
 
+void BuildingSimulator::degrade(const Degradation& degradation) {
+  building_.degrade(degradation);
+  network_.degrade(degradation);
+}
+
 void BuildingSimulator::reset(double temp_c) { network_.reset(temp_c); }
 
 std::vector<double> BuildingSimulator::zone_temps() const {

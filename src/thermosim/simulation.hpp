@@ -31,6 +31,10 @@ class BuildingSimulator {
   const Building& building() const { return building_; }
   std::size_t controlled_zone() const { return building_.controlled_zone(); }
 
+  /// Applies in-service drift (equipment wear / envelope leakage) to the
+  /// running plant without disturbing its thermal state.
+  void degrade(const Degradation& degradation);
+
   /// Resets all node temperatures to `temp_c`.
   void reset(double temp_c = 20.0);
 

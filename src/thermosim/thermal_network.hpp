@@ -46,6 +46,11 @@ class ThermalNetwork {
   double mass_temp(std::size_t zone) const;
   const std::vector<double>& state() const { return state_; }
 
+  /// Applies in-service drift to the internal building copy; node
+  /// temperatures are untouched, so this is safe mid-simulation (the
+  /// fleet-harness degradation scenarios flip it between control steps).
+  void degrade(const Degradation& degradation) { building_.degrade(degradation); }
+
   /// Resets all nodes to the given uniform temperature.
   void reset(double temp_c);
   /// Resets with distinct air/mass temperatures.

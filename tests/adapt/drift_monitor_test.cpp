@@ -1,0 +1,129 @@
+#include "adapt/drift_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace verihvac::adapt {
+namespace {
+
+DriftMonitorConfig quick_config() {
+  DriftMonitorConfig config;
+  config.ph_delta = 0.01;
+  config.ph_lambda = 1.0;
+  config.min_samples = 16;
+  return config;
+}
+
+TEST(DriftMonitorTest, WelfordMatchesRunningStats) {
+  DriftMonitor monitor(quick_config());
+  RunningStats reference;
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const double residual = std::abs(rng.normal(0.1, 0.02));
+    monitor.observe("cluster", residual);
+    reference.add(residual);
+  }
+  const DriftStats stats = monitor.stats("cluster");
+  EXPECT_EQ(stats.samples, reference.count());
+  EXPECT_DOUBLE_EQ(stats.mean, reference.mean());
+  EXPECT_DOUBLE_EQ(stats.stddev, reference.stddev());
+  EXPECT_DOUBLE_EQ(stats.max_residual, reference.max());
+}
+
+TEST(DriftMonitorTest, StationaryResidualsNeverAlarm) {
+  DriftMonitor monitor(quick_config());
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    // Stable model: small residuals with no trend.
+    const auto event = monitor.observe("quiet", std::abs(rng.normal(0.08, 0.02)));
+    EXPECT_FALSE(event.has_value()) << "false alarm at sample " << i;
+  }
+  EXPECT_FALSE(monitor.drifted("quiet"));
+}
+
+TEST(DriftMonitorTest, MeanShiftFiresOnceAndLatches) {
+  DriftMonitor monitor(quick_config());
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_FALSE(monitor.observe("b", std::abs(rng.normal(0.08, 0.02))).has_value());
+  }
+  // The building drifts: residuals triple. Page-Hinkley must fire exactly
+  // once, then stay latched until reset.
+  std::size_t fired = 0;
+  std::size_t fired_at = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (const auto event = monitor.observe("b", std::abs(rng.normal(0.30, 0.04)))) {
+      ++fired;
+      fired_at = i;
+      EXPECT_EQ(event->cluster, "b");
+      EXPECT_GT(event->ph_statistic, monitor.config().ph_lambda);
+    }
+  }
+  EXPECT_EQ(fired, 1u);
+  EXPECT_LT(fired_at, 50u) << "detection delay too long for a 4x lambda shift";
+  EXPECT_TRUE(monitor.drifted("b"));
+}
+
+TEST(DriftMonitorTest, MinSamplesSuppressesEarlyAlarm) {
+  DriftMonitorConfig config = quick_config();
+  config.min_samples = 64;
+  DriftMonitor monitor(config);
+  // A violent shift right after startup: without the warmup the PH
+  // statistic would alarm within a couple of samples; min_samples defers
+  // the (latched) alarm until the running mean had a chance to settle.
+  std::size_t first_fire = 0;
+  bool fired = false;
+  for (std::size_t i = 0; i < 200 && !fired; ++i) {
+    const double residual = i < 8 ? 0.05 : 1.0;
+    if (monitor.observe("c", residual).has_value()) {
+      first_fire = i;
+      fired = true;
+    }
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_GE(first_fire + 1, config.min_samples);
+}
+
+TEST(DriftMonitorTest, ResetRebaselinesCluster) {
+  DriftMonitor monitor(quick_config());
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) monitor.observe("d", std::abs(rng.normal(0.08, 0.02)));
+  for (int i = 0; i < 100; ++i) monitor.observe("d", std::abs(rng.normal(0.5, 0.05)));
+  ASSERT_TRUE(monitor.drifted("d"));
+
+  monitor.reset("d");
+  EXPECT_FALSE(monitor.drifted("d"));
+  EXPECT_EQ(monitor.stats("d").samples, 0u);
+
+  // Post-adaptation residuals are small again: no immediate re-alarm.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(monitor.observe("d", std::abs(rng.normal(0.08, 0.02))).has_value());
+  }
+}
+
+TEST(DriftMonitorTest, ClustersAreIndependent) {
+  DriftMonitor monitor(quick_config());
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    monitor.observe("stable", std::abs(rng.normal(0.08, 0.02)));
+    monitor.observe("drifting", 0.08 + 0.004 * i);  // creeping degradation
+  }
+  EXPECT_FALSE(monitor.drifted("stable"));
+  EXPECT_TRUE(monitor.drifted("drifting"));
+  EXPECT_EQ(monitor.clusters().size(), 2u);
+}
+
+TEST(DriftMonitorTest, UnknownClusterHasZeroStats) {
+  DriftMonitor monitor;
+  const DriftStats stats = monitor.stats("nobody");
+  EXPECT_EQ(stats.samples, 0u);
+  EXPECT_FALSE(stats.drifted);
+  EXPECT_FALSE(monitor.drifted("nobody"));
+}
+
+}  // namespace
+}  // namespace verihvac::adapt

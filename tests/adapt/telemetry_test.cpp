@@ -1,0 +1,308 @@
+#include "adapt/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/request_scheduler.hpp"
+#include "serve/serve_test_utils.hpp"
+
+namespace verihvac::adapt {
+namespace {
+
+using serve::testing::cold_occupied;
+using serve::testing::pool_with_threads;
+using serve::testing::steady_forecast;
+using serve::testing::toy_model;
+using serve::testing::toy_policy;
+
+/// Emits one synthetic decision event straight into the tap (the ring
+/// mechanics tests bypass the scheduler).
+void emit(TelemetryLog& log, serve::SessionId session, std::uint64_t index,
+          serve::RequestKind kind, std::size_t action, double zone_temp,
+          std::size_t forecast_len = 0, std::uint64_t version = 1) {
+  const env::Observation obs = cold_occupied(zone_temp);
+  const std::vector<env::Disturbance> forecast = steady_forecast(obs, forecast_len);
+  const std::string key = "toy";
+  serve::DecisionEvent event;
+  event.session = session;
+  event.decision_index = index;
+  event.session_seed = 1000 + session;
+  event.kind = kind;
+  event.policy_key = &key;
+  event.policy_version = version;
+  event.action_index = action;
+  event.action = {18.0, 26.0};
+  event.observation = &obs;
+  event.forecast = forecast.empty() ? nullptr : &forecast;
+  event.latency_seconds = 1e-6;
+  log.on_decision(event);
+}
+
+TelemetryConfig tiny_ring() {
+  TelemetryConfig config;
+  config.shards = 1;
+  config.capacity_per_shard = 4;
+  return config;
+}
+
+TEST(TelemetryLogTest, RecordsRoundTripThroughTheRing) {
+  TelemetryLog log;
+  emit(log, 7, 0, serve::RequestKind::kDtPolicy, 3, 17.5);
+  emit(log, 7, 1, serve::RequestKind::kMbrlFallback, 5, 18.5, /*forecast_len=*/4);
+
+  std::vector<TelemetryRecord> records;
+  EXPECT_EQ(log.drain(records), 0u);
+  ASSERT_EQ(records.size(), 2u);
+
+  EXPECT_EQ(records[0].session, 7u);
+  EXPECT_EQ(records[0].decision_index, 0u);
+  EXPECT_EQ(records[0].request_kind(), serve::RequestKind::kDtPolicy);
+  EXPECT_EQ(records[0].action_index, 3u);
+  EXPECT_DOUBLE_EQ(records[0].obs[env::kZoneTemp], 17.5);
+  EXPECT_EQ(records[0].forecast_len, 0u);
+
+  EXPECT_EQ(records[1].request_kind(), serve::RequestKind::kMbrlFallback);
+  EXPECT_EQ(records[1].forecast_len, 4u);
+  EXPECT_EQ(records[1].forecast_truncated, 0u);
+  const auto forecast = records[1].forecast_vector();
+  ASSERT_EQ(forecast.size(), 4u);
+  EXPECT_DOUBLE_EQ(forecast[0].weather.outdoor_temp_c, -5.0);
+  EXPECT_DOUBLE_EQ(forecast[0].occupants, 11.0);
+
+  // Drained means drained: nothing left.
+  std::vector<TelemetryRecord> again;
+  EXPECT_EQ(log.drain(again), 0u);
+  EXPECT_TRUE(again.empty());
+}
+
+TEST(TelemetryLogTest, LappedRingCountsLossesAndKeepsNewest) {
+  TelemetryLog log(tiny_ring());
+  ASSERT_EQ(log.capacity_per_shard(), 4u);
+  for (std::uint64_t d = 0; d < 10; ++d) {
+    emit(log, 1, d, serve::RequestKind::kDtPolicy, 0, 15.0 + static_cast<double>(d));
+  }
+  std::vector<TelemetryRecord> records;
+  const std::uint64_t lost = log.drain(records);
+  EXPECT_EQ(lost, 6u);
+  ASSERT_EQ(records.size(), 4u);
+  // The survivors are the newest lap, in ticket order.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].decision_index, 6 + i);
+  }
+  EXPECT_EQ(log.stats().recorded, 10u);
+  EXPECT_EQ(log.stats().lost, 6u);
+}
+
+TEST(TelemetryLogTest, ForecastBeyondCapIsTruncatedAndFlagged) {
+  TelemetryLog log;
+  emit(log, 2, 0, serve::RequestKind::kMbrlFallback, 1, 18.0,
+       /*forecast_len=*/kTelemetryMaxForecast + 5);
+  std::vector<TelemetryRecord> records;
+  log.drain(records);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].forecast_len, kTelemetryMaxForecast);
+  EXPECT_EQ(records[0].forecast_truncated, 1u);
+}
+
+TEST(TelemetryLogTest, ConcurrentProducersLoseNothingWhenSized) {
+  TelemetryConfig config;
+  config.shards = 4;
+  config.capacity_per_shard = 2048;
+  TelemetryLog log(config);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        emit(log, static_cast<serve::SessionId>(t + 1), static_cast<std::uint64_t>(i),
+             serve::RequestKind::kDtPolicy, 0, 18.0);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+
+  std::vector<TelemetryRecord> records;
+  EXPECT_EQ(log.drain(records), 0u);
+  EXPECT_EQ(records.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(log.stats().lost, 0u);
+}
+
+TEST(TelemetryTraceTest, DatasetPairsConsecutiveDecisionsPerSession) {
+  TelemetryLog log;
+  // Session 1: decisions 0,1,2 -> two transitions. Session 2: decisions
+  // 0 and 2 (gap: record 1 was lost) -> no transition.
+  emit(log, 1, 0, serve::RequestKind::kDtPolicy, 0, 17.0);
+  emit(log, 2, 0, serve::RequestKind::kDtPolicy, 0, 20.0);
+  emit(log, 1, 1, serve::RequestKind::kDtPolicy, 0, 17.5);
+  emit(log, 2, 2, serve::RequestKind::kDtPolicy, 0, 21.0);
+  emit(log, 1, 2, serve::RequestKind::kDtPolicy, 0, 18.0);
+
+  TelemetryTrace trace;
+  log.drain(trace.records);
+  const dyn::TransitionDataset dataset = trace_to_dataset(trace);
+  ASSERT_EQ(dataset.size(), 2u);
+  EXPECT_DOUBLE_EQ(dataset.at(0).input[env::kZoneTemp], 17.0);
+  EXPECT_DOUBLE_EQ(dataset.at(0).next_zone_temp, 17.5);
+  EXPECT_DOUBLE_EQ(dataset.at(0).action.heating_c, 18.0);
+  EXPECT_DOUBLE_EQ(dataset.at(1).input[env::kZoneTemp], 17.5);
+  EXPECT_DOUBLE_EQ(dataset.at(1).next_zone_temp, 18.0);
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TelemetryTraceTest, SaveLoadSaveIsByteIdentical) {
+  TelemetryLog log;
+  log.register_session(1, 1001, "Pittsburgh/baseline");
+  log.register_session(2, 1002, "Tucson/oversized");
+  emit(log, 1, 0, serve::RequestKind::kDtPolicy, 3, 17.5);
+  emit(log, 1, 1, serve::RequestKind::kMbrlFallback, 5, 18.5, /*forecast_len=*/5);
+  emit(log, 2, 0, serve::RequestKind::kDtPolicy, 1, 22.0);
+
+  TelemetryTrace trace;
+  trace.sessions = log.sessions();
+  log.drain(trace.records);
+
+  const std::string path_a = temp_path("verihvac_trace_a.bin");
+  const std::string path_b = temp_path("verihvac_trace_b.bin");
+  save_trace(trace, path_a);
+  const TelemetryTrace loaded = load_trace(path_a);
+  save_trace(loaded, path_b);
+
+  EXPECT_EQ(file_bytes(path_a), file_bytes(path_b));
+  ASSERT_EQ(loaded.sessions.size(), 2u);
+  EXPECT_EQ(loaded.sessions[0].policy_key, "Pittsburgh/baseline");
+  ASSERT_EQ(loaded.records.size(), 3u);
+  EXPECT_EQ(loaded.records[1].forecast_len, 5u);
+  EXPECT_DOUBLE_EQ(loaded.records[1].obs[env::kZoneTemp], 18.5);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(TelemetryTraceTest, LoadRejectsBadMagicAndVersion) {
+  const std::string path = temp_path("verihvac_trace_bad.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("VHTL", 4);
+    const std::uint32_t version = 999;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  EXPECT_THROW(load_trace(temp_path("verihvac_trace_missing.bin")), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: capture a live serving run through the scheduler tap, then
+// replay the trace — decisions must be bit-identical at 1/4/8 threads.
+
+control::RandomShootingConfig serving_rs() {
+  control::RandomShootingConfig config;
+  config.samples = 24;
+  config.horizon = 4;
+  return config;
+}
+
+TEST(TelemetryReplayTest, LiveCaptureReplaysBitIdenticallyAcrossThreadCounts) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  const control::RandomShootingConfig rs = serving_rs();
+
+  auto log = std::make_shared<TelemetryLog>();
+  auto registry = std::make_shared<serve::PolicyRegistry>();
+  auto sessions = std::make_shared<serve::SessionManager>();
+  const std::uint64_t policy_version = registry->install("toy", policy);
+  serve::RequestScheduler scheduler({}, registry, sessions, rs, control::ActionSpace{},
+                                    env::RewardConfig{}, pool_with_threads(2));
+  const std::uint64_t model_generation = scheduler.install_model("toy", model);
+  scheduler.set_tap(log);
+
+  std::vector<serve::SessionId> ids;
+  for (std::size_t s = 0; s < 3; ++s) {
+    serve::SessionConfig session;
+    session.policy_key = "toy";
+    session.seed = 5000 + 13 * s;
+    ids.push_back(sessions->open(session));
+    log->register_session(ids.back(), session.seed, session.policy_key);
+  }
+
+  // Mixed traffic: DT inline + MBRL micro-batches, several decisions per
+  // session.
+  std::vector<std::size_t> served_actions;
+  for (std::size_t round = 0; round < 3; ++round) {
+    std::vector<serve::ControlRequest> batch;
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      serve::ControlRequest request;
+      request.session = ids[s];
+      request.kind =
+          s == 0 ? serve::RequestKind::kDtPolicy : serve::RequestKind::kMbrlFallback;
+      request.observation = cold_occupied(15.0 + static_cast<double>(round + s));
+      if (request.kind == serve::RequestKind::kMbrlFallback) {
+        request.forecast = steady_forecast(request.observation, rs.horizon);
+      }
+      batch.push_back(std::move(request));
+    }
+    for (const auto& decision : scheduler.serve_batch(batch)) {
+      served_actions.push_back(decision.action_index);
+    }
+  }
+
+  TelemetryTrace trace;
+  trace.sessions = log->sessions();
+  EXPECT_EQ(log->drain(trace.records), 0u);
+  ASSERT_EQ(trace.records.size(), served_actions.size());
+
+  ReplayAssets assets;
+  assets.policies[policy_version] = policy;
+  assets.models[model_generation] = model;
+
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    ReplayConfig config;
+    config.rs = rs;
+    config.engine = std::make_shared<const control::RolloutEngine>(
+        control::RolloutEngineConfig{threads, /*min_parallel_batch=*/1});
+    const ReplayReport report = replay_trace(trace, assets, config);
+    EXPECT_EQ(report.replayed, trace.records.size());
+    EXPECT_TRUE(report.bit_identical())
+        << "replay diverged at " << threads << " threads: " << report.mismatches.size()
+        << " mismatches";
+  }
+}
+
+TEST(TelemetryReplayTest, MissingAssetsAreCountedNotFatal) {
+  TelemetryLog log;
+  emit(log, 1, 0, serve::RequestKind::kDtPolicy, 0, 17.0, 0, /*version=*/42);
+  TelemetryTrace trace;
+  log.drain(trace.records);
+
+  const ReplayReport report = replay_trace(trace, ReplayAssets{}, ReplayConfig{});
+  EXPECT_EQ(report.replayed, 0u);
+  EXPECT_EQ(report.skipped_missing_assets, 1u);
+  EXPECT_FALSE(report.bit_identical());
+}
+
+}  // namespace
+}  // namespace verihvac::adapt

@@ -102,6 +102,71 @@ TEST(SessionManagerTest, UnknownSessionThrows) {
   EXPECT_THROW(sessions.snapshot(999), std::out_of_range);
 }
 
+TEST(SessionManagerTest, EvictIdleClosesOnlyStaleSessions) {
+  SessionManager sessions;
+  const SessionId active = sessions.open({});
+  const SessionId idle = sessions.open({});
+
+  // `idle` decides once, then goes quiet while `active` racks up traffic.
+  sessions.begin_decision(idle, RequestKind::kDtPolicy, cold_occupied());
+  for (int i = 0; i < 20; ++i) {
+    sessions.begin_decision(active, RequestKind::kDtPolicy, cold_occupied());
+  }
+  EXPECT_EQ(sessions.admission_clock(), 21u);
+
+  EXPECT_EQ(sessions.evict_idle(/*max_idle_decisions=*/50), 0u);
+  EXPECT_EQ(sessions.evict_idle(/*max_idle_decisions=*/10), 1u);
+  EXPECT_FALSE(sessions.contains(idle));
+  EXPECT_TRUE(sessions.contains(active));
+  EXPECT_EQ(sessions.size(), 1u);
+}
+
+TEST(SessionManagerTest, FreshlyOpenedSessionSurvivesEviction) {
+  SessionManager sessions;
+  const SessionId talker = sessions.open({});
+  for (int i = 0; i < 100; ++i) {
+    sessions.begin_decision(talker, RequestKind::kDtPolicy, cold_occupied());
+  }
+  // Opened just now, zero decisions yet: stamped at the current clock, so
+  // a sweep must not reap it.
+  const SessionId fresh = sessions.open({});
+  EXPECT_EQ(sessions.evict_idle(/*max_idle_decisions=*/50), 0u);
+  EXPECT_TRUE(sessions.contains(fresh));
+}
+
+TEST(SessionManagerTest, EvictionNeverPerturbsSurvivorStreams) {
+  // The eviction lock: a surviving session's tickets after a sweep are
+  // bit-identical to the same session's tickets without the sweep —
+  // eviction can never change which RNG stream a decision replays from.
+  SessionManager with_sweep;
+  SessionManager without_sweep;
+  SessionConfig survivor_config;
+  survivor_config.seed = 7777;
+
+  const SessionId survivor_a = with_sweep.open(survivor_config);
+  const SessionId survivor_b = without_sweep.open(survivor_config);
+  std::vector<SessionId> churn;
+  for (int i = 0; i < 8; ++i) churn.push_back(with_sweep.open({}));
+
+  std::vector<DecisionTicket> tickets_a;
+  std::vector<DecisionTicket> tickets_b;
+  for (int d = 0; d < 6; ++d) {
+    tickets_a.push_back(
+        with_sweep.begin_decision(survivor_a, RequestKind::kMbrlFallback, cold_occupied()));
+    tickets_b.push_back(
+        without_sweep.begin_decision(survivor_b, RequestKind::kMbrlFallback, cold_occupied()));
+    if (d == 2) {
+      // Mid-run sweep reaps the churned sessions (they never decided).
+      EXPECT_EQ(with_sweep.evict_idle(/*max_idle_decisions=*/2), churn.size());
+    }
+  }
+  for (std::size_t d = 0; d < tickets_a.size(); ++d) {
+    EXPECT_EQ(tickets_a[d].seed, tickets_b[d].seed);
+    EXPECT_EQ(tickets_a[d].stream, tickets_b[d].stream);
+    EXPECT_EQ(tickets_a[d].stream, d);
+  }
+}
+
 TEST(SessionManagerTest, ConcurrentOpensYieldUniqueIds) {
   SessionManager sessions(/*shards=*/8);
   constexpr int kThreads = 8;

@@ -7,6 +7,7 @@
 //   verihvac campaign    [--climates A,B] [--buildings name:scale,..] [--out FILE]
 //   verihvac simulate    --policy policy.vhp --city Pittsburgh [--days 31]
 //   verihvac serve-bench [--climates A,B] [--buildings N] [--steps N] [--mbrl-frac F]
+//   verihvac adapt-bench [--city NAME] [--buildings N] [--steps N] [--drift-step N]
 //   verihvac export-c    --policy policy.vhp --prefix veri_hvac --out DIR
 //   verihvac explain     --policy policy.vhp --input s,To,RH,w,S,occ
 //   verihvac print       --policy policy.vhp [--rules]
@@ -27,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/adaptation_controller.hpp"
 #include "core/campaign.hpp"
 #include "core/edge_export.hpp"
 #include "core/interpret.hpp"
@@ -324,6 +326,113 @@ int cmd_serve_bench(const Args& args) {
   return 0;
 }
 
+int cmd_adapt_bench(const Args& args) {
+  const std::string city = args.get("city", "Pittsburgh");
+  serve::FleetConfig config;
+  config.climates = {city};
+  config.presets = {{"baseline", 1.0}};
+  config.buildings_per_cell = static_cast<std::size_t>(args.get_long("buildings", 6));
+  config.steps = static_cast<std::size_t>(args.get_long("steps", 96));
+  config.mbrl_fraction = args.get_double("mbrl-frac", 0.25);
+  config.days = static_cast<int>(args.get_long("days", 2));
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2024));
+  config.rs.samples = static_cast<std::size_t>(args.get_long("samples", 32));
+  config.rs.horizon = static_cast<std::size_t>(args.get_long("horizon", 5));
+
+  serve::FleetDriftEvent drift;
+  drift.at_step = static_cast<std::size_t>(args.get_long("drift-step", 32));
+  drift.degradation.hvac_capacity_factor = args.get_double("hvac-factor", 0.55);
+  drift.degradation.heating_efficiency_factor = args.get_double("eff-factor", 0.85);
+  drift.degradation.envelope_leak_factor = args.get_double("leak-factor", 1.3);
+  config.drift.push_back(drift);
+
+  const auto log = std::make_shared<adapt::TelemetryLog>();
+  config.tap = log;
+  config.on_session_open = [&log](serve::SessionId id, const serve::SessionConfig& session) {
+    log->register_session(id, session.seed, session.policy_key);
+  };
+  adapt::AdaptationController* controller_ptr = nullptr;
+  config.on_step = [&controller_ptr](serve::FleetHarness&, std::size_t) {
+    if (controller_ptr != nullptr) controller_ptr->pump();
+  };
+
+  // Pipeline-extracted serving assets for the cell (same recipe as
+  // serve-bench, shrunk by the VERI_HVAC_* knobs).
+  std::printf("extracting serving bundle for %s...\n", city.c_str());
+  core::PipelineConfig pipeline = core::PipelineConfig::for_city(city);
+  const core::PipelineArtifacts artifacts = core::run_pipeline(pipeline);
+  const serve::FleetAssets assets{artifacts.policy, artifacts.model};
+
+  serve::FleetHarness harness(
+      config, [&assets](const std::string&, const serve::FleetPreset&) { return assets; });
+
+  adapt::AdaptationConfig adaptation;
+  adaptation.drift.ph_delta = args.get_double("ph-delta", 0.02);
+  adaptation.drift.ph_lambda = args.get_double("ph-lambda", 2.0);
+  adaptation.drift.min_samples = 48;
+  adaptation.min_transitions = static_cast<std::size_t>(args.get_long("min-transitions", 60));
+  adaptation.criteria = pipeline.criteria;
+  adaptation.criteria.safe_probability_threshold = args.get_double("safe-threshold", 0.75);
+  adaptation.probabilistic_samples = pipeline.probabilistic_samples / 4;
+  adaptation.viper.iterations = 2;
+  adaptation.viper.steps_per_iteration = 24;
+  adaptation.viper.mc_repeats = 1;
+  adaptation.teacher_rs = pipeline.rs_distill;
+  adaptation.seed = config.seed + 3;
+  adapt::AdaptationController controller(adaptation, log, harness.registry_ptr(),
+                                         harness.sessions_ptr(), harness.scheduler());
+  adapt::ClusterAssets cluster;
+  cluster.model = artifacts.model;
+  cluster.env = pipeline.env;
+  cluster.env.days = 2;
+  cluster.baseline = artifacts.historical;
+  controller.register_cluster(city + "/baseline", cluster);
+  controller_ptr = &controller;
+
+  std::printf("closed loop: %zu buildings x %zu steps, degradation at step %zu "
+              "(hvac x%.2f, eff x%.2f, leak x%.2f)\n",
+              config.buildings_per_cell, config.steps, drift.at_step,
+              drift.degradation.hvac_capacity_factor,
+              drift.degradation.heating_efficiency_factor,
+              drift.degradation.envelope_leak_factor);
+  const serve::FleetReport report = harness.run();
+  std::printf("%s", report.summary().c_str());
+
+  const auto stats = controller.stats();
+  std::printf("telemetry: %llu records (%llu lost), %llu transitions; drift events %llu; "
+              "adaptations %llu attempted, %llu promoted; dropped decisions %zu\n",
+              static_cast<unsigned long long>(stats.records_drained),
+              static_cast<unsigned long long>(stats.records_lost),
+              static_cast<unsigned long long>(stats.transitions),
+              static_cast<unsigned long long>(stats.drift_events),
+              static_cast<unsigned long long>(stats.adaptations_attempted),
+              static_cast<unsigned long long>(stats.adaptations_promoted),
+              report.dropped_decisions);
+  for (const adapt::AdaptationReport& attempt : controller.history()) {
+    if (attempt.promoted) {
+      std::printf("  generation %llu: certified (safe prob %.3f), shadow passed -> "
+                  "promoted bundle v%llu\n",
+                  static_cast<unsigned long long>(attempt.generation),
+                  attempt.probabilistic.safe_probability,
+                  static_cast<unsigned long long>(attempt.promoted_policy_version));
+    } else {
+      std::printf("  generation %llu: NOT promoted (certified=%d, safe prob %.3f, "
+                  "shadow=%d) — incumbent keeps serving\n",
+                  static_cast<unsigned long long>(attempt.generation), attempt.certified,
+                  attempt.probabilistic.safe_probability, attempt.shadow_passed);
+    }
+  }
+
+  if (args.flag("out")) {
+    const std::string path = args.required("out");
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("cannot write " + path);
+    file << report.to_json() << "\n";
+    std::printf("adaptation report written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int cmd_export_c(const Args& args) {
   const core::DtPolicy policy = core::load_policy(args.required("policy"));
   core::EdgeExportOptions options;
@@ -424,6 +533,30 @@ const std::map<std::string, Command>& commands() {
         "            [--samples N] [--horizon N] [--seed N] [--sync]\n"
         "            [--out FILE.json]",
         cmd_serve_bench}},
+      {"adapt-bench",
+       {{{"city", true},
+         {"buildings", true},
+         {"steps", true},
+         {"drift-step", true},
+         {"hvac-factor", true},
+         {"eff-factor", true},
+         {"leak-factor", true},
+         {"mbrl-frac", true},
+         {"days", true},
+         {"samples", true},
+         {"horizon", true},
+         {"seed", true},
+         {"ph-delta", true},
+         {"ph-lambda", true},
+         {"min-transitions", true},
+         {"safe-threshold", true},
+         {"out", true}},
+        "adapt-bench [--city NAME] [--buildings N] [--steps N] [--drift-step N]\n"
+        "            [--hvac-factor F] [--eff-factor F] [--leak-factor F]\n"
+        "            [--mbrl-frac F] [--days N] [--samples N] [--horizon N]\n"
+        "            [--ph-delta F] [--ph-lambda F] [--min-transitions N]\n"
+        "            [--safe-threshold F] [--seed N] [--out FILE.json]",
+        cmd_adapt_bench}},
       {"export-c",
        {{{"policy", true}, {"prefix", true}, {"out", true}, {"style", true}},
         "export-c --policy FILE [--prefix ID] [--out DIR] [--style table|nested]",
