@@ -45,10 +45,16 @@ struct DecisionEvent {
   const env::Observation* observation = nullptr;
   /// Borrowed; null/empty for DT decisions (the fast path carries none).
   const std::vector<env::Disturbance>* forecast = nullptr;
-  /// Serving latency. DT decisions are timed only when
-  /// SchedulerConfig::tap_time_dt is set (two clock reads dwarf the tree
-  /// walk); MBRL decisions carry their batch's solve time.
+  /// Serving latency; meaningful only when `timed` is set. MBRL decisions
+  /// carry their batch's solve time.
   double latency_seconds = 0.0;
+  /// Whether latency_seconds was actually measured. MBRL decisions are
+  /// always timed (two clock reads are noise next to the batch solve). DT
+  /// decisions are timed when SchedulerConfig::tap_time_dt is set, or on
+  /// a cheap 1-in-P sample (SchedulerConfig::dt_timing_sample_period) so
+  /// latency telemetry stays inside the fast path's single-digit-percent
+  /// capture-overhead budget; untimed events carry latency_seconds == 0.
+  bool timed = false;
 };
 
 class DecisionTap {

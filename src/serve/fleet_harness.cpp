@@ -86,6 +86,7 @@ std::string FleetReport::to_json() const {
       << ", \"wall_seconds\": " << wall_seconds
       << ", \"batches\": " << scheduler_stats.batches
       << ", \"max_batch\": " << scheduler_stats.max_batch
+      << ", \"deadline_closes\": " << scheduler_stats.deadline_closes
       << ", \"dropped_decisions\": " << dropped_decisions << "}";
   return out.str();
 }
@@ -222,6 +223,7 @@ FleetReport FleetHarness::run() {
       request.kind = RequestKind::kMbrlFallback;
       request.observation = building->obs;
       request.forecast = building->env->forecast(config_.rs.horizon);
+      request.latency_budget = config_.mbrl_latency_budget;
       submitted.push_back(std::chrono::steady_clock::now());
       futures.push_back(scheduler_->submit(std::move(request)));
     }

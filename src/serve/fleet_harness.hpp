@@ -70,6 +70,10 @@ struct FleetConfig {
   /// Fallback optimizer scale (serving-sized, not paper-sized).
   control::RandomShootingConfig rs{64, 5, 0.99};
   SchedulerConfig scheduler;
+  /// SLO budget stamped onto every MBRL request
+  /// (ControlRequest::latency_budget); 0 = no per-request budget, the
+  /// scheduler's default_latency_budget / fixed batch_window governs.
+  std::chrono::microseconds mbrl_latency_budget{0};
   /// true: MBRL requests go through the queue + scheduler thread (futures,
   /// micro-batching). false: each is solved inline at submit — the
   /// per-session reference; decisions are identical either way.

@@ -30,10 +30,17 @@ RequestScheduler::RequestScheduler(SchedulerConfig config,
       sessions_(std::move(sessions)),
       actions_(std::move(actions)),
       rs_(rs_config, actions_, reward),
-      pool_(pool != nullptr ? std::move(pool) : common::TaskPool::shared()),
-      queue_(config.queue_capacity) {
+      pool_(pool != nullptr ? std::move(pool) : common::TaskPool::shared()) {
   if (registry_ == nullptr || sessions_ == nullptr) {
     throw std::invalid_argument("RequestScheduler: registry and sessions must be non-null");
+  }
+  // Queue sharding defaults to the session manager's lock sharding so a
+  // session's admissions and its batch queue share one shard index.
+  const std::size_t shards =
+      config_.queue_shards > 0 ? config_.queue_shards : sessions_->shard_count();
+  queues_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    queues_.push_back(std::make_unique<BoundedMpscQueue<Pending>>(config_.queue_capacity));
   }
 }
 
@@ -65,28 +72,60 @@ RequestScheduler::ModelEntry RequestScheduler::model_for(const std::string& key)
 
 void RequestScheduler::start() {
   if (running()) return;
-  worker_ = std::thread([this] { worker_loop(); });
+  workers_.reserve(queues_.size());
+  for (std::size_t shard = 0; shard < queues_.size(); ++shard) {
+    workers_.emplace_back([this, shard] { worker_loop(shard); });
+  }
 }
 
 void RequestScheduler::stop() {
-  if (!worker_.joinable()) return;  // never started: the queue was never used
-  queue_.close();
-  worker_.join();
-  // The worker drains the queue before exiting; fail anything that could
-  // still be stranded (its admission already consumed a stream index, so a
-  // silent drop would hang the caller's future), then reopen so a later
-  // start() serves again.
-  Pending leftover;
-  while (queue_.try_pop(leftover)) {
-    leftover.promise.set_exception(std::make_exception_ptr(
-        std::runtime_error("RequestScheduler: stopped before request was served")));
+  if (workers_.empty()) return;  // never started: the queues were never used
+  for (const auto& queue : queues_) queue->close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // The workers drain their queues before exiting; fail anything that
+  // could still be stranded (its admission already consumed a stream
+  // index, so a silent drop would hang the caller's future), then reopen
+  // so a later start() serves again.
+  for (const auto& queue : queues_) {
+    Pending leftover;
+    while (queue->try_pop(leftover)) {
+      leftover.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("RequestScheduler: stopped before request was served")));
+    }
+    queue->reopen();
   }
-  queue_.reopen();
+}
+
+std::size_t RequestScheduler::queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue->size();
+  return total;
+}
+
+std::chrono::steady_clock::time_point RequestScheduler::deadline_for(
+    const ControlRequest& request) const {
+  const std::chrono::microseconds budget =
+      request.latency_budget.count() > 0 ? request.latency_budget
+                                         : config_.default_latency_budget;
+  if (budget.count() <= 0) return std::chrono::steady_clock::time_point::max();
+  return std::chrono::steady_clock::now() + budget;
 }
 
 ControlDecision RequestScheduler::serve_dt(const ControlRequest& request) {
   DecisionTap* const tap = tap_.get();
-  const bool timed = tap != nullptr && config_.tap_time_dt;
+  bool timed = tap != nullptr && config_.tap_time_dt;
+  if (!timed && tap != nullptr && config_.dt_timing_sample_period > 0) {
+    // Sampled timing: one in P decisions per serving thread pays the two
+    // clock reads. A thread-local countdown (no shared counter to bounce
+    // between front-end cores, no per-decision divide — a % by the
+    // runtime period costs several percent of the whole DT path) keeps
+    // the duty cycle exact; which wall instants get sampled is timing
+    // telemetry, not decision state, so thread-affinity is fine.
+    thread_local std::uint64_t dt_timing_countdown = 0;
+    if (dt_timing_countdown == 0) dt_timing_countdown = config_.dt_timing_sample_period;
+    timed = --dt_timing_countdown == 0;
+  }
   const auto t0 =
       timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
 
@@ -116,6 +155,7 @@ ControlDecision RequestScheduler::serve_dt(const ControlRequest& request) {
     event.latency_seconds =
         timed ? std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count()
               : 0.0;
+    event.timed = timed;
     tap->on_decision(event);
   }
   return decision;
@@ -143,18 +183,21 @@ std::future<ControlDecision> RequestScheduler::submit(ControlRequest request) {
   // submit order, so a decision's draws are pinned before any batching.
   pending.ticket =
       sessions_->begin_decision(request.session, request.kind, request.observation);
+  pending.deadline = deadline_for(request);
+  const SessionId session = request.session;
   pending.request = std::move(request);
   std::future<ControlDecision> future = pending.promise.get_future();
 
   if (!running()) {
-    // No scheduler thread: solve inline as a batch of one (the per-session
-    // reference path; bit-identical to the batched path by construction).
+    // No scheduler threads: solve inline as a batch of one (the
+    // per-session reference path; bit-identical to the batched path by
+    // construction).
     std::vector<Pending> batch;
     batch.push_back(std::move(pending));
     solve_batch(batch);
     return future;
   }
-  if (!queue_.push(std::move(pending))) {
+  if (!queue_for(session).push(std::move(pending))) {
     throw std::runtime_error("RequestScheduler: queue closed during shutdown");
   }
   return future;
@@ -188,18 +231,41 @@ std::vector<ControlDecision> RequestScheduler::serve_batch(
   return decisions;
 }
 
-void RequestScheduler::worker_loop() {
+void RequestScheduler::worker_loop(std::size_t shard) {
+  BoundedMpscQueue<Pending>& queue = *queues_[shard];
   Pending first;
-  while (queue_.pop(first)) {
+  while (queue.pop(first)) {
     std::vector<Pending> batch;
     batch.push_back(std::move(first));
     if (config_.micro_batching && config_.max_batch > 1) {
-      // Hold the batch open for stragglers: everything that lands within
-      // the window (up to max_batch) rides the same cross-session solve.
-      const auto deadline = std::chrono::steady_clock::now() + config_.batch_window;
+      // Hold the batch open for stragglers: everything that lands before
+      // the close instant (up to max_batch) rides the same cross-session
+      // solve. The close is deadline-driven: it starts at the fixed
+      // batch_window upper bound and every member's latency budget pulls
+      // it forward to (deadline - deadline_margin), reserving the margin
+      // for the solve itself. An arrival with a nearly exhausted budget
+      // therefore closes the batch immediately rather than idling out the
+      // window against its SLO.
+      const auto opened = std::chrono::steady_clock::now();
+      auto close = opened + config_.batch_window;
+      bool deadline_limited = false;
+      const auto tighten = [&](const Pending& pending) {
+        if (pending.deadline == std::chrono::steady_clock::time_point::max()) return;
+        const auto latest = pending.deadline - config_.deadline_margin;
+        if (latest < close) {
+          close = latest;
+          deadline_limited = true;
+        }
+      };
+      tighten(batch.front());
       Pending next;
-      while (batch.size() < config_.max_batch && queue_.pop_until(next, deadline)) {
+      while (batch.size() < config_.max_batch &&
+             std::chrono::steady_clock::now() < close && queue.pop_until(next, close)) {
+        tighten(next);
         batch.push_back(std::move(next));
+      }
+      if (deadline_limited && batch.size() < config_.max_batch) {
+        deadline_closes_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     solve_batch(batch);
@@ -349,6 +415,7 @@ void RequestScheduler::solve_batch(std::vector<Pending>& batch) {
       event.observation = &jobs[j].pending->request.observation;
       event.forecast = &jobs[j].pending->request.forecast;
       event.latency_seconds = solve_seconds;
+      event.timed = true;
       tap->on_decision(event);
     }
     jobs[j].pending->promise.set_value(decision);
@@ -362,6 +429,7 @@ RequestScheduler::Stats RequestScheduler::stats() const {
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   stats.max_batch = max_batch_.load(std::memory_order_relaxed);
+  stats.deadline_closes = deadline_closes_.load(std::memory_order_relaxed);
   return stats;
 }
 

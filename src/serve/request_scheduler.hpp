@@ -8,15 +8,25 @@
 //     caller's thread, sub-microsecond, never touching the queue.
 //
 //   * MBRL fallback. A random-shooting decision costs samples x horizon
-//     model evaluations. Requests enter a bounded MPSC queue; the
-//     scheduler thread coalesces everything that arrives within a
-//     micro-batching window (up to max_batch) and scores the union as ONE
-//     cross-session batch: all candidates of all coalesced requests form a
-//     single flattened index space fanned out over the shared
-//     common::TaskPool, each worker advancing its contiguous slice in
-//     lock-step through dyn::DynamicsModel::predict_batch_into (the PR 3
-//     kernels) with persistent thread-local scratch. A worker slice can
-//     span request boundaries, so load balances across sessions.
+//     model evaluations. Requests enter per-shard bounded MPSC queues
+//     aligned to the SessionManager sharding (session id % shard count),
+//     so front ends serving different shards push without contending on
+//     one queue lock; each shard has its own scheduler thread coalescing
+//     arrivals into a micro-batch (up to max_batch) and scoring the union
+//     as ONE cross-session batch: all candidates of all coalesced
+//     requests form a single flattened index space fanned out over the
+//     shared common::TaskPool, each worker advancing its contiguous slice
+//     in lock-step through dyn::DynamicsModel::predict_batch_into (the
+//     PR 3 kernels) with persistent thread-local scratch. A worker slice
+//     can span request boundaries, so load balances across sessions.
+//
+//     The batching window is deadline-driven (SLO-aware), not a fixed
+//     timer: every request carries a latency budget
+//     (ControlRequest::latency_budget, defaulted by the config), and the
+//     batch closes when the earliest enqueued deadline minus a solve
+//     margin arrives — a fresh arrival with a nearly exhausted budget
+//     pulls the close forward, possibly to "now". batch_window remains
+//     the upper bound for budget-less traffic.
 //
 // Determinism contract: a decision depends only on (session seed, decision
 // index, observation, forecast, bundle/model). Candidate draws happen
@@ -50,22 +60,44 @@
 namespace verihvac::serve {
 
 struct SchedulerConfig {
-  /// Bound of the MBRL admission queue (back-pressure, not backlog).
+  /// Bound of each shard's MBRL admission queue (back-pressure, not
+  /// backlog).
   std::size_t queue_capacity = 4096;
+  /// MBRL queue shards, each with its own queue + scheduler thread.
+  /// Requests route by session id % shard count — the SessionManager
+  /// mapping — so 0 (the default) aligns to the session manager's shard
+  /// count and a session's admissions and batches stay on one shard.
+  std::size_t queue_shards = 0;
   /// Coalescing cap: requests per cross-session batch.
   std::size_t max_batch = 64;
-  /// How long the scheduler thread holds a batch open for stragglers after
-  /// the first request arrives.
+  /// Upper bound on how long a shard's scheduler thread holds a batch
+  /// open for stragglers after the first request arrives. Requests with
+  /// latency budgets usually close the batch earlier (deadline-driven).
   std::chrono::microseconds batch_window{300};
+  /// Budget assumed for MBRL requests that carry none
+  /// (ControlRequest::latency_budget == 0). 0 = such requests have no
+  /// deadline and ride the fixed batch_window.
+  std::chrono::microseconds default_latency_budget{0};
+  /// Solve-time reserve: a batch closes at (earliest deadline -
+  /// deadline_margin) so the cross-session solve itself fits inside the
+  /// tightest budget. Size it to a typical batch solve (~250-300us for
+  /// serving-scale random shooting on the dev box).
+  std::chrono::microseconds deadline_margin{150};
   /// false = serve each queued request alone (the per-session reference;
   /// decisions are bit-identical either way, only throughput changes).
   bool micro_batching = true;
-  /// Time DT decisions for the tap. Off by default: two steady_clock reads
-  /// cost more than the tree walk they would measure, and the telemetry
-  /// overhead budget on the fast path is single-digit percent. MBRL
-  /// decisions are always timed (batch solve time, negligible relative
-  /// cost).
+  /// Time every DT decision for the tap. Off by default: two steady_clock
+  /// reads cost more than the tree walk they would measure, and the
+  /// telemetry overhead budget on the fast path is single-digit percent.
+  /// MBRL decisions are always timed (batch solve time, negligible
+  /// relative cost).
   bool tap_time_dt = false;
+  /// Cheap sampled DT timing: when tap_time_dt is off and this is P > 0,
+  /// one in P DT decisions (per serving thread, round-robin) is timed for
+  /// the tap — p50/p99 latency telemetry at ~1/P of the full timing cost,
+  /// which is what keeps capture inside the <5% fast-path overhead
+  /// budget. Timed events set DecisionEvent::timed. 0 disables sampling.
+  std::size_t dt_timing_sample_period = 0;
 };
 
 class RequestScheduler {
@@ -98,13 +130,14 @@ class RequestScheduler {
   void set_tap(std::shared_ptr<DecisionTap> tap);
   DecisionTap* tap() const { return tap_.get(); }
 
-  /// Starts / stops the scheduler thread that drains the MBRL queue.
-  /// serve() and serve_batch() work without it (solving inline); MBRL
-  /// submit() uses the queue only while it runs. stop() is symmetric: the
-  /// queue reopens, so start() -> stop() cycles can repeat.
+  /// Starts / stops the per-shard scheduler threads that drain the MBRL
+  /// queues. serve() and serve_batch() work without them (solving
+  /// inline); MBRL submit() uses the queues only while they run. stop()
+  /// is symmetric: the queues reopen, so start() -> stop() cycles can
+  /// repeat.
   void start();
   void stop();
-  bool running() const { return worker_.joinable(); }
+  bool running() const { return !workers_.empty(); }
 
   /// Synchronous serving. DT: answered inline (fast path). MBRL: enqueued
   /// and awaited when the scheduler thread runs, else solved inline as a
@@ -123,15 +156,21 @@ class RequestScheduler {
 
   std::size_t thread_count() const { return pool_->thread_count(); }
   const SchedulerConfig& config() const { return config_; }
-  std::size_t queue_depth() const { return queue_.size(); }
+  /// Total queued MBRL requests across all shards.
+  std::size_t queue_depth() const;
+  std::size_t queue_shard_count() const { return queues_.size(); }
 
   /// Serving telemetry (monotonic counters).
   struct Stats {
     std::uint64_t dt_served = 0;
     std::uint64_t mbrl_served = 0;
-    std::uint64_t batches = 0;         ///< cross-session batches solved
+    std::uint64_t batches = 0;           ///< cross-session batches solved
     std::uint64_t batched_requests = 0;  ///< MBRL requests that rode a batch
-    std::uint64_t max_batch = 0;       ///< largest batch observed
+    std::uint64_t max_batch = 0;         ///< largest batch observed
+    /// Batches whose coalescing window was closed by a latency budget
+    /// (earliest deadline - margin) instead of batch_window/max_batch —
+    /// the SLO-aware scheduler earning its keep.
+    std::uint64_t deadline_closes = 0;
   };
   Stats stats() const;
 
@@ -140,6 +179,9 @@ class RequestScheduler {
     ControlRequest request;
     DecisionTicket ticket;
     std::promise<ControlDecision> promise;
+    /// Budget exhaustion instant (admission + budget); time_point::max()
+    /// for budget-less requests.
+    std::chrono::steady_clock::time_point deadline = std::chrono::steady_clock::time_point::max();
   };
 
   struct ModelEntry {
@@ -149,7 +191,12 @@ class RequestScheduler {
 
   ControlDecision serve_dt(const ControlRequest& request);
   ModelEntry model_for(const std::string& key) const;
-  void worker_loop();
+  BoundedMpscQueue<Pending>& queue_for(SessionId session) {
+    return *queues_[session % queues_.size()];
+  }
+  /// Stamps the request's deadline from its (or the default) budget.
+  std::chrono::steady_clock::time_point deadline_for(const ControlRequest& request) const;
+  void worker_loop(std::size_t shard);
   /// Draws, scores and answers one coalesced batch (fulfills promises).
   void solve_batch(std::vector<Pending>& batch);
 
@@ -166,14 +213,16 @@ class RequestScheduler {
   std::uint64_t next_model_generation_ = 1;
   std::shared_ptr<DecisionTap> tap_;
 
-  BoundedMpscQueue<Pending> queue_;
-  std::thread worker_;
+  /// One queue per shard (session id % size routes); one worker each.
+  std::vector<std::unique_ptr<BoundedMpscQueue<Pending>>> queues_;
+  std::vector<std::thread> workers_;
 
   std::atomic<std::uint64_t> dt_served_{0};
   std::atomic<std::uint64_t> mbrl_served_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> deadline_closes_{0};
 };
 
 }  // namespace verihvac::serve

@@ -91,6 +91,11 @@ class SessionManager {
 
   bool contains(SessionId id) const;
   std::size_t size() const;
+  /// Number of lock shards (session id % shard_count() selects a shard).
+  /// The request scheduler aligns its MBRL queue sharding to this so a
+  /// session's admissions and its batch queue live on the same shard
+  /// index.
+  std::size_t shard_count() const { return shards_.size(); }
 
   /// Admits one decision: records the observation into the bounded
   /// history, bumps the per-kind counters, and returns the ticket

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
@@ -179,6 +180,84 @@ TEST(RequestSchedulerTest, AsyncQueueServingMatchesScalarReference) {
   EXPECT_EQ(stats.mbrl_served, scenario.size());
   EXPECT_GE(stats.batches, 1u);
   stack.scheduler->stop();
+}
+
+// SLO-awareness: a request whose latency budget is nearly exhausted must
+// close its micro-batch long before the fixed batch_window would, and the
+// early close must be visible in stats().deadline_closes.
+TEST(RequestSchedulerTest, NearExhaustedBudgetClosesBatchEarly) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  const control::RandomShootingConfig rs_config = serving_rs();
+  const std::vector<ScenarioRequest> scenario = {{0, 17.0}};
+  const std::vector<std::size_t> expected = reference_decisions(scenario, *model, rs_config);
+
+  SchedulerConfig scheduler_config;
+  // A pathological 2s straggler window: without the deadline pulling the
+  // close forward, this lone request would idle out the full window.
+  scheduler_config.batch_window = std::chrono::microseconds(2'000'000);
+  scheduler_config.deadline_margin = std::chrono::microseconds(500);
+  Stack stack(policy, model, rs_config, /*threads=*/2, scheduler_config);
+  stack.scheduler->start();
+
+  ControlRequest request = stack.request(scenario[0], RequestKind::kMbrlFallback,
+                                         rs_config.horizon);
+  request.latency_budget = std::chrono::microseconds(50'000);
+  const auto t0 = std::chrono::steady_clock::now();
+  const ControlDecision decision = stack.scheduler->submit(std::move(request)).get();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_EQ(decision.action_index, expected[0]);
+  // Generous bound for a loaded CI box: well under the 2s window, even if
+  // far over the 50ms budget itself.
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
+  EXPECT_GE(stack.scheduler->stats().deadline_closes, 1u);
+  stack.scheduler->stop();
+}
+
+// Window adaptation shapes latency only: mixed budgets (some requests
+// closing batches early, some riding the window) and non-default queue
+// sharding must not change a single decision bit versus the scalar
+// reference.
+TEST(RequestSchedulerTest, DeadlineWindowAndShardingPreserveDecisionBits) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  const control::RandomShootingConfig rs_config = serving_rs();
+  const std::vector<ScenarioRequest> scenario = mixed_scenario();
+  const std::vector<std::size_t> expected = reference_decisions(scenario, *model, rs_config);
+
+  for (const std::size_t shards : {1u, 3u}) {
+    SchedulerConfig scheduler_config;
+    scheduler_config.queue_shards = shards;
+    scheduler_config.max_batch = 4;
+    scheduler_config.batch_window = std::chrono::microseconds(2000);
+    scheduler_config.default_latency_budget = std::chrono::microseconds(5000);
+    Stack stack(policy, model, rs_config, /*threads=*/4, scheduler_config);
+    ASSERT_EQ(stack.scheduler->queue_shard_count(), shards);
+    stack.scheduler->start();
+
+    std::vector<std::future<ControlDecision>> futures;
+    for (std::size_t i = 0; i < scenario.size(); ++i) {
+      ControlRequest request = stack.request(scenario[i], RequestKind::kMbrlFallback,
+                                             rs_config.horizon);
+      // Alternate tight / default / no budget across the scenario.
+      if (i % 3 == 0) request.latency_budget = std::chrono::microseconds(300);
+      futures.push_back(stack.scheduler->submit(std::move(request)));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      EXPECT_EQ(futures[i].get().action_index, expected[i])
+          << "request " << i << " with " << shards << " queue shards";
+    }
+    EXPECT_EQ(stack.scheduler->stats().mbrl_served, scenario.size());
+    stack.scheduler->stop();
+  }
+}
+
+// The default queue sharding aligns to the session manager's lock shards,
+// so a session's admissions and its batch queue share one shard index.
+TEST(RequestSchedulerTest, DefaultQueueShardingMatchesSessionManager) {
+  Stack stack(toy_policy(), toy_model(), serving_rs(), /*threads=*/1);
+  EXPECT_EQ(stack.scheduler->queue_shard_count(), stack.sessions->shard_count());
 }
 
 TEST(RequestSchedulerTest, InlineServeWithoutWorkerMatchesScalarReference) {

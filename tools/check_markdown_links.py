@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (CI gate, stdlib only).
+
+Checks every inline link in the given markdown files (default: README.md
+and docs/*.md):
+
+  * relative file links must resolve to an existing file or directory,
+  * fragment links (``file.md#section`` or ``#section``) must match a
+    heading in the target file, using GitHub's anchor slugification,
+  * absolute URLs (http/https/mailto) are *not* fetched — CI must not
+    depend on the network — but must at least parse as URLs.
+
+Exit status is the number of broken links (0 = clean).
+
+Usage: tools/check_markdown_links.py [FILE.md ...]
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) — target may carry a title suffix.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def strip_code_blocks(text: str) -> str:
+    """Blanks fenced code blocks so example links inside them are ignored."""
+    out: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor rule: lowercase, drop punctuation,
+    spaces to dashes (inline code/emphasis markers removed first)."""
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in strip_code_blocks(path.read_text(encoding="utf-8")).splitlines():
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    errors: list[str] = []
+    text = strip_code_blocks(path.read_text(encoding="utf-8"))
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.is_relative_to(repo_root):
+                # Escapes the repo tree: a site-relative GitHub path (the
+                # CI badge's ../../actions/...), resolvable only online.
+                continue
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(repo_root)}: broken link -> {target}")
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.suffix == ".md":
+            if fragment.lower() not in anchors_of(resolved):
+                errors.append(f"{path.relative_to(repo_root)}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = [repo_root / "README.md"] + sorted((repo_root / "docs").glob("*.md"))
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            errors.append(f"missing file: {path}")
+            continue
+        checked += 1
+        errors.extend(check_file(path, repo_root))
+    for error in errors:
+        print(error)
+    print(f"checked {checked} file(s): {len(errors)} broken link(s)")
+    return min(len(errors), 255)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

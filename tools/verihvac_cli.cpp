@@ -18,6 +18,7 @@
 // The formats are the library's own (core/policy_io bundles,
 // core/edge_export C modules), so artifacts interoperate with the
 // examples and benches.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -288,6 +289,10 @@ int cmd_serve_bench(const Args& args) {
   config.rs.samples = static_cast<std::size_t>(args.get_long("samples", 64));
   config.rs.horizon = static_cast<std::size_t>(args.get_long("horizon", 5));
   config.async = !args.flag("sync");
+  // SLO knobs: per-request MBRL latency budget (0 = window-only batching)
+  // and MBRL queue shard override (0 = align to the session manager).
+  config.mbrl_latency_budget = std::chrono::microseconds(args.get_long("budget-us", 0));
+  config.scheduler.queue_shards = static_cast<std::size_t>(args.get_long("queue-shards", 0));
 
   // Per-cell serving assets from the extraction pipeline, cached by
   // (climate x hvac scale): presets only differ in plant sizing.
@@ -527,11 +532,13 @@ const std::map<std::string, Command>& commands() {
          {"samples", true},
          {"horizon", true},
          {"sync", false},
+         {"budget-us", true},
+         {"queue-shards", true},
          {"out", true}},
         "serve-bench [--climates A,B,..] [--presets name[:scale],..]\n"
         "            [--buildings N] [--steps N] [--mbrl-frac F] [--days N]\n"
         "            [--samples N] [--horizon N] [--seed N] [--sync]\n"
-        "            [--out FILE.json]",
+        "            [--budget-us N] [--queue-shards N] [--out FILE.json]",
         cmd_serve_bench}},
       {"adapt-bench",
        {{{"city", true},
