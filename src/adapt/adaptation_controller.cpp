@@ -32,9 +32,10 @@ ShadowReport shadow_evaluate(const core::DtPolicy& policy, const dyn::DynamicsMo
                              const env::ComfortRange& comfort) {
   ShadowReport report;
   dyn::PredictScratch scratch;
+  const std::size_t occ_dim = model.schema().occupancy_index();
   for (const dyn::Transition& transition : holdout.transitions()) {
     ++report.transitions;
-    if (transition.input[env::kOccupancy] <= 0.5) continue;
+    if (transition.input[occ_dim] <= 0.5) continue;
     ++report.occupied;
     const std::size_t index = policy.decide_index(transition.input);
     const sim::SetpointPair action = policy.actions().action(index);
@@ -103,7 +104,7 @@ std::vector<AdaptationController::PendingTransition> AdaptationController::pair_
       item.transition.input = prev.obs_vector();
       item.transition.action.heating_c = prev.heating_c;
       item.transition.action.cooling_c = prev.cooling_c;
-      item.transition.next_zone_temp = record.obs[env::kZoneTemp];
+      item.transition.next_zone_temp = record.obs[record.zone_temp_dim];
       const auto cluster_it = clusters_.find(item.key);
       if (cluster_it != clusters_.end()) {
         item.model = cluster_it->second.assets.model;
@@ -316,7 +317,7 @@ AdaptationController::AdaptOutcome AdaptationController::adapt_cluster(
     dyn::TransitionDataset certification_data = train;
     certification_data.append(assets.baseline);
     const core::AugmentedSampler sampler(certification_data.policy_inputs(),
-                                         config_.noise_level);
+                                         config_.noise_level, candidate_model->schema());
     report.probabilistic = engine_.verify_probabilistic(
         *candidate, *candidate_model, sampler, config_.criteria, config_.probabilistic_samples,
         derive_seed(config_.seed, generation, 3));

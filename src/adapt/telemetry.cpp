@@ -29,6 +29,9 @@ std::vector<env::Disturbance> TelemetryRecord::forecast_vector() const {
     out[k].weather.wind_mps = forecast[k].wind_mps;
     out[k].weather.solar_wm2 = forecast[k].solar_wm2;
     out[k].occupants = forecast[k].occupants;
+    out[k].hour_sin = forecast[k].hour_sin;
+    out[k].hour_cos = forecast[k].hour_cos;
+    out[k].occupants_ahead = forecast[k].occupants_ahead;
   }
   return out;
 }
@@ -110,6 +113,9 @@ void TelemetryLog::on_decision(const serve::DecisionEvent& event) noexcept {
       fslot.entries[k].wind_mps = forecast[k].weather.wind_mps;
       fslot.entries[k].solar_wm2 = forecast[k].weather.solar_wm2;
       fslot.entries[k].occupants = forecast[k].occupants;
+      fslot.entries[k].hour_sin = forecast[k].hour_sin;
+      fslot.entries[k].hour_cos = forecast[k].hour_cos;
+      fslot.entries[k].occupants_ahead = forecast[k].occupants_ahead;
     }
     fslot.seq.store(2 * forecast_ticket + 2, std::memory_order_release);
   }
@@ -131,12 +137,25 @@ void TelemetryLog::on_decision(const serve::DecisionEvent& event) noexcept {
   r.action_index = static_cast<std::uint32_t>(event.action_index);
   r.latency_seconds = event.latency_seconds;
   const env::Observation& obs = *event.observation;
-  r.obs[env::kZoneTemp] = obs.zone_temp_c;
-  r.obs[env::kOutdoorTemp] = obs.weather.outdoor_temp_c;
-  r.obs[env::kHumidity] = obs.weather.humidity_pct;
-  r.obs[env::kWind] = obs.weather.wind_mps;
-  r.obs[env::kSolar] = obs.weather.solar_wm2;
-  r.obs[env::kOccupancy] = obs.occupants;
+  if (event.schema != nullptr) {
+    // Records carry the deciding artifact's schema layout; trace pairing
+    // and replay read zone temperature by the persisted role index, not
+    // by trusting column 0.
+    r.obs_len = static_cast<std::uint16_t>(event.schema->dims());
+    r.zone_temp_dim = static_cast<std::uint16_t>(event.schema->zone_temp_index());
+    event.schema->write_observation(obs, r.obs);
+  } else {
+    // A custom scheduler that predates the schema seam: assume the legacy
+    // baseline layout, exactly as v1 telemetry did.
+    r.obs_len = static_cast<std::uint16_t>(env::kInputDims);
+    r.zone_temp_dim = 0;
+    r.obs[env::kZoneTemp] = obs.zone_temp_c;
+    r.obs[env::kOutdoorTemp] = obs.weather.outdoor_temp_c;
+    r.obs[env::kHumidity] = obs.weather.humidity_pct;
+    r.obs[env::kWind] = obs.weather.wind_mps;
+    r.obs[env::kSolar] = obs.weather.solar_wm2;
+    r.obs[env::kOccupancy] = obs.occupants;
+  }
   r.heating_c = event.action.heating_c;
   r.cooling_c = event.action.cooling_c;
   r.forecast_len = forecast_len;
@@ -171,11 +190,14 @@ std::uint64_t TelemetryLog::drain(std::vector<TelemetryRecord>& out) {
         const CompactRecord copy = slot.record;
         std::atomic_thread_fence(std::memory_order_acquire);
         if (slot.seq.load(std::memory_order_relaxed) == published &&
-            copy.forecast_len <= kTelemetryMaxForecast && copy.kind <= 1) {
+            copy.forecast_len <= kTelemetryMaxForecast && copy.kind <= 1 &&
+            copy.obs_len >= 1 && copy.obs_len <= kTelemetryMaxObsDims &&
+            copy.zone_temp_dim < copy.obs_len) {
           // The field sanity checks guard the pathological writer-writer
           // lap race (a producer stalled mid-write for a whole ring lap):
           // a torn record must never drive the forecast memcpy below past
-          // its array, so implausible lengths/kinds count as lost.
+          // its array (nor hand downstream readers an out-of-range obs
+          // length/zone column), so implausible values count as lost.
           TelemetryRecord record;
           record.session = copy.session;
           record.decision_index = copy.decision_index;
@@ -186,6 +208,8 @@ std::uint64_t TelemetryLog::drain(std::vector<TelemetryRecord>& out) {
           record.forecast_len = copy.forecast_len;
           record.action_index = copy.action_index;
           record.latency_seconds = copy.latency_seconds;
+          record.obs_len = copy.obs_len;
+          record.zone_temp_dim = copy.zone_temp_dim;
           std::memcpy(record.obs, copy.obs, sizeof(record.obs));
           record.heating_c = copy.heating_c;
           record.cooling_c = copy.cooling_c;
@@ -284,8 +308,10 @@ void save_trace(const TelemetryTrace& trace, const std::string& path) {
     write_pod<std::uint8_t>(out, r.forecast_truncated);
     write_pod<std::uint16_t>(out, r.forecast_len);
     write_pod<std::uint32_t>(out, r.action_index);
+    write_pod<std::uint16_t>(out, r.obs_len);
+    write_pod<std::uint16_t>(out, r.zone_temp_dim);
     write_pod<double>(out, r.latency_seconds);
-    for (std::size_t i = 0; i < env::kInputDims; ++i) write_pod<double>(out, r.obs[i]);
+    for (std::size_t i = 0; i < r.obs_len; ++i) write_pod<double>(out, r.obs[i]);
     write_pod<double>(out, r.heating_c);
     write_pod<double>(out, r.cooling_c);
     for (std::size_t k = 0; k < r.forecast_len; ++k) {
@@ -305,7 +331,7 @@ TelemetryTrace load_trace(const std::string& path) {
     throw std::runtime_error("telemetry trace: bad magic in " + path);
   }
   const auto version = read_pod<std::uint32_t>(in);
-  if (version != kTelemetryTraceVersion) {
+  if (version != 1 && version != kTelemetryTraceVersion) {
     throw std::runtime_error("telemetry trace: unsupported version " + std::to_string(version) +
                              " in " + path);
   }
@@ -336,15 +362,37 @@ TelemetryTrace load_trace(const std::string& path) {
     r.forecast_truncated = read_pod<std::uint8_t>(in);
     r.forecast_len = read_pod<std::uint16_t>(in);
     r.action_index = read_pod<std::uint32_t>(in);
+    if (version >= 2) {
+      r.obs_len = read_pod<std::uint16_t>(in);
+      r.zone_temp_dim = read_pod<std::uint16_t>(in);
+      if (r.obs_len < 1 || r.obs_len > kTelemetryMaxObsDims || r.zone_temp_dim >= r.obs_len) {
+        throw std::runtime_error("telemetry trace: observation length exceeds format cap");
+      }
+    } else {
+      // v1 records are implicitly the baseline 6-dim layout with the zone
+      // temperature in column 0.
+      r.obs_len = static_cast<std::uint16_t>(env::kInputDims);
+      r.zone_temp_dim = 0;
+    }
     r.latency_seconds = read_pod<double>(in);
-    for (std::size_t d = 0; d < env::kInputDims; ++d) r.obs[d] = read_pod<double>(in);
+    for (std::size_t d = 0; d < r.obs_len; ++d) r.obs[d] = read_pod<double>(in);
     r.heating_c = read_pod<double>(in);
     r.cooling_c = read_pod<double>(in);
     if (r.forecast_len > kTelemetryMaxForecast) {
       throw std::runtime_error("telemetry trace: forecast length exceeds format cap");
     }
     for (std::size_t k = 0; k < r.forecast_len; ++k) {
-      r.forecast[k] = read_pod<TelemetryDisturbance>(in);
+      if (version >= 2) {
+        r.forecast[k] = read_pod<TelemetryDisturbance>(in);
+      } else {
+        // v1 forecast entries carried only the five weather/occupancy
+        // doubles; the temporal fields take their baseline defaults.
+        r.forecast[k].outdoor_temp_c = read_pod<double>(in);
+        r.forecast[k].humidity_pct = read_pod<double>(in);
+        r.forecast[k].wind_mps = read_pod<double>(in);
+        r.forecast[k].solar_wm2 = read_pod<double>(in);
+        r.forecast[k].occupants = read_pod<double>(in);
+      }
     }
     trace.records.push_back(r);
   }
@@ -362,17 +410,24 @@ dyn::TransitionDataset trace_to_dataset(const TelemetryTrace& trace) {
                    });
 
   dyn::TransitionDataset dataset;
+  // A fleet trace can mix schemas (heterogeneous registry keys); a
+  // TransitionDataset holds one input width, so pair within the first
+  // schema shape seen and leave foreign-shaped records for a separate
+  // extraction pass.
+  std::uint16_t width = 0;
   for (std::size_t i = 0; i + 1 < ordered.size(); ++i) {
     const TelemetryRecord& cur = *ordered[i];
     const TelemetryRecord& next = *ordered[i + 1];
     if (cur.session != next.session || next.decision_index != cur.decision_index + 1) {
       continue;  // capture gap: no fabricated transition
     }
+    if (width == 0) width = cur.obs_len;
+    if (cur.obs_len != width || next.obs_len != width) continue;
     dyn::Transition transition;
     transition.input = cur.obs_vector();
     transition.action.heating_c = cur.heating_c;
     transition.action.cooling_c = cur.cooling_c;
-    transition.next_zone_temp = next.obs[env::kZoneTemp];
+    transition.next_zone_temp = next.obs[next.zone_temp_dim];
     dataset.add(std::move(transition));
   }
   return dataset;
@@ -390,7 +445,7 @@ ReplayReport replay_trace(const TelemetryTrace& trace, const ReplayAssets& asset
     std::size_t replayed_action = 0;
     if (r.request_kind() == serve::RequestKind::kDtPolicy) {
       const auto it = assets.policies.find(r.policy_version);
-      if (it == assets.policies.end()) {
+      if (it == assets.policies.end() || it->second->schema().dims() != r.obs_len) {
         ++report.skipped_missing_assets;
         continue;
       }
@@ -401,11 +456,16 @@ ReplayReport replay_trace(const TelemetryTrace& trace, const ReplayAssets& asset
         continue;
       }
       const auto it = assets.models.find(r.policy_version);
-      if (it == assets.models.end()) {
+      if (it == assets.models.end() || it->second->schema().dims() != r.obs_len) {
+        // Missing model, or a model whose schema shape no longer matches
+        // the record — either way the decision cannot be reconstructed.
         ++report.skipped_missing_assets;
         continue;
       }
-      const env::Observation obs = env::Observation::from_vector(r.obs_vector());
+      // Rebuild the observation through the deciding model's schema — a
+      // time-aware record's temporal columns land back in the temporal
+      // fields instead of being misread as weather.
+      const env::Observation obs = it->second->schema().to_observation(r.obs_vector());
       const std::vector<env::Disturbance> forecast = r.forecast_vector();
       // The decision's entire stochastic footprint, reconstructed from the
       // record's stream coordinates — the same derivation the scheduler

@@ -76,13 +76,24 @@ namespace verihvac::adapt {
 /// (such records cannot be replayed, only counted).
 inline constexpr std::size_t kTelemetryMaxForecast = 20;
 
-/// One disturbance step, flattened for POD storage.
+/// Observation dims stored inline per record — sized with headroom over
+/// the largest schema preset (time-aware: 9) so a future schema does not
+/// force another trace-format bump. Records carry their actual length.
+inline constexpr std::size_t kTelemetryMaxObsDims = 12;
+
+/// One disturbance step, flattened for POD storage. Carries the temporal
+/// features (hour encoding, occupancy forecast) alongside the weather so
+/// time-aware MBRL decisions replay bit-identically; baseline records
+/// store the field defaults.
 struct TelemetryDisturbance {
   double outdoor_temp_c = 0.0;
   double humidity_pct = 0.0;
   double wind_mps = 0.0;
   double solar_wm2 = 0.0;
   double occupants = 0.0;
+  double hour_sin = 0.0;
+  double hour_cos = 1.0;
+  double occupants_ahead = 0.0;
 };
 
 /// One served decision. Trivially copyable by construction: the seqlock
@@ -98,14 +109,20 @@ struct TelemetryRecord {
   std::uint8_t forecast_truncated = 0;
   std::uint16_t forecast_len = 0;
   std::uint32_t action_index = 0;
+  /// Number of observation dims actually used (the deciding artifact's
+  /// schema dimension); the tail of `obs` is zero.
+  std::uint16_t obs_len = static_cast<std::uint16_t>(env::kInputDims);
+  /// Which obs column is the zone temperature (the schema's state role) —
+  /// transition pairing reads next states by this, not by index 0.
+  std::uint16_t zone_temp_dim = 0;
   double latency_seconds = 0.0;
-  double obs[env::kInputDims] = {};  ///< 6-dim (s, d) policy input
+  double obs[kTelemetryMaxObsDims] = {};  ///< flattened (s, d) policy input
   double heating_c = 0.0;
   double cooling_c = 0.0;
   TelemetryDisturbance forecast[kTelemetryMaxForecast] = {};
 
   serve::RequestKind request_kind() const { return static_cast<serve::RequestKind>(kind); }
-  std::vector<double> obs_vector() const { return {obs, obs + env::kInputDims}; }
+  std::vector<double> obs_vector() const { return {obs, obs + obs_len}; }
   /// Rebuilds the optimizer forecast (empty for DT records).
   std::vector<env::Disturbance> forecast_vector() const;
 };
@@ -200,8 +217,10 @@ class TelemetryLog : public serve::DecisionTap {
     std::uint8_t forecast_truncated = 0;
     std::uint16_t forecast_len = 0;
     std::uint32_t action_index = 0;
+    std::uint16_t obs_len = static_cast<std::uint16_t>(env::kInputDims);
+    std::uint16_t zone_temp_dim = 0;
     double latency_seconds = 0.0;
-    double obs[env::kInputDims] = {};
+    double obs[kTelemetryMaxObsDims] = {};
     double heating_c = 0.0;
     double cooling_c = 0.0;
     /// Ticket into the shard's forecast ring; kNoForecast for DT records.
@@ -240,8 +259,10 @@ class TelemetryLog : public serve::DecisionTap {
 };
 
 /// Current binary trace version (bumped on any layout change; readers
-/// reject versions they do not understand).
-inline constexpr std::uint32_t kTelemetryTraceVersion = 1;
+/// reject versions they do not understand). v2 adds per-record obs_len /
+/// zone_temp_dim with a length-prefixed observation block and the temporal
+/// forecast fields; v1 traces still load, as implicit baseline 6-dim.
+inline constexpr std::uint32_t kTelemetryTraceVersion = 2;
 
 /// Writes the trace (sessions sorted by id, records in vector order).
 /// Throws std::runtime_error on I/O failure.

@@ -31,7 +31,10 @@ double RandomShooting::rollout_return(const dyn::DynamicsModel& model,
                                       const std::vector<std::size_t>& action_sequence,
                                       dyn::PredictScratch& scratch) const {
   assert(forecast.size() >= action_sequence.size());
-  std::vector<double> x = obs.to_vector();
+  const env::FeatureSchema& schema = model.schema();
+  const std::size_t zone_dim = schema.zone_temp_index();
+  const std::size_t occ_dim = schema.occupancy_index();
+  std::vector<double> x = schema.to_vector(obs);
   double discount = 1.0;
   double total = 0.0;
   for (std::size_t t = 0; t < action_sequence.size(); ++t) {
@@ -39,18 +42,13 @@ double RandomShooting::rollout_return(const dyn::DynamicsModel& model,
     const double next_temp = model.predict(x, action, scratch);
     // r(f_hat(s_t, d_t, a_t), a_t): comfort of the predicted state plus the
     // energy proxy of the action taken, weighted by occupancy at step t.
-    const bool occupied = x[env::kOccupancy] > 0.5;
+    const bool occupied = x[occ_dim] > 0.5;
     total += discount * env::reward(reward_, next_temp, action, occupied);
     discount *= config_.gamma;
 
     // Advance the input to step t+1: predicted state + forecast disturbances.
-    const env::Disturbance& d = forecast[t];
-    x[env::kZoneTemp] = next_temp;
-    x[env::kOutdoorTemp] = d.weather.outdoor_temp_c;
-    x[env::kHumidity] = d.weather.humidity_pct;
-    x[env::kWind] = d.weather.wind_mps;
-    x[env::kSolar] = d.weather.solar_wm2;
-    x[env::kOccupancy] = d.occupants;
+    x[zone_dim] = next_temp;
+    schema.apply_disturbance(forecast[t], x.data());
   }
   return total;
 }
@@ -75,10 +73,15 @@ void RandomShooting::rollout_returns_slice(const dyn::DynamicsModel& model,
   assert(forecast.size() >= max_len);
 
   // Structure-of-arrays candidate state: row r holds candidate begin+r's
-  // current 8-dim model input (6 observation dims + the 2 setpoints of the
+  // current model input (schema observation dims + the 2 setpoints of the
   // action about to be applied).
-  const std::vector<double> x0 = obs.to_vector();
-  scratch.states.resize(n, dyn::kModelInputDims);
+  const env::FeatureSchema& schema = model.schema();
+  const std::size_t zone_dim = schema.zone_temp_index();
+  const std::size_t occ_dim = schema.occupancy_index();
+  const std::size_t heat_col = model.heat_index();
+  const std::size_t cool_col = model.cool_index();
+  const std::vector<double> x0 = schema.to_vector(obs);
+  scratch.states.resize(n, model.input_dims());
   for (std::size_t r = 0; r < n; ++r) {
     std::copy(x0.begin(), x0.end(), scratch.states.row_data(r));
   }
@@ -96,8 +99,8 @@ void RandomShooting::rollout_returns_slice(const dyn::DynamicsModel& model,
       if (t >= seq.size()) continue;
       const sim::SetpointPair action = actions_.action(seq[t]);
       scratch.actions[r] = action;
-      scratch.states(r, dyn::kHeatSpIndex) = action.heating_c;
-      scratch.states(r, dyn::kCoolSpIndex) = action.cooling_c;
+      scratch.states(r, heat_col) = action.heating_c;
+      scratch.states(r, cool_col) = action.cooling_c;
     }
     // One batched forward advances every candidate in lock-step.
     model.predict_batch_into(scratch.states, scratch.next_temps, scratch.batch);
@@ -106,18 +109,14 @@ void RandomShooting::rollout_returns_slice(const dyn::DynamicsModel& model,
     for (std::size_t r = 0; r < n; ++r) {
       if (t >= sequences[begin + r].size()) continue;
       const double next_temp = scratch.next_temps[r];
-      const bool occupied = scratch.states(r, env::kOccupancy) > 0.5;
+      const bool occupied = scratch.states(r, occ_dim) > 0.5;
       returns[begin + r] +=
           scratch.discounts[r] * env::reward(reward_, next_temp, scratch.actions[r], occupied);
       scratch.discounts[r] *= config_.gamma;
 
       double* row = scratch.states.row_data(r);
-      row[env::kZoneTemp] = next_temp;
-      row[env::kOutdoorTemp] = d.weather.outdoor_temp_c;
-      row[env::kHumidity] = d.weather.humidity_pct;
-      row[env::kWind] = d.weather.wind_mps;
-      row[env::kSolar] = d.weather.solar_wm2;
-      row[env::kOccupancy] = d.occupants;
+      row[zone_dim] = next_temp;
+      schema.apply_disturbance(d, row);
     }
   }
 }

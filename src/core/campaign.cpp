@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
@@ -35,6 +36,8 @@ std::vector<env::Disturbance> scenario_disturbances(const std::string& climate,
     env::Disturbance d;
     d.weather = series.at(start + k);
     d.occupants = 11.0;  // paper's occupied-zone headcount
+    std::tie(d.hour_sin, d.hour_cos) = env::time_of_day_encoding(start + k);
+    d.occupants_ahead = 11.0;  // the workday continues past the tube horizon
     out.push_back(d);
   }
   return out;
@@ -166,7 +169,8 @@ AssetProvider pipeline_asset_provider(const CampaignConfig& config) {
   // expensive extraction runs once per plant.
   auto cache = std::make_shared<std::map<std::string, ScenarioAssets>>();
   const std::size_t decision_points = config.decision_points;
-  return [cache, decision_points](const CampaignScenario& scenario) -> ScenarioAssets {
+  const env::FeatureSchema schema = config.schema;
+  return [cache, decision_points, schema](const CampaignScenario& scenario) -> ScenarioAssets {
     // The HVAC scale is part of the key: two presets sharing a name but
     // sized differently are different plants and must not share artifacts.
     const std::string key = scenario.climate + "/" + scenario.building.name + ":" +
@@ -175,6 +179,7 @@ AssetProvider pipeline_asset_provider(const CampaignConfig& config) {
     if (it != cache->end()) return it->second;
 
     PipelineConfig cfg = PipelineConfig::for_city(scenario.climate);
+    cfg.set_schema(schema);
     cfg.env.hvac_capacity_scale = scenario.building.hvac_scale;
     if (decision_points > 0) cfg.decision_points = decision_points;
     const PipelineArtifacts artifacts = run_pipeline(cfg);
@@ -182,8 +187,8 @@ AssetProvider pipeline_asset_provider(const CampaignConfig& config) {
     ScenarioAssets assets;
     assets.policy = artifacts.policy;
     assets.model = artifacts.model;
-    assets.sampler = std::make_shared<AugmentedSampler>(artifacts.historical.policy_inputs(),
-                                                        cfg.decision.noise_level);
+    assets.sampler = std::make_shared<AugmentedSampler>(
+        artifacts.historical.policy_inputs(), cfg.decision.noise_level, cfg.decision.schema);
     (*cache)[key] = assets;
     return assets;
   };

@@ -72,6 +72,9 @@ struct CampaignConfig {
   /// Decision points for the default pipeline asset provider (0 = keep the
   /// pipeline's own default).
   std::size_t decision_points = 0;
+  /// Observation schema used by the default pipeline asset provider (and
+  /// by the scenario disturbance synthesizer for temporal features).
+  env::FeatureSchema schema = env::baseline_schema();
 };
 
 /// One cell of the scenario grid.

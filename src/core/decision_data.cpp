@@ -27,10 +27,19 @@ DecisionDataset DecisionDataset::prefix(std::size_t n) const {
   return out;
 }
 
-AugmentedSampler::AugmentedSampler(Matrix historical, double noise_level)
-    : historical_(std::move(historical)), noise_level_(noise_level) {
+AugmentedSampler::AugmentedSampler(Matrix historical, double noise_level,
+                                   env::FeatureSchema schema)
+    : historical_(std::move(historical)),
+      noise_level_(noise_level),
+      schema_(std::move(schema)) {
   if (historical_.rows() == 0) {
     throw std::invalid_argument("AugmentedSampler: empty historical data");
+  }
+  if (historical_.cols() != schema_.dims()) {
+    throw std::invalid_argument("AugmentedSampler: historical rows have " +
+                                std::to_string(historical_.cols()) +
+                                " dims, schema '" + schema_.name() + "' expects " +
+                                std::to_string(schema_.dims()));
   }
   if (noise_level < 0.0) {
     throw std::invalid_argument("AugmentedSampler: negative noise level");
@@ -58,12 +67,26 @@ std::pair<std::vector<double>, std::size_t> AugmentedSampler::sample(Rng& rng) c
   for (std::size_t c = 0; c < x.size(); ++c) {
     x[c] += rng.normal(0.0, noise_level_ * stds_[c]);
   }
-  // Physical clamps (indices per envlib/observation.hpp layout).
-  if (x.size() == env::kInputDims) {
-    x[env::kHumidity] = std::clamp(x[env::kHumidity], 0.0, 100.0);
-    x[env::kWind] = std::max(0.0, x[env::kWind]);
-    x[env::kSolar] = std::max(0.0, x[env::kSolar]);
-    x[env::kOccupancy] = std::max(0.0, x[env::kOccupancy]);
+  // Physical clamps, by feature role (clamping consumes no randomness, so
+  // this cannot perturb the draw stream).
+  for (std::size_t c = 0; c < x.size(); ++c) {
+    switch (schema_.at(c).role) {
+      case env::FeatureRole::kHumidity:
+        x[c] = std::clamp(x[c], 0.0, 100.0);
+        break;
+      case env::FeatureRole::kWind:
+      case env::FeatureRole::kSolar:
+      case env::FeatureRole::kOccupancy:
+      case env::FeatureRole::kOccupancyForecast:
+        x[c] = std::max(0.0, x[c]);
+        break;
+      case env::FeatureRole::kHourSin:
+      case env::FeatureRole::kHourCos:
+        x[c] = std::clamp(x[c], -1.0, 1.0);
+        break;
+      default:
+        break;
+    }
   }
   return {std::move(x), row};
 }
@@ -80,7 +103,7 @@ DecisionDataGenerator::DecisionDataGenerator(const dyn::TransitionDataset& histo
     : historical_(&historical),
       historical_inputs_(historical.policy_inputs()),
       config_(config),
-      sampler_(historical_inputs_, config.noise_level) {
+      sampler_(historical_inputs_, config.noise_level, config.schema) {
   if (config_.mc_repeats == 0) {
     throw std::invalid_argument("DecisionDataGenerator: mc_repeats must be positive");
   }
@@ -92,14 +115,10 @@ std::vector<env::Disturbance> DecisionDataGenerator::forecast_from(std::size_t r
   forecast.reserve(h);
   for (std::size_t k = 1; k <= h; ++k) {
     const std::size_t idx = std::min(row + k, historical_->size() - 1);
-    const auto& input = historical_->at(idx).input;
-    env::Disturbance d;
-    d.weather.outdoor_temp_c = input[env::kOutdoorTemp];
-    d.weather.humidity_pct = input[env::kHumidity];
-    d.weather.wind_mps = input[env::kWind];
-    d.weather.solar_wm2 = input[env::kSolar];
-    d.occupants = input[env::kOccupancy];
-    forecast.push_back(d);
+    // Copies every non-state column — including temporal features, which
+    // advance through a rollout exactly like the weather does — from the
+    // recorded history, so the forecast is the future the building saw.
+    forecast.push_back(config_.schema.to_disturbance(historical_->at(idx).input.data()));
   }
   return forecast;
 }
@@ -113,7 +132,7 @@ DecisionDataset DecisionDataGenerator::generate(control::MbrlAgent& agent,
   const std::size_t horizon = agent.forecast_horizon();
   for (std::size_t i = 0; i < n_points; ++i) {
     auto [x, row] = sampler_.sample(rng);
-    const env::Observation obs = env::Observation::from_vector(x);
+    const env::Observation obs = config_.schema.to_observation(x);
     const std::vector<env::Disturbance> forecast = forecast_from(row, horizon);
 
     const std::vector<std::size_t> counts =

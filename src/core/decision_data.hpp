@@ -54,20 +54,23 @@ struct DecisionDataset {
 /// Eq. 5 sampler over the historical policy-input distribution.
 class AugmentedSampler {
  public:
-  /// `historical` rows are 6-dim policy inputs; noise_level scales the
-  /// per-dimension std of the data (paper default 0.01). The sampler keeps
-  /// its own copy, so temporaries are fine.
-  AugmentedSampler(Matrix historical, double noise_level);
+  /// `historical` rows are policy inputs in `schema`'s layout; noise_level
+  /// scales the per-dimension std of the data (paper default 0.01). The
+  /// sampler keeps its own copy, so temporaries are fine.
+  AugmentedSampler(Matrix historical, double noise_level,
+                   env::FeatureSchema schema = env::baseline_schema());
 
   std::size_t dims() const { return stds_.size(); }
   double noise_level() const { return noise_level_; }
   const std::vector<double>& dimension_stds() const { return stds_; }
+  const env::FeatureSchema& schema() const { return schema_; }
   /// The underlying historical rows (used by the H-step bootstrap verifier
   /// to continue disturbance trajectories from a sampled anchor row).
   const Matrix& historical() const { return historical_; }
 
   /// Draws a historical row index and the noised input vector. Physical
-  /// clamps keep humidity in [0,100] and wind/solar/occupancy non-negative.
+  /// clamps (by feature role) keep humidity in [0,100], hour sin/cos in
+  /// [-1,1], and wind/solar/occupancy counts non-negative.
   std::pair<std::vector<double>, std::size_t> sample(Rng& rng) const;
 
   /// Draws `n` noised inputs (discarding indices) — for the Fig. 3
@@ -77,6 +80,7 @@ class AugmentedSampler {
  private:
   Matrix historical_;
   double noise_level_;
+  env::FeatureSchema schema_;
   std::vector<double> stds_;
 };
 
@@ -84,6 +88,9 @@ struct DecisionDataConfig {
   double noise_level = 0.01;  ///< paper §4.1
   std::size_t mc_repeats = 10;
   std::uint64_t seed = 77;
+  /// Observation layout of the historical rows (and hence of every
+  /// generated decision record).
+  env::FeatureSchema schema = env::baseline_schema();
 };
 
 class DecisionDataGenerator {

@@ -7,11 +7,15 @@
 
 namespace verihvac::core {
 
-DtPolicy::DtPolicy(tree::DecisionTreeClassifier tree, control::ActionSpace actions)
-    : tree_(std::move(tree)), actions_(std::move(actions)) {
+DtPolicy::DtPolicy(tree::DecisionTreeClassifier tree, control::ActionSpace actions,
+                   env::FeatureSchema schema)
+    : tree_(std::move(tree)), actions_(std::move(actions)), schema_(std::move(schema)) {
   if (!tree_.fitted()) throw std::invalid_argument("DtPolicy: tree not fitted");
-  if (tree_.num_features() != env::kInputDims) {
-    throw std::invalid_argument("DtPolicy: tree must take the 6-dim (s,d) input");
+  if (tree_.num_features() != schema_.dims()) {
+    throw std::invalid_argument("DtPolicy: tree takes " +
+                                std::to_string(tree_.num_features()) +
+                                " features but schema '" + schema_.name() + "' has " +
+                                std::to_string(schema_.dims()));
   }
   if (tree_.num_classes() > actions_.size()) {
     throw std::invalid_argument("DtPolicy: tree classes exceed action space");
@@ -19,17 +23,17 @@ DtPolicy::DtPolicy(tree::DecisionTreeClassifier tree, control::ActionSpace actio
 }
 
 DtPolicy DtPolicy::fit(const DecisionDataset& data, const control::ActionSpace& actions,
-                       tree::TreeConfig config) {
+                       tree::TreeConfig config, env::FeatureSchema schema) {
   if (data.empty()) throw std::invalid_argument("DtPolicy::fit: empty decision dataset");
   tree::DecisionTreeClassifier tree(config);
   tree.fit(data.inputs(), data.labels(), actions.size());
-  return DtPolicy(std::move(tree), actions);
+  return DtPolicy(std::move(tree), actions, std::move(schema));
 }
 
 sim::SetpointPair DtPolicy::act(const env::Observation& obs,
                                 const std::vector<env::Disturbance>& forecast) {
   (void)forecast;
-  return decide(obs.to_vector());
+  return decide(schema_.to_vector(obs));
 }
 
 sim::SetpointPair DtPolicy::decide(const std::vector<double>& x) const {
@@ -41,8 +45,7 @@ std::size_t DtPolicy::decide_index(const std::vector<double>& x) const {
 }
 
 std::string DtPolicy::to_text() const {
-  std::vector<std::string> feature_names(env::input_dim_names().begin(),
-                                         env::input_dim_names().end());
+  std::vector<std::string> feature_names = schema_.feature_names();
   std::vector<std::string> class_names;
   class_names.reserve(actions_.size());
   for (std::size_t i = 0; i < actions_.size(); ++i) class_names.push_back(actions_.label(i));

@@ -4,8 +4,9 @@
 // verified tree to the building's edge controller. This module renders a
 // DtPolicy as a complete, dependency-free C99 module: the tree predictor
 // (tree/codegen) plus the action-space decode tables, wrapped in a single
-// `void <prefix>_decide(const double x[6], double* heat, double* cool)`
-// entry point a BMS firmware can call once per control step.
+// `void <prefix>_decide(const double x[N], double* heat, double* cool)`
+// entry point a BMS firmware can call once per control step, where N is the
+// policy's observation-schema dimension (6 for the baseline schema).
 //
 // The emitted module is what the verifier certified: the C tree is emitted
 // from the *corrected* node array, so criteria #2/#3 guarantees survive

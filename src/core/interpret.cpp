@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <sstream>
 
-#include "envlib/observation.hpp"
+#include "envlib/feature_schema.hpp"
 
 namespace verihvac::core {
 namespace {
 
-std::string dim_name(std::size_t dim) {
-  const auto& names = env::input_dim_names();
-  if (dim < names.size()) return names[dim];
+std::string dim_name(const env::FeatureSchema& schema, std::size_t dim) {
+  if (dim < schema.dims()) return schema.at(dim).name;
   return "x[" + std::to_string(dim) + "]";
 }
 
@@ -40,7 +39,7 @@ Explanation explain(const DtPolicy& policy, const std::vector<double>& x,
   for (const tree::PathStep& step : tree.path_to(leaf)) {
     const tree::TreeNode& node = tree.node(static_cast<std::size_t>(step.node));
     ExplanationStep rendered;
-    rendered.variable = dim_name(static_cast<std::size_t>(node.feature));
+    rendered.variable = dim_name(policy.schema(), static_cast<std::size_t>(node.feature));
     rendered.threshold = node.threshold;
     rendered.went_left = step.went_left;
     rendered.value = x.at(static_cast<std::size_t>(node.feature));
@@ -80,7 +79,7 @@ std::string feature_importance_report(const DtPolicy& policy) {
   std::ostringstream out;
   out << "feature importance (split-sample weighted):\n";
   for (std::size_t dim : order) {
-    out << "  " << dim_name(dim) << ": " << importance[dim] << "\n";
+    out << "  " << dim_name(policy.schema(), dim) << ": " << importance[dim] << "\n";
   }
   return out.str();
 }

@@ -27,8 +27,11 @@ void normalize_box(const nn::Normalizer& norm, const Box& box, std::vector<Inter
 Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_input_box,
                              IntervalScratch& scratch) {
   if (!model.trained()) throw std::logic_error("interval_next_state: model not trained");
-  if (model_input_box.size() != dyn::kModelInputDims) {
-    throw std::invalid_argument("interval_next_state: box must have 8 dims");
+  if (model_input_box.size() != model.input_dims()) {
+    throw std::invalid_argument("interval_next_state: box has " +
+                                std::to_string(model_input_box.size()) +
+                                " dims, model expects " +
+                                std::to_string(model.input_dims()));
   }
   for (std::size_t d = 0; d < model_input_box.size(); ++d) {
     if (model_input_box[d].empty()) {
@@ -44,7 +47,7 @@ Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_i
   // predict(x) = x[s] + delta_mean + delta_std * net(norm(x)); delta_std > 0.
   const Interval delta{model.delta_mean() + model.delta_std() * net_out[0].lo,
                        model.delta_mean() + model.delta_std() * net_out[0].hi};
-  const Interval& s = model_input_box[env::kZoneTemp];
+  const Interval& s = model_input_box[model.zone_temp_index()];
   return Interval{s.lo + delta.lo, s.hi + delta.hi};
 }
 
@@ -80,6 +83,12 @@ std::vector<IntervalWorkItem> interval_work_items(const DtPolicy& policy,
                                                   const IntervalVerifyConfig& config,
                                                   std::size_t& leaves_total) {
   const auto& tree = policy.tree();
+  const env::FeatureSchema& schema = policy.schema();
+  const std::size_t zone_dim = schema.zone_temp_index();
+  const std::size_t occ_dim = schema.occupancy_index();
+  const std::size_t outdoor_dim = schema.index_of(env::FeatureRole::kOutdoorTemp);
+  const std::size_t heat_col = schema.dims();
+  const std::size_t cool_col = schema.dims() + 1;
   std::vector<IntervalWorkItem> items;
   leaves_total = 0;
   for (int leaf : tree.leaves()) {
@@ -89,34 +98,58 @@ std::vector<IntervalWorkItem> interval_work_items(const DtPolicy& policy,
     // range AND inside the certificate's climate envelope. A leaf whose
     // region lies entirely outside any of these (e.g. it requires more
     // solar than the envelope admits) is out of the certificate's scope.
-    box.clip(env::kZoneTemp, Interval::bounded(criteria.comfort.lo, criteria.comfort.hi));
-    box.clip(env::kOccupancy, Interval::greater(0.5));
-    box.clip(env::kOccupancy, bounds.occupancy);
-    box.clip(env::kOutdoorTemp, bounds.outdoor);
-    box.clip(env::kHumidity, bounds.humidity);
-    box.clip(env::kWind, bounds.wind);
-    box.clip(env::kSolar, bounds.solar);
+    // Roles are located through the policy's schema, not by fixed index.
+    box.clip(zone_dim, Interval::bounded(criteria.comfort.lo, criteria.comfort.hi));
+    box.clip(occ_dim, Interval::greater(0.5));
+    box.clip(occ_dim, bounds.occupancy);
+    box.clip(outdoor_dim, bounds.outdoor);
+    if (schema.has_role(env::FeatureRole::kHumidity)) {
+      box.clip(schema.index_of(env::FeatureRole::kHumidity), bounds.humidity);
+    }
+    if (schema.has_role(env::FeatureRole::kWind)) {
+      box.clip(schema.index_of(env::FeatureRole::kWind), bounds.wind);
+    }
+    if (schema.has_role(env::FeatureRole::kSolar)) {
+      box.clip(schema.index_of(env::FeatureRole::kSolar), bounds.solar);
+    }
+    // Any remaining dimensions (temporal encodings, occupancy forecasts)
+    // take the envelope the schema itself declares for them — IBP over an
+    // unbounded box would be vacuous (see DisturbanceBounds).
+    for (std::size_t d = 0; d < schema.dims(); ++d) {
+      switch (schema.at(d).role) {
+        case env::FeatureRole::kZoneTemp:
+        case env::FeatureRole::kOutdoorTemp:
+        case env::FeatureRole::kHumidity:
+        case env::FeatureRole::kWind:
+        case env::FeatureRole::kSolar:
+        case env::FeatureRole::kOccupancy:
+          break;  // clipped above
+        default:
+          box.clip(d, schema.at(d).bounds);
+          break;
+      }
+    }
     if (box.empty()) continue;
 
     // Append the leaf's action as degenerate interval dimensions.
     const auto label =
         static_cast<std::size_t>(tree.node(static_cast<std::size_t>(leaf)).label);
     const sim::SetpointPair action = policy.actions().action(label);
-    Box model_box(dyn::kModelInputDims);
-    for (std::size_t d = 0; d < env::kInputDims; ++d) model_box.clip(d, box[d]);
-    model_box.clip(dyn::kHeatSpIndex, Interval::bounded(action.heating_c, action.heating_c));
-    model_box.clip(dyn::kCoolSpIndex, Interval::bounded(action.cooling_c, action.cooling_c));
+    Box model_box(schema.dims() + 2);
+    for (std::size_t d = 0; d < schema.dims(); ++d) model_box.clip(d, box[d]);
+    model_box.clip(heat_col, Interval::bounded(action.heating_c, action.heating_c));
+    model_box.clip(cool_col, Interval::bounded(action.cooling_c, action.cooling_c));
 
     IntervalWorkItem item;
     item.leaf = leaf;
-    item.zone_temp = box[env::kZoneTemp];
+    item.zone_temp = box[zone_dim];
     for (const Interval& s_cell :
-         split_interval(model_box[env::kZoneTemp], config.zone_slice_c)) {
+         split_interval(model_box[zone_dim], config.zone_slice_c)) {
       for (const Interval& o_cell :
-           split_interval(model_box[env::kOutdoorTemp], config.outdoor_slice_c)) {
+           split_interval(model_box[outdoor_dim], config.outdoor_slice_c)) {
         Box cell = model_box;
-        cell.clip(env::kZoneTemp, s_cell);
-        cell.clip(env::kOutdoorTemp, o_cell);
+        cell.clip(zone_dim, s_cell);
+        cell.clip(outdoor_dim, o_cell);
         item.cells.push_back(std::move(cell));
       }
     }

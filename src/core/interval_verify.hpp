@@ -4,7 +4,7 @@
 // sampling. This module adds the sound counterpart: for every leaf of the
 // verified tree that handles occupied in-comfort states, build the leaf's
 // exact input box (Algorithm 1's path intersection), attach the leaf's
-// setpoint action, push the resulting 8-dim box through the learned MLP
+// setpoint action, push the resulting model-input box through the learned MLP
 // dynamics with interval bound propagation (nn/interval_bounds), and check
 // whether the *guaranteed* next-state interval stays inside the comfort
 // range. A certified leaf is safe for EVERY input it handles and EVERY
@@ -93,8 +93,8 @@ struct IntervalScratch {
 /// (width 0) yields the single point cell.
 std::vector<Interval> split_interval(const Interval& iv, double max_width);
 
-/// Sound one-step next-state interval for an arbitrary 8-dim model-input
-/// box (exposed for tests and the ablation bench).
+/// Sound one-step next-state interval for an arbitrary model-input box
+/// (schema dims + 2 action dims; exposed for tests and the ablation bench).
 Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_input_box);
 
 /// Thread-safe variant: identical arithmetic, all mutable state in the
@@ -102,7 +102,7 @@ Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_i
 Interval interval_next_state(const dyn::DynamicsModel& model, const Box& model_input_box,
                              IntervalScratch& scratch);
 
-/// One subject leaf prepared for certification: the clipped 8-dim model box
+/// One subject leaf prepared for certification: the clipped model-input box
 /// (leaf box ∩ comfort ∩ envelope, with the leaf's action appended as
 /// degenerate dims) and its input-splitting cells in deterministic
 /// zone-major order. The flattened (leaf × cell) list is the unit of

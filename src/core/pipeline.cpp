@@ -9,6 +9,13 @@
 
 namespace verihvac::core {
 
+void PipelineConfig::set_schema(const env::FeatureSchema& schema) {
+  collection.schema = schema;
+  model.schema = schema;
+  ensemble.member_config.schema = schema;
+  decision.schema = schema;
+}
+
 PipelineConfig PipelineConfig::for_city(const std::string& city) {
   PipelineConfig cfg;
   cfg.city = city;
@@ -106,7 +113,8 @@ PipelineArtifacts run_pipeline(const PipelineConfig& config) {
 
   // 4. CART fit (§3.2.2).
   artifacts.policy = std::make_shared<DtPolicy>(
-      DtPolicy::fit(artifacts.decisions, control::ActionSpace(config.action_space)));
+      DtPolicy::fit(artifacts.decisions, control::ActionSpace(config.action_space), {},
+                    config.decision.schema));
 
   // 5. Formal verification + correction (§3.3.1), then criterion #1 (§3.3.2).
   artifacts.formal = verify_formal(*artifacts.policy, config.criteria, /*correct=*/true);
@@ -146,7 +154,8 @@ PipelineArtifacts refit_policy(const PipelineArtifacts& base, std::size_t decisi
   }
 
   artifacts.policy = std::make_shared<DtPolicy>(DtPolicy::fit(
-      artifacts.decisions, control::ActionSpace(artifacts.config.action_space)));
+      artifacts.decisions, control::ActionSpace(artifacts.config.action_space), {},
+      artifacts.config.decision.schema));
   artifacts.formal =
       verify_formal(*artifacts.policy, artifacts.config.criteria, /*correct=*/true);
   DecisionDataGenerator verifier_sampler(artifacts.historical, artifacts.config.decision);

@@ -45,6 +45,13 @@ struct PipelineConfig {
   bool train_ensemble = false;
   dyn::EnsembleConfig ensemble;
 
+  /// Observation layout shared by every stage (collection, model training,
+  /// ensemble, decision generation, CART fit). The stages each carry their
+  /// own schema field; this setter threads one schema through all of them so
+  /// they cannot drift apart. Defaults to the 6-dim baseline.
+  void set_schema(const env::FeatureSchema& schema);
+  const env::FeatureSchema& schema() const { return decision.schema; }
+
   /// Standard configuration for a named city ("Pittsburgh", "Tucson",
   /// "NewYork"), honouring VERI_HVAC_FULL / VERI_HVAC_* overrides.
   static PipelineConfig for_city(const std::string& city);

@@ -1,16 +1,97 @@
 #include "core/policy_io.hpp"
 
+#include <cmath>
 #include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "tree/tree_io.hpp"
 
 namespace verihvac::core {
+namespace {
+
+/// Interval endpoints are written as "inf"/"-inf" tokens or with enough
+/// digits to round-trip exactly (write→read→write is byte-identical).
+void write_bound(std::ostream& out, double v) {
+  if (std::isinf(v)) {
+    out << (v > 0.0 ? "inf" : "-inf");
+    return;
+  }
+  std::ostringstream tmp;
+  tmp << std::setprecision(17) << v;
+  out << tmp.str();
+}
+
+double read_bound(std::istream& in, const std::string& context) {
+  std::string token;
+  in >> token;
+  if (!in) throw std::runtime_error("read_policy: truncated schema bound in " + context);
+  if (token == "inf") return std::numeric_limits<double>::infinity();
+  if (token == "-inf") return -std::numeric_limits<double>::infinity();
+  try {
+    return std::stod(token);
+  } catch (const std::exception&) {
+    throw std::runtime_error("read_policy: bad schema bound '" + token + "' in " + context);
+  }
+}
+
+void write_schema(const env::FeatureSchema& schema, std::ostream& out) {
+  out << "schema " << schema.name() << ' ' << schema.dims() << '\n';
+  for (const env::FeatureSpec& f : schema.features()) {
+    out << "feature " << f.name << ' ' << f.unit << ' ' << env::feature_kind_name(f.kind)
+        << ' ' << env::feature_role_name(f.role) << ' ';
+    write_bound(out, f.bounds.lo);
+    out << ' ';
+    write_bound(out, f.bounds.hi);
+    out << '\n';
+  }
+}
+
+env::FeatureSchema read_schema(std::istream& in, const std::string& context) {
+  std::string tag;
+  std::string name;
+  std::size_t dims = 0;
+  in >> tag >> name >> dims;
+  if (!in || tag != "schema" || dims == 0) {
+    throw std::runtime_error("read_policy: bad schema header in " + context);
+  }
+  std::vector<env::FeatureSpec> features;
+  features.reserve(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    std::string kind;
+    std::string role;
+    env::FeatureSpec spec;
+    in >> tag >> spec.name >> spec.unit >> kind >> role;
+    if (!in || tag != "feature") {
+      throw std::runtime_error("read_policy: truncated schema feature in " + context);
+    }
+    try {
+      spec.kind = env::feature_kind_from_name(kind);
+      spec.role = env::feature_role_from_name(role);
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error("read_policy: " + std::string(e.what()) + " in " + context);
+    }
+    spec.bounds.lo = read_bound(in, context);
+    spec.bounds.hi = read_bound(in, context);
+    features.push_back(std::move(spec));
+  }
+  try {
+    return env::FeatureSchema(std::move(name), std::move(features));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error("read_policy: invalid schema (" + std::string(e.what()) +
+                             ") in " + context);
+  }
+}
+
+}  // namespace
 
 void write_policy(const DtPolicy& policy, std::ostream& out) {
   const control::ActionSpaceConfig& grid = policy.actions().config();
-  out << "verihvac-policy v1\n"
-      << grid.heat_min << ' ' << grid.heat_max << ' ' << grid.cool_min << ' ' << grid.cool_max
+  out << "verihvac-policy v2\n";
+  write_schema(policy.schema(), out);
+  out << grid.heat_min << ' ' << grid.heat_max << ' ' << grid.cool_min << ' ' << grid.cool_max
       << ' ' << (grid.enforce_heat_le_cool ? 1 : 0) << '\n';
   tree::write_tree(policy.tree(), out);
 }
@@ -19,9 +100,14 @@ DtPolicy read_policy(std::istream& in, const std::string& context) {
   std::string magic;
   std::string version;
   in >> magic >> version;
-  if (magic != "verihvac-policy" || version != "v1") {
+  if (magic != "verihvac-policy" || (version != "v1" && version != "v2")) {
     throw std::runtime_error("read_policy: bad header in " + context);
   }
+  // v1 bundles predate persisted schemas: they are implicitly the baseline
+  // 6-dim layout.
+  env::FeatureSchema schema =
+      version == "v2" ? read_schema(in, context) : env::baseline_schema();
+
   control::ActionSpaceConfig grid;
   int enforce = 1;
   in >> grid.heat_min >> grid.heat_max >> grid.cool_min >> grid.cool_max >> enforce;
@@ -36,7 +122,13 @@ DtPolicy read_policy(std::istream& in, const std::string& context) {
                              ") do not match the embedded action space (" +
                              std::to_string(actions.size()) + ") in " + context);
   }
-  return DtPolicy(std::move(tree), std::move(actions));
+  if (tree.num_features() != schema.dims()) {
+    throw std::runtime_error("read_policy: tree features (" +
+                             std::to_string(tree.num_features()) +
+                             ") do not match the embedded schema '" + schema.name() + "' (" +
+                             std::to_string(schema.dims()) + " dims) in " + context);
+  }
+  return DtPolicy(std::move(tree), std::move(actions), std::move(schema));
 }
 
 void save_policy(const DtPolicy& policy, const std::string& path) {

@@ -5,15 +5,22 @@
 // the heat <= cool constraint). tree_io's save_tree persists only the
 // tree, which is fine inside one process but deployment-unsafe: loading a
 // tree against a *different* action grid silently re-maps every decision.
-// The bundle format stores both, versioned:
+// The bundle format stores tree, action space AND observation schema,
+// versioned:
 //
-//   verihvac-policy v1
+//   verihvac-policy v2
+//   schema <name> <n_features>
+//   feature <name> <unit> <kind> <role> <lo> <hi>     (n_features lines)
 //   <heat_min> <heat_max> <cool_min> <cool_max> <enforce_heat_le_cool>
 //   verihvac-tree v1
 //   ...
 //
+// Interval endpoints serialize as "inf"/"-inf" or with round-trip-exact
+// precision, so write -> read -> write is byte-identical. v1 bundles (no
+// schema block) still load and get the implicit baseline 6-dim schema.
 // load_policy validates that the embedded tree's class count matches the
-// embedded action space and throws otherwise.
+// embedded action space, and its feature count the schema, throwing
+// otherwise.
 #pragma once
 
 #include <iosfwd>

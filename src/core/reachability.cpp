@@ -21,28 +21,28 @@ ReachabilityResult reach_tube(const DtPolicy& policy, const dyn::DynamicsModel& 
                               const std::vector<double>& x0,
                               const std::vector<env::Disturbance>& disturbances,
                               std::size_t horizon, dyn::PredictScratch& scratch) {
-  if (x0.size() != env::kInputDims) {
-    throw std::invalid_argument("reach_tube: x0 must be the 6-dim policy input");
+  const env::FeatureSchema& schema = policy.schema();
+  if (x0.size() != schema.dims()) {
+    throw std::invalid_argument("reach_tube: x0 has " + std::to_string(x0.size()) +
+                                " dims, policy schema '" + schema.name() +
+                                "' expects " + std::to_string(schema.dims()));
   }
+  const std::size_t zone_dim = schema.zone_temp_index();
   ReachabilityResult result;
   result.zone_temps.reserve(horizon + 1);
   std::vector<double> x = x0;
-  result.zone_temps.push_back(x[env::kZoneTemp]);
+  result.zone_temps.push_back(x[zone_dim]);
 
   for (std::size_t k = 0; k < horizon; ++k) {
     // disturbances[k] are the exogenous inputs at step k+1: they drive the
     // k-th transition, so they are applied *before* predicting s_{k+1}.
     if (!disturbances.empty()) {
       const env::Disturbance& d = disturbances[std::min(k, disturbances.size() - 1)];
-      x[env::kOutdoorTemp] = d.weather.outdoor_temp_c;
-      x[env::kHumidity] = d.weather.humidity_pct;
-      x[env::kWind] = d.weather.wind_mps;
-      x[env::kSolar] = d.weather.solar_wm2;
-      x[env::kOccupancy] = d.occupants;
+      schema.apply_disturbance(d, x.data());
     }
     const sim::SetpointPair action = policy.decide(x);
     const double next_temp = model.predict(x, action, scratch);
-    x[env::kZoneTemp] = next_temp;
+    x[zone_dim] = next_temp;
     result.zone_temps.push_back(next_temp);
   }
 

@@ -13,8 +13,8 @@ namespace {
 /// guard *occupied-hours* temperature control (§3.1); unoccupied-only
 /// leaves (deep setback at night) are exempt by design — correcting them
 /// would force night-time heating the comfort criterion never asks for.
-bool reaches_occupied(const Box& box) {
-  return box[env::kOccupancy].hi > 0.5;
+bool reaches_occupied(const Box& box, std::size_t occ_dim) {
+  return box[occ_dim].hi > 0.5;
 }
 
 /// Function-preserving refinement pass: every occupied-reaching leaf whose
@@ -23,14 +23,16 @@ bool reaches_occupied(const Box& box) {
 /// Newly created out-of-comfort leaves are re-examined, so a leaf spanning
 /// both boundaries ends up split into three aligned segments.
 void refine_straddling(DtPolicy& policy, const env::ComfortRange& comfort) {
+  const std::size_t zone_dim = policy.schema().zone_temp_index();
+  const std::size_t occ_dim = policy.schema().occupancy_index();
   auto& tree = policy.mutable_tree();
   std::vector<int> pending = tree.leaves();
   while (!pending.empty()) {
     const int leaf = pending.back();
     pending.pop_back();
     const Box box = tree.leaf_box(leaf);
-    if (box.empty() || !reaches_occupied(box)) continue;
-    const Interval temp = box[env::kZoneTemp];
+    if (box.empty() || !reaches_occupied(box, occ_dim)) continue;
+    const Interval temp = box[zone_dim];
     const bool subject = temp.lo < comfort.lo || temp.hi > comfort.hi;
     if (!subject) continue;
     // A leaf that handles both unoccupied and occupied inputs is split on
@@ -42,8 +44,8 @@ void refine_straddling(DtPolicy& policy, const env::ComfortRange& comfort) {
     // Strict: the closed-box representation stores the occupied child of a
     // previous occupancy split as [0.5, hi], and re-splitting that child at
     // 0.5 would recurse forever (its "occupied side" is again [0.5, hi]).
-    if (box[env::kOccupancy].lo < 0.5) {
-      const auto [left, right] = tree.split_leaf(leaf, env::kOccupancy, 0.5);
+    if (box[occ_dim].lo < 0.5) {
+      const auto [left, right] = tree.split_leaf(leaf, occ_dim, 0.5);
       (void)left;
       pending.push_back(right);
       continue;
@@ -51,11 +53,11 @@ void refine_straddling(DtPolicy& policy, const env::ComfortRange& comfort) {
     // Split at the low boundary first; the right child may still straddle
     // the high boundary and is pushed back for re-examination.
     if (temp.lo < comfort.lo && temp.hi > comfort.lo) {
-      const auto [left, right] = tree.split_leaf(leaf, env::kZoneTemp, comfort.lo);
+      const auto [left, right] = tree.split_leaf(leaf, zone_dim, comfort.lo);
       (void)left;
       pending.push_back(right);
     } else if (temp.lo < comfort.hi && temp.hi > comfort.hi) {
-      const auto [left, right] = tree.split_leaf(leaf, env::kZoneTemp, comfort.hi);
+      const auto [left, right] = tree.split_leaf(leaf, zone_dim, comfort.hi);
       (void)left;
       (void)right;
     }
@@ -74,6 +76,10 @@ FormalReport verify_formal(DtPolicy& policy, const VerificationCriteria& criteri
                            bool correct) {
   const auto& tree = policy.tree();
   const auto& actions = policy.actions();
+  // Algorithm 1 reasons about the zone-temperature dimension *by role* —
+  // wherever the schema put it.
+  const std::size_t zone_dim = policy.schema().zone_temp_index();
+  const std::size_t occ_dim = policy.schema().occupancy_index();
   const double z_lo = criteria.comfort.lo;
   const double z_hi = criteria.comfort.hi;
   const std::size_t fix_action = correction_action(actions, criteria.comfort);
@@ -86,9 +92,9 @@ FormalReport verify_formal(DtPolicy& policy, const VerificationCriteria& criteri
   for (int leaf : tree.leaves()) {
     ++report.leaves_total;
     const Box box = tree.leaf_box(leaf);
-    if (box.empty() || !reaches_occupied(box)) continue;
+    if (box.empty() || !reaches_occupied(box, occ_dim)) continue;
 
-    const Interval temp = box[env::kZoneTemp];
+    const Interval temp = box[zone_dim];
     LeafFinding finding;
     finding.leaf = leaf;
 
@@ -136,20 +142,26 @@ FormalReport verify_formal(DtPolicy& policy, const VerificationCriteria& criteri
 
 namespace {
 
-/// Applies a historical row's disturbances onto a policy-input vector,
-/// keeping the zone temperature.
-void load_disturbances(std::vector<double>& x, const Matrix& historical, std::size_t row) {
+/// Applies a historical row's non-state columns onto a policy-input
+/// vector, keeping the zone temperature (the schema's single state dim).
+void load_disturbances(std::vector<double>& x, const Matrix& historical, std::size_t row,
+                       std::size_t zone_dim) {
   const std::size_t idx = std::min(row, historical.rows() - 1);
-  for (std::size_t c = 1; c < env::kInputDims; ++c) x[c] = historical(idx, c);
+  for (std::size_t c = 0; c < x.size(); ++c) {
+    if (c == zone_dim) continue;
+    x[c] = historical(idx, c);
+  }
 }
 
 }  // namespace
 
 std::pair<std::vector<double>, std::size_t> sample_safe_occupied(
     const AugmentedSampler& sampler, const env::ComfortRange& comfort, Rng& rng) {
+  const std::size_t zone_dim = sampler.schema().zone_temp_index();
+  const std::size_t occ_dim = sampler.schema().occupancy_index();
   for (int attempt = 0; attempt < 10000; ++attempt) {
     auto [x, row] = sampler.sample(rng);
-    if (x[env::kOccupancy] > 0.5 && comfort.contains(x[env::kZoneTemp])) {
+    if (x[occ_dim] > 0.5 && comfort.contains(x[zone_dim])) {
       return {std::move(x), row};
     }
   }
@@ -157,9 +169,10 @@ std::pair<std::vector<double>, std::size_t> sample_safe_occupied(
       "probabilistic verification: could not sample a safe occupied state");
 }
 
-bool continuation_occupied(const Matrix& historical, std::size_t row, std::size_t offset) {
+bool continuation_occupied(const Matrix& historical, std::size_t row, std::size_t offset,
+                           std::size_t occupancy_dim) {
   const std::size_t idx = std::min(row + offset, historical.rows() - 1);
-  return historical(idx, env::kOccupancy) > 0.5;
+  return historical(idx, occupancy_dim) > 0.5;
 }
 
 ProbabilisticReport verify_probabilistic_one_step(const DtPolicy& policy,
@@ -169,9 +182,10 @@ ProbabilisticReport verify_probabilistic_one_step(const DtPolicy& policy,
                                                   std::size_t n_samples, Rng& rng) {
   ProbabilisticReport report;
   const Matrix& historical = sampler.historical();
+  const std::size_t occ_dim = sampler.schema().occupancy_index();
   while (report.samples < n_samples) {
     auto [x, row] = sample_safe_occupied(sampler, criteria.comfort, rng);
-    if (!continuation_occupied(historical, row, 1)) continue;
+    if (!continuation_occupied(historical, row, 1, occ_dim)) continue;
     const sim::SetpointPair action = policy.decide(x);
     const double next_temp = model.predict(x, action);
     ++report.samples;
@@ -189,6 +203,8 @@ ProbabilisticReport verify_probabilistic_h_step(const DtPolicy& policy,
                                                 std::size_t n_samples, Rng& rng) {
   ProbabilisticReport report;
   const Matrix& historical = sampler.historical();
+  const std::size_t zone_dim = sampler.schema().zone_temp_index();
+  const std::size_t occ_dim = sampler.schema().occupancy_index();
 
   std::size_t trajectories = 0;
   while (report.samples < n_samples) {
@@ -198,16 +214,16 @@ ProbabilisticReport verify_probabilistic_h_step(const DtPolicy& policy,
     // visited safe occupied state by the safety of its immediate successor
     // (the counting argument of the §3.3.2 proof).
     for (std::size_t k = 0; k < criteria.horizon && report.samples < n_samples; ++k) {
-      const bool occupied = x[env::kOccupancy] > 0.5;
-      const bool safe_now = criteria.comfort.contains(x[env::kZoneTemp]);
+      const bool occupied = x[occ_dim] > 0.5;
+      const bool safe_now = criteria.comfort.contains(x[zone_dim]);
       const sim::SetpointPair action = policy.decide(x);
       const double next_temp = model.predict(x, action);
-      if (occupied && safe_now && continuation_occupied(historical, row, k + 1)) {
+      if (occupied && safe_now && continuation_occupied(historical, row, k + 1, occ_dim)) {
         ++report.samples;
         if (!criteria.comfort.contains(next_temp)) ++report.failures;
       }
-      x[env::kZoneTemp] = next_temp;
-      load_disturbances(x, historical, row + k + 1);
+      x[zone_dim] = next_temp;
+      load_disturbances(x, historical, row + k + 1, zone_dim);
     }
   }
   report.safe_probability =

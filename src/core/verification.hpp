@@ -110,7 +110,9 @@ std::pair<std::vector<double>, std::size_t> sample_safe_occupied(
 /// the end of the series). Criterion #1 guards occupied-hours comfort
 /// (§3.1): a successor state after everyone has left the zone is not
 /// subject to the comfort range, so its excursion is not a failure.
-bool continuation_occupied(const Matrix& historical, std::size_t row, std::size_t offset);
+/// `occupancy_dim` is the schema's occupancy column (by role lookup).
+bool continuation_occupied(const Matrix& historical, std::size_t row, std::size_t offset,
+                           std::size_t occupancy_dim);
 
 /// Criterion #1 via the efficient one-step estimator (§3.3.2).
 ProbabilisticReport verify_probabilistic_one_step(const DtPolicy& policy,

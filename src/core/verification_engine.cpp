@@ -24,13 +24,17 @@ ProbabilisticReport VerificationEngine::verify_probabilistic(
     return report;
   }
   const Matrix& historical = sampler.historical();
+  const std::size_t occ_dim = sampler.schema().occupancy_index();
+  const std::size_t model_dims = model.input_dims();
+  const std::size_t heat_col = model.heat_index();
+  const std::size_t cool_col = model.cool_index();
 
   // One byte per sample: failure flags are per-index slots, reduced by a
   // serial scan — order-independent of the worker schedule.
   //
   // Each worker runs in two phases over its slice: (1) draw every sample's
   // input from its own counter-based stream and stage it, with the
-  // policy's action, as one row of an 8-dim batch matrix; (2) advance the
+  // policy's action, as one row of a model-input batch matrix; (2) advance the
   // whole slice with a single batched forward. The RNG streams are
   // untouched by the batching — the accepted input stays a pure function
   // of (seed, i) — and the batched forward is bit-identical per row to the
@@ -46,7 +50,7 @@ ProbabilisticReport VerificationEngine::verify_probabilistic(
     McScratch& scratch = scratches[worker];
     const std::size_t n = end - begin;
     Matrix& inputs = scratch.inputs;
-    inputs.reshape(n, dyn::kModelInputDims);  // every element is overwritten
+    inputs.reshape(n, model_dims);  // every element is overwritten
     for (std::size_t i = begin; i < end; ++i) {
       // The whole rejection loop lives inside sample i's own stream: the
       // accepted input is a pure function of (seed, i).
@@ -54,7 +58,7 @@ ProbabilisticReport VerificationEngine::verify_probabilistic(
       std::vector<double> x;
       for (int attempt = 0;; ++attempt) {
         auto drawn = sample_safe_occupied(sampler, criteria.comfort, rng);
-        if (continuation_occupied(historical, drawn.second, 1)) {
+        if (continuation_occupied(historical, drawn.second, 1, occ_dim)) {
           x = std::move(drawn.first);
           break;
         }
@@ -66,8 +70,8 @@ ProbabilisticReport VerificationEngine::verify_probabilistic(
       const sim::SetpointPair action = policy.decide(x);
       double* row = inputs.row_data(i - begin);
       std::copy(x.begin(), x.end(), row);
-      row[dyn::kHeatSpIndex] = action.heating_c;
-      row[dyn::kCoolSpIndex] = action.cooling_c;
+      row[heat_col] = action.heating_c;
+      row[cool_col] = action.cooling_c;
     }
     model.predict_batch_into(inputs, scratch.next_temps, scratch.batch);
     for (std::size_t r = 0; r < n; ++r) {

@@ -34,6 +34,7 @@ ViperResult viper_extract(control::MbrlAgent& teacher, env::BuildingEnv& env,
   if (config.mc_repeats == 0) throw std::invalid_argument("viper: mc_repeats must be > 0");
 
   Rng rng(config.seed);
+  const env::FeatureSchema& schema = teacher.model().schema();
   ViperResult result;
   std::vector<double> weights;  // parallel to result.aggregated.records
   std::shared_ptr<DtPolicy> student;  // null => iteration 0 rolls out the teacher
@@ -50,7 +51,7 @@ ViperResult viper_extract(control::MbrlAgent& teacher, env::BuildingEnv& env,
       const auto forecast = env.forecast(teacher.forecast_horizon());
       const auto counts = teacher.action_distribution(obs, forecast, config.mc_repeats);
       DecisionRecord record;
-      record.input = obs.to_vector();
+      record.input = schema.to_vector(obs);
       record.action_index = modal_index(counts);
       const double weight =
           config.q_weighted ? action_value_spread(teacher, obs, forecast) : 1.0;
@@ -59,7 +60,7 @@ ViperResult viper_extract(control::MbrlAgent& teacher, env::BuildingEnv& env,
       batch_weights.push_back(weight);
 
       const sim::SetpointPair action =
-          student ? student->decide(obs.to_vector())
+          student ? student->decide(schema.to_vector(obs))
                   : teacher.actions().action(batch.records.back().action_index);
       const env::StepOutcome outcome = env.step(action);
       obs = outcome.done ? env.reset() : outcome.observation;
@@ -82,7 +83,7 @@ ViperResult viper_extract(control::MbrlAgent& teacher, env::BuildingEnv& env,
 
     // --- Fit and evaluate against the teacher on the fresh batch. ---
     auto fitted = std::make_shared<DtPolicy>(
-        DtPolicy::fit(resampled, teacher.actions(), config.tree));
+        DtPolicy::fit(resampled, teacher.actions(), config.tree, schema));
     std::size_t matches = 0;
     for (const auto& record : batch.records) {
       if (fitted->decide_index(record.input) == record.action_index) ++matches;

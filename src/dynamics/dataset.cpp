@@ -1,22 +1,28 @@
 #include "dynamics/dataset.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 
 namespace verihvac::dyn {
 
 void TransitionDataset::add(Transition transition) {
+  if (transitions_.empty()) {
+    obs_dims_ = transition.input.size();
+  } else if (transition.input.size() != obs_dims_) {
+    throw std::invalid_argument("TransitionDataset::add: observation width mismatch");
+  }
   transitions_.push_back(std::move(transition));
 }
 
 Matrix TransitionDataset::inputs() const {
-  Matrix x(transitions_.size(), kModelInputDims);
+  Matrix x(transitions_.size(), model_input_dims());
   for (std::size_t r = 0; r < transitions_.size(); ++r) {
     const Transition& t = transitions_[r];
-    for (std::size_t c = 0; c < env::kInputDims; ++c) x(r, c) = t.input[c];
-    x(r, kHeatSpIndex) = t.action.heating_c;
-    x(r, kCoolSpIndex) = t.action.cooling_c;
+    for (std::size_t c = 0; c < obs_dims_; ++c) x(r, c) = t.input[c];
+    x(r, heat_index()) = t.action.heating_c;
+    x(r, cool_index()) = t.action.cooling_c;
   }
   return x;
 }
@@ -30,14 +36,20 @@ Matrix TransitionDataset::targets() const {
 }
 
 Matrix TransitionDataset::policy_inputs() const {
-  Matrix x(transitions_.size(), env::kInputDims);
+  Matrix x(transitions_.size(), obs_dims_);
   for (std::size_t r = 0; r < transitions_.size(); ++r) {
-    for (std::size_t c = 0; c < env::kInputDims; ++c) x(r, c) = transitions_[r].input[c];
+    for (std::size_t c = 0; c < obs_dims_; ++c) x(r, c) = transitions_[r].input[c];
   }
   return x;
 }
 
 void TransitionDataset::append(const TransitionDataset& other) {
+  if (other.empty()) return;
+  if (transitions_.empty()) {
+    obs_dims_ = other.obs_dims_;
+  } else if (other.obs_dims_ != obs_dims_) {
+    throw std::invalid_argument("TransitionDataset::append: observation width mismatch");
+  }
   transitions_.insert(transitions_.end(), other.transitions_.begin(),
                       other.transitions_.end());
 }
@@ -70,7 +82,7 @@ TransitionDataset collect_historical_data(const env::EnvConfig& env_config,
       }
 
       Transition t;
-      t.input = obs.to_vector();
+      t.input = config.schema.to_vector(obs);
       t.action = action;
       const env::StepOutcome outcome = env.step(action);
       t.next_zone_temp = outcome.observation.zone_temp_c;

@@ -12,17 +12,20 @@
 
 #include "common/matrix.hpp"
 #include "envlib/env.hpp"
+#include "envlib/feature_schema.hpp"
 
 namespace verihvac::dyn {
 
-/// Model input layout: the 6 observation dims (observation.hpp) followed by
-/// the 2 action dims.
+/// Model input layout of the *baseline* schema: the 6 observation dims
+/// (observation.hpp) followed by the 2 action dims. Legacy aliases — code
+/// that handles arbitrary schemas sizes from TransitionDataset::obs_dims()
+/// or DynamicsModel accessors instead.
 inline constexpr std::size_t kModelInputDims = env::kInputDims + 2;
 inline constexpr std::size_t kHeatSpIndex = env::kInputDims;      // 6
 inline constexpr std::size_t kCoolSpIndex = env::kInputDims + 1;  // 7
 
 struct Transition {
-  std::vector<double> input;  ///< (s, d) — 6 dims
+  std::vector<double> input;  ///< (s, d) in the collecting schema's layout
   sim::SetpointPair action;
   double next_zone_temp = 0.0;
 };
@@ -35,19 +38,28 @@ class TransitionDataset {
   const Transition& at(std::size_t i) const { return transitions_.at(i); }
   const std::vector<Transition>& transitions() const { return transitions_; }
 
-  /// Assembles the (N x 8) model-input matrix.
+  /// Observation dims per transition. Inferred from the first add();
+  /// defaults to the baseline width while empty.
+  std::size_t obs_dims() const { return obs_dims_; }
+  /// Model-input width: observation dims followed by the 2 action dims.
+  std::size_t model_input_dims() const { return obs_dims_ + 2; }
+  std::size_t heat_index() const { return obs_dims_; }
+  std::size_t cool_index() const { return obs_dims_ + 1; }
+
+  /// Assembles the (N x model_input_dims) model-input matrix.
   Matrix inputs() const;
   /// Assembles the (N x 1) target matrix of next zone temperatures.
   Matrix targets() const;
-  /// The (N x 6) matrix of policy inputs (s, d) — the "historical data
-  /// distribution" that importance sampling in §3.2.1 conditions on.
+  /// The (N x obs_dims) matrix of policy inputs (s, d) — the "historical
+  /// data distribution" that importance sampling in §3.2.1 conditions on.
   Matrix policy_inputs() const;
 
-  /// Concatenates another dataset.
+  /// Concatenates another dataset (must have the same observation width).
   void append(const TransitionDataset& other);
 
  private:
   std::vector<Transition> transitions_;
+  std::size_t obs_dims_ = env::kInputDims;
 };
 
 struct CollectionConfig {
@@ -62,6 +74,10 @@ struct CollectionConfig {
   /// in-comfort region the verification criteria actually guard.
   double occupied_exploration_rate = 0.15;
   std::uint64_t seed = 17;
+  /// Observation layout the collected transitions are flattened with.
+  /// The action sequence and weather draws are schema-independent, so two
+  /// collections differing only in schema visit identical trajectories.
+  env::FeatureSchema schema = env::baseline_schema();
 };
 
 /// Runs the exploratory controller on copies of `env_config` (varying the

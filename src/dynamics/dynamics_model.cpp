@@ -10,7 +10,7 @@ namespace verihvac::dyn {
 
 DynamicsModel::DynamicsModel(DynamicsModelConfig config) : config_(std::move(config)) {
   std::vector<std::size_t> widths;
-  widths.push_back(kModelInputDims);
+  widths.push_back(input_dims());
   widths.insert(widths.end(), config_.hidden.begin(), config_.hidden.end());
   widths.push_back(1);
   network_ = std::make_unique<nn::Mlp>(widths);
@@ -20,15 +20,22 @@ DynamicsModel::DynamicsModel(DynamicsModelConfig config) : config_(std::move(con
 
 nn::TrainingReport DynamicsModel::train(const TransitionDataset& data) {
   if (data.empty()) throw std::invalid_argument("DynamicsModel::train: empty dataset");
+  if (data.obs_dims() != config_.schema.dims()) {
+    throw std::invalid_argument("DynamicsModel::train: dataset has " +
+                                std::to_string(data.obs_dims()) +
+                                " observation dims, schema '" + config_.schema.name() +
+                                "' expects " + std::to_string(config_.schema.dims()));
+  }
 
   const Matrix raw_inputs = data.inputs();
   input_norm_.fit(raw_inputs);
   const Matrix inputs = input_norm_.transform(raw_inputs);
 
   // Targets: normalized temperature delta.
+  const std::size_t zone_dim = zone_temp_index();
   Matrix deltas(data.size(), 1);
   for (std::size_t r = 0; r < data.size(); ++r) {
-    deltas(r, 0) = data.at(r).next_zone_temp - data.at(r).input[env::kZoneTemp];
+    deltas(r, 0) = data.at(r).next_zone_temp - data.at(r).input[zone_dim];
   }
   double mean = 0.0;
   for (std::size_t r = 0; r < deltas.rows(); ++r) mean += deltas(r, 0);
@@ -65,9 +72,10 @@ nn::TrainingReport DynamicsModel::fine_tune(const TransitionDataset& data, std::
   // Frozen statistics: normalize the new data with the *original* fit so
   // the network keeps seeing the input/target scales it was trained on.
   const Matrix inputs = input_norm_.transform(data.inputs());
+  const std::size_t zone_dim = zone_temp_index();
   Matrix deltas(data.size(), 1);
   for (std::size_t r = 0; r < data.size(); ++r) {
-    const double delta = data.at(r).next_zone_temp - data.at(r).input[env::kZoneTemp];
+    const double delta = data.at(r).next_zone_temp - data.at(r).input[zone_dim];
     deltas(r, 0) = (delta - delta_mean_) / delta_std_;
   }
 
@@ -84,7 +92,7 @@ double DynamicsModel::predict(const std::vector<double>& x,
 
 double DynamicsModel::predict(const std::vector<double>& x, const sim::SetpointPair& action,
                               PredictScratch& scratch) const {
-  assert(x.size() == env::kInputDims);
+  assert(x.size() == config_.schema.dims());
   scratch.input.assign(x.begin(), x.end());
   scratch.input.push_back(action.heating_c);
   scratch.input.push_back(action.cooling_c);
@@ -98,8 +106,8 @@ double DynamicsModel::predict_raw(const std::vector<double>& model_input) const 
 
 double DynamicsModel::predict_prepared(PredictScratch& scratch) const {
   if (!trained_) throw std::logic_error("DynamicsModel used before training");
-  assert(scratch.input.size() == kModelInputDims);
-  const double current_temp = scratch.input[env::kZoneTemp];
+  assert(scratch.input.size() == input_dims());
+  const double current_temp = scratch.input[zone_temp_index()];
 
   input_norm_.transform_inplace(scratch.input);
   network_->predict(scratch.input, scratch.activ_a, scratch.activ_b);
@@ -118,14 +126,15 @@ void DynamicsModel::predict_batch_into(const Matrix& model_inputs,
                                        std::vector<double>& next_temps,
                                        BatchScratch& scratch) const {
   if (!trained_) throw std::logic_error("DynamicsModel used before training");
-  assert(model_inputs.cols() == kModelInputDims);
+  assert(model_inputs.cols() == input_dims());
   const std::size_t n = model_inputs.rows();
+  const std::size_t zone_dim = zone_temp_index();
   input_norm_.transform_into(model_inputs, scratch.normed);
   network_->forward_into(scratch.normed, scratch.delta, scratch.net);
   next_temps.resize(n);
   for (std::size_t r = 0; r < n; ++r) {
     const double delta = scratch.delta(r, 0) * delta_std_ + delta_mean_;
-    next_temps[r] = model_inputs(r, env::kZoneTemp) + delta;
+    next_temps[r] = model_inputs(r, zone_dim) + delta;
   }
 }
 

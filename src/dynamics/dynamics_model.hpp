@@ -22,13 +22,16 @@ struct DynamicsModelConfig {
   std::vector<std::size_t> hidden = {32, 32};
   nn::TrainerConfig trainer;  ///< epochs=150, Adam(1e-3, wd 1e-5) — paper §4.1
   std::uint64_t init_seed = 3;
+  /// Observation layout: sizes the input layer (schema dims + 2 action
+  /// dims) and locates the zone-temperature dimension by role.
+  env::FeatureSchema schema = env::baseline_schema();
 };
 
 /// Caller-owned scratch buffers for the allocation-free predict hot path.
 /// Concurrent rollouts (control::RolloutEngine) give each worker thread its
 /// own instance, making predictions on a shared const model thread-safe.
 struct PredictScratch {
-  std::vector<double> input;   ///< 8-dim model input, normalized in place
+  std::vector<double> input;   ///< model input, normalized in place
   std::vector<double> activ_a;  ///< ping-pong activation buffers
   std::vector<double> activ_b;
 };
@@ -38,7 +41,7 @@ struct PredictScratch {
 /// makes batched prediction on a shared const model/ensemble thread-safe).
 /// All buffers grow to the largest batch seen, then get reused.
 struct BatchScratch {
-  /// Normalized N x 8 model inputs.
+  /// Normalized N x input_dims model inputs.
   Matrix normed;
   /// MLP ping-pong activation matrices.
   nn::BatchScratch net;
@@ -77,7 +80,7 @@ class DynamicsModel {
   bool trained() const { return trained_; }
 
   /// Predicts the next zone temperature for one (s, d, a) query.
-  /// `x` is the 6-dim policy input; thread-unsafe (uses internal scratch).
+  /// `x` is the schema-dims policy input; thread-unsafe (internal scratch).
   double predict(const std::vector<double>& x, const sim::SetpointPair& action) const;
 
   /// Thread-safe variant: identical arithmetic, but all mutable state lives
@@ -85,28 +88,37 @@ class DynamicsModel {
   double predict(const std::vector<double>& x, const sim::SetpointPair& action,
                  PredictScratch& scratch) const;
 
-  /// Raw 8-dim model-input variant (columns per dataset.hpp layout).
+  /// Raw model-input variant (observation dims followed by the 2 setpoints).
   double predict_raw(const std::vector<double>& model_input) const;
 
-  /// Batched prediction for evaluation (rows = 8-dim model inputs).
+  /// Batched prediction for evaluation (rows = input_dims model inputs).
   std::vector<double> predict_batch(const Matrix& model_inputs) const;
 
   /// Allocation-free batched prediction: fuses normalize -> network ->
-  /// denormalize-delta over all rows of `model_inputs` (N x 8), writing
-  /// next_temps[r] for row r. Thread-safe on a shared const model with one
-  /// scratch per worker. Row r is bit-identical to the scalar predict on
-  /// the same 8 inputs (locked in by tests/dynamics/dynamics_model_test
-  /// and the rollout equivalence tests) — this is the lock-step rollout
-  /// engine's hot path.
+  /// denormalize-delta over all rows of `model_inputs` (N x input_dims),
+  /// writing next_temps[r] for row r. Thread-safe on a shared const model
+  /// with one scratch per worker. Row r is bit-identical to the scalar
+  /// predict on the same inputs (locked in by
+  /// tests/dynamics/dynamics_model_test and the rollout equivalence tests)
+  /// — this is the lock-step rollout engine's hot path.
   void predict_batch_into(const Matrix& model_inputs, std::vector<double>& next_temps,
                           BatchScratch& scratch) const;
 
   const nn::Mlp& network() const { return *network_; }
   const DynamicsModelConfig& config() const { return config_; }
 
+  /// Observation layout the model was built for.
+  const env::FeatureSchema& schema() const { return config_.schema; }
+  /// Model-input width: schema dims followed by the 2 action dims.
+  std::size_t input_dims() const { return config_.schema.dims() + 2; }
+  std::size_t heat_index() const { return config_.schema.dims(); }
+  std::size_t cool_index() const { return config_.schema.dims() + 1; }
+  /// The state dimension the model predicts, located by role.
+  std::size_t zone_temp_index() const { return config_.schema.zone_temp_index(); }
+
   // Prediction decomposition (exposed for the interval verifier, which
   // re-implements predict() in interval arithmetic):
-  //   predict(x) = x[kZoneTemp] + delta_mean + delta_std * net(norm(x)).
+  //   predict(x) = x[zone_temp_index] + delta_mean + delta_std * net(norm(x)).
   const nn::Normalizer& input_normalizer() const { return input_norm_; }
   double delta_mean() const { return delta_mean_; }
   double delta_std() const { return delta_std_; }

@@ -50,12 +50,15 @@ class EnsembleDynamics {
   std::size_t member_count() const { return members_.size(); }
   const DynamicsModel& member(std::size_t i) const { return *members_.at(i); }
 
+  /// Observation layout shared by every member (from member_config).
+  const env::FeatureSchema& schema() const { return config_.member_config.schema; }
+
   /// Mean/stddev across members for one (s, d, a) query.
   EnsemblePrediction predict(const std::vector<double>& x,
                              const sim::SetpointPair& action) const;
 
-  /// Batched variant over N x 8 model inputs (observation dims followed by
-  /// the two setpoints, per dynamics/dataset.hpp): every member runs one
+  /// Batched variant over N x input_dims model inputs (observation dims
+  /// followed by the two setpoints): every member runs one
   /// batched forward, and the member-major accumulation matches the scalar
   /// predict() loop, so out[r] is bit-identical to predict() on row r.
   /// Thread-safe on a shared const ensemble with one scratch per worker.

@@ -24,12 +24,13 @@ double k_step_rollout_mae(const DynamicsModel& model, const TransitionDataset& d
   for (std::size_t start = 0; start + k < data.size(); start += k) {
     // Roll the model forward from the recorded state at `start`, replaying
     // the recorded disturbances and actions but feeding back predictions.
+    const std::size_t zone_dim = model.zone_temp_index();
     std::vector<double> x = data.at(start).input;
-    double predicted_temp = x[env::kZoneTemp];
+    double predicted_temp = x[zone_dim];
     for (std::size_t j = 0; j < k; ++j) {
       const Transition& t = data.at(start + j);
       x = t.input;  // recorded disturbances for this step...
-      x[env::kZoneTemp] = predicted_temp;  // ...but the model's own state
+      x[zone_dim] = predicted_temp;  // ...but the model's own state
       predicted_temp = model.predict(x, t.action);
     }
     total_error += std::abs(predicted_temp - data.at(start + k - 1).next_zone_temp);

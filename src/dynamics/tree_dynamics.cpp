@@ -14,6 +14,12 @@ TreeDynamicsModel::TreeDynamicsModel(TreeDynamicsConfig config) : config_(config
 
 void TreeDynamicsModel::train(const TransitionDataset& data) {
   if (data.empty()) throw std::invalid_argument("TreeDynamicsModel::train: empty dataset");
+  if (data.obs_dims() != config_.schema.dims()) {
+    throw std::invalid_argument("TreeDynamicsModel::train: dataset observation width does "
+                                "not match schema '" +
+                                config_.schema.name() + "'");
+  }
+  const std::size_t zone_dim = config_.schema.zone_temp_index();
   std::vector<std::vector<double>> x;
   std::vector<double> y;
   x.reserve(data.size());
@@ -23,7 +29,7 @@ void TreeDynamicsModel::train(const TransitionDataset& data) {
     row.push_back(t.action.heating_c);
     row.push_back(t.action.cooling_c);
     x.push_back(std::move(row));
-    y.push_back(t.next_zone_temp - t.input[env::kZoneTemp]);
+    y.push_back(t.next_zone_temp - t.input[zone_dim]);
   }
   tree_ = tree::DecisionTreeRegressor(config_.tree);
   tree_.fit(x, y);
@@ -31,15 +37,15 @@ void TreeDynamicsModel::train(const TransitionDataset& data) {
 
 double TreeDynamicsModel::predict_raw(const std::vector<double>& model_input) const {
   if (!trained()) throw std::logic_error("TreeDynamicsModel used before train");
-  if (model_input.size() != kModelInputDims) {
+  if (model_input.size() != input_dims()) {
     throw std::invalid_argument("TreeDynamicsModel::predict_raw: wrong input dims");
   }
-  return model_input[env::kZoneTemp] + tree_.predict(model_input);
+  return model_input[config_.schema.zone_temp_index()] + tree_.predict(model_input);
 }
 
 double TreeDynamicsModel::predict(const std::vector<double>& x,
                                   const sim::SetpointPair& action) const {
-  if (x.size() != env::kInputDims) {
+  if (x.size() != config_.schema.dims()) {
     throw std::invalid_argument("TreeDynamicsModel::predict: wrong input dims");
   }
   std::vector<double> row = x;
@@ -50,11 +56,11 @@ double TreeDynamicsModel::predict(const std::vector<double>& x,
 
 Interval TreeDynamicsModel::next_state_range(const Box& model_input_box) const {
   if (!trained()) throw std::logic_error("TreeDynamicsModel used before train");
-  if (model_input_box.size() != kModelInputDims) {
-    throw std::invalid_argument("next_state_range: box must have 8 dims");
+  if (model_input_box.size() != input_dims()) {
+    throw std::invalid_argument("next_state_range: box width must match the model input");
   }
   const Interval delta = tree_.value_range(model_input_box);
-  const Interval& s = model_input_box[env::kZoneTemp];
+  const Interval& s = model_input_box[config_.schema.zone_temp_index()];
   Interval out;
   out.lo = s.lo + delta.lo;
   out.hi = s.hi + delta.hi;

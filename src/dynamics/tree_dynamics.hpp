@@ -28,22 +28,28 @@ struct TreeDynamicsConfig {
   /// Leaves smaller than this are prone to memorizing sensor noise;
   /// min_samples_leaf below is the usual CART regularizer.
   std::size_t min_samples_leaf = 5;
+  /// Observation layout (sizes the input and locates the state dim).
+  env::FeatureSchema schema = env::baseline_schema();
 };
 
 class TreeDynamicsModel {
  public:
   explicit TreeDynamicsModel(TreeDynamicsConfig config = {});
 
-  /// Fits the delta tree on the dataset (8-dim input, s'-s target).
+  /// Fits the delta tree on the dataset (schema dims + 2 input, s'-s
+  /// target).
   void train(const TransitionDataset& data);
   bool trained() const { return tree_.fitted(); }
 
+  const env::FeatureSchema& schema() const { return config_.schema; }
+  std::size_t input_dims() const { return config_.schema.dims() + 2; }
+
   /// Predicts the next zone temperature for one (s, d) + action query.
   double predict(const std::vector<double>& x, const sim::SetpointPair& action) const;
-  /// Raw 8-dim model-input variant (dataset.hpp column layout).
+  /// Raw model-input variant (observation dims followed by the setpoints).
   double predict_raw(const std::vector<double>& model_input) const;
 
-  /// Sound next-state range over an 8-dim input box: s' ∈ s_box + delta
+  /// Sound next-state range over a model-input box: s' ∈ s_box + delta
   /// range, where the delta range is the exact image of the tree on the
   /// box. Used by the interval verifier.
   Interval next_state_range(const Box& model_input_box) const;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <tuple>
 
 #include "common/units.hpp"
 #include "weather/weather_generator.hpp"
@@ -27,6 +28,9 @@ Observation BuildingEnv::make_observation(std::size_t step, double zone_temp) co
   obs.step = step;
   obs.hour_of_day =
       static_cast<double>(step % kStepsPerDay) / static_cast<double>(kStepsPerHour);
+  std::tie(obs.hour_sin, obs.hour_cos) = time_of_day_encoding(step);
+  obs.occupants_ahead =
+      occupants_[std::min(step + kOccupancyForecastSteps, num_steps_ - 1)];
   return obs;
 }
 
@@ -99,7 +103,12 @@ std::vector<Disturbance> BuildingEnv::forecast(std::size_t h) const {
 
 Disturbance BuildingEnv::disturbance_at(std::size_t step) const {
   const std::size_t idx = std::min(step, num_steps_ - 1);
-  return Disturbance{series_.at(idx), occupants_[idx]};
+  Disturbance d;
+  d.weather = series_.at(idx);
+  d.occupants = occupants_[idx];
+  std::tie(d.hour_sin, d.hour_cos) = time_of_day_encoding(step);
+  d.occupants_ahead = occupants_[std::min(step + kOccupancyForecastSteps, num_steps_ - 1)];
+  return d;
 }
 
 }  // namespace verihvac::env

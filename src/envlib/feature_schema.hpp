@@ -1,0 +1,161 @@
+// Observation schema — the feature layout as data, not a compile-time
+// constant.
+//
+// Every layer that used to bake in `env::kInputDims = 6` and trust that
+// "index 0 is the zone temperature" now consults a FeatureSchema: an
+// ordered list of feature descriptors (name, unit, kind, verification
+// bounds) with a stable *role* lookup. The verification criteria (#2/#3)
+// and Algorithm 1 find the zone-temperature dimension via
+// `schema.zone_temp_index()`; RandomShooting assembles disturbance
+// forecasts via `schema.apply_disturbance`; policy bundles persist the
+// schema so heterogeneous observation shapes coexist in one registry.
+//
+// Invariants:
+//  - Exactly one feature has kind kState (the zone temperature — the
+//    single dimension the dynamics model predicts).
+//  - Roles are unique within a schema.
+//  - `baseline_schema()` reproduces the legacy 6-dim Table-1 layout
+//    *bit-identically*: same order, same names, and to_vector /
+//    apply_disturbance copy the same stored doubles in the same order as
+//    the old hand-written code, so baseline decisions, certificates and
+//    trace replay are unchanged by the refactor.
+//
+// This header and feature_schema.cpp (plus observation.hpp, which defines
+// the legacy constants) are the only places allowed to spell raw
+// observation indices — tools/check_no_raw_dims.py enforces that.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "envlib/observation.hpp"
+
+namespace verihvac::env {
+
+/// What a feature *is*, for layers that treat the kinds differently:
+/// state is predicted by the dynamics model, disturbances come from the
+/// forecast, temporal features are derived from the clock/schedule (and
+/// also advance with the forecast during rollouts).
+enum class FeatureKind : std::uint8_t {
+  kState = 0,
+  kDisturbance = 1,
+  kTemporal = 2,
+};
+
+/// Stable semantic identity of a feature, independent of its position.
+/// Role values are persisted in policy bundles (policy_io v2) — never
+/// renumber, only append.
+enum class FeatureRole : std::uint8_t {
+  kZoneTemp = 0,
+  kOutdoorTemp = 1,
+  kHumidity = 2,
+  kWind = 3,
+  kSolar = 4,
+  kOccupancy = 5,
+  kHourSin = 6,
+  kHourCos = 7,
+  kOccupancyForecast = 8,
+};
+
+const char* feature_kind_name(FeatureKind kind);
+const char* feature_role_name(FeatureRole role);
+/// Inverse lookups (for bundle/trace parsing); throw std::invalid_argument
+/// on unknown names.
+FeatureKind feature_kind_from_name(const std::string& name);
+FeatureRole feature_role_from_name(const std::string& name);
+
+/// One observation dimension.
+struct FeatureSpec {
+  std::string name;
+  std::string unit;
+  FeatureKind kind = FeatureKind::kDisturbance;
+  FeatureRole role = FeatureRole::kZoneTemp;
+  /// Verification envelope for this dimension. For the five classic
+  /// disturbance roles the campaign-level DisturbanceBounds still wins
+  /// (bit-identity with the pre-schema interval verifier); for features
+  /// beyond the baseline six these bounds are what the input boxes clip
+  /// to.
+  Interval bounds = Interval::all();
+};
+
+/// Ordered feature layout with role lookup. Cheap to copy; compared by
+/// value (name + per-feature specs).
+class FeatureSchema {
+ public:
+  FeatureSchema() = default;
+  FeatureSchema(std::string name, std::vector<FeatureSpec> features);
+
+  const std::string& name() const { return name_; }
+  std::size_t dims() const { return features_.size(); }
+  const FeatureSpec& at(std::size_t i) const { return features_.at(i); }
+  const std::vector<FeatureSpec>& features() const { return features_; }
+  /// Per-dimension names (for tree dumps / verification reports).
+  std::vector<std::string> feature_names() const;
+
+  bool has_role(FeatureRole role) const;
+  /// Index of the dimension carrying `role`; throws std::invalid_argument
+  /// if the schema has no such feature.
+  std::size_t index_of(FeatureRole role) const;
+  /// The single kState dimension (cached — this is on the decision hot
+  /// path).
+  std::size_t zone_temp_index() const { return zone_temp_index_; }
+  /// The current-occupancy dimension (cached; every preset carries it —
+  /// the occupied/unoccupied split is load-bearing for the criteria).
+  std::size_t occupancy_index() const { return occupancy_index_; }
+
+  /// Flattens an observation to this schema's layout.
+  std::vector<double> to_vector(const Observation& obs) const;
+  /// Writes the flattened observation into row[0..dims()-1].
+  void write_observation(const Observation& obs, double* row) const;
+  /// Value of a single feature of the observation.
+  double feature_value(const Observation& obs, std::size_t i) const;
+  /// Rebuilds an observation from a flattened vector. Temporal roles are
+  /// restored into their stored fields; `hour_of_day` is additionally
+  /// reconstructed from (hour_sin, hour_cos) when both are present
+  /// (atan2-based — for logging, not for bit-exact re-flattening; the
+  /// stored sin/cos fields round-trip exactly). `step` is not encoded in
+  /// any schema and stays 0.
+  Observation to_observation(const std::vector<double>& x) const;
+
+  /// Overwrites the non-state dimensions of a model-input row with the
+  /// forecast disturbance (rollout advance). Writes the same stored
+  /// doubles, in the same dimension order, as the legacy hand-written
+  /// loop — bit-identity of baseline rollouts depends on this.
+  void apply_disturbance(const Disturbance& d, double* row) const;
+  /// Value the forecast carries for feature i (state dims return 0).
+  double disturbance_value(const Disturbance& d, std::size_t i) const;
+  /// Rebuilds a forecast record from the non-state dimensions of a
+  /// flattened row (inverse of apply_disturbance; used to continue
+  /// historical disturbance trajectories).
+  Disturbance to_disturbance(const double* row) const;
+
+  bool operator==(const FeatureSchema& other) const;
+  bool operator!=(const FeatureSchema& other) const { return !(*this == other); }
+
+ private:
+  std::string name_;
+  std::vector<FeatureSpec> features_;
+  std::size_t zone_temp_index_ = 0;
+  std::size_t occupancy_index_ = 0;
+};
+
+/// The legacy 6-dim Table-1 layout (Zone Temp, Outdoor Temp, Humidity,
+/// Wind, Solar, Occupancy) — the implicit schema of every v1 policy
+/// bundle and v1 telemetry trace.
+const FeatureSchema& baseline_schema();
+
+/// Baseline + hour-of-day (sin/cos) + occupancy-forecast: the time-aware
+/// preset that makes 7am distinguishable from 3am, unlocking preheat
+/// (see bench/preheat.cpp).
+const FeatureSchema& time_aware_schema();
+
+/// Preset registry: returns nullptr for unknown names.
+const FeatureSchema* find_schema(const std::string& name);
+/// Preset registry: throws std::invalid_argument for unknown names.
+const FeatureSchema& schema_by_name(const std::string& name);
+/// Names of the registered presets, in registration order.
+std::vector<std::string> schema_names();
+
+}  // namespace verihvac::env

@@ -1,6 +1,9 @@
 #include "envlib/observation.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "common/units.hpp"
 
 namespace verihvac::env {
 
@@ -10,6 +13,14 @@ const std::array<std::string, kInputDims>& input_dim_names() {
       "wind_mps",     "solar_wm2",      "occupants",
   };
   return names;
+}
+
+std::pair<double, double> time_of_day_encoding(std::size_t step) {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double angle =
+      kTwoPi * static_cast<double>(step % static_cast<std::size_t>(kStepsPerDay)) /
+      static_cast<double>(kStepsPerDay);
+  return {std::sin(angle), std::cos(angle)};
 }
 
 std::vector<double> Observation::to_vector() const {

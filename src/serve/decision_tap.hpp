@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "envlib/feature_schema.hpp"
 #include "serve/request.hpp"
 
 namespace verihvac::serve {
@@ -43,6 +44,13 @@ struct DecisionEvent {
   sim::SetpointPair action;
   /// Borrowed; valid only inside the callback.
   const env::Observation* observation = nullptr;
+  /// Observation schema of the deciding artifact (DT: the bundle's schema;
+  /// MBRL: the serving model's). Borrowed from the artifact the event's
+  /// policy_version pins, so it outlives the callback only as long as that
+  /// artifact does — listeners that keep it should copy by value or record
+  /// the flattened vector instead. Null only if a custom scheduler forgot
+  /// to fill it; the stock paths always do.
+  const env::FeatureSchema* schema = nullptr;
   /// Borrowed; null/empty for DT decisions (the fast path carries none).
   const std::vector<env::Disturbance>* forecast = nullptr;
   /// Serving latency; meaningful only when `timed` is set. MBRL decisions

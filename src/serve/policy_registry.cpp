@@ -14,6 +14,19 @@ std::uint64_t PolicyRegistry::install(const std::string& key,
     throw std::invalid_argument("PolicyRegistry::install: null policy for key '" + key + "'");
   }
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  // A hot-swap must not change the observation layout out from under the
+  // sessions already serving this key: their feature vectors would be
+  // silently misread by the new tree. Heterogeneous schemas coexist fine
+  // under *different* keys; replacing a bundle requires the same schema.
+  const auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.policy->schema() != policy->schema()) {
+    throw std::invalid_argument(
+        "PolicyRegistry::install: schema mismatch for key '" + key + "': incumbent uses '" +
+        it->second.policy->schema().name() + "' (" +
+        std::to_string(it->second.policy->schema().dims()) + " dims), replacement uses '" +
+        policy->schema().name() + "' (" + std::to_string(policy->schema().dims()) +
+        " dims); erase the key first to change schemas");
+  }
   const std::uint64_t version = next_version_++;
   entries_[key] = PolicySnapshot{std::move(policy), version};
   return version;

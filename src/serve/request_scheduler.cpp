@@ -132,7 +132,8 @@ ControlDecision RequestScheduler::serve_dt(const ControlRequest& request) {
   const DecisionTicket ticket =
       sessions_->begin_decision(request.session, RequestKind::kDtPolicy, request.observation);
   const PolicySnapshot snapshot = registry_->lookup(ticket.policy_key);
-  const std::size_t index = snapshot.policy->decide_index(request.observation.to_vector());
+  const std::size_t index =
+      snapshot.policy->decide_index(snapshot.policy->schema().to_vector(request.observation));
   dt_served_.fetch_add(1, std::memory_order_relaxed);
 
   ControlDecision decision;
@@ -152,6 +153,7 @@ ControlDecision RequestScheduler::serve_dt(const ControlRequest& request) {
     event.action_index = decision.action_index;
     event.action = decision.action;
     event.observation = &request.observation;
+    event.schema = &snapshot.policy->schema();
     event.latency_seconds =
         timed ? std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count()
               : 0.0;
@@ -413,6 +415,7 @@ void RequestScheduler::solve_batch(std::vector<Pending>& batch) {
       event.action_index = decision.action_index;
       event.action = decision.action;
       event.observation = &jobs[j].pending->request.observation;
+      event.schema = &jobs[j].model->schema();
       event.forecast = &jobs[j].pending->request.forecast;
       event.latency_seconds = solve_seconds;
       event.timed = true;

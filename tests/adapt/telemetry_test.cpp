@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "envlib/feature_schema.hpp"
 #include "serve/request_scheduler.hpp"
 #include "serve/serve_test_utils.hpp"
 
@@ -197,6 +198,43 @@ TEST(TelemetryTraceTest, SaveLoadSaveIsByteIdentical) {
   std::remove(path_b.c_str());
 }
 
+TEST(TelemetryLogTest, SchemaTaggedEventsCarryTheSchemaShape) {
+  TelemetryLog log;
+  env::Observation obs = cold_occupied(17.5);
+  obs.hour_sin = 0.25;
+  obs.hour_cos = -0.5;
+  obs.occupants_ahead = 9.0;
+  const std::string key = "toy";
+  serve::DecisionEvent event;
+  event.session = 3;
+  event.decision_index = 0;
+  event.session_seed = 1003;
+  event.kind = serve::RequestKind::kDtPolicy;
+  event.policy_key = &key;
+  event.policy_version = 1;
+  event.action_index = 2;
+  event.action = {18.0, 26.0};
+  event.observation = &obs;
+  event.schema = &env::time_aware_schema();
+  event.latency_seconds = 1e-6;
+  log.on_decision(event);
+  // A schema-less event (the legacy tap path) stays the implicit baseline.
+  emit(log, 3, 1, serve::RequestKind::kDtPolicy, 0, 18.0);
+
+  std::vector<TelemetryRecord> records;
+  EXPECT_EQ(log.drain(records), 0u);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].obs_len, 9u);
+  EXPECT_EQ(records[0].zone_temp_dim, 0u);
+  EXPECT_DOUBLE_EQ(records[0].obs[0], 17.5);
+  EXPECT_DOUBLE_EQ(records[0].obs[6], 0.25);
+  EXPECT_DOUBLE_EQ(records[0].obs[7], -0.5);
+  EXPECT_DOUBLE_EQ(records[0].obs[8], 9.0);
+  EXPECT_EQ(records[0].obs_vector().size(), 9u);
+  EXPECT_EQ(records[1].obs_len, 6u);
+  EXPECT_EQ(records[1].zone_temp_dim, 0u);
+}
+
 TEST(TelemetryTraceTest, LoadRejectsBadMagicAndVersion) {
   const std::string path = temp_path("verihvac_trace_bad.bin");
   {
@@ -213,6 +251,129 @@ TEST(TelemetryTraceTest, LoadRejectsBadMagicAndVersion) {
   EXPECT_THROW(load_trace(path), std::runtime_error);
   EXPECT_THROW(load_trace(temp_path("verihvac_trace_missing.bin")), std::runtime_error);
   std::remove(path.c_str());
+}
+
+TEST(TelemetryTraceTest, TimeAwareRecordsSurviveSaveLoad) {
+  TelemetryTrace trace;
+  TelemetryRecord r;
+  r.session = 1;
+  r.decision_index = 0;
+  r.kind = 0;
+  r.action_index = 4;
+  r.obs_len = 9;
+  r.zone_temp_dim = 0;
+  for (std::size_t d = 0; d < 9; ++d) r.obs[d] = 10.0 + static_cast<double>(d);
+  r.heating_c = 18.0;
+  r.cooling_c = 26.0;
+  r.forecast_len = 2;
+  for (std::size_t k = 0; k < 2; ++k) {
+    r.forecast[k].outdoor_temp_c = -5.0;
+    r.forecast[k].occupants = 11.0;
+    r.forecast[k].hour_sin = 0.25;
+    r.forecast[k].hour_cos = -0.5;
+    r.forecast[k].occupants_ahead = 9.0;
+  }
+  trace.records.push_back(r);
+
+  const std::string path_a = temp_path("verihvac_trace_aware_a.bin");
+  const std::string path_b = temp_path("verihvac_trace_aware_b.bin");
+  save_trace(trace, path_a);
+  const TelemetryTrace loaded = load_trace(path_a);
+  save_trace(loaded, path_b);
+  EXPECT_EQ(file_bytes(path_a), file_bytes(path_b));
+
+  ASSERT_EQ(loaded.records.size(), 1u);
+  const TelemetryRecord& back = loaded.records[0];
+  EXPECT_EQ(back.obs_len, 9u);
+  EXPECT_EQ(back.zone_temp_dim, 0u);
+  for (std::size_t d = 0; d < 9; ++d) EXPECT_DOUBLE_EQ(back.obs[d], 10.0 + static_cast<double>(d));
+  ASSERT_EQ(back.forecast_len, 2u);
+  EXPECT_DOUBLE_EQ(back.forecast[1].hour_sin, 0.25);
+  EXPECT_DOUBLE_EQ(back.forecast[1].hour_cos, -0.5);
+  EXPECT_DOUBLE_EQ(back.forecast[1].occupants_ahead, 9.0);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+template <typename T>
+void put(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+TEST(TelemetryTraceTest, V1TraceLoadsAsImplicitBaseline) {
+  // A hand-written version-1 blob: no obs_len/zone_temp_dim fields, six
+  // observation doubles, and five-double forecast entries. The loader
+  // must surface it as the baseline layout with temporal defaults.
+  const std::string path = temp_path("verihvac_trace_v1.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("VHTL", 4);
+    put<std::uint32_t>(out, 1);  // version
+    put<std::uint64_t>(out, 1);  // sessions
+    put<std::uint64_t>(out, 7);  // id
+    put<std::uint64_t>(out, 1007);  // seed
+    const std::string key = "Pittsburgh/baseline";
+    put<std::uint64_t>(out, key.size());
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
+    put<std::uint64_t>(out, 1);  // records
+    put<std::uint64_t>(out, 7);  // session
+    put<std::uint64_t>(out, 0);  // decision_index
+    put<std::uint64_t>(out, 1007);  // session_seed
+    put<std::uint64_t>(out, 1);  // policy_version
+    put<std::uint8_t>(out, 0);   // kind
+    put<std::uint8_t>(out, 0);   // forecast_truncated
+    put<std::uint16_t>(out, 1);  // forecast_len
+    put<std::uint32_t>(out, 3);  // action_index
+    put<double>(out, 1e-6);      // latency
+    for (double v : {17.5, -5.0, 50.0, 3.0, 120.0, 11.0}) put<double>(out, v);
+    put<double>(out, 18.0);  // heating
+    put<double>(out, 26.0);  // cooling
+    for (double v : {-5.0, 50.0, 3.0, 120.0, 11.0}) put<double>(out, v);  // forecast[0]
+  }
+
+  const TelemetryTrace trace = load_trace(path);
+  ASSERT_EQ(trace.records.size(), 1u);
+  const TelemetryRecord& r = trace.records[0];
+  EXPECT_EQ(r.obs_len, 6u);
+  EXPECT_EQ(r.zone_temp_dim, 0u);
+  EXPECT_DOUBLE_EQ(r.obs[0], 17.5);
+  EXPECT_DOUBLE_EQ(r.obs[5], 11.0);
+  ASSERT_EQ(r.forecast_len, 1u);
+  EXPECT_DOUBLE_EQ(r.forecast[0].occupants, 11.0);
+  // Temporal fields the v1 layout never carried take their defaults.
+  EXPECT_DOUBLE_EQ(r.forecast[0].hour_sin, 0.0);
+  EXPECT_DOUBLE_EQ(r.forecast[0].hour_cos, 1.0);
+  EXPECT_DOUBLE_EQ(r.forecast[0].occupants_ahead, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryTraceTest, DatasetPairsWithinOneSchemaShape) {
+  // A fleet trace can mix widths (heterogeneous registry keys); the
+  // dataset extractor pairs within the first-seen shape and leaves
+  // foreign-shaped records alone.
+  TelemetryTrace trace;
+  auto record = [](std::uint64_t session, std::uint64_t index, std::uint16_t width,
+                   double zone_temp) {
+    TelemetryRecord r;
+    r.session = session;
+    r.decision_index = index;
+    r.obs_len = width;
+    r.zone_temp_dim = 0;
+    r.obs[0] = zone_temp;
+    r.heating_c = 18.0;
+    r.cooling_c = 26.0;
+    return r;
+  };
+  trace.records.push_back(record(1, 0, 6, 17.0));
+  trace.records.push_back(record(1, 1, 6, 17.5));
+  trace.records.push_back(record(2, 0, 9, 20.0));
+  trace.records.push_back(record(2, 1, 9, 20.5));
+
+  const dyn::TransitionDataset dataset = trace_to_dataset(trace);
+  ASSERT_EQ(dataset.size(), 1u);
+  EXPECT_EQ(dataset.at(0).input.size(), 6u);
+  EXPECT_DOUBLE_EQ(dataset.at(0).input[0], 17.0);
+  EXPECT_DOUBLE_EQ(dataset.at(0).next_zone_temp, 17.5);
 }
 
 // ---------------------------------------------------------------------------

@@ -57,8 +57,10 @@ TEST(AugmentedSamplerTest, ZeroNoiseReproducesHistoricalRows) {
 }
 
 TEST(AugmentedSamplerTest, NoiseScalesWithDimensionStd) {
-  // Eq. 5: per-dimension noise std = noise_level * dimension std.
-  Matrix data(2000, 2);
+  // Eq. 5: per-dimension noise std = noise_level * dimension std. Uses the
+  // unclamped zone/outdoor dims of the baseline schema as the wide/narrow
+  // probes (the sampler validates row width against its schema).
+  Matrix data(2000, 6);
   Rng gen(3);
   for (std::size_t r = 0; r < data.rows(); ++r) {
     data(r, 0) = gen.normal(0.0, 10.0);  // wide dimension

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "envlib/feature_schema.hpp"
 
 namespace verihvac::core {
 namespace {
@@ -22,6 +23,43 @@ DtPolicy make_policy(control::ActionSpaceConfig grid = {}, std::uint64_t seed = 
     data.records.push_back(std::move(rec));
   }
   return DtPolicy::fit(data, actions);
+}
+
+DtPolicy make_time_aware_policy(std::uint64_t seed = 5) {
+  control::ActionSpace actions{control::ActionSpaceConfig{}};
+  Rng rng(seed);
+  DecisionDataset data;
+  for (int i = 0; i < 200; ++i) {
+    DecisionRecord rec;
+    rec.input = {rng.uniform(12.0, 30.0), rng.uniform(-10.0, 35.0), rng.uniform(20.0, 95.0),
+                 rng.uniform(0.0, 12.0),  rng.uniform(0.0, 600.0),
+                 rng.bernoulli(0.5) ? 11.0 : 0.0,
+                 rng.uniform(-1.0, 1.0),  rng.uniform(-1.0, 1.0),
+                 rng.bernoulli(0.5) ? 11.0 : 0.0};
+    rec.action_index = rng.index(actions.size());
+    data.records.push_back(std::move(rec));
+  }
+  return DtPolicy::fit(data, actions, {}, env::time_aware_schema());
+}
+
+/// Span (offset, length) of the action-grid line: the line just before the
+/// embedded tree block, after the v2 schema block.
+std::pair<std::size_t, std::size_t> grid_line_span(const std::string& text) {
+  const auto tree_pos = text.find("verihvac-tree");
+  EXPECT_NE(tree_pos, std::string::npos);
+  const auto line_start = text.rfind('\n', tree_pos - 2) + 1;
+  return {line_start, tree_pos - 1 - line_start};
+}
+
+/// Span of the persisted schema block (the "schema" header line plus every
+/// "feature" line, trailing newline included).
+std::pair<std::size_t, std::size_t> schema_block_span(const std::string& text) {
+  const auto start = text.find("\nschema ");
+  EXPECT_NE(start, std::string::npos);
+  const auto last_feature = text.rfind("\nfeature ");
+  EXPECT_NE(last_feature, std::string::npos);
+  const auto end = text.find('\n', last_feature + 1) + 1;
+  return {start + 1, end - (start + 1)};
 }
 
 TEST(PolicyIoTest, StreamRoundTripPreservesEveryDecision) {
@@ -82,21 +120,105 @@ TEST(PolicyIoTest, RoundTripIsBitStable) {
   EXPECT_EQ(second.str(), first.str());
 }
 
+TEST(PolicyIoTest, SchemaIsPersistedInBundle) {
+  const DtPolicy original = make_policy();
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("verihvac-policy v2\nschema baseline 6\n"), std::string::npos);
+  EXPECT_NE(text.find("feature zone_temp_c degC state zone_temp"), std::string::npos);
+  std::stringstream in(text);
+  EXPECT_EQ(read_policy(in).schema(), env::baseline_schema());
+}
+
+TEST(PolicyIoTest, TimeAwareSchemaRoundTrip) {
+  // A 9-dim time-aware bundle must round-trip byte-identically and come
+  // back with the same schema object — heterogeneous shapes in one
+  // registry depend on the bundle carrying its own layout.
+  const DtPolicy original = make_time_aware_policy();
+  std::stringstream first;
+  write_policy(original, first);
+  const DtPolicy reloaded = read_policy(first);
+
+  EXPECT_EQ(reloaded.schema(), env::time_aware_schema());
+  EXPECT_EQ(reloaded.schema().dims(), 9u);
+  std::stringstream second;
+  write_policy(reloaded, second);
+  EXPECT_EQ(second.str(), first.str());
+
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> x(9);
+    for (double& v : x) v = rng.uniform(-10.0, 40.0);
+    const auto a = original.decide(x);
+    const auto b = reloaded.decide(x);
+    EXPECT_DOUBLE_EQ(a.heating_c, b.heating_c);
+    EXPECT_DOUBLE_EQ(a.cooling_c, b.cooling_c);
+  }
+}
+
+TEST(PolicyIoTest, V1BundleLoadsAsBaselineSchema) {
+  // v1 bundles predate persisted schemas: header line then action grid,
+  // no schema block. The reader must treat them as the implicit baseline
+  // 6-dim layout and make every original decision unchanged.
+  const DtPolicy original = make_policy();
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  std::string text = buffer.str();
+  const auto [schema_start, schema_len] = schema_block_span(text);
+  text.erase(schema_start, schema_len);
+  const auto pos = text.find("verihvac-policy v2");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("verihvac-policy v2").size(), "verihvac-policy v1");
+
+  std::stringstream v1(text);
+  const DtPolicy reloaded = read_policy(v1);
+  EXPECT_EQ(reloaded.schema(), env::baseline_schema());
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> x(6);
+    for (double& v : x) v = rng.uniform(-10.0, 40.0);
+    const auto a = original.decide(x);
+    const auto b = reloaded.decide(x);
+    EXPECT_DOUBLE_EQ(a.heating_c, b.heating_c);
+    EXPECT_DOUBLE_EQ(a.cooling_c, b.cooling_c);
+  }
+}
+
+TEST(PolicyIoTest, RejectsSchemaTreeDimsMismatch) {
+  // Splice the 9-dim time-aware schema block into a bundle whose tree was
+  // fit on 6 features: the reader must refuse rather than serve a policy
+  // that would index past its inputs.
+  const DtPolicy baseline = make_policy();
+  const DtPolicy aware = make_time_aware_policy();
+  std::stringstream base_buf;
+  std::stringstream aware_buf;
+  write_policy(baseline, base_buf);
+  write_policy(aware, aware_buf);
+  std::string text = base_buf.str();
+  const std::string aware_text = aware_buf.str();
+  const auto [dst_start, dst_len] = schema_block_span(text);
+  const auto [src_start, src_len] = schema_block_span(aware_text);
+  text.replace(dst_start, dst_len, aware_text.substr(src_start, src_len));
+  std::stringstream tampered(text);
+  EXPECT_THROW(read_policy(tampered), std::runtime_error);
+}
+
 TEST(PolicyIoTest, RejectsBadHeader) {
   std::stringstream buffer("not-a-policy v9\n");
   EXPECT_THROW(read_policy(buffer), std::runtime_error);
 }
 
 TEST(PolicyIoTest, RejectsWrongPolicyVersionLine) {
-  // A valid bundle whose policy version line claims v2: the v1 reader
-  // must refuse rather than guess at the format.
+  // A valid bundle whose policy version line claims an unknown v3: the
+  // reader must refuse rather than guess at the format.
   const DtPolicy original = make_policy();
   std::stringstream buffer;
   write_policy(original, buffer);
   std::string text = buffer.str();
-  const auto pos = text.find("verihvac-policy v1");
+  const auto pos = text.find("verihvac-policy v2");
   ASSERT_NE(pos, std::string::npos);
-  text.replace(pos, std::string("verihvac-policy v1").size(), "verihvac-policy v2");
+  text.replace(pos, std::string("verihvac-policy v2").size(), "verihvac-policy v3");
   std::stringstream tampered(text);
   EXPECT_THROW(read_policy(tampered), std::runtime_error);
 }
@@ -120,9 +242,8 @@ TEST(PolicyIoTest, RejectsInvalidActionGrid) {
   std::stringstream buffer;
   write_policy(original, buffer);
   std::string text = buffer.str();
-  const auto line_start = text.find('\n') + 1;
-  const auto line_end = text.find('\n', line_start);
-  text.replace(line_start, line_end - line_start, "23 15 30 21 1");  // min > max
+  const auto [grid_start, grid_len] = grid_line_span(text);
+  text.replace(grid_start, grid_len, "23 15 30 21 1");  // min > max
   std::stringstream tampered(text);
   EXPECT_THROW(read_policy(tampered), std::exception);
 }
@@ -143,9 +264,8 @@ TEST(PolicyIoTest, RejectsActionSpaceTreeMismatch) {
   std::stringstream buffer;
   write_policy(original, buffer);
   std::string text = buffer.str();
-  const auto line_start = text.find('\n') + 1;
-  const auto line_end = text.find('\n', line_start);
-  text.replace(line_start, line_end - line_start, "15 23 21 29 1");  // one fewer cooling row
+  const auto [grid_start, grid_len] = grid_line_span(text);
+  text.replace(grid_start, grid_len, "15 23 21 29 1");  // one fewer cooling row
   std::stringstream tampered(text);
   EXPECT_THROW(read_policy(tampered), std::runtime_error);
 }

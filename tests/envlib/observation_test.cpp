@@ -35,6 +35,29 @@ TEST(ObservationTest, FromVectorRoundTrip) {
   EXPECT_EQ(obs.to_vector(), x);
 }
 
+TEST(ObservationTest, FromVectorDoesNotRoundTripTemporalFields) {
+  // Documented contract: the baseline 6-dim layout does not encode the
+  // temporal fields, so from_vector leaves them at their defaults — even
+  // when the vector came from an observation that had them set. Callers
+  // that need the temporal fields restored must go through
+  // FeatureSchema::to_observation on a schema that encodes them.
+  Observation obs;
+  obs.zone_temp_c = 21.0;
+  obs.step = 30;
+  obs.hour_of_day = 7.5;
+  const auto [s, c] = time_of_day_encoding(obs.step);
+  obs.hour_sin = s;
+  obs.hour_cos = c;
+  obs.occupants_ahead = 9.0;
+  const Observation back = Observation::from_vector(obs.to_vector());
+  EXPECT_EQ(back.zone_temp_c, 21.0);
+  EXPECT_EQ(back.step, 0u);
+  EXPECT_EQ(back.hour_of_day, 0.0);
+  EXPECT_EQ(back.hour_sin, 0.0);
+  EXPECT_EQ(back.hour_cos, 1.0);
+  EXPECT_EQ(back.occupants_ahead, 0.0);
+}
+
 TEST(ObservationTest, FromVectorRejectsWrongSize) {
   EXPECT_THROW(Observation::from_vector({1.0, 2.0}), std::invalid_argument);
 }

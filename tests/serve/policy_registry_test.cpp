@@ -8,12 +8,31 @@
 #include <vector>
 
 #include "core/policy_io.hpp"
+#include "envlib/feature_schema.hpp"
 #include "serve_test_utils.hpp"
 
 namespace verihvac::serve {
 namespace {
 
 using testing::toy_policy;
+
+std::shared_ptr<const core::DtPolicy> toy_time_aware_policy(std::uint64_t seed = 7) {
+  control::ActionSpace actions{control::ActionSpaceConfig{}};
+  Rng rng(seed);
+  core::DecisionDataset data;
+  for (int i = 0; i < 200; ++i) {
+    core::DecisionRecord rec;
+    rec.input = {rng.uniform(12.0, 30.0), rng.uniform(-10.0, 35.0), rng.uniform(20.0, 95.0),
+                 rng.uniform(0.0, 12.0),  rng.uniform(0.0, 600.0),
+                 rng.bernoulli(0.5) ? 11.0 : 0.0,
+                 rng.uniform(-1.0, 1.0),  rng.uniform(-1.0, 1.0),
+                 rng.bernoulli(0.5) ? 11.0 : 0.0};
+    rec.action_index = rng.index(actions.size());
+    data.records.push_back(std::move(rec));
+  }
+  return std::make_shared<const core::DtPolicy>(
+      core::DtPolicy::fit(data, actions, {}, env::time_aware_schema()));
+}
 
 TEST(PolicyRegistryTest, InstallThenLookupReturnsSamePolicy) {
   PolicyRegistry registry;
@@ -65,6 +84,32 @@ TEST(PolicyRegistryTest, LookupUnknownKeyThrows) {
 TEST(PolicyRegistryTest, InstallNullPolicyThrows) {
   PolicyRegistry registry;
   EXPECT_THROW(registry.install("key", nullptr), std::invalid_argument);
+}
+
+TEST(PolicyRegistryTest, HotSwapRejectsSchemaMismatch) {
+  // A hot-swap must not change the observation layout out from under the
+  // sessions already serving the key: installing a time-aware bundle over
+  // a baseline incumbent is refused, and the incumbent keeps serving.
+  PolicyRegistry registry;
+  const auto incumbent = toy_policy();
+  const std::uint64_t version = registry.install("Pittsburgh/baseline", incumbent);
+  EXPECT_THROW(registry.install("Pittsburgh/baseline", toy_time_aware_policy()),
+               std::invalid_argument);
+  const PolicySnapshot snapshot = registry.lookup("Pittsburgh/baseline");
+  EXPECT_EQ(snapshot.policy.get(), incumbent.get());
+  EXPECT_EQ(snapshot.version, version);
+
+  // Heterogeneous schemas coexist fine under different keys...
+  registry.install("Pittsburgh/time-aware", toy_time_aware_policy());
+  EXPECT_EQ(registry.lookup("Pittsburgh/time-aware").policy->schema(),
+            env::time_aware_schema());
+  EXPECT_EQ(registry.size(), 2u);
+
+  // ...and erasing the key first is the sanctioned way to change schemas.
+  EXPECT_TRUE(registry.erase("Pittsburgh/baseline"));
+  registry.install("Pittsburgh/baseline", toy_time_aware_policy());
+  EXPECT_EQ(registry.lookup("Pittsburgh/baseline").policy->schema(),
+            env::time_aware_schema());
 }
 
 TEST(PolicyRegistryTest, EraseRemovesKey) {

@@ -37,6 +37,7 @@
 #include "core/policy_io.hpp"
 #include "core/verification.hpp"
 #include "envlib/env.hpp"
+#include "envlib/feature_schema.hpp"
 #include "envlib/metrics.hpp"
 #include "serve/fleet_harness.hpp"
 
@@ -193,6 +194,9 @@ std::vector<Preset> parse_presets(const std::string& csv) {
 
 int cmd_campaign(const Args& args) {
   core::CampaignConfig config;
+  // Throws std::invalid_argument on an unknown name, which the driver
+  // turns into exit 2 plus this subcommand's usage.
+  config.schema = env::schema_by_name(args.get("schema", "baseline"));
   config.climates = split_csv_list(args.get("climates", "Pittsburgh,Tucson,NewYork"));
   config.buildings =
       parse_presets<core::CampaignBuilding>(args.get("buildings", "baseline,oversized"));
@@ -278,6 +282,7 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_serve_bench(const Args& args) {
+  const env::FeatureSchema schema = env::schema_by_name(args.get("schema", "baseline"));
   serve::FleetConfig config;
   config.climates = split_csv_list(args.get("climates", "Pittsburgh"));
   config.presets = parse_presets<serve::FleetPreset>(args.get("presets", "baseline"));
@@ -297,14 +302,15 @@ int cmd_serve_bench(const Args& args) {
   // Per-cell serving assets from the extraction pipeline, cached by
   // (climate x hvac scale): presets only differ in plant sizing.
   auto cache = std::make_shared<std::map<std::string, serve::FleetAssets>>();
-  const serve::FleetAssetProvider provider = [cache](const std::string& climate,
-                                                     const serve::FleetPreset& preset) {
+  const serve::FleetAssetProvider provider = [cache, schema](const std::string& climate,
+                                                             const serve::FleetPreset& preset) {
     const std::string key = climate + "/" + std::to_string(preset.hvac_scale);
     const auto it = cache->find(key);
     if (it != cache->end()) return it->second;
-    std::printf("extracting serving bundle for %s (hvac x%.2f)...\n", climate.c_str(),
-                preset.hvac_scale);
+    std::printf("extracting serving bundle for %s (hvac x%.2f, schema %s)...\n", climate.c_str(),
+                preset.hvac_scale, schema.name().c_str());
     core::PipelineConfig pipeline = core::PipelineConfig::for_city(climate);
+    pipeline.set_schema(schema);
     pipeline.env.hvac_capacity_scale = preset.hvac_scale;
     const core::PipelineArtifacts artifacts = core::run_pipeline(pipeline);
     const serve::FleetAssets assets{artifacts.policy, artifacts.model};
@@ -332,6 +338,7 @@ int cmd_serve_bench(const Args& args) {
 }
 
 int cmd_adapt_bench(const Args& args) {
+  const env::FeatureSchema schema = env::schema_by_name(args.get("schema", "baseline"));
   const std::string city = args.get("city", "Pittsburgh");
   serve::FleetConfig config;
   config.climates = {city};
@@ -363,8 +370,10 @@ int cmd_adapt_bench(const Args& args) {
 
   // Pipeline-extracted serving assets for the cell (same recipe as
   // serve-bench, shrunk by the VERI_HVAC_* knobs).
-  std::printf("extracting serving bundle for %s...\n", city.c_str());
+  std::printf("extracting serving bundle for %s (schema %s)...\n", city.c_str(),
+              schema.name().c_str());
   core::PipelineConfig pipeline = core::PipelineConfig::for_city(city);
+  pipeline.set_schema(schema);
   const core::PipelineArtifacts artifacts = core::run_pipeline(pipeline);
   const serve::FleetAssets assets{artifacts.policy, artifacts.model};
 
@@ -464,9 +473,16 @@ int cmd_explain(const Args& args) {
   std::stringstream stream(csv);
   std::string cell;
   while (std::getline(stream, cell, ',')) x.push_back(std::stod(cell));
-  if (x.size() != env::kInputDims) {
-    throw std::invalid_argument("--input needs 6 comma-separated values "
-                                "(zone_temp,outdoor,humidity,wind,solar,occupants)");
+  if (x.size() != policy.schema().dims()) {
+    // The bundle knows its own layout — report it so a time-aware policy
+    // asks for its 9 features by name rather than a hard-coded 6.
+    std::string names;
+    for (const std::string& name : policy.schema().feature_names()) {
+      if (!names.empty()) names += ",";
+      names += name;
+    }
+    throw std::invalid_argument("--input needs " + std::to_string(policy.schema().dims()) +
+                                " comma-separated values (" + names + ")");
   }
   std::printf("%s", core::explain(policy, x).to_string().c_str());
   return 0;
@@ -507,6 +523,7 @@ const std::map<std::string, Command>& commands() {
          {"buildings", true},
          {"comfort", true},
          {"envelopes", true},
+         {"schema", true},
          {"samples", true},
          {"reach-states", true},
          {"points", true},
@@ -514,8 +531,8 @@ const std::map<std::string, Command>& commands() {
          {"out", true}},
         "campaign [--climates A,B,..] [--buildings name[:scale],..]\n"
         "         [--comfort winter,summer] [--envelopes mild,design]\n"
-        "         [--samples N] [--reach-states N] [--points N] [--seed N]\n"
-        "         [--out FILE.csv]",
+        "         [--schema baseline|time-aware] [--samples N]\n"
+        "         [--reach-states N] [--points N] [--seed N] [--out FILE.csv]",
         cmd_campaign}},
       {"simulate",
        {{{"policy", true}, {"city", true}, {"days", true}},
@@ -534,11 +551,13 @@ const std::map<std::string, Command>& commands() {
          {"sync", false},
          {"budget-us", true},
          {"queue-shards", true},
+         {"schema", true},
          {"out", true}},
         "serve-bench [--climates A,B,..] [--presets name[:scale],..]\n"
         "            [--buildings N] [--steps N] [--mbrl-frac F] [--days N]\n"
         "            [--samples N] [--horizon N] [--seed N] [--sync]\n"
-        "            [--budget-us N] [--queue-shards N] [--out FILE.json]",
+        "            [--budget-us N] [--queue-shards N]\n"
+        "            [--schema baseline|time-aware] [--out FILE.json]",
         cmd_serve_bench}},
       {"adapt-bench",
        {{{"city", true},
@@ -557,12 +576,14 @@ const std::map<std::string, Command>& commands() {
          {"ph-lambda", true},
          {"min-transitions", true},
          {"safe-threshold", true},
+         {"schema", true},
          {"out", true}},
         "adapt-bench [--city NAME] [--buildings N] [--steps N] [--drift-step N]\n"
         "            [--hvac-factor F] [--eff-factor F] [--leak-factor F]\n"
         "            [--mbrl-frac F] [--days N] [--samples N] [--horizon N]\n"
         "            [--ph-delta F] [--ph-lambda F] [--min-transitions N]\n"
-        "            [--safe-threshold F] [--seed N] [--out FILE.json]",
+        "            [--safe-threshold F] [--schema baseline|time-aware]\n"
+        "            [--seed N] [--out FILE.json]",
         cmd_adapt_bench}},
       {"export-c",
        {{{"policy", true}, {"prefix", true}, {"out", true}, {"style", true}},
@@ -570,7 +591,7 @@ const std::map<std::string, Command>& commands() {
         cmd_export_c}},
       {"explain",
        {{{"policy", true}, {"input", true}},
-        "explain  --policy FILE --input s,To,RH,w,S,occ",
+        "explain  --policy FILE --input s,To,RH,w,S,occ[,...]  (bundle's schema order)",
         cmd_explain}},
       {"print",
        {{{"policy", true}, {"rules", false}},
