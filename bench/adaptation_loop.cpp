@@ -32,7 +32,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -224,9 +223,7 @@ int main(int argc, char** argv) {
     const std::uint64_t lost = log->drain(trace.records);
 
     // Round-trip the versioned binary format before replaying.
-    const std::string path =
-        (std::filesystem::path(output_dir()) / "adaptation_loop_trace.bin").string();
-    std::filesystem::create_directories(std::filesystem::path(output_dir()));
+    const std::string path = bench::artifact_path("adaptation_loop_trace.bin");
     adapt::save_trace(trace, path);
     const adapt::TelemetryTrace loaded = adapt::load_trace(path);
 
@@ -470,6 +467,10 @@ int main(int argc, char** argv) {
       row.field("generation", static_cast<std::size_t>(attempt.generation))
           .field_bool("certified", attempt.certified)
           .field("safe_probability", attempt.probabilistic.safe_probability)
+          .field("interval_certified_fraction", attempt.interval.certified_fraction())
+          .field("recert_cells_total", attempt.recert.cells_total)
+          .field("recert_cells_computed", attempt.recert.cells_computed)
+          .field_bool("recert_fallback_full", attempt.recert.fallback_full)
           .field_bool("shadow_passed", attempt.shadow_passed)
           .field_bool("promoted", attempt.promoted)
           .field("train_transitions", attempt.train_transitions)

@@ -38,11 +38,15 @@ env::EpisodeMetrics run_full_episode(const env::EnvConfig& config,
   return control::run_episode(environment, controller, trace);
 }
 
-std::string write_csv(const std::string& filename, const std::string& header,
-                      const std::vector<std::vector<double>>& rows) {
+std::string artifact_path(const std::string& filename) {
   const std::filesystem::path dir(output_dir());
   std::filesystem::create_directories(dir);
-  const std::string path = (dir / filename).string();
+  return (dir / filename).string();
+}
+
+std::string write_csv(const std::string& filename, const std::string& header,
+                      const std::vector<std::vector<double>>& rows) {
+  const std::string path = artifact_path(filename);
   std::ofstream out(path);
   if (!out) throw std::runtime_error("write_csv: cannot open " + path);
   out << header << '\n';
@@ -194,9 +198,7 @@ std::string JsonObject::str() const {
 }
 
 std::string write_bench_json(const std::string& filename, const JsonObject& object) {
-  const std::filesystem::path dir(output_dir());
-  std::filesystem::create_directories(dir);
-  const std::string path = (dir / filename).string();
+  const std::string path = artifact_path(filename);
   std::ofstream out(path);
   if (!out) throw std::runtime_error("write_bench_json: cannot open " + path);
   out << object.str() << "\n";

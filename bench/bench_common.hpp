@@ -39,8 +39,15 @@ env::EpisodeMetrics run_full_episode(const env::EnvConfig& config,
                                      control::Controller& controller,
                                      control::EpisodeTrace* trace = nullptr);
 
-/// Writes a CSV artifact into VERI_HVAC_OUT (default ".") and returns the
-/// path; header is written first, then one line per row.
+/// Canonical location for a bench artifact: VERI_HVAC_OUT (default
+/// "bench_out") joined with `filename`, parent directory created. EVERY
+/// bench artifact — BENCH_*.json, CSVs, binary traces — resolves its path
+/// through this one helper, so the whole output set lands in one
+/// directory and CI uploads it with the single glob bench_out/BENCH_*.json.
+std::string artifact_path(const std::string& filename);
+
+/// Writes a CSV artifact to artifact_path(filename) and returns the path;
+/// header is written first, then one line per row.
 std::string write_csv(const std::string& filename, const std::string& header,
                       const std::vector<std::vector<double>>& rows);
 
@@ -95,7 +102,7 @@ class JsonObject {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// Writes `object` (plus trailing newline) to VERI_HVAC_OUT/filename and
+/// Writes `object` (plus trailing newline) to artifact_path(filename) and
 /// returns the path.
 std::string write_bench_json(const std::string& filename, const JsonObject& object);
 

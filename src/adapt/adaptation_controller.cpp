@@ -74,6 +74,8 @@ void AdaptationController::register_cluster(const std::string& key, ClusterAsset
   std::lock_guard<std::mutex> lock(mutex_);
   Cluster cluster;
   cluster.assets = std::move(assets);
+  cluster.recert_cache =
+      std::make_shared<core::CertificateCache>(config_.recert_cache_entries);
   clusters_[key] = std::move(cluster);
 }
 
@@ -160,6 +162,7 @@ std::size_t AdaptationController::pump() {
   struct Work {
     std::string key;
     ClusterAssets assets;
+    std::shared_ptr<core::CertificateCache> recert_cache;
     dyn::TransitionDataset snapshot;
     std::uint64_t generation = 0;
     DriftEvent trigger;
@@ -192,6 +195,7 @@ std::size_t AdaptationController::pump() {
       Work item;
       item.key = key;
       item.assets = cluster.assets;
+      item.recert_cache = cluster.recert_cache;
       item.snapshot = cluster.pending;
       item.generation = cluster.generation;
       item.trigger = cluster.trigger;
@@ -203,8 +207,8 @@ std::size_t AdaptationController::pump() {
 
   // Heavy lifting outside mutex_: fine-tune, distill, certify, shadow.
   for (Work& item : work) {
-    AdaptOutcome outcome =
-        adapt_cluster(item.key, item.assets, item.snapshot, item.generation, item.trigger);
+    AdaptOutcome outcome = adapt_cluster(item.key, item.assets, item.snapshot, item.generation,
+                                         item.trigger, item.recert_cache.get());
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.adaptations_attempted;
     auto cluster_it = clusters_.find(item.key);
@@ -252,7 +256,7 @@ std::size_t AdaptationController::pump() {
 
 AdaptationController::AdaptOutcome AdaptationController::adapt_cluster(
     const std::string& key, const ClusterAssets& assets, const dyn::TransitionDataset& snapshot,
-    std::uint64_t generation, const DriftEvent& trigger) {
+    std::uint64_t generation, const DriftEvent& trigger, core::CertificateCache* recert_cache) {
   const auto t0 = std::chrono::steady_clock::now();
   AdaptOutcome outcome;
   AdaptationReport& report = outcome.report;
@@ -321,8 +325,28 @@ AdaptationController::AdaptOutcome AdaptationController::adapt_cluster(
     report.probabilistic = engine_.verify_probabilistic(
         *candidate, *candidate_model, sampler, config_.criteria, config_.probabilistic_samples,
         derive_seed(config_.seed, generation, 3));
-    report.certified =
-        report.formal.all_pass() && report.probabilistic.passes(config_.criteria);
+    // Sound interval certification of the candidate. Incremental mode
+    // splices everything drift left untouched from the cluster's cache
+    // (grid-aligned slicing so re-split leaves share interior cells); the
+    // report is bit-identical to a from-scratch run either way.
+    if (config_.recert_mode == RecertMode::kIncremental && recert_cache != nullptr) {
+      core::IntervalVerifyConfig interval = config_.interval;
+      interval.grid_aligned = true;
+      report.interval = engine_.verify_interval_incremental(
+          *candidate, *candidate_model, config_.criteria, *recert_cache,
+          config_.interval_bounds, interval, config_.recert, &report.recert);
+    } else {
+      report.interval = engine_.verify_interval(*candidate, *candidate_model, config_.criteria,
+                                                config_.interval_bounds, config_.interval);
+      report.recert.cells_total = report.recert.cells_computed = 0;
+      for (const core::IntervalLeafResult& r : report.interval.results) {
+        report.recert.cells_total += r.cells;
+        report.recert.cells_computed += r.cells;
+      }
+    }
+    report.certified = report.formal.all_pass() &&
+                       report.probabilistic.passes(config_.criteria) &&
+                       report.interval.certified_fraction() >= config_.min_certified_fraction;
 
     // 5. Shadow gate on held-out telemetry, both bundles scored through
     // the candidate model (the best available picture of the drifted
@@ -350,10 +374,16 @@ AdaptationController::AdaptOutcome AdaptationController::adapt_cluster(
       outcome.ensemble = candidate_ensemble;
       log_info("adapt[", key, "]: promoted generation ", generation, " as bundle v",
                report.promoted_policy_version, " (safe prob ",
-               report.probabilistic.safe_probability, ")");
+               report.probabilistic.safe_probability, ", interval cert ",
+               report.interval.certified_fraction(), ", recert cells ",
+               report.recert.cells_computed, "/", report.recert.cells_total, " computed",
+               report.recert.fallback_full ? ", full fallback" : "", ")");
     } else {
       log_info("adapt[", key, "]: generation ", generation, " NOT promoted (certified=",
-               report.certified, ", shadow=", report.shadow_passed, ")");
+               report.certified, ", shadow=", report.shadow_passed, ", interval cert ",
+               report.interval.certified_fraction(), ", recert cells ",
+               report.recert.cells_computed, "/", report.recert.cells_total, " computed",
+               report.recert.fallback_full ? ", full fallback" : "", ")");
     }
   } catch (const std::exception& error) {
     // An adaptation failure must never take serving down: the incumbent

@@ -1,0 +1,265 @@
+#include "core/certificate_cache.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace verihvac::core {
+namespace {
+
+/// FNV-1a 64-bit, fed typed words. Doubles hash as raw bit patterns: the
+/// cache's contract is *bit*-identity (the same convention the
+/// determinism tests lock), so -0.0 and 0.0 are distinct on purpose.
+class Fnv1a {
+ public:
+  Fnv1a& u64(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      state_ = (state_ ^ ((v >> (8 * b)) & 0xFFu)) * kPrime;
+    }
+    return *this;
+  }
+  Fnv1a& f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u64(bits);
+  }
+  Fnv1a& str(const std::string& s) {
+    u64(s.size());
+    for (const char c : s) state_ = (state_ ^ static_cast<unsigned char>(c)) * kPrime;
+    return *this;
+  }
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t state_ = kOffset;
+};
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void hash_box_into(Fnv1a& h, const Box& box) {
+  h.u64(box.size());
+  for (std::size_t d = 0; d < box.size(); ++d) {
+    h.f64(box[d].lo).f64(box[d].hi);
+  }
+}
+
+void hash_schema_into(Fnv1a& h, const env::FeatureSchema& schema) {
+  h.str(schema.name()).u64(schema.dims());
+  for (const env::FeatureSpec& f : schema.features()) {
+    h.str(f.name)
+        .str(f.unit)
+        .u64(static_cast<std::uint64_t>(f.kind))
+        .u64(static_cast<std::uint64_t>(f.role))
+        .f64(f.bounds.lo)
+        .f64(f.bounds.hi);
+  }
+}
+
+void hash_tree_into(Fnv1a& h, const tree::DecisionTreeClassifier& tree) {
+  h.u64(tree.num_features()).u64(tree.num_classes()).u64(tree.node_count());
+  for (const tree::TreeNode& node : tree.nodes()) {
+    h.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(node.feature)))
+        .f64(node.threshold)
+        .u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(node.left)))
+        .u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(node.right)))
+        .u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(node.label)));
+  }
+}
+
+std::size_t count_leaves_under(const tree::DecisionTreeClassifier& tree, int node) {
+  const tree::TreeNode& n = tree.node(static_cast<std::size_t>(node));
+  if (n.is_leaf()) return 1;
+  return count_leaves_under(tree, n.left) + count_leaves_under(tree, n.right);
+}
+
+void diff_nodes(const tree::DecisionTreeClassifier& incumbent, int a,
+                const tree::DecisionTreeClassifier& candidate, int b, TreeDiff& diff) {
+  const tree::TreeNode& na = incumbent.node(static_cast<std::size_t>(a));
+  const tree::TreeNode& nb = candidate.node(static_cast<std::size_t>(b));
+  if (na.is_leaf() && nb.is_leaf()) {
+    ++diff.leaves_total;
+    if (na.label != nb.label) ++diff.leaves_changed;
+    return;
+  }
+  if (na.is_leaf() != nb.is_leaf() || na.feature != nb.feature ||
+      double_bits(na.threshold) != double_bits(nb.threshold)) {
+    // Structural mismatch: every candidate leaf below is handled by a
+    // different predicate path than any incumbent leaf — all changed.
+    const std::size_t below = count_leaves_under(candidate, b);
+    diff.leaves_total += below;
+    diff.leaves_changed += below;
+    return;
+  }
+  diff_nodes(incumbent, na.left, candidate, nb.left, diff);
+  diff_nodes(incumbent, na.right, candidate, nb.right, diff);
+}
+
+}  // namespace
+
+std::uint64_t hash_box(const Box& box) {
+  Fnv1a h;
+  hash_box_into(h, box);
+  return h.digest();
+}
+
+std::uint64_t hash_schema(const env::FeatureSchema& schema) {
+  Fnv1a h;
+  hash_schema_into(h, schema);
+  return h.digest();
+}
+
+std::uint64_t hash_dynamics(const dyn::DynamicsModel& model) {
+  if (!model.trained()) throw std::logic_error("hash_dynamics: model not trained");
+  Fnv1a h;
+  hash_schema_into(h, model.schema());
+  const nn::Normalizer& norm = model.input_normalizer();
+  h.u64(norm.dims());
+  for (const double m : norm.mean()) h.f64(m);
+  for (const double s : norm.std()) h.f64(s);
+  h.f64(model.delta_mean()).f64(model.delta_std());
+  const nn::Mlp& net = model.network();
+  h.u64(net.layers().size());
+  for (const nn::Linear& layer : net.layers()) {
+    h.u64(layer.in_features()).u64(layer.out_features());
+    for (const double w : layer.weight().data()) h.f64(w);
+    for (const double b : layer.bias().data()) h.f64(b);
+  }
+  return h.digest();
+}
+
+std::uint64_t hash_tree(const tree::DecisionTreeClassifier& tree) {
+  if (!tree.fitted()) throw std::logic_error("hash_tree: tree not fitted");
+  Fnv1a h;
+  hash_tree_into(h, tree);
+  return h.digest();
+}
+
+std::uint64_t policy_fingerprint(const DtPolicy& policy) {
+  Fnv1a h;
+  hash_schema_into(h, policy.schema());
+  const control::ActionSpaceConfig& grid = policy.actions().config();
+  h.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(grid.heat_min)))
+      .u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(grid.heat_max)))
+      .u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(grid.cool_min)))
+      .u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(grid.cool_max)))
+      .u64(grid.enforce_heat_le_cool ? 1 : 0);
+  hash_tree_into(h, policy.tree());
+  return h.digest();
+}
+
+bool box_bits_equal(const Box& a, const Box& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    if (double_bits(a[d].lo) != double_bits(b[d].lo) ||
+        double_bits(a[d].hi) != double_bits(b[d].hi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TreeDiff diff_trees(const tree::DecisionTreeClassifier& incumbent,
+                    const tree::DecisionTreeClassifier& candidate) {
+  if (!incumbent.fitted() || !candidate.fitted()) {
+    throw std::logic_error("diff_trees: both trees must be fitted");
+  }
+  TreeDiff diff;
+  if (incumbent.num_features() != candidate.num_features()) {
+    // Different input spaces: nothing carries over.
+    diff.leaves_total = diff.leaves_changed = candidate.leaf_count();
+    return diff;
+  }
+  diff_nodes(incumbent, 0, candidate, 0, diff);
+  return diff;
+}
+
+std::uint64_t hash_certificate_key(const CertificateKey& key) {
+  Fnv1a h;
+  h.u64(key.dynamics_hash);
+  hash_box_into(h, key.cell);
+  return h.digest();
+}
+
+bool certificate_keys_equal(const CertificateKey& a, const CertificateKey& b) {
+  return a.dynamics_hash == b.dynamics_hash && box_bits_equal(a.cell, b.cell);
+}
+
+CertificateCache::CertificateCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+std::optional<Interval> CertificateCache::lookup(const CertificateKey& key) {
+  return lookup_in_slot(hash_certificate_key(key), key);
+}
+
+void CertificateCache::insert(const CertificateKey& key, const Interval& image) {
+  insert_in_slot(hash_certificate_key(key), key, image);
+}
+
+std::optional<Interval> CertificateCache::lookup_in_slot(std::uint64_t slot,
+                                                         const CertificateKey& key) {
+  ++stats_.lookups;
+  const auto it = entries_.find(slot);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (!certificate_keys_equal(it->second.key, key)) {
+    // Hash collision or poisoned entry: the stored verdict belongs to a
+    // different (model, cell) and must never be spliced into a report.
+    ++stats_.misses;
+    ++stats_.collisions;
+    return std::nullopt;
+  }
+  it->second.tick = ++tick_;
+  ++stats_.hits;
+  return it->second.image;
+}
+
+void CertificateCache::insert_in_slot(std::uint64_t slot, const CertificateKey& key,
+                                      const Interval& image) {
+  const auto it = entries_.find(slot);
+  if (it == entries_.end() && max_entries_ > 0 && entries_.size() >= max_entries_) {
+    evict_one();
+  }
+  Entry entry;
+  entry.key = key;
+  entry.image = image;
+  entry.tick = ++tick_;
+  entries_[slot] = std::move(entry);
+  ++stats_.insertions;
+}
+
+void CertificateCache::evict_one() {
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.tick < victim->second.tick) victim = it;
+  }
+  entries_.erase(victim);
+  ++stats_.evictions;
+}
+
+void CertificateCache::note_certified(const DtPolicy& policy, std::uint64_t dynamics_hash) {
+  incumbent_tree_ = policy.tree();
+  incumbent_dynamics_hash_ = dynamics_hash;
+  has_incumbent_ = true;
+}
+
+TreeDiff CertificateCache::diff_against_incumbent(const DtPolicy& candidate) const {
+  if (!has_incumbent_) {
+    throw std::logic_error("CertificateCache: no incumbent recorded (note_certified first)");
+  }
+  return diff_trees(incumbent_tree_, candidate.tree());
+}
+
+void CertificateCache::clear() {
+  entries_.clear();
+  has_incumbent_ = false;
+  incumbent_dynamics_hash_ = 0;
+}
+
+}  // namespace verihvac::core

@@ -1,0 +1,211 @@
+// Certificate cache — incremental re-certification with drift-scoped
+// invalidation.
+//
+// Interval certification (interval_verify) is a pure function at the
+// (leaf × input-splitting cell) granularity: a cell's sound one-step image
+// interval_next_state(model, cell) depends on exactly two things — the
+// dynamics model's content (schema, normalizer, delta statistics, every
+// network weight) and the cell's box bits. Nothing else. This module
+// exploits that purity: cache each cell's image under the key
+// (dynamics content hash, exact cell box) and, on re-certification after a
+// retrain, recompute only the cells whose key is absent. Everything the
+// paper's Algorithm 1 layers on top of the images — comfort-band
+// containment, leaf folds, report aggregation — is recomputed from scratch
+// on every run (it is orders of magnitude cheaper than the IBP forwards),
+// so a spliced report is bit-identical to a from-scratch run by
+// construction, not by trust.
+//
+// Invalidation rules that fall out of the key:
+//  * policy-side drift: a relabeled leaf changes its action (the degenerate
+//    action dims of its cells), a re-split leaf changes its cells' zone
+//    ranges — either way the boxes differ and every affected cell misses;
+//    unchanged subtrees reproduce bit-identical boxes and hit.
+//  * dynamics-side drift: the content hash covers every weight. An MLP is
+//    dense, so there is no sound way to scope a weight delta to an input
+//    region — any changed weight can move any cell's image. A fine-tune
+//    therefore invalidates every cached image (the hash changes), which is
+//    exactly when the caller should fall back to a full run
+//    (RecertConfig::fallback_fraction); the cache's win is the common case
+//    where the *policy* changed locally and the dynamics did not.
+//  * schema/config drift: the schema is hashed into the dynamics hash and
+//    shapes the boxes; verify-config changes reshape the cells. Both miss.
+//
+// Lookups verify the stored key bit-for-bit (boxes compared on endpoint
+// bit patterns), so a 64-bit hash collision — or a poisoned entry — counts
+// as a miss and can never splice a stale verdict into a certificate.
+//
+// The cache is NOT thread-safe: the engine's incremental path does its
+// lookup/insert passes serially and fans out only the IBP forwards
+// (mirroring the serial-fold determinism contract); callers keep one cache
+// per certification stream (per adaptation cluster, per campaign).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/dt_policy.hpp"
+#include "dynamics/dynamics_model.hpp"
+
+namespace verihvac::core {
+
+// --- content hashing (FNV-1a 64-bit over bit patterns) ---
+
+/// Hash of a box's endpoint bit patterns (dimension count included).
+std::uint64_t hash_box(const Box& box);
+
+/// Hash of a feature schema: name, dims, and every feature's name, unit,
+/// kind, role and bounds.
+std::uint64_t hash_schema(const env::FeatureSchema& schema);
+
+/// Content hash of everything interval_next_state reads from a trained
+/// model: schema, input-normalizer mean/std, delta_mean/delta_std, and
+/// every layer's shape, weights and biases. Two models hash equal iff the
+/// IBP image of every box is bit-identical between them.
+std::uint64_t hash_dynamics(const dyn::DynamicsModel& model);
+
+/// Structural hash of a fitted tree: per node (feature, threshold bits,
+/// children, label). Diagnostics (sample counts, impurity) are excluded —
+/// they do not affect the decision function.
+std::uint64_t hash_tree(const tree::DecisionTreeClassifier& tree);
+
+/// Semantic fingerprint of a deployable policy bundle: schema + action
+/// grid + tree. Persisted by policy_io (bundle format v3) and validated on
+/// load, so a tampered or corrupted bundle is rejected instead of served.
+std::uint64_t policy_fingerprint(const DtPolicy& policy);
+
+/// Bit-pattern equality of two boxes (the key-verification comparison:
+/// consistent with hash_box, so equal keys always hash equal).
+bool box_bits_equal(const Box& a, const Box& b);
+
+// --- structural tree diff ---
+
+/// Leaf-level summary of candidate-vs-incumbent drift. Counted over the
+/// *candidate's* leaves: a leaf under any structurally mismatched subtree
+/// (different split feature/threshold, different shape) or with a changed
+/// label counts as changed; leaves of bit-identical subtrees keep their
+/// certificates.
+struct TreeDiff {
+  std::size_t leaves_total = 0;
+  std::size_t leaves_changed = 0;
+
+  bool identical() const { return leaves_changed == 0; }
+  double changed_fraction() const {
+    return leaves_total == 0
+               ? 0.0
+               : static_cast<double>(leaves_changed) / static_cast<double>(leaves_total);
+  }
+};
+
+/// Recursive structural diff (internal nodes match on bit-exact
+/// feature/threshold, leaves on label). Both trees must be fitted.
+TreeDiff diff_trees(const tree::DecisionTreeClassifier& incumbent,
+                    const tree::DecisionTreeClassifier& candidate);
+
+// --- the cache proper ---
+
+/// Everything one cached image depends on. The box carries the leaf's
+/// predicate path (clipped to comfort ∩ envelope ∩ schema bounds), the
+/// input-splitting cell AND the leaf's action (degenerate trailing dims),
+/// so no separate leaf/action fingerprint is needed.
+struct CertificateKey {
+  std::uint64_t dynamics_hash = 0;
+  Box cell;
+};
+
+std::uint64_t hash_certificate_key(const CertificateKey& key);
+bool certificate_keys_equal(const CertificateKey& a, const CertificateKey& b);
+
+/// Incremental re-certification policy knobs.
+struct RecertConfig {
+  /// When the invalidated (cache-missing) fraction of cells exceeds this,
+  /// the incremental path abandons splicing and recomputes every cell —
+  /// broad drift (a fine-tuned model, a reshaped schema) pays full price
+  /// once instead of a futile lookup pass plus full price.
+  double fallback_fraction = 0.5;
+};
+
+/// What one incremental certification run did (per-run; the cache and the
+/// engine additionally keep cumulative counters).
+struct RecertStats {
+  std::size_t cells_total = 0;     ///< (leaf × cell) units in this run
+  std::size_t cells_cached = 0;    ///< spliced from the cache
+  std::size_t cells_computed = 0;  ///< IBP forwards actually run
+  bool fallback_full = false;      ///< invalidation breadth tripped the fallback
+  bool dynamics_changed = false;   ///< content hash moved vs the incumbent run
+  /// Candidate-vs-incumbent tree diff (zeros when no incumbent is known).
+  std::size_t diff_leaves_total = 0;
+  std::size_t diff_leaves_changed = 0;
+
+  double invalidated_fraction() const {
+    return cells_total == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(cells_cached) / static_cast<double>(cells_total);
+  }
+};
+
+class CertificateCache {
+ public:
+  /// `max_entries` bounds memory; 0 means unbounded. Eviction is
+  /// least-recently-used (full-scan victim selection — eviction is the
+  /// rare path; size the cache to hold a whole policy's cells).
+  explicit CertificateCache(std::size_t max_entries = kDefaultMaxEntries);
+
+  static constexpr std::size_t kDefaultMaxEntries = 1u << 20;
+
+  /// Returns the cached image iff the slot holds a bit-identical key;
+  /// a hash collision or content mismatch counts as a miss (and bumps the
+  /// collision counter) — a stale verdict is never reused.
+  std::optional<Interval> lookup(const CertificateKey& key);
+  void insert(const CertificateKey& key, const Interval& image);
+
+  /// Explicit-slot variants, exposed for the cache-poisoning tests: they
+  /// let a test force two different keys into one slot and assert the
+  /// verification layer refuses the mismatched entry.
+  std::optional<Interval> lookup_in_slot(std::uint64_t slot, const CertificateKey& key);
+  void insert_in_slot(std::uint64_t slot, const CertificateKey& key, const Interval& image);
+
+  /// Records the tree and dynamics hash a completed certification ran
+  /// against, making them the incumbent for the next run's diff.
+  void note_certified(const DtPolicy& policy, std::uint64_t dynamics_hash);
+  bool has_incumbent() const { return has_incumbent_; }
+  std::uint64_t incumbent_dynamics_hash() const { return incumbent_dynamics_hash_; }
+  /// Diff of `candidate` against the incumbent tree (throws std::logic_error
+  /// when no incumbent was recorded).
+  TreeDiff diff_against_incumbent(const DtPolicy& candidate) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
+  void clear();
+
+  /// Cumulative counters since construction (never reset by clear()).
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t collisions = 0;  ///< slot held a different key (subset of misses)
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    CertificateKey key;
+    Interval image;
+    std::uint64_t tick = 0;  ///< last touch (LRU victim selection)
+  };
+
+  void evict_one();
+
+  std::size_t max_entries_;
+  std::uint64_t tick_ = 0;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  Stats stats_;
+
+  bool has_incumbent_ = false;
+  std::uint64_t incumbent_dynamics_hash_ = 0;
+  tree::DecisionTreeClassifier incumbent_tree_;
+};
+
+}  // namespace verihvac::core

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/certificate_cache.hpp"
 #include "tree/tree_io.hpp"
 
 namespace verihvac::core {
@@ -85,11 +86,18 @@ env::FeatureSchema read_schema(std::istream& in, const std::string& context) {
   }
 }
 
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  std::ostringstream hex;
+  hex << std::hex << std::setw(16) << std::setfill('0') << fingerprint;
+  return hex.str();
+}
+
 }  // namespace
 
 void write_policy(const DtPolicy& policy, std::ostream& out) {
   const control::ActionSpaceConfig& grid = policy.actions().config();
-  out << "verihvac-policy v2\n";
+  out << "verihvac-policy v3\n";
+  out << "fingerprint " << fingerprint_hex(policy_fingerprint(policy)) << '\n';
   write_schema(policy.schema(), out);
   out << grid.heat_min << ' ' << grid.heat_max << ' ' << grid.cool_min << ' ' << grid.cool_max
       << ' ' << (grid.enforce_heat_le_cool ? 1 : 0) << '\n';
@@ -100,13 +108,22 @@ DtPolicy read_policy(std::istream& in, const std::string& context) {
   std::string magic;
   std::string version;
   in >> magic >> version;
-  if (magic != "verihvac-policy" || (version != "v1" && version != "v2")) {
+  if (magic != "verihvac-policy" ||
+      (version != "v1" && version != "v2" && version != "v3")) {
     throw std::runtime_error("read_policy: bad header in " + context);
+  }
+  std::string stated_fingerprint;
+  if (version == "v3") {
+    std::string tag;
+    in >> tag >> stated_fingerprint;
+    if (!in || tag != "fingerprint" || stated_fingerprint.size() != 16) {
+      throw std::runtime_error("read_policy: bad fingerprint line in " + context);
+    }
   }
   // v1 bundles predate persisted schemas: they are implicitly the baseline
   // 6-dim layout.
   env::FeatureSchema schema =
-      version == "v2" ? read_schema(in, context) : env::baseline_schema();
+      version == "v1" ? env::baseline_schema() : read_schema(in, context);
 
   control::ActionSpaceConfig grid;
   int enforce = 1;
@@ -128,7 +145,19 @@ DtPolicy read_policy(std::istream& in, const std::string& context) {
                              ") do not match the embedded schema '" + schema.name() + "' (" +
                              std::to_string(schema.dims()) + " dims) in " + context);
   }
-  return DtPolicy(std::move(tree), std::move(actions), std::move(schema));
+  DtPolicy policy(std::move(tree), std::move(actions), std::move(schema));
+  if (!stated_fingerprint.empty()) {
+    // Recompute over what was actually decoded: a bundle whose content no
+    // longer matches the fingerprint it was sealed with is corrupt or
+    // tampered — never served.
+    const std::string actual = fingerprint_hex(policy_fingerprint(policy));
+    if (actual != stated_fingerprint) {
+      throw std::runtime_error("read_policy: fingerprint mismatch in " + context +
+                               " (stated " + stated_fingerprint + ", content " + actual +
+                               ") — bundle corrupted or tampered");
+    }
+  }
+  return policy;
 }
 
 void save_policy(const DtPolicy& policy, const std::string& path) {

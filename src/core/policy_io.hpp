@@ -8,7 +8,8 @@
 // The bundle format stores tree, action space AND observation schema,
 // versioned:
 //
-//   verihvac-policy v2
+//   verihvac-policy v3
+//   fingerprint <16 hex digits>
 //   schema <name> <n_features>
 //   feature <name> <unit> <kind> <role> <lo> <hi>     (n_features lines)
 //   <heat_min> <heat_max> <cool_min> <cool_max> <enforce_heat_le_cool>
@@ -17,10 +18,16 @@
 //
 // Interval endpoints serialize as "inf"/"-inf" or with round-trip-exact
 // precision, so write -> read -> write is byte-identical. v1 bundles (no
-// schema block) still load and get the implicit baseline 6-dim schema.
-// load_policy validates that the embedded tree's class count matches the
-// embedded action space, and its feature count the schema, throwing
-// otherwise.
+// schema block) and v2 bundles (no fingerprint) still load; v1 gets the
+// implicit baseline 6-dim schema. The v3 fingerprint is
+// core::policy_fingerprint (schema + action grid + tree, the certificate
+// cache's content hash): read_policy recomputes it over the decoded
+// bundle and throws on mismatch, so a tampered or bit-rotted bundle is
+// rejected at load instead of serving re-mapped decisions — and the
+// adaptation loop can tell which certified artifact a bundle is without
+// re-hashing. load_policy additionally validates that the embedded tree's
+// class count matches the embedded action space, and its feature count
+// the schema, throwing otherwise.
 #pragma once
 
 #include <iosfwd>

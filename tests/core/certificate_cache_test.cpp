@@ -1,0 +1,480 @@
+#include "core/certificate_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/interval_verify.hpp"
+#include "core/verification_engine.hpp"
+#include "core_test_utils.hpp"
+
+namespace verihvac::core {
+namespace {
+
+/// A small fitted policy over the default action grid (same recipe as the
+/// policy_io tests) for the hash/diff/cache structural tests.
+DtPolicy make_policy(std::uint64_t seed = 3) {
+  control::ActionSpace actions;
+  Rng rng(seed);
+  DecisionDataset data;
+  for (int i = 0; i < 200; ++i) {
+    DecisionRecord rec;
+    rec.input = {rng.uniform(12.0, 30.0), rng.uniform(-10.0, 35.0), rng.uniform(20.0, 95.0),
+                 rng.uniform(0.0, 12.0),  rng.uniform(0.0, 600.0),
+                 rng.bernoulli(0.5) ? 11.0 : 0.0};
+    rec.action_index = rng.index(actions.size());
+    data.records.push_back(std::move(rec));
+  }
+  return DtPolicy::fit(data, actions);
+}
+
+Box box2(double alo, double ahi, double blo, double bhi) {
+  Box box(2);
+  box[0] = Interval{alo, ahi};
+  box[1] = Interval{blo, bhi};
+  return box;
+}
+
+/// Smallest representable perturbation of a double — hashing and key
+/// comparison operate on bit patterns, so even this must register.
+double next_up(double x) { return std::nextafter(x, std::numeric_limits<double>::infinity()); }
+
+// --- content hashing ---
+
+TEST(CertificateHashTest, BoxHashSensitiveToSingleBitFlip) {
+  const Box a = box2(18.0, 23.5, -5.0, 10.0);
+  Box b = a;
+  EXPECT_TRUE(box_bits_equal(a, b));
+  EXPECT_EQ(hash_box(a), hash_box(b));
+
+  b[1].hi = next_up(b[1].hi);
+  EXPECT_FALSE(box_bits_equal(a, b));
+  EXPECT_NE(hash_box(a), hash_box(b));
+}
+
+TEST(CertificateHashTest, BoxHashDistinguishesDimensionCount) {
+  Box narrow(1);
+  narrow[0] = Interval{0.0, 1.0};
+  Box wide(2);
+  wide[0] = Interval{0.0, 1.0};
+  wide[1] = Interval::all();
+  EXPECT_NE(hash_box(narrow), hash_box(wide));
+  EXPECT_FALSE(box_bits_equal(narrow, wide));
+}
+
+TEST(CertificateHashTest, SchemaHashSeparatesLayouts) {
+  EXPECT_EQ(hash_schema(env::baseline_schema()), hash_schema(env::baseline_schema()));
+  EXPECT_NE(hash_schema(env::baseline_schema()), hash_schema(env::time_aware_schema()));
+}
+
+TEST(CertificateHashTest, DynamicsHashStableAcrossCopiesAndMovedByFineTune) {
+  const dyn::TransitionDataset history = testutil::toy_history(400, 12);
+  dyn::DynamicsModelConfig cfg;
+  cfg.hidden = {8};
+  cfg.trainer.epochs = 10;
+  dyn::DynamicsModel model(cfg);
+  model.train(history);
+
+  const std::uint64_t h = hash_dynamics(model);
+  EXPECT_EQ(hash_dynamics(model), h);
+  const dyn::DynamicsModel clone(model);
+  EXPECT_EQ(hash_dynamics(clone), h);
+
+  dyn::DynamicsModel tuned(model);
+  tuned.fine_tune(history, 1);
+  EXPECT_NE(hash_dynamics(tuned), h);
+}
+
+TEST(CertificateHashTest, UntrainedModelThrows) {
+  dyn::DynamicsModel model;
+  EXPECT_THROW(hash_dynamics(model), std::logic_error);
+}
+
+TEST(CertificateHashTest, PolicyFingerprintTracksTreeAndGrid) {
+  const DtPolicy policy = make_policy();
+  const std::uint64_t fp = policy_fingerprint(policy);
+  EXPECT_EQ(policy_fingerprint(policy), fp);
+
+  DtPolicy relabeled = policy;
+  const int leaf = relabeled.tree().leaves().front();
+  const int old_label = relabeled.tree().node(static_cast<std::size_t>(leaf)).label;
+  relabeled.mutable_tree().set_leaf_label(
+      leaf, (old_label + 1) % static_cast<int>(relabeled.tree().num_classes()));
+  EXPECT_NE(policy_fingerprint(relabeled), fp);
+}
+
+TEST(CertificateHashTest, CertificateKeyEqualityRequiresBothParts) {
+  const CertificateKey a{42, box2(0.0, 1.0, 2.0, 3.0)};
+  CertificateKey b = a;
+  EXPECT_TRUE(certificate_keys_equal(a, b));
+  EXPECT_EQ(hash_certificate_key(a), hash_certificate_key(b));
+  b.dynamics_hash = 43;
+  EXPECT_FALSE(certificate_keys_equal(a, b));
+  b = a;
+  b.cell[0].lo = next_up(b.cell[0].lo);
+  EXPECT_FALSE(certificate_keys_equal(a, b));
+}
+
+// --- structural tree diff ---
+
+TEST(TreeDiffTest, IdenticalTreesShareEveryLeaf) {
+  const DtPolicy policy = make_policy();
+  const TreeDiff diff = diff_trees(policy.tree(), policy.tree());
+  EXPECT_TRUE(diff.identical());
+  EXPECT_EQ(diff.leaves_total, policy.tree().leaf_count());
+  EXPECT_EQ(diff.leaves_changed, 0u);
+  EXPECT_EQ(diff.changed_fraction(), 0.0);
+}
+
+TEST(TreeDiffTest, RelabeledLeafCountsExactlyOnce) {
+  const DtPolicy incumbent = make_policy();
+  DtPolicy candidate = incumbent;
+  const int leaf = candidate.tree().leaves().front();
+  const int old_label = candidate.tree().node(static_cast<std::size_t>(leaf)).label;
+  candidate.mutable_tree().set_leaf_label(
+      leaf, (old_label + 1) % static_cast<int>(candidate.tree().num_classes()));
+  const TreeDiff diff = diff_trees(incumbent.tree(), candidate.tree());
+  EXPECT_EQ(diff.leaves_changed, 1u);
+  EXPECT_EQ(diff.leaves_total, candidate.tree().leaf_count());
+}
+
+TEST(TreeDiffTest, SplitLeafCountsBothNewLeaves) {
+  const DtPolicy incumbent = make_policy();
+  DtPolicy candidate = incumbent;
+  const int leaf = candidate.tree().leaves().front();
+  candidate.mutable_tree().split_leaf(leaf, 0, 20.0);
+  const TreeDiff diff = diff_trees(incumbent.tree(), candidate.tree());
+  EXPECT_EQ(diff.leaves_changed, 2u);
+  EXPECT_EQ(diff.leaves_total, candidate.tree().leaf_count());
+  EXPECT_EQ(diff.leaves_total, incumbent.tree().leaf_count() + 1);
+}
+
+TEST(TreeDiffTest, PerturbedRootThresholdInvalidatesEverything) {
+  const DtPolicy incumbent = make_policy();
+  std::vector<tree::TreeNode> nodes = incumbent.tree().nodes();
+  ASSERT_FALSE(nodes[0].is_leaf());
+  nodes[0].threshold = next_up(nodes[0].threshold);
+  const auto candidate = tree::DecisionTreeClassifier::from_nodes(
+      std::move(nodes), incumbent.tree().num_features(), incumbent.tree().num_classes());
+  const TreeDiff diff = diff_trees(incumbent.tree(), candidate);
+  EXPECT_EQ(diff.leaves_changed, candidate.leaf_count());
+  EXPECT_EQ(diff.changed_fraction(), 1.0);
+}
+
+// --- the cache proper ---
+
+TEST(CertificateCacheTest, MissInsertHitCycle) {
+  CertificateCache cache;
+  const CertificateKey key{7, box2(0.0, 1.0, 2.0, 3.0)};
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.insert(key, Interval{20.0, 21.0});
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->lo, 20.0);
+  EXPECT_EQ(hit->hi, 21.0);
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(CertificateCacheTest, LruEvictionPrefersColdEntries) {
+  CertificateCache cache(2);
+  const CertificateKey k1{1, box2(0.0, 1.0, 0.0, 1.0)};
+  const CertificateKey k2{2, box2(0.0, 1.0, 0.0, 1.0)};
+  const CertificateKey k3{3, box2(0.0, 1.0, 0.0, 1.0)};
+  cache.insert(k1, Interval{0.0, 1.0});
+  cache.insert(k2, Interval{0.0, 2.0});
+  EXPECT_TRUE(cache.lookup(k1).has_value());  // k1 is now warmer than k2
+  cache.insert(k3, Interval{0.0, 3.0});
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+  EXPECT_FALSE(cache.lookup(k2).has_value());
+  EXPECT_TRUE(cache.lookup(k3).has_value());
+}
+
+TEST(CertificateCacheTest, PoisonedSlotIsRefusedNotSpliced) {
+  // Force two different keys into one slot (simulating a 64-bit hash
+  // collision or a corrupted entry): the lookup must verify the stored key
+  // bit-for-bit and refuse, never return the stale image.
+  CertificateCache cache;
+  const CertificateKey stored{11, box2(0.0, 1.0, 0.0, 1.0)};
+  CertificateKey probe = stored;
+  probe.cell[0].hi = next_up(probe.cell[0].hi);
+
+  const std::uint64_t slot = 12345;
+  cache.insert_in_slot(slot, stored, Interval{19.0, 22.0});
+  EXPECT_FALSE(cache.lookup_in_slot(slot, probe).has_value());
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // The genuine key still hits.
+  EXPECT_TRUE(cache.lookup_in_slot(slot, stored).has_value());
+}
+
+TEST(CertificateCacheTest, ClearDropsEntriesAndIncumbentButKeepsStats) {
+  CertificateCache cache;
+  const DtPolicy policy = make_policy();
+  cache.insert({1, box2(0.0, 1.0, 0.0, 1.0)}, Interval{0.0, 1.0});
+  cache.note_certified(policy, 99);
+  ASSERT_TRUE(cache.has_incumbent());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.has_incumbent());
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(CertificateCacheTest, DiffAgainstIncumbentRequiresOne) {
+  CertificateCache cache;
+  const DtPolicy policy = make_policy();
+  EXPECT_THROW(cache.diff_against_incumbent(policy), std::logic_error);
+  cache.note_certified(policy, 5);
+  EXPECT_EQ(cache.incumbent_dynamics_hash(), 5u);
+  EXPECT_TRUE(cache.diff_against_incumbent(policy).identical());
+}
+
+// --- grid-aligned slicing ---
+
+TEST(AlignedSplitTest, TilesIntervalExactlyOnTheGlobalLattice) {
+  const Interval iv{17.3, 23.9};
+  const double w = 0.5;
+  const auto cells = split_interval_aligned(iv, w);
+  ASSERT_FALSE(cells.empty());
+  EXPECT_EQ(cells.front().lo, iv.lo);
+  EXPECT_EQ(cells.back().hi, iv.hi);
+  for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].hi, cells[i + 1].lo);  // contiguous, no gaps
+    // Interior boundaries sit on exact multiples of the lattice width.
+    const double k = cells[i].hi / w;
+    EXPECT_EQ(k, std::round(k));
+  }
+  for (const Interval& cell : cells) {
+    EXPECT_LE(cell.hi - cell.lo, w + 1e-12);
+    EXPECT_GT(cell.hi, cell.lo);
+  }
+}
+
+TEST(AlignedSplitTest, OverlappingIntervalsShareInteriorCellsBitwise) {
+  // The whole point of lattice alignment: two different leaf boxes that
+  // overlap must produce bit-identical interior cells, so their
+  // certificates share cache entries.
+  const double w = 0.25;
+  const auto a = split_interval_aligned(Interval{0.0, 2.0}, w);
+  const auto b = split_interval_aligned(Interval{0.6, 2.6}, w);
+  std::size_t shared = 0;
+  for (const Interval& ca : a) {
+    for (const Interval& cb : b) {
+      if (std::memcmp(&ca, &cb, sizeof(Interval)) == 0) ++shared;
+    }
+  }
+  // [0.75, 2.0) interior cells are common to both tilings.
+  EXPECT_GE(shared, 4u);
+}
+
+TEST(AlignedSplitTest, DegenerateIntervalYieldsOnePointCell) {
+  const auto cells = split_interval_aligned(Interval{21.0, 21.0}, 0.5);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].lo, 21.0);
+  EXPECT_EQ(cells[0].hi, 21.0);
+}
+
+// --- the engine's incremental path ---
+
+class IncrementalRecertTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dyn::DynamicsModelConfig cfg;
+    cfg.hidden = {16};
+    cfg.trainer.epochs = 60;
+    cfg.trainer.adam.learning_rate = 3e-3;
+    model_ = std::make_shared<dyn::DynamicsModel>(cfg);
+    model_->train(testutil::toy_history(1200, 12));
+  }
+  static void TearDownTestSuite() { model_.reset(); }
+
+  static DtPolicy hold_policy() {
+    const control::ActionSpace actions;
+    const std::size_t hold = actions.nearest_index(sim::SetpointPair{22.0, 23.0});
+    const std::size_t setback = actions.nearest_index(sim::SetpointPair{15.0, 30.0});
+    DecisionDataset data;
+    for (int i = 0; i < 40; ++i) {
+      const double temp = 14.0 + 0.3 * i;
+      data.records.push_back({{temp, 0.0, 50.0, 3.0, 100.0, 11.0}, hold});
+      data.records.push_back({{temp, 0.0, 50.0, 3.0, 100.0, 0.0}, setback});
+    }
+    return DtPolicy::fit(data, actions);
+  }
+
+  static VerificationCriteria winter() {
+    VerificationCriteria c;
+    c.comfort = env::winter_comfort();
+    return c;
+  }
+
+  static VerificationEngine engine_with_threads(std::size_t threads) {
+    return VerificationEngine(std::make_shared<const common::TaskPool>(
+        common::TaskPoolConfig{threads, /*min_parallel_batch=*/1}));
+  }
+
+  static void expect_reports_identical(const IntervalReport& a, const IntervalReport& b) {
+    EXPECT_EQ(a.leaves_total, b.leaves_total);
+    EXPECT_EQ(a.leaves_subject, b.leaves_subject);
+    EXPECT_EQ(a.leaves_certified, b.leaves_certified);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+      EXPECT_EQ(a.results[i].leaf, b.results[i].leaf);
+      EXPECT_EQ(a.results[i].cells, b.results[i].cells);
+      EXPECT_EQ(a.results[i].cells_certified, b.results[i].cells_certified);
+      EXPECT_EQ(a.results[i].certified, b.results[i].certified);
+      // Bit-level equality, not EXPECT_DOUBLE_EQ: spliced certificates
+      // must be indistinguishable from recomputed ones.
+      EXPECT_EQ(std::memcmp(&a.results[i].zone_temp, &b.results[i].zone_temp, sizeof(Interval)),
+                0);
+      EXPECT_EQ(
+          std::memcmp(&a.results[i].next_state, &b.results[i].next_state, sizeof(Interval)), 0);
+    }
+  }
+
+  static std::shared_ptr<dyn::DynamicsModel> model_;
+};
+
+std::shared_ptr<dyn::DynamicsModel> IncrementalRecertTest::model_;
+
+TEST_F(IncrementalRecertTest, ColdCacheMatchesFullRunAcrossThreadCounts) {
+  const DtPolicy policy = hold_policy();
+  const auto full = engine_with_threads(1).verify_interval(policy, *model_, winter());
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    const VerificationEngine engine = engine_with_threads(threads);
+    CertificateCache cache;
+    RecertStats stats;
+    const auto incremental =
+        engine.verify_interval_incremental(policy, *model_, winter(), cache, {}, {}, {}, &stats);
+    expect_reports_identical(incremental, full);
+    // A cold cache is total invalidation: the fallback fires, every cell
+    // is computed, and the cache comes out warm.
+    EXPECT_TRUE(stats.fallback_full) << threads << " threads";
+    EXPECT_EQ(stats.cells_computed, stats.cells_total);
+    EXPECT_EQ(stats.cells_cached, 0u);
+    EXPECT_EQ(cache.size(), stats.cells_total);
+  }
+}
+
+TEST_F(IncrementalRecertTest, IdenticalRerunSplicesEverythingAndMatchesExactly) {
+  const DtPolicy policy = hold_policy();
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    const VerificationEngine engine = engine_with_threads(threads);
+    CertificateCache cache;
+    const auto first =
+        engine.verify_interval_incremental(policy, *model_, winter(), cache, {}, {}, {});
+    RecertStats stats;
+    const auto second =
+        engine.verify_interval_incremental(policy, *model_, winter(), cache, {}, {}, {}, &stats);
+    expect_reports_identical(second, first);
+    EXPECT_EQ(stats.cells_computed, 0u) << threads << " threads";
+    EXPECT_EQ(stats.cells_cached, stats.cells_total);
+    EXPECT_FALSE(stats.fallback_full);
+    EXPECT_FALSE(stats.dynamics_changed);
+    EXPECT_EQ(stats.diff_leaves_changed, 0u);
+  }
+}
+
+TEST_F(IncrementalRecertTest, LocalizedRelabelRecomputesOnlyThatLeafsCells) {
+  const DtPolicy incumbent = hold_policy();
+  const VerificationEngine engine = engine_with_threads(4);
+  CertificateCache cache;
+  const auto incumbent_report =
+      engine.verify_interval_incremental(incumbent, *model_, winter(), cache, {}, {}, {});
+  ASSERT_FALSE(incumbent_report.results.empty());
+
+  DtPolicy candidate = incumbent;
+  const int leaf = incumbent_report.results.front().leaf;
+  const int old_label = candidate.tree().node(static_cast<std::size_t>(leaf)).label;
+  candidate.mutable_tree().set_leaf_label(
+      leaf, (old_label + 1) % static_cast<int>(candidate.tree().num_classes()));
+
+  // Never fall back in this test: we are asserting the precise splice set.
+  RecertConfig recert;
+  recert.fallback_fraction = 1.1;
+  RecertStats stats;
+  const auto spliced = engine.verify_interval_incremental(candidate, *model_, winter(), cache,
+                                                          {}, {}, recert, &stats);
+  const auto full = engine.verify_interval(candidate, *model_, winter());
+  expect_reports_identical(spliced, full);
+
+  // Only the relabeled leaf's cells were invalidated (its action dims
+  // changed); every untouched leaf spliced.
+  std::size_t relabeled_cells = 0;
+  for (const IntervalLeafResult& r : full.results) {
+    if (r.leaf == leaf) relabeled_cells = r.cells;
+  }
+  ASSERT_GT(relabeled_cells, 0u);
+  EXPECT_EQ(stats.cells_computed, relabeled_cells);
+  EXPECT_EQ(stats.cells_cached, stats.cells_total - relabeled_cells);
+  EXPECT_FALSE(stats.fallback_full);
+  EXPECT_FALSE(stats.dynamics_changed);
+  EXPECT_EQ(stats.diff_leaves_changed, 1u);
+}
+
+TEST_F(IncrementalRecertTest, FineTunedModelTripsFullFallback) {
+  const DtPolicy policy = hold_policy();
+  const VerificationEngine engine = engine_with_threads(4);
+  CertificateCache cache;
+  engine.verify_interval_incremental(policy, *model_, winter(), cache, {}, {}, {});
+
+  dyn::DynamicsModel tuned(*model_);
+  tuned.fine_tune(testutil::toy_history(200, 21), 2);
+  RecertStats stats;
+  const auto spliced =
+      engine.verify_interval_incremental(policy, tuned, winter(), cache, {}, {}, {}, &stats);
+  const auto full = engine.verify_interval(policy, tuned, winter());
+  expect_reports_identical(spliced, full);
+  EXPECT_TRUE(stats.dynamics_changed);
+  EXPECT_TRUE(stats.fallback_full);
+  EXPECT_EQ(stats.cells_computed, stats.cells_total);
+  EXPECT_EQ(stats.cells_cached, 0u);
+}
+
+TEST_F(IncrementalRecertTest, DisabledFallbackStillProducesIdenticalReports) {
+  // With the fallback disabled a broad invalidation degrades to "miss
+  // everything, recompute everything" — slower, never wrong.
+  const DtPolicy policy = hold_policy();
+  const VerificationEngine engine = engine_with_threads(4);
+  CertificateCache cache;
+  engine.verify_interval_incremental(policy, *model_, winter(), cache, {}, {}, {});
+
+  dyn::DynamicsModel tuned(*model_);
+  tuned.fine_tune(testutil::toy_history(200, 22), 2);
+  RecertConfig recert;
+  recert.fallback_fraction = 1.1;
+  RecertStats stats;
+  const auto spliced =
+      engine.verify_interval_incremental(policy, tuned, winter(), cache, {}, {}, recert, &stats);
+  expect_reports_identical(spliced, engine.verify_interval(policy, tuned, winter()));
+  EXPECT_FALSE(stats.fallback_full);
+  EXPECT_TRUE(stats.dynamics_changed);
+  EXPECT_EQ(stats.cells_computed, stats.cells_total);
+}
+
+TEST_F(IncrementalRecertTest, EngineStatsAccumulateAcrossRuns) {
+  const DtPolicy policy = hold_policy();
+  const VerificationEngine engine = engine_with_threads(2);
+  CertificateCache cache;
+  engine.verify_interval(policy, *model_, winter());
+  engine.verify_interval_incremental(policy, *model_, winter(), cache, {}, {}, {});
+  engine.verify_interval_incremental(policy, *model_, winter(), cache, {}, {}, {});
+
+  const VerificationEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.interval_runs, 1u);
+  EXPECT_EQ(stats.incremental_runs, 2u);
+  EXPECT_EQ(stats.recert_fallbacks, 1u);  // the cold first incremental run
+  EXPECT_GT(stats.recert_cells_total, 0u);
+  EXPECT_EQ(stats.recert_cells_total, stats.recert_cells_cached + stats.recert_cells_computed);
+}
+
+}  // namespace
+}  // namespace verihvac::core

@@ -125,7 +125,8 @@ TEST(PolicyIoTest, SchemaIsPersistedInBundle) {
   std::stringstream buffer;
   write_policy(original, buffer);
   const std::string text = buffer.str();
-  EXPECT_NE(text.find("verihvac-policy v2\nschema baseline 6\n"), std::string::npos);
+  EXPECT_NE(text.find("verihvac-policy v3\nfingerprint "), std::string::npos);
+  EXPECT_NE(text.find("\nschema baseline 6\n"), std::string::npos);
   EXPECT_NE(text.find("feature zone_temp_c degC state zone_temp"), std::string::npos);
   std::stringstream in(text);
   EXPECT_EQ(read_policy(in).schema(), env::baseline_schema());
@@ -157,19 +158,30 @@ TEST(PolicyIoTest, TimeAwareSchemaRoundTrip) {
   }
 }
 
+/// Deletes the "fingerprint <hex>" line a v3 bundle carries, for building
+/// the legacy v1/v2 texts the reader must keep accepting.
+void erase_fingerprint_line(std::string& text) {
+  const auto start = text.find("\nfingerprint ");
+  ASSERT_NE(start, std::string::npos);
+  const auto end = text.find('\n', start + 1);
+  text.erase(start + 1, end - start);
+}
+
 TEST(PolicyIoTest, V1BundleLoadsAsBaselineSchema) {
-  // v1 bundles predate persisted schemas: header line then action grid,
-  // no schema block. The reader must treat them as the implicit baseline
-  // 6-dim layout and make every original decision unchanged.
+  // v1 bundles predate persisted schemas and fingerprints: header line
+  // then action grid, nothing else. The reader must treat them as the
+  // implicit baseline 6-dim layout and make every original decision
+  // unchanged.
   const DtPolicy original = make_policy();
   std::stringstream buffer;
   write_policy(original, buffer);
   std::string text = buffer.str();
   const auto [schema_start, schema_len] = schema_block_span(text);
   text.erase(schema_start, schema_len);
-  const auto pos = text.find("verihvac-policy v2");
+  erase_fingerprint_line(text);
+  const auto pos = text.find("verihvac-policy v3");
   ASSERT_NE(pos, std::string::npos);
-  text.replace(pos, std::string("verihvac-policy v2").size(), "verihvac-policy v1");
+  text.replace(pos, std::string("verihvac-policy v3").size(), "verihvac-policy v1");
 
   std::stringstream v1(text);
   const DtPolicy reloaded = read_policy(v1);
@@ -183,6 +195,24 @@ TEST(PolicyIoTest, V1BundleLoadsAsBaselineSchema) {
     EXPECT_DOUBLE_EQ(a.heating_c, b.heating_c);
     EXPECT_DOUBLE_EQ(a.cooling_c, b.cooling_c);
   }
+}
+
+TEST(PolicyIoTest, V2BundleLoadsWithSchemaAndNoFingerprintCheck) {
+  // v2 bundles carry the schema block but predate the fingerprint line.
+  // They must keep loading with the persisted schema intact.
+  const DtPolicy original = make_time_aware_policy();
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  std::string text = buffer.str();
+  erase_fingerprint_line(text);
+  const auto pos = text.find("verihvac-policy v3");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("verihvac-policy v3").size(), "verihvac-policy v2");
+
+  std::stringstream v2(text);
+  const DtPolicy reloaded = read_policy(v2);
+  EXPECT_EQ(reloaded.schema(), env::time_aware_schema());
+  EXPECT_EQ(reloaded.tree().node_count(), original.tree().node_count());
 }
 
 TEST(PolicyIoTest, RejectsSchemaTreeDimsMismatch) {
@@ -210,15 +240,48 @@ TEST(PolicyIoTest, RejectsBadHeader) {
 }
 
 TEST(PolicyIoTest, RejectsWrongPolicyVersionLine) {
-  // A valid bundle whose policy version line claims an unknown v3: the
+  // A valid bundle whose policy version line claims an unknown v9: the
   // reader must refuse rather than guess at the format.
   const DtPolicy original = make_policy();
   std::stringstream buffer;
   write_policy(original, buffer);
   std::string text = buffer.str();
-  const auto pos = text.find("verihvac-policy v2");
+  const auto pos = text.find("verihvac-policy v3");
   ASSERT_NE(pos, std::string::npos);
-  text.replace(pos, std::string("verihvac-policy v2").size(), "verihvac-policy v3");
+  text.replace(pos, std::string("verihvac-policy v3").size(), "verihvac-policy v9");
+  std::stringstream tampered(text);
+  EXPECT_THROW(read_policy(tampered), std::runtime_error);
+}
+
+TEST(PolicyIoTest, RejectsTamperedFingerprintLine) {
+  // Flipping one hex digit of the stated fingerprint must fail the load:
+  // the reader recomputes the content hash and compares.
+  const DtPolicy original = make_policy();
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  std::string text = buffer.str();
+  const auto pos = text.find("fingerprint ");
+  ASSERT_NE(pos, std::string::npos);
+  char& digit = text[pos + std::string("fingerprint ").size()];
+  digit = digit == '0' ? '1' : '0';
+  std::stringstream tampered(text);
+  EXPECT_THROW(read_policy(tampered), std::runtime_error);
+}
+
+TEST(PolicyIoTest, RejectsContentTamperViaFingerprint) {
+  // Alter bundle *content* that every legacy structural check would accept
+  // (a schema feature bound): the v3 fingerprint must still catch it, so a
+  // bit-rotted or hand-edited bundle cannot masquerade as the certified
+  // artifact.
+  const DtPolicy original = make_policy();
+  std::stringstream buffer;
+  write_policy(original, buffer);
+  std::string text = buffer.str();
+  const auto line = text.find("feature zone_temp_c ");
+  ASSERT_NE(line, std::string::npos);
+  const auto eol = text.find('\n', line);
+  const auto space = text.rfind(' ', eol);  // start of the <hi> bound token
+  text.replace(space + 1, eol - space - 1, "99");
   std::stringstream tampered(text);
   EXPECT_THROW(read_policy(tampered), std::runtime_error);
 }
