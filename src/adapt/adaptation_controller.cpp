@@ -11,6 +11,7 @@
 #include "core/decision_data.hpp"
 #include "core/verification.hpp"
 #include "envlib/env.hpp"
+#include "obs/trace.hpp"
 
 namespace verihvac::adapt {
 
@@ -58,7 +59,15 @@ AdaptationController::AdaptationController(AdaptationConfig config,
       scheduler_(scheduler),
       pool_(pool != nullptr ? std::move(pool) : common::TaskPool::shared()),
       engine_(pool_),
-      monitor_(config_.drift) {
+      monitor_(config_.drift),
+      obs_{&obs::counter("adapt_records_drained_total"),
+           &obs::counter("adapt_records_lost_total"),
+           &obs::counter("adapt_transitions_total"),
+           &obs::counter("adapt_drift_events_total"),
+           &obs::counter("adapt_attempts_total"),
+           &obs::counter("adapt_promotions_total"),
+           &obs::counter("adapt_sessions_evicted_total"),
+           &obs::histogram("adapt_generation_seconds")} {
   if (telemetry_ == nullptr || registry_ == nullptr || sessions_ == nullptr) {
     throw std::invalid_argument(
         "AdaptationController: telemetry, registry and sessions must be non-null");
@@ -132,6 +141,8 @@ std::size_t AdaptationController::pump() {
     stats_.records_lost += lost;
     if (!drain_buffer_.empty()) fresh = pair_records(drain_buffer_);
   }
+  if (!drain_buffer_.empty()) obs_.records_drained->add(drain_buffer_.size());
+  if (lost > 0) obs_.records_lost->add(lost);
 
   // Residual scoring — per-transition model/ensemble forwards — runs
   // outside mutex_ so stats()/history() readers never wait on inference;
@@ -143,6 +154,11 @@ std::size_t AdaptationController::pump() {
   };
   std::vector<Alarm> alarms;
   dyn::PredictScratch scratch;
+  // The scoring pass that fires an alarm is the first span of the
+  // adaptation generation's trace: emitted retroactively (start pinned at
+  // loop entry) only when an alarm actually fires.
+  obs::TraceCollector& trace = obs::TraceCollector::global();
+  const std::uint64_t scan_start_ns = trace.enabled() && !fresh.empty() ? trace.now_ns() : 0;
   for (const PendingTransition& item : fresh) {
     if (item.model == nullptr && item.ensemble == nullptr) continue;
     // Residual: ensemble one-step mean when available (the epistemic
@@ -158,6 +174,11 @@ std::size_t AdaptationController::pump() {
       alarms.push_back({item.key, std::move(*event)});
     }
   }
+  if (!alarms.empty() && trace.enabled()) {
+    const std::uint64_t end_ns = trace.now_ns();
+    trace.emit("adapt.drift_alarm", "adapt", scan_start_ns,
+               end_ns > scan_start_ns ? end_ns - scan_start_ns : 1);
+  }
 
   struct Work {
     std::string key;
@@ -168,6 +189,8 @@ std::size_t AdaptationController::pump() {
     DriftEvent trigger;
   };
   std::vector<Work> work;
+  if (!fresh.empty()) obs_.transitions->add(fresh.size());
+  if (!alarms.empty()) obs_.drift_events->add(alarms.size());
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.transitions += fresh.size();
@@ -209,6 +232,8 @@ std::size_t AdaptationController::pump() {
   for (Work& item : work) {
     AdaptOutcome outcome = adapt_cluster(item.key, item.assets, item.snapshot, item.generation,
                                          item.trigger, item.recert_cache.get());
+    obs_.attempts->add(1);
+    if (outcome.report.promoted) obs_.promotions->add(1);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.adaptations_attempted;
     auto cluster_it = clusters_.find(item.key);
@@ -241,6 +266,7 @@ std::size_t AdaptationController::pump() {
   if (config_.evict_idle_decisions > 0) {
     const std::size_t evicted = sessions_->evict_idle(config_.evict_idle_decisions);
     if (evicted > 0) {
+      obs_.sessions_evicted->add(evicted);
       std::lock_guard<std::mutex> lock(mutex_);
       stats_.sessions_evicted += evicted;
     }
@@ -258,6 +284,7 @@ AdaptationController::AdaptOutcome AdaptationController::adapt_cluster(
     const std::string& key, const ClusterAssets& assets, const dyn::TransitionDataset& snapshot,
     std::uint64_t generation, const DriftEvent& trigger, core::CertificateCache* recert_cache) {
   const auto t0 = std::chrono::steady_clock::now();
+  const obs::TraceSpan generation_span("adapt.generation", "adapt");
   AdaptOutcome outcome;
   AdaptationReport& report = outcome.report;
   report.cluster = key;
@@ -283,36 +310,44 @@ AdaptationController::AdaptOutcome AdaptationController::adapt_cluster(
     // and the live ensemble (the residual baseline) only moves if this
     // attempt is promoted.
     auto candidate_model = std::make_shared<dyn::DynamicsModel>(*assets.model);
-    report.fine_tune_val_loss =
-        candidate_model->fine_tune(train, config_.fine_tune_epochs, generation).final_val_loss;
     std::shared_ptr<dyn::EnsembleDynamics> candidate_ensemble;
-    if (assets.ensemble != nullptr) {
-      candidate_ensemble = std::make_shared<dyn::EnsembleDynamics>(*assets.ensemble);
-      if (candidate_ensemble->trained()) {
-        candidate_ensemble->fine_tune(train, config_.fine_tune_epochs, generation);
-      } else {
-        candidate_ensemble->train(train);
+    {
+      const obs::TraceSpan span("adapt.fine_tune", "adapt");
+      report.fine_tune_val_loss =
+          candidate_model->fine_tune(train, config_.fine_tune_epochs, generation).final_val_loss;
+      if (assets.ensemble != nullptr) {
+        candidate_ensemble = std::make_shared<dyn::EnsembleDynamics>(*assets.ensemble);
+        if (candidate_ensemble->trained()) {
+          candidate_ensemble->fine_tune(train, config_.fine_tune_epochs, generation);
+        } else {
+          candidate_ensemble->train(train);
+        }
       }
     }
 
     // 3. Re-distill: VIPER against the fine-tuned teacher.
-    control::RandomShootingConfig teacher_rs = config_.teacher_rs;
-    teacher_rs.refine_first_action = true;
-    control::MbrlAgent teacher(*candidate_model, teacher_rs,
-                               control::ActionSpace(config_.action_space), config_.reward,
-                               derive_seed(config_.seed, generation, 1));
-    teacher.set_engine(control::RolloutEngine::shared());
-    core::ViperConfig viper = config_.viper;
-    viper.seed = derive_seed(config_.seed, generation, 2);
-    env::BuildingEnv viper_env(assets.env);
-    core::ViperResult distilled = core::viper_extract(teacher, viper_env, viper);
-    if (distilled.policy == nullptr) {
-      throw std::runtime_error("VIPER produced no policy");
+    std::shared_ptr<core::DtPolicy> candidate;
+    {
+      const obs::TraceSpan span("adapt.redistill", "adapt");
+      control::RandomShootingConfig teacher_rs = config_.teacher_rs;
+      teacher_rs.refine_first_action = true;
+      control::MbrlAgent teacher(*candidate_model, teacher_rs,
+                                 control::ActionSpace(config_.action_space), config_.reward,
+                                 derive_seed(config_.seed, generation, 1));
+      teacher.set_engine(control::RolloutEngine::shared());
+      core::ViperConfig viper = config_.viper;
+      viper.seed = derive_seed(config_.seed, generation, 2);
+      env::BuildingEnv viper_env(assets.env);
+      core::ViperResult distilled = core::viper_extract(teacher, viper_env, viper);
+      if (distilled.policy == nullptr) {
+        throw std::runtime_error("VIPER produced no policy");
+      }
+      candidate = std::make_shared<core::DtPolicy>(*distilled.policy);
     }
-    auto candidate = std::make_shared<core::DtPolicy>(*distilled.policy);
 
     // 4. Certify: Algorithm 1 with correction, clean formal re-check, then
     // criterion #1 Monte-Carlo over the snapshot's input distribution.
+    obs::TraceSpan recertify_span("adapt.recertify", "adapt");
     core::verify_formal(*candidate, config_.criteria, /*correct=*/true);
     report.formal = core::verify_formal(*candidate, config_.criteria, /*correct=*/false);
     // Certification distribution: fresh telemetry plus the cluster's
@@ -347,26 +382,31 @@ AdaptationController::AdaptOutcome AdaptationController::adapt_cluster(
     report.certified = report.formal.all_pass() &&
                        report.probabilistic.passes(config_.criteria) &&
                        report.interval.certified_fraction() >= config_.min_certified_fraction;
+    recertify_span.finish();
 
     // 5. Shadow gate on held-out telemetry, both bundles scored through
     // the candidate model (the best available picture of the drifted
     // plant).
-    const serve::PolicySnapshot incumbent = registry_->try_lookup(key);
-    report.shadow_candidate =
-        shadow_evaluate(*candidate, *candidate_model, holdout, config_.criteria.comfort);
-    if (incumbent.policy != nullptr) {
-      report.shadow_incumbent =
-          shadow_evaluate(*incumbent.policy, *candidate_model, holdout,
-                          config_.criteria.comfort);
-      report.shadow_passed = report.shadow_candidate.violation_rate() <=
-                             report.shadow_incumbent.violation_rate() + config_.shadow_margin;
-    } else {
-      report.shadow_passed = true;
+    {
+      const obs::TraceSpan span("adapt.shadow_gate", "adapt");
+      const serve::PolicySnapshot incumbent = registry_->try_lookup(key);
+      report.shadow_candidate =
+          shadow_evaluate(*candidate, *candidate_model, holdout, config_.criteria.comfort);
+      if (incumbent.policy != nullptr) {
+        report.shadow_incumbent =
+            shadow_evaluate(*incumbent.policy, *candidate_model, holdout,
+                            config_.criteria.comfort);
+        report.shadow_passed = report.shadow_candidate.violation_rate() <=
+                               report.shadow_incumbent.violation_rate() + config_.shadow_margin;
+      } else {
+        report.shadow_passed = true;
+      }
     }
 
     // 6. Promote only a certified, shadow-passed bundle. Registry install
     // is a hot swap: in-flight decisions finish on their snapshots.
     if (report.certified && report.shadow_passed) {
+      const obs::TraceSpan span("adapt.hot_swap", "adapt");
       report.promoted_policy_version = registry_->install(key, candidate);
       report.promoted_model_generation = scheduler_.install_model(key, candidate_model);
       report.promoted = true;
@@ -394,6 +434,7 @@ AdaptationController::AdaptOutcome AdaptationController::adapt_cluster(
   }
 
   report.seconds = seconds_since(t0);
+  obs_.generation_seconds->observe(report.seconds);
   return outcome;
 }
 

@@ -59,6 +59,7 @@
 #include "core/verification_engine.hpp"
 #include "core/viper.hpp"
 #include "dynamics/ensemble.hpp"
+#include "obs/instruments.hpp"
 #include "serve/request_scheduler.hpp"
 
 namespace verihvac::adapt {
@@ -221,6 +222,11 @@ class AdaptationController {
   void stop();
   bool running() const { return worker_.joinable(); }
 
+  /// Exact per-controller counters (under mutex_). Every field is also
+  /// published — process-cumulatively — into the obs registry
+  /// (`adapt_*_total`), and each generation's wall time feeds
+  /// `adapt_generation_seconds`; the stage breakdown lands in trace spans
+  /// (adapt.generation > fine_tune/redistill/recertify/shadow_gate/hot_swap).
   struct Stats {
     std::uint64_t records_drained = 0;
     std::uint64_t records_lost = 0;
@@ -300,6 +306,20 @@ class AdaptationController {
   std::vector<TelemetryRecord> drain_buffer_;
   std::vector<AdaptationReport> history_;
   Stats stats_;
+
+  /// Process-wide obs instruments mirroring Stats (resolved once; the
+  /// global registry outlives every controller).
+  struct ObsHandles {
+    obs::Counter* records_drained;
+    obs::Counter* records_lost;
+    obs::Counter* transitions;
+    obs::Counter* drift_events;
+    obs::Counter* attempts;
+    obs::Counter* promotions;
+    obs::Counter* sessions_evicted;
+    obs::Histogram* generation_seconds;
+  };
+  ObsHandles obs_;
 
   std::mutex worker_mutex_;
   std::condition_variable worker_cv_;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/instruments.hpp"
 
 namespace verihvac::adapt {
 
@@ -91,6 +92,15 @@ class DriftMonitor {
   DriftMonitorConfig config_;
   mutable std::mutex mutex_;
   std::map<std::string, Cluster> clusters_;
+
+  /// Process-wide obs instruments: every scored residual feeds the
+  /// `adapt_drift_residual` histogram (its quantiles are the earliest
+  /// drift signal) and fired alarms count into `adapt_drift_alarms_total`.
+  struct ObsHandles {
+    obs::Histogram* residual;
+    obs::Counter* alarms;
+  };
+  ObsHandles obs_;
 };
 
 }  // namespace verihvac::adapt

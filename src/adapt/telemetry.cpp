@@ -36,7 +36,9 @@ std::vector<env::Disturbance> TelemetryRecord::forecast_vector() const {
   return out;
 }
 
-TelemetryLog::TelemetryLog(TelemetryConfig config) : config_(config) {
+TelemetryLog::TelemetryLog(TelemetryConfig config)
+    : config_(config),
+      obs_{&obs::counter("telemetry_records_total"), &obs::counter("telemetry_lost_total")} {
   if (config_.shards == 0) config_.shards = 1;
   config_.shards = round_up_pow2(config_.shards);
   shard_mask_ = config_.shards - 1;
@@ -163,6 +165,7 @@ void TelemetryLog::on_decision(const serve::DecisionEvent& event) noexcept {
   r.forecast_ticket = has_forecast ? forecast_ticket + 1 : 0;  // 0 = none
 
   slot.seq.store(2 * ticket + 2, std::memory_order_release);
+  obs_.records->add(1);
 }
 
 std::uint64_t TelemetryLog::drain(std::vector<TelemetryRecord>& out) {
@@ -242,6 +245,7 @@ std::uint64_t TelemetryLog::drain(std::vector<TelemetryRecord>& out) {
     shard.tail = t;
   }
   lost_.fetch_add(lost, std::memory_order_relaxed);
+  if (lost > 0) obs_.lost->add(lost);
   return lost;
 }
 

@@ -67,6 +67,7 @@
 #include "control/random_shooting.hpp"
 #include "core/dt_policy.hpp"
 #include "dynamics/dataset.hpp"
+#include "obs/instruments.hpp"
 #include "serve/decision_tap.hpp"
 
 namespace verihvac::adapt {
@@ -198,7 +199,9 @@ class TelemetryLog : public serve::DecisionTap {
   std::uint64_t drain(std::vector<TelemetryRecord>& out);
 
   /// Monotonic counters. `recorded` counts successful ring publications;
-  /// `lost` accumulates drain()-detected losses.
+  /// `lost` accumulates drain()-detected losses. Dual-published: this
+  /// per-log snapshot stays exact; publications and losses also land in
+  /// the process-wide obs registry (`telemetry_*` instruments).
   struct Stats {
     std::uint64_t recorded = 0;
     std::uint64_t lost = 0;
@@ -253,6 +256,13 @@ class TelemetryLog : public serve::DecisionTap {
   std::size_t dt_sample_mask_ = 0;  ///< 0 = record every DT decision
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> lost_{0};
+
+  /// Process-wide obs instruments (resolved once at construction).
+  struct ObsHandles {
+    obs::Counter* records;
+    obs::Counter* lost;
+  };
+  ObsHandles obs_;
 
   mutable std::mutex sessions_mutex_;
   std::map<serve::SessionId, TelemetrySession> sessions_;

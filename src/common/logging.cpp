@@ -1,6 +1,9 @@
 #include "common/logging.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 
 #include "common/config.hpp"
 
@@ -14,9 +17,20 @@ LogLevel parse_level(const std::string& raw) {
   return LogLevel::kInfo;
 }
 
-LogLevel& threshold_storage() {
-  static LogLevel level = parse_level(env_or("VERI_HVAC_LOG", "info"));
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> level{-1};  // -1 = not yet initialized
   return level;
+}
+
+std::atomic<LogHook>& hook_storage() {
+  static std::atomic<LogHook> hook{nullptr};
+  return hook;
+}
+
+/// Monotonic epoch for the timestamp prefix, pinned on first use.
+std::chrono::steady_clock::time_point uptime_epoch() {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return epoch;
 }
 
 const char* level_name(LogLevel level) {
@@ -31,12 +45,41 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_threshold() { return threshold_storage(); }
+LogLevel log_threshold() {
+  std::atomic<int>& storage = threshold_storage();
+  int raw = storage.load(std::memory_order_acquire);
+  if (raw < 0) {
+    // First call races are resolved by the once_flag: exactly one thread
+    // reads the environment; the rest observe its published store.
+    static std::once_flag once;
+    std::call_once(once, [&storage] {
+      int expected = -1;
+      const int parsed = static_cast<int>(parse_level(env_or("VERI_HVAC_LOG", "info")));
+      // compare_exchange: an explicit set_log_threshold that beat the lazy
+      // env read must win.
+      storage.compare_exchange_strong(expected, parsed, std::memory_order_acq_rel);
+    });
+    raw = storage.load(std::memory_order_acquire);
+  }
+  return static_cast<LogLevel>(raw);
+}
 
-void set_log_threshold(LogLevel level) { threshold_storage() = level; }
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level), std::memory_order_release);
+}
+
+double log_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - uptime_epoch()).count();
+}
+
+LogHook set_log_hook(LogHook hook) {
+  return hook_storage().exchange(hook, std::memory_order_acq_rel);
+}
 
 void log_message(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[%10.3f] [%s] %s\n", log_uptime_seconds(), level_name(level),
+               message.c_str());
+  if (const LogHook hook = hook_storage().load(std::memory_order_acquire)) hook(level);
 }
 
 }  // namespace verihvac

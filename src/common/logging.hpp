@@ -1,8 +1,11 @@
 // Leveled stderr logging.
 //
-// Kept intentionally minimal: experiments are batch jobs, so a
-// timestamp-free leveled logger with an env-controlled threshold
-// (VERI_HVAC_LOG=debug|info|warn|error, default info) is all that is needed.
+// Kept intentionally minimal: a leveled logger with an env-controlled
+// threshold (VERI_HVAC_LOG=debug|info|warn|error, default info) and
+// monotonic-since-start timestamps. The threshold is an atomic behind a
+// once-initialized load, so the first log call from any thread is safe.
+// An optional process-wide hook observes emitted lines — obs uses it to
+// count warn/error rates without this leaf layer depending on obs.
 #pragma once
 
 #include <sstream>
@@ -12,9 +15,19 @@ namespace verihvac {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global threshold, initialized once from VERI_HVAC_LOG.
+/// Global threshold, initialized once from VERI_HVAC_LOG (thread-safe).
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
+
+/// Monotonic seconds since logging start (the timestamp prefix's clock).
+double log_uptime_seconds();
+
+/// Observer invoked for every emitted (post-threshold) line. One hook
+/// process-wide; nullptr uninstalls; returns the previous hook so callers
+/// can restore it. Hooks must be signal-safe-ish: no logging from inside
+/// the hook.
+using LogHook = void (*)(LogLevel);
+LogHook set_log_hook(LogHook hook);
 
 void log_message(LogLevel level, const std::string& message);
 

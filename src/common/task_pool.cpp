@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -9,6 +10,41 @@
 #include <mutex>
 
 namespace verihvac::common {
+namespace {
+
+// Process-wide (all pools share the hook, so the in-flight gauge spans
+// pools too — the shared pool is the one that matters in production).
+std::atomic<TaskPool::MetricsHook> g_metrics_hook{nullptr};
+std::atomic<std::size_t> g_active_jobs{0};
+
+/// RAII observation around one parallel_for: times the fan-out and fires
+/// the hook on exit. No clock reads while no hook is installed, so the
+/// instrumented and uninstrumented paths only differ by one relaxed load.
+class ScopedPoolObservation {
+ public:
+  explicit ScopedPoolObservation(std::size_t items)
+      : hook_(g_metrics_hook.load(std::memory_order_relaxed)), items_(items) {
+    if (hook_ == nullptr) return;
+    active_ = g_active_jobs.fetch_add(1, std::memory_order_relaxed) + 1;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedPoolObservation() {
+    if (hook_ == nullptr) return;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    g_active_jobs.fetch_sub(1, std::memory_order_relaxed);
+    hook_(items_, seconds, active_);
+  }
+
+ private:
+  TaskPool::MetricsHook hook_;
+  std::size_t items_;
+  std::size_t active_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace
 
 // Shared state for one parallel_for invocation plus the pool's lifecycle.
 // Workers sleep on `cv_work` between jobs; the caller sleeps on `cv_done`
@@ -93,6 +129,7 @@ void TaskPool::worker_loop(std::size_t worker_id) {
 void TaskPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& body) const {
   if (n == 0) return;
+  ScopedPoolObservation observation(n);
   if (workers_.empty() || n < config_.min_parallel_batch) {
     body(0, 0, n);
     return;
@@ -120,6 +157,10 @@ void TaskPool::parallel_for(
   job.cv_done.wait(lock, [&] { return job.workers_running == 0; });
   job.body = nullptr;
   if (job.first_error) std::rethrow_exception(job.first_error);
+}
+
+TaskPool::MetricsHook TaskPool::set_metrics_hook(MetricsHook hook) {
+  return g_metrics_hook.exchange(hook, std::memory_order_acq_rel);
 }
 
 std::shared_ptr<const TaskPool> TaskPool::shared() {

@@ -57,6 +57,14 @@ class TaskPool {
   /// hardware concurrency). VERI_HVAC_THREADS=1 forces serial execution.
   static std::shared_ptr<const TaskPool> shared();
 
+  /// Observability hook called after every parallel_for with the item
+  /// count, the fan-out's wall time, and how many parallel_for invocations
+  /// were in flight (across all pools) when this one started. One hook
+  /// process-wide (obs installs it); nullptr uninstalls. Returns the
+  /// previously installed hook. The hook must not call parallel_for.
+  using MetricsHook = void (*)(std::size_t items, double seconds, std::size_t active);
+  static MetricsHook set_metrics_hook(MetricsHook hook);
+
  private:
   struct Job;
 

@@ -190,7 +190,12 @@ bool certificate_keys_equal(const CertificateKey& a, const CertificateKey& b) {
   return a.dynamics_hash == b.dynamics_hash && box_bits_equal(a.cell, b.cell);
 }
 
-CertificateCache::CertificateCache(std::size_t max_entries) : max_entries_(max_entries) {}
+CertificateCache::CertificateCache(std::size_t max_entries)
+    : max_entries_(max_entries),
+      obs_{&obs::counter("certcache_lookups_total"), &obs::counter("certcache_hits_total"),
+           &obs::counter("certcache_misses_total"), &obs::counter("certcache_collisions_total"),
+           &obs::counter("certcache_insertions_total"),
+           &obs::counter("certcache_evictions_total")} {}
 
 std::optional<Interval> CertificateCache::lookup(const CertificateKey& key) {
   return lookup_in_slot(hash_certificate_key(key), key);
@@ -203,9 +208,11 @@ void CertificateCache::insert(const CertificateKey& key, const Interval& image) 
 std::optional<Interval> CertificateCache::lookup_in_slot(std::uint64_t slot,
                                                          const CertificateKey& key) {
   ++stats_.lookups;
+  obs_.lookups->add(1);
   const auto it = entries_.find(slot);
   if (it == entries_.end()) {
     ++stats_.misses;
+    obs_.misses->add(1);
     return std::nullopt;
   }
   if (!certificate_keys_equal(it->second.key, key)) {
@@ -213,10 +220,13 @@ std::optional<Interval> CertificateCache::lookup_in_slot(std::uint64_t slot,
     // different (model, cell) and must never be spliced into a report.
     ++stats_.misses;
     ++stats_.collisions;
+    obs_.misses->add(1);
+    obs_.collisions->add(1);
     return std::nullopt;
   }
   it->second.tick = ++tick_;
   ++stats_.hits;
+  obs_.hits->add(1);
   return it->second.image;
 }
 
@@ -232,6 +242,7 @@ void CertificateCache::insert_in_slot(std::uint64_t slot, const CertificateKey& 
   entry.tick = ++tick_;
   entries_[slot] = std::move(entry);
   ++stats_.insertions;
+  obs_.insertions->add(1);
 }
 
 void CertificateCache::evict_one() {
@@ -241,6 +252,7 @@ void CertificateCache::evict_one() {
   }
   entries_.erase(victim);
   ++stats_.evictions;
+  obs_.evictions->add(1);
 }
 
 void CertificateCache::note_certified(const DtPolicy& policy, std::uint64_t dynamics_hash) {

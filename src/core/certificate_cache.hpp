@@ -46,6 +46,7 @@
 
 #include "core/dt_policy.hpp"
 #include "dynamics/dynamics_model.hpp"
+#include "obs/instruments.hpp"
 
 namespace verihvac::core {
 
@@ -179,6 +180,9 @@ class CertificateCache {
   void clear();
 
   /// Cumulative counters since construction (never reset by clear()).
+  /// Dual-published: this per-instance snapshot stays exact for tests and
+  /// per-cluster accounting, while every increment also lands in the
+  /// process-wide obs registry (`certcache_*` instruments).
   struct Stats {
     std::uint64_t lookups = 0;
     std::uint64_t hits = 0;
@@ -202,6 +206,17 @@ class CertificateCache {
   std::uint64_t tick_ = 0;
   std::unordered_map<std::uint64_t, Entry> entries_;
   Stats stats_;
+
+  /// Process-wide obs instruments (resolved once at construction).
+  struct ObsHandles {
+    obs::Counter* lookups;
+    obs::Counter* hits;
+    obs::Counter* misses;
+    obs::Counter* collisions;
+    obs::Counter* insertions;
+    obs::Counter* evictions;
+  };
+  ObsHandles obs_;
 
   bool has_incumbent_ = false;
   std::uint64_t incumbent_dynamics_hash_ = 0;

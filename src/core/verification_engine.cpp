@@ -7,15 +7,25 @@
 #include <utility>
 
 #include "envlib/observation.hpp"
+#include "obs/trace.hpp"
 
 namespace verihvac::core {
 
 VerificationEngine::VerificationEngine(std::shared_ptr<const common::TaskPool> pool)
-    : pool_(pool ? std::move(pool) : common::TaskPool::shared()) {}
+    : pool_(pool ? std::move(pool) : common::TaskPool::shared()),
+      obs_{&obs::counter("verify_probabilistic_runs_total"),
+           &obs::counter("verify_interval_runs_total"),
+           &obs::counter("verify_incremental_runs_total"),
+           &obs::counter("verify_reach_runs_total"), &obs::counter("verify_recert_cells_total"),
+           &obs::counter("verify_recert_cells_cached_total"),
+           &obs::counter("verify_recert_cells_computed_total"),
+           &obs::counter("verify_recert_fallbacks_total")} {}
 
 ProbabilisticReport VerificationEngine::verify_probabilistic(
     const DtPolicy& policy, const dyn::DynamicsModel& model, const AugmentedSampler& sampler,
     const VerificationCriteria& criteria, std::size_t n_samples, std::uint64_t seed) const {
+  const obs::TraceSpan span("verify.probabilistic", "verify");
+  obs_.probabilistic_runs->add(1);
   ProbabilisticReport report;
   if (n_samples == 0) {
     // "Not measured" must not render as 0% safe (same convention as
@@ -91,6 +101,7 @@ IntervalReport VerificationEngine::verify_interval(const DtPolicy& policy,
                                                    const VerificationCriteria& criteria,
                                                    const DisturbanceBounds& bounds,
                                                    const IntervalVerifyConfig& config) const {
+  const obs::TraceSpan span("verify.interval", "verify");
   IntervalReport report;
   const std::vector<IntervalWorkItem> items =
       interval_work_items(policy, criteria, bounds, config, report.leaves_total);
@@ -127,6 +138,7 @@ IntervalReport VerificationEngine::verify_interval(const DtPolicy& policy,
     report.results.push_back(std::move(result));
   }
   interval_runs_.fetch_add(1, std::memory_order_relaxed);
+  obs_.interval_runs->add(1);
   return report;
 }
 
@@ -135,6 +147,7 @@ IntervalReport VerificationEngine::verify_interval_incremental(
     const VerificationCriteria& criteria, CertificateCache& cache,
     const DisturbanceBounds& bounds, const IntervalVerifyConfig& config,
     const RecertConfig& recert, RecertStats* run_stats) const {
+  const obs::TraceSpan span("verify.interval_incremental", "verify");
   IntervalReport report;
   const std::vector<IntervalWorkItem> items =
       interval_work_items(policy, criteria, bounds, config, report.leaves_total);
@@ -225,6 +238,11 @@ IntervalReport VerificationEngine::verify_interval_incremental(
   recert_cells_cached_.fetch_add(stats.cells_cached, std::memory_order_relaxed);
   recert_cells_computed_.fetch_add(stats.cells_computed, std::memory_order_relaxed);
   if (stats.fallback_full) recert_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  obs_.incremental_runs->add(1);
+  obs_.recert_cells_total->add(stats.cells_total);
+  obs_.recert_cells_cached->add(stats.cells_cached);
+  obs_.recert_cells_computed->add(stats.cells_computed);
+  if (stats.fallback_full) obs_.recert_fallbacks->add(1);
   if (run_stats != nullptr) *run_stats = stats;
   return report;
 }
@@ -244,6 +262,8 @@ std::vector<ReachabilityResult> VerificationEngine::reach_tubes(
     const DtPolicy& policy, const dyn::DynamicsModel& model,
     const std::vector<std::vector<double>>& initial_states,
     const std::vector<env::Disturbance>& disturbances, std::size_t horizon) const {
+  const obs::TraceSpan span("verify.reach_tubes", "verify");
+  obs_.reach_runs->add(1);
   std::vector<ReachabilityResult> tubes(initial_states.size());
   std::vector<dyn::PredictScratch> scratches(pool_->thread_count());
   pool_->parallel_for(initial_states.size(),

@@ -33,6 +33,7 @@
 #include "core/interval_verify.hpp"
 #include "core/reachability.hpp"
 #include "core/verification.hpp"
+#include "obs/instruments.hpp"
 
 namespace verihvac::core {
 
@@ -91,7 +92,10 @@ class VerificationEngine {
 
   /// Cumulative certification observability (atomic; snapshot is not a
   /// consistent cross-counter transaction). Surfaced in the adaptation
-  /// promotion log lines and the recert bench JSON.
+  /// promotion log lines and the recert bench JSON. Dual-published: this
+  /// per-engine snapshot stays exact, and every increment also lands in
+  /// the process-wide obs registry (`verify_*` instruments); each entry
+  /// point additionally opens a "verify" trace span.
   struct Stats {
     std::uint64_t interval_runs = 0;       ///< full verify_interval calls
     std::uint64_t incremental_runs = 0;    ///< verify_interval_incremental calls
@@ -121,6 +125,19 @@ class VerificationEngine {
   mutable std::atomic<std::uint64_t> recert_cells_cached_{0};
   mutable std::atomic<std::uint64_t> recert_cells_computed_{0};
   mutable std::atomic<std::uint64_t> recert_fallbacks_{0};
+
+  /// Process-wide obs instruments (resolved once at construction).
+  struct ObsHandles {
+    obs::Counter* probabilistic_runs;
+    obs::Counter* interval_runs;
+    obs::Counter* incremental_runs;
+    obs::Counter* reach_runs;
+    obs::Counter* recert_cells_total;
+    obs::Counter* recert_cells_cached;
+    obs::Counter* recert_cells_computed;
+    obs::Counter* recert_fallbacks;
+  };
+  ObsHandles obs_;
 };
 
 }  // namespace verihvac::core

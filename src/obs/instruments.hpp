@@ -1,0 +1,54 @@
+// The instrument catalog: every well-known metric the stack publishes,
+// with type, meaning and alert guidance.
+//
+// This table is the single source of truth for observability surface:
+//   * production code resolves handles through obs::counter/gauge/
+//     histogram(name), which REQUIRES the name to be cataloged (a typo
+//     throws at construction instead of silently minting an orphan);
+//   * docs/OPERATIONS.md's monitoring table is generated from it, and
+//     tools/check_metrics_docs.py fails CI when they diverge;
+//   * `verihvac_cli stats` registers the whole catalog so an exposition
+//     dump lists every instrument even before traffic touches it.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace verihvac::obs {
+
+struct InstrumentSpec {
+  const char* name;
+  InstrumentKind kind;
+  /// One-line meaning (doubles as the exposition HELP text).
+  const char* help;
+  /// What an operator should do when this instrument misbehaves.
+  const char* alert;
+};
+
+/// Every cataloged instrument, grouped by subsystem. check_metrics_docs.py
+/// parses the definition in instruments.cpp, so entries must stay literal.
+const std::vector<InstrumentSpec>& instrument_catalog();
+
+/// Catalog lookup (nullptr when `name` is not cataloged).
+const InstrumentSpec* find_instrument(const std::string& name);
+
+/// Resolve a cataloged instrument in the global registry (get-or-create
+/// with the catalog help). Throws std::invalid_argument for names missing
+/// from the catalog or cataloged under a different kind — instrument
+/// typos fail loudly at handle-resolution time, not silently at scrape
+/// time.
+Counter& counter(const char* name);
+Gauge& gauge(const char* name);
+Histogram& histogram(const char* name);
+
+/// Registers every cataloged instrument in the global registry (idempotent)
+/// so expositions list the full surface with zero values.
+void register_catalog();
+
+namespace detail {
+/// Installs the logging / task-pool hooks that feed common-layer activity
+/// (log_warn_total, taskpool_*) into `registry`. Called once from
+/// MetricsRegistry::global(); must not call global() itself.
+void install_runtime_hooks(MetricsRegistry& registry);
+}  // namespace detail
+
+}  // namespace verihvac::obs

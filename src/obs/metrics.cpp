@@ -1,0 +1,220 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace verihvac::obs {
+namespace {
+
+constexpr double kHistogramBase = 1e-9;
+
+const std::array<double, kHistogramBuckets>& bucket_bounds() {
+  static const std::array<double, kHistogramBuckets> bounds = [] {
+    std::array<double, kHistogramBuckets> out{};
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      out[i] = std::ldexp(kHistogramBase, static_cast<int>(i));
+    }
+    return out;
+  }();
+  return bounds;
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+const char* kind_name(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+double histogram_bucket_upper_bound(std::size_t bucket) {
+  return bucket_bounds()[std::min(bucket, kHistogramBuckets - 1)];
+}
+
+std::size_t histogram_bucket_for(double value) {
+  const auto& bounds = bucket_bounds();
+  // First bucket whose (inclusive) upper bound admits the sample; the last
+  // bucket absorbs the overflow tail.
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  if (it == bounds.end()) return kHistogramBuckets - 1;
+  return static_cast<std::size_t>(it - bounds.begin());
+}
+
+namespace detail {
+
+std::size_t metric_shard_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot % kMetricShards;
+}
+
+}  // namespace detail
+
+void Histogram::observe(double value) noexcept {
+  if (!std::isfinite(value)) return;
+  detail::HistogramCell& cell = cells_[detail::metric_shard_slot()];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(value, std::memory_order_relaxed);
+  cell.buckets[histogram_bucket_for(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot out;
+  for (const auto& cell : cells_) {
+    out.count += cell.count.load(std::memory_order_relaxed);
+    out.sum += cell.sum.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      out.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [1, count]; walk buckets until the cumulative count
+  // reaches it, then interpolate linearly inside that bucket.
+  const double rank = 1.0 + q * static_cast<double>(count - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lower = b == 0 ? 0.0 : histogram_bucket_upper_bound(b - 1);
+    const double upper = histogram_bucket_upper_bound(b);
+    const double fraction = (rank - before) / static_cast<double>(buckets[b]);
+    return lower + fraction * (upper - lower);
+  }
+  return histogram_bucket_upper_bound(kHistogramBuckets - 1);
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name, InstrumentKind kind,
+                                               const std::string& help) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.info = {name, kind, help};
+    switch (kind) {
+      case InstrumentKind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+      case InstrumentKind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+      case InstrumentKind::kHistogram: entry.histogram = std::make_unique<Histogram>(); break;
+    }
+  } else if (entry.info.kind != kind) {
+    throw std::invalid_argument("metric '" + name + "' already registered as " +
+                                kind_name(entry.info.kind) + ", requested " + kind_name(kind));
+  }
+  if (entry.info.help.empty() && !help.empty()) entry.info.help = help;
+  return entry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *entry(name, InstrumentKind::kCounter, help).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *entry(name, InstrumentKind::kGauge, help).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *entry(name, InstrumentKind::kHistogram, help).histogram;
+}
+
+std::vector<InstrumentInfo> MetricsRegistry::instruments() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<InstrumentInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.info);
+  return out;
+}
+
+std::string MetricsRegistry::expose_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.info.help.empty()) os << "# HELP " << name << " " << entry.info.help << "\n";
+    os << "# TYPE " << name << " " << kind_name(entry.info.kind) << "\n";
+    switch (entry.info.kind) {
+      case InstrumentKind::kCounter: os << name << " " << entry.counter->value() << "\n"; break;
+      case InstrumentKind::kGauge:
+        os << name << " " << format_double(entry.gauge->value()) << "\n";
+        break;
+      case InstrumentKind::kHistogram: {
+        const Histogram::Snapshot snap = entry.histogram->snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+          if (snap.buckets[b] == 0) continue;
+          cumulative += snap.buckets[b];
+          os << name << "_bucket{le=\"" << format_double(histogram_bucket_upper_bound(b))
+             << "\"} " << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+        os << name << "_sum " << format_double(snap.sum) << "\n";
+        os << name << "_count " << snap.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::expose_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream counters;
+  std::ostringstream gauges;
+  std::ostringstream histograms;
+  bool first_counter = true;
+  bool first_gauge = true;
+  bool first_histogram = true;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.info.kind) {
+      case InstrumentKind::kCounter:
+        counters << (first_counter ? "" : ",") << "\"" << name << "\":" << entry.counter->value();
+        first_counter = false;
+        break;
+      case InstrumentKind::kGauge:
+        gauges << (first_gauge ? "" : ",") << "\"" << name
+               << "\":" << format_double(entry.gauge->value());
+        first_gauge = false;
+        break;
+      case InstrumentKind::kHistogram: {
+        const Histogram::Snapshot snap = entry.histogram->snapshot();
+        histograms << (first_histogram ? "" : ",") << "\"" << name << "\":{\"count\":" << snap.count
+                   << ",\"sum\":" << format_double(snap.sum) << ",\"buckets\":[";
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+          if (snap.buckets[b] == 0) continue;
+          histograms << (first_bucket ? "" : ",") << "["
+                     << format_double(histogram_bucket_upper_bound(b)) << ","
+                     << snap.buckets[b] << "]";
+          first_bucket = false;
+        }
+        histograms << "]}";
+        first_histogram = false;
+        break;
+      }
+    }
+  }
+  std::ostringstream os;
+  os << "{\"counters\":{" << counters.str() << "},\"gauges\":{" << gauges.str()
+     << "},\"histograms\":{" << histograms.str() << "}}";
+  return os.str();
+}
+
+}  // namespace verihvac::obs

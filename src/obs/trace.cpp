@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace verihvac::obs {
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+/// JSON-escapes a span name/category (literals are expected to be tame,
+/// but the dump must stay loadable regardless).
+void append_json_string(std::ostringstream& os, const char* text) {
+  os << '"';
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      os << buffer;
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() : epoch_ns_(steady_ns()) {}
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector instance;
+  return instance;
+}
+
+std::uint64_t TraceCollector::now_ns() const { return steady_ns() - epoch_ns_; }
+
+TraceCollector::ThreadRing& TraceCollector::ring_for_this_thread() {
+  thread_local const std::shared_ptr<ThreadRing> ring = [this] {
+    auto created = std::make_shared<ThreadRing>();
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    created->tid = static_cast<std::uint32_t>(rings_.size());
+    rings_.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+void TraceCollector::emit(const char* name, const char* category, std::uint64_t start_ns,
+                          std::uint64_t duration_ns) {
+  if (!enabled()) return;
+  ThreadRing& ring = ring_for_this_thread();
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[head % kRingCapacity];
+  // Single writer per ring (the owning thread): odd seq marks the rewrite
+  // window so snapshot() can skip torn slots.
+  slot.seq.store(slot.seq.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  slot.record = {name, category, start_ns, duration_ns, ring.tid};
+  slot.seq.store(slot.seq.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    for (Slot& slot : ring->slots) {
+      slot.seq.store(slot.seq.load(std::memory_order_relaxed) + 2, std::memory_order_release);
+      slot.record = SpanRecord{};
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+std::vector<SpanRecord> TraceCollector::snapshot() const {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings = rings_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& ring : rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t valid = std::min<std::uint64_t>(head, kRingCapacity);
+    for (std::uint64_t i = head - valid; i < head; ++i) {
+      const Slot& slot = ring->slots[i % kRingCapacity];
+      const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+      if (seq_before % 2 != 0) continue;  // mid-rewrite
+      const SpanRecord record = slot.record;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;  // torn
+      if (record.name == nullptr) continue;  // cleared slot
+      out.push_back(record);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+std::uint64_t TraceCollector::spans_dropped() const {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    if (head > kRingCapacity) dropped += head - kRingCapacity;
+  }
+  return dropped;
+}
+
+std::string TraceCollector::chrome_trace_json() const {
+  const std::vector<SpanRecord> spans = snapshot();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    os << (first ? "" : ",") << "{\"name\":";
+    append_json_string(os, span.name);
+    os << ",\"cat\":";
+    append_json_string(os, span.category);
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                  static_cast<double>(span.start_ns) / 1e3,
+                  static_cast<double>(span.duration_ns) / 1e3, span.tid);
+    os << buffer;
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+void TraceCollector::write_chrome_trace(const std::string& path) const {
+  const std::string json = chrome_trace_json();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) throw std::runtime_error("cannot open trace output: " + path);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int closed = std::fclose(file);
+  if (written != json.size() || closed != 0) {
+    throw std::runtime_error("failed writing trace output: " + path);
+  }
+}
+
+}  // namespace verihvac::obs

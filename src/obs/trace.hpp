@@ -1,0 +1,131 @@
+// Lightweight begin/end trace spans with per-thread ring buffers and a
+// Chrome trace_event JSON dumper (load the output in chrome://tracing or
+// Perfetto to see where a promotion's wall time goes).
+//
+// Capture discipline mirrors the telemetry rings: when tracing is
+// disabled (the default) a span is two relaxed loads and no clock reads;
+// when enabled, finishing a span writes one fixed-size record into the
+// calling thread's ring under a per-slot seqlock — no locks, no
+// allocation on the hot path (rings allocate once per thread, on first
+// use). Rings overwrite on wrap and count the overwritten spans, so
+// tracing never blocks the traced code.
+//
+// Contract: `name` and `category` must be string literals (or otherwise
+// outlive the collector) — records store the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace verihvac::obs {
+
+struct SpanRecord {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  /// Monotonic nanoseconds since the collector's epoch (process start).
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// Dense per-ring thread id (stable across the thread's lifetime).
+  std::uint32_t tid = 0;
+};
+
+class TraceCollector {
+ public:
+  /// Process-wide collector; rings register themselves here on first use.
+  static TraceCollector& global();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Monotonic nanoseconds since the collector's epoch.
+  std::uint64_t now_ns() const;
+
+  /// Records a finished span (no-op while disabled). TraceSpan is the
+  /// usual entry point; hooks that already timed an interval call this.
+  void emit(const char* name, const char* category, std::uint64_t start_ns,
+            std::uint64_t duration_ns);
+
+  /// Drops all buffered spans (the rings stay registered).
+  void clear();
+
+  /// Consistent copy of every buffered span, start-ordered. Concurrent
+  /// writers are tolerated: torn slots (seqlock mismatch) are skipped.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Spans overwritten by ring wrap-around since the last clear().
+  std::uint64_t spans_dropped() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[{"name","cat","ph":"X",
+  /// "ts","dur","pid","tid"},...]} with ts/dur in microseconds.
+  std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to `path`; throws std::runtime_error on
+  /// I/O failure.
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Spans each ring can hold before wrapping (fixed at first use).
+  static constexpr std::size_t kRingCapacity = 8192;
+
+ private:
+  struct Slot {
+    /// Seqlock: odd while the owning thread rewrites the payload.
+    std::atomic<std::uint64_t> seq{0};
+    SpanRecord record;
+  };
+
+  struct ThreadRing {
+    std::uint32_t tid = 0;
+    std::atomic<std::uint64_t> head{0};  ///< total spans ever written
+    std::vector<Slot> slots{kRingCapacity};
+  };
+
+  TraceCollector();
+
+  ThreadRing& ring_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t epoch_ns_ = 0;  ///< steady_clock at construction
+  mutable std::mutex rings_mutex_;
+  std::vector<std::shared_ptr<ThreadRing>> rings_;
+};
+
+/// RAII span: times construction -> finish()/destruction and records the
+/// interval into the thread's ring. Costs two relaxed loads when tracing
+/// is disabled. Name/category must be string literals.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : name_(name), category_(category), collector_(TraceCollector::global()) {
+    if (collector_.enabled()) {
+      start_ns_ = collector_.now_ns();
+      active_ = true;
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { finish(); }
+
+  /// Ends the span early (idempotent).
+  void finish() {
+    if (!active_) return;
+    active_ = false;
+    const std::uint64_t end_ns = collector_.now_ns();
+    collector_.emit(name_, category_, start_ns_, end_ns - start_ns_);
+  }
+
+ private:
+  const char* name_;
+  const char* category_;
+  TraceCollector& collector_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace verihvac::obs

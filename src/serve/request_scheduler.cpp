@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace verihvac::serve {
 
 namespace {
@@ -30,7 +32,18 @@ RequestScheduler::RequestScheduler(SchedulerConfig config,
       sessions_(std::move(sessions)),
       actions_(std::move(actions)),
       rs_(rs_config, actions_, reward),
-      pool_(pool != nullptr ? std::move(pool) : common::TaskPool::shared()) {
+      pool_(pool != nullptr ? std::move(pool) : common::TaskPool::shared()),
+      obs_{&obs::counter("serve_dt_served_total"),
+           &obs::counter("serve_mbrl_served_total"),
+           &obs::counter("serve_batches_total"),
+           &obs::counter("serve_batched_requests_total"),
+           &obs::counter("serve_deadline_closes_total"),
+           &obs::gauge("serve_queue_depth"),
+           &obs::histogram("serve_shard_queue_depth"),
+           &obs::histogram("serve_batch_size"),
+           &obs::histogram("serve_deadline_slack_seconds"),
+           &obs::histogram("serve_dt_latency_seconds"),
+           &obs::histogram("serve_mbrl_solve_seconds")} {
   if (registry_ == nullptr || sessions_ == nullptr) {
     throw std::invalid_argument("RequestScheduler: registry and sessions must be non-null");
   }
@@ -135,6 +148,7 @@ ControlDecision RequestScheduler::serve_dt(const ControlRequest& request) {
   const std::size_t index =
       snapshot.policy->decide_index(snapshot.policy->schema().to_vector(request.observation));
   dt_served_.fetch_add(1, std::memory_order_relaxed);
+  obs_.dt_served->add(1);
 
   ControlDecision decision;
   decision.action_index = index;
@@ -158,6 +172,7 @@ ControlDecision RequestScheduler::serve_dt(const ControlRequest& request) {
         timed ? std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count()
               : 0.0;
     event.timed = timed;
+    if (timed) obs_.dt_latency->observe(event.latency_seconds);
     tap->on_decision(event);
   }
   return decision;
@@ -268,13 +283,26 @@ void RequestScheduler::worker_loop(std::size_t shard) {
       }
       if (deadline_limited && batch.size() < config_.max_batch) {
         deadline_closes_.fetch_add(1, std::memory_order_relaxed);
+        obs_.deadline_closes->add(1);
+        // Slack left to the tightest member's deadline when the batch
+        // closed: (close + margin) reconstructs that deadline. Mass near
+        // zero means the margin barely covers the solve.
+        obs_.deadline_slack->observe(
+            std::chrono::duration<double>(close + config_.deadline_margin -
+                                          std::chrono::steady_clock::now())
+                .count());
       }
     }
+    // Queue depth at batch close — the backlog this shard's solve leaves
+    // waiting — plus the all-shards gauge for the dashboard.
+    obs_.shard_queue_depth->observe(static_cast<double>(queue.size()));
+    obs_.queue_depth->set(static_cast<double>(queue_depth()));
     solve_batch(batch);
   }
 }
 
 void RequestScheduler::solve_batch(std::vector<Pending>& batch) {
+  const obs::TraceSpan span("serve.batch_solve", "serve");
   const auto t_solve = std::chrono::steady_clock::now();
   struct Job {
     Pending* pending = nullptr;
@@ -382,17 +410,22 @@ void RequestScheduler::solve_batch(std::vector<Pending>& batch) {
   // batch counted (the promise's internal synchronization publishes the
   // relaxed stores sequenced before it).
   mbrl_served_.fetch_add(jobs.size(), std::memory_order_relaxed);
+  obs_.mbrl_served->add(jobs.size());
   if (!jobs.empty()) {
     batches_.fetch_add(1, std::memory_order_relaxed);
     if (jobs.size() > 1) batched_requests_.fetch_add(jobs.size(), std::memory_order_relaxed);
     atomic_max(max_batch_, jobs.size());
+    obs_.batches->add(1);
+    if (jobs.size() > 1) obs_.batched_requests->add(jobs.size());
+    obs_.batch_size->observe(static_cast<double>(jobs.size()));
   }
 
   DecisionTap* const tap = tap_.get();
+  // One clock read per batch (microseconds of solve behind it) buys the
+  // solve-time histogram whether or not a tap is installed.
   const double solve_seconds =
-      tap != nullptr
-          ? std::chrono::duration<double>(std::chrono::steady_clock::now() - t_solve).count()
-          : 0.0;
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_solve).count();
+  if (!jobs.empty()) obs_.mbrl_solve->observe(solve_seconds);
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     ControlDecision decision;
     decision.action_index = best_sequences[j].front();

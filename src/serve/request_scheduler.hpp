@@ -51,6 +51,7 @@
 
 #include "common/task_pool.hpp"
 #include "control/random_shooting.hpp"
+#include "obs/instruments.hpp"
 #include "serve/decision_tap.hpp"
 #include "serve/mpsc_queue.hpp"
 #include "serve/policy_registry.hpp"
@@ -160,7 +161,12 @@ class RequestScheduler {
   std::size_t queue_depth() const;
   std::size_t queue_shard_count() const { return queues_.size(); }
 
-  /// Serving telemetry (monotonic counters).
+  /// Serving telemetry (monotonic counters). Dual-published: this
+  /// per-scheduler snapshot stays exact (and thread-invariant — the same
+  /// workload yields the same counts at any VERI_HVAC_THREADS), while
+  /// every increment also lands in the process-wide obs registry
+  /// (`serve_*` instruments, including batch-size / deadline-slack /
+  /// queue-depth histograms the struct cannot carry).
   struct Stats {
     std::uint64_t dt_served = 0;
     std::uint64_t mbrl_served = 0;
@@ -223,6 +229,22 @@ class RequestScheduler {
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> max_batch_{0};
   std::atomic<std::uint64_t> deadline_closes_{0};
+
+  /// Process-wide obs instruments (resolved once at construction).
+  struct ObsHandles {
+    obs::Counter* dt_served;
+    obs::Counter* mbrl_served;
+    obs::Counter* batches;
+    obs::Counter* batched_requests;
+    obs::Counter* deadline_closes;
+    obs::Gauge* queue_depth;
+    obs::Histogram* shard_queue_depth;
+    obs::Histogram* batch_size;
+    obs::Histogram* deadline_slack;
+    obs::Histogram* dt_latency;
+    obs::Histogram* mbrl_solve;
+  };
+  ObsHandles obs_;
 };
 
 }  // namespace verihvac::serve

@@ -1,0 +1,89 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/instruments.hpp"
+
+namespace verihvac {
+namespace {
+
+TEST(LoggingTest, UptimeIsMonotonicAndStartsNearZero) {
+  const double first = log_uptime_seconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_LT(first, 3600.0);  // since process start, not since the epoch
+  const double second = log_uptime_seconds();
+  EXPECT_GE(second, first);
+}
+
+TEST(LoggingTest, SetThresholdWinsOverEnvironment) {
+  const LogLevel original = log_threshold();
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  set_log_threshold(original);
+  EXPECT_EQ(log_threshold(), original);
+}
+
+TEST(LoggingTest, ThresholdReadsAreThreadSafe) {
+  std::atomic<bool> go{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&go, &mismatches] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < 1000; ++i) {
+        const LogLevel level = log_threshold();
+        if (level < LogLevel::kDebug || level > LogLevel::kError) mismatches.fetch_add(1);
+      }
+    });
+  }
+  go.store(true);
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(LoggingTest, HookSeesEmittedLevelsOnly) {
+  static std::atomic<int> warns{0};
+  static std::atomic<int> errors{0};
+  warns.store(0);
+  errors.store(0);
+
+  const LogLevel original = log_threshold();
+  set_log_threshold(LogLevel::kWarn);
+  const LogHook previous = set_log_hook([](LogLevel level) {
+    if (level == LogLevel::kWarn) warns.fetch_add(1);
+    if (level == LogLevel::kError) errors.fetch_add(1);
+  });
+  log_info("suppressed below threshold");
+  log_warn("observed");
+  log_error("also observed");
+  set_log_hook(previous);
+  set_log_threshold(original);
+
+  EXPECT_EQ(warns.load(), 1);
+  EXPECT_EQ(errors.load(), 1);
+}
+
+TEST(LoggingTest, WarnAndErrorLinesFeedObsCounters) {
+  // Touching the global registry installs the obs log hook; counters are
+  // process-cumulative, so assert on deltas.
+  const LogLevel original = log_threshold();
+  set_log_threshold(LogLevel::kWarn);
+  const std::uint64_t warns_before = obs::counter("log_warn_total").value();
+  const std::uint64_t errors_before = obs::counter("log_error_total").value();
+  log_warn("one warn for the registry");
+  log_error("one error for the registry");
+  log_info("suppressed: must not count");
+  set_log_threshold(original);
+
+  EXPECT_EQ(obs::counter("log_warn_total").value() - warns_before, 1u);
+  EXPECT_EQ(obs::counter("log_error_total").value() - errors_before, 1u);
+}
+
+}  // namespace
+}  // namespace verihvac

@@ -146,5 +146,42 @@ TEST(TaskPoolTest, AdoptedPoolIsSharedNotCopied) {
   EXPECT_EQ(engine.config().threads, 2u);
 }
 
+// The PR-9 metrics seam: an installed hook sees every parallel_for once,
+// with the item count, a positive wall time, and the in-flight depth; the
+// previous hook comes back from set_metrics_hook for exact restoration.
+TEST(TaskPoolTest, MetricsHookObservesEveryFanOut) {
+  static std::atomic<std::size_t> calls{0};
+  static std::atomic<std::size_t> items{0};
+  static std::atomic<int> bad_observations{0};
+  calls.store(0);
+  items.store(0);
+  bad_observations.store(0);
+
+  const TaskPool::MetricsHook previous =
+      TaskPool::set_metrics_hook([](std::size_t n, double seconds, std::size_t active) {
+        calls.fetch_add(1);
+        items.fetch_add(n);
+        if (seconds <= 0.0 || active < 1) bad_observations.fetch_add(1);
+      });
+
+  TaskPool pool({/*threads=*/4, /*min_parallel_batch=*/1});
+  std::atomic<std::size_t> work{0};
+  pool.parallel_for(100, [&](std::size_t, std::size_t begin, std::size_t end) {
+    work.fetch_add(end - begin);
+  });
+  pool.parallel_for(3, [&](std::size_t, std::size_t begin, std::size_t end) {
+    work.fetch_add(end - begin);
+  });
+  // n == 0 returns before the observation scope: the hook must not fire.
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {});
+
+  const TaskPool::MetricsHook mine = TaskPool::set_metrics_hook(previous);
+  EXPECT_NE(mine, nullptr);
+  EXPECT_EQ(calls.load(), 2u);
+  EXPECT_EQ(items.load(), 103u);
+  EXPECT_EQ(work.load(), 103u);
+  EXPECT_EQ(bad_observations.load(), 0);
+}
+
 }  // namespace
 }  // namespace verihvac::common

@@ -1,0 +1,252 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace verihvac::obs {
+namespace {
+
+// The collector is process-global, so every test starts from a clean,
+// enabled slate and disables on exit (other tests must not see tracing on).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::global().clear();
+    TraceCollector::global().enable();
+  }
+  void TearDown() override {
+    TraceCollector::global().disable();
+    TraceCollector::global().clear();
+  }
+};
+
+/// Minimal recursive-descent JSON reader: enough to prove the dumper's
+/// output is well-formed (objects/arrays/strings/numbers/literals) the way
+/// `json.load` would, without needing a JSON dependency.
+class MiniJson {
+ public:
+  explicit MiniJson(const std::string& text) : text_(text) {}
+
+  bool parse() {
+    pos_ = 0;
+    const bool ok = value();
+    skip_ws();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+
+  bool number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() && (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '.' || text_[pos_] == 'e' ||
+                                   text_[pos_] == 'E' || text_[pos_] == '-' ||
+                                   text_[pos_] == '+')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    do {
+      if (!string() || !consume(':') || !value()) return false;
+    } while (consume(','));
+    return consume('}');
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    if (consume(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (consume(','));
+    return consume(']');
+  }
+
+  bool literal(const char* word) {
+    skip_ws();
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  bool value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST_F(TraceTest, SpanRecordsNameCategoryAndDuration) {
+  {
+    const TraceSpan span("unit.work", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::vector<SpanRecord> spans = TraceCollector::global().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "unit.work");
+  EXPECT_STREQ(spans[0].category, "test");
+  EXPECT_GE(spans[0].duration_ns, 1000000u);
+}
+
+TEST_F(TraceTest, DisabledCollectorRecordsNothing) {
+  TraceCollector::global().disable();
+  {
+    const TraceSpan span("invisible", "test");
+  }
+  TraceCollector::global().emit("also.invisible", "test", 0, 100);
+  EXPECT_TRUE(TraceCollector::global().snapshot().empty());
+}
+
+TEST_F(TraceTest, FinishIsIdempotent) {
+  TraceSpan span("once", "test");
+  span.finish();
+  span.finish();
+  EXPECT_EQ(TraceCollector::global().snapshot().size(), 1u);
+}
+
+TEST_F(TraceTest, SnapshotIsStartOrdered) {
+  TraceCollector& collector = TraceCollector::global();
+  collector.emit("third", "test", 300, 10);
+  collector.emit("first", "test", 100, 10);
+  collector.emit("second", "test", 200, 10);
+  const std::vector<SpanRecord> spans = collector.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "first");
+  EXPECT_STREQ(spans[1].name, "second");
+  EXPECT_STREQ(spans[2].name, "third");
+}
+
+TEST_F(TraceTest, RingWrapCountsDroppedSpans) {
+  TraceCollector& collector = TraceCollector::global();
+  const std::size_t total = TraceCollector::kRingCapacity + 100;
+  for (std::size_t i = 0; i < total; ++i) collector.emit("wrap", "test", i, 1);
+  EXPECT_EQ(collector.snapshot().size(), TraceCollector::kRingCapacity);
+  EXPECT_EQ(collector.spans_dropped(), 100u);
+  collector.clear();
+  EXPECT_TRUE(collector.snapshot().empty());
+  EXPECT_EQ(collector.spans_dropped(), 0u);
+}
+
+TEST_F(TraceTest, ChromeJsonParsesAndCarriesEveryField) {
+  TraceCollector& collector = TraceCollector::global();
+  collector.emit("solve", "serve", 1500, 2500);  // 1.5us start, 2.5us duration
+  const std::string json = collector.chrome_trace_json();
+
+  MiniJson parser(json);
+  EXPECT_TRUE(parser.parse()) << json;
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"solve\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.5"), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTripsThroughDisk) {
+  TraceCollector& collector = TraceCollector::global();
+  collector.emit("disk.span", "test", 1000, 5000);
+  const std::string path = ::testing::TempDir() + "trace_roundtrip.json";
+  collector.write_chrome_trace(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string loaded = buffer.str();
+  EXPECT_EQ(loaded, collector.chrome_trace_json());
+  MiniJson parser(loaded);
+  EXPECT_TRUE(parser.parse());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, WriteChromeTraceThrowsOnBadPath) {
+  EXPECT_THROW(TraceCollector::global().write_chrome_trace("/nonexistent-dir/x/trace.json"),
+               std::runtime_error);
+}
+
+TEST_F(TraceTest, ConcurrentEmittersNeverTearRecords) {
+  TraceCollector& collector = TraceCollector::global();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;  // < ring capacity, so nothing drops
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector, &go] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        const TraceSpan span("hammer", "test");
+      }
+    });
+  }
+  go.store(true);
+  for (std::thread& thread : threads) thread.join();
+
+  const std::vector<SpanRecord> spans = collector.snapshot();
+  EXPECT_EQ(spans.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  std::set<std::uint32_t> tids;
+  for (const SpanRecord& span : spans) {
+    ASSERT_STREQ(span.name, "hammer");
+    ASSERT_STREQ(span.category, "test");
+    tids.insert(span.tid);
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace verihvac::obs

@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstddef>
 #include <future>
 #include <map>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "obs/instruments.hpp"
+#include "obs/trace.hpp"
 #include "serve_test_utils.hpp"
 
 namespace verihvac::serve {
@@ -429,6 +432,99 @@ TEST(RequestSchedulerTest, DefaultModelBacksKeysWithoutDedicatedEntry) {
   Rng rng = Rng::stream(7, 0);
   EXPECT_EQ(decision.action_index,
             rs.optimize(*model, request.observation, request.forecast, rng));
+}
+
+// Observability must observe, never steer: decisions AND the exact Stats
+// counters are invariant across pool sizes even with tracing enabled and
+// instruments publishing (the PR-9 never-perturb invariant, scheduler leg).
+TEST(RequestSchedulerTest, StatsCountersAreThreadCountInvariantWithObsEnabled) {
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  const control::RandomShootingConfig rs_config = serving_rs();
+  const std::vector<ScenarioRequest> scenario = mixed_scenario();
+
+  // Each DT decision consumes the session's next decision index at
+  // admission, so the MBRL requests that follow draw streams offset by the
+  // slot's DT count — the scalar reference must admit in the same order.
+  const control::RandomShooting rs(rs_config, control::ActionSpace{}, env::RewardConfig{});
+  std::map<std::size_t, std::uint64_t> next_stream;
+  for (const ScenarioRequest& item : scenario) ++next_stream[item.session_slot];
+  std::vector<std::size_t> expected;
+  for (const ScenarioRequest& item : scenario) {
+    const env::Observation obs = cold_occupied(item.zone_temp);
+    Rng rng = Rng::stream(slot_seed(item.session_slot), next_stream[item.session_slot]++);
+    expected.push_back(rs.optimize(*model, obs, steady_forecast(obs, rs_config.horizon), rng));
+  }
+
+  obs::TraceCollector::global().enable();
+  std::vector<RequestScheduler::Stats> all_stats;
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    Stack stack(policy, model, rs_config, threads);
+    for (const ScenarioRequest& item : scenario) {
+      stack.scheduler->serve(stack.request(item, RequestKind::kDtPolicy, 0));
+    }
+    std::vector<ControlRequest> requests;
+    for (const ScenarioRequest& item : scenario) {
+      requests.push_back(stack.request(item, RequestKind::kMbrlFallback, rs_config.horizon));
+    }
+    const std::vector<ControlDecision> decisions = stack.scheduler->serve_batch(requests);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(decisions[i].action_index, expected[i])
+          << "request " << i << " at " << threads << " threads";
+    }
+    all_stats.push_back(stack.scheduler->stats());
+  }
+  obs::TraceCollector::global().disable();
+  obs::TraceCollector::global().clear();
+
+  for (std::size_t i = 1; i < all_stats.size(); ++i) {
+    EXPECT_EQ(all_stats[i].dt_served, all_stats[0].dt_served);
+    EXPECT_EQ(all_stats[i].mbrl_served, all_stats[0].mbrl_served);
+    EXPECT_EQ(all_stats[i].batches, all_stats[0].batches);
+    EXPECT_EQ(all_stats[i].batched_requests, all_stats[0].batched_requests);
+    EXPECT_EQ(all_stats[i].deadline_closes, all_stats[0].deadline_closes);
+  }
+  EXPECT_EQ(all_stats[0].dt_served, scenario.size());
+  EXPECT_EQ(all_stats[0].mbrl_served, scenario.size());
+  EXPECT_EQ(all_stats[0].deadline_closes, 0u);  // inline serving has no windows
+}
+
+// Sampled DT timing: with period P and a tap installed, exactly 1-in-P DT
+// decisions are timed, and each timed latency also lands in the obs
+// histogram (`serve_dt_latency_seconds`).
+TEST(RequestSchedulerTest, SampledDtTimingFeedsTapAndObsHistogram) {
+  struct CountingTap : DecisionTap {
+    std::size_t events = 0;
+    std::size_t timed = 0;
+    void on_decision(const DecisionEvent& event) noexcept override {
+      ++events;
+      if (event.timed) {
+        ++timed;
+        EXPECT_GT(event.latency_seconds, 0.0);
+      }
+    }
+  };
+
+  const auto policy = toy_policy();
+  SchedulerConfig config;
+  config.dt_timing_sample_period = 4;
+  Stack stack(policy, toy_model(), serving_rs(), /*threads=*/1, config);
+  const auto tap = std::make_shared<CountingTap>();
+  stack.scheduler->set_tap(tap);
+
+  const std::uint64_t histogram_before =
+      obs::histogram("serve_dt_latency_seconds").snapshot().count;
+  constexpr std::size_t kDecisions = 16;
+  for (std::size_t i = 0; i < kDecisions; ++i) {
+    stack.scheduler->serve(stack.request({i % 6, 16.0 + static_cast<double>(i)},
+                                         RequestKind::kDtPolicy, 0));
+  }
+  const std::uint64_t histogram_after =
+      obs::histogram("serve_dt_latency_seconds").snapshot().count;
+
+  EXPECT_EQ(tap->events, kDecisions);
+  EXPECT_EQ(tap->timed, kDecisions / 4);
+  EXPECT_EQ(histogram_after - histogram_before, kDecisions / 4);
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fail when docs/OPERATIONS.md and the instrument catalog diverge.
+
+The catalog in src/obs/instruments.cpp is the single source of truth for
+the observability surface (obs::counter/gauge/histogram refuse names it
+does not list). The monitoring table in docs/OPERATIONS.md must document
+every cataloged instrument under its cataloged kind, and must not list
+instruments the catalog no longer has. Run with --print-table to emit a
+fresh markdown table generated from the catalog (paste it into the doc
+when instruments change).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+CATALOG = ROOT / "src" / "obs" / "instruments.cpp"
+DOC = ROOT / "docs" / "OPERATIONS.md"
+
+# One catalog entry: {"name", InstrumentKind::kCounter, "help", "alert"}.
+# Entries are required to stay literal (no macros) precisely so this
+# parse stays trivial; string fragments may be split across lines.
+ENTRY_RE = re.compile(
+    r'\{"(?P<name>[a-z0-9_]+)",\s*InstrumentKind::k(?P<kind>Counter|Gauge|Histogram),'
+    r"(?P<rest>.*?)\},",
+    re.S,
+)
+# A markdown table row: | `name` | kind | ... |
+DOC_ROW_RE = re.compile(r"^\|\s*`(?P<name>[a-z0-9_]+)`\s*\|\s*(?P<kind>counter|gauge|histogram)\s*\|", re.M)
+
+
+def catalog_entries(text):
+    """[(name, kind, help, alert)] in catalog order."""
+    entries = []
+    for match in ENTRY_RE.finditer(text):
+        strings = re.findall(r'"((?:[^"\\]|\\.)*)"', match.group("rest"))
+        help_text = strings[0] if strings else ""
+        alert = strings[1] if len(strings) > 1 else ""
+        entries.append((match.group("name"), match.group("kind").lower(), help_text, alert))
+    return entries
+
+
+def print_table(entries):
+    print("| Instrument | Type | Meaning | When it misbehaves |")
+    print("| --- | --- | --- | --- |")
+    for name, kind, help_text, alert in entries:
+        alert_cell = "—" if alert == "none" else alert
+        print(f"| `{name}` | {kind} | {help_text} | {alert_cell} |")
+
+
+def main():
+    entries = catalog_entries(CATALOG.read_text())
+    if not entries:
+        print(f"error: no catalog entries parsed from {CATALOG}", file=sys.stderr)
+        return 1
+    if "--print-table" in sys.argv[1:]:
+        print_table(entries)
+        return 0
+
+    catalog = {name: kind for name, kind, _, _ in entries}
+    documented = {m.group("name"): m.group("kind") for m in DOC_ROW_RE.finditer(DOC.read_text())}
+
+    problems = []
+    for name, kind in catalog.items():
+        if name not in documented:
+            problems.append(f"undocumented instrument: {name} ({kind})")
+        elif documented[name] != kind:
+            problems.append(
+                f"kind mismatch for {name}: catalog says {kind}, doc says {documented[name]}"
+            )
+    for name in documented:
+        if name not in catalog:
+            problems.append(f"stale doc row (not in catalog): {name}")
+
+    if problems:
+        print(f"{DOC.relative_to(ROOT)} diverges from {CATALOG.relative_to(ROOT)}:", file=sys.stderr)
+        for problem in sorted(problems):
+            print(f"  {problem}", file=sys.stderr)
+        print("regenerate with: tools/check_metrics_docs.py --print-table", file=sys.stderr)
+        return 1
+    print(f"ok: {len(catalog)} instruments documented in {DOC.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

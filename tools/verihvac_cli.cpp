@@ -13,6 +13,13 @@
 //   verihvac export-c    --policy policy.vhp --prefix veri_hvac --out DIR
 //   verihvac explain     --policy policy.vhp --input s,To,RH,w,S,occ
 //   verihvac print       --policy policy.vhp [--rules]
+//   verihvac stats       [--json] [--out FILE]
+//
+// Observability: campaign/serve-bench/adapt-bench accept --metrics-out
+// (obs registry snapshot after the run; .json suffix selects the JSON
+// form, anything else Prometheus text) and --trace-out (Chrome
+// trace_event JSON of the run's spans — load in chrome://tracing or
+// Perfetto). `stats` dumps the full instrument catalog exposition.
 //
 // Every subcommand exits non-zero on failure and prints to stderr; option
 // parsing is strict (unknown --options and missing values are rejected
@@ -41,6 +48,9 @@
 #include "envlib/env.hpp"
 #include "envlib/feature_schema.hpp"
 #include "envlib/metrics.hpp"
+#include "obs/instruments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/fleet_harness.hpp"
 
 namespace {
@@ -194,6 +204,48 @@ std::vector<Preset> parse_presets(const std::string& csv) {
   return presets;
 }
 
+/// Shared --metrics-out/--trace-out handling for the long-running
+/// subcommands. Construct right after parsing (tracing must be live before
+/// the instrumented work starts); call finish() once the run is done.
+class ObsOutputs {
+ public:
+  explicit ObsOutputs(const Args& args)
+      : metrics_path_(args.get("metrics-out", "")), trace_path_(args.get("trace-out", "")) {
+    if (!trace_path_.empty()) {
+      obs::TraceCollector::global().clear();
+      obs::TraceCollector::global().enable();
+    }
+  }
+
+  void finish() const {
+    if (!metrics_path_.empty()) {
+      // Register the whole catalog so the snapshot lists every instrument,
+      // including the ones this run never touched.
+      obs::register_catalog();
+      const bool json = metrics_path_.size() >= 5 &&
+                        metrics_path_.compare(metrics_path_.size() - 5, 5, ".json") == 0;
+      std::ofstream file(metrics_path_);
+      if (!file) throw std::runtime_error("cannot write " + metrics_path_);
+      file << (json ? obs::MetricsRegistry::global().expose_json() + "\n"
+                    : obs::MetricsRegistry::global().expose_text());
+      std::printf("metrics snapshot written to %s (%s)\n", metrics_path_.c_str(),
+                  json ? "json" : "prometheus text");
+    }
+    if (!trace_path_.empty()) {
+      obs::TraceCollector& collector = obs::TraceCollector::global();
+      collector.disable();
+      const std::size_t spans = collector.snapshot().size();
+      collector.write_chrome_trace(trace_path_);
+      std::printf("trace written to %s (%zu spans, %llu overwritten)\n", trace_path_.c_str(),
+                  spans, static_cast<unsigned long long>(collector.spans_dropped()));
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
 /// Parses the --recert mode shared by campaign and adapt-bench; returns
 /// whether the incremental certificate-cache path is selected. Anything but
 /// 'full'/'incremental' throws std::invalid_argument, which the driver
@@ -206,6 +258,7 @@ bool parse_recert_incremental(const Args& args, bool fallback) {
 }
 
 int cmd_campaign(const Args& args) {
+  const ObsOutputs obs_outputs(args);
   core::CampaignConfig config;
   // Throws std::invalid_argument on an unknown name, which the driver
   // turns into exit 2 plus this subcommand's usage.
@@ -257,6 +310,7 @@ int cmd_campaign(const Args& args) {
     file << result.to_csv();
     std::printf("campaign CSV written to %s\n", path.c_str());
   }
+  obs_outputs.finish();
   return 0;
 }
 
@@ -296,6 +350,7 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_serve_bench(const Args& args) {
+  const ObsOutputs obs_outputs(args);
   const env::FeatureSchema schema = env::schema_by_name(args.get("schema", "baseline"));
   serve::FleetConfig config;
   config.climates = split_csv_list(args.get("climates", "Pittsburgh"));
@@ -348,10 +403,12 @@ int cmd_serve_bench(const Args& args) {
     file << report.to_json() << "\n";
     std::printf("serving report written to %s\n", path.c_str());
   }
+  obs_outputs.finish();
   return 0;
 }
 
 int cmd_adapt_bench(const Args& args) {
+  const ObsOutputs obs_outputs(args);
   const env::FeatureSchema schema = env::schema_by_name(args.get("schema", "baseline"));
   const std::string city = args.get("city", "Pittsburgh");
   serve::FleetConfig config;
@@ -462,6 +519,26 @@ int cmd_adapt_bench(const Args& args) {
     file << report.to_json() << "\n";
     std::printf("adaptation report written to %s\n", path.c_str());
   }
+  obs_outputs.finish();
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  // The full catalog, so even a traffic-less process lists every
+  // instrument with its zero value (what a scrape endpoint would export).
+  obs::register_catalog();
+  const std::string text = args.flag("json")
+                               ? obs::MetricsRegistry::global().expose_json() + "\n"
+                               : obs::MetricsRegistry::global().expose_text();
+  if (args.flag("out")) {
+    const std::string path = args.required("out");
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("cannot write " + path);
+    file << text;
+    std::printf("stats written to %s\n", path.c_str());
+  } else {
+    std::printf("%s", text.c_str());
+  }
   return 0;
 }
 
@@ -547,12 +624,15 @@ const std::map<std::string, Command>& commands() {
          {"points", true},
          {"seed", true},
          {"recert", true},
-         {"out", true}},
+         {"out", true},
+         {"metrics-out", true},
+         {"trace-out", true}},
         "campaign [--climates A,B,..] [--buildings name[:scale],..]\n"
         "         [--comfort winter,summer] [--envelopes mild,design]\n"
         "         [--schema baseline|time-aware] [--samples N]\n"
         "         [--reach-states N] [--points N] [--seed N]\n"
-        "         [--recert full|incremental] [--out FILE.csv]",
+        "         [--recert full|incremental] [--out FILE.csv]\n"
+        "         [--metrics-out FILE] [--trace-out FILE.json]",
         cmd_campaign}},
       {"simulate",
        {{{"policy", true}, {"city", true}, {"days", true}},
@@ -572,12 +652,15 @@ const std::map<std::string, Command>& commands() {
          {"budget-us", true},
          {"queue-shards", true},
          {"schema", true},
-         {"out", true}},
+         {"out", true},
+         {"metrics-out", true},
+         {"trace-out", true}},
         "serve-bench [--climates A,B,..] [--presets name[:scale],..]\n"
         "            [--buildings N] [--steps N] [--mbrl-frac F] [--days N]\n"
         "            [--samples N] [--horizon N] [--seed N] [--sync]\n"
         "            [--budget-us N] [--queue-shards N]\n"
-        "            [--schema baseline|time-aware] [--out FILE.json]",
+        "            [--schema baseline|time-aware] [--out FILE.json]\n"
+        "            [--metrics-out FILE] [--trace-out FILE.json]",
         cmd_serve_bench}},
       {"adapt-bench",
        {{{"city", true},
@@ -598,13 +681,16 @@ const std::map<std::string, Command>& commands() {
          {"safe-threshold", true},
          {"schema", true},
          {"recert", true},
-         {"out", true}},
+         {"out", true},
+         {"metrics-out", true},
+         {"trace-out", true}},
         "adapt-bench [--city NAME] [--buildings N] [--steps N] [--drift-step N]\n"
         "            [--hvac-factor F] [--eff-factor F] [--leak-factor F]\n"
         "            [--mbrl-frac F] [--days N] [--samples N] [--horizon N]\n"
         "            [--ph-delta F] [--ph-lambda F] [--min-transitions N]\n"
         "            [--safe-threshold F] [--schema baseline|time-aware]\n"
-        "            [--recert full|incremental] [--seed N] [--out FILE.json]",
+        "            [--recert full|incremental] [--seed N] [--out FILE.json]\n"
+        "            [--metrics-out FILE] [--trace-out FILE.json]",
         cmd_adapt_bench}},
       {"export-c",
        {{{"policy", true}, {"prefix", true}, {"out", true}, {"style", true}},
@@ -618,6 +704,10 @@ const std::map<std::string, Command>& commands() {
        {{{"policy", true}, {"rules", false}},
         "print    --policy FILE [--rules]",
         cmd_print}},
+      {"stats",
+       {{{"json", false}, {"out", true}},
+        "stats    [--json] [--out FILE]  (instrument-catalog exposition)",
+        cmd_stats}},
   };
   return table;
 }
