@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "adapt/telemetry_store.hpp"
+
 #include "common/logging.hpp"
 #include "common/timing.hpp"
 #include "control/mbrl_agent.hpp"
@@ -88,6 +90,12 @@ void AdaptationController::register_cluster(const std::string& key, ClusterAsset
   clusters_[key] = std::move(cluster);
 }
 
+void AdaptationController::attach_store(std::shared_ptr<TelemetryStore> store) {
+  std::lock_guard<std::mutex> pump_lock(pump_mutex_);
+  if (store != nullptr) store->enable_fetch_queue();
+  store_ = std::move(store);
+}
+
 std::vector<AdaptationController::PendingTransition> AdaptationController::pair_records(
     const std::vector<TelemetryRecord>& records) {
   // Session -> policy key, registered off the hot path at session open.
@@ -132,7 +140,11 @@ std::size_t AdaptationController::pump() {
   std::lock_guard<std::mutex> pump_lock(pump_mutex_);
 
   drain_buffer_.clear();
-  const std::uint64_t lost = telemetry_->drain(drain_buffer_);
+  // With a durable store attached the store is the single log consumer:
+  // fetch() persists the batch to segments and hands the same records to
+  // this pump.
+  const std::uint64_t lost =
+      store_ != nullptr ? store_->fetch(drain_buffer_) : telemetry_->drain(drain_buffer_);
 
   std::vector<PendingTransition> fresh;
   {
@@ -264,7 +276,12 @@ std::size_t AdaptationController::pump() {
   // of sessions that no longer exist (close/evict would otherwise leak
   // one trailing record per session forever).
   if (config_.evict_idle_decisions > 0) {
-    const std::size_t evicted = sessions_->evict_idle(config_.evict_idle_decisions);
+    evicted_ids_buffer_.clear();
+    const std::size_t evicted = sessions_->evict_idle(
+        config_.evict_idle_decisions, store_ != nullptr ? &evicted_ids_buffer_ : nullptr);
+    if (store_ != nullptr && !evicted_ids_buffer_.empty()) {
+      store_->note_sessions_evicted(evicted_ids_buffer_);
+    }
     if (evicted > 0) {
       obs_.sessions_evicted->add(evicted);
       std::lock_guard<std::mutex> lock(mutex_);

@@ -64,6 +64,8 @@
 
 namespace verihvac::adapt {
 
+class TelemetryStore;
+
 /// How the certify step runs interval certification. Incremental keeps a
 /// per-cluster CertificateCache: adaptation typically perturbs a handful
 /// of policy subtrees, and the unchanged (leaf × cell) certificates splice
@@ -212,6 +214,14 @@ class AdaptationController {
   /// telemetry is monitored but never adapted.
   void register_cluster(const std::string& key, ClusterAssets assets);
 
+  /// Durable-telemetry seam: once attached, pump() drains through
+  /// TelemetryStore::fetch() — every record lands in the on-disk segments
+  /// AND feeds adaptation, one consumer for the shared tap — and each
+  /// eviction sweep forwards the closed session ids so store compaction
+  /// can drop their records. The store must wrap the same TelemetryLog
+  /// this controller was constructed with.
+  void attach_store(std::shared_ptr<TelemetryStore> store);
+
   /// One observe/decide/adapt cycle (see file comment). Serialized
   /// internally, so manual pumps and the background worker can coexist.
   /// Returns the number of adaptations attempted this cycle.
@@ -285,6 +295,9 @@ class AdaptationController {
 
   AdaptationConfig config_;
   std::shared_ptr<TelemetryLog> telemetry_;
+  /// Optional durable store (attach_store); guarded by pump_mutex_.
+  std::shared_ptr<TelemetryStore> store_;
+  std::vector<serve::SessionId> evicted_ids_buffer_;
   std::shared_ptr<serve::PolicyRegistry> registry_;
   std::shared_ptr<serve::SessionManager> sessions_;
   serve::RequestScheduler& scheduler_;

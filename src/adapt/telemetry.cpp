@@ -38,7 +38,9 @@ std::vector<env::Disturbance> TelemetryRecord::forecast_vector() const {
 
 TelemetryLog::TelemetryLog(TelemetryConfig config)
     : config_(config),
-      obs_{&obs::counter("telemetry_records_total"), &obs::counter("telemetry_lost_total")} {
+      obs_{&obs::counter("telemetry_records_total"), &obs::counter("telemetry_lost_total"),
+           &obs::counter("telemetry_overwritten_total"),
+           &obs::counter("telemetry_sampling_skips_total")} {
   if (config_.shards == 0) config_.shards = 1;
   config_.shards = round_up_pow2(config_.shards);
   shard_mask_ = config_.shards - 1;
@@ -88,6 +90,8 @@ void TelemetryLog::on_decision(const serve::DecisionEvent& event) noexcept {
   // period so transition pairing survives; MBRL always records.
   if (dt_sample_mask_ != 0 && event.kind == serve::RequestKind::kDtPolicy &&
       (event.decision_index & dt_sample_mask_) > 1) {
+    sampling_skips_.fetch_add(1, std::memory_order_relaxed);
+    obs_.sampling_skips->add(1);
     return;
   }
 
@@ -170,6 +174,7 @@ void TelemetryLog::on_decision(const serve::DecisionEvent& event) noexcept {
 
 std::uint64_t TelemetryLog::drain(std::vector<TelemetryRecord>& out) {
   std::uint64_t lost = 0;
+  std::uint64_t overwritten = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     const std::uint64_t head = shard.head.load(std::memory_order_acquire);
@@ -177,6 +182,7 @@ std::uint64_t TelemetryLog::drain(std::vector<TelemetryRecord>& out) {
     // Anything more than one lap behind the claim counter is gone already.
     const std::uint64_t capacity = slot_mask_ + 1;
     if (head > capacity && t < head - capacity) {
+      overwritten += (head - capacity) - t;
       lost += (head - capacity) - t;
       t = head - capacity;
     }
@@ -245,7 +251,9 @@ std::uint64_t TelemetryLog::drain(std::vector<TelemetryRecord>& out) {
     shard.tail = t;
   }
   lost_.fetch_add(lost, std::memory_order_relaxed);
+  overwritten_.fetch_add(overwritten, std::memory_order_relaxed);
   if (lost > 0) obs_.lost->add(lost);
+  if (overwritten > 0) obs_.overwritten->add(overwritten);
   return lost;
 }
 
@@ -255,6 +263,8 @@ TelemetryLog::Stats TelemetryLog::stats() const {
     stats.recorded += shard->head.load(std::memory_order_relaxed);
   }
   stats.lost = lost_.load(std::memory_order_relaxed);
+  stats.overwritten = overwritten_.load(std::memory_order_relaxed);
+  stats.sampling_skips = sampling_skips_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -281,7 +291,144 @@ T read_pod(std::istream& in) {
   return value;
 }
 
+// One serializer, two sinks: the stream sink serves the trace file path,
+// the buffer sink serves the durable store's hot writer (an inlined
+// string::append per field instead of an ostream write). Routing both
+// through write_record_to/write_session_to keeps the wire format defined
+// exactly once — the byte-identity the segment format depends on.
+struct StreamSink {
+  std::ostream& out;
+  void write(const void* data, std::size_t size) {
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  }
+};
+
+struct BufferSink {
+  std::string& out;
+  void write(const void* data, std::size_t size) {
+    out.append(static_cast<const char*>(data), size);
+  }
+};
+
+template <typename T, typename Sink>
+void put_pod(Sink& sink, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  sink.write(&value, sizeof(T));
+}
+
+template <typename Sink>
+void write_record_to(Sink& sink, const TelemetryRecord& r) {
+  put_pod<std::uint64_t>(sink, r.session);
+  put_pod<std::uint64_t>(sink, r.decision_index);
+  put_pod<std::uint64_t>(sink, r.session_seed);
+  put_pod<std::uint64_t>(sink, r.policy_version);
+  put_pod<std::uint8_t>(sink, r.kind);
+  put_pod<std::uint8_t>(sink, r.forecast_truncated);
+  put_pod<std::uint16_t>(sink, r.forecast_len);
+  put_pod<std::uint32_t>(sink, r.action_index);
+  put_pod<std::uint16_t>(sink, r.obs_len);
+  put_pod<std::uint16_t>(sink, r.zone_temp_dim);
+  put_pod<double>(sink, r.latency_seconds);
+  for (std::size_t i = 0; i < r.obs_len; ++i) put_pod<double>(sink, r.obs[i]);
+  put_pod<double>(sink, r.heating_c);
+  put_pod<double>(sink, r.cooling_c);
+  for (std::size_t k = 0; k < r.forecast_len; ++k) {
+    put_pod<TelemetryDisturbance>(sink, r.forecast[k]);
+  }
+}
+
+template <typename Sink>
+void write_session_to(Sink& sink, const TelemetrySession& session) {
+  put_pod<std::uint64_t>(sink, session.id);
+  put_pod<std::uint64_t>(sink, session.seed);
+  put_pod<std::uint64_t>(sink, session.policy_key.size());
+  sink.write(session.policy_key.data(), session.policy_key.size());
+}
+
 }  // namespace
+
+namespace detail {
+
+void write_record(std::ostream& out, const TelemetryRecord& r) {
+  StreamSink sink{out};
+  write_record_to(sink, r);
+}
+
+void append_record(std::string& out, const TelemetryRecord& r) {
+  BufferSink sink{out};
+  write_record_to(sink, r);
+}
+
+TelemetryRecord read_record(std::istream& in, std::uint32_t version) {
+  TelemetryRecord r;
+  r.session = read_pod<std::uint64_t>(in);
+  r.decision_index = read_pod<std::uint64_t>(in);
+  r.session_seed = read_pod<std::uint64_t>(in);
+  r.policy_version = read_pod<std::uint64_t>(in);
+  r.kind = read_pod<std::uint8_t>(in);
+  r.forecast_truncated = read_pod<std::uint8_t>(in);
+  r.forecast_len = read_pod<std::uint16_t>(in);
+  r.action_index = read_pod<std::uint32_t>(in);
+  if (version >= 2) {
+    r.obs_len = read_pod<std::uint16_t>(in);
+    r.zone_temp_dim = read_pod<std::uint16_t>(in);
+    if (r.obs_len < 1 || r.obs_len > kTelemetryMaxObsDims || r.zone_temp_dim >= r.obs_len) {
+      throw std::runtime_error("telemetry trace: observation length exceeds format cap");
+    }
+  } else {
+    // v1 records are implicitly the baseline 6-dim layout with the zone
+    // temperature in column 0.
+    r.obs_len = static_cast<std::uint16_t>(env::kInputDims);
+    r.zone_temp_dim = 0;
+  }
+  r.latency_seconds = read_pod<double>(in);
+  for (std::size_t d = 0; d < r.obs_len; ++d) r.obs[d] = read_pod<double>(in);
+  r.heating_c = read_pod<double>(in);
+  r.cooling_c = read_pod<double>(in);
+  if (r.forecast_len > kTelemetryMaxForecast) {
+    throw std::runtime_error("telemetry trace: forecast length exceeds format cap");
+  }
+  for (std::size_t k = 0; k < r.forecast_len; ++k) {
+    if (version >= 2) {
+      r.forecast[k] = read_pod<TelemetryDisturbance>(in);
+    } else {
+      // v1 forecast entries carried only the five weather/occupancy
+      // doubles; the temporal fields take their baseline defaults.
+      r.forecast[k].outdoor_temp_c = read_pod<double>(in);
+      r.forecast[k].humidity_pct = read_pod<double>(in);
+      r.forecast[k].wind_mps = read_pod<double>(in);
+      r.forecast[k].solar_wm2 = read_pod<double>(in);
+      r.forecast[k].occupants = read_pod<double>(in);
+    }
+  }
+  return r;
+}
+
+void write_session(std::ostream& out, const TelemetrySession& session) {
+  StreamSink sink{out};
+  write_session_to(sink, session);
+}
+
+void append_session(std::string& out, const TelemetrySession& session) {
+  BufferSink sink{out};
+  write_session_to(sink, session);
+}
+
+TelemetrySession read_session(std::istream& in) {
+  TelemetrySession session;
+  session.id = read_pod<std::uint64_t>(in);
+  session.seed = read_pod<std::uint64_t>(in);
+  const auto key_len = read_pod<std::uint64_t>(in);
+  if (key_len > (1u << 20)) {
+    throw std::runtime_error("telemetry trace: implausible session key length");
+  }
+  session.policy_key.resize(key_len);
+  in.read(session.policy_key.data(), static_cast<std::streamsize>(key_len));
+  if (!in) throw std::runtime_error("telemetry trace: truncated file");
+  return session;
+}
+
+}  // namespace detail
 
 void save_trace(const TelemetryTrace& trace, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
@@ -294,34 +441,10 @@ void save_trace(const TelemetryTrace& trace, const std::string& path) {
   std::sort(sessions.begin(), sessions.end(),
             [](const TelemetrySession& a, const TelemetrySession& b) { return a.id < b.id; });
   write_pod<std::uint64_t>(out, sessions.size());
-  for (const TelemetrySession& session : sessions) {
-    write_pod<std::uint64_t>(out, session.id);
-    write_pod<std::uint64_t>(out, session.seed);
-    write_pod<std::uint64_t>(out, session.policy_key.size());
-    out.write(session.policy_key.data(),
-              static_cast<std::streamsize>(session.policy_key.size()));
-  }
+  for (const TelemetrySession& session : sessions) detail::write_session(out, session);
 
   write_pod<std::uint64_t>(out, trace.records.size());
-  for (const TelemetryRecord& r : trace.records) {
-    write_pod<std::uint64_t>(out, r.session);
-    write_pod<std::uint64_t>(out, r.decision_index);
-    write_pod<std::uint64_t>(out, r.session_seed);
-    write_pod<std::uint64_t>(out, r.policy_version);
-    write_pod<std::uint8_t>(out, r.kind);
-    write_pod<std::uint8_t>(out, r.forecast_truncated);
-    write_pod<std::uint16_t>(out, r.forecast_len);
-    write_pod<std::uint32_t>(out, r.action_index);
-    write_pod<std::uint16_t>(out, r.obs_len);
-    write_pod<std::uint16_t>(out, r.zone_temp_dim);
-    write_pod<double>(out, r.latency_seconds);
-    for (std::size_t i = 0; i < r.obs_len; ++i) write_pod<double>(out, r.obs[i]);
-    write_pod<double>(out, r.heating_c);
-    write_pod<double>(out, r.cooling_c);
-    for (std::size_t k = 0; k < r.forecast_len; ++k) {
-      write_pod<TelemetryDisturbance>(out, r.forecast[k]);
-    }
-  }
+  for (const TelemetryRecord& r : trace.records) detail::write_record(out, r);
   if (!out) throw std::runtime_error("telemetry trace: write failed for " + path);
 }
 
@@ -344,61 +467,13 @@ TelemetryTrace load_trace(const std::string& path) {
   const auto n_sessions = read_pod<std::uint64_t>(in);
   trace.sessions.reserve(n_sessions);
   for (std::uint64_t s = 0; s < n_sessions; ++s) {
-    TelemetrySession session;
-    session.id = read_pod<std::uint64_t>(in);
-    session.seed = read_pod<std::uint64_t>(in);
-    const auto key_len = read_pod<std::uint64_t>(in);
-    session.policy_key.resize(key_len);
-    in.read(session.policy_key.data(), static_cast<std::streamsize>(key_len));
-    if (!in) throw std::runtime_error("telemetry trace: truncated file");
-    trace.sessions.push_back(std::move(session));
+    trace.sessions.push_back(detail::read_session(in));
   }
 
   const auto n_records = read_pod<std::uint64_t>(in);
   trace.records.reserve(n_records);
   for (std::uint64_t i = 0; i < n_records; ++i) {
-    TelemetryRecord r;
-    r.session = read_pod<std::uint64_t>(in);
-    r.decision_index = read_pod<std::uint64_t>(in);
-    r.session_seed = read_pod<std::uint64_t>(in);
-    r.policy_version = read_pod<std::uint64_t>(in);
-    r.kind = read_pod<std::uint8_t>(in);
-    r.forecast_truncated = read_pod<std::uint8_t>(in);
-    r.forecast_len = read_pod<std::uint16_t>(in);
-    r.action_index = read_pod<std::uint32_t>(in);
-    if (version >= 2) {
-      r.obs_len = read_pod<std::uint16_t>(in);
-      r.zone_temp_dim = read_pod<std::uint16_t>(in);
-      if (r.obs_len < 1 || r.obs_len > kTelemetryMaxObsDims || r.zone_temp_dim >= r.obs_len) {
-        throw std::runtime_error("telemetry trace: observation length exceeds format cap");
-      }
-    } else {
-      // v1 records are implicitly the baseline 6-dim layout with the zone
-      // temperature in column 0.
-      r.obs_len = static_cast<std::uint16_t>(env::kInputDims);
-      r.zone_temp_dim = 0;
-    }
-    r.latency_seconds = read_pod<double>(in);
-    for (std::size_t d = 0; d < r.obs_len; ++d) r.obs[d] = read_pod<double>(in);
-    r.heating_c = read_pod<double>(in);
-    r.cooling_c = read_pod<double>(in);
-    if (r.forecast_len > kTelemetryMaxForecast) {
-      throw std::runtime_error("telemetry trace: forecast length exceeds format cap");
-    }
-    for (std::size_t k = 0; k < r.forecast_len; ++k) {
-      if (version >= 2) {
-        r.forecast[k] = read_pod<TelemetryDisturbance>(in);
-      } else {
-        // v1 forecast entries carried only the five weather/occupancy
-        // doubles; the temporal fields take their baseline defaults.
-        r.forecast[k].outdoor_temp_c = read_pod<double>(in);
-        r.forecast[k].humidity_pct = read_pod<double>(in);
-        r.forecast[k].wind_mps = read_pod<double>(in);
-        r.forecast[k].solar_wm2 = read_pod<double>(in);
-        r.forecast[k].occupants = read_pod<double>(in);
-      }
-    }
-    trace.records.push_back(r);
+    trace.records.push_back(detail::read_record(in, version));
   }
   return trace;
 }
@@ -437,45 +512,57 @@ dyn::TransitionDataset trace_to_dataset(const TelemetryTrace& trace) {
   return dataset;
 }
 
+TraceReplayer::TraceReplayer(const ReplayAssets& assets, const ReplayConfig& config)
+    : assets_(assets), actions_(config.action_space), rs_(config.rs, actions_, config.reward) {
+  if (config.engine != nullptr) rs_.set_engine(config.engine);
+}
+
+TraceReplayer::Outcome TraceReplayer::replay(const TelemetryRecord& r, std::size_t& action_out) {
+  if (r.request_kind() == serve::RequestKind::kDtPolicy) {
+    const auto it = assets_.policies.find(r.policy_version);
+    if (it == assets_.policies.end() || it->second->schema().dims() != r.obs_len) {
+      return Outcome::kSkippedMissingAssets;
+    }
+    action_out = it->second->decide_index(r.obs_vector());
+    return Outcome::kReplayed;
+  }
+  if (r.forecast_truncated != 0) return Outcome::kSkippedTruncated;
+  const auto it = assets_.models.find(r.policy_version);
+  if (it == assets_.models.end() || it->second->schema().dims() != r.obs_len) {
+    // Missing model, or a model whose schema shape no longer matches the
+    // record — either way the decision cannot be reconstructed.
+    return Outcome::kSkippedMissingAssets;
+  }
+  // Rebuild the observation through the deciding model's schema — a
+  // time-aware record's temporal columns land back in the temporal fields
+  // instead of being misread as weather.
+  const env::Observation obs = it->second->schema().to_observation(r.obs_vector());
+  const std::vector<env::Disturbance> forecast = r.forecast_vector();
+  // The decision's entire stochastic footprint, reconstructed from the
+  // record's stream coordinates — the same derivation the scheduler used
+  // at admission.
+  Rng rng = Rng::stream(r.session_seed, r.decision_index);
+  action_out = rs_.optimize(*it->second, obs, forecast, rng);
+  return Outcome::kReplayed;
+}
+
 ReplayReport replay_trace(const TelemetryTrace& trace, const ReplayAssets& assets,
                           const ReplayConfig& config) {
-  const control::ActionSpace actions(config.action_space);
-  control::RandomShooting rs(config.rs, actions, config.reward);
-  if (config.engine != nullptr) rs.set_engine(config.engine);
+  TraceReplayer replayer(assets, config);
 
   ReplayReport report;
   for (std::size_t i = 0; i < trace.records.size(); ++i) {
     const TelemetryRecord& r = trace.records[i];
     std::size_t replayed_action = 0;
-    if (r.request_kind() == serve::RequestKind::kDtPolicy) {
-      const auto it = assets.policies.find(r.policy_version);
-      if (it == assets.policies.end() || it->second->schema().dims() != r.obs_len) {
-        ++report.skipped_missing_assets;
-        continue;
-      }
-      replayed_action = it->second->decide_index(r.obs_vector());
-    } else {
-      if (r.forecast_truncated != 0) {
+    switch (replayer.replay(r, replayed_action)) {
+      case TraceReplayer::Outcome::kSkippedTruncated:
         ++report.skipped_truncated;
         continue;
-      }
-      const auto it = assets.models.find(r.policy_version);
-      if (it == assets.models.end() || it->second->schema().dims() != r.obs_len) {
-        // Missing model, or a model whose schema shape no longer matches
-        // the record — either way the decision cannot be reconstructed.
+      case TraceReplayer::Outcome::kSkippedMissingAssets:
         ++report.skipped_missing_assets;
         continue;
-      }
-      // Rebuild the observation through the deciding model's schema — a
-      // time-aware record's temporal columns land back in the temporal
-      // fields instead of being misread as weather.
-      const env::Observation obs = it->second->schema().to_observation(r.obs_vector());
-      const std::vector<env::Disturbance> forecast = r.forecast_vector();
-      // The decision's entire stochastic footprint, reconstructed from the
-      // record's stream coordinates — the same derivation the scheduler
-      // used at admission.
-      Rng rng = Rng::stream(r.session_seed, r.decision_index);
-      replayed_action = rs.optimize(*it->second, obs, forecast, rng);
+      case TraceReplayer::Outcome::kReplayed:
+        break;
     }
     ++report.replayed;
     if (replayed_action == r.action_index) {

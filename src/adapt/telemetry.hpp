@@ -57,6 +57,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -199,12 +200,18 @@ class TelemetryLog : public serve::DecisionTap {
   std::uint64_t drain(std::vector<TelemetryRecord>& out);
 
   /// Monotonic counters. `recorded` counts successful ring publications;
-  /// `lost` accumulates drain()-detected losses. Dual-published: this
-  /// per-log snapshot stays exact; publications and losses also land in
-  /// the process-wide obs registry (`telemetry_*` instruments).
+  /// `lost` accumulates drain()-detected losses, of which `overwritten`
+  /// is the lap-overwrite share (the rest are torn slots or lapped
+  /// forecasts); `sampling_skips` counts DT decisions the deterministic
+  /// sampler chose not to record. Dual-published: this per-log snapshot
+  /// stays exact; every field also lands in the process-wide obs registry
+  /// (`telemetry_*` instruments), so durable-log capture gaps show on the
+  /// same dashboard as everything else.
   struct Stats {
     std::uint64_t recorded = 0;
     std::uint64_t lost = 0;
+    std::uint64_t overwritten = 0;
+    std::uint64_t sampling_skips = 0;
   };
   Stats stats() const;
 
@@ -256,11 +263,15 @@ class TelemetryLog : public serve::DecisionTap {
   std::size_t dt_sample_mask_ = 0;  ///< 0 = record every DT decision
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> lost_{0};
+  std::atomic<std::uint64_t> overwritten_{0};
+  std::atomic<std::uint64_t> sampling_skips_{0};
 
   /// Process-wide obs instruments (resolved once at construction).
   struct ObsHandles {
     obs::Counter* records;
     obs::Counter* lost;
+    obs::Counter* overwritten;
+    obs::Counter* sampling_skips;
   };
   ObsHandles obs_;
 
@@ -318,10 +329,50 @@ struct ReplayReport {
   bool bit_identical() const { return replayed > 0 && matched == replayed; }
 };
 
+/// Streaming per-record replay: one optimizer instance, one record at a
+/// time — replay_trace() is built on this, and the durable store's
+/// `trace verify` path uses it to recompute segment decisions without
+/// materializing a whole TelemetryTrace.
+class TraceReplayer {
+ public:
+  enum class Outcome : std::uint8_t {
+    kReplayed = 0,
+    kSkippedTruncated = 1,      ///< forecast longer than the inline cap
+    kSkippedMissingAssets = 2,  ///< no artifact for the record's version
+  };
+
+  TraceReplayer(const ReplayAssets& assets, const ReplayConfig& config);
+
+  /// Recomputes the record's decision from its RNG stream coordinates;
+  /// on kReplayed, `action_out` holds the replayed action index.
+  Outcome replay(const TelemetryRecord& record, std::size_t& action_out);
+
+ private:
+  const ReplayAssets& assets_;
+  control::ActionSpace actions_;
+  control::RandomShooting rs_;
+};
+
 /// Recomputes every replayable decision in the trace from its record alone
 /// and compares with what was served. A trace captured with a large-enough
 /// ring replays bit-identically at any VERI_HVAC_THREADS (test-locked).
 ReplayReport replay_trace(const TelemetryTrace& trace, const ReplayAssets& assets,
                           const ReplayConfig& config);
+
+namespace detail {
+/// Field-by-field binary (de)serialization of one record/session, exactly
+/// the layout save_trace()/load_trace() use — shared with the durable
+/// store's framed segments so a segment record is byte-identical to the
+/// same record in a v1-trace file. Readers throw std::runtime_error on a
+/// short stream or out-of-range lengths.
+void write_record(std::ostream& out, const TelemetryRecord& record);
+TelemetryRecord read_record(std::istream& in, std::uint32_t version);
+void write_session(std::ostream& out, const TelemetrySession& session);
+TelemetrySession read_session(std::istream& in);
+/// Buffer-append variants of the writers (same wire bytes, one inlined
+/// memcpy per field) — the durable store's per-record fast path.
+void append_record(std::string& out, const TelemetryRecord& record);
+void append_session(std::string& out, const TelemetrySession& session);
+}  // namespace detail
 
 }  // namespace verihvac::adapt

@@ -1,0 +1,998 @@
+#include "adapt/telemetry_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/crc32.hpp"
+#include "common/timing.hpp"
+#include "obs/trace.hpp"
+
+namespace verihvac::adapt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kSegmentMagic[4] = {'V', 'H', 'T', 'S'};
+constexpr const char* kSealedSuffix = ".vhtseg";
+constexpr const char* kOpenSuffix = ".vhtseg.open";
+
+/// Serialized header field bytes (declaration order, fixed widths):
+/// 2*u32 + u8 + 12*u64 + u32 = 109. The on-disk header is
+/// magic(4) + fields(109) + header_crc(4).
+constexpr std::size_t kHeaderFieldBytes = 109;
+static_assert(kSegmentHeaderBytes == sizeof(kSegmentMagic) + kHeaderFieldBytes + 4,
+              "exported header size must match the serialized layout");
+
+/// Generous per-frame body bound: a max-forecast record serializes to
+/// ~1.5 KB; session frames carry a policy key (bounded on read). Anything
+/// larger is torn bytes, not a frame.
+constexpr std::uint32_t kMaxFrameBody = 1u << 21;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("telemetry segment: truncated header");
+  return value;
+}
+
+std::string serialize_header_fields(const SegmentHeader& h) {
+  std::ostringstream out(std::ios::binary);
+  write_pod<std::uint32_t>(out, h.format_version);
+  write_pod<std::uint32_t>(out, h.trace_version);
+  write_pod<std::uint8_t>(out, h.sealed);
+  write_pod<std::uint64_t>(out, h.base_seq);
+  write_pod<std::uint64_t>(out, h.record_count);
+  write_pod<std::uint64_t>(out, h.session_count);
+  write_pod<std::uint64_t>(out, h.session_min);
+  write_pod<std::uint64_t>(out, h.session_max);
+  write_pod<std::uint64_t>(out, h.decision_min);
+  write_pod<std::uint64_t>(out, h.decision_max);
+  write_pod<std::uint64_t>(out, h.schema_fingerprint);
+  write_pod<std::uint64_t>(out, h.open_steady_ns);
+  write_pod<std::uint64_t>(out, h.close_steady_ns);
+  write_pod<std::uint64_t>(out, h.payload_bytes);
+  write_pod<std::uint32_t>(out, h.payload_crc);
+  write_pod<std::uint64_t>(out, h.replay_fingerprint);
+  std::string bytes = out.str();
+  if (bytes.size() != kHeaderFieldBytes) {
+    throw std::logic_error("telemetry segment: header layout drifted from kHeaderFieldBytes");
+  }
+  return bytes;
+}
+
+SegmentHeader parse_header_fields(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  SegmentHeader h;
+  h.format_version = read_pod<std::uint32_t>(in);
+  h.trace_version = read_pod<std::uint32_t>(in);
+  h.sealed = read_pod<std::uint8_t>(in);
+  h.base_seq = read_pod<std::uint64_t>(in);
+  h.record_count = read_pod<std::uint64_t>(in);
+  h.session_count = read_pod<std::uint64_t>(in);
+  h.session_min = read_pod<std::uint64_t>(in);
+  h.session_max = read_pod<std::uint64_t>(in);
+  h.decision_min = read_pod<std::uint64_t>(in);
+  h.decision_max = read_pod<std::uint64_t>(in);
+  h.schema_fingerprint = read_pod<std::uint64_t>(in);
+  h.open_steady_ns = read_pod<std::uint64_t>(in);
+  h.close_steady_ns = read_pod<std::uint64_t>(in);
+  h.payload_bytes = read_pod<std::uint64_t>(in);
+  h.payload_crc = read_pod<std::uint32_t>(in);
+  h.replay_fingerprint = read_pod<std::uint64_t>(in);
+  return h;
+}
+
+void write_header_at_start(std::ostream& out, const SegmentHeader& h) {
+  const std::string fields = serialize_header_fields(h);
+  out.write(kSegmentMagic, sizeof(kSegmentMagic));
+  out.write(fields.data(), static_cast<std::streamsize>(fields.size()));
+  write_pod<std::uint32_t>(out, common::crc32(fields.data(), fields.size()));
+}
+
+SegmentHeader read_header_stream(std::istream& in, const std::string& path) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    throw std::runtime_error("telemetry segment: bad magic in " + path);
+  }
+  std::string fields(kHeaderFieldBytes, '\0');
+  in.read(fields.data(), static_cast<std::streamsize>(fields.size()));
+  if (!in) throw std::runtime_error("telemetry segment: truncated header in " + path);
+  const auto stored_crc = read_pod<std::uint32_t>(in);
+  if (common::crc32(fields.data(), fields.size()) != stored_crc) {
+    throw std::runtime_error("telemetry segment: header CRC mismatch in " + path);
+  }
+  SegmentHeader h = parse_header_fields(fields);
+  if (h.format_version != kSegmentFormatVersion) {
+    throw std::runtime_error("telemetry segment: unsupported format version " +
+                             std::to_string(h.format_version) + " in " + path);
+  }
+  if (h.trace_version != 1 && h.trace_version != kTelemetryTraceVersion) {
+    throw std::runtime_error("telemetry segment: unsupported trace version " +
+                             std::to_string(h.trace_version) + " in " + path);
+  }
+  return h;
+}
+
+std::string segment_basename(std::uint64_t base_seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "seg-%016llx", static_cast<unsigned long long>(base_seq));
+  return std::string(buf);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xFFu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// One frame, serialized: [type u8 | body_len u32 | body_crc u32 | body].
+std::string make_frame(std::uint8_t type, const std::string& body) {
+  std::ostringstream out(std::ios::binary);
+  write_pod<std::uint8_t>(out, type);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(body.size()));
+  write_pod<std::uint32_t>(out, common::crc32(body.data(), body.size()));
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  return out.str();
+}
+
+inline constexpr std::size_t kFrameHeaderBytes = 9;  // type + body_len + body_crc
+
+/// Folds one frame header into the segment's rolling payload CRC. The
+/// payload CRC seals frame headers only; each body is covered by the
+/// body_crc embedded in its header, so corruption anywhere in the payload
+/// still lands on exactly one failed check.
+std::uint32_t chain_frame_header(std::uint32_t crc, std::uint8_t type, std::uint32_t body_len,
+                                 std::uint32_t body_crc) {
+  unsigned char hdr[kFrameHeaderBytes];
+  hdr[0] = type;
+  std::memcpy(hdr + 1, &body_len, sizeof body_len);
+  std::memcpy(hdr + 1 + sizeof body_len, &body_crc, sizeof body_crc);
+  return common::crc32_update(crc, hdr, sizeof hdr);
+}
+
+/// Builds one frame in place in `out` (reused across calls): reserves the
+/// frame header, appends the body through `append_body` (one of the
+/// detail::append_* writers), then patches type/len/crc. Byte-identical to
+/// make_frame — the writer fast path and the cold readers share one wire
+/// format.
+template <typename AppendBody>
+void build_frame(std::string& out, std::uint8_t type, AppendBody&& append_body) {
+  out.clear();
+  out.resize(kFrameHeaderBytes);
+  append_body(out);
+  const auto body_len = static_cast<std::uint32_t>(out.size() - kFrameHeaderBytes);
+  const std::uint32_t body_crc = common::crc32(out.data() + kFrameHeaderBytes, body_len);
+  out[0] = static_cast<char>(type);
+  std::memcpy(&out[1], &body_len, sizeof body_len);
+  std::memcpy(&out[1 + sizeof body_len], &body_crc, sizeof body_crc);
+}
+
+/// Accumulates the header bookkeeping a writer/scanner needs per record.
+struct PayloadTally {
+  std::uint64_t records = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t session_min = UINT64_MAX;
+  std::uint64_t session_max = 0;
+  std::uint64_t decision_min = UINT64_MAX;
+  std::uint64_t decision_max = 0;
+  std::set<std::uint64_t> schema_pairs;
+  std::uint64_t replay_fp = kReplayFingerprintSeed;
+
+  void add_record(const TelemetryRecord& r) {
+    ++records;
+    session_min = std::min(session_min, static_cast<std::uint64_t>(r.session));
+    session_max = std::max(session_max, static_cast<std::uint64_t>(r.session));
+    decision_min = std::min(decision_min, r.decision_index);
+    decision_max = std::max(decision_max, r.decision_index);
+    schema_pairs.insert((static_cast<std::uint64_t>(r.obs_len) << 16) | r.zone_temp_dim);
+    replay_fp = replay_fingerprint_update(replay_fp, r, r.action_index);
+  }
+
+  std::uint64_t schema_fingerprint() const {
+    std::uint64_t h = kReplayFingerprintSeed;
+    for (const std::uint64_t pair : schema_pairs) h = fnv_mix(h, pair);
+    return h;
+  }
+
+  void fill(SegmentHeader& h) const {
+    h.record_count = records;
+    h.session_count = sessions;
+    h.session_min = records > 0 ? session_min : 0;
+    h.session_max = session_max;
+    h.decision_min = records > 0 ? decision_min : 0;
+    h.decision_max = decision_max;
+    h.schema_fingerprint = schema_fingerprint();
+    h.replay_fingerprint = replay_fp;
+  }
+};
+
+struct ScannedPayload {
+  PayloadTally tally;
+  std::uint64_t good_bytes = 0;  ///< offset past the last whole frame
+  std::uint32_t crc = 0;         ///< rolling CRC over the good bytes
+  bool torn_tail = false;        ///< trailing bytes did not form a frame
+  std::vector<TelemetrySession> sessions;
+  std::vector<TelemetryRecord> records;  ///< filled only when keep_payload
+};
+
+/// Frame-by-frame scan from the current stream position. Stops (without
+/// throwing) at the first torn/invalid frame; structural readers treat a
+/// torn tail as an error, recovery treats it as the trim point.
+ScannedPayload scan_payload(std::istream& in, std::uint32_t trace_version, bool keep_payload) {
+  ScannedPayload out;
+  while (true) {
+    std::uint8_t type = 0;
+    if (!in.read(reinterpret_cast<char*>(&type), 1)) break;  // clean EOF
+    std::uint32_t body_len = 0;
+    std::uint32_t body_crc = 0;
+    if (!in.read(reinterpret_cast<char*>(&body_len), 4) ||
+        !in.read(reinterpret_cast<char*>(&body_crc), 4)) {
+      out.torn_tail = true;
+      break;
+    }
+    if ((type != kFrameSession && type != kFrameRecord) || body_len > kMaxFrameBody) {
+      out.torn_tail = true;
+      break;
+    }
+    std::string body(body_len, '\0');
+    if (!in.read(body.data(), static_cast<std::streamsize>(body_len))) {
+      out.torn_tail = true;
+      break;
+    }
+    if (common::crc32(body.data(), body.size()) != body_crc) {
+      out.torn_tail = true;
+      break;
+    }
+    std::istringstream body_in(body, std::ios::binary);
+    try {
+      if (type == kFrameRecord) {
+        TelemetryRecord record = detail::read_record(body_in, trace_version);
+        out.tally.add_record(record);
+        if (keep_payload) out.records.push_back(record);
+      } else {
+        TelemetrySession session = detail::read_session(body_in);
+        ++out.tally.sessions;
+        out.sessions.push_back(std::move(session));
+      }
+    } catch (const std::runtime_error&) {
+      // CRC held but the body does not parse as its frame type — torn by
+      // a writer that died mid-frame-header; trim here.
+      out.torn_tail = true;
+      break;
+    }
+    out.crc = chain_frame_header(out.crc, type, body_len, body_crc);
+    out.good_bytes += kFrameHeaderBytes + body_len;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t replay_fingerprint_update(std::uint64_t h, const TelemetryRecord& record,
+                                        std::uint64_t action_index) {
+  h = fnv_mix(h, record.session);
+  h = fnv_mix(h, record.decision_index);
+  h = fnv_mix(h, action_index);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryStore
+
+TelemetryStore::TelemetryStore(std::shared_ptr<TelemetryLog> log, TelemetryStoreConfig config)
+    : log_(std::move(log)),
+      config_(std::move(config)),
+      obs_{&obs::counter("telemetry_store_records_persisted_total"),
+           &obs::counter("telemetry_store_records_dropped_total"),
+           &obs::counter("telemetry_store_bytes_written_total"),
+           &obs::counter("telemetry_store_rotations_total"),
+           &obs::counter("telemetry_store_compactions_total"),
+           &obs::counter("telemetry_store_truncations_total"),
+           &obs::gauge("telemetry_store_segments"),
+           &obs::histogram("telemetry_store_flush_seconds")} {
+  if (log_ == nullptr) throw std::invalid_argument("TelemetryStore: null telemetry log");
+  if (config_.directory.empty()) throw std::invalid_argument("TelemetryStore: empty directory");
+  fs::create_directories(config_.directory);
+
+  recover_open_segments();
+  for (const SegmentInfo& info : sealed_segments_locked()) {
+    next_seq_ = std::max(next_seq_, info.header.base_seq + info.header.record_count);
+  }
+  refresh_segment_gauge_locked();
+
+  if (config_.start_writer) {
+    worker_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(worker_mutex_);
+      while (!stop_requested_) {
+        worker_cv_.wait_for(lock, config_.flush_interval);
+        if (stop_requested_) break;
+        lock.unlock();
+        pump_once();
+        lock.lock();
+      }
+    });
+  }
+}
+
+TelemetryStore::~TelemetryStore() { stop(); }
+
+void TelemetryStore::stop() {
+  {
+    std::lock_guard<std::mutex> lock(worker_mutex_);
+    stop_requested_ = true;
+  }
+  worker_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+
+  if (config_.seal_on_close) {
+    pump_once();
+    seal_active();
+  } else {
+    // Crash simulation: leave the `.open` tail exactly as last flushed.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (active_ != nullptr) {
+      active_->file.close();
+      active_.reset();
+    }
+  }
+}
+
+void TelemetryStore::recover_open_segments() {
+  std::vector<std::string> open_paths;
+  for (const auto& entry : fs::directory_iterator(config_.directory)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    if (ends_with(path, kOpenSuffix)) open_paths.push_back(path);
+  }
+  std::sort(open_paths.begin(), open_paths.end());
+
+  for (const std::string& path : open_paths) {
+    SegmentHeader header;
+    ScannedPayload scanned;
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw std::runtime_error("telemetry segment: cannot read " + path);
+      header = read_header_stream(in, path);
+      scanned = scan_payload(in, header.trace_version, /*keep_payload=*/false);
+    } catch (const std::runtime_error&) {
+      // Even the header is torn: nothing recoverable. Quarantine rather
+      // than delete so the operator can inspect; readers ignore .corrupt.
+      fs::rename(path, path + ".corrupt");
+      ++stats_.truncations;
+      obs_.truncations->add(1);
+      continue;
+    }
+
+    const std::uint64_t file_size = fs::file_size(path);
+    const std::uint64_t good_size = kSegmentHeaderBytes + scanned.good_bytes;
+    const bool trimmed = file_size > good_size;
+    if (scanned.tally.records == 0 && scanned.tally.sessions == 0) {
+      // Nothing whole survived; keep the torn bytes out of the read path.
+      fs::remove(path);
+      if (trimmed || scanned.torn_tail) {
+        ++stats_.truncations;
+        ++stats_.records_dropped_torn;
+        obs_.truncations->add(1);
+        obs_.dropped->add(1);
+      }
+      continue;
+    }
+    if (trimmed) {
+      fs::resize_file(path, good_size);
+      ++stats_.truncations;
+      // The trimmed bytes held at most one partial frame (frames are
+      // appended whole): account one torn record, never zero — a trim
+      // must be visible in the drop ledger.
+      ++stats_.records_dropped_torn;
+      obs_.truncations->add(1);
+      obs_.dropped->add(1);
+    }
+
+    // Seal in place: final header over the surviving payload, then drop
+    // the .open suffix. next_seq_ advances past the recovered records.
+    scanned.tally.fill(header);
+    header.sealed = 1;
+    header.payload_bytes = scanned.good_bytes;
+    header.payload_crc = scanned.crc;
+    if (header.close_steady_ns == 0) header.close_steady_ns = header.open_steady_ns;
+    {
+      std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+      if (!out) throw std::runtime_error("telemetry segment: cannot reseal " + path);
+      write_header_at_start(out, header);
+      if (!out) throw std::runtime_error("telemetry segment: reseal write failed for " + path);
+    }
+    const std::string sealed_path = path.substr(0, path.size() - std::strlen(".open"));
+    fs::rename(path, sealed_path);
+    next_seq_ = std::max(next_seq_, header.base_seq + header.record_count);
+  }
+}
+
+void TelemetryStore::open_segment() {
+  auto active = std::make_unique<ActiveSegment>();
+  active->header.base_seq = next_seq_;
+  active->header.open_steady_ns = steady_ns();
+  active->header.replay_fingerprint = kReplayFingerprintSeed;
+  active->opened_at = std::chrono::steady_clock::now();
+  active->path = (fs::path(config_.directory) / (segment_basename(next_seq_) + kOpenSuffix)).string();
+  active->file.open(active->path, std::ios::binary | std::ios::trunc);
+  if (!active->file) {
+    throw std::runtime_error("TelemetryStore: cannot create " + active->path);
+  }
+  write_header_at_start(active->file, active->header);  // provisional
+  active_ = std::move(active);
+  session_ids_in_active_.clear();
+
+  // Self-contained segments: every session known so far is written into
+  // the fresh segment before any of its records.
+  for (const TelemetrySession& session : log_->sessions()) append_session_frame(session);
+  sessions_written_ = session_ids_in_active_.size();
+  refresh_segment_gauge_locked();
+}
+
+void TelemetryStore::append_session_frame(const TelemetrySession& session) {
+  if (session_ids_in_active_.count(session.id) > 0) return;
+  std::string& frame = frame_buffer_;
+  build_frame(frame, kFrameSession,
+              [&session](std::string& body) { detail::append_session(body, session); });
+  active_->file.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  active_->crc = common::crc32_update(active_->crc, frame.data(), kFrameHeaderBytes);
+  active_->header.payload_bytes += frame.size();
+  ++active_->header.session_count;
+  session_ids_in_active_.insert(session.id);
+  stats_.bytes_written += frame.size();
+  obs_.bytes->add(frame.size());
+}
+
+void TelemetryStore::append_record_frame(const TelemetryRecord& record) {
+  std::string& frame = frame_buffer_;
+  build_frame(frame, kFrameRecord,
+              [&record](std::string& body) { detail::append_record(body, record); });
+  active_->file.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  active_->crc = common::crc32_update(active_->crc, frame.data(), kFrameHeaderBytes);
+
+  SegmentHeader& h = active_->header;
+  h.payload_bytes += frame.size();
+  if (h.record_count == 0) {
+    h.session_min = record.session;
+    h.session_max = record.session;
+    h.decision_min = record.decision_index;
+    h.decision_max = record.decision_index;
+  } else {
+    h.session_min = std::min(h.session_min, static_cast<std::uint64_t>(record.session));
+    h.session_max = std::max(h.session_max, static_cast<std::uint64_t>(record.session));
+    h.decision_min = std::min(h.decision_min, record.decision_index);
+    h.decision_max = std::max(h.decision_max, record.decision_index);
+  }
+  ++h.record_count;
+  h.replay_fingerprint = replay_fingerprint_update(h.replay_fingerprint, record, record.action_index);
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(record.obs_len) << 16) | record.zone_temp_dim;
+  if (pair != active_->last_schema_pair) {  // one tree probe per schema change, not per record
+    active_->schema_pairs.insert(pair);
+    active_->last_schema_pair = pair;
+  }
+  ++next_seq_;
+  ++stats_.records_persisted;
+  stats_.bytes_written += frame.size();
+  // Counter publication is batched per pump (pump_once), not per record.
+  pending_obs_records_ += 1;
+  pending_obs_bytes_ += frame.size();
+}
+
+void TelemetryStore::seal_active_locked() {
+  if (active_ == nullptr) return;
+  obs::TraceSpan span("telemetry.rotate", "telemetry");
+
+  SegmentHeader& h = active_->header;
+  h.sealed = 1;
+  h.close_steady_ns = steady_ns();
+  h.payload_crc = active_->crc;
+  std::uint64_t schema_fp = kReplayFingerprintSeed;
+  for (const std::uint64_t pair : active_->schema_pairs) schema_fp = fnv_mix(schema_fp, pair);
+  h.schema_fingerprint = schema_fp;
+  if (h.record_count == 0) h.replay_fingerprint = kReplayFingerprintSeed;
+
+  active_->file.seekp(0);
+  write_header_at_start(active_->file, h);
+  active_->file.flush();
+  if (!active_->file) {
+    throw std::runtime_error("TelemetryStore: seal write failed for " + active_->path);
+  }
+  active_->file.close();
+  const std::string sealed_path =
+      active_->path.substr(0, active_->path.size() - std::strlen(".open"));
+  fs::rename(active_->path, sealed_path);
+  active_.reset();
+  ++stats_.rotations;
+  obs_.rotations->add(1);
+  refresh_segment_gauge_locked();
+}
+
+void TelemetryStore::maybe_rotate_locked() {
+  if (active_ == nullptr) return;
+  const SegmentHeader& h = active_->header;
+  bool rotate = false;
+  if (config_.segment_max_bytes > 0 && h.payload_bytes >= config_.segment_max_bytes) rotate = true;
+  if (config_.segment_max_records > 0 && h.record_count >= config_.segment_max_records)
+    rotate = true;
+  if (config_.segment_max_seconds > 0.0) {
+    const double age =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - active_->opened_at)
+            .count();
+    if (age >= config_.segment_max_seconds) rotate = true;
+  }
+  if (!rotate) return;
+  seal_active_locked();
+
+  if (config_.compact_min_segments > 0 &&
+      sealed_segments_locked().size() >= config_.compact_min_segments) {
+    compact_locked();
+  }
+  enforce_retention_locked();
+}
+
+void TelemetryStore::pump_once() {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  drain_buffer_.clear();
+  const std::uint64_t lost = log_->drain(drain_buffer_);
+  stats_.capture_lost += lost;
+  if (fetch_enabled_.load(std::memory_order_relaxed)) {
+    fetch_lost_ += lost;
+    fetch_queue_.insert(fetch_queue_.end(), drain_buffer_.begin(), drain_buffer_.end());
+  }
+
+  if (!drain_buffer_.empty() || log_->session_count() > sessions_written_) {
+    if (active_ == nullptr) open_segment();
+    // New sessions registered since the segment opened get their frames
+    // before the records that may reference them.
+    if (log_->session_count() > sessions_written_) {
+      for (const TelemetrySession& session : log_->sessions()) append_session_frame(session);
+      sessions_written_ = std::max(sessions_written_, session_ids_in_active_.size());
+    }
+    for (const TelemetryRecord& record : drain_buffer_) {
+      // Per-record rotation check: one oversized drain batch still splits
+      // across segment boundaries instead of blowing past the budget.
+      if (active_ == nullptr) open_segment();
+      append_record_frame(record);
+      maybe_rotate_locked();
+    }
+    if (active_ != nullptr) active_->file.flush();
+  }
+  // Age-based rotation also fires on idle flush ticks, not just appends.
+  maybe_rotate_locked();
+
+  if (pending_obs_records_ > 0) {
+    obs_.persisted->add(pending_obs_records_);
+    obs_.bytes->add(pending_obs_bytes_);
+    pending_obs_records_ = 0;
+    pending_obs_bytes_ = 0;
+  }
+  obs_.flush_seconds->observe(seconds_since(t0));
+}
+
+std::uint64_t TelemetryStore::fetch(std::vector<TelemetryRecord>& out) {
+  enable_fetch_queue();
+  pump_once();
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.insert(out.end(), fetch_queue_.begin(), fetch_queue_.end());
+  fetch_queue_.clear();
+  const std::uint64_t lost = fetch_lost_;
+  fetch_lost_ = 0;
+  return lost;
+}
+
+void TelemetryStore::enable_fetch_queue() { fetch_enabled_.store(true, std::memory_order_relaxed); }
+
+void TelemetryStore::note_sessions_evicted(const std::vector<serve::SessionId>& ids) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  evicted_.insert(ids.begin(), ids.end());
+}
+
+void TelemetryStore::seal_active() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seal_active_locked();
+}
+
+bool TelemetryStore::compact_now() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compact_locked();
+}
+
+std::vector<SegmentInfo> TelemetryStore::sealed_segments_locked() const {
+  std::vector<SegmentInfo> out;
+  for (const SegmentInfo& info : list_segments(config_.directory)) {
+    if (!info.open) out.push_back(info);
+  }
+  return out;
+}
+
+bool TelemetryStore::compact_locked() {
+  const std::vector<SegmentInfo> sealed = sealed_segments_locked();
+  if (sealed.size() < 2) return false;
+
+  // Merge the oldest run that fits the segment byte budget (all of them
+  // when no budget is set); a run of one would be a rewrite, not a merge.
+  std::size_t take = 0;
+  std::uint64_t bytes = 0;
+  for (const SegmentInfo& info : sealed) {
+    if (take >= 2 && config_.segment_max_bytes > 0 &&
+        bytes + info.header.payload_bytes > config_.segment_max_bytes) {
+      break;
+    }
+    bytes += info.header.payload_bytes;
+    ++take;
+  }
+  if (take < 2) return false;
+
+  obs::TraceSpan span("telemetry.compact", "telemetry");
+
+  // Materialize the run (bounded by the byte budget), dropping evicted
+  // sessions' records and session frames.
+  TelemetryTrace merged;
+  for (std::size_t i = 0; i < take; ++i) read_segment(sealed[i].path, merged);
+
+  std::uint64_t dropped = 0;
+  PayloadTally tally;
+  std::vector<TelemetryRecord> kept;
+  kept.reserve(merged.records.size());
+  for (const TelemetryRecord& record : merged.records) {
+    if (evicted_.count(record.session) > 0) {
+      ++dropped;
+      continue;
+    }
+    kept.push_back(record);
+    tally.add_record(record);
+  }
+  std::vector<TelemetrySession> sessions;
+  std::set<serve::SessionId> seen;
+  for (const TelemetrySession& session : merged.sessions) {
+    if (evicted_.count(session.id) > 0 || !seen.insert(session.id).second) continue;
+    sessions.push_back(session);
+  }
+  tally.sessions = sessions.size();
+
+  SegmentHeader header;
+  header.base_seq = sealed.front().header.base_seq;
+  header.open_steady_ns = sealed.front().header.open_steady_ns;
+  header.close_steady_ns = sealed[take - 1].header.close_steady_ns;
+  header.sealed = 1;
+  tally.fill(header);
+
+  const std::string sealed_path =
+      (fs::path(config_.directory) / (segment_basename(header.base_seq) + kSealedSuffix)).string();
+  const std::string tmp_path = sealed_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("TelemetryStore: cannot create " + tmp_path);
+    write_header_at_start(out, header);  // provisional (payload fields open)
+    std::uint32_t crc = 0;
+    std::uint64_t payload_bytes = 0;
+    const auto append = [&](std::uint8_t type, const std::string& body) {
+      const std::string frame = make_frame(type, body);
+      out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+      crc = common::crc32_update(crc, frame.data(), kFrameHeaderBytes);
+      payload_bytes += frame.size();
+    };
+    for (const TelemetrySession& session : sessions) {
+      std::ostringstream body(std::ios::binary);
+      detail::write_session(body, session);
+      append(kFrameSession, body.str());
+    }
+    for (const TelemetryRecord& record : kept) {
+      std::ostringstream body(std::ios::binary);
+      detail::write_record(body, record);
+      append(kFrameRecord, body.str());
+    }
+    header.payload_bytes = payload_bytes;
+    header.payload_crc = crc;
+    out.seekp(0);
+    write_header_at_start(out, header);
+    if (!out) throw std::runtime_error("TelemetryStore: compaction write failed for " + tmp_path);
+  }
+  for (std::size_t i = 0; i < take; ++i) fs::remove(sealed[i].path);
+  fs::rename(tmp_path, sealed_path);
+
+  ++stats_.compactions;
+  stats_.records_dropped_evicted += dropped;
+  obs_.compactions->add(1);
+  if (dropped > 0) obs_.dropped->add(dropped);
+  refresh_segment_gauge_locked();
+  return true;
+}
+
+void TelemetryStore::enforce_retention_locked() {
+  if (config_.retain_max_segments == 0 && config_.retain_max_bytes == 0) return;
+  std::vector<SegmentInfo> sealed = sealed_segments_locked();
+  std::uint64_t total_bytes = 0;
+  for (const SegmentInfo& info : sealed) total_bytes += info.header.payload_bytes;
+
+  std::size_t begin = 0;
+  while (begin < sealed.size()) {
+    const bool over_count =
+        config_.retain_max_segments > 0 && sealed.size() - begin > config_.retain_max_segments;
+    const bool over_bytes = config_.retain_max_bytes > 0 && total_bytes > config_.retain_max_bytes &&
+                            sealed.size() - begin > 1;
+    if (!over_count && !over_bytes) break;
+    const SegmentInfo& victim = sealed[begin];
+    fs::remove(victim.path);
+    stats_.records_dropped_retention += victim.header.record_count;
+    if (victim.header.record_count > 0) obs_.dropped->add(victim.header.record_count);
+    total_bytes -= victim.header.payload_bytes;
+    ++begin;
+  }
+  if (begin > 0) refresh_segment_gauge_locked();
+}
+
+void TelemetryStore::refresh_segment_gauge_locked() {
+  std::size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(config_.directory)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    if (ends_with(path, kSealedSuffix) || ends_with(path, kOpenSuffix)) ++n;
+  }
+  obs_.segments->set(static_cast<double>(n));
+}
+
+TelemetryStore::Stats TelemetryStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Directory-level read side
+
+SegmentHeader read_segment_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("telemetry segment: cannot read " + path);
+  return read_header_stream(in, path);
+}
+
+std::vector<SegmentInfo> list_segments(const std::string& directory) {
+  std::vector<SegmentInfo> out;
+  if (!fs::is_directory(directory)) {
+    throw std::runtime_error("telemetry segment: not a directory: " + directory);
+  }
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    SegmentInfo info;
+    if (ends_with(path, kOpenSuffix)) {
+      info.open = true;
+    } else if (ends_with(path, kSealedSuffix)) {
+      info.open = false;
+    } else {
+      continue;  // .tmp / .corrupt / foreign files
+    }
+    info.path = path;
+    info.header = read_segment_header(path);
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(), [](const SegmentInfo& a, const SegmentInfo& b) {
+    if (a.header.base_seq != b.header.base_seq) return a.header.base_seq < b.header.base_seq;
+    return a.path < b.path;
+  });
+  return out;
+}
+
+void read_segment(const std::string& path, TelemetryTrace& into) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("telemetry segment: cannot read " + path);
+  const SegmentHeader header = read_header_stream(in, path);
+  if (header.sealed == 0) {
+    throw std::runtime_error("telemetry segment: refusing unsealed segment " + path +
+                             " (reopen the store to run crash recovery, or seal it)");
+  }
+  ScannedPayload scanned = scan_payload(in, header.trace_version, /*keep_payload=*/true);
+  if (scanned.torn_tail || scanned.good_bytes != header.payload_bytes ||
+      scanned.crc != header.payload_crc || scanned.tally.records != header.record_count) {
+    throw std::runtime_error("telemetry segment: payload does not match sealed header in " + path +
+                             " (torn or corrupted - refusing to load)");
+  }
+  into.sessions.insert(into.sessions.end(), scanned.sessions.begin(), scanned.sessions.end());
+  into.records.insert(into.records.end(), scanned.records.begin(), scanned.records.end());
+}
+
+TelemetryTrace load_directory(const std::string& directory) {
+  TelemetryTrace trace;
+  std::set<serve::SessionId> seen;
+  for (const SegmentInfo& info : list_segments(directory)) {
+    if (info.open) {
+      throw std::runtime_error("telemetry segment: active/torn tail present in " + directory +
+                               " - seal the store (or reopen it to recover) before loading");
+    }
+    TelemetryTrace one;
+    read_segment(info.path, one);
+    for (TelemetrySession& session : one.sessions) {
+      if (seen.insert(session.id).second) trace.sessions.push_back(std::move(session));
+    }
+    trace.records.insert(trace.records.end(), one.records.begin(), one.records.end());
+  }
+  std::sort(trace.sessions.begin(), trace.sessions.end(),
+            [](const TelemetrySession& a, const TelemetrySession& b) { return a.id < b.id; });
+  return trace;
+}
+
+dyn::TransitionDataset directory_to_dataset(const std::string& directory) {
+  // Streaming pairing: segments arrive in seq order and a session's
+  // records are decision-ordered within the stream (same-shard rings,
+  // append-order segments), so one pending record per session suffices.
+  struct Candidate {
+    dyn::Transition transition;
+    std::uint16_t cur_len = 0;
+    std::uint16_t next_len = 0;
+  };
+  std::map<serve::SessionId, TelemetryRecord> pending;
+  std::map<serve::SessionId, std::vector<Candidate>> per_session;
+
+  for (const SegmentInfo& info : list_segments(directory)) {
+    if (info.open) {
+      throw std::runtime_error("telemetry segment: active/torn tail present in " + directory +
+                               " - seal the store (or reopen it to recover) before loading");
+    }
+    std::ifstream in(info.path, std::ios::binary);
+    if (!in) throw std::runtime_error("telemetry segment: cannot read " + info.path);
+    const SegmentHeader header = read_header_stream(in, info.path);
+    if (header.sealed == 0) {
+      throw std::runtime_error("telemetry segment: refusing unsealed segment " + info.path);
+    }
+    std::uint64_t records_seen = 0;
+    std::uint64_t bytes_seen = 0;
+    std::uint32_t crc = 0;
+    while (bytes_seen < header.payload_bytes) {
+      std::uint8_t type = 0;
+      std::uint32_t body_len = 0;
+      std::uint32_t body_crc = 0;
+      if (!in.read(reinterpret_cast<char*>(&type), 1) ||
+          !in.read(reinterpret_cast<char*>(&body_len), 4) ||
+          !in.read(reinterpret_cast<char*>(&body_crc), 4) || body_len > kMaxFrameBody) {
+        throw std::runtime_error("telemetry segment: torn frame in " + info.path);
+      }
+      std::string body(body_len, '\0');
+      if (!in.read(body.data(), static_cast<std::streamsize>(body_len)) ||
+          common::crc32(body.data(), body.size()) != body_crc) {
+        throw std::runtime_error("telemetry segment: frame CRC mismatch in " + info.path);
+      }
+      crc = chain_frame_header(crc, type, body_len, body_crc);
+      bytes_seen += kFrameHeaderBytes + body_len;
+      if (type != kFrameRecord) continue;
+      std::istringstream body_in(body, std::ios::binary);
+      const TelemetryRecord record = detail::read_record(body_in, header.trace_version);
+      ++records_seen;
+
+      const auto it = pending.find(record.session);
+      if (it != pending.end() && record.decision_index == it->second.decision_index + 1) {
+        const TelemetryRecord& cur = it->second;
+        Candidate candidate;
+        candidate.transition.input = cur.obs_vector();
+        candidate.transition.action.heating_c = cur.heating_c;
+        candidate.transition.action.cooling_c = cur.cooling_c;
+        candidate.transition.next_zone_temp = record.obs[record.zone_temp_dim];
+        candidate.cur_len = cur.obs_len;
+        candidate.next_len = record.obs_len;
+        per_session[record.session].push_back(std::move(candidate));
+      }
+      pending[record.session] = record;
+    }
+    if (crc != header.payload_crc || records_seen != header.record_count) {
+      throw std::runtime_error("telemetry segment: payload does not match sealed header in " +
+                               info.path + " (torn or corrupted - refusing to load)");
+    }
+  }
+
+  // Same width discipline as trace_to_dataset(): the first session-ordered
+  // candidate pair fixes the dataset's input width.
+  dyn::TransitionDataset dataset;
+  std::uint16_t width = 0;
+  for (auto& [session, candidates] : per_session) {
+    (void)session;
+    for (Candidate& candidate : candidates) {
+      if (width == 0) width = candidate.cur_len;
+      if (candidate.cur_len != width || candidate.next_len != width) continue;
+      dataset.add(std::move(candidate.transition));
+    }
+  }
+  return dataset;
+}
+
+SegmentVerifyReport verify_segment(const std::string& path, const ReplayAssets* assets,
+                                   const ReplayConfig* config) {
+  SegmentVerifyReport report;
+  report.path = path;
+
+  SegmentHeader header;
+  ScannedPayload scanned;
+  try {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read " + path);
+    header = read_header_stream(in, path);
+    if (header.sealed == 0) throw std::runtime_error("segment not sealed: " + path);
+    scanned = scan_payload(in, header.trace_version, /*keep_payload=*/true);
+    if (scanned.torn_tail) throw std::runtime_error("torn frame in payload of " + path);
+    if (scanned.good_bytes != header.payload_bytes) {
+      throw std::runtime_error("payload byte count does not match header in " + path);
+    }
+    if (scanned.crc != header.payload_crc) {
+      throw std::runtime_error("payload CRC mismatch in " + path);
+    }
+    if (scanned.tally.records != header.record_count ||
+        scanned.tally.sessions != header.session_count) {
+      throw std::runtime_error("frame counts do not match header in " + path);
+    }
+    report.structure_ok = true;
+  } catch (const std::exception& e) {
+    report.error = e.what();
+    return report;
+  }
+
+  report.records = scanned.records.size();
+  report.fingerprint_ok = scanned.tally.replay_fp == header.replay_fingerprint &&
+                          scanned.tally.schema_fingerprint() == header.schema_fingerprint;
+  if (!report.fingerprint_ok && report.error.empty()) {
+    report.error = "recorded-action fingerprint does not match header in " + path;
+  }
+
+  if (assets != nullptr && config != nullptr) {
+    report.replayed_pass = true;
+    TraceReplayer replayer(*assets, *config);
+    std::uint64_t fp = kReplayFingerprintSeed;
+    bool all_matched = true;
+    for (const TelemetryRecord& record : scanned.records) {
+      std::size_t action = 0;
+      switch (replayer.replay(record, action)) {
+        case TraceReplayer::Outcome::kSkippedTruncated:
+          ++report.skipped_truncated;
+          fp = replay_fingerprint_update(fp, record, record.action_index);
+          continue;
+        case TraceReplayer::Outcome::kSkippedMissingAssets:
+          ++report.skipped_missing_assets;
+          fp = replay_fingerprint_update(fp, record, record.action_index);
+          continue;
+        case TraceReplayer::Outcome::kReplayed:
+          break;
+      }
+      ++report.replayed;
+      if (action == record.action_index) {
+        ++report.matched;
+      } else {
+        all_matched = false;
+      }
+      // Digest the *replayed* decision: fingerprint equality with the
+      // header certifies the segment by bit-identical replay itself.
+      fp = replay_fingerprint_update(fp, record, static_cast<std::uint64_t>(action));
+    }
+    report.replay_fingerprint = fp;
+    report.replay_ok = all_matched && fp == header.replay_fingerprint;
+  }
+  return report;
+}
+
+}  // namespace verihvac::adapt

@@ -1,0 +1,316 @@
+// Durable telemetry: segment-rotated on-disk decision logs.
+//
+// TelemetryLog (telemetry.hpp) is deliberately volatile — wait-free rings
+// sized for one drain interval. TelemetryStore is the layer that makes a
+// production fleet debuggable after the fact: a background writer drains
+// the log into an append-only directory of *segments*, each a framed,
+// checksummed, self-contained slice of the decision stream:
+//
+//   seg-<base_seq:016x>.vhtseg        sealed (immutable, header final)
+//   seg-<base_seq:016x>.vhtseg.open   the active tail (header provisional)
+//
+// Layout per segment: magic "VHTS", a fixed-width versioned header, then
+// frames of [type u8 | body_len u32 | body_crc u32 | body]. A record
+// frame's body is byte-identical to the same record in a v2 trace file
+// (shared detail::write_record), so segment payloads inherit the trace
+// format's locked byte layout; session frames carry the session table, so
+// every segment replays on its own. The sealed header carries:
+//
+//   * a payload CRC chained over every frame header (each of which embeds
+//     its body's CRC) — detects torn/flipped bits anywhere in the payload;
+//   * session/decision ranges and a schema fingerprint — lets `trace ls`
+//     and retention reason about a segment without scanning it;
+//   * the monotonic open/close span — orders segments across restarts;
+//   * a **replay fingerprint**: an FNV-1a digest of every record's
+//     (session, decision_index, action). `trace verify` recomputes each
+//     decision from its RNG stream coordinates (TraceReplayer) and digests
+//     the *replayed* actions — fingerprint equality therefore certifies
+//     the segment by the bit-identical-replay property itself, a strictly
+//     stronger check than any checksum over stored bytes.
+//
+// Durability policy:
+//   * rotation — the active segment seals when it exceeds the configured
+//     byte/record/age budget, and a fresh one opens;
+//   * crash recovery — on construction, any leftover `.open` tail is
+//     scanned frame by frame; a torn tail is trimmed to the last whole
+//     frame, counted (never silently replayed), sealed and kept;
+//   * compaction — sealed segments merge oldest-first (bounded by the
+//     segment byte budget), dropping records of evicted sessions;
+//   * retention — oldest sealed segments are deleted beyond the
+//     configured segment/byte bounds, their record counts accounted as
+//     dropped.
+//
+// The store is also the adaptation loop's drain seam: fetch() persists
+// and hands the same batch to the caller, so AdaptationController and the
+// durable log consume ONE TelemetryLog tap instead of racing for records.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/telemetry.hpp"
+#include "obs/instruments.hpp"
+
+namespace verihvac::adapt {
+
+/// Current segment container version (framing + header layout). Distinct
+/// from kTelemetryTraceVersion, which governs record *bodies*; a header
+/// carries both.
+inline constexpr std::uint32_t kSegmentFormatVersion = 1;
+
+/// Frame types inside a segment payload.
+inline constexpr std::uint8_t kFrameSession = 0;
+inline constexpr std::uint8_t kFrameRecord = 1;
+
+/// Fixed on-disk size of a segment's file header: magic(4) +
+/// serialized fields(109) + header_crc(4). Payload frames start here.
+inline constexpr std::size_t kSegmentHeaderBytes = 117;
+
+struct TelemetryStoreConfig {
+  /// Segment directory (created if missing).
+  std::string directory;
+  /// Rotation budgets for the active segment; 0 disables that trigger.
+  /// Payload bytes, not file bytes (the fixed header is excluded).
+  std::uint64_t segment_max_bytes = 8ull << 20;
+  std::uint64_t segment_max_records = 0;
+  double segment_max_seconds = 0.0;
+  /// Retention over *sealed* segments; 0 = unbounded. Deleting a segment
+  /// counts its records as dropped (visible in stats + obs).
+  std::size_t retain_max_segments = 0;
+  std::uint64_t retain_max_bytes = 0;
+  /// Compaction trigger: merge the oldest sealed run once at least this
+  /// many sealed segments exist (0 disables background compaction;
+  /// compact_now() always works).
+  std::size_t compact_min_segments = 0;
+  /// Background writer pacing.
+  std::chrono::milliseconds flush_interval{20};
+  /// Spawn the writer thread in the constructor. Off = the owner pumps
+  /// manually (pump_once()/fetch()), which the controller-driven and test
+  /// setups use.
+  bool start_writer = true;
+  /// Seal the active tail on destruction. Off leaves a torn `.open` tail
+  /// behind — exactly what a crash leaves — for the recovery tests/bench.
+  bool seal_on_close = true;
+};
+
+/// The fixed-width segment header (fields serialized in declaration
+/// order; header_crc over the serialized bytes closes the file header).
+struct SegmentHeader {
+  std::uint32_t format_version = kSegmentFormatVersion;
+  std::uint32_t trace_version = kTelemetryTraceVersion;
+  std::uint8_t sealed = 0;
+  std::uint64_t base_seq = 0;  ///< store-lifetime seq of the first record
+  std::uint64_t record_count = 0;
+  std::uint64_t session_count = 0;  ///< session frames in the payload
+  std::uint64_t session_min = 0;
+  std::uint64_t session_max = 0;
+  std::uint64_t decision_min = 0;
+  std::uint64_t decision_max = 0;
+  /// FNV-1a over the sorted distinct (obs_len, zone_temp_dim) pairs seen.
+  std::uint64_t schema_fingerprint = 0;
+  /// Monotonic (steady_clock) open/close instants, nanoseconds.
+  std::uint64_t open_steady_ns = 0;
+  std::uint64_t close_steady_ns = 0;
+  std::uint64_t payload_bytes = 0;
+  /// Chained CRC over every frame *header* (type, body_len, body_crc).
+  /// Bodies are sealed by their own body_crc, which the frame header
+  /// embeds — so the seal covers body bytes transitively while the hot
+  /// drain path checksums each body exactly once.
+  std::uint32_t payload_crc = 0;
+  /// FNV-1a over every record's (session, decision_index, action_index).
+  std::uint64_t replay_fingerprint = 0;
+};
+
+/// One segment file as listed by list_segments(): path + parsed header.
+struct SegmentInfo {
+  std::string path;
+  bool open = false;  ///< still the active tail (header provisional)
+  SegmentHeader header;
+};
+
+/// Incremental replay-fingerprint step (FNV-1a 64). Fold the recorded
+/// action to fingerprint what was served, or a replayed action to
+/// fingerprint what replay reproduces — equal results mean bit-identical
+/// replay of the whole sequence.
+std::uint64_t replay_fingerprint_update(std::uint64_t h, const TelemetryRecord& record,
+                                        std::uint64_t action_index);
+inline constexpr std::uint64_t kReplayFingerprintSeed = 1469598103934665603ull;
+
+class TelemetryStore {
+ public:
+  /// Scans `config.directory` for existing segments (running crash
+  /// recovery on any `.open` tail), opens a fresh active segment lazily on
+  /// first append, and starts the writer thread when configured.
+  TelemetryStore(std::shared_ptr<TelemetryLog> log, TelemetryStoreConfig config);
+  ~TelemetryStore();
+
+  TelemetryStore(const TelemetryStore&) = delete;
+  TelemetryStore& operator=(const TelemetryStore&) = delete;
+
+  const TelemetryStoreConfig& config() const { return config_; }
+  const std::string& directory() const { return config_.directory; }
+
+  /// One writer step: drain the log, append frames to the active segment,
+  /// then apply rotation, compaction and retention. Thread-safe (the
+  /// writer thread and manual callers serialize internally).
+  void pump_once();
+
+  /// The adaptation-pump seam: pumps once, then moves every record drained
+  /// since the last fetch into `out` and returns the capture losses
+  /// accumulated over the same window (the TelemetryLog::drain contract).
+  /// First use enables the hand-off queue; until then pump_once() persists
+  /// and discards, so a store without an adaptation consumer stays
+  /// bounded.
+  std::uint64_t fetch(std::vector<TelemetryRecord>& out);
+  void enable_fetch_queue();
+
+  /// Marks sessions whose records compaction should drop (the controller
+  /// forwards SessionManager eviction sweeps here).
+  void note_sessions_evicted(const std::vector<serve::SessionId>& ids);
+
+  /// Flushes pending records and seals the active segment (if any).
+  void seal_active();
+  /// One compaction pass regardless of the compact_min_segments trigger;
+  /// returns whether a merge happened.
+  bool compact_now();
+
+  /// Stops the writer thread and, per config, seals the tail. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+  struct Stats {
+    std::uint64_t records_persisted = 0;
+    std::uint64_t records_dropped_evicted = 0;    ///< compaction drops
+    std::uint64_t records_dropped_retention = 0;  ///< deleted-segment records
+    std::uint64_t records_dropped_torn = 0;       ///< partial tail frames trimmed
+    std::uint64_t bytes_written = 0;              ///< payload bytes appended
+    std::uint64_t rotations = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t truncations = 0;  ///< torn tails trimmed at recovery
+    std::uint64_t capture_lost = 0; ///< TelemetryLog losses seen by this store's drains
+  };
+  Stats stats() const;
+
+ private:
+  struct ActiveSegment {
+    std::string path;  ///< the `.open` file
+    std::ofstream file;
+    SegmentHeader header;
+    std::uint32_t crc = 0;                ///< rolling payload CRC
+    std::set<std::uint64_t> schema_pairs; ///< (obs_len<<16)|zone_temp_dim
+    std::uint64_t last_schema_pair = UINT64_MAX;
+    std::chrono::steady_clock::time_point opened_at;
+  };
+
+  void recover_open_segments();
+  void open_segment();
+  void append_session_frame(const TelemetrySession& session);
+  void append_record_frame(const TelemetryRecord& record);
+  void seal_active_locked();
+  void maybe_rotate_locked();
+  bool compact_locked();
+  void enforce_retention_locked();
+  void refresh_segment_gauge_locked();
+  std::vector<SegmentInfo> sealed_segments_locked() const;
+
+  std::shared_ptr<TelemetryLog> log_;
+  TelemetryStoreConfig config_;
+
+  mutable std::mutex mutex_;  ///< guards everything below
+  std::unique_ptr<ActiveSegment> active_;
+  std::uint64_t next_seq_ = 0;          ///< store-lifetime record sequence
+  std::size_t sessions_written_ = 0;    ///< log session-table prefix already persisted
+  std::set<serve::SessionId> session_ids_in_active_;
+  std::set<serve::SessionId> evicted_;
+  std::vector<TelemetryRecord> drain_buffer_;
+  std::string frame_buffer_;  ///< reused per-frame serialization scratch
+  std::vector<TelemetryRecord> fetch_queue_;
+  std::uint64_t fetch_lost_ = 0;
+  std::atomic<bool> fetch_enabled_{false};
+  Stats stats_;
+  /// Counter deltas batched across one pump (published once per pump_once).
+  std::uint64_t pending_obs_records_ = 0;
+  std::uint64_t pending_obs_bytes_ = 0;
+
+  /// Process-wide obs instruments (resolved once at construction).
+  struct ObsHandles {
+    obs::Counter* persisted;
+    obs::Counter* dropped;
+    obs::Counter* bytes;
+    obs::Counter* rotations;
+    obs::Counter* compactions;
+    obs::Counter* truncations;
+    obs::Gauge* segments;
+    obs::Histogram* flush_seconds;
+  };
+  ObsHandles obs_;
+
+  std::mutex worker_mutex_;
+  std::condition_variable worker_cv_;
+  bool stop_requested_ = false;
+  std::thread worker_;
+};
+
+// ---------------------------------------------------------------------------
+// Directory-level read side (CLI + tests; no TelemetryStore needed).
+
+/// Parses one segment's header; throws std::runtime_error on bad magic,
+/// unsupported version or a header-CRC mismatch.
+SegmentHeader read_segment_header(const std::string& path);
+
+/// Every segment in the directory, sorted by base_seq (sealed and open).
+/// Throws on an unreadable/corrupt header.
+std::vector<SegmentInfo> list_segments(const std::string& directory);
+
+/// Appends one sealed segment's sessions + records into `into`, verifying
+/// the payload CRC and every frame CRC; throws std::runtime_error on any
+/// mismatch or torn frame — a corrupted segment is never silently loaded.
+void read_segment(const std::string& path, TelemetryTrace& into);
+
+/// Loads a whole directory into one trace: segments in base_seq order,
+/// sessions deduplicated by id. The result is record-for-record identical
+/// to the in-memory trace the same decisions produced (bench-gated).
+TelemetryTrace load_directory(const std::string& directory);
+
+/// Streaming dataset build: consumes segments one frame at a time and
+/// pairs session-consecutive records on the fly, holding only one pending
+/// record per session — never a whole TelemetryTrace. Produces exactly
+/// trace_to_dataset(load_directory(dir)) (test-locked).
+dyn::TransitionDataset directory_to_dataset(const std::string& directory);
+
+/// verify: structural pass (CRCs, header ranges, recorded-action
+/// fingerprint) plus — when assets are supplied — a replay pass that
+/// recomputes every decision and digests the replayed actions.
+struct SegmentVerifyReport {
+  std::string path;
+  bool structure_ok = false;   ///< frames + CRCs + header consistency
+  bool fingerprint_ok = false; ///< recorded-action digest == header
+  /// Replay pass (assets supplied): per-record outcomes and the digest of
+  /// replayed actions. replay_ok means every replayable record reproduced
+  /// its recorded action AND the digest matches the header fingerprint.
+  bool replayed_pass = false;
+  bool replay_ok = false;
+  std::size_t records = 0;
+  std::size_t replayed = 0;
+  std::size_t matched = 0;
+  std::size_t skipped_truncated = 0;
+  std::size_t skipped_missing_assets = 0;
+  std::uint64_t replay_fingerprint = 0;
+  std::string error;  ///< first structural failure, empty when structure_ok
+
+  bool ok() const { return structure_ok && fingerprint_ok && (!replayed_pass || replay_ok); }
+};
+
+SegmentVerifyReport verify_segment(const std::string& path, const ReplayAssets* assets = nullptr,
+                                   const ReplayConfig* config = nullptr);
+
+}  // namespace verihvac::adapt

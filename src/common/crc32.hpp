@@ -1,0 +1,67 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// the durable telemetry segments use to detect torn or bit-flipped
+// frames. Slicing-by-8: eight lookup tables let each step consume eight
+// input bytes, which matters because the segment writer checksums every
+// record body on the decision path's drain side. Bit-identical to the
+// canonical one-table byte-at-a-time form. Header-only so leaf code can
+// use it without a link dependency.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace verihvac::common {
+
+namespace detail {
+
+inline const std::array<std::array<std::uint32_t, 256>, 8>& crc32_tables() {
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (std::size_t j = 1; j < 8; ++j) {
+        t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xFFu];
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+}  // namespace detail
+
+/// Incremental form: feed `crc32_update(seed, ...)` chunk by chunk with
+/// the previous return value as the seed; `crc32()` is the one-shot.
+inline std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& t = detail::crc32_tables();
+  crc = ~crc;
+  while (size >= 8) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    std::memcpy(&lo, bytes, 4);  // the reflected form is little-endian by construction
+    std::memcpy(&hi, bytes + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    bytes += 8;
+    size -= 8;
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = t[0][(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_update(0, data, size);
+}
+
+}  // namespace verihvac::common

@@ -1,5 +1,6 @@
 #include "obs/instruments.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -66,6 +67,37 @@ const std::vector<InstrumentSpec>& instrument_catalog() {
       {"telemetry_lost_total", InstrumentKind::kCounter,
        "records lost to ring laps or torn slots",
        "nonzero means the pump drains too slowly or rings are undersized - lost data biases adaptation"},
+      {"telemetry_overwritten_total", InstrumentKind::kCounter,
+       "lost records that were lap-overwrites (the bulk-skip share of telemetry_lost_total)",
+       "dominating telemetry_lost_total means the consumer is slow, not that writers are tearing"},
+      {"telemetry_sampling_skips_total", InstrumentKind::kCounter,
+       "DT decisions the deterministic sampler chose not to record",
+       "none - expected (period-1)/period of DT traffic when dt_sample_period > 1"},
+      // --- adapt: durable telemetry store ---
+      {"telemetry_store_records_persisted_total", InstrumentKind::kCounter,
+       "records appended to on-disk segments",
+       "flat while telemetry_records_total grows means the writer thread stalled"},
+      {"telemetry_store_records_dropped_total", InstrumentKind::kCounter,
+       "records dropped by compaction eviction, retention deletion or crash-recovery trim",
+       "a spike without matching evictions/retention means segments are being truncated - check disk"},
+      {"telemetry_store_bytes_written_total", InstrumentKind::kCounter,
+       "segment payload bytes written (headers excluded)",
+       "multiply by retention window for disk sizing; see the OPERATIONS runbook"},
+      {"telemetry_store_rotations_total", InstrumentKind::kCounter,
+       "segments sealed by the size/records/age rotation policy",
+       "none"},
+      {"telemetry_store_compactions_total", InstrumentKind::kCounter,
+       "compaction passes that merged sealed segments",
+       "none"},
+      {"telemetry_store_truncations_total", InstrumentKind::kCounter,
+       "torn tail segments trimmed to the last whole frame at recovery",
+       "nonzero after a clean shutdown means something else is writing the directory"},
+      {"telemetry_store_segments", InstrumentKind::kGauge,
+       "segment files currently in the store directory",
+       "pinned at the retention cap with old decisions missing means retention is too tight"},
+      {"telemetry_store_flush_seconds", InstrumentKind::kHistogram,
+       "wall time of one writer flush (drain + append + rotate check)",
+       "a fattening tail means the telemetry disk cannot keep up with decision volume"},
       // --- core: certificate cache ---
       {"certcache_lookups_total", InstrumentKind::kCounter,
        "certificate-cache lookups (incremental re-certification)",
@@ -148,6 +180,13 @@ const std::vector<InstrumentSpec>& instrument_catalog() {
       {"log_error_total", InstrumentKind::kCounter,
        "ERROR log lines emitted",
        "page on nonzero - errors are exceptional in steady state"},
+      // --- process identity ---
+      {"build_info", InstrumentKind::kGauge,
+       "build fingerprint (FNV-1a of compiler + build date), constant per binary",
+       "none - joins a metrics snapshot to the binary that produced it"},
+      {"process_uptime_seconds", InstrumentKind::kGauge,
+       "seconds since the metrics registry was constructed (sampled at exposition)",
+       "a reset without a deploy means the process crashed and restarted"},
   };
   return catalog;
 }
@@ -175,6 +214,29 @@ Counter* g_pool_batches = nullptr;
 Counter* g_pool_items = nullptr;
 Histogram* g_pool_seconds = nullptr;
 Gauge* g_pool_active = nullptr;
+
+/// Uptime epoch: the instant the global registry was constructed.
+std::chrono::steady_clock::time_point g_process_epoch{};
+
+/// FNV-1a over the strings the compiler bakes in — constant for a binary,
+/// different across rebuilds, cheap enough to recompute per call.
+double build_fingerprint() {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const char* s) {
+    for (; *s != '\0'; ++s) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s));
+      h *= 1099511628211ull;
+    }
+  };
+#if defined(__VERSION__)
+  mix(__VERSION__);
+#endif
+  mix(__DATE__);
+  mix(__TIME__);
+  // Gauges are doubles: keep the low 48 bits so the fingerprint survives
+  // the exposition round-trip exactly (2^48 < 2^53).
+  return static_cast<double>(h & ((1ull << 48) - 1));
+}
 
 void log_hook(LogLevel level) {
   if (level == LogLevel::kWarn) {
@@ -241,11 +303,19 @@ void register_catalog() {
       case InstrumentKind::kHistogram: registry.histogram(spec.name, spec.help); break;
     }
   }
+  publish_process_info();
+}
+
+void publish_process_info() {
+  gauge("build_info").set(build_fingerprint());
+  const auto uptime = std::chrono::steady_clock::now() - g_process_epoch;
+  gauge("process_uptime_seconds").set(std::chrono::duration<double>(uptime).count());
 }
 
 namespace detail {
 
 void install_runtime_hooks(MetricsRegistry& registry) {
+  g_process_epoch = std::chrono::steady_clock::now();
   const auto help = [](const char* name) { return std::string(find_instrument(name)->help); };
   g_log_warn = &registry.counter("log_warn_total", help("log_warn_total"));
   g_log_error = &registry.counter("log_error_total", help("log_error_total"));

@@ -44,6 +44,13 @@ Histogram& histogram(const char* name);
 /// so expositions list the full surface with zero values.
 void register_catalog();
 
+/// Stamps the process-identity gauges: `build_info` (a constant build
+/// fingerprint) and `process_uptime_seconds` (sampled now, relative to the
+/// registry's construction). Call right before writing an exposition so a
+/// snapshot is attributable to a binary and a process lifetime;
+/// register_catalog() also calls it once.
+void publish_process_info();
+
 namespace detail {
 /// Installs the logging / task-pool hooks that feed common-layer activity
 /// (log_warn_total, taskpool_*) into `registry`. Called once from

@@ -1,0 +1,367 @@
+#include "adapt/telemetry_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adapt/telemetry.hpp"
+#include "control/rollout_engine.hpp"
+#include "serve/request_scheduler.hpp"
+#include "serve/serve_test_utils.hpp"
+
+namespace verihvac::adapt {
+namespace {
+
+namespace fs = std::filesystem;
+
+using serve::testing::cold_occupied;
+using serve::testing::pool_with_threads;
+using serve::testing::steady_forecast;
+using serve::testing::toy_model;
+using serve::testing::toy_policy;
+
+/// Fresh (empty) scratch directory under the system temp root.
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// One synthetic decision straight into the tap (same shape as the
+/// telemetry_test emitter; the store tests don't need a scheduler for
+/// the framing/recovery cases).
+void emit(TelemetryLog& log, serve::SessionId session, std::uint64_t index, double zone_temp) {
+  const env::Observation obs = cold_occupied(zone_temp);
+  const std::string key = "toy";
+  serve::DecisionEvent event;
+  event.session = session;
+  event.decision_index = index;
+  event.session_seed = 1000 + session;
+  event.kind = serve::RequestKind::kDtPolicy;
+  event.policy_key = &key;
+  event.policy_version = 1;
+  event.action_index = static_cast<std::size_t>(index % 5);
+  event.action = {18.0, 26.0};
+  event.observation = &obs;
+  event.latency_seconds = 1e-6;
+  log.on_decision(event);
+}
+
+/// The locked wire bytes of one record — the byte-identity oracle.
+std::string record_bytes(const TelemetryRecord& record) {
+  std::ostringstream out(std::ios::binary);
+  detail::write_record(out, record);
+  return out.str();
+}
+
+void expect_records_identical(const std::vector<TelemetryRecord>& a,
+                              const std::vector<TelemetryRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(record_bytes(a[i]), record_bytes(b[i])) << "record " << i << " diverged";
+  }
+}
+
+/// XORs one byte of a file in place.
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open());
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
+TelemetryStoreConfig manual_config(const std::string& dir) {
+  TelemetryStoreConfig config;
+  config.directory = dir;
+  config.start_writer = false;
+  return config;
+}
+
+TEST(TelemetryStoreTest, RotatedSegmentsLoadBackByteIdentical) {
+  const std::string dir = fresh_dir("verihvac_store_test_rotate");
+  auto log = std::make_shared<TelemetryLog>();
+  log->register_session(1, 1001, "toy");
+  log->register_session(2, 1002, "toy");
+
+  TelemetryStoreConfig config = manual_config(dir);
+  config.segment_max_records = 4;
+  std::vector<TelemetryRecord> memory;
+  {
+    TelemetryStore store(log, config);
+    store.enable_fetch_queue();
+    for (std::uint64_t d = 0; d < 11; ++d) {
+      emit(*log, 1 + (d % 2), d / 2, 17.0 + static_cast<double>(d));
+    }
+    std::vector<TelemetryRecord> fetched;
+    EXPECT_EQ(store.fetch(fetched), 0u);
+    memory = fetched;
+    store.stop();
+    EXPECT_EQ(store.stats().records_persisted, 11u);
+    EXPECT_GE(store.stats().rotations, 2u);
+  }
+
+  const std::vector<SegmentInfo> segments = list_segments(dir);
+  ASSERT_GE(segments.size(), 3u);
+  for (const SegmentInfo& segment : segments) {
+    EXPECT_EQ(segment.header.sealed, 1u);
+    const SegmentVerifyReport report = verify_segment(segment.path);
+    EXPECT_TRUE(report.structure_ok) << report.error;
+    EXPECT_TRUE(report.fingerprint_ok);
+  }
+
+  const TelemetryTrace loaded = load_directory(dir);
+  expect_records_identical(loaded.records, memory);
+  ASSERT_EQ(loaded.sessions.size(), 2u);
+  EXPECT_EQ(loaded.sessions[0].id, 1u);
+  EXPECT_EQ(loaded.sessions[1].id, 2u);
+}
+
+TEST(TelemetryStoreTest, TornTailIsTrimmedCountedAndPrefixRecovered) {
+  const std::string dir = fresh_dir("verihvac_store_test_torn");
+  auto log = std::make_shared<TelemetryLog>();
+  log->register_session(1, 1001, "toy");
+
+  std::vector<TelemetryRecord> captured;
+  {
+    TelemetryStoreConfig config = manual_config(dir);
+    config.seal_on_close = false;  // crash: leave the .open tail behind
+    TelemetryStore store(log, config);
+    store.enable_fetch_queue();
+    for (std::uint64_t d = 0; d < 6; ++d) emit(*log, 1, d, 17.0 + static_cast<double>(d));
+    store.fetch(captured);
+    store.stop();
+  }
+  ASSERT_EQ(captured.size(), 6u);
+
+  // Cut into the last frame: the torn record must be detected and
+  // trimmed, never silently replayed.
+  fs::path open_tail;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".open") open_tail = entry.path();
+  }
+  ASSERT_FALSE(open_tail.empty());
+  fs::resize_file(open_tail, fs::file_size(open_tail) - 7);
+
+  TelemetryStore recovered(std::make_shared<TelemetryLog>(), manual_config(dir));
+  EXPECT_EQ(recovered.stats().truncations, 1u);
+  EXPECT_EQ(recovered.stats().records_dropped_torn, 1u);
+  recovered.stop();
+
+  const TelemetryTrace loaded = load_directory(dir);
+  captured.pop_back();
+  expect_records_identical(loaded.records, captured);
+}
+
+TEST(TelemetryStoreTest, FlippedPayloadByteIsRefusedNeverReplayed) {
+  const std::string dir = fresh_dir("verihvac_store_test_flip");
+  auto log = std::make_shared<TelemetryLog>();
+  log->register_session(1, 1001, "toy");
+  {
+    TelemetryStore store(log, manual_config(dir));
+    for (std::uint64_t d = 0; d < 4; ++d) emit(*log, 1, d, 18.0);
+    store.pump_once();
+    store.stop();
+  }
+  const std::vector<SegmentInfo> segments = list_segments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  const std::string path = segments[0].path;
+
+  // A flip inside a frame *body* trips that frame's body CRC.
+  flip_byte(path, kSegmentHeaderBytes + 60);
+  TelemetryTrace into;
+  EXPECT_THROW(read_segment(path, into), std::runtime_error);
+  const SegmentVerifyReport body_report = verify_segment(path);
+  EXPECT_FALSE(body_report.structure_ok);
+  EXPECT_FALSE(body_report.ok());
+  flip_byte(path, kSegmentHeaderBytes + 60);  // restore
+
+  // A flip inside a frame *header* trips the chained payload CRC (the
+  // body bytes themselves still hash clean).
+  flip_byte(path, kSegmentHeaderBytes + 5);  // body_crc field of frame 0
+  EXPECT_FALSE(verify_segment(path).structure_ok);
+  flip_byte(path, kSegmentHeaderBytes + 5);  // restore
+  EXPECT_TRUE(verify_segment(path).ok());
+}
+
+TEST(TelemetryStoreTest, CorruptedFileHeaderIsRefused) {
+  const std::string dir = fresh_dir("verihvac_store_test_header");
+  auto log = std::make_shared<TelemetryLog>();
+  {
+    TelemetryStore store(log, manual_config(dir));
+    emit(*log, 1, 0, 18.0);
+    store.pump_once();
+    store.stop();
+  }
+  const std::vector<SegmentInfo> segments = list_segments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  flip_byte(segments[0].path, 8);  // inside the fixed header fields
+  EXPECT_THROW(read_segment_header(segments[0].path), std::runtime_error);
+  EXPECT_THROW(list_segments(dir), std::runtime_error);
+}
+
+TEST(TelemetryStoreTest, CompactionMergesAndDropsEvictedSessions) {
+  const std::string dir = fresh_dir("verihvac_store_test_compact");
+  auto log = std::make_shared<TelemetryLog>();
+  log->register_session(1, 1001, "toy");
+  log->register_session(2, 1002, "toy");
+
+  TelemetryStoreConfig config = manual_config(dir);
+  config.segment_max_records = 3;
+  TelemetryStore store(log, config);
+  for (std::uint64_t d = 0; d < 12; ++d) {
+    emit(*log, 1 + (d % 2), d / 2, 17.0 + static_cast<double>(d));
+  }
+  store.pump_once();
+  store.seal_active();
+  const std::size_t sealed_before = list_segments(dir).size();
+  ASSERT_GE(sealed_before, 3u);
+
+  store.note_sessions_evicted({1});
+  EXPECT_TRUE(store.compact_now());
+  EXPECT_EQ(store.stats().records_dropped_evicted, 6u);
+  EXPECT_GE(store.stats().compactions, 1u);
+  EXPECT_LT(list_segments(dir).size(), sealed_before);
+  store.stop();
+
+  const TelemetryTrace loaded = load_directory(dir);
+  ASSERT_EQ(loaded.records.size(), 6u);
+  for (const TelemetryRecord& record : loaded.records) EXPECT_EQ(record.session, 2u);
+  for (const SegmentInfo& segment : list_segments(dir)) {
+    EXPECT_TRUE(verify_segment(segment.path).ok());
+  }
+}
+
+TEST(TelemetryStoreTest, RetentionDeletesOldestAndCountsDrops) {
+  const std::string dir = fresh_dir("verihvac_store_test_retain");
+  auto log = std::make_shared<TelemetryLog>();
+  log->register_session(1, 1001, "toy");
+
+  TelemetryStoreConfig config = manual_config(dir);
+  config.segment_max_records = 2;
+  config.retain_max_segments = 2;
+  TelemetryStore store(log, config);
+  for (std::uint64_t d = 0; d < 10; ++d) emit(*log, 1, d, 18.0);
+  store.pump_once();
+  store.stop();
+
+  std::size_t sealed = 0;
+  for (const SegmentInfo& segment : list_segments(dir)) sealed += segment.header.sealed;
+  EXPECT_LE(sealed, 2u + 1u);  // bound applies to sealed segments before the final seal
+  EXPECT_GT(store.stats().records_dropped_retention, 0u);
+}
+
+TEST(TelemetryStoreTest, DirectoryDatasetMatchesTraceDataset) {
+  const std::string dir = fresh_dir("verihvac_store_test_dataset");
+  auto log = std::make_shared<TelemetryLog>();
+  log->register_session(1, 1001, "toy");
+  log->register_session(2, 1002, "toy");
+
+  TelemetryStoreConfig config = manual_config(dir);
+  config.segment_max_records = 3;  // transitions must pair across segments
+  TelemetryStore store(log, config);
+  for (std::uint64_t d = 0; d < 10; ++d) {
+    emit(*log, 1 + (d % 2), d / 2, 16.0 + static_cast<double>(d));
+  }
+  store.pump_once();
+  store.stop();
+
+  const dyn::TransitionDataset streamed = directory_to_dataset(dir);
+  const dyn::TransitionDataset loaded = trace_to_dataset(load_directory(dir));
+  ASSERT_EQ(streamed.size(), loaded.size());
+  EXPECT_EQ(streamed.size(), 8u);  // 2 sessions x (5 records -> 4 transitions)
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed.at(i).input, loaded.at(i).input);
+    EXPECT_DOUBLE_EQ(streamed.at(i).next_zone_temp, loaded.at(i).next_zone_temp);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: live serving through the scheduler tap, persisted to disk,
+// then replay-certified from the segments alone at 1/4/8 threads.
+
+TEST(TelemetryStoreReplayTest, SegmentsReplayBitIdenticallyAcrossThreadCounts) {
+  const std::string dir = fresh_dir("verihvac_store_test_replay");
+  const auto policy = toy_policy();
+  const auto model = toy_model();
+  control::RandomShootingConfig rs;
+  rs.samples = 24;
+  rs.horizon = 4;
+
+  auto log = std::make_shared<TelemetryLog>();
+  auto registry = std::make_shared<serve::PolicyRegistry>();
+  auto sessions = std::make_shared<serve::SessionManager>();
+  const std::uint64_t policy_version = registry->install("toy", policy);
+  serve::RequestScheduler scheduler({}, registry, sessions, rs, control::ActionSpace{},
+                                    env::RewardConfig{}, pool_with_threads(2));
+  const std::uint64_t model_generation = scheduler.install_model("toy", model);
+  scheduler.set_tap(log);
+
+  std::vector<serve::SessionId> ids;
+  for (std::size_t s = 0; s < 2; ++s) {
+    serve::SessionConfig session;
+    session.policy_key = "toy";
+    session.seed = 6000 + 17 * s;
+    ids.push_back(sessions->open(session));
+    log->register_session(ids.back(), session.seed, session.policy_key);
+  }
+
+  TelemetryStoreConfig config = manual_config(dir);
+  config.segment_max_records = 3;  // replay must hold across rotation
+  TelemetryStore store(log, config);
+  for (std::size_t round = 0; round < 4; ++round) {
+    std::vector<serve::ControlRequest> batch;
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      serve::ControlRequest request;
+      request.session = ids[s];
+      request.kind = s == 0 ? serve::RequestKind::kDtPolicy : serve::RequestKind::kMbrlFallback;
+      request.observation = cold_occupied(15.0 + static_cast<double>(round + s));
+      if (request.kind == serve::RequestKind::kMbrlFallback) {
+        request.forecast = steady_forecast(request.observation, rs.horizon);
+      }
+      batch.push_back(std::move(request));
+    }
+    scheduler.serve_batch(batch);
+    store.pump_once();
+  }
+  store.stop();
+
+  ReplayAssets assets;
+  assets.policies[policy_version] = policy;
+  assets.models[model_generation] = model;
+
+  const std::vector<SegmentInfo> segments = list_segments(dir);
+  ASSERT_GE(segments.size(), 2u);
+  const TelemetryTrace trace = load_directory(dir);
+  ASSERT_EQ(trace.records.size(), 8u);
+
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    ReplayConfig replay;
+    replay.rs = rs;
+    replay.engine = std::make_shared<const control::RolloutEngine>(
+        control::RolloutEngineConfig{threads, /*min_parallel_batch=*/1});
+    for (const SegmentInfo& segment : segments) {
+      const SegmentVerifyReport report = verify_segment(segment.path, &assets, &replay);
+      EXPECT_TRUE(report.replayed_pass);
+      EXPECT_TRUE(report.ok()) << segment.path << " at " << threads
+                               << " threads: " << report.error;
+      EXPECT_EQ(report.matched, report.replayed);
+    }
+    const ReplayReport report = replay_trace(trace, assets, replay);
+    EXPECT_EQ(report.replayed, trace.records.size());
+    EXPECT_TRUE(report.bit_identical()) << "disk replay diverged at " << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace verihvac::adapt

@@ -100,6 +100,30 @@ TEST(TelemetryLogTest, LappedRingCountsLossesAndKeepsNewest) {
   }
   EXPECT_EQ(log.stats().recorded, 10u);
   EXPECT_EQ(log.stats().lost, 6u);
+  // Every loss here is an overwrite-on-lap (nothing was dropped at
+  // publish time), so the overwrite counter matches the drain's tally.
+  EXPECT_EQ(log.stats().overwritten, 6u);
+}
+
+TEST(TelemetryLogTest, DtSamplingSkipsDeterministicallyAndCounts) {
+  TelemetryConfig config;
+  config.dt_sample_period = 4;  // record decision_index % 4 in {0, 1}
+  TelemetryLog log(config);
+  for (std::uint64_t d = 0; d < 8; ++d) {
+    emit(log, 1, d, serve::RequestKind::kDtPolicy, 0, 18.0);
+  }
+  // MBRL is never sampled away, even at a skipped index.
+  emit(log, 1, 8, serve::RequestKind::kMbrlFallback, 2, 18.0, /*forecast_len=*/3);
+
+  std::vector<TelemetryRecord> records;
+  EXPECT_EQ(log.drain(records), 0u);
+  ASSERT_EQ(records.size(), 5u);
+  const std::uint64_t kept[] = {0, 1, 4, 5, 8};
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].decision_index, kept[i]);
+  }
+  EXPECT_EQ(log.stats().sampling_skips, 4u);
+  EXPECT_EQ(log.stats().lost, 0u);
 }
 
 TEST(TelemetryLogTest, ForecastBeyondCapIsTruncatedAndFlagged) {

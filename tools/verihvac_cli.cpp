@@ -14,6 +14,18 @@
 //   verihvac explain     --policy policy.vhp --input s,To,RH,w,S,occ
 //   verihvac print       --policy policy.vhp [--rules]
 //   verihvac stats       [--json] [--out FILE]
+//   verihvac trace ls     --dir DIR
+//   verihvac trace info   --segment FILE
+//   verihvac trace dump   --dir DIR [--out FILE.vht] [--limit N]
+//   verihvac trace replay --dir DIR (--city NAME | --policy FILE) [...]
+//   verihvac trace verify --dir DIR [--city NAME | --policy FILE] [...]
+//
+// The `trace` family operates on a durable-telemetry segment directory
+// (adapt::TelemetryStore; adapt-bench --telemetry-dir writes one): list
+// and inspect segments, consolidate them into a portable trace file, and
+// re-verify the store's integrity — `verify` recomputes every decision
+// from its RNG stream coordinates and checks the replay fingerprint, so a
+// passing segment is certified by bit-identical replay, not just CRCs.
 //
 // Observability: campaign/serve-bench/adapt-bench accept --metrics-out
 // (obs registry snapshot after the run; .json suffix selects the JSON
@@ -30,6 +42,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -39,6 +52,7 @@
 #include <vector>
 
 #include "adapt/adaptation_controller.hpp"
+#include "adapt/telemetry_store.hpp"
 #include "core/campaign.hpp"
 #include "core/edge_export.hpp"
 #include "core/interpret.hpp"
@@ -434,6 +448,19 @@ int cmd_adapt_bench(const Args& args) {
   config.on_session_open = [&log](serve::SessionId id, const serve::SessionConfig& session) {
     log->register_session(id, session.seed, session.policy_key);
   };
+  // Optional durable tap: every decision the adapt loop consumes is also
+  // persisted to rotated segments (inspect with `verihvac trace`). The
+  // controller's pump drives the store (attach_store below), so no writer
+  // thread is needed.
+  std::shared_ptr<adapt::TelemetryStore> store;
+  if (args.flag("telemetry-dir")) {
+    adapt::TelemetryStoreConfig store_config;
+    store_config.directory = args.required("telemetry-dir");
+    store_config.segment_max_bytes =
+        static_cast<std::uint64_t>(args.get_long("segment-bytes", 4ll << 20));
+    store_config.start_writer = false;
+    store = std::make_shared<adapt::TelemetryStore>(log, store_config);
+  }
   adapt::AdaptationController* controller_ptr = nullptr;
   config.on_step = [&controller_ptr](serve::FleetHarness&, std::size_t) {
     if (controller_ptr != nullptr) controller_ptr->pump();
@@ -476,6 +503,7 @@ int cmd_adapt_bench(const Args& args) {
   cluster.env.days = 2;
   cluster.baseline = artifacts.historical;
   controller.register_cluster(city + "/baseline", cluster);
+  if (store != nullptr) controller.attach_store(store);
   controller_ptr = &controller;
 
   std::printf("closed loop: %zu buildings x %zu steps, degradation at step %zu "
@@ -511,6 +539,17 @@ int cmd_adapt_bench(const Args& args) {
                   attempt.probabilistic.safe_probability, attempt.shadow_passed);
     }
   }
+  if (store != nullptr) {
+    store->stop();  // flush + seal, so `trace verify` can certify the tail
+    const auto store_stats = store->stats();
+    std::printf("durable telemetry: %llu record(s) persisted (%llu byte(s), %llu rotation(s), "
+                "%llu compaction(s)) in %s\n",
+                static_cast<unsigned long long>(store_stats.records_persisted),
+                static_cast<unsigned long long>(store_stats.bytes_written),
+                static_cast<unsigned long long>(store_stats.rotations),
+                static_cast<unsigned long long>(store_stats.compactions),
+                store->directory().c_str());
+  }
 
   if (args.flag("out")) {
     const std::string path = args.required("out");
@@ -539,6 +578,182 @@ int cmd_stats(const Args& args) {
   } else {
     std::printf("%s", text.c_str());
   }
+  return 0;
+}
+
+// --- trace: durable telemetry segment tooling -------------------------------
+
+// Replay artifacts for `trace replay`/`trace verify`. A pipeline-extracted
+// cell (`--city`) maps its bundle to registry version 1 and its model to
+// generation 1 — the versions a fresh fleet serves — while `--policy FILE`
+// loads a saved bundle at `--policy-version` (adapted bundles land at 2, 3,
+// ...). The optimizer knobs must match the capture run; the defaults mirror
+// adapt-bench.
+bool build_replay_assets(const Args& args, adapt::ReplayAssets& assets,
+                         adapt::ReplayConfig& config) {
+  config.rs.samples = static_cast<std::size_t>(args.get_long("samples", 32));
+  config.rs.horizon = static_cast<std::size_t>(args.get_long("horizon", 5));
+  if (args.flag("city")) {
+    const std::string city = args.required("city");
+    std::printf("extracting replay assets for %s...\n", city.c_str());
+    core::PipelineConfig pipeline = core::PipelineConfig::for_city(city);
+    pipeline.set_schema(env::schema_by_name(args.get("schema", "baseline")));
+    const core::PipelineArtifacts artifacts = core::run_pipeline(pipeline);
+    assets.policies[1] = artifacts.policy;
+    assets.models[1] = artifacts.model;
+  }
+  if (args.flag("policy")) {
+    const auto version = static_cast<std::uint64_t>(args.get_long("policy-version", 1));
+    assets.policies[version] =
+        std::make_shared<core::DtPolicy>(core::load_policy(args.required("policy")));
+  }
+  return !assets.policies.empty() || !assets.models.empty();
+}
+
+int cmd_trace_ls(const Args& args) {
+  const auto segments = adapt::list_segments(args.required("dir"));
+  std::printf("%-28s %-6s %10s %9s %21s %12s  %s\n", "segment", "state", "records", "sessions",
+              "decisions", "bytes", "replay-fp");
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  for (const adapt::SegmentInfo& seg : segments) {
+    const adapt::SegmentHeader& h = seg.header;
+    const std::string name = std::filesystem::path(seg.path).filename().string();
+    std::string span = "-";
+    if (h.record_count > 0) {
+      span = std::to_string(h.decision_min) + ".." + std::to_string(h.decision_max);
+    }
+    std::printf("%-28s %-6s %10llu %9llu %21s %12llu  %016llx\n", name.c_str(),
+                seg.open ? "open" : "sealed", static_cast<unsigned long long>(h.record_count),
+                static_cast<unsigned long long>(h.session_count), span.c_str(),
+                static_cast<unsigned long long>(h.payload_bytes),
+                static_cast<unsigned long long>(h.replay_fingerprint));
+    records += h.record_count;
+    bytes += h.payload_bytes;
+  }
+  std::printf("%zu segment(s), %llu record(s), %llu payload byte(s)\n", segments.size(),
+              static_cast<unsigned long long>(records), static_cast<unsigned long long>(bytes));
+  return 0;
+}
+
+int cmd_trace_info(const Args& args) {
+  const std::string path = args.required("segment");
+  const adapt::SegmentHeader h = adapt::read_segment_header(path);
+  std::printf("segment            %s\n", path.c_str());
+  std::printf("format version     %u (trace v%u)\n", h.format_version, h.trace_version);
+  std::printf("sealed             %s\n", h.sealed != 0 ? "yes" : "no (active/torn tail)");
+  std::printf("base seq           %llu\n", static_cast<unsigned long long>(h.base_seq));
+  std::printf("records            %llu\n", static_cast<unsigned long long>(h.record_count));
+  std::printf("session frames     %llu\n", static_cast<unsigned long long>(h.session_count));
+  if (h.record_count > 0) {
+    std::printf("sessions           %llu..%llu\n", static_cast<unsigned long long>(h.session_min),
+                static_cast<unsigned long long>(h.session_max));
+    std::printf("decisions          %llu..%llu\n", static_cast<unsigned long long>(h.decision_min),
+                static_cast<unsigned long long>(h.decision_max));
+  }
+  std::printf("schema fingerprint %016llx\n",
+              static_cast<unsigned long long>(h.schema_fingerprint));
+  std::printf("steady span        %.3fs\n",
+              static_cast<double>(h.close_steady_ns - h.open_steady_ns) * 1e-9);
+  std::printf("payload            %llu byte(s), crc %08x\n",
+              static_cast<unsigned long long>(h.payload_bytes), h.payload_crc);
+  std::printf("replay fingerprint %016llx\n",
+              static_cast<unsigned long long>(h.replay_fingerprint));
+  return 0;
+}
+
+int cmd_trace_dump(const Args& args) {
+  const adapt::TelemetryTrace trace = adapt::load_directory(args.required("dir"));
+  if (args.flag("out")) {
+    const std::string path = args.required("out");
+    adapt::save_trace(trace, path);
+    std::printf("consolidated %zu session(s), %zu record(s) into %s\n", trace.sessions.size(),
+                trace.records.size(), path.c_str());
+    return 0;
+  }
+  const auto limit = static_cast<std::size_t>(args.get_long("limit", 20));
+  std::printf("%zu session(s), %zu record(s)\n", trace.sessions.size(), trace.records.size());
+  for (std::size_t i = 0; i < trace.records.size() && i < limit; ++i) {
+    const adapt::TelemetryRecord& r = trace.records[i];
+    std::printf("  session %llu decision %llu %s v%llu action %u (obs %u dims, forecast %u)\n",
+                static_cast<unsigned long long>(r.session),
+                static_cast<unsigned long long>(r.decision_index),
+                r.request_kind() == serve::RequestKind::kDtPolicy ? "dt" : "mbrl",
+                static_cast<unsigned long long>(r.policy_version), r.action_index, r.obs_len,
+                r.forecast_len);
+  }
+  if (trace.records.size() > limit) {
+    std::printf("  ... %zu more (raise --limit or use --out FILE)\n",
+                trace.records.size() - limit);
+  }
+  return 0;
+}
+
+int cmd_trace_replay(const Args& args) {
+  const adapt::TelemetryTrace trace = adapt::load_directory(args.required("dir"));
+  adapt::ReplayAssets assets;
+  adapt::ReplayConfig config;
+  if (!build_replay_assets(args, assets, config)) {
+    throw std::invalid_argument("trace replay needs assets: --city NAME and/or --policy FILE");
+  }
+  const adapt::ReplayReport report = adapt::replay_trace(trace, assets, config);
+  std::printf("replayed %zu/%zu record(s): %zu matched, %zu skipped (%zu truncated, "
+              "%zu missing assets)\n",
+              report.replayed, trace.records.size(), report.matched,
+              report.skipped_truncated + report.skipped_missing_assets, report.skipped_truncated,
+              report.skipped_missing_assets);
+  for (const auto& m : report.mismatches) {
+    std::printf("  MISMATCH record %zu: served action %zu, replay chose %zu\n", m[0], m[1], m[2]);
+  }
+  if (report.matched != report.replayed) {
+    std::printf("replay DIVERGED — captured decisions are not reproducible with these assets\n");
+    return 1;
+  }
+  std::printf("replay bit-identical\n");
+  return 0;
+}
+
+int cmd_trace_verify(const Args& args) {
+  adapt::ReplayAssets assets;
+  adapt::ReplayConfig config;
+  const bool with_replay = build_replay_assets(args, assets, config);
+  const auto segments = adapt::list_segments(args.required("dir"));
+  bool all_ok = true;
+  for (const adapt::SegmentInfo& seg : segments) {
+    const std::string name = std::filesystem::path(seg.path).filename().string();
+    if (seg.open) {
+      std::printf("%-28s SKIP  active/torn tail (seal the store first)\n", name.c_str());
+      continue;
+    }
+    const adapt::SegmentVerifyReport report = adapt::verify_segment(
+        seg.path, with_replay ? &assets : nullptr, with_replay ? &config : nullptr);
+    all_ok = all_ok && report.ok();
+    if (!report.structure_ok) {
+      std::printf("%-28s FAIL  structure: %s\n", name.c_str(), report.error.c_str());
+    } else if (!report.fingerprint_ok) {
+      std::printf("%-28s FAIL  recorded-action fingerprint %016llx != header\n", name.c_str(),
+                  static_cast<unsigned long long>(report.replay_fingerprint));
+    } else if (report.replayed_pass && !report.replay_ok) {
+      std::printf("%-28s FAIL  replay: %zu/%zu matched, fingerprint %016llx\n", name.c_str(),
+                  report.matched, report.replayed,
+                  static_cast<unsigned long long>(report.replay_fingerprint));
+    } else {
+      std::printf("%-28s OK    %zu record(s)%s\n", name.c_str(), report.records,
+                  report.replayed_pass
+                      ? (" — replay certified (" + std::to_string(report.replayed) +
+                         " replayed, " +
+                         std::to_string(report.skipped_truncated +
+                                        report.skipped_missing_assets) +
+                         " skipped)")
+                            .c_str()
+                      : " — structural only (pass --city/--policy to replay-certify)");
+    }
+  }
+  if (!all_ok) {
+    std::printf("verification FAILED\n");
+    return 1;
+  }
+  std::printf("all %zu segment(s) verified\n", segments.size());
   return 0;
 }
 
@@ -682,6 +897,8 @@ const std::map<std::string, Command>& commands() {
          {"schema", true},
          {"recert", true},
          {"out", true},
+         {"telemetry-dir", true},
+         {"segment-bytes", true},
          {"metrics-out", true},
          {"trace-out", true}},
         "adapt-bench [--city NAME] [--buildings N] [--steps N] [--drift-step N]\n"
@@ -690,6 +907,7 @@ const std::map<std::string, Command>& commands() {
         "            [--ph-delta F] [--ph-lambda F] [--min-transitions N]\n"
         "            [--safe-threshold F] [--schema baseline|time-aware]\n"
         "            [--recert full|incremental] [--seed N] [--out FILE.json]\n"
+        "            [--telemetry-dir DIR] [--segment-bytes N]\n"
         "            [--metrics-out FILE] [--trace-out FILE.json]",
         cmd_adapt_bench}},
       {"export-c",
@@ -708,6 +926,38 @@ const std::map<std::string, Command>& commands() {
        {{{"json", false}, {"out", true}},
         "stats    [--json] [--out FILE]  (instrument-catalog exposition)",
         cmd_stats}},
+      // The trace family shares this table: each verb is a two-word key
+      // ("trace ls") with its own strict spec, so unknown options and
+      // missing values get the same exit-2 + usage discipline as every
+      // other subcommand (main() splices the verb into the lookup key).
+      {"trace ls", {{{"dir", true}}, "trace ls     --dir DIR", cmd_trace_ls}},
+      {"trace info", {{{"segment", true}}, "trace info   --segment FILE", cmd_trace_info}},
+      {"trace dump",
+       {{{"dir", true}, {"out", true}, {"limit", true}},
+        "trace dump   --dir DIR [--out FILE.vht] [--limit N]",
+        cmd_trace_dump}},
+      {"trace replay",
+       {{{"dir", true},
+         {"city", true},
+         {"schema", true},
+         {"policy", true},
+         {"policy-version", true},
+         {"samples", true},
+         {"horizon", true}},
+        "trace replay --dir DIR (--city NAME | --policy FILE [--policy-version N])\n"
+        "             [--schema baseline|time-aware] [--samples N] [--horizon N]",
+        cmd_trace_replay}},
+      {"trace verify",
+       {{{"dir", true},
+         {"city", true},
+         {"schema", true},
+         {"policy", true},
+         {"policy-version", true},
+         {"samples", true},
+         {"horizon", true}},
+        "trace verify --dir DIR [--city NAME] [--policy FILE [--policy-version N]]\n"
+        "             [--schema baseline|time-aware] [--samples N] [--horizon N]",
+        cmd_trace_verify}},
   };
   return table;
 }
@@ -731,10 +981,22 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  const std::string command = argv[1];
+  std::string command = argv[1];
   if (command == "help" || command == "--help" || command == "-h") {
     usage();
     return 0;
+  }
+  // Two-word commands ("trace ls"): splice the verb into the lookup key so
+  // the whole family lives in the same spec table as everything else.
+  int first_option = 2;
+  if (command == "trace") {
+    if (argc < 3) {
+      std::fprintf(stderr, "verihvac: trace needs a verb (ls|info|dump|replay|verify)\n");
+      usage();
+      return 2;
+    }
+    command += " " + std::string(argv[2]);
+    first_option = 3;
   }
   const auto it = commands().find(command);
   if (it == commands().end()) {
@@ -743,7 +1005,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    const Args args(argc, argv, 2, it->second.spec);
+    const Args args(argc, argv, first_option, it->second.spec);
     return it->second.run(args);
   } catch (const std::invalid_argument& error) {
     // Option/spec errors: say what was wrong and how to call this command.
