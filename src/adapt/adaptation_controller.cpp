@@ -142,9 +142,23 @@ std::size_t AdaptationController::pump() {
   drain_buffer_.clear();
   // With a durable store attached the store is the single log consumer:
   // fetch() persists the batch to segments and hands the same records to
-  // this pump.
-  const std::uint64_t lost =
-      store_ != nullptr ? store_->fetch(drain_buffer_) : telemetry_->drain(drain_buffer_);
+  // this pump. The store degrades internally on disk errors, but this
+  // pump runs on a worker std::thread where any escaped exception is
+  // std::terminate — adaptation failures must never take serving down,
+  // so a failing store falls back to draining the log directly.
+  std::uint64_t lost = 0;
+  if (store_ != nullptr) {
+    try {
+      lost = store_->fetch(drain_buffer_);
+    } catch (const std::exception& error) {
+      log_warn("adapt: telemetry store fetch failed (", error.what(),
+               "); draining the log directly this pump");
+      drain_buffer_.clear();
+      lost = telemetry_->drain(drain_buffer_);
+    }
+  } else {
+    lost = telemetry_->drain(drain_buffer_);
+  }
 
   std::vector<PendingTransition> fresh;
   {
@@ -465,7 +479,13 @@ void AdaptationController::start() {
         worker_cv_.wait_for(lock, config_.poll_interval, [this] { return stop_requested_; });
         if (stop_requested_) return;
       }
-      pump();
+      // Last line of defense for the never-take-serving-down invariant:
+      // an exception escaping a std::thread is std::terminate.
+      try {
+        pump();
+      } catch (const std::exception& error) {
+        log_warn("adapt: pump failed: ", error.what());
+      }
     }
   });
 }

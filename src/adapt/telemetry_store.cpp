@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/crc32.hpp"
+#include "common/logging.hpp"
 #include "common/timing.hpp"
 #include "obs/trace.hpp"
 
@@ -22,6 +23,13 @@ namespace {
 constexpr char kSegmentMagic[4] = {'V', 'H', 'T', 'S'};
 constexpr const char* kSealedSuffix = ".vhtseg";
 constexpr const char* kOpenSuffix = ".vhtseg.open";
+constexpr const char* kCompactTmpSuffix = ".vhtseg.tmp";
+constexpr const char* kCompactManifestSuffix = ".vhtseg.compact";
+
+/// Consecutive pump I/O failures tolerated before persistence turns
+/// itself off for the store's lifetime (transient hiccups get retries;
+/// a full disk does not get to stall the writer forever).
+constexpr std::uint32_t kMaxConsecutivePersistFailures = 3;
 
 /// Serialized header field bytes (declaration order, fixed widths):
 /// 2*u32 + u8 + 12*u64 + u32 = 109. The on-disk header is
@@ -315,12 +323,14 @@ TelemetryStore::TelemetryStore(std::shared_ptr<TelemetryLog> log, TelemetryStore
            &obs::counter("telemetry_store_rotations_total"),
            &obs::counter("telemetry_store_compactions_total"),
            &obs::counter("telemetry_store_truncations_total"),
+           &obs::counter("telemetry_store_persist_errors_total"),
            &obs::gauge("telemetry_store_segments"),
            &obs::histogram("telemetry_store_flush_seconds")} {
   if (log_ == nullptr) throw std::invalid_argument("TelemetryStore: null telemetry log");
   if (config_.directory.empty()) throw std::invalid_argument("TelemetryStore: empty directory");
   fs::create_directories(config_.directory);
 
+  recover_compactions();
   recover_open_segments();
   for (const SegmentInfo& info : sealed_segments_locked()) {
     next_seq_ = std::max(next_seq_, info.header.base_seq + info.header.record_count);
@@ -334,7 +344,14 @@ TelemetryStore::TelemetryStore(std::shared_ptr<TelemetryLog> log, TelemetryStore
         worker_cv_.wait_for(lock, config_.flush_interval);
         if (stop_requested_) break;
         lock.unlock();
-        pump_once();
+        // pump_once() degrades internally on I/O failure; the extra catch
+        // is the last line of defense — an escaped exception in a
+        // std::thread would std::terminate the whole serving process.
+        try {
+          pump_once();
+        } catch (const std::exception& error) {
+          log_warn("telemetry store: writer pump failed: ", error.what());
+        }
         lock.lock();
       }
     });
@@ -352,8 +369,14 @@ void TelemetryStore::stop() {
   if (worker_.joinable()) worker_.join();
 
   if (config_.seal_on_close) {
-    pump_once();
-    seal_active();
+    // stop() runs from the destructor: a failed final flush/seal must be
+    // logged, never thrown.
+    try {
+      pump_once();
+      seal_active();
+    } catch (const std::exception& error) {
+      log_warn("telemetry store: final seal failed: ", error.what());
+    }
   } else {
     // Crash simulation: leave the `.open` tail exactly as last flushed.
     std::lock_guard<std::mutex> lock(mutex_);
@@ -361,6 +384,62 @@ void TelemetryStore::stop() {
       active_->file.close();
       active_.reset();
     }
+  }
+}
+
+void TelemetryStore::recover_compactions() {
+  // Finish (or roll back) a compaction a crash interrupted. The manifest
+  // is written only after the merged `.tmp` is complete, so the disk can
+  // only be in one of three states:
+  //   manifest + tmp    crash before the atomic rename — finish the swap;
+  //   manifest, no tmp  crash mid input removal — finish the removes;
+  //   tmp, no manifest  crash mid merge write — the inputs are intact and
+  //                     authoritative, the tmp is garbage.
+  std::vector<std::string> manifests;
+  std::vector<std::string> tmps;
+  for (const auto& entry : fs::directory_iterator(config_.directory)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    if (ends_with(path, kCompactManifestSuffix)) {
+      manifests.push_back(path);
+    } else if (ends_with(path, kCompactTmpSuffix)) {
+      tmps.push_back(path);
+    }
+  }
+
+  for (const std::string& manifest_path : manifests) {
+    std::string final_name;
+    std::string tmp_name;
+    std::vector<std::string> inputs;
+    {
+      std::ifstream in(manifest_path);
+      std::string line;
+      if (std::getline(in, final_name) && std::getline(in, tmp_name)) {
+        while (std::getline(in, line)) {
+          if (!line.empty()) inputs.push_back(line);
+        }
+      }
+    }
+    if (final_name.empty() || tmp_name.empty() || inputs.empty()) {
+      // Torn manifest: nothing was renamed or removed yet, the inputs are
+      // still complete. Roll back (the orphan-tmp sweep below cleans up).
+      fs::remove(manifest_path);
+      continue;
+    }
+    const fs::path dir(config_.directory);
+    const fs::path tmp = dir / tmp_name;
+    if (fs::exists(tmp)) fs::rename(tmp, dir / final_name);
+    for (const std::string& input : inputs) {
+      if (input == final_name) continue;
+      const fs::path victim = dir / input;
+      if (fs::exists(victim)) fs::remove(victim);
+    }
+    fs::remove(manifest_path);
+    log_info("telemetry store: finished interrupted compaction into ", final_name);
+  }
+
+  for (const std::string& tmp : tmps) {
+    if (fs::exists(tmp)) fs::remove(tmp);
   }
 }
 
@@ -381,38 +460,50 @@ void TelemetryStore::recover_open_segments() {
       if (!in) throw std::runtime_error("telemetry segment: cannot read " + path);
       header = read_header_stream(in, path);
       scanned = scan_payload(in, header.trace_version, /*keep_payload=*/false);
-    } catch (const std::runtime_error&) {
+    } catch (const std::runtime_error& error) {
       // Even the header is torn: nothing recoverable. Quarantine rather
       // than delete so the operator can inspect; readers ignore .corrupt.
+      const std::uint64_t lost_bytes = fs::file_size(path);
       fs::rename(path, path + ".corrupt");
       ++stats_.truncations;
+      stats_.bytes_dropped_torn += lost_bytes;
       obs_.truncations->add(1);
+      log_warn("telemetry store: quarantined ", path, " (", lost_bytes,
+               " byte(s), unreadable header: ", error.what(), ")");
       continue;
     }
 
     const std::uint64_t file_size = fs::file_size(path);
     const std::uint64_t good_size = kSegmentHeaderBytes + scanned.good_bytes;
     const bool trimmed = file_size > good_size;
+    const std::uint64_t torn_bytes = trimmed ? file_size - good_size : 0;
     if (scanned.tally.records == 0 && scanned.tally.sessions == 0) {
       // Nothing whole survived; keep the torn bytes out of the read path.
       fs::remove(path);
       if (trimmed || scanned.torn_tail) {
         ++stats_.truncations;
         ++stats_.records_dropped_torn;
+        stats_.bytes_dropped_torn += torn_bytes;
         obs_.truncations->add(1);
         obs_.dropped->add(1);
+        log_warn("telemetry store: removed torn tail ", path, " (", torn_bytes,
+                 " unrecoverable byte(s), no whole frame)");
       }
       continue;
     }
     if (trimmed) {
       fs::resize_file(path, good_size);
       ++stats_.truncations;
-      // The trimmed bytes held at most one partial frame (frames are
-      // appended whole): account one torn record, never zero — a trim
-      // must be visible in the drop ledger.
+      // A clean crash tears at most the one frame being appended, but a
+      // mid-file flip discards every frame after it — the record ledger
+      // can only attest "at least one", so the byte span is what sizes
+      // the real loss. Both are accounted, never zero.
       ++stats_.records_dropped_torn;
+      stats_.bytes_dropped_torn += torn_bytes;
       obs_.truncations->add(1);
       obs_.dropped->add(1);
+      log_warn("telemetry store: trimmed ", torn_bytes, " torn byte(s) from ", path, " (",
+               scanned.tally.records, " whole record(s) kept)");
     }
 
     // Seal in place: final header over the surviving payload, then drop
@@ -570,6 +661,33 @@ void TelemetryStore::pump_once() {
     fetch_queue_.insert(fetch_queue_.end(), drain_buffer_.begin(), drain_buffer_.end());
   }
 
+  // Disk I/O is fenced off from the drain/fetch path: a telemetry disk
+  // error (full disk, yanked volume) degrades to counted drops — it never
+  // propagates into the writer thread or the adaptation pump.
+  if (!persist_disabled_.load(std::memory_order_relaxed)) {
+    try {
+      persist_locked();
+      consecutive_persist_failures_ = 0;
+    } catch (const std::exception& error) {
+      note_persist_failure_locked(error.what());
+    }
+  } else if (!drain_buffer_.empty()) {
+    // Drained but not written: the durable-log gap stays visible in the
+    // same drop ledger as every other loss.
+    stats_.records_dropped_persist += drain_buffer_.size();
+    obs_.dropped->add(drain_buffer_.size());
+  }
+
+  if (pending_obs_records_ > 0) {
+    obs_.persisted->add(pending_obs_records_);
+    obs_.bytes->add(pending_obs_bytes_);
+    pending_obs_records_ = 0;
+    pending_obs_bytes_ = 0;
+  }
+  obs_.flush_seconds->observe(seconds_since(t0));
+}
+
+void TelemetryStore::persist_locked() {
   if (!drain_buffer_.empty() || log_->session_count() > sessions_written_) {
     if (active_ == nullptr) open_segment();
     // New sessions registered since the segment opened get their frames
@@ -585,18 +703,50 @@ void TelemetryStore::pump_once() {
       append_record_frame(record);
       maybe_rotate_locked();
     }
-    if (active_ != nullptr) active_->file.flush();
+    if (active_ != nullptr) {
+      active_->file.flush();
+      if (!active_->file) {
+        throw std::runtime_error("TelemetryStore: flush failed for " + active_->path);
+      }
+    }
   }
   // Age-based rotation also fires on idle flush ticks, not just appends.
   maybe_rotate_locked();
+}
 
-  if (pending_obs_records_ > 0) {
-    obs_.persisted->add(pending_obs_records_);
-    obs_.bytes->add(pending_obs_bytes_);
-    pending_obs_records_ = 0;
-    pending_obs_bytes_ = 0;
+void TelemetryStore::note_persist_failure_locked(const char* what) {
+  ++stats_.persist_errors;
+  obs_.persist_errors->add(1);
+  ++consecutive_persist_failures_;
+
+  // pending_obs_records_ counts the appends that succeeded this pump; the
+  // rest of the drained batch never reached the segment.
+  const std::uint64_t appended = pending_obs_records_;
+  const std::uint64_t unwritten =
+      drain_buffer_.size() > appended ? drain_buffer_.size() - appended : 0;
+  if (unwritten > 0) {
+    stats_.records_dropped_persist += unwritten;
+    obs_.dropped->add(unwritten);
   }
-  obs_.flush_seconds->observe(seconds_since(t0));
+
+  // Abandon the active tail — its stream may be poisoned mid-frame. The
+  // `.open` file stays on disk; the next startup trims it to the last
+  // whole frame like any other crash leftover.
+  if (active_ != nullptr) {
+    active_->file.close();
+    active_.reset();
+  }
+
+  if (consecutive_persist_failures_ >= kMaxConsecutivePersistFailures) {
+    if (!persist_disabled_.exchange(true, std::memory_order_relaxed)) {
+      log_warn("telemetry store: disabling persistence after ", consecutive_persist_failures_,
+               " consecutive failures (last: ", what,
+               "); draining and fetch hand-off continue without disk writes");
+    }
+  } else {
+    log_warn("telemetry store: persist failed (", what, "), ", unwritten,
+             " record(s) dropped this pump");
+  }
 }
 
 std::uint64_t TelemetryStore::fetch(std::vector<TelemetryRecord>& out) {
@@ -718,15 +868,59 @@ bool TelemetryStore::compact_locked() {
     write_header_at_start(out, header);
     if (!out) throw std::runtime_error("TelemetryStore: compaction write failed for " + tmp_path);
   }
-  for (std::size_t i = 0; i < take; ++i) fs::remove(sealed[i].path);
+
+  // Crash-safe swap: stage a manifest naming the output and every input,
+  // atomically replace the oldest input with the merged segment, then
+  // remove the rest. recover_compactions() finishes whatever prefix of
+  // this sequence a crash leaves behind, so no point of failure loses
+  // (or duplicates) sealed records.
+  const std::string manifest_path = sealed_path + ".compact";
+  {
+    std::ofstream manifest(manifest_path, std::ios::trunc);
+    if (!manifest) throw std::runtime_error("TelemetryStore: cannot create " + manifest_path);
+    manifest << fs::path(sealed_path).filename().string() << "\n";
+    manifest << fs::path(tmp_path).filename().string() << "\n";
+    for (std::size_t i = 0; i < take; ++i) {
+      manifest << fs::path(sealed[i].path).filename().string() << "\n";
+    }
+    manifest.flush();
+    if (!manifest) {
+      throw std::runtime_error("TelemetryStore: manifest write failed for " + manifest_path);
+    }
+  }
   fs::rename(tmp_path, sealed_path);
+  for (std::size_t i = 0; i < take; ++i) {
+    if (sealed[i].path != sealed_path) fs::remove(sealed[i].path);
+  }
+  fs::remove(manifest_path);
 
   ++stats_.compactions;
   stats_.records_dropped_evicted += dropped;
   obs_.compactions->add(1);
   if (dropped > 0) obs_.dropped->add(dropped);
   refresh_segment_gauge_locked();
+  prune_evicted_locked();
   return true;
+}
+
+void TelemetryStore::prune_evicted_locked() {
+  // Eviction tombstones only matter while some segment might still hold
+  // the session's records; once compaction has purged them, drop the id
+  // so the set cannot grow without bound over a long-lived store. (Stale
+  // session *frames* in not-yet-compacted segments are harmless metadata
+  // and do not pin a tombstone.)
+  if (evicted_.empty()) return;
+  const std::vector<SegmentInfo> sealed = sealed_segments_locked();
+  for (auto it = evicted_.begin(); it != evicted_.end();) {
+    const auto id = static_cast<std::uint64_t>(*it);
+    bool covered = active_ != nullptr && session_ids_in_active_.count(*it) > 0;
+    for (const SegmentInfo& info : sealed) {
+      if (covered) break;
+      covered = info.header.record_count > 0 && id >= info.header.session_min &&
+                id <= info.header.session_max;
+    }
+    it = covered ? std::next(it) : evicted_.erase(it);
+  }
 }
 
 void TelemetryStore::enforce_retention_locked() {
@@ -764,7 +958,9 @@ void TelemetryStore::refresh_segment_gauge_locked() {
 
 TelemetryStore::Stats TelemetryStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats out = stats_;
+  out.eviction_tombstones = evicted_.size();
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -956,6 +1152,9 @@ SegmentVerifyReport verify_segment(const std::string& path, const ReplayAssets* 
   report.records = scanned.records.size();
   report.fingerprint_ok = scanned.tally.replay_fp == header.replay_fingerprint &&
                           scanned.tally.schema_fingerprint() == header.schema_fingerprint;
+  // Until a replay pass overwrites it, expose the scanned recorded-action
+  // digest so a structural-only FAIL diagnoses with the real value.
+  report.replay_fingerprint = scanned.tally.replay_fp;
   if (!report.fingerprint_ok && report.error.empty()) {
     report.error = "recorded-action fingerprint does not match header in " + path;
   }

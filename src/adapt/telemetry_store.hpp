@@ -35,10 +35,20 @@
 //     scanned frame by frame; a torn tail is trimmed to the last whole
 //     frame, counted (never silently replayed), sealed and kept;
 //   * compaction — sealed segments merge oldest-first (bounded by the
-//     segment byte budget), dropping records of evicted sessions;
+//     segment byte budget), dropping records of evicted sessions. The
+//     merge is crash-safe: the output is staged as a `.tmp`, a manifest
+//     records the step, the tmp atomically replaces the oldest input,
+//     and only then are the other inputs removed — recovery replays an
+//     interrupted step from the manifest, so no point of failure loses
+//     (or duplicates) sealed records;
 //   * retention — oldest sealed segments are deleted beyond the
 //     configured segment/byte bounds, their record counts accounted as
-//     dropped.
+//     dropped;
+//   * degrade — writer I/O failures (disk full is the expected failure
+//     mode of a durable log) are caught, logged and counted; after a few
+//     consecutive failures persistence disables itself while draining
+//     and the fetch() hand-off keep serving the adaptation loop. A
+//     telemetry disk error never takes the process down.
 //
 // The store is also the adaptation loop's drain seam: fetch() persists
 // and hands the same batch to the caller, so AdaptationController and the
@@ -192,13 +202,21 @@ class TelemetryStore {
     std::uint64_t records_dropped_evicted = 0;    ///< compaction drops
     std::uint64_t records_dropped_retention = 0;  ///< deleted-segment records
     std::uint64_t records_dropped_torn = 0;       ///< partial tail frames trimmed
+    std::uint64_t records_dropped_persist = 0;    ///< drained while persistence was down
     std::uint64_t bytes_written = 0;              ///< payload bytes appended
+    std::uint64_t bytes_dropped_torn = 0;         ///< torn bytes discarded at recovery
     std::uint64_t rotations = 0;
     std::uint64_t compactions = 0;
     std::uint64_t truncations = 0;  ///< torn tails trimmed at recovery
     std::uint64_t capture_lost = 0; ///< TelemetryLog losses seen by this store's drains
+    std::uint64_t persist_errors = 0;  ///< writer-side I/O failures swallowed (never fatal)
+    std::uint64_t eviction_tombstones = 0;  ///< evicted-session ids compaction still tracks
   };
   Stats stats() const;
+
+  /// True once repeated persist failures disabled disk writes for the rest
+  /// of this store's lifetime (drain + fetch hand-off keep running).
+  bool persistence_disabled() const { return persist_disabled_.load(std::memory_order_relaxed); }
 
  private:
   struct ActiveSegment {
@@ -211,6 +229,7 @@ class TelemetryStore {
     std::chrono::steady_clock::time_point opened_at;
   };
 
+  void recover_compactions();
   void recover_open_segments();
   void open_segment();
   void append_session_frame(const TelemetrySession& session);
@@ -220,7 +239,12 @@ class TelemetryStore {
   bool compact_locked();
   void enforce_retention_locked();
   void refresh_segment_gauge_locked();
+  void prune_evicted_locked();
   std::vector<SegmentInfo> sealed_segments_locked() const;
+  /// The drain-and-append body of pump_once(); the only part of a pump
+  /// that touches the disk and therefore the only part allowed to throw.
+  void persist_locked();
+  void note_persist_failure_locked(const char* what);
 
   std::shared_ptr<TelemetryLog> log_;
   TelemetryStoreConfig config_;
@@ -236,6 +260,11 @@ class TelemetryStore {
   std::vector<TelemetryRecord> fetch_queue_;
   std::uint64_t fetch_lost_ = 0;
   std::atomic<bool> fetch_enabled_{false};
+  /// Persist-failure degrade: a disk error must never take serving (or the
+  /// adaptation pump riding on fetch()) down, so writer I/O failures are
+  /// counted and, after a few consecutive ones, persistence turns off.
+  std::atomic<bool> persist_disabled_{false};
+  std::uint32_t consecutive_persist_failures_ = 0;
   Stats stats_;
   /// Counter deltas batched across one pump (published once per pump_once).
   std::uint64_t pending_obs_records_ = 0;
@@ -249,6 +278,7 @@ class TelemetryStore {
     obs::Counter* rotations;
     obs::Counter* compactions;
     obs::Counter* truncations;
+    obs::Counter* persist_errors;
     obs::Gauge* segments;
     obs::Histogram* flush_seconds;
   };

@@ -36,23 +36,41 @@ inline const std::array<std::array<std::uint32_t, 256>, 8>& crc32_tables() {
 
 }  // namespace detail
 
+namespace detail {
+
+/// The slicing fast path folds whole words and is only equivalent to the
+/// canonical byte-at-a-time form when those words are loaded
+/// little-endian; unknown byte orders take the portable loop.
+inline constexpr bool crc32_host_is_little_endian =
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__)
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__;
+#elif defined(_WIN32)
+    true;
+#else
+    false;
+#endif
+
+}  // namespace detail
+
 /// Incremental form: feed `crc32_update(seed, ...)` chunk by chunk with
 /// the previous return value as the seed; `crc32()` is the one-shot.
 inline std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t size) {
   const auto* bytes = static_cast<const unsigned char*>(data);
   const auto& t = detail::crc32_tables();
   crc = ~crc;
-  while (size >= 8) {
-    std::uint32_t lo = 0;
-    std::uint32_t hi = 0;
-    std::memcpy(&lo, bytes, 4);  // the reflected form is little-endian by construction
-    std::memcpy(&hi, bytes + 4, 4);
-    lo ^= crc;
-    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
-          t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
-          t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
-    bytes += 8;
-    size -= 8;
+  if constexpr (detail::crc32_host_is_little_endian) {
+    while (size >= 8) {
+      std::uint32_t lo = 0;
+      std::uint32_t hi = 0;
+      std::memcpy(&lo, bytes, 4);
+      std::memcpy(&hi, bytes + 4, 4);
+      lo ^= crc;
+      crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+            t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+            t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+      bytes += 8;
+      size -= 8;
+    }
   }
   for (std::size_t i = 0; i < size; ++i) {
     crc = t[0][(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);

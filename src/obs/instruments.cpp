@@ -92,6 +92,9 @@ const std::vector<InstrumentSpec>& instrument_catalog() {
       {"telemetry_store_truncations_total", InstrumentKind::kCounter,
        "torn tail segments trimmed to the last whole frame at recovery",
        "nonzero after a clean shutdown means something else is writing the directory"},
+      {"telemetry_store_persist_errors_total", InstrumentKind::kCounter,
+       "writer I/O failures swallowed (disk full/unwritable); repeated failures disable persistence",
+       "any growth means the durable log is degrading - check disk space before records drop"},
       {"telemetry_store_segments", InstrumentKind::kGauge,
        "segment files currently in the store directory",
        "pinned at the retention cap with old decisions missing means retention is too tight"},

@@ -118,6 +118,9 @@ TEST(TelemetryStoreTest, RotatedSegmentsLoadBackByteIdentical) {
     const SegmentVerifyReport report = verify_segment(segment.path);
     EXPECT_TRUE(report.structure_ok) << report.error;
     EXPECT_TRUE(report.fingerprint_ok);
+    // A structural-only pass still reports the scanned recorded-action
+    // digest (the CLI prints it in FAIL diagnostics).
+    EXPECT_EQ(report.replay_fingerprint, segment.header.replay_fingerprint);
   }
 
   const TelemetryTrace loaded = load_directory(dir);
@@ -156,6 +159,7 @@ TEST(TelemetryStoreTest, TornTailIsTrimmedCountedAndPrefixRecovered) {
   TelemetryStore recovered(std::make_shared<TelemetryLog>(), manual_config(dir));
   EXPECT_EQ(recovered.stats().truncations, 1u);
   EXPECT_EQ(recovered.stats().records_dropped_torn, 1u);
+  EXPECT_GT(recovered.stats().bytes_dropped_torn, 0u);  // the trimmed span is sized, not just flagged
   recovered.stop();
 
   const TelemetryTrace loaded = load_directory(dir);
@@ -228,10 +232,14 @@ TEST(TelemetryStoreTest, CompactionMergesAndDropsEvictedSessions) {
   ASSERT_GE(sealed_before, 3u);
 
   store.note_sessions_evicted({1});
+  EXPECT_EQ(store.stats().eviction_tombstones, 1u);
   EXPECT_TRUE(store.compact_now());
   EXPECT_EQ(store.stats().records_dropped_evicted, 6u);
   EXPECT_GE(store.stats().compactions, 1u);
   EXPECT_LT(list_segments(dir).size(), sealed_before);
+  // Once no sealed segment can still hold session 1's records, its
+  // eviction tombstone is pruned — the set stays bounded for life.
+  EXPECT_EQ(store.stats().eviction_tombstones, 0u);
   store.stop();
 
   const TelemetryTrace loaded = load_directory(dir);
@@ -240,6 +248,120 @@ TEST(TelemetryStoreTest, CompactionMergesAndDropsEvictedSessions) {
   for (const SegmentInfo& segment : list_segments(dir)) {
     EXPECT_TRUE(verify_segment(segment.path).ok());
   }
+}
+
+TEST(TelemetryStoreTest, PersistFailureDegradesInsteadOfThrowing) {
+  const std::string dir = fresh_dir("verihvac_store_test_persistfail");
+  auto log = std::make_shared<TelemetryLog>();
+  log->register_session(1, 1001, "toy");
+
+  TelemetryStore store(log, manual_config(dir));
+  store.enable_fetch_queue();
+  emit(*log, 1, 0, 18.0);
+  store.pump_once();
+  store.seal_active();
+  EXPECT_EQ(store.stats().persist_errors, 0u);
+
+  // Yank the disk out from under the store: a plain file now sits where
+  // the segment directory was, so every subsequent segment open fails.
+  fs::remove_all(dir);
+  std::ofstream(dir).put('x');
+
+  for (std::uint64_t d = 1; d <= 4; ++d) {
+    emit(*log, 1, d, 18.0);
+    EXPECT_NO_THROW(store.pump_once());  // the writer thread runs exactly this
+  }
+  const TelemetryStore::Stats stats = store.stats();
+  EXPECT_GE(stats.persist_errors, 3u);
+  EXPECT_TRUE(store.persistence_disabled());
+  EXPECT_EQ(stats.records_dropped_persist, 4u);  // the gap is ledgered, not silent
+
+  // The adaptation hand-off seam outlives the disk: every record (the
+  // persisted one and all four dropped ones) still reaches fetch(), and
+  // shutdown stays exception-free.
+  std::vector<TelemetryRecord> fetched;
+  EXPECT_NO_THROW(store.fetch(fetched));
+  EXPECT_EQ(fetched.size(), 5u);
+  EXPECT_NO_THROW(store.stop());
+  fs::remove(dir);
+}
+
+TEST(TelemetryStoreTest, InterruptedCompactionRecoversFromManifest) {
+  const std::string dir = fresh_dir("verihvac_store_test_compactcrash");
+  auto log = std::make_shared<TelemetryLog>();
+  log->register_session(1, 1001, "toy");
+  log->register_session(2, 1002, "toy");
+
+  TelemetryStoreConfig config = manual_config(dir);
+  config.segment_max_records = 3;
+  TelemetryStore store(log, config);
+  for (std::uint64_t d = 0; d < 12; ++d) {
+    emit(*log, 1 + (d % 2), d / 2, 17.0 + static_cast<double>(d));
+  }
+  store.pump_once();
+  store.seal_active();
+
+  // Snapshot the pre-compaction segments (the compaction "inputs").
+  const std::string backup = fresh_dir("verihvac_store_test_compactcrash_backup");
+  std::vector<std::string> input_names;
+  for (const SegmentInfo& segment : list_segments(dir)) {
+    const std::string name = fs::path(segment.path).filename().string();
+    input_names.push_back(name);
+    fs::copy_file(segment.path, fs::path(backup) / name);
+  }
+  ASSERT_GE(input_names.size(), 3u);
+
+  store.note_sessions_evicted({1});
+  ASSERT_TRUE(store.compact_now());
+  store.stop();
+  const std::vector<SegmentInfo> after = list_segments(dir);
+  ASSERT_EQ(after.size(), 1u);
+  const std::string merged_name = fs::path(after[0].path).filename().string();
+  const TelemetryTrace compacted = load_directory(dir);
+  ASSERT_EQ(compacted.records.size(), 6u);
+
+  const auto write_manifest = [&](const std::string& where, const std::string& tmp_name) {
+    std::ofstream manifest(fs::path(where) / (merged_name + ".compact"));
+    manifest << merged_name << "\n" << tmp_name << "\n";
+    for (const std::string& name : input_names) manifest << name << "\n";
+  };
+  const auto reopen_and_load = [](const std::string& where) {
+    TelemetryStore recovered(std::make_shared<TelemetryLog>(), manual_config(where));
+    recovered.stop();
+    return load_directory(where);
+  };
+
+  // Crash A: merge write interrupted before the manifest existed — the
+  // orphan .tmp is garbage, the inputs are intact and authoritative.
+  const std::string dir_a = fresh_dir("verihvac_store_test_compactcrash_a");
+  for (const std::string& name : input_names) {
+    fs::copy_file(fs::path(backup) / name, fs::path(dir_a) / name);
+  }
+  std::ofstream(fs::path(dir_a) / (merged_name + ".tmp"), std::ios::binary) << "torn";
+  const TelemetryTrace loaded_a = reopen_and_load(dir_a);
+  EXPECT_FALSE(fs::exists(fs::path(dir_a) / (merged_name + ".tmp")));
+  EXPECT_EQ(loaded_a.records.size(), 12u);  // nothing lost, nothing duplicated
+
+  // Crash B: manifest written, rename not yet done — recovery must finish
+  // the swap from the complete .tmp and remove every input.
+  const std::string dir_b = fresh_dir("verihvac_store_test_compactcrash_b");
+  for (const std::string& name : input_names) {
+    fs::copy_file(fs::path(backup) / name, fs::path(dir_b) / name);
+  }
+  fs::copy_file(after[0].path, fs::path(dir_b) / (merged_name + ".tmp"));
+  write_manifest(dir_b, merged_name + ".tmp");
+  const TelemetryTrace loaded_b = reopen_and_load(dir_b);
+  expect_records_identical(loaded_b.records, compacted.records);
+
+  // Crash C: renamed but died mid input-removal — the stale input must go
+  // (its records are already inside the merged segment).
+  const std::string dir_c = fresh_dir("verihvac_store_test_compactcrash_c");
+  fs::copy_file(after[0].path, fs::path(dir_c) / merged_name);
+  fs::copy_file(fs::path(backup) / input_names.back(), fs::path(dir_c) / input_names.back());
+  write_manifest(dir_c, merged_name + ".tmp");
+  const TelemetryTrace loaded_c = reopen_and_load(dir_c);
+  EXPECT_FALSE(fs::exists(fs::path(dir_c) / input_names.back()));
+  expect_records_identical(loaded_c.records, compacted.records);
 }
 
 TEST(TelemetryStoreTest, RetentionDeletesOldestAndCountsDrops) {
